@@ -1,0 +1,62 @@
+//! Criterion: exact solver scaling (SPP in n and r; MPP in k), plus the
+//! DESIGN.md ablation of the dominance/normalization choices is implicit
+//! in the state counts — wall time is the proxy measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_core::rbp_dag::generators;
+use rbp_core::{solve_mpp, solve_spp, MppInstance, SolveLimits, SppInstance};
+
+fn bench_spp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spp_exact");
+    group.sample_size(10);
+    for leaves in [4usize, 8] {
+        let dag = generators::binary_in_tree(leaves);
+        group.bench_with_input(
+            BenchmarkId::new("tree", leaves),
+            &dag,
+            |b, dag| {
+                b.iter(|| {
+                    solve_spp(
+                        &SppInstance::with_compute(dag, 3, 2),
+                        SolveLimits::default(),
+                    )
+                    .unwrap()
+                    .total
+                });
+            },
+        );
+    }
+    for r in [2usize, 3, 4] {
+        let dag = generators::grid(3, 3);
+        group.bench_with_input(BenchmarkId::new("grid3x3_r", r), &r, |b, &r| {
+            b.iter(|| {
+                solve_spp(
+                    &SppInstance::with_compute(&dag, r, 2),
+                    SolveLimits::default(),
+                )
+                .unwrap()
+                .total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpp_exact");
+    group.sample_size(10);
+    for k in [1usize, 2] {
+        let dag = generators::binary_in_tree(4);
+        group.bench_with_input(BenchmarkId::new("tree4_k", k), &k, |b, &k| {
+            b.iter(|| {
+                solve_mpp(&MppInstance::new(&dag, k, 3, 2), SolveLimits::default())
+                    .unwrap()
+                    .total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spp_scaling, bench_mpp_scaling);
+criterion_main!(benches);

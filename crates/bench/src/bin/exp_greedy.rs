@@ -1,0 +1,93 @@
+//! E4 — Lemmas 3 & 4: the greedy class — worst-case guarantee and the
+//! adversarial `Θ(g)` bait trap.
+//!
+//! Part 1 sweeps the trap's `g` and reports greedy/OPT ratios per greedy
+//! configuration (count-affinity falls in, fraction-affinity escapes —
+//! illustrating why Lemma 4 quantifies over the whole class).
+//! Part 2 verifies the Lemma 3 ceiling `2(g(Δin+1)+1)` on random DAGs
+//! against the exact optimum on small instances.
+
+use rbp_bench::{banner, par_sweep, Table};
+use rbp_core::rbp_dag::generators;
+use rbp_core::{solve_mpp, CostModel, MppInstance, SolveLimits};
+use rbp_gadgets::GreedyTrap;
+use rbp_schedulers::{Affinity, EvictionPolicy, Greedy, GreedyConfig, MppScheduler};
+
+fn main() {
+    banner("E4", "greedy class: Lemma 4 adversarial ratios, Lemma 3 ceiling");
+
+    println!("-- bait trap (d=4, len=12, baits=16), greedy vs constructive OPT --\n");
+    let trap = GreedyTrap::build(4, 12, 16);
+    let configs: Vec<(&str, GreedyConfig)> = vec![
+        ("count", GreedyConfig::default()),
+        (
+            "fraction",
+            GreedyConfig {
+                affinity: Affinity::Fraction,
+                ..GreedyConfig::default()
+            },
+        ),
+        (
+            "count+lru",
+            GreedyConfig {
+                eviction: EvictionPolicy::Lru,
+                ..GreedyConfig::default()
+            },
+        ),
+        (
+            "count+recompute",
+            GreedyConfig {
+                allow_recompute: true,
+                ..GreedyConfig::default()
+            },
+        ),
+    ];
+    let mut t = Table::new(&["g", "config", "greedy", "OPT(constructive)", "ratio"]);
+    for g in [1u64, 2, 4, 8, 16] {
+        let inst = MppInstance::new(&trap.dag, 1, trap.r(), g);
+        let opt = trap.strategy_optimal(g).unwrap().cost.total(CostModel::mpp(g));
+        let rows = par_sweep(configs.clone(), |(cname, cfg)| {
+            let run = Greedy::new(*cfg).schedule(&inst).expect("greedy runs");
+            ((*cname).to_string(), run.cost.total(inst.model))
+        });
+        for (cname, total) in rows {
+            t.row(&[
+                g.to_string(),
+                cname,
+                total.to_string(),
+                opt.to_string(),
+                format!("{:.2}", total as f64 / opt as f64),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\n-- Lemma 3 ceiling 2(g(Δin+1)+1)·OPT on small random DAGs --\n");
+    let mut t2 = Table::new(&["dag", "g", "greedy", "OPT(exact)", "ratio", "ceiling"]);
+    for seed in [1u64, 2, 3] {
+        let dag = generators::layered_random(3, 3, 2, seed);
+        for g in [1u64, 4] {
+            let inst = MppInstance::new(&dag, 2, 3, g);
+            let Some(opt) = solve_mpp(&inst, SolveLimits::default()) else {
+                continue;
+            };
+            let run = Greedy::default().schedule(&inst).unwrap();
+            let total = run.cost.total(inst.model);
+            let ceiling = rbp_bounds::trivial::greedy_factor(&inst);
+            let ratio = total as f64 / opt.total as f64;
+            assert!(
+                total <= ceiling * opt.total,
+                "Lemma 3 ceiling violated on seed {seed}"
+            );
+            t2.row(&[
+                format!("layered(seed={seed})"),
+                g.to_string(),
+                total.to_string(),
+                opt.total.to_string(),
+                format!("{ratio:.2}"),
+                format!("{ceiling}x"),
+            ]);
+        }
+    }
+    t2.print();
+}

@@ -1,0 +1,85 @@
+//! E9 — §5 I/O counts: adding a processor makes I/O appear
+//! (`OPT_IO(1)=0, OPT_IO(2)=Θ(n)`) or vanish
+//! (`OPT_IO(1)=Θ(n), OPT_IO(2)=0`).
+
+use rbp_bench::{banner, Table};
+use rbp_core::{CostModel, MppInstance, SolveLimits};
+use rbp_gadgets::{ImbalancedPair, SparseLadder};
+
+fn main() {
+    banner("E9a", "sparse ladder: I/O appears at k=2 because it wins (m > 2g)");
+    let mut t = Table::new(&["len", "m", "g", "cost k=1", "io k=1", "cost k=2", "io k=2"]);
+    for (len, g) in [(60usize, 1u64), (60, 2), (120, 3)] {
+        let m = 2 * g as usize + 2;
+        let l = SparseLadder::build(len, m);
+        let model = CostModel::mpp(g);
+        let r1 = l.strategy_k1(g).unwrap();
+        let r2 = l.strategy_k2(g).unwrap();
+        assert!(r2.cost.total(model) < r1.cost.total(model));
+        t.row(&[
+            len.to_string(),
+            m.to_string(),
+            g.to_string(),
+            r1.cost.total(model).to_string(),
+            r1.cost.io_steps().to_string(),
+            r2.cost.total(model).to_string(),
+            r2.cost.io_steps().to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nk=1 optimum is I/O-free; the cheaper k=2 schedule communicates at\nevery rung: Θ(n/m) = Θ(n) I/O steps appear in the optimum.");
+
+    println!("\n-- exact check on a tiny ladder (len=8, m=4, g=1) --");
+    let l = SparseLadder::build(8, 4);
+    let lim = SolveLimits::default();
+    let o1 = rbp_core::solve_mpp(&MppInstance::new(&l.dag, 1, 4, 1), lim).unwrap();
+    println!(
+        "OPT(1) = {} with {} I/O steps (expected 0)",
+        o1.total,
+        o1.cost.io_steps()
+    );
+    match rbp_core::solve_mpp(
+        &MppInstance::new(&l.dag, 2, 4, 1),
+        SolveLimits { max_states: 500_000 },
+    ) {
+        Some(o2) => println!(
+            "OPT(2) = {} with {} I/O steps",
+            o2.total,
+            o2.cost.io_steps()
+        ),
+        None => println!("OPT(2): exact out of budget; constructive strategy stands"),
+    }
+
+    banner("E9b", "imbalanced pair: I/O vanishes at k=2 (recomputation + imbalance)");
+    let mut t2 = Table::new(&[
+        "d", "n1", "n2", "g", "k=1 loads (total/io)", "k=1 recompute (total/io)",
+        "k=2 recompute (total/io)",
+    ]);
+    for g in [2u64, 3, 5] {
+        let damper = g as usize;
+        let d = 2;
+        let n1 = (d * (2 * g as usize + 1) + 4).max(8);
+        let n2 = n1 * (damper + 2);
+        let p = ImbalancedPair::build(d, n1, n2, damper);
+        let model = CostModel::mpp(g);
+        let k1l = p.strategy_k1_loads(g).unwrap().cost;
+        let k1r = p.strategy_k1_recompute(g).unwrap().cost;
+        let k2 = p.strategy_k2_recompute(g).unwrap().cost;
+        assert!(k1l.total(model) < k1r.total(model), "loads win at k=1");
+        assert!(k2.total(model) < k1l.total(model), "zero-I/O wins at k=2");
+        assert_eq!(k2.io_steps(), 0);
+        t2.row(&[
+            d.to_string(),
+            n1.to_string(),
+            n2.to_string(),
+            g.to_string(),
+            format!("{}/{}", k1l.total(model), k1l.io_steps()),
+            format!("{}/{}", k1r.total(model), k1r.io_steps()),
+            format!("{}/{}", k2.total(model), k2.io_steps()),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nAt k=1 the Θ(n) load schedule is optimal among the three; at k=2 the\nzero-I/O schedule (heavy chain recomputes, light chain batches along)\nbeats it — the optimum's I/O count drops from Θ(n) to 0."
+    );
+}

@@ -1,0 +1,51 @@
+//! E14 — Definition 1: surplus cost decomposition across schedulers.
+//!
+//! The surplus `C − n/k` isolates the pebbling's imperfections: I/O,
+//! work imbalance, and recomputation. This experiment decomposes each
+//! scheduler's surplus on a mixed workload.
+
+use rbp_bench::{banner, par_sweep, Table};
+use rbp_core::rbp_dag::generators;
+use rbp_core::{MppInstance, MppRunStats};
+use rbp_schedulers::all_schedulers;
+
+fn main() {
+    banner("E14", "surplus cost (Def. 1): io / imbalance / recompute decomposition");
+    let dag = generators::layered_random(6, 8, 3, 13);
+    let inst = MppInstance::new(&dag, 4, 4, 3);
+    let rows = par_sweep(all_schedulers(), |s| {
+        let run = s.schedule(&inst).expect("scheduler runs");
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        (s.name(), stats)
+    });
+    let mut t = Table::new(&[
+        "scheduler",
+        "total",
+        "surplus",
+        "io steps",
+        "comm transfers",
+        "spill transfers",
+        "recomputes",
+        "imbalance",
+        "avg compute batch",
+    ]);
+    for (name, s) in rows {
+        t.row(&[
+            name,
+            s.total.to_string(),
+            s.surplus.to_string(),
+            s.cost.io_steps().to_string(),
+            s.communication_transfers().to_string(),
+            s.spill_transfers().to_string(),
+            s.recomputations.to_string(),
+            format!("{:.1}", s.imbalance()),
+            format!("{:.2}", s.avg_compute_batch),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nworkload: {} (n={}, k=4, r=4, g=3); surplus = total − ceil(n/k).",
+        dag.name(),
+        dag.n()
+    );
+}

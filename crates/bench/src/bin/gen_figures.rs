@@ -1,0 +1,48 @@
+//! Regenerates the paper's figures as Graphviz DOT files under
+//! `figures/` (render with `dot -Tpdf figures/fig2_zipper.dot`).
+
+use rbp_core::rbp_dag::dot::{to_dot, DotOptions};
+use rbp_core::rbp_dag::dag_from_edges;
+use rbp_gadgets::levels::Tower;
+use rbp_gadgets::{Graph, HardnessInstance, Zipper};
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("figures")?;
+    let ranked = DotOptions {
+        rank_by_level: true,
+        node_attrs: vec![],
+    };
+
+    // Figure 1: the worked example DAG.
+    let fig1 = dag_from_edges(
+        7,
+        &[(0, 2), (1, 2), (0, 3), (1, 3), (2, 4), (3, 4), (2, 5), (3, 5), (4, 6), (5, 6)],
+    );
+    std::fs::write("figures/fig1_example.dot", to_dot(&fig1, &ranked))?;
+
+    // Figure 2: the zipper gadget (with recomputation dampers, as in the
+    // grey extension of the figure).
+    let zipper = Zipper::build(3, 8, 4);
+    std::fs::write("figures/fig2_zipper.dot", to_dot(&zipper.dag, &ranked))?;
+
+    // Figure 3: consecutive levels of the three shapes.
+    for (name, sizes) in [
+        ("fig3_levels_5_5", vec![5usize, 5]),
+        ("fig3_levels_5_7", vec![5, 7]),
+        ("fig3_levels_5_3", vec![5, 3]),
+    ] {
+        let t = Tower::build(&sizes);
+        std::fs::write(format!("figures/{name}.dot"), to_dot(&t.dag, &ranked))?;
+    }
+
+    // Figure 4 analogue: the Theorem 2 reduction instance for a triangle.
+    let g = Graph::new(3, &[(0, 1), (1, 2), (0, 2)]);
+    let inst = HardnessInstance::build_with_scale(&g, 2, 3);
+    std::fs::write(
+        "figures/fig4_reduction.dot",
+        to_dot(&inst.dag, &DotOptions::default()),
+    )?;
+
+    println!("wrote 6 DOT files to figures/");
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! # rbp-bench — the experiment harness
+//!
+//! One binary per experiment (see `src/bin/exp_*.rs` and EXPERIMENTS.md
+//! at the repository root); each regenerates the quantitative content of
+//! a lemma, theorem, or figure of the paper as a plain-text table.
+//!
+//! This library holds the shared pieces: a fixed-width table printer and
+//! a parallel parameter-sweep helper built on `std::thread::scope`
+//! (sweeps are embarrassingly parallel; results are collected through a
+//! `parking_lot` mutex and re-ordered deterministically).
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+
+/// A fixed-width plain-text table printer.
+///
+/// ```
+/// use rbp_bench::Table;
+/// let mut t = Table::new(&["d", "speedup"]);
+/// t.row(&["4", "2.02"]);
+/// let s = t.render();
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numbers-ish, left-align first column.
+                if i == 0 {
+                    s.push_str(&format!("{cell:<width$}", width = widths[i]));
+                } else {
+                    s.push_str(&format!("{cell:>width$}", width = widths[i]));
+                }
+            }
+            s
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an experiment header banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===\n");
+}
+
+/// Runs `f` over all `inputs` in parallel (scoped threads, one per input
+/// up to `max_threads`), returning outputs in input order.
+pub fn par_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..max_threads {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= n {
+                        return;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let out = f(&inputs[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("worker completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // All rows share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = par_sweep(inputs.clone(), |&x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_handles_empty() {
+        let out: Vec<u64> = par_sweep(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+}

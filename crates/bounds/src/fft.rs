@@ -1,0 +1,73 @@
+//! Hong–Kung I/O lower bound for the FFT DAG and its MPP translation.
+
+/// Hong–Kung: pebbling the `n`-point FFT DAG in SPP with fast memory
+/// `s ≥ 2` requires `Ω(n·log n / log s)` I/O moves. This returns the
+/// bound's leading term `n·log2(n) / log2(s)` (floored), the form the
+/// paper quotes in §4.
+#[must_use]
+pub fn spp_io_lower(n_points: u64, s: u64) -> u64 {
+    if n_points < 2 || s < 2 {
+        return 0;
+    }
+    let n = n_points as f64;
+    let bound = n * n.log2() / (s as f64).log2();
+    bound.floor() as u64
+}
+
+/// The §4 MPP cost lower bound for the FFT:
+/// `(n/k) · (g·log n / log(rk) + 1)`.
+#[must_use]
+pub fn mpp_total_lower(n_points: u64, k: u64, r: u64, g: u64) -> u64 {
+    if n_points < 2 {
+        return n_points.div_ceil(k.max(1));
+    }
+    let n = n_points as f64;
+    let rk = (r * k).max(2) as f64;
+    let bound = (n / k as f64) * (g as f64 * n.log2() / rk.log2() + 1.0);
+    bound.floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spp_bound_shapes() {
+        // log-form: n log n / log s.
+        assert_eq!(spp_io_lower(16, 2), 64);
+        assert_eq!(spp_io_lower(16, 4), 32);
+        assert_eq!(spp_io_lower(16, 16), 16);
+        assert_eq!(spp_io_lower(1, 4), 0);
+        assert_eq!(spp_io_lower(16, 1), 0);
+    }
+
+    #[test]
+    fn bigger_memory_weakens_the_bound() {
+        let mut prev = u64::MAX;
+        for s in [2u64, 4, 8, 16, 32] {
+            let b = spp_io_lower(1024, s);
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn mpp_bound_decreases_in_k() {
+        let mut prev = u64::MAX;
+        for k in [1u64, 2, 4, 8] {
+            let b = mpp_total_lower(256, k, 4, 3);
+            assert!(b < prev, "k={k}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn mpp_bound_grows_with_g() {
+        assert!(mpp_total_lower(256, 2, 4, 8) > mpp_total_lower(256, 2, 4, 1));
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(mpp_total_lower(1, 2, 4, 3), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # rbp-bounds — lower bounds on pebbling costs
+//!
+//! The bound machinery of §4 of the paper:
+//!
+//! - [`trivial`] — Lemma 1 (`n/k ≤ OPT ≤ (g(Δ_in+1)+1)·n`), feasibility,
+//!   and the Lemma 3 greedy guarantee;
+//! - [`translate`] — Lemma 5 / Corollary 1: lifting SPP I/O lower bounds
+//!   at memory `k·r` to MPP bounds at `k` processors of memory `r`;
+//! - [`fft`] — the Hong–Kung `n log n / log s` bound for the FFT DAG and
+//!   its MPP form `(n/k)(g·log n/log(rk) + 1)`;
+//! - [`matmul`] — the Kwasniewski et al. `2n³/√s + n²` bound for matrix
+//!   multiplication and its MPP form;
+//! - [`structural`] — shape-only bounds (sink overflow, zero-I/O memory
+//!   thresholds).
+//!
+//! All closed-form bounds are cross-checked against the exact solvers on
+//! small instances in this crate's tests.
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod matmul;
+pub mod structural;
+pub mod translate;
+pub mod trivial;

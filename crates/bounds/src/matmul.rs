@@ -1,0 +1,67 @@
+//! Kwasniewski et al. I/O lower bound for classical `n×n` matrix
+//! multiplication and its MPP translation (§4).
+
+/// The single-processor bound: pebbling the classical matmul DAG with
+/// fast memory `s` requires at least `2n³/√s + n²` I/O moves.
+#[must_use]
+pub fn spp_io_lower(n: u64, s: u64) -> u64 {
+    if n == 0 || s == 0 {
+        return 0;
+    }
+    let nf = n as f64;
+    (2.0 * nf.powi(3) / (s as f64).sqrt() + nf * nf).floor() as u64
+}
+
+/// The §4 MPP total-cost lower bound:
+/// `(n/k) · (g·(2n²/√(rk) + n) + 1)`.
+///
+/// (The `n` in the leading fraction is the *matrix dimension* as in the
+/// paper's formula; the DAG itself has `Θ(n³)` nodes.)
+#[must_use]
+pub fn mpp_total_lower(n: u64, k: u64, r: u64, g: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let nf = n as f64;
+    let rk = ((r * k) as f64).max(1.0);
+    let bound =
+        (nf / k as f64) * (g as f64 * (2.0 * nf * nf / rk.sqrt() + nf) + 1.0);
+    bound.floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spp_bound_values() {
+        // 2·64/2 + 16 = 80 for n=4, s=4.
+        assert_eq!(spp_io_lower(4, 4), 80);
+        assert_eq!(spp_io_lower(0, 4), 0);
+    }
+
+    #[test]
+    fn bound_decreases_with_memory() {
+        let mut prev = u64::MAX;
+        for s in [1u64, 4, 16, 64, 256] {
+            let b = spp_io_lower(8, s);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn mpp_bound_decreases_in_k() {
+        let mut prev = u64::MAX;
+        for k in [1u64, 2, 4] {
+            let b = mpp_total_lower(8, k, 4, 2);
+            assert!(b < prev, "k={k}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn mpp_bound_scales_with_g() {
+        assert!(mpp_total_lower(8, 2, 4, 10) > mpp_total_lower(8, 2, 4, 1));
+    }
+}

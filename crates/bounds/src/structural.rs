@@ -1,0 +1,69 @@
+//! Generic structural lower bounds derived from the DAG shape alone.
+
+use rbp_core::rbp_dag::{min_peak_memory, Dag};
+use rbp_core::MppInstance;
+
+/// I/O lower bound from outputs: every sink must end with a pebble, and
+/// sinks beyond the total fast memory `k·r` must be stored — each store
+/// is one pebble moved, and one I/O step moves at most `k` pebbles.
+#[must_use]
+pub fn sink_overflow_io_steps(instance: &MppInstance) -> u64 {
+    let sinks = instance.dag.sinks().len() as u64;
+    let cap = (instance.k * instance.r) as u64;
+    sinks.saturating_sub(cap).div_ceil(instance.k as u64)
+}
+
+/// Whether the DAG admits a zero-I/O *one-shot* schedule on a single
+/// processor with memory `s` — the exact peak-memory DP re-exported as
+/// a bound helper: if `min_peak > s`, any one-shot SPP pebbling with
+/// memory `s` performs at least one I/O (and allowing recomputation can
+/// only trade I/O for computes).
+#[must_use]
+pub fn zero_io_needs_memory(dag: &Dag, max_n: usize) -> Option<usize> {
+    min_peak_memory(dag, max_n)
+}
+
+/// A combined total-cost lower bound: the best of Lemma 1 and the sink
+/// overflow term.
+#[must_use]
+pub fn combined_lower(instance: &MppInstance) -> u64 {
+    let l1 = crate::trivial::lower(instance);
+    let io = sink_overflow_io_steps(instance) * instance.model.g;
+    l1 + io
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+    use rbp_core::{solve_mpp, SolveLimits};
+
+    #[test]
+    fn sink_overflow_counts() {
+        // 8 independent sinks, k=2, r=2 → 4 pebbles fit, 4 spill,
+        // batched 2 per step → 2 steps.
+        let dag = generators::two_layer_full(1, 8);
+        let inst = MppInstance::new(&dag, 2, 2, 3);
+        assert_eq!(sink_overflow_io_steps(&inst), 2);
+        // Roomy memory → 0.
+        let inst2 = MppInstance::new(&dag, 2, 8, 3);
+        assert_eq!(sink_overflow_io_steps(&inst2), 0);
+    }
+
+    #[test]
+    fn combined_lower_respected_by_exact() {
+        let dag = generators::two_layer_full(1, 5);
+        let inst = MppInstance::new(&dag, 2, 2, 2);
+        let opt = solve_mpp(&inst, SolveLimits::default()).unwrap();
+        assert!(combined_lower(&inst) <= opt.total);
+    }
+
+    #[test]
+    fn zero_io_memory_matches_dp() {
+        let dag = generators::binary_in_tree(4);
+        assert_eq!(
+            zero_io_needs_memory(&dag, 32),
+            rbp_core::rbp_dag::min_peak_memory(&dag, 32)
+        );
+    }
+}

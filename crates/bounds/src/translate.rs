@@ -1,0 +1,76 @@
+//! Lemma 5 / Corollary 1: translating SPP I/O lower bounds to MPP.
+
+use rbp_core::{MppInstance, SolveLimits, SppInstance};
+
+/// Lemma 5: if every SPP pebbling with fast memory `k·r` needs at least
+/// `spp_io_lb` I/O moves, then every MPP pebbling with `k` processors of
+/// memory `r` needs at least `ceil(spp_io_lb / k)` I/O *steps*.
+#[must_use]
+pub fn mpp_io_steps_lower(spp_io_lb: u64, k: usize) -> u64 {
+    spp_io_lb.div_ceil(k as u64)
+}
+
+/// Corollary 1: the total-cost lower bound `g·L/k + n/k`.
+#[must_use]
+pub fn mpp_total_lower(instance: &MppInstance, spp_io_lb: u64) -> u64 {
+    let k = instance.k as u64;
+    instance.model.g * spp_io_lb.div_ceil(k)
+        + (instance.dag.n() as u64).div_ceil(k) * instance.model.compute
+}
+
+/// Computes the *exact* SPP minimum I/O at memory `k·r` (small DAGs
+/// only) and returns the Corollary 1 bound; `None` when the exact solve
+/// is out of range.
+#[must_use]
+pub fn mpp_total_lower_exact(instance: &MppInstance, limits: SolveLimits) -> Option<u64> {
+    let spp = SppInstance::io_only(instance.dag, instance.k * instance.r, 1);
+    let sol = rbp_core::solve_spp(&spp, limits)?;
+    Some(mpp_total_lower(instance, sol.cost.io_steps()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+    use rbp_core::solve_mpp;
+
+    #[test]
+    fn lemma5_arithmetic() {
+        assert_eq!(mpp_io_steps_lower(10, 2), 5);
+        assert_eq!(mpp_io_steps_lower(11, 2), 6);
+        assert_eq!(mpp_io_steps_lower(0, 4), 0);
+    }
+
+    #[test]
+    fn corollary1_is_a_valid_lower_bound_on_small_instances() {
+        // Exact MPP optimum must respect the translated bound.
+        for (dag, k, r, g) in [
+            (generators::binary_in_tree(4), 2, 3, 2),
+            (generators::diamond(3), 2, 4, 3),
+            (generators::chain(6), 2, 2, 2),
+        ] {
+            let inst = MppInstance::new(&dag, k, r, g);
+            let bound = mpp_total_lower_exact(&inst, SolveLimits::default())
+                .expect("exact SPP in range");
+            let opt = solve_mpp(&inst, SolveLimits::default()).expect("exact MPP");
+            assert!(
+                bound <= opt.total,
+                "{}: bound {bound} > OPT {}",
+                dag.name(),
+                opt.total
+            );
+        }
+    }
+
+    #[test]
+    fn translation_uses_kr_memory() {
+        // With k·r ≥ n the SPP solver needs no I/O, so the bound reduces
+        // to the Lemma 1 compute term.
+        let dag = generators::chain(4);
+        let inst = MppInstance::new(&dag, 2, 4, 5);
+        assert_eq!(
+            mpp_total_lower_exact(&inst, SolveLimits::default()),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Lemma 1: the straightforward bounds `n/k ≤ OPT ≤ (g(Δ_in+1)+1)·n`.
+
+use rbp_core::rbp_dag::Dag;
+use rbp_core::MppInstance;
+
+/// The Lemma 1 lower bound: `OPT ≥ ceil(n/k)` (each compute step
+/// finishes at most `k` nodes, and every node must be computed at least
+/// once).
+#[must_use]
+pub fn lower(instance: &MppInstance) -> u64 {
+    (instance.dag.n() as u64).div_ceil(instance.k as u64) * instance.model.compute
+}
+
+/// The Lemma 1 upper bound: `OPT ≤ (g(Δ_in+1)+1)·n`, achieved by the
+/// per-node load/compute/store baseline.
+#[must_use]
+pub fn upper(instance: &MppInstance) -> u64 {
+    let d_in = instance.dag.max_in_degree() as u64;
+    (instance.model.g * (d_in + 1) + instance.model.compute) * instance.dag.n() as u64
+}
+
+/// Whether a valid pebbling exists at all: `r ≥ Δ_in + 1` (§4).
+#[must_use]
+pub fn feasible(dag: &Dag, r: usize) -> bool {
+    r > dag.max_in_degree()
+}
+
+/// The Lemma 3 greedy guarantee: any non-idle greedy schedule is within
+/// `2(g(Δ_in+1)+1)` of the optimum.
+#[must_use]
+pub fn greedy_factor(instance: &MppInstance) -> u64 {
+    let d_in = instance.dag.max_in_degree() as u64;
+    2 * (instance.model.g * (d_in + 1) + instance.model.compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+    use rbp_core::{solve_mpp, SolveLimits};
+
+    #[test]
+    fn bounds_bracket_the_exact_optimum() {
+        for (dag, k, r, g) in [
+            (generators::chain(6), 1, 2, 2),
+            (generators::chain(6), 2, 2, 2),
+            (generators::binary_in_tree(4), 2, 3, 3),
+            (generators::diamond(3), 1, 4, 1),
+            (generators::independent_chains(2, 3), 2, 2, 4),
+        ] {
+            let inst = MppInstance::new(&dag, k, r, g);
+            let opt = solve_mpp(&inst, SolveLimits::default())
+                .unwrap_or_else(|| panic!("exact failed on {}", dag.name()));
+            assert!(lower(&inst) <= opt.total, "{}", dag.name());
+            assert!(opt.total <= upper(&inst), "{}", dag.name());
+        }
+    }
+
+    #[test]
+    fn lower_bound_rounds_up() {
+        let dag = generators::chain(5);
+        let inst = MppInstance::new(&dag, 2, 2, 1);
+        assert_eq!(lower(&inst), 3);
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        let dag = generators::diamond(4);
+        assert!(!feasible(&dag, 4));
+        assert!(feasible(&dag, 5));
+    }
+
+    #[test]
+    fn greedy_factor_formula() {
+        let dag = generators::binary_in_tree(4); // Δin = 2
+        let inst = MppInstance::new(&dag, 2, 3, 5);
+        assert_eq!(greedy_factor(&inst), 2 * (5 * 3 + 1));
+    }
+}

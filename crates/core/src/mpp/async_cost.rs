@@ -1,0 +1,169 @@
+//! Asynchronous re-timing of MPP strategies (§3.3 model discussion).
+//!
+//! MPP's rules are synchronous: one step is one rule, and a processor
+//! computing cannot overlap another processor's memory access. §3.3
+//! notes the natural asynchronous alternative — each processor executes
+//! its own SPP-style ops independently — and that the improvement from
+//! de-synchronizing is bounded (a factor 2, via the BSP scheduling
+//! analysis of Papp–Anegg–Yzelman).
+//!
+//! [`async_makespan`] re-times a *valid* MPP strategy under that
+//! asynchronous semantics: every batched rule is decomposed into
+//! per-processor ops (duration `g` for transfers, `compute` for R3);
+//! each processor runs its own ops in strategy order; a load of `v` must
+//! additionally wait for the store that made `v` available in slow
+//! memory. The result is the earliest finish time — a lower bound on
+//! any asynchronous execution of the same op multiset in the same
+//! per-processor order, and directly comparable to the synchronous cost.
+
+use std::collections::HashMap;
+
+use rbp_dag::NodeId;
+
+use crate::{MppInstance, MppMove, MppStrategy};
+
+/// The asynchronous re-timing of a strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncTiming {
+    /// Finish time of each processor.
+    pub finish_per_proc: Vec<u64>,
+    /// The makespan (max finish time).
+    pub makespan: u64,
+}
+
+/// Re-times `strategy` (which must be valid for `instance`) under
+/// asynchronous per-processor execution. See the module docs.
+#[must_use]
+pub fn async_makespan(instance: &MppInstance, strategy: &MppStrategy) -> AsyncTiming {
+    let g = instance.model.g;
+    let compute = instance.model.compute;
+    let mut proc_time = vec![0u64; instance.k];
+    // When each node's latest blue copy becomes available.
+    let mut blue_avail: HashMap<NodeId, u64> = HashMap::new();
+    for mv in &strategy.moves {
+        match mv {
+            MppMove::Compute(batch) => {
+                for &(p, _) in batch {
+                    proc_time[p] += compute;
+                }
+            }
+            MppMove::Store(batch) => {
+                for &(p, v) in batch {
+                    proc_time[p] += g;
+                    let done = proc_time[p];
+                    blue_avail
+                        .entry(v)
+                        .and_modify(|t| *t = (*t).max(done))
+                        .or_insert(done);
+                }
+            }
+            MppMove::Load(batch) => {
+                for &(p, v) in batch {
+                    let start = proc_time[p].max(blue_avail.get(&v).copied().unwrap_or(0));
+                    proc_time[p] = start + g;
+                }
+            }
+            MppMove::Remove(_) => {}
+        }
+    }
+    let makespan = proc_time.iter().copied().max().unwrap_or(0);
+    AsyncTiming {
+        finish_per_proc: proc_time,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MppSimulator;
+    use rbp_dag::{dag_from_edges, generators};
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn single_processor_async_equals_sync() {
+        // With k=1 there is nothing to overlap.
+        let dag = generators::chain(5);
+        let inst = MppInstance::new(&dag, 1, 2, 3);
+        let mut sim = MppSimulator::new(inst);
+        let mut prev = None;
+        for node in dag.topo().order() {
+            sim.compute(vec![(0, *node)]).unwrap();
+            if let Some(p) = prev {
+                sim.remove_red(0, p).unwrap();
+            }
+            prev = Some(*node);
+        }
+        let run = sim.finish().unwrap();
+        let t = async_makespan(&inst, &run.strategy);
+        assert_eq!(t.makespan, run.cost.total(inst.model));
+    }
+
+    #[test]
+    fn compute_overlaps_io_asynchronously() {
+        // p0 does an expensive store while p1 computes: synchronously
+        // g + 1 steps of cost; asynchronously max(g, 1).
+        let dag = dag_from_edges(2, &[]);
+        let g = 5;
+        let inst = MppInstance::new(&dag, 2, 1, g);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let sync = run.cost.total(inst.model); // 1 + g + 1
+        let t = async_makespan(&inst, &run.strategy);
+        assert_eq!(sync, g + 2);
+        assert_eq!(t.makespan, 1 + g, "p1's compute hides under p0's store");
+        assert_eq!(t.finish_per_proc, vec![1 + g, 1]);
+    }
+
+    #[test]
+    fn loads_wait_for_their_store() {
+        // Communication cannot be compressed: store then dependent load
+        // serialize even asynchronously.
+        let dag = dag_from_edges(2, &[(0, 1)]);
+        let g = 4;
+        let inst = MppInstance::new(&dag, 2, 2, g);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.load(vec![(1, v(0))]).unwrap();
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let t = async_makespan(&inst, &run.strategy);
+        // p1: waits until 1+g (store done), loads (+g), computes (+1).
+        assert_eq!(t.makespan, 1 + g + g + 1);
+        assert_eq!(t.makespan, run.cost.total(inst.model));
+    }
+
+    #[test]
+    fn async_never_exceeds_sync_and_is_at_least_critical_work() {
+        let dag = generators::independent_chains(2, 6);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let mut sim = MppSimulator::new(inst);
+        for i in 0..6u32 {
+            sim.compute(vec![(0, v(i)), (1, v(i + 6))]).unwrap();
+            if i > 0 {
+                sim.remove_red(0, v(i - 1)).unwrap();
+                sim.remove_red(1, v(i + 5)).unwrap();
+            }
+        }
+        let run = sim.finish().unwrap();
+        let sync = run.cost.total(inst.model);
+        let t = async_makespan(&inst, &run.strategy);
+        assert!(t.makespan <= sync);
+        assert!(t.makespan * inst.k as u64 >= sync, "k-fold speedup is the cap");
+    }
+
+    #[test]
+    fn empty_strategy_is_instant() {
+        let dag = dag_from_edges(0, &[]);
+        let inst = MppInstance::new(&dag, 2, 1, 1);
+        let t = async_makespan(&inst, &MppStrategy::new());
+        assert_eq!(t.makespan, 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact optimal MPP solver for small instances.
+//!
+//! Uniform-cost search over configurations `(R^1..R^k, B)` packed into
+//! `u64` masks. Transitions are whole rule applications: all non-empty
+//! batched selections of a single rule type are enumerated (each
+//! processor independently acts or idles), so the solver exploits the
+//! paper's one-cost-per-parallel-step semantics exactly.
+//!
+//! The same two normalizations as the SPP solver apply (blue pebbles are
+//! never deleted; red deletions are generated lazily, only on a
+//! processor at capacity). Additionally, batches are canonicalized by
+//! ascending processor id — the rule semantics do not depend on pair
+//! order.
+//!
+//! Complexity is brutal by design (the problem is NP-hard even for
+//! 2-layer DAGs, Lemma 2): intended for `n ≤ ~10`, `k ≤ 4`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rbp_dag::NodeId;
+
+use crate::{Cost, MppInstance, MppMove, MppStrategy, Pebble, SolveLimits};
+
+const MAX_K: usize = 4;
+
+/// An optimal solution found by [`solve`].
+#[derive(Debug, Clone)]
+pub struct MppSolution {
+    /// The optimal total cost under the instance's cost model.
+    pub total: u64,
+    /// Tally of the optimal strategy's rule applications.
+    pub cost: Cost,
+    /// A witness strategy achieving `total`.
+    pub strategy: MppStrategy,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Key {
+    reds: [u64; MAX_K],
+    blue: u64,
+}
+
+/// Finds a minimum-total-cost MPP pebbling, or `None` if infeasible
+/// (`r ≤ Δ_in`), too large (`n > 64` or `k > 4`), or out of budget.
+#[must_use]
+pub fn solve(instance: &MppInstance, limits: SolveLimits) -> Option<MppSolution> {
+    let dag = instance.dag;
+    let n = dag.n();
+    let k = instance.k;
+    if n > 64 || k > MAX_K || k == 0 {
+        return None;
+    }
+    if n == 0 {
+        return Some(MppSolution {
+            total: 0,
+            cost: Cost::zero(),
+            strategy: MppStrategy::new(),
+        });
+    }
+    if !instance.is_feasible() {
+        return None;
+    }
+    let r = instance.r;
+    let model = instance.model;
+
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | (1u64 << p.index())))
+        .collect();
+    let sinks_mask: u64 = dag
+        .sinks()
+        .iter()
+        .fold(0u64, |m, s| m | (1u64 << s.index()));
+
+    let start = Key {
+        reds: [0; MAX_K],
+        blue: 0,
+    };
+    let mut dist: HashMap<Key, u64> = HashMap::new();
+    let mut parent: HashMap<Key, (Key, MppMove)> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<u64>, Key)> = BinaryHeap::new();
+    dist.insert(start, 0);
+    heap.push((Reverse(0), start));
+    let mut settled = 0usize;
+
+    while let Some((Reverse(d), key)) = heap.pop() {
+        if dist.get(&key).copied() != Some(d) {
+            continue;
+        }
+        let red_all = key.reds.iter().fold(0u64, |a, &b| a | b);
+        if sinks_mask & !(red_all | key.blue) == 0 {
+            return Some(reconstruct(instance, &parent, key, d));
+        }
+        settled += 1;
+        if settled > limits.max_states {
+            return None;
+        }
+
+        let push = |parent_map: &mut HashMap<Key, (Key, MppMove)>,
+                        dist_map: &mut HashMap<Key, u64>,
+                        heap_ref: &mut BinaryHeap<(Reverse<u64>, Key)>,
+                        nk: Key,
+                        nd: u64,
+                        mv: MppMove| {
+            if dist_map.get(&nk).is_none_or(|&old| nd < old) {
+                dist_map.insert(nk, nd);
+                parent_map.insert(nk, (key, mv));
+                heap_ref.push((Reverse(nd), nk));
+            }
+        };
+
+        // --- R4-M: lazy red eviction on full processors (cost 0). ---
+        for j in 0..k {
+            if key.reds[j].count_ones() as usize == r {
+                for i in iter_bits(key.reds[j]) {
+                    let mut nk = key;
+                    nk.reds[j] &= !(1u64 << i);
+                    push(
+                        &mut parent,
+                        &mut dist,
+                        &mut heap,
+                        nk,
+                        d,
+                        MppMove::Remove(Pebble::Red(j, NodeId::new(i as usize))),
+                    );
+                }
+            }
+        }
+
+        // --- R3-M: batched computes. ---
+        // Options per processor: None (idle) or an eligible node.
+        let compute_opts: Vec<Vec<u32>> = (0..k)
+            .map(|j| {
+                if key.reds[j].count_ones() as usize >= r {
+                    return Vec::new();
+                }
+                (0..n as u32)
+                    .filter(|&i| {
+                        let b = 1u64 << i;
+                        key.reds[j] & b == 0 && preds_mask[i as usize] & !key.reds[j] == 0
+                    })
+                    .collect()
+            })
+            .collect();
+        for_each_batch(&compute_opts, false, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            let mv = MppMove::Compute(
+                batch
+                    .iter()
+                    .map(|&(j, i)| (j, NodeId::new(i as usize)))
+                    .collect(),
+            );
+            push(&mut parent, &mut dist, &mut heap, nk, d + model.compute, mv);
+        });
+
+        // --- R2-M: batched loads (distinct vertices). ---
+        let load_opts: Vec<Vec<u32>> = (0..k)
+            .map(|j| {
+                if key.reds[j].count_ones() as usize >= r {
+                    return Vec::new();
+                }
+                iter_bits(key.blue & !key.reds[j]).collect()
+            })
+            .collect();
+        for_each_batch(&load_opts, true, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            let mv = MppMove::Load(
+                batch
+                    .iter()
+                    .map(|&(j, i)| (j, NodeId::new(i as usize)))
+                    .collect(),
+            );
+            push(&mut parent, &mut dist, &mut heap, nk, d + model.g, mv);
+        });
+
+        // --- R1-M: batched stores (distinct vertices). ---
+        let store_opts: Vec<Vec<u32>> = (0..k)
+            .map(|j| iter_bits(key.reds[j] & !key.blue).collect())
+            .collect();
+        for_each_batch(&store_opts, true, &mut |batch| {
+            let mut nk = key;
+            for &(_, i) in batch {
+                nk.blue |= 1u64 << i;
+            }
+            let mv = MppMove::Store(
+                batch
+                    .iter()
+                    .map(|&(j, i)| (j, NodeId::new(i as usize)))
+                    .collect(),
+            );
+            push(&mut parent, &mut dist, &mut heap, nk, d + model.g, mv);
+        });
+    }
+    None
+}
+
+/// Enumerates all non-empty batches: each processor picks one of its
+/// options or idles. With `distinct_vertices`, no vertex may repeat
+/// across the batch (R1-M/R2-M set semantics; for stores a repeated
+/// vertex would be a redundant double-write anyway).
+fn for_each_batch(
+    options: &[Vec<u32>],
+    distinct_vertices: bool,
+    f: &mut impl FnMut(&[(usize, u32)]),
+) {
+    fn rec(
+        options: &[Vec<u32>],
+        j: usize,
+        distinct: bool,
+        batch: &mut Vec<(usize, u32)>,
+        used: &mut u64,
+        f: &mut impl FnMut(&[(usize, u32)]),
+    ) {
+        if j == options.len() {
+            if !batch.is_empty() {
+                f(batch);
+            }
+            return;
+        }
+        // Idle.
+        rec(options, j + 1, distinct, batch, used, f);
+        // Act.
+        for &i in &options[j] {
+            let b = 1u64 << i;
+            if distinct && *used & b != 0 {
+                continue;
+            }
+            *used |= b;
+            batch.push((j, i));
+            rec(options, j + 1, distinct, batch, used, f);
+            batch.pop();
+            *used &= !b;
+        }
+    }
+    let mut batch = Vec::with_capacity(options.len());
+    let mut used = 0u64;
+    rec(options, 0, distinct_vertices, &mut batch, &mut used, f);
+}
+
+fn reconstruct(
+    instance: &MppInstance,
+    parent: &HashMap<Key, (Key, MppMove)>,
+    mut key: Key,
+    total: u64,
+) -> MppSolution {
+    let mut moves = Vec::new();
+    while let Some((prev, mv)) = parent.get(&key) {
+        moves.push(mv.clone());
+        key = *prev;
+    }
+    moves.reverse();
+    let strategy = MppStrategy::from_moves(moves);
+    let cost = strategy
+        .validate(instance)
+        .expect("solver produced an invalid strategy");
+    debug_assert_eq!(cost.total(instance.model), total);
+    MppSolution {
+        total,
+        cost,
+        strategy,
+    }
+}
+
+fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_dag::{dag_from_edges, generators};
+
+    fn limits() -> SolveLimits {
+        SolveLimits {
+            max_states: 500_000,
+        }
+    }
+
+    #[test]
+    fn single_node_costs_one_compute() {
+        let d = dag_from_edges(1, &[]);
+        let sol = solve(&MppInstance::new(&d, 2, 1, 3), limits()).unwrap();
+        assert_eq!(sol.total, 1);
+        assert_eq!(sol.cost.computes, 1);
+    }
+
+    #[test]
+    fn two_independent_chains_parallelize_perfectly() {
+        // Lemma 7 tightness shape: k=2 halves the chain cost exactly.
+        // r=3 so the finished chain's sink can stay resident while the
+        // other chain is computed (r=2 would force a store or recompute).
+        let d = generators::independent_chains(2, 4);
+        let k1 = solve(&MppInstance::new(&d, 1, 3, 2), limits()).unwrap();
+        let k2 = solve(&MppInstance::new(&d, 2, 3, 2), limits()).unwrap();
+        assert_eq!(k1.total, 8, "8 sequential computes");
+        assert_eq!(k2.total, 4, "4 parallel compute steps");
+    }
+
+    #[test]
+    fn communication_chain_needs_two_io_or_restart() {
+        // 0 -> 1 with k=2: optimal is to do it all on one processor
+        // (cost 2), never paying 2g to communicate.
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let sol = solve(&MppInstance::new(&d, 2, 2, 5), limits()).unwrap();
+        assert_eq!(sol.total, 2);
+        assert_eq!(sol.cost.io_steps(), 0);
+    }
+
+    #[test]
+    fn k1_matches_spp_with_compute_costs() {
+        use crate::{solve_spp, SppInstance};
+        let d = generators::binary_in_tree(4);
+        for r in 3..=4 {
+            let mpp = solve(&MppInstance::new(&d, 1, r, 2), limits()).unwrap();
+            let spp = solve_spp(
+                &SppInstance::with_compute(&d, r, 2),
+                SolveLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(mpp.total, spp.total, "r={r}");
+        }
+    }
+
+    #[test]
+    fn more_processors_never_hurt_in_practical_comparison() {
+        // Same r, larger k: OPT can only decrease (§5 practical case).
+        let d = generators::binary_in_tree(4);
+        let k1 = solve(&MppInstance::new(&d, 1, 3, 2), limits()).unwrap();
+        let k2 = solve(&MppInstance::new(&d, 2, 3, 2), limits()).unwrap();
+        assert!(k2.total <= k1.total);
+    }
+
+    #[test]
+    fn witness_validates_and_batches() {
+        let d = generators::independent_chains(2, 3);
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let sol = solve(&inst, limits()).unwrap();
+        let cost = sol.strategy.validate(&inst).unwrap();
+        assert_eq!(cost.total(inst.model), sol.total);
+        assert_eq!(sol.total, 3);
+        // The witness must use full batches to reach cost 3.
+        assert!(sol
+            .strategy
+            .moves
+            .iter()
+            .all(|m| m.batch_size() == 2 || matches!(m, MppMove::Remove(_))));
+    }
+
+    #[test]
+    fn infeasible_and_oversized_rejected() {
+        let d = dag_from_edges(3, &[(0, 2), (1, 2)]);
+        assert!(solve(&MppInstance::new(&d, 2, 2, 1), limits()).is_none());
+        assert!(solve(&MppInstance::new(&d, 5, 3, 1), limits()).is_none());
+        let big = generators::chain(65);
+        assert!(solve(&MppInstance::new(&big, 2, 2, 1), limits()).is_none());
+    }
+
+    #[test]
+    fn empty_dag_is_free() {
+        let d = dag_from_edges(0, &[]);
+        let sol = solve(&MppInstance::new(&d, 2, 1, 1), limits()).unwrap();
+        assert_eq!(sol.total, 0);
+    }
+
+    #[test]
+    fn state_budget_aborts() {
+        let d = generators::grid(3, 3);
+        assert!(solve(
+            &MppInstance::new(&d, 2, 3, 1),
+            SolveLimits { max_states: 5 }
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,299 @@
+//! Post-hoc analysis of MPP strategies: cost decomposition, work balance,
+//! recomputation, and I/O classification (communication vs. capacity).
+//!
+//! The paper (§3.3) notes that MPP I/O arises from two distinct causes:
+//! (i) communicating data between processors, and (ii) spilling to slow
+//! memory to free fast-memory space. [`MppRunStats`] separates the two by
+//! matching each load with the most recent store of the same node.
+
+use std::collections::HashMap;
+
+use rbp_dag::NodeId;
+
+use crate::{Cost, MppInstance, MppMove, MppStrategy, ProcId};
+
+/// Why an I/O transfer happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoClass {
+    /// The value was stored by one processor and loaded by another:
+    /// inter-processor communication through shared memory.
+    Communication,
+    /// The value was stored and later reloaded by the same processor:
+    /// a capacity spill.
+    Spill,
+    /// The value was stored but never reloaded (e.g. an output saved to
+    /// slow memory).
+    StoreOnly,
+}
+
+/// Aggregated statistics of a validated MPP strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MppRunStats {
+    /// Rule-application tally.
+    pub cost: Cost,
+    /// Total cost under the instance's model.
+    pub total: u64,
+    /// Surplus cost (Definition 1).
+    pub surplus: u64,
+    /// Compute steps (R3-M applications).
+    pub compute_steps: u64,
+    /// Node-computations per processor (work distribution).
+    pub work_per_proc: Vec<u64>,
+    /// Total node-computations (Σ work_per_proc).
+    pub total_work: u64,
+    /// Number of distinct nodes computed.
+    pub distinct_computed: u64,
+    /// `total_work − distinct_computed`: node-computations spent on
+    /// recomputation.
+    pub recomputations: u64,
+    /// Pebbles moved per transfer, classified.
+    pub io_transfers: HashMap<IoClass, u64>,
+    /// Average batch size of compute steps (parallel efficiency; `k`
+    /// means perfectly full batches).
+    pub avg_compute_batch: f64,
+    /// Average batch size of I/O steps.
+    pub avg_io_batch: f64,
+}
+
+impl MppRunStats {
+    /// Analyzes a strategy. The strategy must be valid for `instance`
+    /// (validate first; this function only replays move metadata).
+    #[must_use]
+    pub fn analyze(instance: &MppInstance, strategy: &MppStrategy) -> Self {
+        let k = instance.k;
+        let n = instance.dag.n();
+        let mut cost = Cost::zero();
+        let mut work_per_proc = vec![0u64; k];
+        let mut computed = instance.dag.empty_set();
+        let mut distinct = 0u64;
+        let mut compute_batch_total = 0u64;
+        let mut compute_steps = 0u64;
+        let mut io_batch_total = 0u64;
+        let mut io_steps = 0u64;
+
+        // Per-node transfer matching: last store (step, proc) not yet
+        // consumed by a load classification; we classify per (store,load)
+        // pair and count leftover stores as StoreOnly.
+        struct StoreRec {
+            proc: ProcId,
+            loads_by_same: u64,
+            loads_by_other: u64,
+        }
+        let mut open_stores: HashMap<NodeId, Vec<StoreRec>> = HashMap::new();
+
+        for mv in &strategy.moves {
+            match mv {
+                MppMove::Compute(batch) => {
+                    cost.computes += 1;
+                    compute_steps += 1;
+                    compute_batch_total += batch.len() as u64;
+                    for &(p, v) in batch {
+                        work_per_proc[p] += 1;
+                        if computed.insert(v) {
+                            distinct += 1;
+                        }
+                    }
+                }
+                MppMove::Store(batch) => {
+                    cost.stores += 1;
+                    io_steps += 1;
+                    io_batch_total += batch.len() as u64;
+                    for &(p, v) in batch {
+                        open_stores.entry(v).or_default().push(StoreRec {
+                            proc: p,
+                            loads_by_same: 0,
+                            loads_by_other: 0,
+                        });
+                    }
+                }
+                MppMove::Load(batch) => {
+                    cost.loads += 1;
+                    io_steps += 1;
+                    io_batch_total += batch.len() as u64;
+                    for &(p, v) in batch {
+                        if let Some(recs) = open_stores.get_mut(&v) {
+                            if let Some(last) = recs.last_mut() {
+                                if last.proc == p {
+                                    last.loads_by_same += 1;
+                                } else {
+                                    last.loads_by_other += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                MppMove::Remove(_) => {}
+            }
+        }
+
+        let mut io_transfers: HashMap<IoClass, u64> = HashMap::new();
+        for recs in open_stores.values() {
+            for rec in recs {
+                // The store itself plus each matched load count as
+                // transfers of the corresponding class.
+                if rec.loads_by_other > 0 {
+                    *io_transfers.entry(IoClass::Communication).or_default() +=
+                        1 + rec.loads_by_other;
+                    *io_transfers.entry(IoClass::Spill).or_default() += rec.loads_by_same;
+                } else if rec.loads_by_same > 0 {
+                    *io_transfers.entry(IoClass::Spill).or_default() +=
+                        1 + rec.loads_by_same;
+                } else {
+                    *io_transfers.entry(IoClass::StoreOnly).or_default() += 1;
+                }
+            }
+        }
+
+        let total_work: u64 = work_per_proc.iter().sum();
+        let total = cost.total(instance.model);
+        MppRunStats {
+            cost,
+            total,
+            surplus: cost.surplus(instance.model, n, k),
+            compute_steps,
+            work_per_proc,
+            total_work,
+            distinct_computed: distinct,
+            recomputations: total_work - distinct,
+            io_transfers,
+            avg_compute_batch: ratio(compute_batch_total, compute_steps),
+            avg_io_batch: ratio(io_batch_total, io_steps),
+        }
+    }
+
+    /// Work imbalance: max processor work minus mean processor work.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.work_per_proc.is_empty() {
+            return 0.0;
+        }
+        let max = *self.work_per_proc.iter().max().unwrap() as f64;
+        let mean = self.total_work as f64 / self.work_per_proc.len() as f64;
+        max - mean
+    }
+
+    /// Transfers classified as inter-processor communication.
+    #[must_use]
+    pub fn communication_transfers(&self) -> u64 {
+        self.io_transfers
+            .get(&IoClass::Communication)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Transfers classified as capacity spills.
+    #[must_use]
+    pub fn spill_transfers(&self) -> u64 {
+        self.io_transfers.get(&IoClass::Spill).copied().unwrap_or(0)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MppSimulator;
+    use rbp_dag::dag_from_edges;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn communication_is_classified() {
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 3);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.load(vec![(1, v(0))]).unwrap();
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert_eq!(stats.communication_transfers(), 2); // store + load
+        assert_eq!(stats.spill_transfers(), 0);
+        assert_eq!(stats.work_per_proc, vec![1, 1]);
+        assert_eq!(stats.recomputations, 0);
+        assert_eq!(stats.total, 2 * 3 + 2);
+        // n=2, k=2 → unavoidable 1; surplus = total - 1.
+        assert_eq!(stats.surplus, stats.total - 1);
+    }
+
+    #[test]
+    fn spill_is_classified() {
+        // One processor, r=1: compute 0, spill it, compute 1 (indep),
+        // store 1? — simpler: two independent sinks with r=1.
+        let d = dag_from_edges(2, &[]);
+        let inst = MppInstance::new(&d, 1, 1, 2);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap();
+        sim.compute(vec![(0, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        // Store never reloaded → StoreOnly.
+        assert_eq!(
+            stats.io_transfers.get(&IoClass::StoreOnly).copied(),
+            Some(1)
+        );
+        assert_eq!(stats.communication_transfers(), 0);
+    }
+
+    #[test]
+    fn same_proc_reload_counts_as_spill() {
+        let d = dag_from_edges(3, &[(0, 2), (1, 2)]);
+        let inst = MppInstance::new(&d, 1, 3, 2);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap();
+        sim.compute(vec![(0, v(1))]).unwrap();
+        sim.load(vec![(0, v(0))]).unwrap();
+        sim.compute(vec![(0, v(2))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert_eq!(stats.spill_transfers(), 2);
+        assert_eq!(stats.communication_transfers(), 0);
+    }
+
+    #[test]
+    fn recomputation_counted() {
+        let d = dag_from_edges(3, &[(0, 1), (0, 2)]);
+        let inst = MppInstance::new(&d, 1, 2, 10);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.compute(vec![(0, v(1))]).unwrap();
+        sim.store(vec![(0, v(1))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap();
+        sim.remove_red(0, v(1)).unwrap();
+        sim.compute(vec![(0, v(0))]).unwrap(); // recompute source
+        sim.compute(vec![(0, v(2))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert_eq!(stats.total_work, 4);
+        assert_eq!(stats.distinct_computed, 3);
+        assert_eq!(stats.recomputations, 1);
+    }
+
+    #[test]
+    fn batch_averages() {
+        let d = dag_from_edges(4, &[]);
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0)), (1, v(1))]).unwrap();
+        sim.compute(vec![(0, v(2)), (1, v(3))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert_eq!(stats.avg_compute_batch, 2.0);
+        assert_eq!(stats.avg_io_batch, 0.0);
+        assert_eq!(stats.imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,465 @@
+//! MPP strategy representation and the rule-enforcing validator.
+
+use rbp_dag::NodeId;
+
+use crate::{Configuration, Cost, MppInstance, MppMove, Pebble, ProcId};
+
+/// An MPP pebbling strategy: the sequence of rule applications
+/// `(t_1, …, t_T)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MppStrategy {
+    /// The moves, in execution order.
+    pub moves: Vec<MppMove>,
+}
+
+impl MppStrategy {
+    /// Empty strategy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Strategy from a move list.
+    #[must_use]
+    pub fn from_moves(moves: Vec<MppMove>) -> Self {
+        MppStrategy { moves }
+    }
+
+    /// Number of moves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether there are no moves.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Appends a move.
+    pub fn push(&mut self, m: MppMove) {
+        self.moves.push(m);
+    }
+
+    /// Validates against `instance` and returns the cost tally.
+    pub fn validate(&self, instance: &MppInstance) -> Result<Cost, MppError> {
+        validate(instance, &self.moves)
+    }
+}
+
+/// A rule violation found while replaying an MPP strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MppError {
+    /// Index of the offending move (or `moves.len()` for terminal-state
+    /// failures).
+    pub step: usize,
+    /// What went wrong.
+    pub kind: MppErrorKind,
+}
+
+/// The kinds of MPP rule violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MppErrorKind {
+    /// A batch was empty.
+    EmptySelection,
+    /// A processor index is `≥ k`.
+    BadProcessor(ProcId),
+    /// The same processor appears twice in one shaded selection
+    /// (selections are injective).
+    DuplicateProcessor(ProcId),
+    /// The same vertex appears twice in one R1-M/R2-M batch (the rule's
+    /// set semantics make blue-side vertices distinct).
+    DuplicateVertex(NodeId),
+    /// R1-M: processor `proc` holds no red pebble on `node`.
+    StoreWithoutRed {
+        /// The storing processor.
+        proc: ProcId,
+        /// The node it tried to store.
+        node: NodeId,
+    },
+    /// R2-M: `node` holds no blue pebble.
+    LoadWithoutBlue(NodeId),
+    /// R3-M: an input of `node` lacks a red pebble of `proc`'s shade.
+    MissingInput {
+        /// The computing processor.
+        proc: ProcId,
+        /// The node being computed.
+        node: NodeId,
+        /// The missing input.
+        missing: NodeId,
+    },
+    /// Placing a red pebble would exceed processor `proc`'s capacity.
+    MemoryExceeded {
+        /// The overflowing processor.
+        proc: ProcId,
+        /// The capacity.
+        r: usize,
+    },
+    /// Redundant placement (node already holds that exact pebble).
+    AlreadyPebbled(NodeId),
+    /// R4-M applied to a pebble that is not on the board.
+    RemoveAbsent(Pebble),
+    /// After the last move some sink holds no pebble.
+    NotTerminal(NodeId),
+}
+
+impl std::fmt::Display for MppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}: {:?}", self.step, self.kind)
+    }
+}
+
+impl std::error::Error for MppError {}
+
+/// Replays `moves` on `instance`, enforcing every rule, the per-processor
+/// memory bound, and terminality. Returns the cost tally.
+pub fn validate(instance: &MppInstance, moves: &[MppMove]) -> Result<Cost, MppError> {
+    let mut config = Configuration::initial(instance.dag, instance.k);
+    let mut cost = Cost::zero();
+    for (step, mv) in moves.iter().enumerate() {
+        apply_checked(instance, &mut config, mv)
+            .map_err(|kind| MppError { step, kind })?;
+        match mv {
+            MppMove::Store(_) => cost.stores += 1,
+            MppMove::Load(_) => cost.loads += 1,
+            MppMove::Compute(_) => cost.computes += 1,
+            MppMove::Remove(_) => {}
+        }
+    }
+    if let Some(sink) = instance
+        .dag
+        .sinks()
+        .into_iter()
+        .find(|&s| !config.has_pebble(s))
+    {
+        return Err(MppError {
+            step: moves.len(),
+            kind: MppErrorKind::NotTerminal(sink),
+        });
+    }
+    Ok(cost)
+}
+
+/// Applies one move to `config` if legal in `instance`.
+pub(crate) fn apply_checked(
+    instance: &MppInstance,
+    config: &mut Configuration,
+    mv: &MppMove,
+) -> Result<(), MppErrorKind> {
+    let dag = instance.dag;
+    let k = instance.k;
+    let r = instance.r;
+
+    let check_selection =
+        |batch: &[(ProcId, NodeId)], distinct_vertices: bool| -> Result<(), MppErrorKind> {
+            if batch.is_empty() {
+                return Err(MppErrorKind::EmptySelection);
+            }
+            for (i, &(p, v)) in batch.iter().enumerate() {
+                if p >= k {
+                    return Err(MppErrorKind::BadProcessor(p));
+                }
+                for &(p2, v2) in &batch[..i] {
+                    if p2 == p {
+                        return Err(MppErrorKind::DuplicateProcessor(p));
+                    }
+                    if distinct_vertices && v2 == v {
+                        return Err(MppErrorKind::DuplicateVertex(v));
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    match mv {
+        MppMove::Store(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.reds[p].contains(v) {
+                    return Err(MppErrorKind::StoreWithoutRed { proc: p, node: v });
+                }
+                if config.blue.contains(v) {
+                    return Err(MppErrorKind::AlreadyPebbled(v));
+                }
+            }
+            for &(_, v) in batch {
+                config.blue.insert(v);
+            }
+        }
+        MppMove::Load(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.blue.contains(v) {
+                    return Err(MppErrorKind::LoadWithoutBlue(v));
+                }
+                if config.reds[p].contains(v) {
+                    return Err(MppErrorKind::AlreadyPebbled(v));
+                }
+                if config.reds[p].len() + 1 > r {
+                    return Err(MppErrorKind::MemoryExceeded { proc: p, r });
+                }
+            }
+            for &(p, v) in batch {
+                config.reds[p].insert(v);
+            }
+        }
+        MppMove::Compute(batch) => {
+            // Vertices may repeat across processors in R3-M (two shades
+            // may compute the same node simultaneously).
+            check_selection(batch, false)?;
+            for &(p, v) in batch {
+                if config.reds[p].contains(v) {
+                    return Err(MppErrorKind::AlreadyPebbled(v));
+                }
+                if let Some(&missing) =
+                    dag.preds(v).iter().find(|&&u| !config.reds[p].contains(u))
+                {
+                    return Err(MppErrorKind::MissingInput {
+                        proc: p,
+                        node: v,
+                        missing,
+                    });
+                }
+                if config.reds[p].len() + 1 > r {
+                    return Err(MppErrorKind::MemoryExceeded { proc: p, r });
+                }
+            }
+            for &(p, v) in batch {
+                config.reds[p].insert(v);
+                config.computed.insert(v);
+            }
+        }
+        MppMove::Remove(pebble) => match *pebble {
+            Pebble::Red(p, v) => {
+                if p >= k {
+                    return Err(MppErrorKind::BadProcessor(p));
+                }
+                if !config.reds[p].remove(v) {
+                    return Err(MppErrorKind::RemoveAbsent(*pebble));
+                }
+            }
+            Pebble::Blue(v) => {
+                if !config.blue.remove(v) {
+                    return Err(MppErrorKind::RemoveAbsent(*pebble));
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_dag::dag_from_edges;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two independent 2-node chains: 0 -> 1, 2 -> 3.
+    fn two_chains() -> rbp_dag::Dag {
+        dag_from_edges(4, &[(0, 1), (2, 3)])
+    }
+
+    #[test]
+    fn parallel_compute_batches_validate() {
+        let d = two_chains();
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let cost = validate(
+            &inst,
+            &[
+                MppMove::Compute(vec![(0, v(0)), (1, v(2))]),
+                MppMove::Compute(vec![(0, v(1)), (1, v(3))]),
+            ],
+        )
+        .unwrap();
+        // 2 steps total: batching halves the compute cost.
+        assert_eq!(cost.computes, 2);
+        assert_eq!(cost.io_steps(), 0);
+    }
+
+    #[test]
+    fn communication_via_blue_validates() {
+        // Proc 0 computes 0, communicates it to proc 1 via slow memory,
+        // proc 1 computes 1.
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 3);
+        let cost = validate(
+            &inst,
+            &[
+                MppMove::compute1(0, v(0)),
+                MppMove::store1(0, v(0)),
+                MppMove::load1(1, v(0)),
+                MppMove::compute1(1, v(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cost.io_steps(), 2);
+        assert_eq!(cost.total(inst.model), 2 * 3 + 2);
+    }
+
+    #[test]
+    fn shades_are_isolated() {
+        // Proc 1 cannot compute 1 from proc 0's red pebble on 0.
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let err = validate(
+            &inst,
+            &[MppMove::compute1(0, v(0)), MppMove::compute1(1, v(1))],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.kind,
+            MppErrorKind::MissingInput {
+                proc: 1,
+                node: v(1),
+                missing: v(0)
+            }
+        );
+    }
+
+    #[test]
+    fn injective_selection_enforced() {
+        let d = two_chains();
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let err = validate(
+            &inst,
+            &[MppMove::Compute(vec![(0, v(0)), (0, v(2))])],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::DuplicateProcessor(0));
+    }
+
+    #[test]
+    fn load_batch_vertices_must_be_distinct() {
+        let d = two_chains();
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let err = validate(
+            &inst,
+            &[
+                MppMove::compute1(0, v(0)),
+                MppMove::store1(0, v(0)),
+                MppMove::Load(vec![(1, v(0)), (0, v(0))]),
+            ],
+        )
+        .unwrap_err();
+        // Proc 0 already has red on v0 → AlreadyPebbled fires on the
+        // second pair... unless duplicate-vertex fires first.
+        assert!(matches!(
+            err.kind,
+            MppErrorKind::DuplicateVertex(_) | MppErrorKind::AlreadyPebbled(_)
+        ));
+    }
+
+    #[test]
+    fn same_vertex_may_be_computed_by_two_shades_at_once() {
+        // Both processors compute source 0 simultaneously: one R3-M step.
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 2, 1, 1);
+        let cost = validate(&inst, &[MppMove::Compute(vec![(0, v(0)), (1, v(0))])]).unwrap();
+        assert_eq!(cost.computes, 1);
+    }
+
+    #[test]
+    fn per_processor_capacity_enforced() {
+        let d = dag_from_edges(3, &[]);
+        let inst = MppInstance::new(&d, 2, 1, 1);
+        let err = validate(
+            &inst,
+            &[
+                MppMove::compute1(0, v(0)),
+                MppMove::compute1(0, v(1)),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::MemoryExceeded { proc: 0, r: 1 });
+    }
+
+    #[test]
+    fn batch_capacity_checked_per_processor() {
+        // k=2, r=1: batch compute of two different sources is fine
+        // (one new pebble per proc), but a second batch overflows.
+        let d = dag_from_edges(4, &[]);
+        let inst = MppInstance::new(&d, 2, 1, 1);
+        validate(&inst, &[MppMove::Compute(vec![(0, v(0)), (1, v(1))])]).unwrap_err(); // not terminal
+        let err = validate(
+            &inst,
+            &[
+                MppMove::Compute(vec![(0, v(0)), (1, v(1))]),
+                MppMove::Compute(vec![(0, v(2)), (1, v(3))]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, MppErrorKind::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn removals_and_terminality() {
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 1, 1, 1);
+        // Removing the only pebble leaves the sink bare.
+        let err = validate(
+            &inst,
+            &[
+                MppMove::compute1(0, v(0)),
+                MppMove::Remove(Pebble::Red(0, v(0))),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::NotTerminal(v(0)));
+    }
+
+    #[test]
+    fn remove_absent_rejected() {
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 1, 1, 1);
+        let err = validate(&inst, &[MppMove::Remove(Pebble::Blue(v(0)))]).unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::RemoveAbsent(Pebble::Blue(v(0))));
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 1, 1, 1);
+        let err = validate(&inst, &[MppMove::Compute(vec![])]).unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::EmptySelection);
+    }
+
+    #[test]
+    fn bad_processor_rejected() {
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 1, 1, 1);
+        let err = validate(&inst, &[MppMove::compute1(3, v(0))]).unwrap_err();
+        assert_eq!(err.kind, MppErrorKind::BadProcessor(3));
+    }
+
+    #[test]
+    fn store_requires_own_shade() {
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 2, 1, 1);
+        let err = validate(
+            &inst,
+            &[MppMove::compute1(0, v(0)), MppMove::store1(1, v(0))],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.kind,
+            MppErrorKind::StoreWithoutRed { proc: 1, node: v(0) }
+        );
+    }
+
+    #[test]
+    fn k1_mpp_equals_spp_behaviour() {
+        // With k=1 the game degenerates to SPP with compute costs.
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 1, 2, 5);
+        let cost = validate(
+            &inst,
+            &[MppMove::compute1(0, v(0)), MppMove::compute1(0, v(1))],
+        )
+        .unwrap();
+        assert_eq!(cost.total(inst.model), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Exact optimal SPP solver.
+//!
+//! Uniform-cost (Dijkstra) search over game states packed into `u64`
+//! bitmasks. Optimal pebbling is PSPACE-complete in general, so this is
+//! exponential; intended for the small instances that experiments use as
+//! ground truth (`n ≤ ~14` in practice, hard limit 64).
+//!
+//! Two exactness-preserving normalizations shrink the space:
+//!
+//! 1. **Blue pebbles are never deleted.** Slow memory is unlimited and
+//!    deletion is free, so keeping blue pebbles can never hurt.
+//! 2. **Red pebbles are deleted lazily**: a `RemoveRed` transition is only
+//!    generated when fast memory is full. Any strategy can defer each
+//!    deletion to the moment space is actually needed, so some optimal
+//!    strategy survives the restriction.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rbp_dag::NodeId;
+
+use crate::{Cost, SppInstance, SppMove, SppStrategy};
+
+/// Resource limits for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveLimits {
+    /// Abort after settling this many states.
+    pub max_states: usize,
+}
+
+impl Default for SolveLimits {
+    fn default() -> Self {
+        SolveLimits {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// An optimal solution found by [`solve`].
+#[derive(Debug, Clone)]
+pub struct SppSolution {
+    /// The optimal total cost under the instance's cost model.
+    pub total: u64,
+    /// Tally of the optimal strategy's rule applications.
+    pub cost: Cost,
+    /// A witness strategy achieving `total` (validates against the
+    /// instance).
+    pub strategy: SppStrategy,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    red: u64,
+    blue: u64,
+    /// Ever-computed mask; tracked only for the one-shot variant (zero
+    /// otherwise so states collapse).
+    computed: u64,
+}
+
+/// Finds a minimum-total-cost pebbling for `instance`, or `None` if the
+/// instance is infeasible (`r ≤ Δ_in`), the DAG has more than 64 nodes, or
+/// `limits.max_states` was exhausted.
+#[must_use]
+pub fn solve(instance: &SppInstance, limits: SolveLimits) -> Option<SppSolution> {
+    let dag = instance.dag;
+    let n = dag.n();
+    if n > 64 {
+        return None;
+    }
+    if n == 0 {
+        return Some(SppSolution {
+            total: 0,
+            cost: Cost::zero(),
+            strategy: SppStrategy::new(),
+        });
+    }
+    if !instance.is_feasible() {
+        return None;
+    }
+    let r = instance.r;
+    let model = instance.model;
+    let one_shot = instance.variant.one_shot;
+    let no_delete = instance.variant.no_delete;
+
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | bit(*p)))
+        .collect();
+    let sinks_mask: u64 = dag.sinks().iter().fold(0u64, |m, s| m | bit(*s));
+    let start_blue: u64 = if instance.variant.sources_start_blue {
+        dag.sources().iter().fold(0u64, |m, s| m | bit(*s))
+    } else {
+        0
+    };
+    let sinks_need_blue = instance.variant.sinks_need_blue;
+
+    let start = Key {
+        red: 0,
+        blue: start_blue,
+        computed: 0,
+    };
+    let mut dist: HashMap<Key, u64> = HashMap::new();
+    let mut parent: HashMap<Key, (Key, SppMove)> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<u64>, u64, u64, u64)> = BinaryHeap::new();
+    dist.insert(start, 0);
+    heap.push((Reverse(0), start.red, start.blue, start.computed));
+    let mut settled = 0usize;
+
+    while let Some((Reverse(d), red, blue, computed)) = heap.pop() {
+        let key = Key {
+            red,
+            blue,
+            computed,
+        };
+        if dist.get(&key).copied() != Some(d) {
+            continue; // stale heap entry
+        }
+        let terminal = if sinks_need_blue {
+            sinks_mask & !blue == 0
+        } else {
+            sinks_mask & !(red | blue) == 0
+        };
+        if terminal {
+            return Some(reconstruct(instance, &parent, key, d));
+        }
+        settled += 1;
+        if settled > limits.max_states {
+            return None;
+        }
+
+        let red_count = red.count_ones() as usize;
+        let mut push = |nk: Key, nd: u64, mv: SppMove| {
+            if dist.get(&nk).is_none_or(|&old| nd < old) {
+                dist.insert(nk, nd);
+                parent.insert(nk, (key, mv));
+                heap.push((Reverse(nd), nk.red, nk.blue, nk.computed));
+            }
+        };
+
+        if red_count < r {
+            // Compute moves.
+            for i in 0..n {
+                let b = 1u64 << i;
+                if red & b != 0 {
+                    continue;
+                }
+                if preds_mask[i] & !red != 0 {
+                    continue;
+                }
+                if one_shot && computed & b != 0 {
+                    continue;
+                }
+                // Under the Hong–Kung convention, inputs are data.
+                if instance.variant.sources_start_blue && preds_mask[i] == 0 {
+                    continue;
+                }
+                let nk = Key {
+                    red: red | b,
+                    blue,
+                    computed: if one_shot { computed | b } else { 0 },
+                };
+                push(nk, d + model.compute, SppMove::Compute(NodeId::new(i)));
+            }
+            // Load moves.
+            let loadable = blue & !red;
+            for i in iter_bits(loadable) {
+                let nk = Key {
+                    red: red | (1 << i),
+                    blue,
+                    computed,
+                };
+                push(nk, d + model.g, SppMove::Load(NodeId::new(i as usize)));
+            }
+        } else if !no_delete {
+            // At capacity: lazy eviction.
+            for i in iter_bits(red) {
+                let nk = Key {
+                    red: red & !(1 << i),
+                    blue,
+                    computed,
+                };
+                push(nk, d, SppMove::RemoveRed(NodeId::new(i as usize)));
+            }
+        }
+        // Store moves (legal at any occupancy).
+        let storable = red & !blue;
+        for i in iter_bits(storable) {
+            let nk = Key {
+                red,
+                blue: blue | (1 << i),
+                computed,
+            };
+            push(nk, d + model.g, SppMove::Store(NodeId::new(i as usize)));
+        }
+    }
+    // Feasible instances always terminate (the Lemma 1 baseline exists),
+    // unless one-shot recomputation limits bite; report unsolvable.
+    None
+}
+
+fn reconstruct(
+    instance: &SppInstance,
+    parent: &HashMap<Key, (Key, SppMove)>,
+    mut key: Key,
+    total: u64,
+) -> SppSolution {
+    let mut moves = Vec::new();
+    while let Some(&(prev, mv)) = parent.get(&key) {
+        moves.push(mv);
+        key = prev;
+    }
+    moves.reverse();
+    let strategy = SppStrategy::from_moves(moves);
+    let cost = strategy
+        .validate(instance)
+        .expect("solver produced an invalid strategy");
+    debug_assert_eq!(cost.total(instance.model), total);
+    SppSolution {
+        total,
+        cost,
+        strategy,
+    }
+}
+
+#[inline]
+fn bit(v: NodeId) -> u64 {
+    1u64 << v.index()
+}
+
+fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
+}
+
+/// Convenience: the minimum number of I/O steps to pebble `dag` with `r`
+/// red pebbles in the base variant (classical SPP objective).
+#[must_use]
+pub fn min_io(dag: &rbp_dag::Dag, r: usize) -> Option<u64> {
+    let inst = SppInstance::io_only(dag, r, 1);
+    solve(&inst, SolveLimits::default()).map(|s| s.cost.io_steps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, SppVariant};
+    use rbp_dag::{dag_from_edges, generators};
+
+    #[test]
+    fn chain_needs_no_io() {
+        let d = generators::chain(6);
+        let sol = solve(&SppInstance::io_only(&d, 2, 1), SolveLimits::default()).unwrap();
+        assert_eq!(sol.total, 0);
+        assert_eq!(sol.cost.io_steps(), 0);
+    }
+
+    #[test]
+    fn empty_dag_costs_zero() {
+        let d = dag_from_edges(0, &[]);
+        let sol = solve(&SppInstance::io_only(&d, 1, 1), SolveLimits::default()).unwrap();
+        assert_eq!(sol.total, 0);
+        assert!(sol.strategy.is_empty());
+    }
+
+    #[test]
+    fn infeasible_capacity_returns_none() {
+        let d = dag_from_edges(3, &[(0, 2), (1, 2)]);
+        assert!(solve(&SppInstance::io_only(&d, 2, 1), SolveLimits::default()).is_none());
+    }
+
+    #[test]
+    fn too_many_nodes_returns_none() {
+        let d = generators::chain(65);
+        assert!(solve(&SppInstance::io_only(&d, 2, 1), SolveLimits::default()).is_none());
+    }
+
+    #[test]
+    fn with_compute_costs_counts_n_computes_minimum() {
+        // Chain of 5 with ample memory: optimal = 5 computes, no I/O.
+        let d = generators::chain(5);
+        let inst = SppInstance::with_compute(&d, 3, 4);
+        let sol = solve(&inst, SolveLimits::default()).unwrap();
+        assert_eq!(sol.total, 5);
+        assert_eq!(sol.cost.computes, 5);
+    }
+
+    #[test]
+    fn fig1_dag_single_processor_io() {
+        // Figure 1 of the paper: ids v1..v7 -> 0..6.
+        // v1,v2 -> v3; v1,v2 -> v4 is NOT the figure; the figure has two
+        // separate input pairs. Reconstruction:
+        //   v1,v2 -> v3 ; v3 -> v5 ; v4 -> v5 (v4 from its own inputs)
+        // The §1 walkthrough uses 3 red pebbles and needs 4 I/O steps to
+        // pebble v7 (2 around v3/v4 reuse + 2 around v5).
+        // We encode: u1,u2 -> a ; u3,u4 -> b ; a,b -> s.
+        let d = dag_from_edges(7, &[(0, 2), (1, 2), (3, 5), (4, 5), (2, 6), (5, 6)]);
+        let inst = SppInstance::io_only(&d, 3, 1);
+        let sol = solve(&inst, SolveLimits::default()).unwrap();
+        // With r=3: compute a (3 pebbles), store a, free reds, compute b,
+        // load a, compute s → exactly 2 I/O.
+        assert_eq!(sol.total, 2);
+    }
+
+    #[test]
+    fn larger_memory_never_costs_more() {
+        let d = generators::binary_in_tree(4);
+        let mut prev = u64::MAX;
+        for r in 3..=7 {
+            let sol = solve(&SppInstance::io_only(&d, r, 1), SolveLimits::default()).unwrap();
+            assert!(sol.total <= prev, "r={r} worsened the optimum");
+            prev = sol.total;
+        }
+    }
+
+    #[test]
+    fn witness_strategy_validates() {
+        let d = generators::binary_in_tree(4);
+        let inst = SppInstance::with_compute(&d, 3, 2);
+        let sol = solve(&inst, SolveLimits::default()).unwrap();
+        let cost = sol.strategy.validate(&inst).unwrap();
+        assert_eq!(cost.total(inst.model), sol.total);
+    }
+
+    #[test]
+    fn one_shot_at_least_as_expensive_as_base() {
+        let d = generators::binary_in_tree(4);
+        for r in 3..=4 {
+            let base = solve(&SppInstance::io_only(&d, r, 1), SolveLimits::default())
+                .unwrap()
+                .total;
+            let one_shot = solve(
+                &SppInstance {
+                    dag: &d,
+                    r,
+                    model: CostModel::spp_io_only(1),
+                    variant: SppVariant::one_shot(),
+                },
+                SolveLimits::default(),
+            )
+            .unwrap()
+            .total;
+            assert!(one_shot >= base);
+        }
+    }
+
+    #[test]
+    fn no_delete_variant_solves_small_instances() {
+        let d = generators::chain(4);
+        let sol = solve(
+            &SppInstance {
+                dag: &d,
+                r: 4,
+                model: CostModel::spp_io_only(1),
+                variant: SppVariant::no_delete(),
+            },
+            SolveLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.total, 0, "whole chain fits in memory");
+    }
+
+    #[test]
+    fn min_io_convenience() {
+        let d = generators::chain(3);
+        assert_eq!(min_io(&d, 2), Some(0));
+    }
+
+    #[test]
+    fn diamond_with_tight_memory_requires_io() {
+        // Diamond of width 3 with r = 4: all 3 mids + sink need pebbles,
+        // plus the source's pebble is needed while computing mids.
+        let d = generators::diamond(3);
+        let tight = solve(&SppInstance::io_only(&d, 4, 1), SolveLimits::default())
+            .unwrap()
+            .total;
+        let roomy = solve(&SppInstance::io_only(&d, 5, 1), SolveLimits::default())
+            .unwrap()
+            .total;
+        assert_eq!(roomy, 0);
+        assert!(tight <= 2, "recomputation of the free source caps I/O");
+    }
+
+    #[test]
+    fn state_limit_aborts() {
+        let d = generators::binary_in_tree(8);
+        let sol = solve(
+            &SppInstance::io_only(&d, 3, 1),
+            SolveLimits { max_states: 10 },
+        );
+        assert!(sol.is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Single-processor red-blue pebbling (SPP), the classical game of
+//! Hong & Kung, plus the variants catalogued in §3.1 of the paper.
+//!
+//! A game instance is a DAG, a fast-memory capacity `r`, a [`CostModel`],
+//! and a [`SppVariant`]. A strategy is a sequence of [`SppMove`]s; the
+//! validator in [`strategy`] replays it, enforcing all rules, and returns
+//! the rule-application tally.
+
+pub mod exact;
+pub mod moves;
+pub mod oneshot_zero;
+pub mod state;
+pub mod strategy;
+
+pub use exact::{solve as solve_spp, SolveLimits, SppSolution};
+pub use moves::SppMove;
+pub use oneshot_zero::{zero_io_order, zero_io_pebbling_exists};
+pub use state::SppState;
+pub use strategy::{validate, SppError, SppErrorKind, SppStrategy};
+
+use rbp_dag::Dag;
+
+use crate::CostModel;
+
+/// Which SPP variant is being played (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SppVariant {
+    /// One-shot SPP: rule R3-S may be applied at most once per node.
+    pub one_shot: bool,
+    /// No-deletion SPP: rule R4-S is forbidden.
+    pub no_delete: bool,
+    /// Hong–Kung boundary convention: source nodes start with a blue
+    /// pebble (inputs live in slow memory), so sources are *loaded*, not
+    /// computed. §3.1 notes this variant reduces to the base one with
+    /// simple tricks; we support it natively.
+    pub sources_start_blue: bool,
+    /// Hong–Kung boundary convention: sinks specifically need a *blue*
+    /// pebble at the end (outputs must reach slow memory).
+    pub sinks_need_blue: bool,
+}
+
+impl SppVariant {
+    /// The base game: recomputation and deletion both allowed.
+    #[must_use]
+    pub fn base() -> Self {
+        SppVariant::default()
+    }
+
+    /// One-shot SPP (used by Theorem 2 and the approximation literature).
+    #[must_use]
+    pub fn one_shot() -> Self {
+        SppVariant {
+            one_shot: true,
+            ..SppVariant::default()
+        }
+    }
+
+    /// No-deletion SPP (Demaine & Liu's NP-complete variant).
+    #[must_use]
+    pub fn no_delete() -> Self {
+        SppVariant {
+            no_delete: true,
+            ..SppVariant::default()
+        }
+    }
+
+    /// The original Hong–Kung convention: inputs start blue, outputs
+    /// must end blue.
+    #[must_use]
+    pub fn hong_kung() -> Self {
+        SppVariant {
+            sources_start_blue: true,
+            sinks_need_blue: true,
+            ..SppVariant::default()
+        }
+    }
+}
+
+/// An SPP problem instance: pebble `dag` with at most `r` red pebbles.
+#[derive(Debug, Clone, Copy)]
+pub struct SppInstance<'a> {
+    /// The computational DAG to pebble.
+    pub dag: &'a Dag,
+    /// Fast memory capacity (maximum simultaneous red pebbles).
+    pub r: usize,
+    /// Rule costs.
+    pub model: CostModel,
+    /// Game variant.
+    pub variant: SppVariant,
+}
+
+impl<'a> SppInstance<'a> {
+    /// Base-variant instance with the classical I/O-only objective.
+    #[must_use]
+    pub fn io_only(dag: &'a Dag, r: usize, g: u64) -> Self {
+        SppInstance {
+            dag,
+            r,
+            model: CostModel::spp_io_only(g),
+            variant: SppVariant::base(),
+        }
+    }
+
+    /// Instance with computation costs (the Lemma 11 setting).
+    #[must_use]
+    pub fn with_compute(dag: &'a Dag, r: usize, g: u64) -> Self {
+        SppInstance {
+            dag,
+            r,
+            model: CostModel::mpp(g),
+            variant: SppVariant::base(),
+        }
+    }
+
+    /// Whether a valid pebbling can exist at all: requires
+    /// `r ≥ Δ_in + 1` (§4, "straightforward bounds").
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.r > self.dag.max_in_degree() && (self.dag.n() == 0 || self.r >= 1)
+    }
+}

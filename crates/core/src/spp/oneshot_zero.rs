@@ -1,0 +1,222 @@
+//! The Theorem 2 decision procedure: does one-shot SPP admit a
+//! **zero-cost** pebbling?
+//!
+//! In a cost-0 one-shot pebbling no I/O rule can ever fire, so blue
+//! pebbles are unusable, recomputation is forbidden, and a red pebble is
+//! deleted exactly when all successors of its node have been computed
+//! (sinks are never deleted — they are the outputs). A pebbling is then
+//! fully characterized by the order of the `n` compute steps, and a
+//! zero-cost pebbling with capacity `r` exists iff some topological order
+//! keeps the live set (plus the node being placed) within `r` at every
+//! step. This module decides that by best-first search on the bottleneck
+//! peak over downward-closed computed sets, and returns a witness order.
+//!
+//! This is exactly the problem the paper's clique reduction (Theorem 2,
+//! Figures 3–4) proves NP-hard, so exponential time here is expected; the
+//! DP is exact for `n ≤ 64` and fast when `r` prunes aggressively.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rbp_dag::{Dag, NodeId};
+
+/// Whether a zero-cost one-shot pebbling with `r` red pebbles exists.
+///
+/// Returns `None` when `dag` has more than 64 nodes.
+#[must_use]
+pub fn zero_io_pebbling_exists(dag: &Dag, r: usize) -> Option<bool> {
+    zero_io_order(dag, r).map(|w| w.is_some())
+}
+
+/// Finds a compute order witnessing a zero-cost one-shot pebbling with
+/// `r` red pebbles, or `None` inner value if no such pebbling exists.
+///
+/// Outer `None` when the DAG exceeds 64 nodes.
+#[must_use]
+pub fn zero_io_order(dag: &Dag, r: usize) -> Option<Option<Vec<NodeId>>> {
+    let n = dag.n();
+    if n > 64 {
+        return None;
+    }
+    if n == 0 {
+        return Some(Some(Vec::new()));
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | (1u64 << p.index())))
+        .collect();
+    let succs_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| dag.succs(v).iter().fold(0u64, |m, p| m | (1u64 << p.index())))
+        .collect();
+    let live_count = |mask: u64| -> u32 {
+        let mut live = 0u32;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if succs_mask[i] == 0 || succs_mask[i] & !mask != 0 {
+                live += 1;
+            }
+        }
+        live
+    };
+
+    let mut best: HashMap<u64, u32> = HashMap::new();
+    let mut parent: HashMap<u64, (u64, NodeId)> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<u32>, u64)> = BinaryHeap::new();
+    best.insert(0, 0);
+    heap.push((Reverse(0), 0));
+    while let Some((Reverse(peak), mask)) = heap.pop() {
+        if best.get(&mask).copied() != Some(peak) {
+            continue;
+        }
+        if peak as usize > r {
+            // Bottleneck already too large; everything later is worse.
+            return Some(None);
+        }
+        if mask == full {
+            // Reconstruct the witness order.
+            let mut order = Vec::with_capacity(n);
+            let mut cur = full;
+            while let Some(&(prev, v)) = parent.get(&cur) {
+                order.push(v);
+                cur = prev;
+            }
+            order.reverse();
+            return Some(Some(order));
+        }
+        // Peak while placing any node i: all still-needed values plus i.
+        // Predecessors of i are live in `mask` (i is uncomputed), so
+        // live(mask) ∪ {i} is the instantaneous requirement.
+        let during = live_count(mask) + 1;
+        for i in 0..n {
+            let b = 1u64 << i;
+            if mask & b != 0 || preds_mask[i] & !mask != 0 {
+                continue;
+            }
+            let new_mask = mask | b;
+            // After placing, some preds may die; the lasting requirement
+            // is live(new_mask) ≤ during, so `during` dominates.
+            let new_peak = peak.max(during);
+            if new_peak as usize <= r
+                && best.get(&new_mask).is_none_or(|&p| new_peak < p)
+            {
+                best.insert(new_mask, new_peak);
+                parent.insert(new_mask, (mask, NodeId::new(i)));
+                heap.push((Reverse(new_peak), new_mask));
+            }
+        }
+    }
+    Some(None)
+}
+
+/// Converts a witness order into an explicit one-shot SPP strategy
+/// (computes plus the forced deletions), suitable for the validator.
+#[must_use]
+pub fn order_to_strategy(dag: &Dag, order: &[NodeId]) -> crate::SppStrategy {
+    use crate::SppMove;
+    let n = dag.n();
+    let mut remaining_uses: Vec<usize> = dag.nodes().map(|v| dag.out_degree(v)).collect();
+    let mut moves = Vec::with_capacity(2 * n);
+    for &v in order {
+        moves.push(SppMove::Compute(v));
+        for &p in dag.preds(v) {
+            remaining_uses[p.index()] -= 1;
+            if remaining_uses[p.index()] == 0 && dag.out_degree(p) > 0 {
+                moves.push(SppMove::RemoveRed(p));
+            }
+        }
+    }
+    crate::SppStrategy::from_moves(moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, SppInstance, SppVariant};
+    use rbp_dag::{dag_from_edges, generators};
+
+    #[test]
+    fn chain_pebbles_with_two() {
+        let d = generators::chain(10);
+        assert_eq!(zero_io_pebbling_exists(&d, 2), Some(true));
+        assert_eq!(zero_io_pebbling_exists(&d, 1), Some(false));
+    }
+
+    #[test]
+    fn diamond_needs_width_plus_one() {
+        let d = generators::diamond(4);
+        assert_eq!(zero_io_pebbling_exists(&d, 5), Some(true));
+        assert_eq!(zero_io_pebbling_exists(&d, 4), Some(false));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = dag_from_edges(0, &[]);
+        assert_eq!(zero_io_order(&d, 0), Some(Some(vec![])));
+    }
+
+    #[test]
+    fn witness_order_is_topological_and_tight() {
+        let d = generators::binary_in_tree(4);
+        let order = zero_io_order(&d, 4).unwrap().expect("feasible at r=4");
+        assert_eq!(order.len(), d.n());
+        // Check topological validity.
+        let mut seen = d.empty_set();
+        for &v in &order {
+            for &p in d.preds(v) {
+                assert!(seen.contains(p), "order violates dependency");
+            }
+            seen.insert(v);
+        }
+    }
+
+    #[test]
+    fn witness_converts_to_valid_zero_cost_strategy() {
+        let d = generators::binary_in_tree(4);
+        let order = zero_io_order(&d, 4).unwrap().unwrap();
+        let strat = order_to_strategy(&d, &order);
+        let inst = SppInstance {
+            dag: &d,
+            r: 4,
+            model: CostModel::spp_io_only(1),
+            variant: SppVariant::one_shot(),
+        };
+        let cost = strat.validate(&inst).unwrap();
+        assert_eq!(cost.io_steps(), 0);
+        assert_eq!(cost.computes as usize, d.n());
+    }
+
+    #[test]
+    fn threshold_matches_min_peak_memory() {
+        // The decision threshold must agree with the exact DP in rbp-dag.
+        for (name, d) in [
+            ("tree", generators::binary_in_tree(8)),
+            ("grid", generators::grid(3, 3)),
+            ("fft", generators::fft(2)),
+            ("diamond", generators::diamond(5)),
+        ] {
+            let peak = rbp_dag::min_peak_memory(&d, 64).unwrap();
+            assert_eq!(
+                zero_io_pebbling_exists(&d, peak),
+                Some(true),
+                "{name}: feasible at its own peak"
+            );
+            if peak > 0 {
+                assert_eq!(
+                    zero_io_pebbling_exists(&d, peak - 1),
+                    Some(false),
+                    "{name}: infeasible below the peak"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_dag_returns_none() {
+        let d = generators::chain(65);
+        assert_eq!(zero_io_pebbling_exists(&d, 2), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Lemma 5 machinery: simulating an MPP strategy on a single processor.
+//!
+//! Any `k`-processor strategy with per-processor memory `r` can be
+//! executed by one processor with fast memory `k·r`: keep the union of
+//! all shades in the single fast memory (with reference counts for
+//! multiply-shaded nodes) and expand each parallel rule into at most `k`
+//! sequential rules. Consequently an SPP I/O lower bound `L` at memory
+//! `k·r` implies an MPP I/O-step lower bound `L/k` (Lemma 5) and a total
+//! cost bound `g·L/k + n/k` (Corollary 1) — `rbp-bounds` applies this;
+//! here we provide the constructive direction used to *test* it.
+
+use std::collections::HashMap;
+
+use rbp_dag::NodeId;
+
+use crate::{
+    MppInstance, MppMove, MppStrategy, Pebble, SppInstance, SppMove, SppStrategy, SppVariant,
+};
+
+/// Compiles an MPP strategy into an SPP strategy on fast memory `k·r`.
+///
+/// The result validates against `SppInstance { r: k·r, … }` and uses at
+/// most `k` SPP I/O moves per MPP I/O step (the Lemma 5 simulation). The
+/// input strategy itself is assumed valid for `instance` (validate it
+/// first).
+#[must_use]
+pub fn mpp_to_spp(instance: &MppInstance, strategy: &MppStrategy) -> SppStrategy {
+    // refcount[v] = number of shades currently holding a red pebble on v.
+    // The SPP red set is exactly {v : refcount[v] > 0}; SPP moves are
+    // emitted on 0→1 and 1→0 transitions.
+    let mut refcount: HashMap<NodeId, usize> = HashMap::new();
+    let mut blue = instance.dag.empty_set();
+    let mut out = Vec::new();
+
+    let add_red = |v: NodeId,
+                       out: &mut Vec<SppMove>,
+                       blue: &rbp_dag::NodeSet,
+                       refcount: &mut HashMap<NodeId, usize>,
+                       via_compute: bool| {
+        let c = refcount.entry(v).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            if via_compute {
+                out.push(SppMove::Compute(v));
+            } else {
+                debug_assert!(blue.contains(v));
+                out.push(SppMove::Load(v));
+            }
+        }
+    };
+
+    for mv in &strategy.moves {
+        match mv {
+            MppMove::Compute(batch) => {
+                for &(_, v) in batch {
+                    // A node computed simultaneously by several shades
+                    // only needs one SPP compute; further shades just
+                    // bump the refcount.
+                    add_red(v, &mut out, &blue, &mut refcount, true);
+                }
+            }
+            MppMove::Load(batch) => {
+                for &(_, v) in batch {
+                    add_red(v, &mut out, &blue, &mut refcount, false);
+                }
+            }
+            MppMove::Store(batch) => {
+                for &(_, v) in batch {
+                    if blue.insert(v) {
+                        out.push(SppMove::Store(v));
+                    }
+                }
+            }
+            MppMove::Remove(Pebble::Red(_, v)) => {
+                let c = refcount.get_mut(v).expect("removing untracked red");
+                *c -= 1;
+                if *c == 0 {
+                    refcount.remove(v);
+                    out.push(SppMove::RemoveRed(*v));
+                }
+            }
+            MppMove::Remove(Pebble::Blue(v)) => {
+                if blue.remove(*v) {
+                    out.push(SppMove::RemoveBlue(*v));
+                }
+            }
+        }
+    }
+    SppStrategy::from_moves(out)
+}
+
+/// The SPP instance on which [`mpp_to_spp`] output validates: same DAG
+/// and cost model, fast memory `k·r`, base variant.
+#[must_use]
+pub fn simulation_instance<'a>(instance: &MppInstance<'a>) -> SppInstance<'a> {
+    SppInstance {
+        dag: instance.dag,
+        r: instance.k * instance.r,
+        model: instance.model,
+        variant: SppVariant::base(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate_mpp, MppSimulator};
+    use rbp_dag::{dag_from_edges, generators};
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn communication_pattern_translates() {
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 3);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.load(vec![(1, v(0))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap();
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let mpp_cost = validate_mpp(&inst, &run.strategy.moves).unwrap();
+
+        let spp = mpp_to_spp(&inst, &run.strategy);
+        let spp_inst = simulation_instance(&inst);
+        assert_eq!(spp_inst.r, 4);
+        let spp_cost = spp.validate(&spp_inst).unwrap();
+        // Lemma 5 accounting: SPP I/O moves ≤ k × MPP I/O steps.
+        assert!(spp_cost.io_steps() <= inst.k as u64 * mpp_cost.io_steps());
+    }
+
+    #[test]
+    fn batched_moves_expand_to_at_most_k_sequential_moves() {
+        let d = generators::independent_chains(2, 3);
+        let inst = MppInstance::new(&d, 2, 2, 2);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0)), (1, v(3))]).unwrap();
+        sim.compute(vec![(0, v(1)), (1, v(4))]).unwrap();
+        sim.store(vec![(0, v(0)), (1, v(3))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap();
+        sim.remove_red(1, v(3)).unwrap();
+        sim.compute(vec![(0, v(2)), (1, v(5))]).unwrap();
+        let run = sim.finish().unwrap();
+        let mpp_cost = validate_mpp(&inst, &run.strategy.moves).unwrap();
+
+        let spp = mpp_to_spp(&inst, &run.strategy);
+        let spp_cost = spp.validate(&simulation_instance(&inst)).unwrap();
+        assert!(spp_cost.io_steps() <= 2 * mpp_cost.io_steps());
+        assert_eq!(spp_cost.computes, 6);
+    }
+
+    #[test]
+    fn duplicate_shade_computes_collapse() {
+        // Both procs compute the same source in one step → one SPP
+        // compute, refcounted removals.
+        let d = dag_from_edges(1, &[]);
+        let inst = MppInstance::new(&d, 2, 1, 1);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0)), (1, v(0))]).unwrap();
+        let run = sim.finish().unwrap();
+        let spp = mpp_to_spp(&inst, &run.strategy);
+        assert_eq!(spp.moves, vec![SppMove::Compute(v(0))]);
+    }
+
+    #[test]
+    fn refcounted_removal_keeps_shared_value() {
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 1);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0)), (1, v(0))]).unwrap();
+        sim.remove_red(0, v(0)).unwrap(); // shade 0 drops; shade 1 keeps
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let spp = mpp_to_spp(&inst, &run.strategy);
+        // No RemoveRed emitted between the computes.
+        assert_eq!(
+            spp.moves,
+            vec![SppMove::Compute(v(0)), SppMove::Compute(v(1))]
+        );
+        spp.validate(&simulation_instance(&inst)).unwrap();
+    }
+
+    #[test]
+    fn memory_bound_kr_suffices_on_random_strategy() {
+        // A dense little DAG exercised by the exact solver's witness.
+        let d = generators::binary_in_tree(4);
+        let inst = MppInstance::new(&d, 2, 3, 2);
+        let sol = crate::solve_mpp(&inst, crate::SolveLimits::default()).unwrap();
+        let spp = mpp_to_spp(&inst, &sol.strategy);
+        spp.validate(&simulation_instance(&inst)).unwrap();
+    }
+}

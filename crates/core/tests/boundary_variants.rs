@@ -1,0 +1,156 @@
+//! The §3.1 boundary-convention variants: sources start blue (inputs in
+//! slow memory) and/or sinks must end blue (outputs written back) — the
+//! original Hong–Kung setting.
+
+use rbp_core::{
+    solve_spp, CostModel, SolveLimits, SppInstance, SppMove, SppState, SppVariant,
+};
+use rbp_dag::{dag_from_edges, generators, NodeId};
+
+fn v(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+fn instance<'a>(
+    dag: &'a rbp_dag::Dag,
+    r: usize,
+    g: u64,
+    variant: SppVariant,
+) -> SppInstance<'a> {
+    SppInstance {
+        dag,
+        r,
+        model: CostModel::spp_io_only(g),
+        variant,
+    }
+}
+
+#[test]
+fn initial_state_has_blue_sources() {
+    let dag = dag_from_edges(3, &[(0, 2), (1, 2)]);
+    let s = SppState::initial_for(&dag, SppVariant::hong_kung());
+    assert!(s.blue.contains(v(0)));
+    assert!(s.blue.contains(v(1)));
+    assert!(!s.blue.contains(v(2)));
+    let base = SppState::initial_for(&dag, SppVariant::base());
+    assert!(base.blue.is_empty());
+}
+
+#[test]
+fn sources_can_be_loaded_instead_of_computed() {
+    let dag = dag_from_edges(2, &[(0, 1)]);
+    let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
+    let cost = rbp_core::spp::strategy::validate(
+        &inst,
+        &[
+            SppMove::Load(v(0)),
+            SppMove::Compute(v(1)),
+            SppMove::Store(v(1)),
+        ],
+    )
+    .unwrap();
+    assert_eq!(cost.loads, 1);
+    assert_eq!(cost.stores, 1);
+    assert_eq!(cost.computes, 1);
+}
+
+#[test]
+fn sinks_need_blue_rejects_red_only_terminal() {
+    let dag = dag_from_edges(2, &[(0, 1)]);
+    let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
+    let err = rbp_core::spp::strategy::validate(
+        &inst,
+        &[SppMove::Load(v(0)), SppMove::Compute(v(1))],
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err.kind,
+        rbp_core::spp::SppErrorKind::NotTerminal(_)
+    ));
+}
+
+#[test]
+fn blue_source_that_is_also_a_sink_is_already_done() {
+    let dag = dag_from_edges(1, &[]);
+    let inst = instance(&dag, 1, 1, SppVariant::hong_kung());
+    let cost = rbp_core::spp::strategy::validate(&inst, &[]).unwrap();
+    assert_eq!(cost, rbp_core::Cost::zero());
+}
+
+#[test]
+fn sources_are_data_not_computable() {
+    let dag = dag_from_edges(2, &[(0, 1)]);
+    let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
+    let err =
+        rbp_core::spp::strategy::validate(&inst, &[SppMove::Compute(v(0))]).unwrap_err();
+    assert_eq!(
+        err.kind,
+        rbp_core::spp::SppErrorKind::SourceNotComputable(v(0))
+    );
+}
+
+#[test]
+fn exact_solver_chain_under_hong_kung() {
+    // Chain of 3: load input (g), compute the middle and the sink, store
+    // the sink (g) — minimum I/O is 2.
+    let dag = generators::chain(3);
+    let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
+    let sol = solve_spp(&inst, SolveLimits::default()).unwrap();
+    assert_eq!(sol.cost.io_steps(), 2);
+    assert_eq!(sol.cost.computes, 2, "the source is loaded, not computed");
+    // The witness validates under the same variant.
+    assert!(sol.strategy.validate(&inst).is_ok());
+}
+
+#[test]
+fn exact_solver_base_vs_hong_kung_costs() {
+    // Base variant: everything computable for free, no forced writes.
+    let dag = generators::chain(3);
+    let base = solve_spp(
+        &instance(&dag, 2, 1, SppVariant::base()),
+        SolveLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(base.cost.io_steps(), 0);
+    let hk = solve_spp(
+        &instance(&dag, 2, 1, SppVariant::hong_kung()),
+        SolveLimits::default(),
+    )
+    .unwrap();
+    assert!(hk.cost.io_steps() > base.cost.io_steps());
+}
+
+#[test]
+fn hong_kung_fft_bound_sanity() {
+    // On the 4-point FFT with s = 3, the exact Hong–Kung-variant minimum
+    // I/O is at least inputs + outputs = 8 (every input loaded, every
+    // output stored).
+    let dag = generators::fft(2);
+    let inst = instance(&dag, 3, 1, SppVariant::hong_kung());
+    let sol = solve_spp(&inst, SolveLimits { max_states: 4_000_000 }).unwrap();
+    assert!(
+        sol.cost.io_steps() >= 8,
+        "io {} below the trivial input/output bound",
+        sol.cost.io_steps()
+    );
+}
+
+#[test]
+fn sources_start_blue_alone_and_sinks_blue_alone() {
+    let dag = generators::chain(2);
+    // Only sources blue: no store needed at the end.
+    let only_sources = SppVariant {
+        sources_start_blue: true,
+        ..SppVariant::default()
+    };
+    let sol = solve_spp(&instance(&dag, 2, 1, only_sources), SolveLimits::default()).unwrap();
+    assert_eq!(sol.cost.stores, 0);
+    // Only sinks blue: source computed for free, one store at the end.
+    let only_sinks = SppVariant {
+        sinks_need_blue: true,
+        ..SppVariant::default()
+    };
+    let sol2 = solve_spp(&instance(&dag, 2, 1, only_sinks), SolveLimits::default()).unwrap();
+    assert_eq!(sol2.cost.stores, 1);
+    assert_eq!(sol2.cost.loads, 0);
+}

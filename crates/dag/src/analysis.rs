@@ -1,0 +1,283 @@
+//! Structural analyses used by bounds and experiment reports.
+
+use crate::{Dag, NodeId, NodeSet};
+
+/// Summary statistics of a DAG, printed in experiment headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Number of source nodes.
+    pub sources: usize,
+    /// Number of sink nodes.
+    pub sinks: usize,
+    /// Maximum in-degree Δ_in.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of levels (longest path + 1).
+    pub depth: usize,
+    /// Maximum level width.
+    pub max_level_width: usize,
+}
+
+impl DagStats {
+    /// Computes all statistics for `dag`.
+    #[must_use]
+    pub fn compute(dag: &Dag) -> Self {
+        let topo = dag.topo();
+        DagStats {
+            n: dag.n(),
+            m: dag.m(),
+            sources: dag.sources().len(),
+            sinks: dag.sinks().len(),
+            max_in_degree: dag.max_in_degree(),
+            max_out_degree: dag.max_out_degree(),
+            depth: topo.depth(),
+            max_level_width: topo.max_level_width(),
+        }
+    }
+}
+
+impl std::fmt::Display for DagStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} sources={} sinks={} Δin={} Δout={} depth={} width={}",
+            self.n,
+            self.m,
+            self.sources,
+            self.sinks,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.depth,
+            self.max_level_width
+        )
+    }
+}
+
+/// The *live set* of a downward-closed computed set `s`: members that still
+/// have at least one uncomputed successor, plus computed sinks.
+///
+/// In a zero-I/O one-shot pebbling these are exactly the nodes that must
+/// hold red pebbles once `s` has been computed: a value is dead only when
+/// every consumer has been computed, and sink values must be retained as
+/// outputs. This function drives the Theorem 2 decision procedure in
+/// `rbp-core`.
+#[must_use]
+pub fn live_set(dag: &Dag, computed: &NodeSet) -> NodeSet {
+    let mut live = dag.empty_set();
+    for v in computed.iter() {
+        let needed = dag.out_degree(v) == 0
+            || dag.succs(v).iter().any(|&s| !computed.contains(s));
+        if needed {
+            live.insert(v);
+        }
+    }
+    live
+}
+
+/// Minimum possible peak size of the live set over all topological orders,
+/// computed exactly by DP over downward-closed subsets.
+///
+/// This equals the minimum number of red pebbles needed to pebble the DAG
+/// with compute and delete moves only (no I/O, no recomputation) — the
+/// one-shot black-pebbling number. Exponential in `n`; intended for
+/// `n ≤ ~22`.
+///
+/// Returns `None` if `n` exceeds `max_n` (guard against accidental blowup).
+#[must_use]
+pub fn min_peak_memory(dag: &Dag, max_n: usize) -> Option<usize> {
+    let n = dag.n();
+    if n > max_n || n > 30 {
+        return None;
+    }
+    use std::collections::HashMap;
+    // State: bitmask of computed nodes (downward-closed by construction).
+    // Value: minimal achievable peak of |live ∪ {next}| over the remaining
+    // completion. We search forward with Dijkstra-style best-first on the
+    // bottleneck cost.
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| {
+            dag.preds(v)
+                .iter()
+                .fold(0u64, |m, p| m | (1u64 << p.index()))
+        })
+        .collect();
+    let succs_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| {
+            dag.succs(v)
+                .iter()
+                .fold(0u64, |m, p| m | (1u64 << p.index()))
+        })
+        .collect();
+    let live_of = |mask: u64| -> u64 {
+        let mut live = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            // Live if sink or has uncomputed successor.
+            if succs_mask[i] == 0 || succs_mask[i] & !mask != 0 {
+                live |= 1u64 << i;
+            }
+        }
+        live
+    };
+
+    // Best-first search over (bottleneck, mask).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut best: HashMap<u64, usize> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<usize>, u64)> = BinaryHeap::new();
+    best.insert(0, 0);
+    heap.push((Reverse(0), 0));
+    while let Some((Reverse(peak), mask)) = heap.pop() {
+        if mask == full {
+            return Some(peak);
+        }
+        if best.get(&mask).copied().unwrap_or(usize::MAX) < peak {
+            continue;
+        }
+        let live = live_of(mask);
+        // Try computing each ready node.
+        for i in 0..n {
+            let bit = 1u64 << i;
+            if mask & bit != 0 || preds_mask[i] & !mask != 0 {
+                continue;
+            }
+            let new_mask = mask | bit;
+            // During the step, node i plus the still-needed values are
+            // pebbled: peak candidate = |live ∪ {i}| (preds of i are in
+            // live since i was uncomputed).
+            let during = (live | bit).count_ones() as usize;
+            let new_peak = peak.max(during);
+            if best
+                .get(&new_mask)
+                .is_none_or(|&b| new_peak < b)
+            {
+                best.insert(new_mask, new_peak);
+                heap.push((Reverse(new_peak), new_mask));
+            }
+        }
+    }
+    // Dag is acyclic so completion is always possible.
+    unreachable!("DAG must be completable")
+}
+
+/// A maximum antichain computed exactly for small DAGs via the
+/// Mirsky/greedy fallback: here we return the maximum *level* width, which
+/// is a lower bound on the true maximum antichain (all nodes on one level
+/// are pairwise incomparable).
+#[must_use]
+pub fn level_antichain(dag: &Dag) -> Vec<NodeId> {
+    let topo = dag.topo();
+    let levels = topo.levels();
+    levels
+        .into_iter()
+        .max_by_key(Vec::len)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::dag_from_edges;
+
+    fn diamond() -> Dag {
+        dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn stats_of_diamond() {
+        let s = DagStats::compute(&diamond());
+        assert_eq!(
+            s,
+            DagStats {
+                n: 4,
+                m: 4,
+                sources: 1,
+                sinks: 1,
+                max_in_degree: 2,
+                max_out_degree: 2,
+                depth: 3,
+                max_level_width: 2,
+            }
+        );
+        assert!(s.to_string().contains("Δin=2"));
+    }
+
+    #[test]
+    fn live_set_diamond() {
+        let d = diamond();
+        // After computing {0}: 0 is live (successors 1,2 uncomputed).
+        let live = live_set(&d, &NodeSet::from_iter(4, [NodeId(0)]));
+        assert_eq!(live.len(), 1);
+        // After {0,1,2}: 0 dead, 1 and 2 live.
+        let live = live_set(
+            &d,
+            &NodeSet::from_iter(4, [NodeId(0), NodeId(1), NodeId(2)]),
+        );
+        assert_eq!(
+            live.iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
+        // Fully computed: only the sink is live (it is the output).
+        let live = live_set(&d, &NodeSet::full(4));
+        assert_eq!(live.iter().collect::<Vec<_>>(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn min_peak_memory_chain() {
+        // A chain needs 2 pebbles: one on the current node, one on the next.
+        let d = dag_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(min_peak_memory(&d, 30), Some(2));
+    }
+
+    #[test]
+    fn min_peak_memory_diamond() {
+        // Diamond: computing 3 requires 1, 2, 3 pebbled simultaneously.
+        assert_eq!(min_peak_memory(&diamond(), 30), Some(3));
+    }
+
+    #[test]
+    fn min_peak_memory_single_node() {
+        assert_eq!(min_peak_memory(&dag_from_edges(1, &[]), 30), Some(1));
+    }
+
+    #[test]
+    fn min_peak_memory_binary_inner_tree() {
+        // In-tree of 7 nodes (two levels of joins): computing the second
+        // join requires {first join, both its leaves, itself} pebbled at
+        // once — 4 pebbles (no "sliding" in rule R3).
+        let d = dag_from_edges(
+            7,
+            &[(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)],
+        );
+        assert_eq!(min_peak_memory(&d, 30), Some(4));
+    }
+
+    #[test]
+    fn min_peak_memory_respects_guard() {
+        let d = dag_from_edges(5, &[(0, 1)]);
+        assert_eq!(min_peak_memory(&d, 3), None);
+    }
+
+    #[test]
+    fn level_antichain_of_two_layer() {
+        let d = dag_from_edges(5, &[(0, 4), (1, 4), (2, 4), (3, 4)]);
+        assert_eq!(level_antichain(&d).len(), 4);
+    }
+
+    #[test]
+    fn independent_nodes_peak_is_n() {
+        // k independent sinks must all be retained: peak = n.
+        let d = dag_from_edges(3, &[]);
+        assert_eq!(min_peak_memory(&d, 30), Some(3));
+    }
+}

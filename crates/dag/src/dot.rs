@@ -1,0 +1,116 @@
+//! Graphviz DOT export, used to regenerate the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::{Dag, NodeId};
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Rank nodes by topological level (`rankdir=BT` towers like Fig. 3/4).
+    pub rank_by_level: bool,
+    /// Extra per-node attributes, e.g. coloring by gadget role.
+    pub node_attrs: Vec<(NodeId, String)>,
+}
+
+/// Renders the DAG in Graphviz DOT syntax.
+///
+/// Node names are `v<i>`; labels from the builder are used when present.
+#[must_use]
+pub fn to_dot(dag: &Dag, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(dag.name()));
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in dag.nodes() {
+        let label = dag.label(v);
+        let mut attrs = String::new();
+        if !label.is_empty() {
+            let _ = write!(attrs, "label=\"{}\"", escape(label));
+        }
+        for (node, extra) in &opts.node_attrs {
+            if *node == v {
+                if !attrs.is_empty() {
+                    attrs.push_str(", ");
+                }
+                attrs.push_str(extra);
+            }
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  v{};", v.0);
+        } else {
+            let _ = writeln!(out, "  v{} [{}];", v.0, attrs);
+        }
+    }
+    for (u, v) in dag.edges() {
+        let _ = writeln!(out, "  v{} -> v{};", u.0, v.0);
+    }
+    if opts.rank_by_level {
+        let topo = dag.topo();
+        for level in topo.levels() {
+            let names: Vec<String> = level.iter().map(|v| format!("v{}", v.0)).collect();
+            let _ = writeln!(out, "  {{ rank=same; {}; }}", names.join("; "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::dag_from_edges;
+    use crate::DagBuilder;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let d = dag_from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = to_dot(&d, &DotOptions::default());
+        assert!(dot.contains("v0 -> v1;"));
+        assert!(dot.contains("v1 -> v2;"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_includes_labels_and_name() {
+        let mut b = DagBuilder::new();
+        let a = b.add_labeled_node("u\"1\"");
+        let c = b.add_node();
+        b.add_edge(a, c);
+        b.name("fig1");
+        let d = b.build().unwrap();
+        let dot = to_dot(&d, &DotOptions::default());
+        assert!(dot.contains("digraph \"fig1\""));
+        assert!(dot.contains("label=\"u\\\"1\\\"\""));
+    }
+
+    #[test]
+    fn rank_by_level_emits_rank_groups() {
+        let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dot = to_dot(
+            &d,
+            &DotOptions {
+                rank_by_level: true,
+                node_attrs: vec![],
+            },
+        );
+        assert!(dot.contains("rank=same; v1; v2;"));
+    }
+
+    #[test]
+    fn node_attrs_are_emitted() {
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let dot = to_dot(
+            &d,
+            &DotOptions {
+                rank_by_level: false,
+                node_attrs: vec![(crate::NodeId(1), "color=red".into())],
+            },
+        );
+        assert!(dot.contains("v1 [color=red];"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Simple structured DAG families.
+
+use crate::{Dag, DagBuilder, NodeId};
+
+/// A chain `v0 -> v1 -> ... -> v(len-1)`. `len = 0` gives the empty DAG.
+#[must_use]
+pub fn chain(len: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    let nodes = b.add_nodes(len);
+    b.add_chain(&nodes);
+    b.name(format!("chain(len={len})"));
+    b.build().expect("chain is a DAG")
+}
+
+/// `k` independent chains of `len` nodes each — the Lemma 7 tightness
+/// family: with `k` processors each chain runs on its own processor and
+/// the optimum drops by exactly a factor `k`.
+#[must_use]
+pub fn independent_chains(k: usize, len: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    for _ in 0..k {
+        let nodes = b.add_nodes(len);
+        b.add_chain(&nodes);
+    }
+    b.name(format!("independent_chains(k={k}, len={len})"));
+    b.build().expect("chains form a DAG")
+}
+
+/// Complete balanced binary in-tree with `leaves` leaf nodes (`leaves`
+/// must be a power of two): leaves at the bottom, edges point toward the
+/// single root/sink. Total nodes `2*leaves - 1`.
+///
+/// In-trees are one of the Lemma 2 NP-hard classes (every out-degree ≤ 1).
+#[must_use]
+pub fn binary_in_tree(leaves: usize) -> Dag {
+    assert!(leaves.is_power_of_two(), "leaves must be a power of two");
+    let mut b = DagBuilder::new();
+    // Build level by level: leaves first.
+    let mut current = b.add_nodes(leaves);
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len() / 2);
+        for pair in current.chunks(2) {
+            let parent = b.add_node();
+            b.add_edge(pair[0], parent);
+            b.add_edge(pair[1], parent);
+            next.push(parent);
+        }
+        current = next;
+    }
+    b.name(format!("binary_in_tree(leaves={leaves})"));
+    b.build().expect("tree is a DAG")
+}
+
+/// Complete balanced binary out-tree: a root broadcasting to `leaves`
+/// leaf sinks. Mirror of [`binary_in_tree`].
+#[must_use]
+pub fn binary_out_tree(leaves: usize) -> Dag {
+    assert!(leaves.is_power_of_two(), "leaves must be a power of two");
+    let mut b = DagBuilder::new();
+    let root = b.add_node();
+    let mut current = vec![root];
+    while current.len() < leaves {
+        let mut next = Vec::with_capacity(current.len() * 2);
+        for &p in &current {
+            let l = b.add_node();
+            let r = b.add_node();
+            b.add_edge(p, l);
+            b.add_edge(p, r);
+            next.push(l);
+            next.push(r);
+        }
+        current = next;
+    }
+    b.name(format!("binary_out_tree(leaves={leaves})"));
+    b.build().expect("tree is a DAG")
+}
+
+/// Diamond: one source fanning out to `width` middle nodes, all feeding
+/// one sink. `n = width + 2`.
+#[must_use]
+pub fn diamond(width: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    let src = b.add_node();
+    let mids = b.add_nodes(width);
+    let sink = b.add_node();
+    for &m in &mids {
+        b.add_edge(src, m);
+        b.add_edge(m, sink);
+    }
+    b.name(format!("diamond(width={width})"));
+    b.build().expect("diamond is a DAG")
+}
+
+/// `rows × cols` grid DAG with edges right and down (dynamic-programming
+/// table / stencil dependency pattern). Node `(i, j)` has id `i*cols + j`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Dag {
+    let mut b = DagBuilder::with_nodes(rows * cols);
+    let id = |i: usize, j: usize| NodeId::new(i * cols + j);
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                b.add_edge(id(i, j), id(i, j + 1));
+            }
+            if i + 1 < rows {
+                b.add_edge(id(i, j), id(i + 1, j));
+            }
+        }
+    }
+    b.name(format!("grid({rows}x{cols})"));
+    b.build().expect("grid is a DAG")
+}
+
+/// Complete bipartite 2-layer DAG: `a` sources each feeding all `b` sinks.
+/// 2-layer DAGs (longest path length 1) are the other Lemma 2 NP-hard
+/// class.
+#[must_use]
+pub fn two_layer_full(a: usize, b_count: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    let tops = b.add_nodes(a);
+    let bots = b.add_nodes(b_count);
+    for &t in &tops {
+        for &s in &bots {
+            b.add_edge(t, s);
+        }
+    }
+    b.name(format!("two_layer_full({a}x{b_count})"));
+    b.build().expect("bipartite is a DAG")
+}
+
+/// Regular 2-layer DAG: `b_count` sinks, each consuming `deg` sources
+/// chosen round-robin from `a` sources (so in-degree is exactly `deg`,
+/// `deg ≤ a`).
+#[must_use]
+pub fn two_layer_regular(a: usize, b_count: usize, deg: usize) -> Dag {
+    assert!(deg <= a, "in-degree cannot exceed source count");
+    let mut b = DagBuilder::new();
+    let tops = b.add_nodes(a);
+    let bots = b.add_nodes(b_count);
+    for (i, &s) in bots.iter().enumerate() {
+        for d in 0..deg {
+            b.add_edge(tops[(i + d) % a], s);
+        }
+    }
+    b.name(format!("two_layer_regular(a={a}, b={b_count}, deg={deg})"));
+    b.build().expect("bipartite is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagStats;
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(5);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m, s.sources, s.sinks), (5, 4, 1, 1));
+        assert_eq!(s.depth, 5);
+        assert_eq!(chain(0).n(), 0);
+        assert_eq!(chain(1).n(), 1);
+    }
+
+    #[test]
+    fn independent_chains_shape() {
+        let d = independent_chains(3, 4);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m, s.sources, s.sinks), (12, 9, 3, 3));
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn in_tree_shape() {
+        let d = binary_in_tree(8);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m), (15, 14));
+        assert_eq!(s.sources, 8);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.max_out_degree, 1, "in-tree: out-degree ≤ 1");
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let d = binary_out_tree(8);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m), (15, 14));
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 8);
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let d = diamond(6);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m), (8, 12));
+        assert_eq!(s.max_in_degree, 6);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let d = grid(3, 4);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 12);
+        assert_eq!(s.m, 3 * 3 + 2 * 4); // rights + downs
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 3 + 4 - 1);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn grid_degenerate_cases() {
+        assert_eq!(grid(1, 1).n(), 1);
+        let row = grid(1, 5);
+        assert_eq!(DagStats::compute(&row).depth, 5);
+    }
+
+    #[test]
+    fn two_layer_full_shape() {
+        let d = two_layer_full(3, 4);
+        let s = DagStats::compute(&d);
+        assert_eq!((s.n, s.m), (7, 12));
+        assert_eq!(s.depth, 2, "2-layer means longest path length 1");
+        assert_eq!(s.max_in_degree, 3);
+    }
+
+    #[test]
+    fn two_layer_regular_shape() {
+        let d = two_layer_regular(5, 7, 3);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 12);
+        assert_eq!(s.m, 21);
+        assert_eq!(s.max_in_degree, 3);
+        for v in d.nodes().filter(|&v| d.in_degree(v) > 0) {
+            assert_eq!(d.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in-degree cannot exceed")]
+    fn two_layer_regular_rejects_bad_degree() {
+        let _ = two_layer_regular(2, 3, 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Computation DAGs targeted by the paper's lower-bound section:
+//! the n-point FFT butterfly and naive matrix-matrix multiplication.
+
+use crate::{Dag, DagBuilder, NodeId};
+
+/// The `n`-point FFT butterfly DAG, `n = 2^log_n` inputs and `log_n`
+/// butterfly stages. Every non-input node has in-degree 2; stage `s` node
+/// `i` reads stage `s-1` nodes `i` and `i ^ 2^(s-1)`.
+///
+/// Hong–Kung derive the I/O lower bound `Ω(n log n / log r)` on this DAG;
+/// see `rbp-bounds::fft`.
+#[must_use]
+pub fn fft(log_n: u32) -> Dag {
+    let n = 1usize << log_n;
+    let mut b = DagBuilder::new();
+    let mut prev = b.add_nodes(n);
+    for s in 0..log_n {
+        let stride = 1usize << s;
+        let cur = b.add_nodes(n);
+        for i in 0..n {
+            b.add_edge(prev[i], cur[i]);
+            b.add_edge(prev[i ^ stride], cur[i]);
+        }
+        prev = cur;
+    }
+    b.name(format!("fft(n={n})"));
+    b.build().expect("fft is a DAG")
+}
+
+/// Naive `n×n` matrix multiplication DAG `C = A·B`:
+/// - `2n²` input nodes (entries of A and B);
+/// - `n³` product nodes `A[i][k] * B[k][j]`, in-degree 2;
+/// - per output entry, a chain of `n-1` addition nodes summing the `n`
+///   products (first addition takes two products, later ones take the
+///   running sum and the next product), for `n²(n-1)` additions.
+///
+/// Total `n = 2n² + n³ + n²(n-1)` nodes. Kwasniewski et al. prove the
+/// `2n³/√r + n²` I/O lower bound on this DAG; see `rbp-bounds::matmul`.
+#[must_use]
+pub fn matmul(n: usize) -> Dag {
+    assert!(n >= 1);
+    let mut b = DagBuilder::new();
+    let a: Vec<Vec<NodeId>> = (0..n).map(|_| b.add_nodes(n)).collect();
+    let bm: Vec<Vec<NodeId>> = (0..n).map(|_| b.add_nodes(n)).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: Option<NodeId> = None;
+            for k in 0..n {
+                let prod = b.add_node();
+                b.add_edge(a[i][k], prod);
+                b.add_edge(bm[k][j], prod);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(prev) => {
+                        let add = b.add_node();
+                        b.add_edge(prev, add);
+                        b.add_edge(prod, add);
+                        add
+                    }
+                });
+            }
+        }
+    }
+    b.name(format!("matmul(n={n})"));
+    b.build().expect("matmul is a DAG")
+}
+
+/// Balanced reduction tree of the given `arity` over `leaves` inputs
+/// (`leaves` must be a power of `arity`). The generalization of
+/// [`binary_in_tree`](super::binary_in_tree) used in Δ_in sweeps.
+#[must_use]
+pub fn reduction_tree(arity: usize, leaves: usize) -> Dag {
+    assert!(arity >= 2);
+    assert!(is_power_of(leaves, arity), "leaves must be a power of arity");
+    let mut b = DagBuilder::new();
+    let mut current = b.add_nodes(leaves);
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len() / arity);
+        for group in current.chunks(arity) {
+            let parent = b.add_node();
+            for &c in group {
+                b.add_edge(c, parent);
+            }
+            next.push(parent);
+        }
+        current = next;
+    }
+    b.name(format!("reduction_tree(arity={arity}, leaves={leaves})"));
+    b.build().expect("tree is a DAG")
+}
+
+fn is_power_of(mut x: usize, base: usize) -> bool {
+    if x == 0 {
+        return false;
+    }
+    while x.is_multiple_of(base) {
+        x /= base;
+    }
+    x == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagStats;
+
+    #[test]
+    fn fft_shape() {
+        let d = fft(3); // 8-point FFT
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 8 * 4); // inputs + 3 stages
+        assert_eq!(s.m, 2 * 8 * 3);
+        assert_eq!(s.sources, 8);
+        assert_eq!(s.sinks, 8);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn fft_trivial() {
+        let d = fft(0);
+        assert_eq!(d.n(), 1);
+        assert_eq!(d.m(), 0);
+    }
+
+    #[test]
+    fn fft_butterfly_wiring() {
+        let d = fft(1); // 2 inputs, 1 stage: both outputs read both inputs
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.preds(crate::NodeId(2)).len(), 2);
+        assert_eq!(d.preds(crate::NodeId(3)).len(), 2);
+    }
+
+    #[test]
+    fn matmul_node_count() {
+        for n in 1..=4 {
+            let d = matmul(n);
+            let expect = 2 * n * n + n * n * n + n * n * (n - 1);
+            assert_eq!(d.n(), expect, "matmul({n})");
+            let s = DagStats::compute(&d);
+            assert_eq!(s.sources, 2 * n * n);
+            assert_eq!(s.sinks, n * n);
+            assert_eq!(s.max_in_degree, if n >= 1 { 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn matmul_edge_count() {
+        // Each product has 2 in-edges, each addition has 2 in-edges.
+        let n = 3;
+        let d = matmul(n);
+        assert_eq!(d.m(), 2 * n * n * n + 2 * n * n * (n - 1));
+    }
+
+    #[test]
+    fn matmul_1_is_products_only() {
+        let d = matmul(1);
+        // 2 inputs, 1 product, 0 additions.
+        assert_eq!(d.n(), 3);
+        assert_eq!(DagStats::compute(&d).sinks, 1);
+    }
+
+    #[test]
+    fn reduction_tree_shapes() {
+        let d = reduction_tree(3, 27);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 27 + 9 + 3 + 1);
+        assert_eq!(s.max_in_degree, 3);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of arity")]
+    fn reduction_tree_rejects_non_power() {
+        let _ = reduction_tree(3, 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Generators for DAG families used throughout the paper.
+//!
+//! Three groups:
+//! - [`basic`]: chains, trees, diamonds, grids, 2-layer bipartite DAGs —
+//!   the simple classes Lemma 2 and Section 5 reason about;
+//! - [`compute`]: real computation DAGs (FFT butterfly, naive matrix
+//!   multiplication, reduction trees) targeted by the Section 4 lower
+//!   bounds;
+//! - [`random`]: seeded random DAGs for sweeps and property tests.
+//!
+//! All generators are deterministic given their parameters (random ones
+//! take an explicit seed) and record their provenance in [`Dag::name`].
+//!
+//! [`Dag::name`]: crate::Dag::name
+
+mod basic;
+mod compute;
+mod pyramid;
+mod random;
+
+pub use basic::{
+    binary_in_tree, binary_out_tree, chain, diamond, grid, independent_chains, two_layer_full,
+    two_layer_regular,
+};
+pub use compute::{fft, matmul, reduction_tree};
+pub use pyramid::{pyramid, r_pyramid, stencil_1d};
+pub use random::{layered_random, random_dag};

@@ -1,0 +1,151 @@
+//! Pyramid and time-stepped stencil DAGs — classic pebbling substrates
+//! (Ranjan–Savage–Zubair study I/O bounds for r-pyramids; stencils are
+//! the standard iterated-dependency workload).
+
+use crate::{Dag, DagBuilder, NodeId};
+
+/// A 2-pyramid of the given `height`: row 0 (the base) has `height + 1`
+/// nodes, each higher row has one fewer, every node reads its two lower
+/// neighbours. The apex is the single sink. Total nodes
+/// `(h+1)(h+2)/2`.
+#[must_use]
+pub fn pyramid(height: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    let mut below: Vec<NodeId> = (0..=height)
+        .map(|i| b.add_labeled_node(format!("p0_{i}")))
+        .collect();
+    for row in 1..=height {
+        let current: Vec<NodeId> = (0..=height - row)
+            .map(|i| {
+                let v = b.add_labeled_node(format!("p{row}_{i}"));
+                b.add_edge(below[i], v);
+                b.add_edge(below[i + 1], v);
+                v
+            })
+            .collect();
+        below = current;
+    }
+    b.name(format!("pyramid(height={height})"));
+    b.build().expect("pyramid is a DAG")
+}
+
+/// An `r`-pyramid: like [`pyramid`] but each node reads `r` consecutive
+/// lower neighbours (rows shrink by `r − 1`). `width` is the base size;
+/// construction stops when a row has fewer than `r` nodes (those become
+/// extra sinks). `r = 2` with `width = h + 1` is the classic pyramid.
+#[must_use]
+pub fn r_pyramid(r: usize, width: usize) -> Dag {
+    assert!(r >= 2 && width >= r);
+    let mut b = DagBuilder::new();
+    let mut below: Vec<NodeId> = (0..width)
+        .map(|i| b.add_labeled_node(format!("q0_{i}")))
+        .collect();
+    let mut row = 0;
+    while below.len() >= r {
+        row += 1;
+        let current: Vec<NodeId> = (0..=below.len() - r)
+            .map(|i| {
+                let v = b.add_labeled_node(format!("q{row}_{i}"));
+                for j in 0..r {
+                    b.add_edge(below[i + j], v);
+                }
+                v
+            })
+            .collect();
+        below = current;
+    }
+    b.name(format!("r_pyramid(r={r}, width={width})"));
+    b.build().expect("r-pyramid is a DAG")
+}
+
+/// A 1-D stencil iterated over time: `steps + 1` rows of `width` cells;
+/// cell `(t, i)` reads `(t−1, i−1..=i+1)` clamped at the borders — the
+/// dependency pattern of explicit PDE solvers, and a standard target
+/// for communication-avoiding scheduling.
+#[must_use]
+pub fn stencil_1d(width: usize, steps: usize) -> Dag {
+    assert!(width >= 1);
+    let mut b = DagBuilder::new();
+    let mut below: Vec<NodeId> = (0..width)
+        .map(|i| b.add_labeled_node(format!("s0_{i}")))
+        .collect();
+    for t in 1..=steps {
+        let current: Vec<NodeId> = (0..width)
+            .map(|i| {
+                let v = b.add_labeled_node(format!("s{t}_{i}"));
+                let lo = i.saturating_sub(1);
+                let hi = (i + 1).min(width - 1);
+                for j in lo..=hi {
+                    b.add_edge(below[j], v);
+                }
+                v
+            })
+            .collect();
+        below = current;
+    }
+    b.name(format!("stencil_1d(width={width}, steps={steps})"));
+    b.build().expect("stencil is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagStats;
+
+    #[test]
+    fn pyramid_shape() {
+        let d = pyramid(4);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 5 * 6 / 2);
+        assert_eq!(s.sources, 5);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.depth, 5);
+    }
+
+    #[test]
+    fn pyramid_degenerate() {
+        let d = pyramid(0);
+        assert_eq!(d.n(), 1);
+        assert_eq!(d.m(), 0);
+    }
+
+    #[test]
+    fn r_pyramid_generalizes_pyramid() {
+        let a = pyramid(3);
+        let b = r_pyramid(2, 4);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+    }
+
+    #[test]
+    fn r_pyramid_shape() {
+        let d = r_pyramid(3, 7);
+        let s = DagStats::compute(&d);
+        // Rows: 7, 5, 3, 1.
+        assert_eq!(s.n, 7 + 5 + 3 + 1);
+        assert_eq!(s.max_in_degree, 3);
+        assert_eq!(s.sinks, 1);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let d = stencil_1d(5, 3);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 20);
+        assert_eq!(s.sources, 5);
+        assert_eq!(s.sinks, 5);
+        assert_eq!(s.max_in_degree, 3);
+        // Border cells have in-degree 2.
+        let border = crate::NodeId::new(5); // (t=1, i=0)
+        assert_eq!(d.in_degree(border), 2);
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn stencil_single_column() {
+        let d = stencil_1d(1, 4);
+        assert_eq!(d.n(), 5);
+        assert_eq!(d.max_in_degree(), 1);
+    }
+}

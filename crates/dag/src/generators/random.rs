@@ -1,0 +1,110 @@
+//! Seeded random DAGs for sweeps and property tests.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{Dag, DagBuilder, NodeId};
+
+/// Erdős–Rényi-style random DAG on `n` nodes: each pair `(i, j)` with
+/// `i < j` becomes an edge with probability `p`. Deterministic given
+/// `seed`.
+#[must_use]
+pub fn random_dag(n: usize, p: f64, seed: u64) -> Dag {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                b.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    b.name(format!("random_dag(n={n}, p={p}, seed={seed})"));
+    b.build().expect("forward edges cannot form a cycle")
+}
+
+/// Random layered DAG: `levels` layers of `width` nodes each; every node in
+/// layer `l ≥ 1` draws `in_deg` distinct predecessors uniformly from layer
+/// `l-1` (capped at `width`). Mimics neural-network / wavefront workloads.
+#[must_use]
+pub fn layered_random(levels: usize, width: usize, in_deg: usize, seed: u64) -> Dag {
+    assert!(width >= 1);
+    let in_deg = in_deg.min(width);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new();
+    let mut prev: Vec<NodeId> = Vec::new();
+    for l in 0..levels {
+        let cur = b.add_nodes(width);
+        if l > 0 {
+            for &v in &cur {
+                let mut picks: Vec<usize> = (0..width).collect();
+                picks.shuffle(&mut rng);
+                for &pi in picks.iter().take(in_deg) {
+                    b.add_edge(prev[pi], v);
+                }
+            }
+        }
+        prev = cur;
+    }
+    b.name(format!(
+        "layered_random(levels={levels}, width={width}, in_deg={in_deg}, seed={seed})"
+    ));
+    b.build().expect("layered edges cannot form a cycle")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagStats;
+
+    #[test]
+    fn random_dag_is_deterministic_per_seed() {
+        let a = random_dag(20, 0.3, 42);
+        let b = random_dag(20, 0.3, 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = random_dag(20, 0.3, 43);
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>(),
+            "different seeds should (overwhelmingly) differ"
+        );
+    }
+
+    #[test]
+    fn random_dag_extremes() {
+        let empty = random_dag(10, 0.0, 1);
+        assert_eq!(empty.m(), 0);
+        let full = random_dag(10, 1.0, 1);
+        assert_eq!(full.m(), 45);
+    }
+
+    #[test]
+    fn layered_random_shape() {
+        let d = layered_random(4, 5, 2, 7);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 20);
+        assert_eq!(s.m, 3 * 5 * 2);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.sources, 5);
+        // Every non-source has in-degree exactly 2 and distinct preds.
+        for v in d.nodes().filter(|&v| d.in_degree(v) > 0) {
+            assert_eq!(d.in_degree(v), 2);
+            let ps = d.preds(v);
+            assert_ne!(ps[0], ps[1]);
+        }
+    }
+
+    #[test]
+    fn layered_random_caps_in_degree_at_width() {
+        let d = layered_random(3, 2, 10, 3);
+        assert_eq!(d.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn layered_random_single_level_has_no_edges() {
+        let d = layered_random(1, 4, 2, 0);
+        assert_eq!(d.m(), 0);
+        assert_eq!(d.n(), 4);
+    }
+}

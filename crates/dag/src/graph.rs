@@ -1,0 +1,522 @@
+//! The computational DAG: a compact, immutable CSR graph.
+//!
+//! Nodes model single operations; a directed edge `(u, v)` states that the
+//! output of `u` is an input of `v`. The pebbling games and schedulers only
+//! ever need fast iteration over predecessors/successors and degree
+//! queries, so the graph is stored in compressed sparse row form for both
+//! directions, built once via [`DagBuilder`] and immutable afterwards.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeSet, TopoInfo};
+
+/// Identifier of a DAG node. A thin `u32` newtype; convert with
+/// [`NodeId::new`]/[`NodeId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from an index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+
+    /// The index as `usize`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable directed acyclic graph in CSR form.
+///
+/// Construct with [`DagBuilder`] (which checks acyclicity and rejects
+/// duplicate edges and self-loops), or with the generator functions in
+/// [`crate::generators`].
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Dag {
+    /// CSR offsets/targets for successors.
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<NodeId>,
+    /// CSR offsets/targets for predecessors.
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<NodeId>,
+    /// Optional human-readable node labels (empty when unlabeled).
+    labels: Vec<String>,
+    /// Optional name of the DAG (gadget name, generator provenance).
+    name: String,
+}
+
+impl Dag {
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.succ_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.succ_targets.len()
+    }
+
+    /// Iterator over all node ids `v0..v(n-1)`.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + '_ {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// The successors (out-neighbours) of `v`.
+    #[inline]
+    #[must_use]
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.succ_targets[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
+    }
+
+    /// The predecessors (in-neighbours) of `v`.
+    #[inline]
+    #[must_use]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.pred_targets[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.preds(v).len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.succs(v).len()
+    }
+
+    /// Maximum in-degree Δ_in over all nodes (0 for the empty DAG).
+    #[must_use]
+    pub fn max_in_degree(&self) -> usize {
+        self.nodes().map(|v| self.in_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty DAG).
+    #[must_use]
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// All source nodes (in-degree 0), in id order.
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// All sink nodes (out-degree 0), in id order.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// The sink nodes as a [`NodeSet`].
+    #[must_use]
+    pub fn sink_set(&self) -> NodeSet {
+        NodeSet::from_iter(self.n(), self.sinks())
+    }
+
+    /// The source nodes as a [`NodeSet`].
+    #[must_use]
+    pub fn source_set(&self) -> NodeSet {
+        NodeSet::from_iter(self.n(), self.sources())
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.succs(u).contains(&v)
+    }
+
+    /// An empty set sized to this DAG's node count.
+    #[must_use]
+    pub fn empty_set(&self) -> NodeSet {
+        NodeSet::new(self.n())
+    }
+
+    /// Human-readable label of `v` (empty string when unlabeled).
+    #[must_use]
+    pub fn label(&self, v: NodeId) -> &str {
+        self.labels.get(v.index()).map_or("", String::as_str)
+    }
+
+    /// Name of this DAG (e.g. `"zipper(d=4, n0=100)"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Computes topological information (order, ranks, levels); cached by
+    /// callers, not by the DAG itself.
+    #[must_use]
+    pub fn topo(&self) -> TopoInfo {
+        TopoInfo::compute(self)
+    }
+
+    /// Iterator over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.succs(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dag(\"{}\", n={}, m={})", self.name, self.n(), self.m())
+    }
+}
+
+/// Errors from [`DagBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a node id `>= n`.
+    NodeOutOfRange {
+        /// The out-of-range endpoint.
+        node: NodeId,
+        /// The number of nodes in the builder.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was added.
+    SelfLoop(NodeId),
+    /// The same edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a directed cycle.
+    Cycle,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            DagError::SelfLoop(v) => write!(f, "self-loop on {v}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            DagError::Cycle => write!(f, "edge set contains a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Incremental builder for [`Dag`].
+///
+/// ```
+/// use rbp_dag::{DagBuilder, NodeId};
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node();
+/// let c = b.add_node();
+/// b.add_edge(a, c);
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.n(), 2);
+/// assert_eq!(dag.succs(a), &[c]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    labels: Vec<String>,
+    name: String,
+}
+
+impl DagBuilder {
+    /// New empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized with `n` unlabeled nodes.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        DagBuilder {
+            n,
+            edges: Vec::new(),
+            labels: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Sets the DAG name recorded for provenance.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds one node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.n);
+        self.n += 1;
+        id
+    }
+
+    /// Adds one labeled node, returning its id.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = self.add_node();
+        self.labels.resize(self.n, String::new());
+        self.labels[id.index()] = label.into();
+        id
+    }
+
+    /// Adds `count` nodes, returning their ids.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds the edge `(u, v)` meaning "output of `u` feeds `v`".
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds a chain of edges `v0 -> v1 -> ... -> v(k-1)`.
+    pub fn add_chain(&mut self, nodes: &[NodeId]) -> &mut Self {
+        for w in nodes.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Current number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Validates and freezes into a [`Dag`].
+    pub fn build(mut self) -> Result<Dag, DagError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            for w in [u, v] {
+                if w.index() >= n {
+                    return Err(DagError::NodeOutOfRange { node: w, n });
+                }
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(u));
+            }
+        }
+        self.edges.sort_unstable();
+        if let Some(w) = self.edges.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DagError::DuplicateEdge(w[0].0, w[0].1));
+        }
+
+        // Build CSR for successors (edges already sorted by source).
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            succ_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let succ_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // Build CSR for predecessors.
+        let mut pred_offsets = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            pred_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut cursor = pred_offsets.clone();
+        let mut pred_targets = vec![NodeId(0); self.edges.len()];
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v.index()];
+            pred_targets[*c as usize] = u;
+            *c += 1;
+        }
+
+        if !self.labels.is_empty() {
+            self.labels.resize(n, String::new());
+        }
+        let dag = Dag {
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
+            labels: self.labels,
+            name: self.name,
+        };
+
+        // Kahn's algorithm to reject cycles.
+        let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+        let mut queue: Vec<NodeId> = dag.nodes().filter(|v| indeg[v.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in dag.succs(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(dag)
+    }
+}
+
+/// Convenience: builds a DAG from an explicit node count and edge list.
+///
+/// # Panics
+/// Panics on invalid input (out-of-range, duplicate, self-loop, cycle);
+/// intended for tests and generators with known-good input.
+#[must_use]
+pub fn dag_from_edges(n: usize, edges: &[(usize, usize)]) -> Dag {
+    let mut b = DagBuilder::with_nodes(n);
+    for &(u, v) in edges {
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    b.build().expect("invalid edge list")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dag() {
+        let d = DagBuilder::new().build().unwrap();
+        assert_eq!(d.n(), 0);
+        assert_eq!(d.m(), 0);
+        assert!(d.sources().is_empty());
+        assert_eq!(d.max_in_degree(), 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let d = dag_from_edges(1, &[]);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn diamond_adjacency() {
+        //   0
+        //  / \
+        // 1   2
+        //  \ /
+        //   3
+        let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.succs(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(d.preds(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(d.in_degree(NodeId(3)), 2);
+        assert_eq!(d.out_degree(NodeId(0)), 2);
+        assert_eq!(d.max_in_degree(), 2);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks(), vec![NodeId(3)]);
+        assert!(d.has_edge(NodeId(0), NodeId(1)));
+        assert!(!d.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn edges_iterator_matches_m() {
+        let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let edges: Vec<_> = d.edges().collect();
+        assert_eq!(edges.len(), d.m());
+        assert!(edges.contains(&(NodeId(2), NodeId(3))));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DagBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(0));
+        assert_eq!(b.build().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::with_nodes(1);
+        b.add_edge(NodeId(0), NodeId(0));
+        assert_eq!(b.build().unwrap_err(), DagError::SelfLoop(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            DagError::DuplicateEdge(NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = DagBuilder::with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(7));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DagError::NodeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn labels_and_name() {
+        let mut b = DagBuilder::new();
+        let a = b.add_labeled_node("input");
+        let c = b.add_node();
+        b.add_edge(a, c);
+        b.name("test-dag");
+        let d = b.build().unwrap();
+        assert_eq!(d.label(a), "input");
+        assert_eq!(d.label(c), "");
+        assert_eq!(d.name(), "test-dag");
+    }
+
+    #[test]
+    fn add_chain_builds_path() {
+        let mut b = DagBuilder::new();
+        let ns = b.add_nodes(4);
+        b.add_chain(&ns);
+        let d = b.build().unwrap();
+        assert_eq!(d.m(), 3);
+        assert_eq!(d.succs(ns[0]), &[ns[1]]);
+        assert_eq!(d.succs(ns[3]), &[]);
+    }
+
+    #[test]
+    fn debug_format_mentions_shape() {
+        let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(format!("{d:?}"), "Dag(\"\", n=4, m=4)");
+    }
+}

@@ -1,0 +1,397 @@
+//! Dense bitset over node ids.
+//!
+//! Pebbling solvers manipulate sets of nodes (red pebbles per processor,
+//! blue pebbles, computed sets) millions of times; `NodeSet` is a compact
+//! `u64`-block bitset sized to the DAG it belongs to, with the operations
+//! those solvers need: insert/remove/contains, subset/superset tests,
+//! union/intersection/difference, iteration, and hashing (so whole game
+//! configurations can key hash maps).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::NodeId;
+
+const BITS: usize = 64;
+
+/// A dense set of [`NodeId`]s backed by `u64` blocks.
+///
+/// All sets participating in an operation must have been created with the
+/// same universe size (the number of nodes of one DAG); mixing sizes is a
+/// logic error and panics in debug builds.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct NodeSet {
+    blocks: Vec<u64>,
+    /// Number of valid bits (the universe size).
+    universe: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        NodeSet {
+            blocks: vec![0; n.div_ceil(BITS)],
+            universe: n,
+        }
+    }
+
+    /// Creates a set containing every node of the `n`-node universe.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for (i, b) in s.blocks.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let hi = (lo + BITS).min(n);
+            if hi > lo {
+                *b = if hi - lo == BITS {
+                    u64::MAX
+                } else {
+                    (1u64 << (hi - lo)) - 1
+                };
+            }
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of node ids.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(n: usize, iter: I) -> Self {
+        let mut s = Self::new(n);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let (blk, bit) = Self::slot(v);
+        debug_assert!((v.index()) < self.universe, "node {v:?} outside universe");
+        let had = self.blocks[blk] & bit != 0;
+        self.blocks[blk] |= bit;
+        !had
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let (blk, bit) = Self::slot(v);
+        debug_assert!((v.index()) < self.universe, "node {v:?} outside universe");
+        let had = self.blocks[blk] & bit != 0;
+        self.blocks[blk] &= !bit;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let (blk, bit) = Self::slot(v);
+        debug_assert!((v.index()) < self.universe, "node {v:?} outside universe");
+        self.blocks[blk] & bit != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ⊇ other`.
+    #[must_use]
+    pub fn is_superset(&self, other: &NodeSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the two sets share no element.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    #[must_use]
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    #[must_use]
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other` as a new set.
+    #[must_use]
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Number of elements in `self ∩ other` without materializing it.
+    #[must_use]
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the elements in increasing id order.
+    pub fn iter(&self) -> NodeSetIter<'_> {
+        NodeSetIter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest element, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    #[inline]
+    fn slot(v: NodeId) -> (usize, u64) {
+        let i = v.index();
+        (i / BITS, 1u64 << (i % BITS))
+    }
+}
+
+impl Hash for NodeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Universe is fixed per DAG, so hashing blocks suffices.
+        self.blocks.hash(state);
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|v| v.index())).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Collects into a set whose universe is the max id + 1.
+    ///
+    /// Prefer [`NodeSet::from_iter`] with an explicit universe when the set
+    /// will be combined with sets of a known DAG.
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let n = ids.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        NodeSet::from_iter(n, ids)
+    }
+}
+
+/// Iterator over the elements of a [`NodeSet`].
+pub struct NodeSetIter<'a> {
+    set: &'a NodeSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(NodeId::new(self.block * BITS + tz));
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = NodeSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let s = NodeSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.universe(), 10);
+        assert!(!s.contains(NodeId::new(3)));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(100);
+        assert!(s.insert(NodeId::new(5)));
+        assert!(!s.insert(NodeId::new(5)));
+        assert!(s.insert(NodeId::new(64)));
+        assert!(s.insert(NodeId::new(99)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId::new(64)));
+        assert!(s.remove(NodeId::new(64)));
+        assert!(!s.remove(NodeId::new(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_set() {
+        for n in [0, 1, 63, 64, 65, 128, 130] {
+            let s = NodeSet::full(n);
+            assert_eq!(s.len(), n, "full({n})");
+            assert_eq!(s.iter().count(), n);
+        }
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = NodeSet::from_iter(200, ids(&[199, 0, 63, 64, 65, 128]));
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter(70, ids(&[1, 2, 3, 65]));
+        let b = NodeSet::from_iter(70, ids(&[2, 3, 4, 66]));
+        assert_eq!(
+            a.union(&b).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 65, 66]
+        );
+        assert_eq!(
+            a.intersection(&b).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(
+            a.difference(&b).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![1, 65]
+        );
+        assert_eq!(a.intersection_len(&b), 2);
+    }
+
+    #[test]
+    fn subset_superset_disjoint() {
+        let a = NodeSet::from_iter(80, ids(&[1, 2]));
+        let b = NodeSet::from_iter(80, ids(&[1, 2, 70]));
+        let c = NodeSet::from_iter(80, ids(&[3, 71]));
+        assert!(a.is_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NodeSet::from_iter(10, ids(&[1, 9]));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_returns_minimum() {
+        let s = NodeSet::from_iter(128, ids(&[100, 64, 127]));
+        assert_eq!(s.first(), Some(NodeId::new(64)));
+        assert_eq!(NodeSet::new(5).first(), None);
+    }
+
+    #[test]
+    fn eq_and_hash_agree() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = NodeSet::from_iter(90, ids(&[5, 80]));
+        let b = NodeSet::from_iter(90, ids(&[80, 5]));
+        assert_eq!(a, b);
+        let h = |s: &NodeSet| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: NodeSet = ids(&[0, 2, 4]).into_iter().collect();
+        assert_eq!(s.universe(), 5);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Topological structure: orders, ranks, levels, and longest paths.
+
+use crate::{Dag, NodeId};
+
+/// Precomputed topological data for a [`Dag`].
+///
+/// - `order[i]` is the i-th node in a deterministic topological order
+///   (Kahn's algorithm with a min-id heap, so the order is stable across
+///   runs and platforms);
+/// - `rank[v]` is the position of `v` in `order`;
+/// - `level[v]` is the length of the longest path from any source to `v`
+///   (sources have level 0);
+/// - `depth` is `1 + max level` (number of levels; 0 for the empty DAG).
+#[derive(Debug, Clone)]
+pub struct TopoInfo {
+    order: Vec<NodeId>,
+    rank: Vec<usize>,
+    level: Vec<usize>,
+    depth: usize,
+}
+
+impl TopoInfo {
+    /// Computes topological info for `dag`.
+    #[must_use]
+    pub fn compute(dag: &Dag) -> Self {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = dag.n();
+        let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+        let mut heap: BinaryHeap<Reverse<NodeId>> = dag
+            .nodes()
+            .filter(|v| indeg[v.index()] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut level = vec![0usize; n];
+        while let Some(Reverse(u)) = heap.pop() {
+            order.push(u);
+            for &v in dag.succs(u) {
+                level[v.index()] = level[v.index()].max(level[u.index()] + 1);
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    heap.push(Reverse(v));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "Dag invariant violated: cycle detected");
+        let mut rank = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v.index()] = i;
+        }
+        let depth = level.iter().max().map_or(0, |&d| d + 1);
+        TopoInfo {
+            order,
+            rank,
+            level,
+            depth,
+        }
+    }
+
+    /// The deterministic topological order.
+    #[must_use]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Position of `v` in [`Self::order`].
+    #[must_use]
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.rank[v.index()]
+    }
+
+    /// Longest-path-from-source level of `v` (sources are level 0).
+    #[must_use]
+    pub fn level(&self, v: NodeId) -> usize {
+        self.level[v.index()]
+    }
+
+    /// Number of levels (`1 + max level`; 0 for the empty DAG).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Nodes grouped by level, each group in id order.
+    #[must_use]
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.depth];
+        for &v in &self.order {
+            out[self.level(v)].push(v);
+        }
+        out
+    }
+
+    /// Length (number of edges) of the longest path in the DAG.
+    #[must_use]
+    pub fn longest_path_len(&self) -> usize {
+        self.depth.saturating_sub(1)
+    }
+
+    /// Maximum number of nodes on a single level — a cheap upper bound on
+    /// how much per-level parallelism a wavefront schedule can exploit.
+    #[must_use]
+    pub fn max_level_width(&self) -> usize {
+        let mut counts = vec![0usize; self.depth];
+        for &l in &self.level {
+            counts[l] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// One concrete longest path of the DAG (node sequence), empty for the
+/// empty DAG. Ties broken deterministically by smallest id.
+#[must_use]
+pub fn longest_path(dag: &Dag) -> Vec<NodeId> {
+    let topo = dag.topo();
+    let n = dag.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dist[v] = longest path length ending at v; walk back from the max.
+    let mut dist = vec![0usize; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for &u in topo.order() {
+        for &v in dag.succs(u) {
+            if dist[u.index()] + 1 > dist[v.index()]
+                || (dist[u.index()] + 1 == dist[v.index()]
+                    && pred[v.index()].is_some_and(|p| u < p))
+            {
+                dist[v.index()] = dist[u.index()] + 1;
+                pred[v.index()] = Some(u);
+            }
+        }
+    }
+    let mut end = dag
+        .nodes()
+        .max_by_key(|v| (dist[v.index()], std::cmp::Reverse(*v)))
+        .expect("nonempty");
+    let mut path = vec![end];
+    while let Some(p) = pred[end.index()] {
+        path.push(p);
+        end = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::dag_from_edges;
+
+    #[test]
+    fn chain_topology() {
+        let d = dag_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = d.topo();
+        assert_eq!(
+            t.order(),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(t.level(NodeId(0)), 0);
+        assert_eq!(t.level(NodeId(3)), 3);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.longest_path_len(), 3);
+        assert_eq!(t.max_level_width(), 1);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let t = d.topo();
+        assert_eq!(t.level(NodeId(1)), 1);
+        assert_eq!(t.level(NodeId(2)), 1);
+        assert_eq!(t.level(NodeId(3)), 2);
+        assert_eq!(t.levels()[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.max_level_width(), 2);
+    }
+
+    #[test]
+    fn order_respects_edges() {
+        let d = dag_from_edges(6, &[(5, 0), (0, 3), (3, 1), (5, 4), (4, 1), (2, 1)]);
+        let t = d.topo();
+        for (u, v) in d.edges() {
+            assert!(t.rank(u) < t.rank(v), "edge ({u},{v}) out of order");
+        }
+    }
+
+    #[test]
+    fn deterministic_order_prefers_small_ids() {
+        // Independent nodes come out in id order.
+        let d = dag_from_edges(3, &[]);
+        assert_eq!(d.topo().order(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_dag_topo() {
+        let d = dag_from_edges(0, &[]);
+        let t = d.topo();
+        assert_eq!(t.depth(), 0);
+        assert!(t.order().is_empty());
+        assert_eq!(t.max_level_width(), 0);
+        assert!(longest_path(&d).is_empty());
+    }
+
+    #[test]
+    fn longest_path_of_chain_is_whole_chain() {
+        let d = dag_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(
+            longest_path(&d),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn longest_path_in_dag_with_branches() {
+        // 0->1->2->5, 0->3->5, path through 1,2 is longer.
+        let d = dag_from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 5), (4, 5)]);
+        let p = longest_path(&d);
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5)]);
+    }
+}

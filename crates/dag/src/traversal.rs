@@ -1,0 +1,167 @@
+//! Reachability and closure queries on DAGs.
+
+use crate::{Dag, NodeId, NodeSet};
+
+/// All nodes reachable from `start` by following successor edges,
+/// including `start` itself.
+#[must_use]
+pub fn descendants(dag: &Dag, start: NodeId) -> NodeSet {
+    closure(dag, &[start], Dag::succs)
+}
+
+/// All nodes from which `start` is reachable (its ancestors), including
+/// `start` itself.
+#[must_use]
+pub fn ancestors(dag: &Dag, start: NodeId) -> NodeSet {
+    closure(dag, &[start], Dag::preds)
+}
+
+/// Upward closure of a node set: the set plus all ancestors of its
+/// members. A set `S` is *downward-closed* (computable prefix) iff
+/// `ancestors_of_set(dag, S) == S`.
+#[must_use]
+pub fn ancestors_of_set(dag: &Dag, set: &NodeSet) -> NodeSet {
+    let seeds: Vec<NodeId> = set.iter().collect();
+    closure(dag, &seeds, Dag::preds)
+}
+
+/// Whether `set` is downward-closed: every predecessor of a member is a
+/// member. Downward-closed sets are exactly the valid "computed so far"
+/// states of a one-shot pebbling.
+#[must_use]
+pub fn is_downward_closed(dag: &Dag, set: &NodeSet) -> bool {
+    set.iter()
+        .all(|v| dag.preds(v).iter().all(|&p| set.contains(p)))
+}
+
+/// Whether `v` is reachable from `u` (u == v counts as reachable).
+#[must_use]
+pub fn reachable(dag: &Dag, u: NodeId, v: NodeId) -> bool {
+    if u == v {
+        return true;
+    }
+    let mut seen = dag.empty_set();
+    let mut stack = vec![u];
+    seen.insert(u);
+    while let Some(x) = stack.pop() {
+        for &s in dag.succs(x) {
+            if s == v {
+                return true;
+            }
+            if seen.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+fn closure<'d>(
+    dag: &'d Dag,
+    seeds: &[NodeId],
+    step: impl Fn(&'d Dag, NodeId) -> &'d [NodeId],
+) -> NodeSet {
+    let mut seen = dag.empty_set();
+    let mut stack: Vec<NodeId> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if seen.insert(s) {
+            stack.push(s);
+        }
+    }
+    while let Some(x) = stack.pop() {
+        for &nx in step(dag, x) {
+            if seen.insert(nx) {
+                stack.push(nx);
+            }
+        }
+    }
+    seen
+}
+
+/// Number of weakly connected components.
+#[must_use]
+pub fn weakly_connected_components(dag: &Dag) -> usize {
+    let n = dag.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for v in dag.nodes() {
+        if comp[v.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![v];
+        comp[v.index()] = count;
+        while let Some(x) = stack.pop() {
+            for &nx in dag.succs(x).iter().chain(dag.preds(x)) {
+                if comp[nx.index()] == usize::MAX {
+                    comp[nx.index()] = count;
+                    stack.push(nx);
+                }
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::dag_from_edges;
+
+    fn diamond() -> Dag {
+        dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn descendants_of_root_is_everything() {
+        let d = diamond();
+        assert_eq!(descendants(&d, NodeId(0)).len(), 4);
+        assert_eq!(descendants(&d, NodeId(3)).len(), 1);
+        assert_eq!(descendants(&d, NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn ancestors_of_sink_is_everything() {
+        let d = diamond();
+        assert_eq!(ancestors(&d, NodeId(3)).len(), 4);
+        assert_eq!(ancestors(&d, NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn reachability() {
+        let d = diamond();
+        assert!(reachable(&d, NodeId(0), NodeId(3)));
+        assert!(reachable(&d, NodeId(1), NodeId(3)));
+        assert!(!reachable(&d, NodeId(1), NodeId(2)));
+        assert!(reachable(&d, NodeId(2), NodeId(2)));
+        assert!(!reachable(&d, NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn downward_closed_detection() {
+        let d = diamond();
+        let s = NodeSet::from_iter(4, [NodeId(0), NodeId(1)]);
+        assert!(is_downward_closed(&d, &s));
+        let s2 = NodeSet::from_iter(4, [NodeId(1)]);
+        assert!(!is_downward_closed(&d, &s2));
+        assert!(is_downward_closed(&d, &d.empty_set()));
+        assert!(is_downward_closed(&d, &NodeSet::full(4)));
+    }
+
+    #[test]
+    fn closing_a_set_makes_it_downward_closed() {
+        let d = diamond();
+        let s = NodeSet::from_iter(4, [NodeId(3)]);
+        let closed = ancestors_of_set(&d, &s);
+        assert!(is_downward_closed(&d, &closed));
+        assert_eq!(closed.len(), 4);
+    }
+
+    #[test]
+    fn component_count() {
+        let d = dag_from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(weakly_connected_components(&d), 3);
+        assert_eq!(weakly_connected_components(&diamond()), 1);
+        assert_eq!(weakly_connected_components(&dag_from_edges(0, &[])), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Adversarial DAGs for the greedy class (Lemma 4).
+//!
+//! Lemma 4 shows DAGs on which *any* affinity-greedy pebbling loses a
+//! `Θ(Δ_in)` or `Θ(g)` factor against the optimum. We implement the
+//! `Θ(g)` *bait trap*: `W` bait nodes read the whole resident group `A`,
+//! but their consumers `f_j` are chained behind the end of the real
+//! chain. After the chain finishes, every greedy in the class prefers
+//! the high-affinity baits (d red inputs each) over the next consumer
+//! `f_j` (1–2 red inputs), so all `W` baits are computed before any can
+//! be consumed — they overflow fast memory and each one costs a spill
+//! plus a reload, `≈ 2g` extra per bait. The optimum interleaves
+//! bait/consumer pairs so every bait dies immediately: zero I/O.
+//!
+//! The trap defeats every configuration in `rbp-schedulers`' greedy
+//! class (count and fraction affinity, all tie-breaks and eviction
+//! policies — see `exp_greedy`), realizing the `Θ(g)` separation of
+//! Lemma 4's second bullet. The stronger `Δ_in/5 − 1` construction of
+//! the first bullet relies on gadgets in the paper's full version.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+use rbp_core::{MppError, MppInstance, MppRun, MppSimulator};
+
+/// The bait-trap instance.
+#[derive(Debug, Clone)]
+pub struct GreedyTrap {
+    /// The DAG.
+    pub dag: Dag,
+    /// Shared source group `A` (size `d`).
+    pub group: Vec<NodeId>,
+    /// The real chain (first node reads `d − 1` of `A`, later ones also
+    /// the previous chain node).
+    pub chain: Vec<NodeId>,
+    /// The baits (each reads all of `A`).
+    pub baits: Vec<NodeId>,
+    /// Consumers: `f_j` reads `bait_j` and the previous consumer (the
+    /// first reads the chain end), so baits die only after the chain.
+    pub consumers: Vec<NodeId>,
+    /// Group size `d`.
+    pub d: usize,
+}
+
+impl GreedyTrap {
+    /// Builds the trap with group size `d ≥ 2`, chain length `len`, and
+    /// `w` baits. Fast memory `r = d + 2` fits the group, one chain/bait
+    /// slot and one consumer slot.
+    #[must_use]
+    pub fn build(d: usize, len: usize, w: usize) -> Self {
+        assert!(d >= 2 && len >= 1 && w >= 1);
+        let mut b = DagBuilder::new();
+        let group: Vec<NodeId> = (0..d)
+            .map(|i| b.add_labeled_node(format!("A{i}")))
+            .collect();
+        let mut chain = Vec::with_capacity(len);
+        let mut prev: Option<NodeId> = None;
+        for i in 0..len {
+            let c = b.add_labeled_node(format!("c{i}"));
+            for &a in &group[..d - 1] {
+                b.add_edge(a, c);
+            }
+            if let Some(p) = prev {
+                b.add_edge(p, c);
+            }
+            prev = Some(c);
+            chain.push(c);
+        }
+        let baits: Vec<NodeId> = (0..w)
+            .map(|j| {
+                let t = b.add_labeled_node(format!("bait{j}"));
+                for &a in &group {
+                    b.add_edge(a, t);
+                }
+                t
+            })
+            .collect();
+        let mut consumers = Vec::with_capacity(w);
+        let mut prev = *chain.last().expect("len >= 1");
+        for (j, &t) in baits.iter().enumerate() {
+            let f = b.add_labeled_node(format!("f{j}"));
+            b.add_edge(t, f);
+            b.add_edge(prev, f);
+            prev = f;
+            consumers.push(f);
+        }
+        b.name(format!("greedy_trap(d={d}, len={len}, w={w})"));
+        GreedyTrap {
+            dag: b.build().expect("trap is a DAG"),
+            group,
+            chain,
+            baits,
+            consumers,
+            d,
+        }
+    }
+
+    /// The intended memory: `r = d + 2`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.d + 2
+    }
+
+    /// The optimal play: group, chain, then bait/consumer pairs — each
+    /// bait dies immediately. Zero I/O.
+    pub fn strategy_optimal(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, self.r(), g);
+        let mut sim = MppSimulator::new(inst);
+        for &a in &self.group {
+            sim.compute(vec![(0, a)])?;
+        }
+        let mut prev: Option<NodeId> = None;
+        for &c in &self.chain {
+            sim.compute(vec![(0, c)])?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(c);
+        }
+        let mut carry = prev.expect("chain nonempty");
+        for (j, (&t, &f)) in self.baits.iter().zip(&self.consumers).enumerate() {
+            sim.compute(vec![(0, t)])?;
+            // Memory: group d + carry + t = d + 2 = r; computing f needs
+            // one more slot — drop a group value no longer needed? The
+            // group is still needed by later baits, so spill nothing:
+            // instead note f's preds are only {t, carry}: drop one group
+            // value... it IS needed later. Use the free slot trick: the
+            // chain's last node `carry` is consumed by f — compute f by
+            // first dropping the group value only when this is the last
+            // bait; otherwise temporarily drop + recompute? No: keep the
+            // accounting honest by removing `carry` after f, and making
+            // room for f by dropping the *oldest* group value only at
+            // the final bait. Simplest valid plan: drop one group source
+            // and recompute it right after (sources are free to
+            // recompute at cost 1, cheaper than any I/O).
+            let victim = self.group[j % self.d];
+            sim.remove_red(0, victim)?;
+            sim.compute(vec![(0, f)])?;
+            sim.remove_red(0, t)?;
+            sim.remove_red(0, carry)?;
+            carry = f;
+            if j + 1 < self.baits.len() {
+                sim.compute(vec![(0, victim)])?;
+            }
+        }
+        sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::CostModel;
+    use rbp_schedulers::{Greedy, GreedyConfig, MppScheduler};
+
+    #[test]
+    fn shape() {
+        let t = GreedyTrap::build(3, 5, 4);
+        assert_eq!(t.dag.n(), 3 + 5 + 4 + 4);
+        assert_eq!(t.dag.max_in_degree(), 3);
+        assert_eq!(t.dag.sinks().len(), 1);
+    }
+
+    #[test]
+    fn optimal_strategy_is_io_free() {
+        let t = GreedyTrap::build(4, 6, 5);
+        let run = t.strategy_optimal(3).unwrap();
+        assert_eq!(run.cost.io_steps(), 0);
+        let inst = MppInstance::new(&t.dag, 1, t.r(), 3);
+        assert_eq!(run.strategy.validate(&inst).unwrap(), run.cost);
+    }
+
+    #[test]
+    fn count_greedy_falls_for_the_bait() {
+        let g = 4;
+        let t = GreedyTrap::build(4, 10, 8);
+        let inst = MppInstance::new(&t.dag, 1, t.r(), g);
+        let greedy = Greedy::new(GreedyConfig::default())
+            .schedule(&inst)
+            .unwrap();
+        let opt = t.strategy_optimal(g).unwrap();
+        let model = CostModel::mpp(g);
+        assert!(greedy.cost.io_steps() > 0, "greedy must thrash");
+        assert!(
+            greedy.cost.total(model) > opt.cost.total(model),
+            "greedy {} vs opt {}",
+            greedy.cost.total(model),
+            opt.cost.total(model)
+        );
+    }
+
+    #[test]
+    fn greedy_gap_grows_with_g() {
+        // The Lemma 4 Θ(g) separation: the trap's greedy/OPT ratio grows
+        // linearly in g.
+        let t = GreedyTrap::build(4, 10, 12);
+        let mut prev_ratio = 0.0;
+        for g in [2u64, 6, 12] {
+            let inst = MppInstance::new(&t.dag, 1, t.r(), g);
+            let greedy = Greedy::new(GreedyConfig::default())
+                .schedule(&inst)
+                .unwrap();
+            let opt = t.strategy_optimal(g).unwrap();
+            let model = CostModel::mpp(g);
+            let ratio =
+                greedy.cost.total(model) as f64 / opt.cost.total(model) as f64;
+            assert!(ratio > prev_ratio, "g={g}: ratio {ratio:.2}");
+            prev_ratio = ratio;
+        }
+        assert!(prev_ratio > 1.5, "final ratio {prev_ratio:.2}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Lemma 2 instance families: MPP is NP-hard already on 2-layer DAGs and
+//! on in-trees.
+//!
+//! The hardness proofs adapt BSP-scheduling reductions from
+//! Papp–Anegg–Yzelman; the families below are the *instance shapes* those
+//! reductions emit, exposed as generators so experiments can probe how
+//! optimal cost reacts to the embedded combinatorial structure
+//! (partition balance for 2-layer DAGs, chain lengths for in-trees) and
+//! how far heuristics drift from the exact optimum on them.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+
+/// A 2-layer (depth-1) DAG encoding a multiway-partition flavor: sink
+/// `j` consumes a contiguous run of sources whose lengths are the
+/// `items`; balancing sink work across processors is the scheduling
+/// decision the Lemma 2 reduction makes NP-hard.
+///
+/// Sources are shared between neighbouring sinks (the last source of
+/// run `j` is also the first of run `j+1`), which is what couples the
+/// assignment decisions.
+#[must_use]
+pub fn two_layer_partition(items: &[usize]) -> Dag {
+    assert!(!items.is_empty() && items.iter().all(|&s| s >= 1));
+    let mut b = DagBuilder::new();
+    // Run j has items[j] + 1 sources, overlapping the next run by one:
+    // total = Σ items + 1.
+    let total: usize = items.iter().sum::<usize>() + 1;
+    let sources: Vec<NodeId> = (0..total)
+        .map(|i| b.add_labeled_node(format!("s{i}")))
+        .collect();
+    let mut start = 0usize;
+    for (j, &len) in items.iter().enumerate() {
+        let sink = b.add_labeled_node(format!("t{j}"));
+        for &s in &sources[start..start + len + 1] {
+            b.add_edge(s, sink);
+        }
+        start += len;
+    }
+    b.name(format!("two_layer_partition({items:?})"));
+    b.build().expect("2-layer DAG")
+}
+
+/// A caterpillar in-tree: a spine of length `spine`, where spine node
+/// `i` additionally absorbs `legs[i % legs.len()]` leaf sources. Every
+/// out-degree is ≤ 1 (the in-tree condition of Lemma 2).
+#[must_use]
+pub fn caterpillar_in_tree(spine: usize, legs: &[usize]) -> Dag {
+    assert!(spine >= 1 && !legs.is_empty());
+    let mut b = DagBuilder::new();
+    let mut prev: Option<NodeId> = None;
+    for i in 0..spine {
+        let s = b.add_labeled_node(format!("sp{i}"));
+        for l in 0..legs[i % legs.len()] {
+            let leaf = b.add_labeled_node(format!("leaf{i}_{l}"));
+            b.add_edge(leaf, s);
+        }
+        if let Some(p) = prev {
+            b.add_edge(p, s);
+        }
+        prev = Some(s);
+    }
+    b.name(format!("caterpillar_in_tree(spine={spine}, legs={legs:?})"));
+    b.build().expect("in-tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::DagStats;
+    use rbp_core::{solve_mpp, MppInstance, SolveLimits};
+
+    #[test]
+    fn two_layer_shape() {
+        let d = two_layer_partition(&[2, 3, 2]);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.depth, 2, "2-layer = longest path length 1");
+        assert_eq!(s.sinks, 3);
+        assert_eq!(s.sources, 2 + 3 + 2 + 1);
+        // In-degrees are item length + 1.
+        assert_eq!(s.max_in_degree, 4);
+    }
+
+    #[test]
+    fn caterpillar_is_an_in_tree() {
+        let d = caterpillar_in_tree(5, &[2, 3]);
+        assert!(
+            d.nodes().all(|v| d.out_degree(v) <= 1),
+            "in-tree condition"
+        );
+        assert_eq!(DagStats::compute(&d).sinks, 1);
+    }
+
+    #[test]
+    fn two_layer_exact_optimum_prefers_shared_sources_on_one_proc() {
+        // Tiny instance: two sinks sharing one source. Exact OPT on k=2
+        // vs k=1: the shared source forces either communication or
+        // recomputation; the solver decides which is cheaper.
+        let d = two_layer_partition(&[1, 1]);
+        // 3 sources; runs: sink0 ← {s0, s1}, sink1 ← {s1, s2}.
+        let lim = SolveLimits { max_states: 300_000 };
+        let o1 = solve_mpp(&MppInstance::new(&d, 1, 3, 3), lim).unwrap();
+        let o2 = solve_mpp(&MppInstance::new(&d, 2, 3, 3), lim).unwrap();
+        assert!(o2.total <= o1.total, "more processors never hurt");
+        // k=1, r=3: no zero-I/O order exists (holding one finished sink
+        // plus the other sink's two inputs overflows), so OPT(1) pays one
+        // store: 5 computes + g. k=2: both sinks in parallel, the shared
+        // source recomputed on the second shade (cost 1 < g): 3 batched
+        // compute steps, zero I/O.
+        assert_eq!(o1.total, 5 + 3);
+        assert_eq!(o2.total, 3);
+    }
+
+    #[test]
+    fn caterpillar_exact_vs_memory() {
+        // Spine node i ≥ 1 has in-degree legs + 1 (its leaves plus the
+        // previous spine value), so Δin = 2 with one leg per spine node:
+        // r = 4 is roomy (I/O-free), r = 3 is the feasibility minimum.
+        let d = caterpillar_in_tree(3, &[1]);
+        let lim = SolveLimits::default();
+        let roomy = solve_mpp(&MppInstance::new(&d, 1, 4, 5), lim).unwrap();
+        assert_eq!(roomy.cost.io_steps(), 0);
+        let tight = solve_mpp(&MppInstance::new(&d, 1, 3, 5), lim).unwrap();
+        assert!(tight.total >= roomy.total);
+    }
+}

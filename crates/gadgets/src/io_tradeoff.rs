@@ -1,0 +1,477 @@
+//! The §5 I/O-count phenomena: adding a processor can make I/O appear
+//! out of nowhere — or vanish entirely.
+//!
+//! **Appear** ([`SparseLadder`], `OPT_IO(1) = 0` but `OPT_IO(2) = Θ(n)`):
+//! two parallel chains with cross edges ("rungs") every `m` levels. One
+//! processor interleaves both chains in 4 pebbles with zero I/O. Two
+//! processors run one chain each and must exchange values at every rung
+//! (2 I/O steps per rung); for `m > 2g` the exchange is worth it, so the
+//! *optimal* 2-processor pebbling performs `Θ(n/m) = Θ(n)` I/O steps.
+//!
+//! **Vanish** ([`ImbalancedPair`], `OPT_IO(1) = Θ(n)` but
+//! `OPT_IO(2) = 0`): a *heavy* chain whose node `i` additionally reads a
+//! rotating source `a_{i mod d}` hidden behind a damper chain of length
+//! `g` (recomputing it costs `g+1`, loading it costs `g` — loads win by
+//! exactly 1), next to an independent *light* chain sized to the heavy
+//! chain's recompute-only work. One processor prefers `Θ(n)` loads. Two
+//! processors split the work in the only (very imbalanced) way possible —
+//! heavy on one, light on the other — and the heavy processor now
+//! *recomputes*: its extra computes batch with the light chain's for
+//! free, so zero I/O beats every I/O-using schedule.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+use rbp_core::{MppError, MppInstance, MppRun, MppSimulator};
+
+/// Two chains with cross edges every `m` levels.
+#[derive(Debug, Clone)]
+pub struct SparseLadder {
+    /// The DAG.
+    pub dag: Dag,
+    /// Chain A nodes.
+    pub a: Vec<NodeId>,
+    /// Chain B nodes.
+    pub b: Vec<NodeId>,
+    /// Rung spacing.
+    pub m: usize,
+}
+
+impl SparseLadder {
+    /// Builds two chains of `len` nodes with cross edges
+    /// `a_i → b_{i+1}` and `b_i → a_{i+1}` whenever `(i+1) % m == 0`.
+    #[must_use]
+    pub fn build(len: usize, m: usize) -> Self {
+        assert!(len >= 2 && m >= 2);
+        let mut bld = DagBuilder::new();
+        let a: Vec<NodeId> = (0..len)
+            .map(|i| bld.add_labeled_node(format!("a{i}")))
+            .collect();
+        let b: Vec<NodeId> = (0..len)
+            .map(|i| bld.add_labeled_node(format!("b{i}")))
+            .collect();
+        for i in 0..len - 1 {
+            bld.add_edge(a[i], a[i + 1]);
+            bld.add_edge(b[i], b[i + 1]);
+            if (i + 1) % m == 0 {
+                bld.add_edge(a[i], b[i + 1]);
+                bld.add_edge(b[i], a[i + 1]);
+            }
+        }
+        bld.name(format!("sparse_ladder(len={len}, m={m})"));
+        SparseLadder {
+            dag: bld.build().expect("ladder is a DAG"),
+            a,
+            b,
+            m,
+        }
+    }
+
+    /// One processor, `r = 4`: interleave the chains, zero I/O, cost `n`.
+    pub fn strategy_k1(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, 4, g);
+        let mut sim = MppSimulator::new(inst);
+        for i in 0..self.a.len() {
+            sim.compute(vec![(0, self.a[i])])?;
+            sim.compute(vec![(0, self.b[i])])?;
+            if i > 0 {
+                sim.remove_red(0, self.a[i - 1])?;
+                sim.remove_red(0, self.b[i - 1])?;
+            }
+        }
+        sim.finish()
+    }
+
+    /// Two processors, `r = 4`: one chain each, batched computes, and an
+    /// exchange of both rung values (`2` batched I/O steps) every `m`
+    /// levels. Cost `≈ n/2 + 2g·(n/2m)` — cheaper than the zero-I/O
+    /// `k = 1` schedule whenever `m > 2g`.
+    pub fn strategy_k2(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 2, 4, g);
+        let mut sim = MppSimulator::new(inst);
+        let len = self.a.len();
+        for i in 0..len {
+            sim.compute(vec![(0, self.a[i]), (1, self.b[i])])?;
+            if i > 0 {
+                sim.remove_red(0, self.a[i - 1])?;
+                sim.remove_red(1, self.b[i - 1])?;
+                // Drop cross values loaded for this rung level.
+                if i % self.m == 0 {
+                    sim.remove_red(0, self.b[i - 1])?;
+                    sim.remove_red(1, self.a[i - 1])?;
+                }
+            }
+            // Exchange ahead of a rung: the *next* nodes need both.
+            if (i + 1) % self.m == 0 && i + 1 < len {
+                sim.store(vec![(0, self.a[i]), (1, self.b[i])])?;
+                sim.load(vec![(0, self.b[i]), (1, self.a[i])])?;
+            }
+        }
+        sim.finish()
+    }
+}
+
+/// The heavy-chain / light-chain pair where I/O vanishes at `k = 2`.
+#[derive(Debug, Clone)]
+pub struct ImbalancedPair {
+    /// The DAG.
+    pub dag: Dag,
+    /// Rotating sources `a_0 … a_{d−1}` (tail of their damper chains).
+    pub sources: Vec<NodeId>,
+    /// Damper chains, one per source (each of length `g`, excluding the
+    /// source itself).
+    pub dampers: Vec<Vec<NodeId>>,
+    /// The heavy chain (length `n1`).
+    pub heavy: Vec<NodeId>,
+    /// The light chain (length `n2`).
+    pub light: Vec<NodeId>,
+    /// Number of rotating sources.
+    pub d: usize,
+    /// Damper length = `g` of the intended cost model.
+    pub damper_len: usize,
+}
+
+impl ImbalancedPair {
+    /// Builds the gadget: `d` rotating sources behind dampers of length
+    /// `damper_len` (use `damper_len = g`), a heavy chain of `n1` nodes
+    /// (node `i` reads `heavy_{i−1}` and `a_{i mod d}`), and an
+    /// independent light chain of `n2` nodes.
+    ///
+    /// For the Lemma-style behaviour choose
+    /// `n2 ≈ n1·(damper_len + 2)` so the two halves balance at `k = 2`.
+    #[must_use]
+    pub fn build(d: usize, n1: usize, n2: usize, damper_len: usize) -> Self {
+        assert!(d >= 2 && n1 >= 1 && n2 >= 1);
+        let mut b = DagBuilder::new();
+        let mut dampers = Vec::with_capacity(d);
+        let sources: Vec<NodeId> = (0..d)
+            .map(|i| {
+                let mut chain = Vec::with_capacity(damper_len);
+                let mut prev: Option<NodeId> = None;
+                for j in 0..damper_len {
+                    let c = b.add_labeled_node(format!("a{i}_damp{j}"));
+                    if let Some(p) = prev {
+                        b.add_edge(p, c);
+                    }
+                    prev = Some(c);
+                    chain.push(c);
+                }
+                let u = b.add_labeled_node(format!("a{i}"));
+                if let Some(p) = prev {
+                    b.add_edge(p, u);
+                }
+                dampers.push(chain);
+                u
+            })
+            .collect();
+        let mut heavy = Vec::with_capacity(n1);
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n1 {
+            let v = b.add_labeled_node(format!("h{i}"));
+            b.add_edge(sources[i % d], v);
+            if let Some(p) = prev {
+                b.add_edge(p, v);
+            }
+            prev = Some(v);
+            heavy.push(v);
+        }
+        let mut light = Vec::with_capacity(n2);
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n2 {
+            let v = b.add_labeled_node(format!("l{i}"));
+            if let Some(p) = prev {
+                b.add_edge(p, v);
+            }
+            prev = Some(v);
+            light.push(v);
+        }
+        b.name(format!(
+            "imbalanced_pair(d={d}, n1={n1}, n2={n2}, damper={damper_len})"
+        ));
+        ImbalancedPair {
+            dag: b.build().expect("imbalanced pair is a DAG"),
+            sources,
+            dampers,
+            heavy,
+            light,
+            d,
+            damper_len,
+        }
+    }
+
+    /// Memory used by all strategies: `r = 4` (chain prev + current +
+    /// one source slot + one damper-transient slot).
+    #[must_use]
+    pub fn r(&self) -> usize {
+        4
+    }
+
+    /// `k = 1` with loads: compute each source once (store it), then the
+    /// heavy chain loading its source every node, then the light chain.
+    /// I/O = `d` stores + `n1` loads = `Θ(n1)`.
+    pub fn strategy_k1_loads(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, self.r(), g);
+        let mut sim = MppSimulator::new(inst);
+        // Compute sources via their dampers; store and drop each.
+        for (i, &src) in self.sources.iter().enumerate() {
+            let mut prev: Option<NodeId> = None;
+            for &c in self.dampers[i].iter().chain(std::iter::once(&src)) {
+                sim.compute(vec![(0, c)])?;
+                if let Some(p) = prev {
+                    sim.remove_red(0, p)?;
+                }
+                prev = Some(c);
+            }
+            sim.store(vec![(0, src)])?;
+            sim.remove_red(0, src)?;
+        }
+        // Heavy chain with one load per node.
+        let mut prev: Option<NodeId> = None;
+        for (i, &v) in self.heavy.iter().enumerate() {
+            let src = self.sources[i % self.d];
+            sim.load(vec![(0, src)])?;
+            sim.compute(vec![(0, v)])?;
+            sim.remove_red(0, src)?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        // Light chain.
+        let mut prev: Option<NodeId> = None;
+        for &v in &self.light {
+            sim.compute(vec![(0, v)])?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        sim.finish()
+    }
+
+    /// `k = 1` without I/O: recompute the rotating source (damper chain
+    /// and all, `damper_len + 1` computes) before every heavy node.
+    /// Zero I/O but `≈ n1·(damper_len + 2) + n2` compute steps.
+    pub fn strategy_k1_recompute(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, self.r(), g);
+        let mut sim = MppSimulator::new(inst);
+        let mut prev: Option<NodeId> = None;
+        for (i, &v) in self.heavy.iter().enumerate() {
+            let si = i % self.d;
+            self.recompute_source(&mut sim, 0, si, None)?;
+            sim.compute(vec![(0, v)])?;
+            sim.remove_red(0, self.sources[si])?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        let mut prev: Option<NodeId> = None;
+        for &v in &self.light {
+            sim.compute(vec![(0, v)])?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        sim.finish()
+    }
+
+    /// `k = 2`, zero I/O: processor 0 runs the heavy chain recomputing
+    /// its sources; processor 1 runs the light chain. Every step is a
+    /// batched compute, so the cost is `max` of the two workloads instead
+    /// of their sum — with `n2 ≈ n1·(damper_len+2)` this beats every
+    /// I/O-using schedule.
+    pub fn strategy_k2_recompute(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 2, self.r(), g);
+        let mut sim = MppSimulator::new(inst);
+        // Interleave: build the per-proc op lists, then zip them into
+        // batched compute steps.
+        let heavy_ops = self.heavy_recompute_ops();
+        let light_ops: Vec<NodeId> = self.light.clone();
+        let steps = heavy_ops.len().max(light_ops.len());
+        // Removal bookkeeping mirrors the k=1 strategies.
+        let mut h_prev_chain: Option<NodeId> = None;
+        let mut h_prev_damper: Option<NodeId> = None;
+        let mut l_prev: Option<NodeId> = None;
+        for s in 0..steps {
+            let mut batch = Vec::new();
+            if let Some(&hv) = heavy_ops.get(s) {
+                batch.push((0usize, hv));
+            }
+            if let Some(&lv) = light_ops.get(s) {
+                batch.push((1usize, lv));
+            }
+            sim.compute(batch)?;
+            // Post-step cleanup for proc 0.
+            if let Some(&hv) = heavy_ops.get(s) {
+                if self.heavy.contains(&hv) {
+                    // Chain node computed: drop the source and the old
+                    // chain value.
+                    let idx = self.heavy.iter().position(|&x| x == hv).unwrap();
+                    sim.remove_red(0, self.sources[idx % self.d])?;
+                    if let Some(p) = h_prev_chain {
+                        sim.remove_red(0, p)?;
+                    }
+                    h_prev_chain = Some(hv);
+                    h_prev_damper = None;
+                } else {
+                    // Damper/source node: drop its predecessor damper.
+                    if let Some(p) = h_prev_damper {
+                        sim.remove_red(0, p)?;
+                    }
+                    h_prev_damper = if self.sources.contains(&hv) {
+                        None
+                    } else {
+                        Some(hv)
+                    };
+                }
+            }
+            if let Some(&lv) = light_ops.get(s) {
+                if let Some(p) = l_prev {
+                    sim.remove_red(1, p)?;
+                }
+                l_prev = Some(lv);
+            }
+        }
+        let _ = g;
+        sim.finish()
+    }
+
+    /// Flat list of proc-0 compute ops for the recompute strategy:
+    /// for each heavy node, its source's damper chain, the source, then
+    /// the node itself.
+    fn heavy_recompute_ops(&self) -> Vec<NodeId> {
+        let mut ops = Vec::new();
+        for (i, &v) in self.heavy.iter().enumerate() {
+            let si = i % self.d;
+            ops.extend(self.dampers[si].iter().copied());
+            ops.push(self.sources[si]);
+            ops.push(v);
+        }
+        ops
+    }
+
+    fn recompute_source(
+        &self,
+        sim: &mut MppSimulator,
+        proc: usize,
+        si: usize,
+        _protect: Option<NodeId>,
+    ) -> Result<(), MppError> {
+        let mut prev: Option<NodeId> = None;
+        for &c in self.dampers[si].iter().chain(std::iter::once(&self.sources[si])) {
+            sim.compute(vec![(proc, c)])?;
+            if let Some(p) = prev {
+                sim.remove_red(proc, p)?;
+            }
+            prev = Some(c);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::CostModel;
+
+    #[test]
+    fn ladder_shape() {
+        let l = SparseLadder::build(12, 4);
+        assert_eq!(l.dag.n(), 24);
+        assert_eq!(l.dag.max_in_degree(), 2);
+        // 2×11 chain edges + 2 rungs at i+1 ∈ {4, 8} … and 12 — only
+        // i+1 < len: rungs at 4 and 8: 2 edges each.
+        assert_eq!(l.dag.m(), 22 + 2 * 2);
+    }
+
+    #[test]
+    fn ladder_k1_is_io_free() {
+        let l = SparseLadder::build(16, 5);
+        let run = l.strategy_k1(3).unwrap();
+        assert_eq!(run.cost.io_steps(), 0);
+        assert_eq!(run.cost.computes, 32);
+    }
+
+    #[test]
+    fn ladder_k2_exchanges_at_rungs_and_wins_for_large_m() {
+        let len = 40;
+        let g = 2;
+        let m = 2 * g as usize + 2; // m > 2g → parallel wins
+        let l = SparseLadder::build(len, m);
+        let k1 = l.strategy_k1(g).unwrap().cost.total(CostModel::mpp(g));
+        let run2 = l.strategy_k2(g).unwrap();
+        let k2 = run2.cost.total(CostModel::mpp(g));
+        assert!(run2.cost.io_steps() > 0, "rungs require communication");
+        assert!(k2 < k1, "k2={k2} k1={k1}: I/O appears *because* it wins");
+        // Θ(n) I/O: one exchange (2 steps) per m levels.
+        let expected_rungs = (len - 1) / m;
+        assert_eq!(run2.cost.io_steps() as usize, 2 * expected_rungs);
+    }
+
+    #[test]
+    fn ladder_strategies_validate() {
+        let l = SparseLadder::build(10, 3);
+        for (run, k) in [(l.strategy_k1(2).unwrap(), 1), (l.strategy_k2(2).unwrap(), 2)] {
+            let inst = MppInstance::new(&l.dag, k, 4, 2);
+            assert_eq!(run.strategy.validate(&inst).unwrap(), run.cost, "k={k}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_shape() {
+        let g = 3;
+        let p = ImbalancedPair::build(2, 6, 30, g as usize);
+        assert_eq!(p.dag.n(), 2 * (g as usize + 1) + 6 + 30);
+        assert_eq!(p.dag.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn imbalanced_k1_prefers_loads_k2_prefers_recompute() {
+        let g: u64 = 3;
+        let damper = g as usize; // recompute = g+1 vs load = g
+        let d = 2;
+        // Loads beat recomputation for k=1 once the per-node saving of 1
+        // amortizes the source setup: n1 > d·(2g+1).
+        let n1 = 20;
+        let n2 = n1 * (damper + 2); // balance the two halves
+        let p = ImbalancedPair::build(d, n1, n2, damper);
+        let model = CostModel::mpp(g);
+
+        let k1_loads = p.strategy_k1_loads(g).unwrap();
+        let k1_rec = p.strategy_k1_recompute(g).unwrap();
+        assert!(k1_loads.cost.io_steps() > 0);
+        assert_eq!(k1_rec.cost.io_steps(), 0);
+        // For k=1 the I/O strategy wins → OPT_IO(1) > 0 territory.
+        assert!(
+            k1_loads.cost.total(model) < k1_rec.cost.total(model),
+            "loads {} vs recompute {}",
+            k1_loads.cost.total(model),
+            k1_rec.cost.total(model)
+        );
+
+        let k2 = p.strategy_k2_recompute(g).unwrap();
+        assert_eq!(k2.cost.io_steps(), 0);
+        // For k=2 the zero-I/O schedule beats even the k=1 I/O winner —
+        // I/O vanished.
+        assert!(
+            k2.cost.total(model) < k1_loads.cost.total(model),
+            "k2 {} vs k1-loads {}",
+            k2.cost.total(model),
+            k1_loads.cost.total(model)
+        );
+    }
+
+    #[test]
+    fn imbalanced_strategies_validate() {
+        let g = 2;
+        let p = ImbalancedPair::build(2, 4, 16, g as usize);
+        for (run, k) in [
+            (p.strategy_k1_loads(g).unwrap(), 1),
+            (p.strategy_k1_recompute(g).unwrap(), 1),
+            (p.strategy_k2_recompute(g).unwrap(), 2),
+        ] {
+            let inst = MppInstance::new(&p.dag, k, p.r(), g);
+            assert_eq!(run.strategy.validate(&inst).unwrap(), run.cost);
+        }
+    }
+}

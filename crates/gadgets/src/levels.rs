@@ -1,0 +1,130 @@
+//! Level gadgets and towers (Figure 3).
+//!
+//! A *tower* is a sequence of levels of chosen sizes; every node of level
+//! `i+1` depends on every node of level `i`. In a zero-cost one-shot
+//! pebbling a tower behaves like a single entity at one level at a time:
+//!
+//! - advancing from level `i` (size `ℓ`) to level `i+1` (size `ℓ′`)
+//!   transiently needs `ℓ + ℓ′` pebbles (all of level `i` stays live
+//!   until the whole of level `i+1` is computed),
+//! - afterwards the footprint is `ℓ′` — levels can *grow* (5 → 7) to
+//!   consume budget or *shrink* (5 → 3) to release it, exactly the
+//!   mechanism the Theorem 2 construction uses to meter free pebbles.
+//!
+//! The announcement defers the precise level wiring to the full version;
+//! we use the complete-bipartite wiring, which realizes the same
+//! "one level at a time" semantics (see DESIGN.md).
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+
+/// A tower: its DAG and the nodes of each level.
+#[derive(Debug, Clone)]
+pub struct Tower {
+    /// The DAG.
+    pub dag: Dag,
+    /// `levels[i]` = the nodes of level `i` (level 0 = sources).
+    pub levels: Vec<Vec<NodeId>>,
+}
+
+impl Tower {
+    /// Builds a tower with the given level sizes.
+    #[must_use]
+    pub fn build(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty() && sizes.iter().all(|&s| s >= 1));
+        let mut b = DagBuilder::new();
+        let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(sizes.len());
+        for (li, &s) in sizes.iter().enumerate() {
+            let level: Vec<NodeId> = (0..s)
+                .map(|i| b.add_labeled_node(format!("L{li}_{i}")))
+                .collect();
+            if let Some(prev) = levels.last() {
+                for &p in prev {
+                    for &c in &level {
+                        b.add_edge(p, c);
+                    }
+                }
+            }
+            levels.push(level);
+        }
+        b.name(format!("tower({sizes:?})"));
+        Tower {
+            dag: b.build().expect("tower is a DAG"),
+            levels,
+        }
+    }
+
+    /// The predicted minimum peak memory of a zero-cost one-shot
+    /// pebbling: `max_i (ℓ_i + min(ℓ_{i+1}, …transient))` — precisely,
+    /// `max(ℓ_0, max_i (ℓ_i + ℓ_{i+1}))` except that the final level's
+    /// nodes accumulate one by one on top of the previous level.
+    ///
+    /// For a single tower the transition peak is
+    /// `max over consecutive pairs of (ℓ_i + ℓ_{i+1})`, and `ℓ_0` when
+    /// the tower is a single level.
+    #[must_use]
+    pub fn predicted_peak(&self) -> usize {
+        let sizes: Vec<usize> = self.levels.iter().map(Vec::len).collect();
+        if sizes.len() == 1 {
+            return sizes[0];
+        }
+        sizes.windows(2).map(|w| w[0] + w[1]).max().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::min_peak_memory;
+    use rbp_core::zero_io_pebbling_exists;
+
+    #[test]
+    fn shape() {
+        let t = Tower::build(&[5, 5]);
+        assert_eq!(t.dag.n(), 10);
+        assert_eq!(t.dag.m(), 25);
+        assert_eq!(t.dag.max_in_degree(), 5);
+    }
+
+    #[test]
+    fn fig3_level_transitions_match_prediction() {
+        // The three Figure 3 shapes: 5→5, 5→7, 5→3.
+        for sizes in [vec![5, 5], vec![5, 7], vec![5, 3]] {
+            let t = Tower::build(&sizes);
+            let peak = min_peak_memory(&t.dag, 64).unwrap();
+            assert_eq!(peak, t.predicted_peak(), "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn multi_level_tower_peak_is_max_consecutive_pair() {
+        for sizes in [vec![1, 4, 2, 3], vec![2, 2, 2], vec![3, 1, 5, 1]] {
+            let t = Tower::build(&sizes);
+            let peak = min_peak_memory(&t.dag, 64).unwrap();
+            assert_eq!(peak, t.predicted_peak(), "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn single_level_tower() {
+        let t = Tower::build(&[4]);
+        assert_eq!(min_peak_memory(&t.dag, 64), Some(4));
+        assert_eq!(t.predicted_peak(), 4);
+    }
+
+    #[test]
+    fn budget_threshold_is_sharp() {
+        let t = Tower::build(&[4, 3, 2]);
+        let peak = t.predicted_peak(); // 7
+        assert_eq!(zero_io_pebbling_exists(&t.dag, peak), Some(true));
+        assert_eq!(zero_io_pebbling_exists(&t.dag, peak - 1), Some(false));
+    }
+
+    #[test]
+    fn shrinking_levels_release_budget() {
+        // A tower that shrinks: after the 5→3 transition the footprint
+        // is only 3, so a second tower can use the released budget.
+        let t = Tower::build(&[5, 3, 1]);
+        assert_eq!(t.predicted_peak(), 8);
+        assert_eq!(min_peak_memory(&t.dag, 64), Some(8));
+    }
+}

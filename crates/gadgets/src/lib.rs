@@ -1,0 +1,49 @@
+//! # rbp-gadgets — the paper's proof constructions, executable
+//!
+//! Every construction used in *Red-Blue Pebbling with Multiple
+//! Processors* as a generator that returns both the DAG and, where the
+//! proof describes one, the explicit pebbling strategy (validated by the
+//! `rbp-core` rules engine):
+//!
+//! - [`zipper`] — Figure 2: input groups + main chain; the paper's three
+//!   canonical strategies (resident / swapping / 2-processor) and the
+//!   Lemma 10 superlinear speedup.
+//! - [`rotating`] — the Lemma 8 fair-comparison construction (zipper
+//!   generalized to `m` rotating groups).
+//! - [`working_set`] — the maximally memory-hungry chain.
+//! - [`nonmonotone`] — Lemma 9: two zippers where `OPT(2)` beats both
+//!   `OPT(1)` and `OPT(4)` in the fair series.
+//! - [`io_tradeoff`] — §5: the sparse ladder (I/O appears at `k = 2`)
+//!   and the imbalanced pair (I/O vanishes at `k = 2`).
+//! - [`levels`] — Figure 3 level gadgets / towers and their footprint
+//!   algebra.
+//! - [`oneshot_hardness`] — Theorem 2: the zero-cost one-shot decision
+//!   reduction (layout-hardness) and its gap amplification.
+//! - [`vertex_cover`] — Lemma 11 substrate: incidence DAGs + exact
+//!   vertex cover for the APX-hardness experiment.
+//! - [`greedy_adversarial`] — Lemma 4: the bait trap defeating the
+//!   count-affinity greedy by a `Θ(g)` factor.
+//! - [`hardness_simple`] — Lemma 2 instance families (2-layer DAGs,
+//!   caterpillar in-trees).
+
+#![warn(missing_docs)]
+
+pub mod greedy_adversarial;
+pub mod hardness_simple;
+pub mod io_tradeoff;
+pub mod levels;
+pub mod nonmonotone;
+pub mod oneshot_hardness;
+pub mod rotating;
+pub mod vertex_cover;
+pub mod working_set;
+pub mod zipper;
+
+pub use greedy_adversarial::GreedyTrap;
+pub use io_tradeoff::{ImbalancedPair, SparseLadder};
+pub use levels::Tower;
+pub use nonmonotone::TwoZippers;
+pub use oneshot_hardness::{Graph, HardnessInstance};
+pub use rotating::RotatingChain;
+pub use working_set::WorkingSetChain;
+pub use zipper::Zipper;

@@ -1,0 +1,404 @@
+//! The Theorem 2 reduction: deciding whether one-shot SPP has a
+//! **zero-cost** pebbling is NP-hard, and the optimum cannot be
+//! approximated to any finite factor (or additive `n^{1−ε}`).
+//!
+//! The paper reduces from *clique* using towers of level gadgets whose
+//! exact wiring lives only in the full version. We realize the same
+//! theorem with a reduction we can prove correct end to end inside this
+//! codebase, from a linear-layout problem (the classical companion of
+//! one-shot pebbling):
+//!
+//! **Transient vertex separation** `vsΔ(G')`: the minimum over vertex
+//! orders `σ` of `max_i |∂(i−1) ∪ {v_i}|`, where `∂(j)` is the set of
+//! placed vertices that still have an unplaced neighbour. It sandwiches
+//! the vertex separation number (= pathwidth): `vs ≤ vsΔ ≤ vs + 1`.
+//!
+//! Reduction: for each vertex `v` a *group* of `b` source nodes; for
+//! each edge `e = (u,v)` a node `B_e` reading both full groups. In a
+//! zero-cost one-shot pebbling a completed group stays live exactly
+//! while some incident edge node is uncomputed — the vertex's layout
+//! interval — and completing group `v_i` costs `b·|∂(i−1) ∪ {v_i}|`
+//! pebbles, while all additive noise (edge sinks, partial groups) is
+//! `< b`. Hence with budget `r = b·W + b − 1` (and `b = 2(M+2)+1`):
+//!
+//! > a zero-cost pebbling exists **iff** `vsΔ(G') ≤ W`.
+//!
+//! [`HardnessInstance::amplified`] chains `t` independent copies so a NO
+//! instance forces I/O in every copy — the optimum is either `0` or
+//! grows with `t`, which padded to `t = n^{1−ε}` gives the Theorem 2
+//! inapproximability gap.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+
+/// An undirected graph for reduction inputs (simple edge list).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list (unordered pairs, stored as `u < v`, deduplicated).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph after normalizing and validating edges.
+    #[must_use]
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u != v && u < n && v < n, "bad edge ({u},{v})");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        Graph { n, edges: norm }
+    }
+
+    /// Whether some vertex has no incident edge (the reduction requires
+    /// none: an isolated group would be a permanent sink block).
+    #[must_use]
+    pub fn has_isolated_vertex(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        for &(u, v) in &self.edges {
+            seen[u] = true;
+            seen[v] = true;
+        }
+        seen.iter().any(|&s| !s)
+    }
+
+    fn adjacency_masks(&self) -> Vec<u32> {
+        let mut a = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            a[u] |= 1 << v;
+            a[v] |= 1 << u;
+        }
+        a
+    }
+
+    /// The classical vertex separation number (= pathwidth):
+    /// `min_σ max_i |∂(i)|`. Exponential DP over subsets; `n ≤ 20`.
+    #[must_use]
+    pub fn vertex_separation(&self) -> usize {
+        self.layout_bottleneck(false)
+    }
+
+    /// The transient vertex separation `vsΔ`:
+    /// `min_σ max_i |∂(i−1) ∪ {v_i}|`. Exponential DP; `n ≤ 20`.
+    #[must_use]
+    pub fn transient_vertex_separation(&self) -> usize {
+        self.layout_bottleneck(true)
+    }
+
+    fn layout_bottleneck(&self, transient: bool) -> usize {
+        let n = self.n;
+        assert!(n <= 20, "layout DP is exponential; n too large");
+        if n == 0 {
+            return 0;
+        }
+        let adj = self.adjacency_masks();
+        let full = (1u32 << n) - 1;
+        let boundary = |mask: u32| -> u32 {
+            let mut count = 0;
+            let mut m = mask;
+            while m != 0 {
+                let v = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if adj[v] & !mask != 0 {
+                    count += 1;
+                }
+            }
+            count
+        };
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashMap};
+        let mut best: HashMap<u32, u32> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        best.insert(0, 0);
+        heap.push((Reverse(0u32), 0u32));
+        while let Some((Reverse(peak), mask)) = heap.pop() {
+            if best.get(&mask).copied() != Some(peak) {
+                continue;
+            }
+            if mask == full {
+                return peak as usize;
+            }
+            let before = boundary(mask);
+            for v in 0..n {
+                let bit = 1u32 << v;
+                if mask & bit != 0 {
+                    continue;
+                }
+                let nm = mask | bit;
+                let step_cost = if transient {
+                    // |∂(i−1) ∪ {v_i}| = |∂(i−1)| + 1 (v_i is unplaced,
+                    // hence not in ∂(i−1)).
+                    before + 1
+                } else {
+                    boundary(nm)
+                };
+                let np = peak.max(step_cost).max(boundary(nm));
+                if best.get(&nm).is_none_or(|&p| np < p) {
+                    best.insert(nm, np);
+                    heap.push((Reverse(np), nm));
+                }
+            }
+        }
+        unreachable!("all vertices placeable")
+    }
+}
+
+/// A generated hardness instance.
+#[derive(Debug, Clone)]
+pub struct HardnessInstance {
+    /// The reduction DAG.
+    pub dag: Dag,
+    /// The decision budget: a zero-cost one-shot pebbling with
+    /// `r = budget` exists iff `vsΔ(G') ≤ W`.
+    pub budget: usize,
+    /// Scaling factor used.
+    pub b: usize,
+    /// Vertex groups (`b` source nodes each).
+    pub groups: Vec<Vec<NodeId>>,
+    /// Edge nodes in input order.
+    pub edge_nodes: Vec<NodeId>,
+}
+
+impl HardnessInstance {
+    /// Builds the reduction DAG for deciding `vsΔ(graph) ≤ w` with the
+    /// default scale `b = 2(M+2)+1`.
+    ///
+    /// # Panics
+    /// Panics if the graph has an isolated vertex (add a pendant edge
+    /// first) or `w == 0` while edges exist.
+    #[must_use]
+    pub fn build(graph: &Graph, w: usize) -> Self {
+        let m = graph.edges.len();
+        Self::build_with_scale(graph, w, 2 * (m + 2) + 1)
+    }
+
+    /// Builds the reduction DAG with an explicit scale `b`. The
+    /// zero-cost ⟺ `vsΔ ≤ w` guarantee requires `b ≥ M + 3`; smaller
+    /// scales are useful only to keep exact-solver experiments tiny.
+    ///
+    /// Note that for `w = 1` the budget `2b − 1` is below `Δ_in + 1 =
+    /// 2b + 1`, i.e. the game is infeasible outright — consistent with
+    /// the decision (no zero-cost pebbling) but without any valid
+    /// pebbling at all; gap experiments should use `w ≥ 2`.
+    #[must_use]
+    pub fn build_with_scale(graph: &Graph, w: usize, b: usize) -> Self {
+        assert!(!graph.has_isolated_vertex(), "isolated vertices unsupported");
+        assert!(w >= 1 || graph.edges.is_empty());
+        assert!(b >= 1);
+        let m = graph.edges.len();
+        let mut bld = DagBuilder::new();
+        // Each group is a *chain* of b nodes (not b independent sources):
+        // the liveness accounting is identical — all b nodes feed every
+        // incident edge node, so a completed group holds b live pebbles
+        // until its last incident edge is computed — but the exact
+        // solver's state space stays polynomial in b (prefix positions
+        // instead of arbitrary subsets).
+        let groups: Vec<Vec<NodeId>> = (0..graph.n)
+            .map(|v| {
+                let nodes: Vec<NodeId> = (0..b)
+                    .map(|i| bld.add_labeled_node(format!("A{v}_{i}")))
+                    .collect();
+                for pair in nodes.windows(2) {
+                    bld.add_edge(pair[0], pair[1]);
+                }
+                nodes
+            })
+            .collect();
+        let edge_nodes: Vec<NodeId> = graph
+            .edges
+            .iter()
+            .map(|&(u, v)| {
+                let e = bld.add_labeled_node(format!("B{u}_{v}"));
+                for &a in groups[u].iter().chain(&groups[v]) {
+                    bld.add_edge(a, e);
+                }
+                e
+            })
+            .collect();
+        bld.name(format!(
+            "oneshot_hardness(n={}, m={m}, w={w}, b={b})",
+            graph.n
+        ));
+        HardnessInstance {
+            dag: bld.build().expect("reduction is a DAG"),
+            budget: b * w + b - 1,
+            b,
+            groups,
+            edge_nodes,
+        }
+    }
+
+    /// Chains `t` independent copies of the reduction DAG (each copy's
+    /// last edge node feeds one source of the next copy) so a NO
+    /// instance forces I/O in every copy, while a YES instance still
+    /// pebbles at zero cost with `budget + 1` (one live relay value).
+    #[must_use]
+    pub fn amplified(graph: &Graph, w: usize, t: usize) -> (Dag, usize) {
+        assert!(t >= 1);
+        assert!(!graph.edges.is_empty(), "amplification needs an edge");
+        let m = graph.edges.len();
+        let b = 2 * (m + 2) + 1;
+        let mut bld = DagBuilder::new();
+        let mut prev_last: Option<NodeId> = None;
+        for copy in 0..t {
+            let groups: Vec<Vec<NodeId>> = (0..graph.n)
+                .map(|v| {
+                    let nodes: Vec<NodeId> = (0..b)
+                        .map(|i| bld.add_labeled_node(format!("c{copy}_A{v}_{i}")))
+                        .collect();
+                    for pair in nodes.windows(2) {
+                        bld.add_edge(pair[0], pair[1]);
+                    }
+                    nodes
+                })
+                .collect();
+            if let Some(relay) = prev_last {
+                bld.add_edge(relay, groups[0][0]);
+            }
+            let mut last = None;
+            for &(u, v) in &graph.edges {
+                let e = bld.add_labeled_node(format!("c{copy}_B{u}_{v}"));
+                for &a in groups[u].iter().chain(&groups[v]) {
+                    bld.add_edge(a, e);
+                }
+                last = Some(e);
+            }
+            prev_last = last;
+        }
+        bld.name(format!(
+            "oneshot_hardness_amplified(n={}, m={m}, w={w}, t={t})",
+            graph.n
+        ));
+        (
+            bld.build().expect("amplified reduction is a DAG"),
+            b * w + b - 1 + 1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::zero_io_pebbling_exists;
+
+    fn path3() -> Graph {
+        Graph::new(3, &[(0, 1), (1, 2)])
+    }
+
+    fn triangle() -> Graph {
+        Graph::new(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    fn k4() -> Graph {
+        Graph::new(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::new(n, &edges)
+    }
+
+    #[test]
+    fn vertex_separation_known_values() {
+        assert_eq!(path3().vertex_separation(), 1);
+        assert_eq!(triangle().vertex_separation(), 2);
+        assert_eq!(k4().vertex_separation(), 3);
+        assert_eq!(cycle(5).vertex_separation(), 2);
+        assert_eq!(Graph::new(4, &[]).vertex_separation(), 0);
+    }
+
+    #[test]
+    fn transient_vs_known_values() {
+        assert_eq!(path3().transient_vertex_separation(), 2);
+        assert_eq!(triangle().transient_vertex_separation(), 3);
+        assert_eq!(k4().transient_vertex_separation(), 4);
+        assert_eq!(cycle(4).transient_vertex_separation(), 3);
+        assert_eq!(cycle(5).transient_vertex_separation(), 3);
+    }
+
+    #[test]
+    fn sandwich_property() {
+        for g in [path3(), triangle(), k4(), cycle(4), cycle(5), cycle(6)] {
+            let vs = g.vertex_separation();
+            let vsd = g.transient_vertex_separation();
+            assert!(vsd == vs || vsd == vs + 1, "vs={vs} vsΔ={vsd}");
+        }
+    }
+
+    #[test]
+    fn graph_normalizes_edges() {
+        let g = Graph::new(3, &[(2, 0), (0, 2), (1, 0)]);
+        assert_eq!(g.edges, vec![(0, 1), (0, 2)]);
+        assert!(Graph::new(3, &[(0, 1)]).has_isolated_vertex());
+        assert!(!path3().has_isolated_vertex());
+    }
+
+    #[test]
+    fn reduction_soundness_and_completeness() {
+        // Zero-cost one-shot pebbling exists iff vsΔ(G') ≤ W — the
+        // executable heart of Theorem 2.
+        for g in [path3(), triangle(), cycle(4)] {
+            let vsd = g.transient_vertex_separation();
+            for w in (vsd - 1).max(1)..=vsd + 1 {
+                let inst = HardnessInstance::build(&g, w);
+                assert!(inst.dag.n() <= 64, "test instance too big");
+                let feasible = zero_io_pebbling_exists(&inst.dag, inst.budget)
+                    .expect("within solver limits");
+                assert_eq!(
+                    feasible,
+                    vsd <= w,
+                    "graph n={} m={} vsΔ={vsd} w={w}",
+                    g.n,
+                    g.edges.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amplified_yes_instance_still_zero_cost() {
+        let g = path3();
+        let vsd = g.transient_vertex_separation();
+        let (dag, budget) = HardnessInstance::amplified(&g, vsd, 2);
+        assert!(dag.n() <= 64);
+        assert_eq!(zero_io_pebbling_exists(&dag, budget), Some(true));
+    }
+
+    #[test]
+    fn no_instance_forces_io() {
+        // Triangle with W = 2 < vsΔ = 3 at a small explicit scale: the
+        // game is *feasible* (budget ≥ Δ_in + 1) yet no zero-cost
+        // pebbling exists — so the optimal one-shot pebbling must
+        // perform I/O. (b = 4 is below the YES-side guarantee scale, but
+        // the NO-side lower bound peak ≥ b·vsΔ = 12 > budget = 11 holds
+        // for any b; zero-I/O one-shot strategies are exactly compute
+        // orders, which is what the decision procedure enumerates.)
+        let g = triangle();
+        let b = 4;
+        let inst = HardnessInstance::build_with_scale(&g, 2, b);
+        let delta_in = inst.dag.max_in_degree();
+        assert!(inst.budget >= delta_in + 1, "game must stay feasible");
+        assert_eq!(
+            rbp_core::zero_io_pebbling_exists(&inst.dag, inst.budget),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn amplified_structure() {
+        let g = triangle();
+        let (dag, _budget) = HardnessInstance::amplified(&g, 1, 3);
+        let b = 2 * (3 + 2) + 1;
+        assert_eq!(dag.n(), 3 * (3 * b + 3));
+        let relay_edges = dag
+            .edges()
+            .filter(|&(u, v)| dag.label(u).contains("_B") && dag.label(v).contains("_A"))
+            .count();
+        assert_eq!(relay_edges, 2);
+    }
+}

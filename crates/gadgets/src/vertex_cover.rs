@@ -1,0 +1,150 @@
+//! Lemma 11 / Theorem 1 companion: vertex-cover-flavored pebbling
+//! instances for the APX-hardness experiment.
+//!
+//! The paper's APX-hardness proof (Lemma 11) reduces vertex cover on
+//! 3-regular graphs to SPP *with computation costs* via constant-size
+//! node gadgets; the exact gadgets live in the full version. This module
+//! provides the experiment substrate: the incidence DAG of a graph (one
+//! source per vertex, one depth-1 node per edge, a fixed-order collector
+//! chain) plus a brute-force minimum vertex cover, so `exp_vertex_cover`
+//! can measure how the optimal pebbling cost co-varies with the cover
+//! number across small 3-regular graphs — the qualitative heart of the
+//! L-reduction ("a specific part of the I/O cost is proportional to the
+//! size of a vertex cover").
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+
+pub use crate::oneshot_hardness::Graph;
+
+/// The incidence DAG of `graph`: vertex sources, edge nodes
+/// (in-degree 2), and a collector chain consuming the edge nodes in the
+/// given order so edge values die as the collector passes.
+#[must_use]
+pub fn incidence_dag(graph: &Graph) -> Dag {
+    let mut b = DagBuilder::new();
+    let vs: Vec<NodeId> = (0..graph.n)
+        .map(|v| b.add_labeled_node(format!("V{v}")))
+        .collect();
+    let es: Vec<NodeId> = graph
+        .edges
+        .iter()
+        .map(|&(u, v)| {
+            let e = b.add_labeled_node(format!("E{u}_{v}"));
+            b.add_edge(vs[u], e);
+            b.add_edge(vs[v], e);
+            e
+        })
+        .collect();
+    let mut prev: Option<NodeId> = None;
+    for (i, &e) in es.iter().enumerate() {
+        let c = b.add_labeled_node(format!("C{i}"));
+        b.add_edge(e, c);
+        if let Some(p) = prev {
+            b.add_edge(p, c);
+        }
+        prev = Some(c);
+    }
+    b.name(format!("incidence(n={}, m={})", graph.n, graph.edges.len()));
+    b.build().expect("incidence DAG")
+}
+
+/// Brute-force minimum vertex cover size (exponential; `n ≤ 20`).
+#[must_use]
+pub fn min_vertex_cover(graph: &Graph) -> usize {
+    let n = graph.n;
+    assert!(n <= 20, "brute force; n too large");
+    let mut best = n;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        let covers = graph
+            .edges
+            .iter()
+            .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0);
+        if covers {
+            best = size;
+        }
+    }
+    best
+}
+
+/// A deterministic small 3-regular graph family for the experiment:
+/// the Möbius–Kantor-style circulant `C_n(1, n/2)` (n even, n ≥ 4) —
+/// every vertex has neighbours `±1` and the antipode.
+#[must_use]
+pub fn cubic_circulant(n: usize) -> Graph {
+    assert!(n >= 4 && n.is_multiple_of(2), "need even n ≥ 4");
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i < n / 2 {
+            edges.push((i, i + n / 2));
+        }
+    }
+    Graph::new(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::DagStats;
+
+    #[test]
+    fn incidence_shape() {
+        let g = Graph::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        let d = incidence_dag(&g);
+        let s = DagStats::compute(&d);
+        assert_eq!(s.n, 3 + 3 + 3);
+        assert_eq!(s.sources, 3);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn vertex_cover_known_values() {
+        let triangle = Graph::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(min_vertex_cover(&triangle), 2);
+        let path = Graph::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(min_vertex_cover(&path), 2);
+        let star = Graph::new(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(min_vertex_cover(&star), 1);
+        assert_eq!(min_vertex_cover(&Graph::new(3, &[])), 0);
+    }
+
+    #[test]
+    fn cubic_circulant_is_3_regular() {
+        for n in [4usize, 6, 8] {
+            let g = cubic_circulant(n);
+            let mut deg = vec![0usize; n];
+            for &(u, v) in &g.edges {
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+            assert!(deg.iter().all(|&d| d == 3), "n={n}: {deg:?}");
+            assert_eq!(g.edges.len(), 3 * n / 2);
+        }
+    }
+
+    #[test]
+    fn pebbling_cost_rises_with_cover_number() {
+        use rbp_core::{solve_spp, SolveLimits, SppInstance};
+        // Same vertex set: the triangle (VC 2) strictly dominates the
+        // path (VC 1 lower) in optimal pebbling cost at tight memory.
+        let p3 = Graph::new(3, &[(0, 1), (1, 2)]);
+        let tri = Graph::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(min_vertex_cover(&p3), 1);
+        assert_eq!(min_vertex_cover(&tri), 2);
+        let lim = SolveLimits::default();
+        let g = 2;
+        let r = 3;
+        let cost = |gr: &Graph| {
+            let d = incidence_dag(gr);
+            solve_spp(&SppInstance::with_compute(&d, r, g), lim)
+                .unwrap()
+                .total
+        };
+        assert!(cost(&tri) > cost(&p3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Working-set chain: the maximally memory-hungry sequential workload.
+//!
+//! `w` source nodes form a working set `W`; a main chain of `n0` nodes
+//! each reads **all** of `W` plus the previous chain node, so
+//! `Δ_in = w + 1` and any valid pebbling needs `r ≥ w + 2`. At exactly
+//! `r = w + 2` the working set stays resident and the chain is I/O-free
+//! (`strategy_resident`); `strategy_pinned` models richer surroundings
+//! where only part of `W` can stay resident between nodes and the rest
+//! must be reloaded every node (cost `≈ (w − pin)·g + 1` per node).
+//!
+//! For the paper's *fair comparison* (Lemma 8), where the per-processor
+//! memory shrinks below `Δ_in + 1`, see
+//! [`rotating`](crate::rotating::RotatingChain) — there the in-degree
+//! stays small while the *effective* working set stays large, so reduced
+//! memory degrades cost instead of killing feasibility.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+use rbp_core::{MppError, MppInstance, MppRun, MppSimulator};
+
+/// A generated working-set chain.
+#[derive(Debug, Clone)]
+pub struct WorkingSetChain {
+    /// The DAG.
+    pub dag: Dag,
+    /// The working set `W` (sources).
+    pub w_set: Vec<NodeId>,
+    /// The main chain.
+    pub chain: Vec<NodeId>,
+    /// `|W|`.
+    pub w: usize,
+}
+
+impl WorkingSetChain {
+    /// Builds the gadget with `|W| = w` and a chain of `n0` nodes.
+    #[must_use]
+    pub fn build(w: usize, n0: usize) -> Self {
+        assert!(w >= 1 && n0 >= 1);
+        let mut b = DagBuilder::new();
+        let w_set: Vec<NodeId> = (0..w)
+            .map(|i| b.add_labeled_node(format!("w{i}")))
+            .collect();
+        let mut chain = Vec::with_capacity(n0);
+        let mut prev: Option<NodeId> = None;
+        for i in 1..=n0 {
+            let v = b.add_labeled_node(format!("v{i}"));
+            for &u in &w_set {
+                b.add_edge(u, v);
+            }
+            if let Some(p) = prev {
+                b.add_edge(p, v);
+            }
+            prev = Some(v);
+            chain.push(v);
+        }
+        b.name(format!("working_set_chain(w={w}, n0={n0})"));
+        WorkingSetChain {
+            dag: b.build().expect("working-set chain is a DAG"),
+            w_set,
+            chain,
+            w,
+        }
+    }
+
+    /// The comfortable memory size: `w + 2`.
+    #[must_use]
+    pub fn resident_r(&self) -> usize {
+        self.w + 2
+    }
+
+    /// Single processor, `r = w + 2`: working set stays resident, zero
+    /// I/O, cost `n`.
+    pub fn strategy_resident(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, self.resident_r(), g);
+        let mut sim = MppSimulator::new(inst);
+        for &u in &self.w_set {
+            sim.compute(vec![(0, u)])?;
+        }
+        let mut prev: Option<NodeId> = None;
+        for &v in &self.chain {
+            sim.compute(vec![(0, v)])?;
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        sim.finish()
+    }
+
+    /// Single processor, `r = w + 2`, but with only `pin ≤ w` working-set
+    /// values kept resident *between* chain nodes: the other `w − pin`
+    /// are stored once and reloaded for every node (cost
+    /// `≈ (w − pin)·g + 1` per node). Models surroundings where part of
+    /// the fast memory is owed to other state.
+    pub fn strategy_pinned(&self, g: u64, pin: usize) -> Result<MppRun, MppError> {
+        assert!(pin <= self.w);
+        let inst = MppInstance::new(&self.dag, 1, self.resident_r(), g);
+        let mut sim = MppSimulator::new(inst);
+        // Compute all of W once and store the un-pinned part.
+        for &u in &self.w_set {
+            sim.compute(vec![(0, u)])?;
+        }
+        let (pinned, floating) = self.w_set.split_at(pin);
+        let _ = pinned;
+        for &u in floating {
+            sim.store(vec![(0, u)])?;
+            sim.remove_red(0, u)?;
+        }
+        let mut prev: Option<NodeId> = None;
+        for &v in &self.chain {
+            // Load floating values, compute, evict them again.
+            for &u in floating {
+                sim.load(vec![(0, u)])?;
+            }
+            sim.compute(vec![(0, v)])?;
+            for &u in floating {
+                sim.remove_red(0, u)?;
+            }
+            if let Some(p) = prev {
+                sim.remove_red(0, p)?;
+            }
+            prev = Some(v);
+        }
+        sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::DagStats;
+    use rbp_core::CostModel;
+
+    #[test]
+    fn shape() {
+        let ws = WorkingSetChain::build(4, 10);
+        let s = DagStats::compute(&ws.dag);
+        assert_eq!(s.n, 14);
+        assert_eq!(s.max_in_degree, 5);
+        assert_eq!(s.sources, 4);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.m, 4 * 10 + 9);
+    }
+
+    #[test]
+    fn resident_strategy_is_io_free() {
+        let ws = WorkingSetChain::build(5, 20);
+        let run = ws.strategy_resident(7).unwrap();
+        assert_eq!(run.cost.io_steps(), 0);
+        assert_eq!(run.cost.computes as usize, 25);
+    }
+
+    #[test]
+    fn pinned_strategy_pays_per_missing_value() {
+        let w = 6;
+        let n0 = 10;
+        let g = 3;
+        let ws = WorkingSetChain::build(w, n0);
+        for pin in [0, 2, 4, 6] {
+            let run = ws.strategy_pinned(g, pin).unwrap();
+            let missing = (w - pin) as u64;
+            assert_eq!(run.cost.loads, missing * n0 as u64, "pin={pin}");
+            assert_eq!(run.cost.stores, missing, "pin={pin}");
+            // Per-node cost ≈ missing·g + 1.
+            let per_node =
+                run.cost.total(CostModel::mpp(g)) as f64 / n0 as f64;
+            assert!(per_node >= (missing * g) as f64, "pin={pin}");
+        }
+    }
+
+    #[test]
+    fn pinned_with_full_pin_equals_resident_plus_nothing() {
+        let ws = WorkingSetChain::build(3, 8);
+        let run = ws.strategy_pinned(2, 3).unwrap();
+        assert_eq!(run.cost.io_steps(), 0);
+    }
+
+    #[test]
+    fn strategies_validate() {
+        let ws = WorkingSetChain::build(4, 6);
+        let inst = MppInstance::new(&ws.dag, 1, ws.resident_r(), 2);
+        for run in [
+            ws.strategy_resident(2).unwrap(),
+            ws.strategy_pinned(2, 1).unwrap(),
+        ] {
+            assert_eq!(run.strategy.validate(&inst).unwrap(), run.cost);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Eviction policies: which red pebble to sacrifice when fast memory is
+//! full.
+//!
+//! Policies only *rank* candidates; the schedulers decide which pebbles
+//! are protected (inputs of an in-flight compute) and handle the store-
+//! before-drop bookkeeping that keeps last copies safe.
+
+use rbp_core::rbp_dag::{Dag, NodeId, NodeSet};
+
+/// Strategy for choosing an eviction victim among unprotected red pebbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the value whose next use (smallest topological rank among
+    /// uncomputed successors) is furthest in the future — the Belady-style
+    /// choice under the scheduler's topological processing order.
+    #[default]
+    FurthestUse,
+    /// Evict the least-recently-touched value.
+    Lru,
+    /// Evict the value with the fewest remaining uncomputed successors.
+    FewestUses,
+}
+
+/// Context a policy needs to rank candidates.
+pub struct EvictionContext<'a> {
+    /// The DAG being pebbled.
+    pub dag: &'a Dag,
+    /// Topological rank of every node (processing order proxy).
+    pub topo_rank: &'a [usize],
+    /// Globally computed nodes (used to find *uncomputed* successors).
+    pub computed: &'a NodeSet,
+    /// Last tick each node was touched on this processor (LRU).
+    pub last_touch: &'a [u64],
+}
+
+impl EvictionPolicy {
+    /// Picks a victim among `candidates` (must be non-empty).
+    ///
+    /// Dead values — nodes that are neither sinks nor have uncomputed
+    /// successors — are always preferred regardless of policy: evicting
+    /// them never costs a store or a reload.
+    #[must_use]
+    pub fn pick(self, ctx: &EvictionContext, candidates: &[NodeId]) -> NodeId {
+        assert!(!candidates.is_empty(), "no eviction candidates");
+        // Dead first.
+        if let Some(&dead) = candidates.iter().find(|&&v| {
+            ctx.dag.out_degree(v) > 0
+                && ctx.dag.succs(v).iter().all(|&s| ctx.computed.contains(s))
+        }) {
+            return dead;
+        }
+        match self {
+            EvictionPolicy::FurthestUse => *candidates
+                .iter()
+                .max_by_key(|&&v| (next_use_rank(ctx, v), v))
+                .unwrap(),
+            EvictionPolicy::Lru => *candidates
+                .iter()
+                .min_by_key(|&&v| (ctx.last_touch[v.index()], v))
+                .unwrap(),
+            EvictionPolicy::FewestUses => *candidates
+                .iter()
+                .min_by_key(|&&v| {
+                    let uses = ctx
+                        .dag
+                        .succs(v)
+                        .iter()
+                        .filter(|&&s| !ctx.computed.contains(s))
+                        .count();
+                    (uses, v)
+                })
+                .unwrap(),
+        }
+    }
+}
+
+/// Smallest topological rank among uncomputed successors of `v`
+/// (`usize::MAX` when all successors are computed — or `v` is a sink).
+fn next_use_rank(ctx: &EvictionContext, v: NodeId) -> usize {
+    ctx.dag
+        .succs(v)
+        .iter()
+        .filter(|&&s| !ctx.computed.contains(s))
+        .map(|&s| ctx.topo_rank[s.index()])
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::{dag_from_edges, NodeSet};
+
+    /// 0 -> 2, 1 -> 3 (2 before 3 topologically).
+    fn ctx_dag() -> rbp_core::rbp_dag::Dag {
+        dag_from_edges(4, &[(0, 2), (1, 3)])
+    }
+
+    #[test]
+    fn dead_values_always_preferred() {
+        let d = ctx_dag();
+        let rank: Vec<usize> = (0..4).collect();
+        // 2 computed → 0 is dead.
+        let computed = NodeSet::from_iter(4, [NodeId(0), NodeId(1), NodeId(2)]);
+        let touch = vec![0; 4];
+        let ctx = EvictionContext {
+            dag: &d,
+            topo_rank: &rank,
+            computed: &computed,
+            last_touch: &touch,
+        };
+        for policy in [
+            EvictionPolicy::FurthestUse,
+            EvictionPolicy::Lru,
+            EvictionPolicy::FewestUses,
+        ] {
+            assert_eq!(policy.pick(&ctx, &[NodeId(1), NodeId(0)]), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn furthest_use_prefers_later_consumer() {
+        let d = ctx_dag();
+        let rank: Vec<usize> = (0..4).collect();
+        let computed = NodeSet::from_iter(4, [NodeId(0), NodeId(1)]);
+        let touch = vec![0; 4];
+        let ctx = EvictionContext {
+            dag: &d,
+            topo_rank: &rank,
+            computed: &computed,
+            last_touch: &touch,
+        };
+        // 0 is next used at rank 2, 1 at rank 3 → evict 1.
+        assert_eq!(
+            EvictionPolicy::FurthestUse.pick(&ctx, &[NodeId(0), NodeId(1)]),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn lru_prefers_oldest_touch() {
+        let d = ctx_dag();
+        let rank: Vec<usize> = (0..4).collect();
+        let computed = NodeSet::from_iter(4, [NodeId(0), NodeId(1)]);
+        let touch = vec![5, 2, 0, 0];
+        let ctx = EvictionContext {
+            dag: &d,
+            topo_rank: &rank,
+            computed: &computed,
+            last_touch: &touch,
+        };
+        assert_eq!(
+            EvictionPolicy::Lru.pick(&ctx, &[NodeId(0), NodeId(1)]),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn fewest_uses_prefers_nearly_dead() {
+        // 0 feeds two uncomputed nodes, 1 feeds one.
+        let d = dag_from_edges(5, &[(0, 2), (0, 3), (1, 4)]);
+        let rank: Vec<usize> = (0..5).collect();
+        let computed = NodeSet::from_iter(5, [NodeId(0), NodeId(1)]);
+        let touch = vec![0; 5];
+        let ctx = EvictionContext {
+            dag: &d,
+            topo_rank: &rank,
+            computed: &computed,
+            last_touch: &touch,
+        };
+        assert_eq!(
+            EvictionPolicy::FewestUses.pick(&ctx, &[NodeId(0), NodeId(1)]),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no eviction candidates")]
+    fn empty_candidates_panic() {
+        let d = ctx_dag();
+        let rank: Vec<usize> = (0..4).collect();
+        let computed = NodeSet::new(4);
+        let touch = vec![0; 4];
+        let ctx = EvictionContext {
+            dag: &d,
+            topo_rank: &rank,
+            computed: &computed,
+            last_touch: &touch,
+        };
+        let _ = EvictionPolicy::Lru.pick(&ctx, &[]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The paper's greedy scheduler class (§4, Lemmas 3–4).
+//!
+//! Each round, every processor `p` picks the *ready* uncomputed node with
+//! the largest number (or fraction) of in-neighbours currently holding a
+//! red pebble of `p`'s shade, fetches the missing inputs through slow
+//! memory (store by the owner, load by `p`), and all chosen nodes are
+//! computed in one batched R3-M step. How ties are broken, how fast
+//! memory is evicted, and whether cheap recomputation replaces I/O are
+//! configuration knobs — Lemma 4's lower bound holds for the *whole*
+//! class, so the experiments sweep these knobs.
+//!
+//! Invariant maintained throughout: the last copy of a value that is a
+//! sink or still has uncomputed successors is never destroyed (it is
+//! stored to slow memory first), so fetches always succeed and the final
+//! configuration is terminal.
+
+use rbp_core::rbp_dag::{NodeId, NodeSet};
+use rbp_core::{MppError, MppErrorKind, MppInstance, MppRun, MppSimulator, ProcId};
+
+use crate::eviction::{EvictionContext, EvictionPolicy};
+use crate::MppScheduler;
+
+/// Affinity metric: how a processor scores candidate nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// Largest number of in-neighbours with a red pebble of this shade.
+    #[default]
+    Count,
+    /// Largest fraction of in-neighbours with a red pebble of this shade.
+    Fraction,
+}
+
+/// Tie-breaking among equally attractive candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Earliest in the deterministic topological order.
+    #[default]
+    SmallestRank,
+    /// Smallest node id.
+    SmallestId,
+    /// Most successors (unlocks the most future work).
+    MostSuccessors,
+}
+
+/// Configuration of a greedy scheduler instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyConfig {
+    /// Candidate scoring.
+    pub affinity: Affinity,
+    /// Tie-breaking rule.
+    pub tie_break: TieBreak,
+    /// Eviction policy for full fast memories.
+    pub eviction: EvictionPolicy,
+    /// Recompute an input on the spot when that is cheaper than I/O
+    /// (§3.3/§4 recomputation trade-off).
+    pub allow_recompute: bool,
+}
+
+/// The greedy scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy {
+    config: GreedyConfig,
+}
+
+impl Greedy {
+    /// Creates a greedy scheduler with the given knobs.
+    #[must_use]
+    pub fn new(config: GreedyConfig) -> Self {
+        Greedy { config }
+    }
+}
+
+impl MppScheduler for Greedy {
+    fn name(&self) -> String {
+        let c = &self.config;
+        format!(
+            "greedy({}{}, {:?}, {:?})",
+            match c.affinity {
+                Affinity::Count => "count",
+                Affinity::Fraction => "fraction",
+            },
+            if c.allow_recompute { "+recompute" } else { "" },
+            c.tie_break,
+            c.eviction,
+        )
+    }
+
+    fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
+        GreedyRun::new(*instance, self.config).run()
+    }
+}
+
+struct GreedyRun<'a> {
+    sim: MppSimulator<'a>,
+    cfg: GreedyConfig,
+    k: usize,
+    r: usize,
+    topo_rank: Vec<usize>,
+    /// last_touch[p][v]: tick of last access by processor p.
+    last_touch: Vec<Vec<u64>>,
+    tick: u64,
+}
+
+impl<'a> GreedyRun<'a> {
+    fn new(instance: MppInstance<'a>, cfg: GreedyConfig) -> Self {
+        let topo = instance.dag.topo();
+        let n = instance.dag.n();
+        let topo_rank: Vec<usize> = (0..n)
+            .map(|i| topo.rank(NodeId::new(i)))
+            .collect();
+        GreedyRun {
+            k: instance.k,
+            r: instance.r,
+            sim: MppSimulator::new(instance),
+            cfg,
+            topo_rank,
+            last_touch: vec![vec![0; n]; instance.k],
+            tick: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<MppRun, MppError> {
+        let dag = self.sim.instance().dag;
+        let n = dag.n();
+        let max_rounds = 20 * n + 100;
+        for _round in 0..max_rounds {
+            if self.sim.config().computed.len() == n {
+                break;
+            }
+            self.tick += 1;
+            let targets = self.claim_targets();
+            if targets.is_empty() {
+                // Should be impossible: ready nodes exist while any node
+                // is uncomputed.
+                return Err(MppError {
+                    step: self.sim.steps(),
+                    kind: MppErrorKind::EmptySelection,
+                });
+            }
+            // Fetch inputs per processor.
+            for &(p, v) in &targets {
+                self.fetch_inputs(p, v)?;
+            }
+            // One batched compute step for all targets.
+            let batch: Vec<(ProcId, NodeId)> = targets.clone();
+            for &(p, v) in &batch {
+                self.make_room(p, &self.protected_for(p, v))?;
+                self.touch(p, v);
+                for &u in dag.preds(v) {
+                    self.touch(p, u);
+                }
+            }
+            self.sim.compute(batch)?;
+        }
+        self.sim.finish()
+    }
+
+    /// Ready nodes: uncomputed, all predecessors computed.
+    fn ready_nodes(&self) -> Vec<NodeId> {
+        let dag = self.sim.instance().dag;
+        let computed = &self.sim.config().computed;
+        dag.nodes()
+            .filter(|&v| {
+                !computed.contains(v) && dag.preds(v).iter().all(|&u| computed.contains(u))
+            })
+            .collect()
+    }
+
+    /// Each processor claims its best unclaimed ready node.
+    fn claim_targets(&self) -> Vec<(ProcId, NodeId)> {
+        let dag = self.sim.instance().dag;
+        let ready = self.ready_nodes();
+        let mut claimed = NodeSet::new(dag.n());
+        let mut out = Vec::new();
+        for p in 0..self.k {
+            let reds = &self.sim.config().reds[p];
+            let best = ready
+                .iter()
+                .copied()
+                .filter(|&v| !claimed.contains(v))
+                .max_by(|&a, &b| {
+                    self.score(p, a, reds)
+                        .partial_cmp(&self.score(p, b, reds))
+                        .unwrap()
+                        .then_with(|| self.tie_key(b).cmp(&self.tie_key(a)))
+                });
+            if let Some(v) = best {
+                claimed.insert(v);
+                out.push((p, v));
+            }
+        }
+        out
+    }
+
+    fn score(&self, p: ProcId, v: NodeId, reds: &NodeSet) -> f64 {
+        let dag = self.sim.instance().dag;
+        let have = dag.preds(v).iter().filter(|&&u| reds.contains(u)).count() as f64;
+        let _ = p;
+        match self.cfg.affinity {
+            Affinity::Count => have,
+            Affinity::Fraction => have / (dag.preds(v).len().max(1) as f64),
+        }
+    }
+
+    /// Smaller key = preferred on ties.
+    fn tie_key(&self, v: NodeId) -> (usize, usize) {
+        let dag = self.sim.instance().dag;
+        match self.cfg.tie_break {
+            TieBreak::SmallestRank => (self.topo_rank[v.index()], v.index()),
+            TieBreak::SmallestId => (v.index(), 0),
+            TieBreak::MostSuccessors => (usize::MAX - dag.out_degree(v), v.index()),
+        }
+    }
+
+    /// Brings every input of `v` into `p`'s fast memory.
+    fn fetch_inputs(&mut self, p: ProcId, v: NodeId) -> Result<(), MppError> {
+        let dag = self.sim.instance().dag;
+        let missing: Vec<NodeId> = dag
+            .preds(v)
+            .iter()
+            .copied()
+            .filter(|&u| !self.sim.config().reds[p].contains(u))
+            .collect();
+        for u in missing {
+            if self.sim.config().reds[p].contains(u) {
+                continue; // may have been recomputed as a side effect
+            }
+            let protected = self.protected_for(p, v);
+            if self.cfg.allow_recompute && self.recompute_beneficial(p, u) {
+                // Recomputing u must not evict u's own inputs.
+                let mut prot = protected.clone();
+                for &w in dag.preds(u) {
+                    if self.sim.config().reds[p].contains(w) {
+                        prot.insert(w);
+                    }
+                }
+                if self.try_make_room(p, &prot)? {
+                    self.touch(p, u);
+                    self.sim.compute(vec![(p, u)])?;
+                    continue;
+                }
+                // No evictable slot with the larger protected set; fall
+                // through to the I/O path.
+            }
+            // Ensure a blue copy exists.
+            if !self.sim.config().blue.contains(u) {
+                let owner = (0..self.k)
+                    .find(|&q| self.sim.config().reds[q].contains(u))
+                    .expect("last-copy invariant violated: value lost");
+                self.sim.store(vec![(owner, u)])?;
+            }
+            self.make_room(p, &protected)?;
+            self.touch(p, u);
+            self.sim.load(vec![(p, u)])?;
+        }
+        Ok(())
+    }
+
+    /// Inputs of `v` must not be evicted while fetching/computing `v`.
+    fn protected_for(&self, p: ProcId, v: NodeId) -> NodeSet {
+        let dag = self.sim.instance().dag;
+        let mut prot = NodeSet::new(dag.n());
+        for &u in dag.preds(v) {
+            if self.sim.config().reds[p].contains(u) {
+                prot.insert(u);
+            }
+        }
+        prot
+    }
+
+    /// Recomputing `u` on `p` is legal now and cheaper than fetching it.
+    fn recompute_beneficial(&self, p: ProcId, u: NodeId) -> bool {
+        let inst = self.sim.instance();
+        let dag = inst.dag;
+        let reds = &self.sim.config().reds[p];
+        if !dag.preds(u).iter().all(|&w| reds.contains(w)) {
+            return false;
+        }
+        let fetch_cost = if self.sim.config().blue.contains(u) {
+            inst.model.g
+        } else {
+            2 * inst.model.g
+        };
+        inst.model.compute < fetch_cost
+    }
+
+    /// Frees one slot in `p`'s fast memory if it is full.
+    ///
+    /// # Panics
+    /// Panics if the memory is full and every pebble is protected; callers
+    /// keep `|protected| ≤ Δ_in < r` so this cannot happen. Use
+    /// [`Self::try_make_room`] when the protected set may be larger.
+    fn make_room(&mut self, p: ProcId, protected: &NodeSet) -> Result<(), MppError> {
+        let ok = self.try_make_room(p, protected)?;
+        assert!(ok, "no evictable pebble on processor {p}");
+        Ok(())
+    }
+
+    /// Frees one slot if full; returns `Ok(false)` when full but every
+    /// pebble is protected.
+    fn try_make_room(&mut self, p: ProcId, protected: &NodeSet) -> Result<bool, MppError> {
+        if self.sim.config().reds[p].len() < self.r {
+            return Ok(true);
+        }
+        let dag = self.sim.instance().dag;
+        let candidates: Vec<NodeId> = self.sim.config().reds[p]
+            .iter()
+            .filter(|&w| !protected.contains(w))
+            .collect();
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        let ctx = EvictionContext {
+            dag,
+            topo_rank: &self.topo_rank,
+            computed: &self.sim.config().computed,
+            last_touch: &self.last_touch[p],
+        };
+        let victim = self.cfg.eviction.pick(&ctx, &candidates);
+        // Store-before-drop when this is the last copy of a needed value.
+        let needed = dag.out_degree(victim) == 0
+            || dag
+                .succs(victim)
+                .iter()
+                .any(|&s| !self.sim.config().computed.contains(s));
+        let other_copy = self.sim.config().blue.contains(victim)
+            || (0..self.k)
+                .any(|q| q != p && self.sim.config().reds[q].contains(victim));
+        if needed && !other_copy {
+            self.sim.store(vec![(p, victim)])?;
+        }
+        self.sim.remove_red(p, victim)?;
+        Ok(true)
+    }
+
+    fn touch(&mut self, p: ProcId, v: NodeId) {
+        self.last_touch[p][v.index()] = self.tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::{dag_from_edges, generators, DagStats};
+    use rbp_core::MppRunStats;
+
+    fn run_all_configs(dag: &rbp_core::rbp_dag::Dag, k: usize, r: usize, g: u64) {
+        let inst = MppInstance::new(dag, k, r, g);
+        for affinity in [Affinity::Count, Affinity::Fraction] {
+            for tie in [
+                TieBreak::SmallestRank,
+                TieBreak::SmallestId,
+                TieBreak::MostSuccessors,
+            ] {
+                for ev in [
+                    EvictionPolicy::FurthestUse,
+                    EvictionPolicy::Lru,
+                    EvictionPolicy::FewestUses,
+                ] {
+                    for rec in [false, true] {
+                        let s = Greedy::new(GreedyConfig {
+                            affinity,
+                            tie_break: tie,
+                            eviction: ev,
+                            allow_recompute: rec,
+                        });
+                        let run = s
+                            .schedule(&inst)
+                            .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+                        let cost = run.strategy.validate(&inst).unwrap();
+                        assert_eq!(cost, run.cost, "{}", s.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_configs_valid_on_tree() {
+        run_all_configs(&generators::binary_in_tree(8), 2, 3, 3);
+    }
+
+    #[test]
+    fn all_configs_valid_on_fft() {
+        run_all_configs(&generators::fft(3), 3, 3, 2);
+    }
+
+    #[test]
+    fn all_configs_valid_on_tight_memory_grid() {
+        run_all_configs(&generators::grid(4, 4), 2, 3, 5);
+    }
+
+    #[test]
+    fn all_configs_valid_on_random_layered() {
+        run_all_configs(&generators::layered_random(5, 6, 3, 3), 4, 4, 2);
+    }
+
+    #[test]
+    fn chain_on_one_processor_is_optimal() {
+        // A chain has no parallelism or memory pressure: greedy should
+        // find the I/O-free schedule.
+        let dag = generators::chain(20);
+        let inst = MppInstance::new(&dag, 1, 2, 10);
+        let run = Greedy::default().schedule(&inst).unwrap();
+        assert_eq!(run.cost.io_steps(), 0);
+        assert_eq!(run.cost.computes, 20);
+    }
+
+    #[test]
+    fn parallel_chains_use_batched_computes() {
+        let dag = generators::independent_chains(2, 10);
+        let inst = MppInstance::new(&dag, 2, 3, 5);
+        let run = Greedy::default().schedule(&inst).unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert!(
+            stats.avg_compute_batch > 1.5,
+            "expected parallel batches, got {}",
+            stats.avg_compute_batch
+        );
+        assert_eq!(run.cost.computes, 10, "chains advance in lockstep");
+    }
+
+    #[test]
+    fn respects_lemma3_worst_case_bound() {
+        // Greedy is never worse than 2(g(Δin+1)+1)·OPT ≥ the Lemma 1
+        // bound; sanity-check against the absolute Lemma 1 ceiling.
+        let dag = generators::layered_random(4, 5, 2, 17);
+        let stats = DagStats::compute(&dag);
+        let inst = MppInstance::new(&dag, 2, 4, 3);
+        let run = Greedy::default().schedule(&inst).unwrap();
+        let ceiling = (3 * (stats.max_in_degree as u64 + 1) + 1) * stats.n as u64;
+        assert!(run.cost.total(inst.model) <= ceiling);
+    }
+
+    #[test]
+    fn recompute_config_avoids_io_on_zipper_shape() {
+        // Two source groups feeding a chain: with tight memory the
+        // recompute-enabled greedy should spend computes instead of I/O
+        // for the cheap sources when g is large.
+        let dag = dag_from_edges(
+            8,
+            &[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4), (2, 5), (3, 6), (5, 6), (4, 7), (6, 7)],
+        );
+        let inst = MppInstance::new(&dag, 1, 3, 10);
+        let no_rec = Greedy::new(GreedyConfig::default())
+            .schedule(&inst)
+            .unwrap();
+        let with_rec = Greedy::new(GreedyConfig {
+            allow_recompute: true,
+            ..GreedyConfig::default()
+        })
+        .schedule(&inst)
+        .unwrap();
+        assert!(
+            with_rec.cost.total(inst.model) <= no_rec.cost.total(inst.model),
+            "recompute {} vs plain {}",
+            with_rec.cost.total(inst.model),
+            no_rec.cost.total(inst.model)
+        );
+    }
+
+    #[test]
+    fn minimum_feasible_memory_works() {
+        let dag = generators::diamond(4); // Δin = 4
+        let inst = MppInstance::new(&dag, 2, 5, 2);
+        let run = Greedy::default().schedule(&inst).unwrap();
+        run.strategy.validate(&inst).unwrap();
+    }
+}

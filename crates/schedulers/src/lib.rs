@@ -1,0 +1,108 @@
+//! # rbp-schedulers — heuristic pebbling strategies
+//!
+//! Polynomial-time schedulers that produce **valid** MPP strategies on
+//! arbitrary DAGs (every move goes through the rule-enforcing
+//! [`rbp_core::MppSimulator`], so an illegal schedule is a bug that
+//! surfaces immediately, not a silently wrong cost).
+//!
+//! - [`TopoBaseline`] — the Lemma 1 upper-bound strategy: per node, load
+//!   inputs / compute / store / evict. Cost ≤ `(g(Δin+1)+1)·n`.
+//! - [`Greedy`] — the paper's greedy class (§4, Lemmas 3–4): each
+//!   processor repeatedly picks the ready node with the largest number
+//!   (or fraction) of inputs it already holds; pluggable tie-breaking,
+//!   eviction policies, optional recomputation.
+//! - [`Wavefront`] — level-synchronous scheduling, round-robin within a
+//!   topological level, everything communicated through slow memory.
+//! - [`Partition`] — owner-computes partitioning (most-inputs-local,
+//!   least-loaded tie-break) with round-based parallel execution.
+//! - [`spp_belady`] — a single-processor reference scheduler with
+//!   Belady-style eviction, producing SPP strategies.
+//!
+//! All schedulers implement [`MppScheduler`]; [`all_schedulers`] returns
+//! a registry used by the experiment sweeps.
+
+#![warn(missing_docs)]
+
+pub mod eviction;
+pub mod greedy;
+pub mod partition;
+pub mod spp_belady;
+pub mod topo_baseline;
+pub mod wavefront;
+
+pub use eviction::EvictionPolicy;
+pub use greedy::{Affinity, Greedy, GreedyConfig, TieBreak};
+pub use partition::Partition;
+pub use spp_belady::spp_belady;
+pub use topo_baseline::TopoBaseline;
+pub use wavefront::Wavefront;
+
+use rbp_core::{MppError, MppInstance, MppRun};
+
+/// A scheduler producing a valid MPP strategy for any feasible instance.
+///
+/// Schedulers are stateless configuration holders, so they are `Send +
+/// Sync` by design — experiment sweeps run them from worker threads.
+pub trait MppScheduler: Send + Sync {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Builds and returns a validated run for `instance`.
+    ///
+    /// Implementations must only emit moves through [`rbp_core::MppSimulator`]
+    /// so rule violations surface as errors instead of wrong costs.
+    fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError>;
+}
+
+/// The default scheduler registry used by sweeps: baseline, wavefront,
+/// partition, and a representative set of greedy configurations.
+#[must_use]
+pub fn all_schedulers() -> Vec<Box<dyn MppScheduler>> {
+    vec![
+        Box::new(TopoBaseline),
+        Box::new(Wavefront),
+        Box::new(Partition),
+        Box::new(Greedy::new(GreedyConfig::default())),
+        Box::new(Greedy::new(GreedyConfig {
+            affinity: Affinity::Fraction,
+            ..GreedyConfig::default()
+        })),
+        Box::new(Greedy::new(GreedyConfig {
+            eviction: EvictionPolicy::Lru,
+            ..GreedyConfig::default()
+        })),
+        Box::new(Greedy::new(GreedyConfig {
+            allow_recompute: true,
+            ..GreedyConfig::default()
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+
+    #[test]
+    fn registry_runs_everything_on_a_generic_dag() {
+        let dag = generators::layered_random(4, 4, 2, 11);
+        let inst = MppInstance::new(&dag, 2, 4, 2);
+        for s in all_schedulers() {
+            let run = s
+                .schedule(&inst)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+            // Cross-check with the independent validator.
+            let cost = run.strategy.validate(&inst).unwrap();
+            assert_eq!(cost, run.cost, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn registry_names_are_distinct() {
+        let names: Vec<String> = all_schedulers().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Single-processor reference scheduler with Belady-style eviction.
+//!
+//! Computes the nodes in the deterministic topological order; when fast
+//! memory fills up, evicts the value whose next use in that order is
+//! furthest away (the Belady/MIN choice, optimal for fixed orders in
+//! classical caching), storing it first when it will still be needed.
+//! Produces a valid SPP strategy; the `k = 1` yardstick for experiments
+//! and the paper's "fair comparison" baselines.
+
+use rbp_core::rbp_dag::{Dag, NodeId, NodeSet};
+use rbp_core::spp::strategy::validate;
+use rbp_core::{Cost, SppInstance, SppMove, SppStrategy};
+
+/// Runs the Belady scheduler; returns the strategy and its cost tally.
+///
+/// # Panics
+/// Panics if the instance is infeasible (`r ≤ Δ_in`) — callers check
+/// [`SppInstance::is_feasible`] first.
+#[must_use]
+pub fn spp_belady(instance: &SppInstance) -> (SppStrategy, Cost) {
+    let dag = instance.dag;
+    let r = instance.r;
+    assert!(instance.is_feasible(), "infeasible instance");
+
+    let topo = dag.topo();
+    let order = topo.order();
+    let mut moves: Vec<SppMove> = Vec::new();
+    let mut red = dag.empty_set();
+    let mut blue = dag.empty_set();
+    let mut computed = dag.empty_set();
+
+    // next_use[v] = ranks of v's consumers; we pop as they compute.
+    let position: Vec<usize> = {
+        let mut pos = vec![0usize; dag.n()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        pos
+    };
+
+    let next_use = |v: NodeId, from: usize, computed: &NodeSet| -> usize {
+        dag.succs(v)
+            .iter()
+            .filter(|&&s| !computed.contains(s) && position[s.index()] >= from)
+            .map(|&s| position[s.index()])
+            .min()
+            .unwrap_or(usize::MAX)
+    };
+
+    for (step, &v) in order.iter().enumerate() {
+        // Fetch missing inputs.
+        let missing: Vec<NodeId> = dag
+            .preds(v)
+            .iter()
+            .copied()
+            .filter(|&u| !red.contains(u))
+            .collect();
+        let mut protected: NodeSet = dag.empty_set();
+        for &u in dag.preds(v) {
+            protected.insert(u);
+        }
+        for u in missing {
+            debug_assert!(blue.contains(u), "value {u} lost");
+            evict_if_full(
+                dag, r, &mut red, &mut blue, &computed, &protected, &mut moves, step, &next_use,
+            );
+            moves.push(SppMove::Load(u));
+            red.insert(u);
+        }
+        evict_if_full(
+            dag, r, &mut red, &mut blue, &computed, &protected, &mut moves, step, &next_use,
+        );
+        moves.push(SppMove::Compute(v));
+        red.insert(v);
+        computed.insert(v);
+    }
+
+    let strategy = SppStrategy::from_moves(moves);
+    let cost = validate(instance, &strategy.moves).expect("belady produced invalid strategy");
+    (strategy, cost)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evict_if_full(
+    dag: &Dag,
+    r: usize,
+    red: &mut NodeSet,
+    blue: &mut NodeSet,
+    computed: &NodeSet,
+    protected: &NodeSet,
+    moves: &mut Vec<SppMove>,
+    step: usize,
+    next_use: &dyn Fn(NodeId, usize, &NodeSet) -> usize,
+) {
+    if red.len() < r {
+        return;
+    }
+    // Victim: furthest next use; dead values (next use = MAX, not a sink)
+    // naturally sort last -- but sinks must be saved, so rank sinks as
+    // "used at the very end".
+    let victim = red
+        .iter()
+        .filter(|&w| !protected.contains(w))
+        .max_by_key(|&w| {
+            let nu = next_use(w, step, computed);
+            let is_sink = dag.out_degree(w) == 0;
+            // Prefer evicting dead non-sinks (free), then furthest use.
+            (if nu == usize::MAX && !is_sink { 1 } else { 0 }, nu, w)
+        })
+        .expect("r > Δ_in guarantees an unprotected pebble");
+    let needed = dag.out_degree(victim) == 0
+        || dag.succs(victim).iter().any(|&s| !computed.contains(s));
+    if needed && !blue.contains(victim) {
+        moves.push(SppMove::Store(victim));
+        blue.insert(victim);
+    }
+    moves.push(SppMove::RemoveRed(victim));
+    red.remove(victim);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+    use rbp_core::{solve_spp, SolveLimits};
+
+    #[test]
+    fn valid_on_standard_dags() {
+        for (dag, r, g) in [
+            (generators::chain(20), 2, 3),
+            (generators::binary_in_tree(16), 3, 1),
+            (generators::fft(4), 3, 2),
+            (generators::grid(5, 5), 4, 5),
+            (generators::diamond(5), 6, 1),
+        ] {
+            let inst = SppInstance::with_compute(&dag, r, g);
+            let (strategy, cost) = spp_belady(&inst);
+            let check = strategy.validate(&inst).unwrap();
+            assert_eq!(check, cost, "{}", dag.name());
+        }
+    }
+
+    #[test]
+    fn chain_is_io_free() {
+        let dag = generators::chain(50);
+        let inst = SppInstance::with_compute(&dag, 2, 10);
+        let (_, cost) = spp_belady(&inst);
+        assert_eq!(cost.io_steps(), 0);
+        assert_eq!(cost.computes, 50);
+    }
+
+    #[test]
+    fn near_optimal_on_small_trees() {
+        // Belady on the fixed topo order is not globally optimal, but on
+        // small trees it should be within a small factor of OPT.
+        let dag = generators::binary_in_tree(8);
+        for r in 4..=6 {
+            let inst = SppInstance::with_compute(&dag, r, 2);
+            let (_, cost) = spp_belady(&inst);
+            let opt = solve_spp(&inst, SolveLimits::default()).unwrap();
+            assert!(
+                cost.total(inst.model) <= 3 * opt.total,
+                "r={r}: belady {} vs opt {}",
+                cost.total(inst.model),
+                opt.total
+            );
+        }
+    }
+
+    #[test]
+    fn ample_memory_means_no_io() {
+        let dag = generators::fft(3);
+        let inst = SppInstance::with_compute(&dag, dag.n(), 2);
+        let (_, cost) = spp_belady(&inst);
+        assert_eq!(cost.io_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_instance_panics() {
+        let dag = generators::diamond(4);
+        let inst = SppInstance::with_compute(&dag, 3, 1);
+        let _ = spp_belady(&inst);
+    }
+}

@@ -1,0 +1,97 @@
+//! The Lemma 1 upper-bound strategy.
+//!
+//! Process the nodes in topological order. For each node `v`, pick a
+//! processor round-robin, load `v`'s already-stored inputs from slow
+//! memory (≤ Δ_in·g), compute `v` (cost 1), store `v` (cost g), and drop
+//! the red pebbles. Total cost ≤ `(g·(Δ_in + 1) + 1)·n`, which is the
+//! Lemma 1 upper bound. Deliberately naive — it is the yardstick every
+//! other scheduler must beat.
+
+use rbp_core::{MppError, MppInstance, MppRun, MppSimulator};
+
+use crate::MppScheduler;
+
+/// The Lemma 1 baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoBaseline;
+
+impl MppScheduler for TopoBaseline {
+    fn name(&self) -> String {
+        "topo-baseline".into()
+    }
+
+    fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
+        let dag = instance.dag;
+        let topo = dag.topo();
+        let mut sim = MppSimulator::new(*instance);
+        for (i, &v) in topo.order().iter().enumerate() {
+            let p = i % instance.k;
+            // Load inputs (every non-source value was stored when computed).
+            for &u in dag.preds(v) {
+                sim.load(vec![(p, u)])?;
+            }
+            sim.compute(vec![(p, v)])?;
+            sim.store(vec![(p, v)])?;
+            // Drop everything red on p again.
+            for &u in dag.preds(v) {
+                sim.remove_red(p, u)?;
+            }
+            sim.remove_red(p, v)?;
+        }
+        sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::{generators, DagStats};
+
+    #[test]
+    fn respects_lemma1_upper_bound() {
+        for (dag, k, r, g) in [
+            (generators::binary_in_tree(8), 2, 3, 3),
+            (generators::grid(3, 4), 3, 3, 2),
+            (generators::fft(3), 2, 3, 5),
+            (generators::layered_random(5, 4, 3, 9), 4, 4, 4),
+        ] {
+            let inst = MppInstance::new(&dag, k, r, g);
+            let run = TopoBaseline.schedule(&inst).unwrap();
+            let stats = DagStats::compute(&dag);
+            let bound = (g * (stats.max_in_degree as u64 + 1) + 1) * stats.n as u64;
+            assert!(
+                run.cost.total(inst.model) <= bound,
+                "cost {} > bound {bound} on {}",
+                run.cost.total(inst.model),
+                dag.name()
+            );
+        }
+    }
+
+    #[test]
+    fn works_at_minimum_feasible_memory() {
+        let dag = generators::diamond(6); // Δin = 6
+        let inst = MppInstance::new(&dag, 2, 7, 2);
+        let run = TopoBaseline.schedule(&inst).unwrap();
+        run.strategy.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn single_processor_works() {
+        let dag = generators::chain(10);
+        let inst = MppInstance::new(&dag, 1, 2, 1);
+        let run = TopoBaseline.schedule(&inst).unwrap();
+        // Chain: each node loads 1 input, computes, stores.
+        assert_eq!(run.cost.computes, 10);
+        assert_eq!(run.cost.stores, 10);
+        assert_eq!(run.cost.loads, 9);
+    }
+
+    #[test]
+    fn empty_dag_costs_nothing() {
+        let dag = rbp_core::rbp_dag::dag_from_edges(0, &[]);
+        let inst = MppInstance::new(&dag, 2, 1, 1);
+        let run = TopoBaseline.schedule(&inst).unwrap();
+        assert_eq!(run.cost.total(inst.model), 0);
+    }
+}

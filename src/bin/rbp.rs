@@ -1,0 +1,192 @@
+//! `rbp` — command-line front end.
+//!
+//! ```text
+//! rbp stats     <dag.txt>                      DAG statistics
+//! rbp schedule  <dag.txt> <k> <r> <g> [name]   run a scheduler, print cost breakdown
+//! rbp solve     <dag.txt> <k> <r> <g>          exact optimum (small DAGs)
+//! rbp bounds    <dag.txt> <k> <r> <g>          Lemma 1 bounds + feasibility
+//! rbp dot       <dag.txt>                      Graphviz DOT to stdout
+//! rbp gen       <family> [params…]             emit a generated DAG as text
+//! ```
+//!
+//! DAG files use the `rbp_dag::io` text format (see crate docs).
+
+use std::process::ExitCode;
+
+use rbp::bounds::trivial;
+use rbp::core::rbp_dag::{dot, generators, io, Dag, DagStats};
+use rbp::core::{async_makespan, batchify, solve_mpp, MppInstance, MppRunStats, SolveLimits};
+use rbp::schedulers::all_schedulers;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: rbp <stats|schedule|solve|bounds|dot|gen> …  (see --help in src/bin/rbp.rs)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "stats" => {
+            let dag = load(args.get(1))?;
+            println!("{}", dag.name());
+            println!("{}", DagStats::compute(&dag));
+            Ok(())
+        }
+        "schedule" => {
+            let dag = load(args.get(1))?;
+            let (k, r, g) = krg(args)?;
+            let inst = MppInstance::new(&dag, k, r, g);
+            if !inst.is_feasible() {
+                return Err(format!("infeasible: need r ≥ {}", dag.max_in_degree() + 1));
+            }
+            let want = args.get(5).map(String::as_str);
+            let mut any = false;
+            for s in all_schedulers() {
+                if let Some(w) = want {
+                    if !s.name().contains(w) {
+                        continue;
+                    }
+                }
+                any = true;
+                let run = s.schedule(&inst).map_err(|e| e.to_string())?;
+                let stats = MppRunStats::analyze(&inst, &run.strategy);
+                let asy = async_makespan(&inst, &run.strategy).makespan;
+                let batched = batchify(&inst, &run.strategy)
+                    .validate(&inst)
+                    .map_err(|e| e.to_string())?
+                    .total(inst.model);
+                println!(
+                    "{:<50} total={:<6} io_steps={:<5} surplus={:<6} comm={:<5} spill={:<5} recompute={:<4} async={:<6} batchified={}",
+                    s.name(),
+                    stats.total,
+                    stats.cost.io_steps(),
+                    stats.surplus,
+                    stats.communication_transfers(),
+                    stats.spill_transfers(),
+                    stats.recomputations,
+                    asy,
+                    batched,
+                );
+            }
+            if !any {
+                return Err(format!("no scheduler matches '{}'", want.unwrap_or("")));
+            }
+            Ok(())
+        }
+        "solve" => {
+            let dag = load(args.get(1))?;
+            let (k, r, g) = krg(args)?;
+            let inst = MppInstance::new(&dag, k, r, g);
+            let sol = solve_mpp(&inst, SolveLimits::default())
+                .ok_or("exact solve failed (instance too large or infeasible)")?;
+            println!(
+                "OPT = {} ({}; {} moves)",
+                sol.total,
+                sol.cost,
+                sol.strategy.len()
+            );
+            for mv in &sol.strategy.moves {
+                println!("  {mv}");
+            }
+            Ok(())
+        }
+        "bounds" => {
+            let dag = load(args.get(1))?;
+            let (k, r, g) = krg(args)?;
+            let inst = MppInstance::new(&dag, k, r, g);
+            println!("feasible (r ≥ Δin+1): {}", inst.is_feasible());
+            println!("Lemma 1 lower:  {}", trivial::lower(&inst));
+            println!("Lemma 1 upper:  {}", trivial::upper(&inst));
+            println!("greedy factor:  {}", trivial::greedy_factor(&inst));
+            Ok(())
+        }
+        "dot" => {
+            let dag = load(args.get(1))?;
+            print!("{}", dot::to_dot(&dag, &dot::DotOptions::default()));
+            Ok(())
+        }
+        "gen" => {
+            let family = args.get(1).ok_or("gen: missing family")?;
+            let nums: Vec<usize> = args[2..]
+                .iter()
+                .map(|s| s.parse().map_err(|_| format!("bad number '{s}'")))
+                .collect::<Result<_, _>>()?;
+            let dag = generate(family, &nums)?;
+            print!("{}", io::to_text(&dag));
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load(path: Option<&String>) -> Result<Dag, String> {
+    let path = path.ok_or("missing DAG file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    io::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn krg(args: &[String]) -> Result<(usize, usize, u64), String> {
+    let p = |i: usize, name: &str| -> Result<u64, String> {
+        args.get(i)
+            .ok_or(format!("missing {name}"))?
+            .parse()
+            .map_err(|_| format!("bad {name}"))
+    };
+    Ok((p(2, "k")? as usize, p(3, "r")? as usize, p(4, "g")?))
+}
+
+fn generate(family: &str, nums: &[usize]) -> Result<Dag, String> {
+    let need = |n: usize| -> Result<(), String> {
+        if nums.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{family}: expected {n} parameters, got {}", nums.len()))
+        }
+    };
+    match family {
+        "chain" => {
+            need(1)?;
+            Ok(generators::chain(nums[0]))
+        }
+        "chains" => {
+            need(2)?;
+            Ok(generators::independent_chains(nums[0], nums[1]))
+        }
+        "tree" => {
+            need(1)?;
+            Ok(generators::binary_in_tree(nums[0]))
+        }
+        "grid" => {
+            need(2)?;
+            Ok(generators::grid(nums[0], nums[1]))
+        }
+        "fft" => {
+            need(1)?;
+            Ok(generators::fft(u32::try_from(nums[0]).map_err(|_| "fft: too large")?))
+        }
+        "matmul" => {
+            need(1)?;
+            Ok(generators::matmul(nums[0]))
+        }
+        "zipper" => {
+            need(2)?;
+            Ok(rbp::gadgets::Zipper::build(nums[0], nums[1], 0).dag)
+        }
+        "random" => {
+            need(2)?;
+            Ok(generators::random_dag(nums[0], 0.2, nums[1] as u64))
+        }
+        other => Err(format!(
+            "unknown family '{other}' (chain|chains|tree|grid|fft|matmul|zipper|random)"
+        )),
+    }
+}

@@ -1,0 +1,22 @@
+//! # rbp — Red-Blue Pebbling with Multiple Processors
+//!
+//! Facade crate re-exporting the whole workspace: the pebbling games
+//! ([`core`]), the DAG substrate ([`dag`]), heuristic schedulers
+//! ([`schedulers`]), the paper's proof constructions ([`gadgets`]), and
+//! lower bounds ([`bounds`]).
+//!
+//! See the repository README for a guided tour and `examples/` for
+//! runnable entry points (`cargo run --example quickstart`).
+
+#![warn(missing_docs)]
+
+/// The pebbling games: SPP, MPP, validators, exact solvers.
+pub use rbp_core as core;
+/// Computational DAGs: storage, generators, analyses.
+pub use rbp_dag as dag;
+/// Heuristic schedulers producing valid strategies.
+pub use rbp_schedulers as schedulers;
+/// Executable proof constructions from the paper.
+pub use rbp_gadgets as gadgets;
+/// Lower bounds on pebbling costs.
+pub use rbp_bounds as bounds;

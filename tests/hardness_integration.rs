@@ -1,0 +1,76 @@
+//! Integration: the Theorem 2 machinery across crates — towers, the
+//! reduction, the decision procedure, and the SPP solver all agree.
+
+use rbp::core::{zero_io_order, zero_io_pebbling_exists};
+use rbp::core::spp::oneshot_zero::order_to_strategy;
+use rbp::core::{CostModel, SppInstance, SppVariant};
+use rbp::dag::min_peak_memory;
+use rbp::gadgets::levels::Tower;
+use rbp::gadgets::{Graph, HardnessInstance};
+
+#[test]
+fn decision_procedure_agrees_with_peak_dp_on_gadgets() {
+    for dag in [
+        Tower::build(&[3, 4, 2]).dag,
+        Tower::build(&[1, 5, 1, 3]).dag,
+        HardnessInstance::build(&Graph::new(3, &[(0, 1), (1, 2)]), 2).dag,
+    ] {
+        let peak = min_peak_memory(&dag, 64).unwrap();
+        assert_eq!(zero_io_pebbling_exists(&dag, peak), Some(true));
+        if peak > 0 {
+            assert_eq!(zero_io_pebbling_exists(&dag, peak - 1), Some(false));
+        }
+    }
+}
+
+#[test]
+fn witness_orders_convert_to_valid_one_shot_strategies() {
+    let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)]);
+    let inst = HardnessInstance::build(&g, 2);
+    let order = zero_io_order(&inst.dag, inst.budget)
+        .expect("within limits")
+        .expect("path has vsΔ = 2");
+    let strategy = order_to_strategy(&inst.dag, &order);
+    let spp = SppInstance {
+        dag: &inst.dag,
+        r: inst.budget,
+        model: CostModel::spp_io_only(1),
+        variant: SppVariant::one_shot(),
+    };
+    let cost = strategy.validate(&spp).expect("witness must be legal");
+    assert_eq!(cost.io_steps(), 0);
+    assert_eq!(cost.computes as usize, inst.dag.n());
+}
+
+#[test]
+fn reduction_matches_brute_force_layout_parameter() {
+    for (g, _name) in [
+        (Graph::new(3, &[(0, 1), (1, 2)]), "path3"),
+        (Graph::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]), "C4"),
+        (Graph::new(3, &[(0, 1), (1, 2), (0, 2)]), "triangle"),
+    ] {
+        let vsd = g.transient_vertex_separation();
+        for w in 1..=vsd + 1 {
+            let inst = HardnessInstance::build(&g, w);
+            if inst.dag.n() > 64 {
+                continue;
+            }
+            assert_eq!(
+                zero_io_pebbling_exists(&inst.dag, inst.budget),
+                Some(vsd <= w)
+            );
+        }
+    }
+}
+
+#[test]
+fn vertex_cover_brute_force_sanity() {
+    use rbp::gadgets::vertex_cover::{cubic_circulant, min_vertex_cover};
+    for n in [4usize, 6, 8] {
+        let g = cubic_circulant(n);
+        let vc = min_vertex_cover(&g);
+        // 3-regular graph: VC ≥ m/3 = n/2 (each vertex covers ≤ 3 edges).
+        assert!(vc >= n / 2, "n={n}: vc={vc}");
+        assert!(vc < n);
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests that re-verify the paper's lemma statements through
+//! the public API (the experiment binaries print these; here they are
+//! asserted).
+
+use rbp::core::rbp_dag::generators;
+use rbp::core::{solve_mpp, CostModel, MppInstance, SolveLimits};
+use rbp::gadgets::{ImbalancedPair, RotatingChain, SparseLadder, TwoZippers, Zipper};
+
+#[test]
+fn lemma7_fair_chains_ratio_is_one_over_k() {
+    // k independent chains, fair memory split: OPT(k)/OPT(1) = 1/k.
+    let k = 2;
+    let dag = generators::independent_chains(k, 4);
+    let o1 = solve_mpp(&MppInstance::new(&dag, 1, 2 * k, 2), SolveLimits::default())
+        .unwrap()
+        .total;
+    let ok = solve_mpp(&MppInstance::new(&dag, k, 2, 2), SolveLimits::default())
+        .unwrap()
+        .total;
+    assert_eq!(o1, 8);
+    assert_eq!(ok, 4);
+}
+
+#[test]
+fn lemma8_fair_split_ratio_grows_like_the_bound() {
+    let (m, c, n0, g) = (4usize, 4usize, 40usize, 5u64);
+    let rc = RotatingChain::build(m, c, n0);
+    let resident = rc.strategy_resident(g).unwrap().cost.total(CostModel::mpp(g));
+    assert_eq!(resident as usize, rc.dag.n(), "OPT(1) = n exactly");
+    let r_half = rc.resident_r() / 2;
+    let split = rc
+        .strategy_fair_split(g, r_half)
+        .unwrap()
+        .cost
+        .total(CostModel::mpp(g));
+    let ratio = split as f64 / resident as f64;
+    // Lemma 8 shape: ratio ≈ (k−1)/k·g·(Δin−1)+1 = 0.5·5·4+1 = 11 for
+    // k=2 (up to the pinning granularity of the constructive strategy).
+    assert!(ratio > 5.0, "ratio {ratio:.2} too small for the Lemma 8 regime");
+}
+
+#[test]
+fn lemma9_nonmonotone_in_k() {
+    let tz = TwoZippers::build(3, 24);
+    let g = 2;
+    let model = CostModel::mpp(g);
+    let c1 = tz.strategy_k1(g).unwrap().cost.total(model);
+    let c2 = tz.strategy_k2(g).unwrap().cost.total(model);
+    let c4 = tz.strategy_k4(g).unwrap().cost.total(model);
+    assert!(c2 < c1 && c2 < c4);
+    // c1 equals the Lemma 1 lower bound for k=1 → OPT(2) < OPT(1) holds
+    // for the true optima, not just these strategies.
+    assert_eq!(c1 as usize, tz.dag.n());
+}
+
+#[test]
+fn lemma10_superlinear_speedup() {
+    let (d, n0, g) = (16usize, 100usize, 4u64);
+    let z = Zipper::build(d, n0, 0);
+    let model = CostModel::mpp(g);
+    let c1 = z.strategy_1proc_swapping(g).unwrap().cost.total(model);
+    let c2 = z.strategy_2proc(g).unwrap().cost.total(model);
+    let speedup = c1 as f64 / c2 as f64;
+    assert!(speedup > 2.0, "speedup {speedup:.2} must be superlinear for k=2");
+}
+
+#[test]
+fn io_appears_with_second_processor() {
+    let g = 2;
+    let l = SparseLadder::build(60, 2 * g as usize + 2);
+    let model = CostModel::mpp(g);
+    let r1 = l.strategy_k1(g).unwrap();
+    let r2 = l.strategy_k2(g).unwrap();
+    assert_eq!(r1.cost.io_steps(), 0);
+    assert!(r2.cost.io_steps() > 0);
+    assert!(r2.cost.total(model) < r1.cost.total(model));
+}
+
+#[test]
+fn io_vanishes_with_second_processor() {
+    let g: u64 = 3;
+    let (d, n1) = (2, 20);
+    let p = ImbalancedPair::build(d, n1, n1 * (g as usize + 2), g as usize);
+    let model = CostModel::mpp(g);
+    let k1_loads = p.strategy_k1_loads(g).unwrap();
+    let k2 = p.strategy_k2_recompute(g).unwrap();
+    assert!(k1_loads.cost.io_steps() as usize >= n1);
+    assert_eq!(k2.cost.io_steps(), 0);
+    assert!(k2.cost.total(model) < k1_loads.cost.total(model));
+}
+
+#[test]
+fn practical_comparison_never_worsens() {
+    // §5: same r, more processors — exact optima can only improve.
+    let dag = generators::binary_in_tree(4);
+    let o1 = solve_mpp(&MppInstance::new(&dag, 1, 3, 2), SolveLimits::default())
+        .unwrap()
+        .total;
+    let o2 = solve_mpp(&MppInstance::new(&dag, 2, 3, 2), SolveLimits::default())
+        .unwrap()
+        .total;
+    assert!(o2 <= o1);
+}
+
+#[test]
+fn pyramid_io_rises_as_memory_falls() {
+    // The §2-cited pyramid trade-off: exact minimum I/O is monotone
+    // non-increasing in r, and zero once the widest antichain fits.
+    let dag = generators::pyramid(4);
+    let mut prev = u64::MAX;
+    for r in 3..=6 {
+        let inst = rbp::core::SppInstance::io_only(&dag, r, 1);
+        let sol = rbp::core::solve_spp(&inst, SolveLimits::default()).unwrap();
+        assert!(sol.cost.io_steps() <= prev, "r={r}");
+        prev = sol.cost.io_steps();
+    }
+    assert_eq!(prev, 0, "base row + workspace fits at r=6");
+}
+
+#[test]
+fn surplus_cost_definition_matches() {
+    // Definition 1: surplus = total − ceil(n/k).
+    let dag = generators::chain(10);
+    let inst = MppInstance::new(&dag, 3, 2, 2);
+    let opt = solve_mpp(&inst, SolveLimits::default()).unwrap();
+    assert_eq!(
+        opt.cost.surplus(inst.model, dag.n(), inst.k),
+        opt.total - 4 // ceil(10/3) = 4
+    );
+}

@@ -1,0 +1,95 @@
+//! Fuzzing the MPP rules engine: random move sequences never panic, are
+//! either cleanly rejected or produce consistent state, and the
+//! simulator agrees with the batch validator move for move.
+
+use proptest::prelude::*;
+use rbp::core::rbp_dag::{generators, NodeId};
+use rbp::core::{
+    async_makespan, validate_mpp, MppInstance, MppMove, MppSimulator, MppStrategy, Pebble,
+};
+
+fn arb_move(k: usize, n: usize) -> impl Strategy<Value = MppMove> {
+    let pair = (0..k, 0..n).prop_map(|(p, v)| (p, NodeId::new(v)));
+    let batch = prop::collection::vec(pair, 1..=k.min(3));
+    prop_oneof![
+        batch.clone().prop_map(MppMove::Compute),
+        batch.clone().prop_map(MppMove::Load),
+        batch.prop_map(MppMove::Store),
+        (0..k, 0..n).prop_map(|(p, v)| MppMove::Remove(Pebble::Red(p, NodeId::new(v)))),
+        (0..n).prop_map(|v| MppMove::Remove(Pebble::Blue(NodeId::new(v)))),
+    ]
+}
+
+proptest! {
+    /// Random move soup: the simulator applies each move or rejects it
+    /// without corrupting state; the accepted prefix re-validates to the
+    /// same cost (modulo terminality, which we repair by ignoring it).
+    #[test]
+    fn simulator_accepts_exactly_what_validator_accepts(
+        seed in 0u64..500,
+        moves in prop::collection::vec(arb_move(3, 8), 0..60),
+    ) {
+        let dag = generators::random_dag(8, 0.3, seed);
+        let inst = MppInstance::new(&dag, 3, 3, 2);
+        let mut sim = MppSimulator::new(inst);
+        let mut accepted = Vec::new();
+        for mv in moves {
+            if sim.apply(mv.clone()).is_ok() {
+                accepted.push(mv);
+            }
+        }
+        // The accepted prefix must replay cleanly (ignore terminality by
+        // checking the error kind).
+        let strategy = MppStrategy::from_moves(accepted);
+        match validate_mpp(&inst, &strategy.moves) {
+            Ok(cost) => prop_assert_eq!(cost, sim.cost()),
+            Err(e) => {
+                prop_assert!(
+                    matches!(e.kind, rbp::core::MppErrorKind::NotTerminal(_)),
+                    "replay diverged: {e}"
+                );
+            }
+        }
+        // Capacity invariant always holds on the live configuration.
+        prop_assert!(sim.config().is_valid(inst.r));
+        // Async makespan never exceeds the synchronous cost.
+        let asy = async_makespan(&inst, &strategy);
+        prop_assert!(asy.makespan <= sim.cost().total(inst.model));
+    }
+
+    /// Rejected moves leave the configuration bit-for-bit unchanged.
+    #[test]
+    fn rejected_moves_do_not_mutate(
+        seed in 0u64..200,
+        moves in prop::collection::vec(arb_move(2, 6), 1..40),
+    ) {
+        let dag = generators::random_dag(6, 0.4, seed);
+        let inst = MppInstance::new(&dag, 2, 2, 1);
+        let mut sim = MppSimulator::new(inst);
+        for mv in moves {
+            let before = sim.config().clone();
+            let steps = sim.steps();
+            if sim.apply(mv).is_err() {
+                prop_assert_eq!(sim.config(), &before);
+                prop_assert_eq!(sim.steps(), steps);
+            }
+        }
+    }
+
+    /// The exact solver's witness always replays to its claimed cost on
+    /// random tiny instances (when the solve fits the budget).
+    #[test]
+    fn exact_witness_replays(seed in 0u64..60, k in 1usize..3, g in 1u64..4) {
+        use rbp::core::{solve_mpp, SolveLimits};
+        let dag = generators::random_dag(6, 0.3, seed);
+        let r = dag.max_in_degree() + 1;
+        let inst = MppInstance::new(&dag, k, r, g);
+        if let Some(sol) = solve_mpp(&inst, SolveLimits { max_states: 200_000 }) {
+            let cost = sol.strategy.validate(&inst).unwrap();
+            prop_assert_eq!(cost.total(inst.model), sol.total);
+            // Lemma 1 bracket on the optimum itself.
+            prop_assert!(sol.total >= rbp::bounds::trivial::lower(&inst));
+            prop_assert!(sol.total <= rbp::bounds::trivial::upper(&inst));
+        }
+    }
+}

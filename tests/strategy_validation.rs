@@ -1,0 +1,133 @@
+//! Cross-crate integration: every scheduler produces strategies that the
+//! independent rules engine accepts, on every DAG family, and all the
+//! derived machinery (stats, Lemma 5 translation) agrees.
+
+use rbp::core::rbp_dag::{generators, Dag};
+use rbp::core::{mpp_to_spp, simulation_instance, MppInstance, MppRunStats};
+use rbp::schedulers::all_schedulers;
+
+fn zoo() -> Vec<Dag> {
+    vec![
+        generators::chain(12),
+        generators::independent_chains(3, 5),
+        generators::binary_in_tree(16),
+        generators::binary_out_tree(8),
+        generators::diamond(4),
+        generators::grid(4, 5),
+        generators::two_layer_full(3, 4),
+        generators::two_layer_regular(6, 8, 3),
+        generators::fft(3),
+        generators::matmul(3),
+        generators::reduction_tree(3, 9),
+        generators::random_dag(12, 0.25, 5),
+        generators::layered_random(5, 5, 2, 9),
+        generators::pyramid(5),
+        generators::r_pyramid(3, 9),
+        generators::stencil_1d(6, 4),
+    ]
+}
+
+#[test]
+fn every_scheduler_is_valid_on_the_whole_zoo() {
+    for dag in zoo() {
+        if dag.n() == 0 {
+            continue;
+        }
+        let r = dag.max_in_degree() + 2;
+        for (k, g) in [(1usize, 1u64), (2, 3), (4, 2)] {
+            let inst = MppInstance::new(&dag, k, r, g);
+            for s in all_schedulers() {
+                let run = s.schedule(&inst).unwrap_or_else(|e| {
+                    panic!("{} failed on {} (k={k}, g={g}): {e}", s.name(), dag.name())
+                });
+                let cost = run
+                    .strategy
+                    .validate(&inst)
+                    .unwrap_or_else(|e| panic!("{} invalid on {}: {e}", s.name(), dag.name()));
+                assert_eq!(cost, run.cost, "{} on {}", s.name(), dag.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_totals_are_consistent_with_validator() {
+    let dag = generators::layered_random(5, 6, 3, 3);
+    let inst = MppInstance::new(&dag, 3, 5, 2);
+    for s in all_schedulers() {
+        let run = s.schedule(&inst).unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        assert_eq!(stats.cost, run.cost, "{}", s.name());
+        assert_eq!(stats.total, run.cost.total(inst.model));
+        assert_eq!(
+            stats.total_work,
+            stats.distinct_computed + stats.recomputations
+        );
+        // Every node computed at least once.
+        assert!(stats.distinct_computed as usize == dag.n());
+    }
+}
+
+#[test]
+fn lemma5_translation_validates_for_all_schedulers() {
+    let dag = generators::grid(3, 4);
+    for k in [2usize, 3] {
+        let inst = MppInstance::new(&dag, k, 4, 3);
+        for s in all_schedulers() {
+            let run = s.schedule(&inst).unwrap();
+            let spp = mpp_to_spp(&inst, &run.strategy);
+            let spp_inst = simulation_instance(&inst);
+            let spp_cost = spp
+                .validate(&spp_inst)
+                .unwrap_or_else(|e| panic!("{} translation invalid: {e}", s.name()));
+            // Lemma 5 accounting: ≤ k sequential I/O moves per parallel
+            // I/O step.
+            assert!(
+                spp_cost.io_steps() <= inst.k as u64 * run.cost.io_steps(),
+                "{}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batchify_never_hurts_and_stays_valid() {
+    use rbp::core::batchify;
+    let dag = generators::fft(3);
+    let inst = MppInstance::new(&dag, 4, 4, 3);
+    for s in all_schedulers() {
+        let run = s.schedule(&inst).unwrap();
+        let opt = batchify(&inst, &run.strategy);
+        let cost = opt
+            .validate(&inst)
+            .unwrap_or_else(|e| panic!("{}: batchified invalid: {e}", s.name()));
+        assert!(
+            cost.total(inst.model) <= run.cost.total(inst.model),
+            "{}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn lemma1_bracket_holds_for_all_schedulers_on_the_zoo() {
+    for dag in zoo() {
+        if dag.n() == 0 {
+            continue;
+        }
+        let r = dag.max_in_degree() + 2;
+        let inst = MppInstance::new(&dag, 2, r, 2);
+        let lower = rbp::bounds::trivial::lower(&inst);
+        let upper = rbp::bounds::trivial::upper(&inst);
+        for s in all_schedulers() {
+            let total = s.schedule(&inst).unwrap().cost.total(inst.model);
+            assert!(
+                lower <= total && total <= upper,
+                "{} on {}: {total} outside [{lower}, {upper}]",
+                s.name(),
+                dag.name()
+            );
+        }
+    }
+}
