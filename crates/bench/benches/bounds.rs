@@ -1,53 +1,50 @@
-//! Criterion: bound computation, including the Lemma 5 strategy
-//! translation (MPP → SPP simulation).
+//! Bound computation, including the Lemma 5 strategy translation
+//! (MPP → SPP simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbp_bench::Bench;
 use rbp_core::rbp_dag::generators;
 use rbp_core::{mpp_to_spp, MppInstance};
 use rbp_schedulers::{Greedy, MppScheduler};
 
-fn bench_bounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bounds");
-    group.sample_size(20);
-    group.bench_function("fft_formula_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for p in 4..16u64 {
-                acc += rbp_bounds::fft::mpp_total_lower(1 << p, 4, 8, 3);
-            }
-            acc
-        });
+fn main() {
+    let mut b = Bench::new("bounds");
+    b.run("fft_formula_sweep", || {
+        let mut acc = 0u64;
+        for p in 4..16u64 {
+            acc += rbp_bounds::fft::mpp_total_lower(1 << p, 4, 8, 3);
+        }
+        acc
     });
-    group.bench_function("matmul_formula_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for n in 2..64u64 {
-                acc += rbp_bounds::matmul::mpp_total_lower(n, 4, 8, 3);
-            }
-            acc
-        });
+    b.run("matmul_formula_sweep", || {
+        let mut acc = 0u64;
+        for n in 2..64u64 {
+            acc += rbp_bounds::matmul::mpp_total_lower(n, 4, 8, 3);
+        }
+        acc
     });
 
     // Lemma 5 translation of a real strategy.
     let dag = generators::layered_random(10, 12, 3, 3);
     let inst = MppInstance::new(&dag, 4, 5, 2);
     let run = Greedy::default().schedule(&inst).unwrap();
-    group.bench_function("lemma5_translate", |b| {
-        b.iter(|| mpp_to_spp(&inst, &run.strategy).len());
+    b.run("lemma5_translate", || {
+        mpp_to_spp(&inst, &run.strategy).len()
     });
 
     let small = generators::binary_in_tree(4);
-    group.bench_function("corollary1_exact_small", |b| {
-        b.iter(|| {
-            rbp_bounds::translate::mpp_total_lower_exact(
-                &MppInstance::new(&small, 2, 3, 2),
-                rbp_core::SolveLimits::default(),
-            )
-            .unwrap()
-        });
+    b.run("corollary1_exact_small", || {
+        rbp_bounds::translate::mpp_total_lower_exact(
+            &MppInstance::new(&small, 2, 3, 2),
+            rbp_core::SolveLimits::default(),
+        )
+        .unwrap()
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_bounds);
-criterion_main!(benches);
+    // The new state-dependent bound (A* heuristic at the start state).
+    let grid = generators::grid(3, 3);
+    b.run("heuristic_initial_lower", || {
+        rbp_bounds::heuristic::mpp_initial_lower(&MppInstance::new(&grid, 2, 3, 1)).unwrap()
+    });
+
+    b.finish();
+}

@@ -1,28 +1,24 @@
-//! Criterion: DAG and gadget generator cost.
+//! DAG and gadget generator cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_bench::Bench;
 use rbp_core::rbp_dag::generators;
 use rbp_gadgets::{RotatingChain, Zipper};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
-    group.sample_size(20);
-    group.bench_function("fft(10)", |b| b.iter(|| generators::fft(10).n()));
-    group.bench_function("matmul(8)", |b| b.iter(|| generators::matmul(8).n()));
-    group.bench_function("grid(64x64)", |b| b.iter(|| generators::grid(64, 64).n()));
+fn main() {
+    let mut b = Bench::new("generators");
+    b.run("fft(10)", || generators::fft(10).n());
+    b.run("matmul(8)", || generators::matmul(8).n());
+    b.run("grid(64x64)", || generators::grid(64, 64).n());
     for n in [1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::new("random_layered", n), &n, |b, &n| {
-            b.iter(|| generators::layered_random(n / 100, 100, 3, 1).n());
+        b.run(&format!("random_layered({n})"), || {
+            generators::layered_random(n / 100, 100, 3, 1).n()
         });
     }
-    group.bench_function("zipper(d=32,n0=10000)", |b| {
-        b.iter(|| Zipper::build(32, 10_000, 0).dag.n())
+    b.run("zipper(d=32,n0=10000)", || {
+        Zipper::build(32, 10_000, 0).dag.n()
     });
-    group.bench_function("rotating(m=8,c=8,n0=10000)", |b| {
-        b.iter(|| RotatingChain::build(8, 8, 10_000).dag.n())
+    b.run("rotating(m=8,c=8,n0=10000)", || {
+        RotatingChain::build(8, 8, 10_000).dag.n()
     });
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_generators);
-criterion_main!(benches);

@@ -1,37 +1,29 @@
-//! Criterion: Theorem 2 decision procedure scaling (zero-I/O one-shot
-//! pebbling feasibility) on towers and reduction instances.
+//! Theorem 2 decision procedure scaling (zero-I/O one-shot pebbling
+//! feasibility) on towers and reduction instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_bench::Bench;
 use rbp_core::zero_io_pebbling_exists;
 use rbp_gadgets::levels::Tower;
 use rbp_gadgets::{Graph, HardnessInstance};
 
-fn bench_oneshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oneshot_decision");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::new("oneshot");
     for levels in [4usize, 6, 8] {
         let sizes: Vec<usize> = (0..levels).map(|i| 3 + (i % 3)).collect();
         let tower = Tower::build(&sizes);
         let peak = tower.predicted_peak();
-        group.bench_with_input(
-            BenchmarkId::new("tower_levels", levels),
-            &tower,
-            |b, tower| {
-                b.iter(|| zero_io_pebbling_exists(&tower.dag, peak).unwrap());
-            },
-        );
+        b.run(&format!("tower_levels({levels})"), || {
+            zero_io_pebbling_exists(&tower.dag, peak).unwrap()
+        });
     }
     let path = Graph::new(4, &[(0, 1), (1, 2), (2, 3)]);
     let inst = HardnessInstance::build(&path, 2);
-    group.bench_function("reduction_path4_yes", |b| {
-        b.iter(|| zero_io_pebbling_exists(&inst.dag, inst.budget).unwrap());
+    b.run("reduction_path4_yes", || {
+        zero_io_pebbling_exists(&inst.dag, inst.budget).unwrap()
     });
     let inst_no = HardnessInstance::build(&path, 1);
-    group.bench_function("reduction_path4_no", |b| {
-        b.iter(|| zero_io_pebbling_exists(&inst_no.dag, inst_no.budget).unwrap());
+    b.run("reduction_path4_no", || {
+        zero_io_pebbling_exists(&inst_no.dag, inst_no.budget).unwrap()
     });
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_oneshot);
-criterion_main!(benches);

@@ -1,19 +1,18 @@
-//! Criterion: scheduler throughput on large DAGs (nodes scheduled per
-//! second), including the eviction-policy ablation from DESIGN.md.
+//! Scheduler throughput on large DAGs (nodes scheduled per second),
+//! including the eviction-policy ablation from DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbp_bench::Bench;
 use rbp_core::rbp_dag::generators;
 use rbp_core::MppInstance;
 use rbp_schedulers::{
     EvictionPolicy, Greedy, GreedyConfig, MppScheduler, Partition, TopoBaseline, Wavefront,
 };
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
     let dag = generators::layered_random(20, 24, 3, 5);
     let inst = MppInstance::new(&dag, 4, 6, 3);
-    let mut group = c.benchmark_group("schedulers");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(dag.n() as u64));
+    let mut b = Bench::new("schedulers");
+
     let scheds: Vec<(&str, Box<dyn MppScheduler>)> = vec![
         ("topo-baseline", Box::new(TopoBaseline)),
         ("wavefront", Box::new(Wavefront)),
@@ -21,30 +20,26 @@ fn bench_schedulers(c: &mut Criterion) {
         ("greedy", Box::new(Greedy::default())),
     ];
     for (name, s) in &scheds {
-        group.bench_function(*name, |b| {
-            b.iter(|| s.schedule(&inst).unwrap().cost);
+        let m = b.run(&format!("schedule/{name}"), || {
+            s.schedule(&inst).unwrap().cost
         });
+        m.extra.push(("nodes".to_string(), dag.n() as u64));
     }
-    group.finish();
 
     // Eviction-policy ablation.
-    let mut group = c.benchmark_group("greedy_eviction_ablation");
-    group.sample_size(10);
     for (name, policy) in [
         ("furthest", EvictionPolicy::FurthestUse),
         ("lru", EvictionPolicy::Lru),
         ("fewest", EvictionPolicy::FewestUses),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
-            let s = Greedy::new(GreedyConfig {
-                eviction: policy,
-                ..GreedyConfig::default()
-            });
-            b.iter(|| s.schedule(&inst).unwrap().cost);
+        let s = Greedy::new(GreedyConfig {
+            eviction: policy,
+            ..GreedyConfig::default()
+        });
+        b.run(&format!("greedy_eviction/{name}"), || {
+            s.schedule(&inst).unwrap().cost
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);
+    b.finish();
+}

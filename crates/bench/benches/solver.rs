@@ -1,62 +1,98 @@
-//! Criterion: exact solver scaling (SPP in n and r; MPP in k), plus the
-//! DESIGN.md ablation of the dominance/normalization choices is implicit
-//! in the state counts — wall time is the proxy measured here.
+//! Exact solver scaling (SPP in n and r; MPP in k), plus the ablation
+//! of the PR's two search optimizations: processor-symmetry
+//! canonicalization and the admissible A\* heuristic. Each variant's
+//! settled-state count lands in `BENCH_solver.json` next to wall time,
+//! so before/after runs can be compared commit-to-commit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbp_bench::Bench;
 use rbp_core::rbp_dag::generators;
-use rbp_core::{solve_mpp, solve_spp, MppInstance, SolveLimits, SppInstance};
+use rbp_core::{
+    solve_mpp, solve_mpp_with, solve_spp, solve_spp_with, MppInstance, SearchConfig, SolveLimits,
+    SppInstance,
+};
 
-fn bench_spp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spp_exact");
-    group.sample_size(10);
+fn main() {
+    // The full before/after sweep (exp_solver) owns BENCH_solver.json;
+    // this microbench suite writes BENCH_solver_micro.json.
+    let mut b = Bench::new("solver_micro");
+
     for leaves in [4usize, 8] {
         let dag = generators::binary_in_tree(leaves);
-        group.bench_with_input(
-            BenchmarkId::new("tree", leaves),
-            &dag,
-            |b, dag| {
-                b.iter(|| {
-                    solve_spp(
-                        &SppInstance::with_compute(dag, 3, 2),
-                        SolveLimits::default(),
-                    )
-                    .unwrap()
-                    .total
-                });
-            },
-        );
-    }
-    for r in [2usize, 3, 4] {
-        let dag = generators::grid(3, 3);
-        group.bench_with_input(BenchmarkId::new("grid3x3_r", r), &r, |b, &r| {
-            b.iter(|| {
-                solve_spp(
-                    &SppInstance::with_compute(&dag, r, 2),
-                    SolveLimits::default(),
-                )
-                .unwrap()
-                .total
-            });
+        b.run(&format!("spp/tree{leaves}"), || {
+            solve_spp(
+                &SppInstance::with_compute(&dag, 3, 2),
+                SolveLimits::default(),
+            )
+            .unwrap()
+            .total
         });
     }
-    group.finish();
-}
-
-fn bench_mpp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mpp_exact");
-    group.sample_size(10);
+    for r in [3usize, 4] {
+        let dag = generators::grid(3, 3);
+        b.run(&format!("spp/grid3x3_r{r}"), || {
+            solve_spp(
+                &SppInstance::with_compute(&dag, r, 2),
+                SolveLimits::default(),
+            )
+            .unwrap()
+            .total
+        });
+    }
     for k in [1usize, 2] {
         let dag = generators::binary_in_tree(4);
-        group.bench_with_input(BenchmarkId::new("tree4_k", k), &k, |b, &k| {
-            b.iter(|| {
-                solve_mpp(&MppInstance::new(&dag, k, 3, 2), SolveLimits::default())
-                    .unwrap()
-                    .total
-            });
+        b.run(&format!("mpp/tree4_k{k}"), || {
+            solve_mpp(&MppInstance::new(&dag, k, 3, 2), SolveLimits::default())
+                .unwrap()
+                .total
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_spp_scaling, bench_mpp_scaling);
-criterion_main!(benches);
+    // Ablation: symmetry × heuristic on a k=2 instance. All four
+    // variants must agree on the optimum; they differ in states settled
+    // and wall time.
+    let dag = generators::grid(3, 3);
+    let inst = MppInstance::new(&dag, 2, 3, 2);
+    let mut totals = Vec::new();
+    for (sym, heur) in [(false, false), (true, false), (false, true), (true, true)] {
+        let cfg = SearchConfig {
+            symmetry: sym,
+            heuristic: heur,
+            limits: SolveLimits::default(),
+        };
+        let label = format!(
+            "mpp/grid3x3_k2[sym={}+heur={}]",
+            u8::from(sym),
+            u8::from(heur)
+        );
+        let outcome = solve_mpp_with(&inst, &cfg);
+        totals.push(outcome.solution.as_ref().expect("solvable").total);
+        let settled = outcome.stats.settled;
+        let pushed = outcome.stats.pushed;
+        let m = b.run(&label, || solve_mpp_with(&inst, &cfg).stats.settled);
+        m.extra.push(("settled".to_string(), settled));
+        m.extra.push(("pushed".to_string(), pushed));
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "ablation variants disagree: {totals:?}"
+    );
+
+    // Same ablation for SPP (no symmetry axis; heuristic only).
+    let dag = generators::grid(3, 4);
+    let inst = SppInstance::with_compute(&dag, 3, 2);
+    for heur in [false, true] {
+        let cfg = SearchConfig {
+            symmetry: false,
+            heuristic: heur,
+            limits: SolveLimits::default(),
+        };
+        let outcome = solve_spp_with(&inst, &cfg);
+        let settled = outcome.stats.settled;
+        let m = b.run(&format!("spp/grid3x4[heur={}]", u8::from(heur)), || {
+            solve_spp_with(&inst, &cfg).stats.settled
+        });
+        m.extra.push(("settled".to_string(), settled));
+    }
+
+    b.finish();
+}

@@ -17,8 +17,14 @@ fn main() {
     let workloads = vec![
         ("fft(4)".to_string(), generators::fft(4)),
         ("grid(6x6)".to_string(), generators::grid(6, 6)),
-        ("layered(6,8,3)".to_string(), generators::layered_random(6, 8, 3, 7)),
-        ("chains(4x16)".to_string(), generators::independent_chains(4, 16)),
+        (
+            "layered(6,8,3)".to_string(),
+            generators::layered_random(6, 8, 3, 7),
+        ),
+        (
+            "chains(4x16)".to_string(),
+            generators::independent_chains(4, 16),
+        ),
     ];
     let mut t = Table::new(&["dag", "scheduler", "sync cost", "async makespan", "ratio"]);
     for (name, dag) in &workloads {

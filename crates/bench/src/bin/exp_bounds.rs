@@ -7,16 +7,30 @@ use rbp_core::MppInstance;
 use rbp_schedulers::all_schedulers;
 
 fn main() {
-    banner("E3", "Lemma 1 bounds: n/k ≤ cost ≤ (g(Δin+1)+1)n across schedulers");
+    banner(
+        "E3",
+        "Lemma 1 bounds: n/k ≤ cost ≤ (g(Δin+1)+1)n across schedulers",
+    );
     let dags: Vec<(String, Dag)> = vec![
         ("fft(4)".into(), generators::fft(4)),
         ("tree(32)".into(), generators::binary_in_tree(32)),
         ("grid(6x6)".into(), generators::grid(6, 6)),
-        ("layered(6,8,3)".into(), generators::layered_random(6, 8, 3, 7)),
+        (
+            "layered(6,8,3)".into(),
+            generators::layered_random(6, 8, 3, 7),
+        ),
         ("chains(4x16)".into(), generators::independent_chains(4, 16)),
     ];
     let (k, r, g) = (4usize, 4usize, 3u64);
-    let mut t = Table::new(&["dag", "scheduler", "cost", "lower n/k", "upper L1", "io", "computes"]);
+    let mut t = Table::new(&[
+        "dag",
+        "scheduler",
+        "cost",
+        "lower n/k",
+        "upper L1",
+        "io",
+        "computes",
+    ]);
     for (name, dag) in &dags {
         let stats = DagStats::compute(dag);
         let inst = MppInstance::new(dag, k, r.max(stats.max_in_degree + 1), g);

@@ -8,7 +8,10 @@ use rbp_core::{solve_mpp, CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::RotatingChain;
 
 fn main() {
-    banner("E6", "Lemma 7: fair case, k independent chains: OPT(k)/OPT(1) = 1/k");
+    banner(
+        "E6",
+        "Lemma 7: fair case, k independent chains: OPT(k)/OPT(1) = 1/k",
+    );
     let mut t = Table::new(&["k", "len", "OPT(1)", "OPT(k)", "ratio", "1/k"]);
     for k in [2usize, 3] {
         let len = 4;
@@ -21,7 +24,9 @@ fn main() {
             .expect("k=1 exact");
         let ok = solve_mpp(
             &MppInstance::new(&dag, k, (r0 / k).max(2), 2),
-            SolveLimits { max_states: 2_000_000 },
+            SolveLimits {
+                max_states: 2_000_000,
+            },
         );
         let Some(ok) = ok else {
             println!("(k={k}: exact solve out of budget, skipped)");
@@ -43,7 +48,13 @@ fn main() {
         "Lemma 8: fair case cost increase on rotating-groups chain (m groups of c)",
     );
     let mut t2 = Table::new(&[
-        "m", "c", "k", "r0", "r0/k", "cost/node (measured)", "cost/node (predicted)",
+        "m",
+        "c",
+        "k",
+        "r0",
+        "r0/k",
+        "cost/node (measured)",
+        "cost/node (predicted)",
         "Lemma 8 ratio bound (k-1)/k·g·(Δin-1)+1",
     ]);
     let g = 4u64;

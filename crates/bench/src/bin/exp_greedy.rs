@@ -14,7 +14,10 @@ use rbp_gadgets::GreedyTrap;
 use rbp_schedulers::{Affinity, EvictionPolicy, Greedy, GreedyConfig, MppScheduler};
 
 fn main() {
-    banner("E4", "greedy class: Lemma 4 adversarial ratios, Lemma 3 ceiling");
+    banner(
+        "E4",
+        "greedy class: Lemma 4 adversarial ratios, Lemma 3 ceiling",
+    );
 
     println!("-- bait trap (d=4, len=12, baits=16), greedy vs constructive OPT --\n");
     let trap = GreedyTrap::build(4, 12, 16);
@@ -45,7 +48,11 @@ fn main() {
     let mut t = Table::new(&["g", "config", "greedy", "OPT(constructive)", "ratio"]);
     for g in [1u64, 2, 4, 8, 16] {
         let inst = MppInstance::new(&trap.dag, 1, trap.r(), g);
-        let opt = trap.strategy_optimal(g).unwrap().cost.total(CostModel::mpp(g));
+        let opt = trap
+            .strategy_optimal(g)
+            .unwrap()
+            .cost
+            .total(CostModel::mpp(g));
         let rows = par_sweep(configs.clone(), |(cname, cfg)| {
             let run = Greedy::new(*cfg).schedule(&inst).expect("greedy runs");
             ((*cname).to_string(), run.cost.total(inst.model))

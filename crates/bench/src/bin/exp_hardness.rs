@@ -17,7 +17,9 @@ fn main() {
     for items in [vec![1usize, 1], vec![2, 1], vec![1, 1, 1]] {
         let dag = two_layer_partition(&items);
         let r = dag.max_in_degree() + 1;
-        let lim = SolveLimits { max_states: 1_500_000 };
+        let lim = SolveLimits {
+            max_states: 1_500_000,
+        };
         let Some(o1) = solve_mpp(&MppInstance::new(&dag, 1, r, 3), lim) else {
             continue;
         };
@@ -25,7 +27,11 @@ fn main() {
             continue;
         };
         let inst2 = MppInstance::new(&dag, 2, r, 3);
-        let gr = Greedy::default().schedule(&inst2).unwrap().cost.total(inst2.model);
+        let gr = Greedy::default()
+            .schedule(&inst2)
+            .unwrap()
+            .cost
+            .total(inst2.model);
         t.row(&[
             format!("{items:?}"),
             dag.n().to_string(),
@@ -43,8 +49,7 @@ fn main() {
         let dag = caterpillar_in_tree(spine, &legs);
         let dmin = dag.max_in_degree() + 1;
         for r in [dmin, dmin + 1] {
-            let Some(o) =
-                solve_mpp(&MppInstance::new(&dag, 1, r, 5), SolveLimits::default())
+            let Some(o) = solve_mpp(&MppInstance::new(&dag, 1, r, 5), SolveLimits::default())
             else {
                 continue;
             };

@@ -7,7 +7,10 @@ use rbp_core::{CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::{ImbalancedPair, SparseLadder};
 
 fn main() {
-    banner("E9a", "sparse ladder: I/O appears at k=2 because it wins (m > 2g)");
+    banner(
+        "E9a",
+        "sparse ladder: I/O appears at k=2 because it wins (m > 2g)",
+    );
     let mut t = Table::new(&["len", "m", "g", "cost k=1", "io k=1", "cost k=2", "io k=2"]);
     for (len, g) in [(60usize, 1u64), (60, 2), (120, 3)] {
         let m = 2 * g as usize + 2;
@@ -40,7 +43,9 @@ fn main() {
     );
     match rbp_core::solve_mpp(
         &MppInstance::new(&l.dag, 2, 4, 1),
-        SolveLimits { max_states: 500_000 },
+        SolveLimits {
+            max_states: 500_000,
+        },
     ) {
         Some(o2) => println!(
             "OPT(2) = {} with {} I/O steps",
@@ -50,9 +55,17 @@ fn main() {
         None => println!("OPT(2): exact out of budget; constructive strategy stands"),
     }
 
-    banner("E9b", "imbalanced pair: I/O vanishes at k=2 (recomputation + imbalance)");
+    banner(
+        "E9b",
+        "imbalanced pair: I/O vanishes at k=2 (recomputation + imbalance)",
+    );
     let mut t2 = Table::new(&[
-        "d", "n1", "n2", "g", "k=1 loads (total/io)", "k=1 recompute (total/io)",
+        "d",
+        "n1",
+        "n2",
+        "g",
+        "k=1 loads (total/io)",
+        "k=1 recompute (total/io)",
         "k=2 recompute (total/io)",
     ]);
     for g in [2u64, 3, 5] {

@@ -11,7 +11,16 @@ fn main() {
     banner("E5", "lower bounds vs achieved costs: FFT and matmul");
 
     println!("-- FFT(2^p): MPP bound (n/k)(g·log n/log(rk)+1) vs schedulers --\n");
-    let mut t = Table::new(&["p", "k", "r", "g", "bound", "greedy", "partition", "wavefront"]);
+    let mut t = Table::new(&[
+        "p",
+        "k",
+        "r",
+        "g",
+        "bound",
+        "greedy",
+        "partition",
+        "wavefront",
+    ]);
     let mut inputs = Vec::new();
     for p in [3u32, 4, 5] {
         for k in [1usize, 2, 4] {
@@ -24,7 +33,11 @@ fn main() {
         let n_points = 1u64 << p;
         let bound = rbp_bounds::fft::mpp_total_lower(n_points, k as u64, r as u64, g);
         let inst = MppInstance::new(&dag, k, r, g);
-        let gr = Greedy::default().schedule(&inst).unwrap().cost.total(inst.model);
+        let gr = Greedy::default()
+            .schedule(&inst)
+            .unwrap()
+            .cost
+            .total(inst.model);
         let pa = Partition.schedule(&inst).unwrap().cost.total(inst.model);
         let wf = Wavefront.schedule(&inst).unwrap().cost.total(inst.model);
         (p, k, r, g, bound, gr, pa, wf)
@@ -57,7 +70,11 @@ fn main() {
         let dag = generators::matmul(n);
         let bound = rbp_bounds::matmul::mpp_total_lower(n as u64, k as u64, r as u64, g);
         let inst = MppInstance::new(&dag, k, r, g);
-        let gr = Greedy::default().schedule(&inst).unwrap().cost.total(inst.model);
+        let gr = Greedy::default()
+            .schedule(&inst)
+            .unwrap()
+            .cost
+            .total(inst.model);
         let pa = Partition.schedule(&inst).unwrap().cost.total(inst.model);
         (n, k, bound, gr, pa)
     });
@@ -76,17 +93,21 @@ fn main() {
     println!("-- Corollary 1 bound (from exact SPP at k·r) vs exact MPP OPT --\n");
     let mut t3 = Table::new(&["dag", "k", "r", "g", "Cor.1 bound", "OPT(exact)"]);
     for (name, dag, k, r, g) in [
-        ("tree(4)", generators::binary_in_tree(4), 2usize, 3usize, 2u64),
+        (
+            "tree(4)",
+            generators::binary_in_tree(4),
+            2usize,
+            3usize,
+            2u64,
+        ),
         ("diamond(3)", generators::diamond(3), 2, 4, 3),
         ("chains(2x4)", generators::independent_chains(2, 4), 2, 3, 2),
         ("grid(3x3)", generators::grid(3, 3), 2, 3, 2),
     ] {
         let inst = MppInstance::new(&dag, k, r, g);
-        let bound =
-            rbp_bounds::translate::mpp_total_lower_exact(&inst, SolveLimits::default())
-                .expect("SPP exact in range");
-        let opt = rbp_core::solve_mpp(&inst, SolveLimits::default())
-            .expect("MPP exact in range");
+        let bound = rbp_bounds::translate::mpp_total_lower_exact(&inst, SolveLimits::default())
+            .expect("SPP exact in range");
+        let opt = rbp_core::solve_mpp(&inst, SolveLimits::default()).expect("MPP exact in range");
         assert!(bound <= opt.total, "Corollary 1 violated");
         t3.row(&[
             name.to_string(),

@@ -9,7 +9,10 @@ use rbp_core::{solve_mpp, CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::TwoZippers;
 
 fn main() {
-    banner("E8", "Lemma 9: OPT(2) beats both OPT(1) and OPT(4) in the fair series");
+    banner(
+        "E8",
+        "Lemma 9: OPT(2) beats both OPT(1) and OPT(4) in the fair series",
+    );
     let mut t = Table::new(&[
         "d", "n0", "g", "r(k=1)", "cost k=1", "r(k=2)", "cost k=2", "r(k=4)", "cost k=4",
     ]);
@@ -37,15 +40,28 @@ fn main() {
     println!("\n-- exact verification on the tiny instance (d=1, n0=2, g=3) --\n");
     let tz = TwoZippers::build(1, 2);
     let g = 3;
-    let lim = SolveLimits { max_states: 400_000 };
+    let lim = SolveLimits {
+        max_states: 400_000,
+    };
     let o1 = solve_mpp(&MppInstance::new(&tz.dag, 1, tz.fair_r(1), g), lim).unwrap();
     let o2 = solve_mpp(&MppInstance::new(&tz.dag, 2, tz.fair_r(2), g), lim).unwrap();
-    println!("OPT(1) = {}   OPT(2) = {}   (OPT(2) < OPT(1): {})", o1.total, o2.total, o2.total < o1.total);
+    println!(
+        "OPT(1) = {}   OPT(2) = {}   (OPT(2) < OPT(1): {})",
+        o1.total,
+        o2.total,
+        o2.total < o1.total
+    );
     match solve_mpp(
         &MppInstance::new(&tz.dag, 4, tz.fair_r(4), g),
         SolveLimits { max_states: 40_000 },
     ) {
-        Some(o4) => println!("OPT(4) = {}   (OPT(2) ≤ OPT(4): {})", o4.total, o2.total <= o4.total),
-        None => println!("OPT(4): exact solve out of budget (k=4 batch space); constructive value above stands"),
+        Some(o4) => println!(
+            "OPT(4) = {}   (OPT(2) ≤ OPT(4): {})",
+            o4.total,
+            o2.total <= o4.total
+        ),
+        None => println!(
+            "OPT(4): exact solve out of budget (k=4 batch space); constructive value above stands"
+        ),
     }
 }

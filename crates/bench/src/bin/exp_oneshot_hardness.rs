@@ -12,9 +12,18 @@ use rbp_gadgets::levels::Tower;
 use rbp_gadgets::{Graph, HardnessInstance};
 
 fn main() {
-    banner("E10a", "Fig. 3 towers: transition peak = max consecutive level pair");
+    banner(
+        "E10a",
+        "Fig. 3 towers: transition peak = max consecutive level pair",
+    );
     let mut t = Table::new(&["levels", "predicted peak", "exact peak"]);
-    for sizes in [vec![5, 5], vec![5, 7], vec![5, 3], vec![1, 4, 2, 3], vec![3, 1, 5, 1]] {
+    for sizes in [
+        vec![5, 5],
+        vec![5, 7],
+        vec![5, 3],
+        vec![1, 4, 2, 3],
+        vec![3, 1, 5, 1],
+    ] {
         let tower = Tower::build(&sizes);
         let exact = rbp_core::rbp_dag::min_peak_memory(&tower.dag, 64).unwrap();
         assert_eq!(exact, tower.predicted_peak());
@@ -33,10 +42,22 @@ fn main() {
     let graphs: Vec<(String, Graph)> = vec![
         ("path3".into(), Graph::new(3, &[(0, 1), (1, 2)])),
         ("triangle".into(), Graph::new(3, &[(0, 1), (1, 2), (0, 2)])),
-        ("C4".into(), Graph::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])),
-        ("paw".into(), Graph::new(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])),
+        (
+            "C4".into(),
+            Graph::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+        ),
+        (
+            "paw".into(),
+            Graph::new(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]),
+        ),
     ];
-    let mut t2 = Table::new(&["graph", "vsΔ (brute force)", "W", "budget", "zero-cost pebbling?"]);
+    let mut t2 = Table::new(&[
+        "graph",
+        "vsΔ (brute force)",
+        "W",
+        "budget",
+        "zero-cost pebbling?",
+    ]);
     let rows = par_sweep(graphs, |(name, g)| {
         let vsd = g.transient_vertex_separation();
         let mut out = Vec::new();
@@ -62,15 +83,17 @@ fn main() {
     }
     t2.print();
 
-    banner("E10c", "gap amplification: OPT = 0 vs OPT ≥ t (chained copies)");
+    banner(
+        "E10c",
+        "gap amplification: OPT = 0 vs OPT ≥ t (chained copies)",
+    );
     let g = Graph::new(3, &[(0, 1), (1, 2)]);
     let vsd = g.transient_vertex_separation();
     let mut t3 = Table::new(&["copies t", "n", "budget", "zero-cost (YES at W=vsΔ)"]);
     for t_copies in [1usize, 2, 3] {
         let (dag, budget) = HardnessInstance::amplified(&g, vsd, t_copies);
         let dec = if dag.n() <= 64 {
-            zero_io_pebbling_exists(&dag, budget)
-                .map_or("n/a".to_string(), |b| b.to_string())
+            zero_io_pebbling_exists(&dag, budget).map_or("n/a".to_string(), |b| b.to_string())
         } else {
             "n>64".into()
         };

@@ -1,0 +1,197 @@
+//! E-SOLVER — before/after sweep of the exact-solver optimizations.
+//!
+//! Runs the exact MPP solver over an `(n, k, r, g)` grid of DAG
+//! families twice per instance — baseline (plain Dijkstra, no symmetry
+//! reduction) and optimized (processor-symmetry canonicalization +
+//! admissible A\*) — in parallel across scoped worker threads, checks
+//! the optima agree, and reports per-instance wall time and
+//! settled-state counts plus aggregate speedups. Results land in
+//! `BENCH_solver.json` for commit-to-commit comparison; the EXPERIMENTS
+//! speedup table is regenerated from this run.
+//!
+//! Usage: `exp_solver [--quick]` (`--quick` trims the grid for CI).
+
+use std::time::Instant;
+
+use rbp_bench::{banner, par_sweep, Table};
+use rbp_core::rbp_dag::{generators, Dag};
+use rbp_core::{solve_mpp_with, MppInstance, SearchConfig, SearchStats};
+use rbp_util::json::Json;
+
+struct Case {
+    dag: Dag,
+    family: &'static str,
+    k: usize,
+    r: usize,
+    g: u64,
+}
+
+struct Outcome {
+    label: String,
+    n: usize,
+    k: usize,
+    total: u64,
+    base_ns: u64,
+    base_stats: SearchStats,
+    opt_ns: u64,
+    opt_stats: SearchStats,
+}
+
+fn grid_cases(quick: bool) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let mut push = |dag: Dag, family: &'static str, k: usize, r: usize, g: u64| {
+        cases.push(Case {
+            dag,
+            family,
+            k,
+            r,
+            g,
+        });
+    };
+    // k = 2 sweep on n ≥ 8 DAGs (the acceptance grid), plus k = 1 and
+    // k = 3 spot checks. r stays close to Δin + 1 so fast memory is
+    // tight and the search non-trivial; n stays ≤ ~9 because the
+    // *baseline* must also finish within the state budget.
+    for g in [1u64, 2] {
+        push(generators::grid(2, 4), "grid2x4", 2, 3, g);
+        push(generators::independent_chains(2, 4), "chains2x4", 2, 2, g);
+    }
+    push(generators::grid(3, 3), "grid3x3", 2, 3, 1);
+    push(
+        generators::layered_random(3, 3, 2, 7),
+        "layered3x3",
+        2,
+        3,
+        1,
+    );
+    push(generators::grid(3, 3), "grid3x3", 1, 3, 2);
+    if !quick {
+        push(generators::grid(3, 3), "grid3x3", 2, 3, 2);
+        push(generators::binary_in_tree(4), "tree4", 3, 3, 2);
+        push(generators::binary_in_tree(4), "tree4", 2, 3, 1);
+    }
+    cases
+}
+
+fn run_case(case: &Case) -> Outcome {
+    let inst = MppInstance::new(&case.dag, case.k, case.r, case.g);
+    let base_cfg = SearchConfig::baseline();
+    let opt_cfg = SearchConfig::default();
+
+    let t = Instant::now();
+    let base = solve_mpp_with(&inst, &base_cfg);
+    let base_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let t = Instant::now();
+    let opt = solve_mpp_with(&inst, &opt_cfg);
+    let opt_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let b = base.solution.expect("baseline solved");
+    let o = opt.solution.expect("optimized solved");
+    assert_eq!(
+        b.total, o.total,
+        "{} k={} r={} g={}: optimized solver changed the optimum",
+        case.family, case.k, case.r, case.g
+    );
+    o.strategy
+        .validate(&inst)
+        .expect("optimized witness validates");
+
+    Outcome {
+        label: format!("{} k={} r={} g={}", case.family, case.k, case.r, case.g),
+        n: case.dag.n(),
+        k: case.k,
+        total: o.total,
+        base_ns,
+        base_stats: base.stats,
+        opt_ns,
+        opt_stats: opt.stats,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "E-SOLVER",
+        "exact-solver ablation: Dijkstra vs symmetry-reduced A*",
+    );
+    let cases = grid_cases(quick);
+    let results = par_sweep(cases, run_case);
+
+    let mut t = Table::new(&[
+        "instance",
+        "n",
+        "OPT",
+        "base ms",
+        "opt ms",
+        "base settled",
+        "opt settled",
+        "settled x",
+        "wall x",
+    ]);
+    let mut rows = Vec::new();
+    let (mut k2_settled_base, mut k2_settled_opt) = (0u64, 0u64);
+    let (mut k2_ns_base, mut k2_ns_opt) = (0u64, 0u64);
+    for o in &results {
+        let settled_x = o.base_stats.settled as f64 / o.opt_stats.settled.max(1) as f64;
+        let wall_x = o.base_ns as f64 / o.opt_ns.max(1) as f64;
+        t.row(&[
+            o.label.clone(),
+            o.n.to_string(),
+            o.total.to_string(),
+            format!("{:.2}", o.base_ns as f64 / 1e6),
+            format!("{:.2}", o.opt_ns as f64 / 1e6),
+            o.base_stats.settled.to_string(),
+            o.opt_stats.settled.to_string(),
+            format!("{settled_x:.1}x"),
+            format!("{wall_x:.1}x"),
+        ]);
+        if o.k >= 2 && o.n >= 8 {
+            k2_settled_base += o.base_stats.settled;
+            k2_settled_opt += o.opt_stats.settled;
+            k2_ns_base += o.base_ns;
+            k2_ns_opt += o.opt_ns;
+        }
+        rows.push(Json::obj(vec![
+            ("instance", Json::from(o.label.as_str())),
+            ("n", Json::from(o.n)),
+            ("k", Json::from(o.k)),
+            ("total", Json::from(o.total)),
+            ("base_wall_ns", Json::from(o.base_ns)),
+            ("opt_wall_ns", Json::from(o.opt_ns)),
+            ("base_settled", Json::from(o.base_stats.settled)),
+            ("opt_settled", Json::from(o.opt_stats.settled)),
+            ("base_pushed", Json::from(o.base_stats.pushed)),
+            ("opt_pushed", Json::from(o.opt_stats.pushed)),
+        ]));
+    }
+    t.print();
+
+    let settled_speedup = k2_settled_base as f64 / k2_settled_opt.max(1) as f64;
+    let wall_speedup = k2_ns_base as f64 / k2_ns_opt.max(1) as f64;
+    println!(
+        "\naggregate over k>=2, n>=8: settled-state reduction {settled_speedup:.1}x, \
+         wall-clock speedup {wall_speedup:.1}x"
+    );
+
+    let json = Json::obj(vec![
+        ("suite", Json::from("solver")),
+        ("quick", Json::from(quick)),
+        (
+            "aggregate_k2",
+            Json::obj(vec![
+                ("settled_speedup", Json::from(settled_speedup)),
+                ("wall_speedup", Json::from(wall_speedup)),
+                ("base_settled", Json::from(k2_settled_base)),
+                ("opt_settled", Json::from(k2_settled_opt)),
+                ("base_wall_ns", Json::from(k2_ns_base)),
+                ("opt_wall_ns", Json::from(k2_ns_opt)),
+            ]),
+        ),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = "BENCH_solver.json";
+    match std::fs::write(path, json.render_pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

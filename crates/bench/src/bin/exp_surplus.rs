@@ -10,7 +10,10 @@ use rbp_core::{MppInstance, MppRunStats};
 use rbp_schedulers::all_schedulers;
 
 fn main() {
-    banner("E14", "surplus cost (Def. 1): io / imbalance / recompute decomposition");
+    banner(
+        "E14",
+        "surplus cost (Def. 1): io / imbalance / recompute decomposition",
+    );
     let dag = generators::layered_random(6, 8, 3, 13);
     let inst = MppInstance::new(&dag, 4, 4, 3);
     let rows = par_sweep(all_schedulers(), |s| {

@@ -12,13 +12,28 @@ use rbp_gadgets::vertex_cover::{cubic_circulant, incidence_dag, min_vertex_cover
 use rbp_gadgets::Graph;
 
 fn main() {
-    banner("E11", "vertex cover vs optimal pebbling cost (SPP with compute costs)");
+    banner(
+        "E11",
+        "vertex cover vs optimal pebbling cost (SPP with compute costs)",
+    );
     let graphs: Vec<(String, Graph)> = vec![
         ("path3 (VC 1)".into(), Graph::new(3, &[(0, 1), (1, 2)])),
-        ("star3 (VC 1)".into(), Graph::new(4, &[(0, 1), (0, 2), (0, 3)])),
-        ("path4 (VC 2)".into(), Graph::new(4, &[(0, 1), (1, 2), (2, 3)])),
-        ("triangle (VC 2)".into(), Graph::new(3, &[(0, 1), (1, 2), (0, 2)])),
-        ("C4 (VC 2)".into(), Graph::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])),
+        (
+            "star3 (VC 1)".into(),
+            Graph::new(4, &[(0, 1), (0, 2), (0, 3)]),
+        ),
+        (
+            "path4 (VC 2)".into(),
+            Graph::new(4, &[(0, 1), (1, 2), (2, 3)]),
+        ),
+        (
+            "triangle (VC 2)".into(),
+            Graph::new(3, &[(0, 1), (1, 2), (0, 2)]),
+        ),
+        (
+            "C4 (VC 2)".into(),
+            Graph::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+        ),
         ("K4 (VC 3)".into(), cubic_circulant(4)),
     ];
     let (r, g) = (3usize, 2u64);
@@ -26,7 +41,12 @@ fn main() {
         let vc = min_vertex_cover(gr);
         let dag = incidence_dag(gr);
         let inst = SppInstance::with_compute(&dag, r, g);
-        let sol = solve_spp(&inst, SolveLimits { max_states: 4_000_000 });
+        let sol = solve_spp(
+            &inst,
+            SolveLimits {
+                max_states: 4_000_000,
+            },
+        );
         (
             name.clone(),
             gr.n,
@@ -35,7 +55,15 @@ fn main() {
             sol.map(|s| (s.total, s.cost.io_steps())),
         )
     });
-    let mut t = Table::new(&["graph", "n", "m", "min VC", "OPT total", "OPT io", "surplus/edge"]);
+    let mut t = Table::new(&[
+        "graph",
+        "n",
+        "m",
+        "min VC",
+        "OPT total",
+        "OPT io",
+        "surplus/edge",
+    ]);
     for (name, n, m, vc, sol) in rows {
         match sol {
             Some((total, io)) => {
@@ -51,8 +79,15 @@ fn main() {
                     format!("{:.2}", surplus as f64 / m.max(1) as f64),
                 ]);
             }
-            None => t.row(&[name, n.to_string(), m.to_string(), vc.to_string(),
-                "-".into(), "-".into(), "-".into()]),
+            None => t.row(&[
+                name,
+                n.to_string(),
+                m.to_string(),
+                vc.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     t.print();

@@ -1,8 +1,8 @@
 //! Regenerates the paper's figures as Graphviz DOT files under
 //! `figures/` (render with `dot -Tpdf figures/fig2_zipper.dot`).
 
-use rbp_core::rbp_dag::dot::{to_dot, DotOptions};
 use rbp_core::rbp_dag::dag_from_edges;
+use rbp_core::rbp_dag::dot::{to_dot, DotOptions};
 use rbp_gadgets::levels::Tower;
 use rbp_gadgets::{Graph, HardnessInstance, Zipper};
 
@@ -16,7 +16,18 @@ fn main() -> std::io::Result<()> {
     // Figure 1: the worked example DAG.
     let fig1 = dag_from_edges(
         7,
-        &[(0, 2), (1, 2), (0, 3), (1, 3), (2, 4), (3, 4), (2, 5), (3, 5), (4, 6), (5, 6)],
+        &[
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (2, 5),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+        ],
     );
     std::fs::write("figures/fig1_example.dot", to_dot(&fig1, &ranked))?;
 

@@ -4,14 +4,20 @@
 //! at the repository root); each regenerates the quantitative content of
 //! a lemma, theorem, or figure of the paper as a plain-text table.
 //!
-//! This library holds the shared pieces: a fixed-width table printer and
-//! a parallel parameter-sweep helper built on `std::thread::scope`
-//! (sweeps are embarrassingly parallel; results are collected through a
-//! `parking_lot` mutex and re-ordered deterministically).
+//! This library holds the shared pieces: a fixed-width table printer, a
+//! parallel parameter-sweep helper built on `std::thread::scope` (sweeps
+//! are embarrassingly parallel; results are collected through a mutex
+//! and re-ordered deterministically), and [`micro`], a dependency-free
+//! microbenchmark runner used by the `benches/` targets (the container
+//! has no criterion, so the harness is in-tree).
 
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
+pub mod micro;
+
+pub use micro::{Bench, Measurement};
+
+use std::sync::Mutex;
 
 /// A fixed-width plain-text table printer.
 ///
@@ -112,7 +118,7 @@ where
         for _ in 0..max_threads {
             scope.spawn(|| loop {
                 let i = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().unwrap();
                     let i = *guard;
                     if i >= n {
                         return;
@@ -121,12 +127,13 @@ where
                     i
                 };
                 let out = f(&inputs[i]);
-                results.lock()[i] = Some(out);
+                results.lock().unwrap()[i] = Some(out);
             });
         }
     });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|o| o.expect("worker completed"))
         .collect()

@@ -11,7 +11,10 @@
 //! - [`matmul`] — the Kwasniewski et al. `2n³/√s + n²` bound for matrix
 //!   multiplication and its MPP form;
 //! - [`structural`] — shape-only bounds (sink overflow, zero-I/O memory
-//!   thresholds).
+//!   thresholds);
+//! - [`heuristic`] — state-dependent lower bounds via the exact solvers'
+//!   admissible A* heuristic (the Lemma 1 bound generalized to mid-game
+//!   configurations).
 //!
 //! All closed-form bounds are cross-checked against the exact solvers on
 //! small instances in this crate's tests.
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod fft;
+pub mod heuristic;
 pub mod matmul;
 pub mod structural;
 pub mod translate;

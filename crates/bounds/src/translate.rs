@@ -50,8 +50,8 @@ mod tests {
             (generators::chain(6), 2, 2, 2),
         ] {
             let inst = MppInstance::new(&dag, k, r, g);
-            let bound = mpp_total_lower_exact(&inst, SolveLimits::default())
-                .expect("exact SPP in range");
+            let bound =
+                mpp_total_lower_exact(&inst, SolveLimits::default()).expect("exact SPP in range");
             let opt = solve_mpp(&inst, SolveLimits::default()).expect("exact MPP");
             assert!(
                 bound <= opt.total,

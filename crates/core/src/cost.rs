@@ -6,14 +6,12 @@
 //! costs" charges a small ε per compute. All three are instances of
 //! [`CostModel`].
 
-use serde::{Deserialize, Serialize};
-
 /// Per-rule costs of a pebbling game.
 ///
 /// `g` is the cost of one I/O step (a whole R1-M/R2-M application,
 /// regardless of how many pebbles it moves); `compute` is the cost of one
 /// compute step (R3). Deletions are always free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// Cost of one I/O rule application.
     pub g: u64,
@@ -50,7 +48,7 @@ impl Default for CostModel {
 
 /// Tally of rule applications of a pebbling strategy, kept separately so
 /// experiments can report I/O and compute contributions individually.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Cost {
     /// Number of R1 applications (fast → slow memory; "stores").
     pub stores: u64,

@@ -36,18 +36,19 @@
 
 pub mod cost;
 pub mod mpp;
+pub mod search;
 pub mod spp;
 pub mod translate;
 
 pub use cost::{Cost, CostModel};
 pub use mpp::{
-    async_makespan, batchify, solve_mpp, validate_mpp, AsyncTiming, Configuration, IoClass,
-    MppError,
-    MppErrorKind, MppInstance, MppMove, MppRun, MppRunStats, MppSimulator, MppSolution,
-    MppStrategy, Pebble, ProcId,
+    async_makespan, batchify, solve_mpp, solve_mpp_with, validate_mpp, AsyncTiming, Configuration,
+    IoClass, MppError, MppErrorKind, MppInstance, MppMove, MppRun, MppRunStats, MppSimulator,
+    MppSolution, MppStrategy, Pebble, ProcId,
 };
+pub use search::{AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, SolveLimits};
 pub use spp::{
-    solve_spp, zero_io_order, zero_io_pebbling_exists, SolveLimits, SppError, SppInstance,
+    solve_spp, solve_spp_with, zero_io_order, zero_io_pebbling_exists, SppError, SppInstance,
     SppMove, SppSolution, SppState, SppStrategy, SppVariant,
 };
 pub use translate::{mpp_to_spp, simulation_instance};

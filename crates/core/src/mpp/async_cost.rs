@@ -156,7 +156,10 @@ mod tests {
         let sync = run.cost.total(inst.model);
         let t = async_makespan(&inst, &run.strategy);
         assert!(t.makespan <= sync);
-        assert!(t.makespan * inst.k as u64 >= sync, "k-fold speedup is the cap");
+        assert!(
+            t.makespan * inst.k as u64 >= sync,
+            "k-fold speedup is the cap"
+        );
     }
 
     #[test]

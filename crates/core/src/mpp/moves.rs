@@ -74,17 +74,16 @@ impl MppMove {
 
 impl std::fmt::Display for MppMove {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let write_batch =
-            |f: &mut std::fmt::Formatter<'_>, name: &str, b: &[(ProcId, NodeId)]| {
-                write!(f, "{name}[")?;
-                for (i, (p, v)) in b.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "p{p}:{v}")?;
+        let write_batch = |f: &mut std::fmt::Formatter<'_>, name: &str, b: &[(ProcId, NodeId)]| {
+            write!(f, "{name}[")?;
+            for (i, (p, v)) in b.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
                 }
-                write!(f, "]")
-            };
+                write!(f, "p{p}:{v}")?;
+            }
+            write!(f, "]")
+        };
         match self {
             MppMove::Store(b) => write_batch(f, "store", b),
             MppMove::Load(b) => write_batch(f, "load", b),

@@ -171,11 +171,7 @@ mod tests {
             let opt = batchify(&inst, &run.strategy);
             let cost = validate_mpp(&inst, &opt.moves).unwrap();
             let model = CostModel::mpp(3);
-            assert!(
-                cost.total(model) <= run.cost.total(model),
-                "{}",
-                dag.name()
-            );
+            assert!(cost.total(model) <= run.cost.total(model), "{}", dag.name());
         }
     }
 

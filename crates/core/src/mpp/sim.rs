@@ -12,8 +12,7 @@ use rbp_dag::NodeId;
 
 use crate::mpp::strategy::apply_checked;
 use crate::{
-    Configuration, Cost, MppError, MppErrorKind, MppInstance, MppMove, MppStrategy, Pebble,
-    ProcId,
+    Configuration, Cost, MppError, MppErrorKind, MppInstance, MppMove, MppStrategy, Pebble, ProcId,
 };
 
 /// A live MPP game that accumulates a strategy.

@@ -136,8 +136,7 @@ impl MppRunStats {
                         1 + rec.loads_by_other;
                     *io_transfers.entry(IoClass::Spill).or_default() += rec.loads_by_same;
                 } else if rec.loads_by_same > 0 {
-                    *io_transfers.entry(IoClass::Spill).or_default() +=
-                        1 + rec.loads_by_same;
+                    *io_transfers.entry(IoClass::Spill).or_default() += 1 + rec.loads_by_same;
                 } else {
                     *io_transfers.entry(IoClass::StoreOnly).or_default() += 1;
                 }

@@ -118,8 +118,7 @@ pub fn validate(instance: &MppInstance, moves: &[MppMove]) -> Result<Cost, MppEr
     let mut config = Configuration::initial(instance.dag, instance.k);
     let mut cost = Cost::zero();
     for (step, mv) in moves.iter().enumerate() {
-        apply_checked(instance, &mut config, mv)
-            .map_err(|kind| MppError { step, kind })?;
+        apply_checked(instance, &mut config, mv).map_err(|kind| MppError { step, kind })?;
         match mv {
             MppMove::Store(_) => cost.stores += 1,
             MppMove::Load(_) => cost.loads += 1,
@@ -212,8 +211,7 @@ pub(crate) fn apply_checked(
                 if config.reds[p].contains(v) {
                     return Err(MppErrorKind::AlreadyPebbled(v));
                 }
-                if let Some(&missing) =
-                    dag.preds(v).iter().find(|&&u| !config.reds[p].contains(u))
+                if let Some(&missing) = dag.preds(v).iter().find(|&&u| !config.reds[p].contains(u))
                 {
                     return Err(MppErrorKind::MissingInput {
                         proc: p,
@@ -324,11 +322,7 @@ mod tests {
     fn injective_selection_enforced() {
         let d = two_chains();
         let inst = MppInstance::new(&d, 2, 2, 1);
-        let err = validate(
-            &inst,
-            &[MppMove::Compute(vec![(0, v(0)), (0, v(2))])],
-        )
-        .unwrap_err();
+        let err = validate(&inst, &[MppMove::Compute(vec![(0, v(0)), (0, v(2))])]).unwrap_err();
         assert_eq!(err.kind, MppErrorKind::DuplicateProcessor(0));
     }
 
@@ -368,10 +362,7 @@ mod tests {
         let inst = MppInstance::new(&d, 2, 1, 1);
         let err = validate(
             &inst,
-            &[
-                MppMove::compute1(0, v(0)),
-                MppMove::compute1(0, v(1)),
-            ],
+            &[MppMove::compute1(0, v(0)), MppMove::compute1(0, v(1))],
         )
         .unwrap_err();
         assert_eq!(err.kind, MppErrorKind::MemoryExceeded { proc: 0, r: 1 });
@@ -446,7 +437,10 @@ mod tests {
         .unwrap_err();
         assert_eq!(
             err.kind,
-            MppErrorKind::StoreWithoutRed { proc: 1, node: v(0) }
+            MppErrorKind::StoreWithoutRed {
+                proc: 1,
+                node: v(0)
+            }
         );
     }
 

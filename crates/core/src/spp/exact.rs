@@ -1,11 +1,12 @@
 //! Exact optimal SPP solver.
 //!
-//! Uniform-cost (Dijkstra) search over game states packed into `u64`
-//! bitmasks. Optimal pebbling is PSPACE-complete in general, so this is
-//! exponential; intended for the small instances that experiments use as
-//! ground truth (`n ≤ ~14` in practice, hard limit 64).
+//! A\* search over game states packed into `u64` bitmasks, built on the
+//! shared [`crate::search`] engine. Optimal pebbling is PSPACE-complete
+//! in general, so this is exponential; intended for the small instances
+//! that experiments use as ground truth (`n ≤ ~14` in practice, hard
+//! limit 64).
 //!
-//! Two exactness-preserving normalizations shrink the space:
+//! Exactness-preserving reductions:
 //!
 //! 1. **Blue pebbles are never deleted.** Slow memory is unlimited and
 //!    deletion is free, so keeping blue pebbles can never hurt.
@@ -13,28 +14,22 @@
 //!    generated when fast memory is full. Any strategy can defer each
 //!    deletion to the moment space is actually needed, so some optimal
 //!    strategy survives the restriction.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+//! 3. **Admissible heuristic** ([`crate::search::AdmissibleHeuristic`]):
+//!    remaining-computes plus the forced-I/O terms of the Lemma 1
+//!    trivial bound. In the one-shot variant the heuristic additionally
+//!    proves some states dead (a needed node was computed and dropped),
+//!    which prunes them exactly.
+//!
+//! Disable the heuristic via [`SearchConfig`] to recover the original
+//! uniform-cost (Dijkstra) behavior; the equivalence tests and the
+//! before/after benchmarks rely on that mode.
 
 use rbp_dag::NodeId;
 
-use crate::{Cost, SppInstance, SppMove, SppStrategy};
+use crate::search::{PackedMove, SearchConfig, SearchEngine, SearchOutcome, SearchStats};
+use crate::{AdmissibleHeuristic, Cost, SppInstance, SppMove, SppStrategy};
 
-/// Resource limits for the exact solver.
-#[derive(Debug, Clone, Copy)]
-pub struct SolveLimits {
-    /// Abort after settling this many states.
-    pub max_states: usize,
-}
-
-impl Default for SolveLimits {
-    fn default() -> Self {
-        SolveLimits {
-            max_states: 2_000_000,
-        }
-    }
-}
+pub use crate::search::SolveLimits;
 
 /// An optimal solution found by [`solve`].
 #[derive(Debug, Clone)]
@@ -48,7 +43,7 @@ pub struct SppSolution {
     pub strategy: SppStrategy,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct Key {
     red: u64,
     blue: u64,
@@ -57,11 +52,50 @@ struct Key {
     computed: u64,
 }
 
-/// Finds a minimum-total-cost pebbling for `instance`, or `None` if the
-/// instance is infeasible (`r ≤ Δ_in`), the DAG has more than 64 nodes, or
+// Packed move layout: tag in bits 30..=31, node in bits 0..=5.
+const TAG_COMPUTE: u32 = 0;
+const TAG_LOAD: u32 = 1;
+const TAG_STORE: u32 = 2;
+const TAG_REMOVE: u32 = 3;
+
+#[inline]
+fn encode(tag: u32, node: u32) -> PackedMove {
+    (tag << 30) | node
+}
+
+fn decode(w: PackedMove) -> SppMove {
+    let v = NodeId::new((w & 0x3f) as usize);
+    match w >> 30 {
+        TAG_COMPUTE => SppMove::Compute(v),
+        TAG_LOAD => SppMove::Load(v),
+        TAG_STORE => SppMove::Store(v),
+        _ => SppMove::RemoveRed(v),
+    }
+}
+
+/// Finds a minimum-total-cost pebbling with the default (fully
+/// optimized) configuration, or `None` if the instance is infeasible
+/// (`r ≤ Δ_in`), the DAG has more than 64 nodes, or
 /// `limits.max_states` was exhausted.
 #[must_use]
 pub fn solve(instance: &SppInstance, limits: SolveLimits) -> Option<SppSolution> {
+    solve_with(instance, &SearchConfig::default().with_limits(limits)).solution
+}
+
+/// [`solve`] with explicit optimization switches, also reporting search
+/// statistics for benchmarking.
+#[must_use]
+pub fn solve_with(instance: &SppInstance, config: &SearchConfig) -> SearchOutcome<SppSolution> {
+    let mut stats = SearchStats::default();
+    let solution = solve_inner(instance, config, &mut stats);
+    SearchOutcome { solution, stats }
+}
+
+fn solve_inner(
+    instance: &SppInstance,
+    config: &SearchConfig,
+    stats_out: &mut SearchStats,
+) -> Option<SppSolution> {
     let dag = instance.dag;
     let n = dag.n();
     if n > 64 {
@@ -94,57 +128,66 @@ pub fn solve(instance: &SppInstance, limits: SolveLimits) -> Option<SppSolution>
     };
     let sinks_need_blue = instance.variant.sinks_need_blue;
 
+    let heur = AdmissibleHeuristic::for_spp(instance);
     let start = Key {
         red: 0,
         blue: start_blue,
         computed: 0,
     };
-    let mut dist: HashMap<Key, u64> = HashMap::new();
-    let mut parent: HashMap<Key, (Key, SppMove)> = HashMap::new();
-    let mut heap: BinaryHeap<(Reverse<u64>, u64, u64, u64)> = BinaryHeap::new();
-    dist.insert(start, 0);
-    heap.push((Reverse(0), start.red, start.blue, start.computed));
-    let mut settled = 0usize;
+    let h0 = if config.heuristic {
+        // A `None` here proves the instance unsolvable from the start.
+        heur.eval(0, start_blue, 0)?
+    } else {
+        0
+    };
+    let ub = (model.g * (dag.max_in_degree() as u64 + 1))
+        .saturating_add(model.compute)
+        .saturating_mul(n as u64)
+        .saturating_add(model.g.saturating_mul(2 * n as u64));
+    let max_priority = ub
+        .saturating_mul(2)
+        .saturating_add(model.g.saturating_add(model.compute));
+    let mut engine: SearchEngine<Key> = SearchEngine::new(start, h0, max_priority);
 
-    while let Some((Reverse(d), red, blue, computed)) = heap.pop() {
-        let key = Key {
+    while let Some((key, d)) = engine.pop() {
+        let Key {
             red,
             blue,
             computed,
-        };
-        if dist.get(&key).copied() != Some(d) {
-            continue; // stale heap entry
-        }
+        } = key;
         let terminal = if sinks_need_blue {
             sinks_mask & !blue == 0
         } else {
             sinks_mask & !(red | blue) == 0
         };
         if terminal {
-            return Some(reconstruct(instance, &parent, key, d));
+            *stats_out = engine.stats;
+            return Some(reconstruct(instance, &engine, key, d));
         }
-        settled += 1;
-        if settled > limits.max_states {
+        if !engine.settle(config.limits) {
+            *stats_out = engine.stats;
             return None;
         }
 
-        let red_count = red.count_ones() as usize;
-        let mut push = |nk: Key, nd: u64, mv: SppMove| {
-            if dist.get(&nk).is_none_or(|&old| nd < old) {
-                dist.insert(nk, nd);
-                parent.insert(nk, (key, mv));
-                heap.push((Reverse(nd), nk.red, nk.blue, nk.computed));
-            }
+        let relax = |engine: &mut SearchEngine<Key>, nk: Key, nd: u64, mv: PackedMove| {
+            engine.relax(key, nk, nd, mv, || {
+                if config.heuristic {
+                    heur.eval(nk.red, nk.blue, nk.computed)
+                } else {
+                    Some(0)
+                }
+            });
         };
 
+        let red_count = red.count_ones() as usize;
         if red_count < r {
             // Compute moves.
-            for i in 0..n {
+            for (i, &pm) in preds_mask.iter().enumerate() {
                 let b = 1u64 << i;
                 if red & b != 0 {
                     continue;
                 }
-                if preds_mask[i] & !red != 0 {
+                if pm & !red != 0 {
                     continue;
                 }
                 if one_shot && computed & b != 0 {
@@ -159,57 +202,60 @@ pub fn solve(instance: &SppInstance, limits: SolveLimits) -> Option<SppSolution>
                     blue,
                     computed: if one_shot { computed | b } else { 0 },
                 };
-                push(nk, d + model.compute, SppMove::Compute(NodeId::new(i)));
+                relax(
+                    &mut engine,
+                    nk,
+                    d + model.compute,
+                    encode(TAG_COMPUTE, i as u32),
+                );
             }
             // Load moves.
-            let loadable = blue & !red;
-            for i in iter_bits(loadable) {
+            for i in iter_bits(blue & !red) {
                 let nk = Key {
                     red: red | (1 << i),
                     blue,
                     computed,
                 };
-                push(nk, d + model.g, SppMove::Load(NodeId::new(i as usize)));
+                relax(&mut engine, nk, d + model.g, encode(TAG_LOAD, i));
             }
         } else if !no_delete {
-            // At capacity: lazy eviction.
+            // At (or above) capacity: lazy eviction.
             for i in iter_bits(red) {
                 let nk = Key {
                     red: red & !(1 << i),
                     blue,
                     computed,
                 };
-                push(nk, d, SppMove::RemoveRed(NodeId::new(i as usize)));
+                relax(&mut engine, nk, d, encode(TAG_REMOVE, i));
             }
         }
         // Store moves (legal at any occupancy).
-        let storable = red & !blue;
-        for i in iter_bits(storable) {
+        for i in iter_bits(red & !blue) {
             let nk = Key {
                 red,
                 blue: blue | (1 << i),
                 computed,
             };
-            push(nk, d + model.g, SppMove::Store(NodeId::new(i as usize)));
+            relax(&mut engine, nk, d + model.g, encode(TAG_STORE, i));
         }
     }
     // Feasible instances always terminate (the Lemma 1 baseline exists),
     // unless one-shot recomputation limits bite; report unsolvable.
+    *stats_out = engine.stats;
     None
 }
 
 fn reconstruct(
     instance: &SppInstance,
-    parent: &HashMap<Key, (Key, SppMove)>,
-    mut key: Key,
+    engine: &SearchEngine<Key>,
+    goal: Key,
     total: u64,
 ) -> SppSolution {
-    let mut moves = Vec::new();
-    while let Some(&(prev, mv)) = parent.get(&key) {
-        moves.push(mv);
-        key = prev;
-    }
-    moves.reverse();
+    let moves: Vec<SppMove> = engine
+        .path(goal)
+        .into_iter()
+        .map(|(_, mv)| decode(mv))
+        .collect();
     let strategy = SppStrategy::from_moves(moves);
     let cost = strategy
         .validate(instance)
@@ -294,11 +340,6 @@ mod tests {
     #[test]
     fn fig1_dag_single_processor_io() {
         // Figure 1 of the paper: ids v1..v7 -> 0..6.
-        // v1,v2 -> v3; v1,v2 -> v4 is NOT the figure; the figure has two
-        // separate input pairs. Reconstruction:
-        //   v1,v2 -> v3 ; v3 -> v5 ; v4 -> v5 (v4 from its own inputs)
-        // The §1 walkthrough uses 3 red pebbles and needs 4 I/O steps to
-        // pebble v7 (2 around v3/v4 reuse + 2 around v5).
         // We encode: u1,u2 -> a ; u3,u4 -> b ; a,b -> s.
         let d = dag_from_edges(7, &[(0, 2), (1, 2), (3, 5), (4, 5), (2, 6), (5, 6)]);
         let inst = SppInstance::io_only(&d, 3, 1);
@@ -395,5 +436,39 @@ mod tests {
             SolveLimits { max_states: 10 },
         );
         assert!(sol.is_none());
+    }
+
+    #[test]
+    fn hong_kung_variant_agrees_with_baseline() {
+        let d = generators::binary_in_tree(4);
+        let inst = SppInstance {
+            dag: &d,
+            r: 3,
+            model: CostModel::spp_io_only(1),
+            variant: SppVariant::hong_kung(),
+        };
+        let base = solve_with(&inst, &SearchConfig::baseline());
+        let opt = solve_with(&inst, &SearchConfig::default());
+        assert_eq!(
+            base.solution.unwrap().total,
+            opt.solution.as_ref().unwrap().total
+        );
+        opt.solution.unwrap().strategy.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn heuristic_prunes_without_changing_optimum() {
+        let d = generators::grid(3, 3);
+        let inst = SppInstance::with_compute(&d, 3, 2);
+        let base = solve_with(&inst, &SearchConfig::baseline());
+        let opt = solve_with(&inst, &SearchConfig::default());
+        let (b, o) = (base.solution.unwrap(), opt.solution.unwrap());
+        assert_eq!(b.total, o.total);
+        assert!(
+            opt.stats.settled < base.stats.settled,
+            "A* should settle fewer states ({} vs {})",
+            opt.stats.settled,
+            base.stats.settled
+        );
     }
 }

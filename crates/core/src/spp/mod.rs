@@ -12,7 +12,7 @@ pub mod oneshot_zero;
 pub mod state;
 pub mod strategy;
 
-pub use exact::{solve as solve_spp, SolveLimits, SppSolution};
+pub use exact::{solve as solve_spp, solve_with as solve_spp_with, SolveLimits, SppSolution};
 pub use moves::SppMove;
 pub use oneshot_zero::{zero_io_order, zero_io_pebbling_exists};
 pub use state::SppState;

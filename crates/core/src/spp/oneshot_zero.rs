@@ -44,11 +44,19 @@ pub fn zero_io_order(dag: &Dag, r: usize) -> Option<Option<Vec<NodeId>>> {
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let preds_mask: Vec<u64> = dag
         .nodes()
-        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | (1u64 << p.index())))
+        .map(|v| {
+            dag.preds(v)
+                .iter()
+                .fold(0u64, |m, p| m | (1u64 << p.index()))
+        })
         .collect();
     let succs_mask: Vec<u64> = dag
         .nodes()
-        .map(|v| dag.succs(v).iter().fold(0u64, |m, p| m | (1u64 << p.index())))
+        .map(|v| {
+            dag.succs(v)
+                .iter()
+                .fold(0u64, |m, p| m | (1u64 << p.index()))
+        })
         .collect();
     let live_count = |mask: u64| -> u32 {
         let mut live = 0u32;
@@ -91,18 +99,16 @@ pub fn zero_io_order(dag: &Dag, r: usize) -> Option<Option<Vec<NodeId>>> {
         // Predecessors of i are live in `mask` (i is uncomputed), so
         // live(mask) ∪ {i} is the instantaneous requirement.
         let during = live_count(mask) + 1;
-        for i in 0..n {
+        for (i, &pm) in preds_mask.iter().enumerate() {
             let b = 1u64 << i;
-            if mask & b != 0 || preds_mask[i] & !mask != 0 {
+            if mask & b != 0 || pm & !mask != 0 {
                 continue;
             }
             let new_mask = mask | b;
             // After placing, some preds may die; the lasting requirement
             // is live(new_mask) ≤ during, so `during` dominates.
             let new_peak = peak.max(during);
-            if new_peak as usize <= r
-                && best.get(&new_mask).is_none_or(|&p| new_peak < p)
-            {
+            if new_peak as usize <= r && best.get(&new_mask).is_none_or(|&p| new_peak < p) {
                 best.insert(new_mask, new_peak);
                 parent.insert(new_mask, (mask, NodeId::new(i)));
                 heap.push((Reverse(new_peak), new_mask));

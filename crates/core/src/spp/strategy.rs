@@ -109,8 +109,7 @@ pub fn validate(instance: &SppInstance, moves: &[SppMove]) -> Result<Cost, SppEr
     let mut state = SppState::initial_for(instance.dag, instance.variant);
     let mut cost = Cost::zero();
     for (step, &mv) in moves.iter().enumerate() {
-        apply_checked(instance, &mut state, mv)
-            .map_err(|kind| SppError { step, kind })?;
+        apply_checked(instance, &mut state, mv).map_err(|kind| SppError { step, kind })?;
         match mv {
             SppMove::Load(_) => cost.loads += 1,
             SppMove::Store(_) => cost.stores += 1,
@@ -176,11 +175,7 @@ pub(crate) fn apply_checked(
             if instance.variant.sources_start_blue && dag.in_degree(v) == 0 {
                 return Err(SppErrorKind::SourceNotComputable(v));
             }
-            if let Some(&missing) = dag
-                .preds(v)
-                .iter()
-                .find(|&&p| !state.red.contains(p))
-            {
+            if let Some(&missing) = dag.preds(v).iter().find(|&&p| !state.red.contains(p)) {
                 return Err(SppErrorKind::MissingInput { node: v, missing });
             }
             if state.red_count() + 1 > instance.r {
@@ -234,7 +229,14 @@ mod tests {
         let d = join();
         let inst = SppInstance::io_only(&d, 3, 1);
         let cost = validate(&inst, &[Compute(v(0)), Compute(v(1)), Compute(v(2))]).unwrap();
-        assert_eq!(cost, Cost { stores: 0, loads: 0, computes: 3 });
+        assert_eq!(
+            cost,
+            Cost {
+                stores: 0,
+                loads: 0,
+                computes: 3
+            }
+        );
     }
 
     #[test]
@@ -258,7 +260,10 @@ mod tests {
         let inst = SppInstance::io_only(&d, 2, 1);
         let err = validate(&inst, &[Compute(v(0)), Compute(v(1)), Compute(v(2))]).unwrap_err();
         assert_eq!(err.step, 2);
-        assert!(matches!(err.kind, SppErrorKind::MemoryExceeded { r: 2, .. }));
+        assert!(matches!(
+            err.kind,
+            SppErrorKind::MemoryExceeded { r: 2, .. }
+        ));
     }
 
     #[test]
@@ -277,7 +282,14 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(cost, Cost { stores: 1, loads: 1, computes: 2 });
+        assert_eq!(
+            cost,
+            Cost {
+                stores: 1,
+                loads: 1,
+                computes: 2
+            }
+        );
         assert_eq!(cost.total(inst.model), 10);
     }
 
@@ -346,12 +358,7 @@ mod tests {
         // what makes the final Compute(1) valid.
         validate(
             &inst,
-            &[
-                Compute(v(0)),
-                RemoveRed(v(0)),
-                Compute(v(0)),
-                Compute(v(1)),
-            ],
+            &[Compute(v(0)), RemoveRed(v(0)), Compute(v(0)), Compute(v(1))],
         )
         .unwrap();
     }

@@ -33,10 +33,10 @@ pub fn mpp_to_spp(instance: &MppInstance, strategy: &MppStrategy) -> SppStrategy
     let mut out = Vec::new();
 
     let add_red = |v: NodeId,
-                       out: &mut Vec<SppMove>,
-                       blue: &rbp_dag::NodeSet,
-                       refcount: &mut HashMap<NodeId, usize>,
-                       via_compute: bool| {
+                   out: &mut Vec<SppMove>,
+                   blue: &rbp_dag::NodeSet,
+                   refcount: &mut HashMap<NodeId, usize>,
+                   via_compute: bool| {
         let c = refcount.entry(v).or_insert(0);
         *c += 1;
         if *c == 1 {

@@ -2,21 +2,14 @@
 //! slow memory) and/or sinks must end blue (outputs written back) — the
 //! original Hong–Kung setting.
 
-use rbp_core::{
-    solve_spp, CostModel, SolveLimits, SppInstance, SppMove, SppState, SppVariant,
-};
+use rbp_core::{solve_spp, CostModel, SolveLimits, SppInstance, SppMove, SppState, SppVariant};
 use rbp_dag::{dag_from_edges, generators, NodeId};
 
 fn v(i: u32) -> NodeId {
     NodeId(i)
 }
 
-fn instance<'a>(
-    dag: &'a rbp_dag::Dag,
-    r: usize,
-    g: u64,
-    variant: SppVariant,
-) -> SppInstance<'a> {
+fn instance<'a>(dag: &'a rbp_dag::Dag, r: usize, g: u64, variant: SppVariant) -> SppInstance<'a> {
     SppInstance {
         dag,
         r,
@@ -58,11 +51,9 @@ fn sources_can_be_loaded_instead_of_computed() {
 fn sinks_need_blue_rejects_red_only_terminal() {
     let dag = dag_from_edges(2, &[(0, 1)]);
     let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
-    let err = rbp_core::spp::strategy::validate(
-        &inst,
-        &[SppMove::Load(v(0)), SppMove::Compute(v(1))],
-    )
-    .unwrap_err();
+    let err =
+        rbp_core::spp::strategy::validate(&inst, &[SppMove::Load(v(0)), SppMove::Compute(v(1))])
+            .unwrap_err();
     assert!(matches!(
         err.kind,
         rbp_core::spp::SppErrorKind::NotTerminal(_)
@@ -81,8 +72,7 @@ fn blue_source_that_is_also_a_sink_is_already_done() {
 fn sources_are_data_not_computable() {
     let dag = dag_from_edges(2, &[(0, 1)]);
     let inst = instance(&dag, 2, 1, SppVariant::hong_kung());
-    let err =
-        rbp_core::spp::strategy::validate(&inst, &[SppMove::Compute(v(0))]).unwrap_err();
+    let err = rbp_core::spp::strategy::validate(&inst, &[SppMove::Compute(v(0))]).unwrap_err();
     assert_eq!(
         err.kind,
         rbp_core::spp::SppErrorKind::SourceNotComputable(v(0))
@@ -127,7 +117,13 @@ fn hong_kung_fft_bound_sanity() {
     // output stored).
     let dag = generators::fft(2);
     let inst = instance(&dag, 3, 1, SppVariant::hong_kung());
-    let sol = solve_spp(&inst, SolveLimits { max_states: 4_000_000 }).unwrap();
+    let sol = solve_spp(
+        &inst,
+        SolveLimits {
+            max_states: 4_000_000,
+        },
+    )
+    .unwrap();
     assert!(
         sol.cost.io_steps() >= 8,
         "io {} below the trivial input/output bound",

@@ -70,8 +70,7 @@ impl std::fmt::Display for DagStats {
 pub fn live_set(dag: &Dag, computed: &NodeSet) -> NodeSet {
     let mut live = dag.empty_set();
     for v in computed.iter() {
-        let needed = dag.out_degree(v) == 0
-            || dag.succs(v).iter().any(|&s| !computed.contains(s));
+        let needed = dag.out_degree(v) == 0 || dag.succs(v).iter().any(|&s| !computed.contains(s));
         if needed {
             live.insert(v);
         }
@@ -146,9 +145,9 @@ pub fn min_peak_memory(dag: &Dag, max_n: usize) -> Option<usize> {
         }
         let live = live_of(mask);
         // Try computing each ready node.
-        for i in 0..n {
+        for (i, &pm) in preds_mask.iter().enumerate() {
             let bit = 1u64 << i;
-            if mask & bit != 0 || preds_mask[i] & !mask != 0 {
+            if mask & bit != 0 || pm & !mask != 0 {
                 continue;
             }
             let new_mask = mask | bit;
@@ -157,10 +156,7 @@ pub fn min_peak_memory(dag: &Dag, max_n: usize) -> Option<usize> {
             // live since i was uncomputed).
             let during = (live | bit).count_ones() as usize;
             let new_peak = peak.max(during);
-            if best
-                .get(&new_mask)
-                .is_none_or(|&b| new_peak < b)
-            {
+            if best.get(&new_mask).is_none_or(|&b| new_peak < b) {
                 best.insert(new_mask, new_peak);
                 heap.push((Reverse(new_peak), new_mask));
             }
@@ -178,10 +174,7 @@ pub fn min_peak_memory(dag: &Dag, max_n: usize) -> Option<usize> {
 pub fn level_antichain(dag: &Dag) -> Vec<NodeId> {
     let topo = dag.topo();
     let levels = topo.levels();
-    levels
-        .into_iter()
-        .max_by_key(Vec::len)
-        .unwrap_or_default()
+    levels.into_iter().max_by_key(Vec::len).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -223,10 +216,7 @@ mod tests {
             &d,
             &NodeSet::from_iter(4, [NodeId(0), NodeId(1), NodeId(2)]),
         );
-        assert_eq!(
-            live.iter().collect::<Vec<_>>(),
-            vec![NodeId(1), NodeId(2)]
-        );
+        assert_eq!(live.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
         // Fully computed: only the sink is live (it is the output).
         let live = live_set(&d, &NodeSet::full(4));
         assert_eq!(live.iter().collect::<Vec<_>>(), vec![NodeId(3)]);
@@ -255,10 +245,7 @@ mod tests {
         // In-tree of 7 nodes (two levels of joins): computing the second
         // join requires {first join, both its leaves, itself} pebbled at
         // once — 4 pebbles (no "sliding" in rule R3).
-        let d = dag_from_edges(
-            7,
-            &[(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)],
-        );
+        let d = dag_from_edges(7, &[(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)]);
         assert_eq!(min_peak_memory(&d, 30), Some(4));
     }
 

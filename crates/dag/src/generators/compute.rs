@@ -42,6 +42,7 @@ pub fn matmul(n: usize) -> Dag {
     let mut b = DagBuilder::new();
     let a: Vec<Vec<NodeId>> = (0..n).map(|_| b.add_nodes(n)).collect();
     let bm: Vec<Vec<NodeId>> = (0..n).map(|_| b.add_nodes(n)).collect();
+    #[allow(clippy::needless_range_loop)] // i,j,k index three matrices
     for i in 0..n {
         for j in 0..n {
             let mut acc: Option<NodeId> = None;
@@ -71,7 +72,10 @@ pub fn matmul(n: usize) -> Dag {
 #[must_use]
 pub fn reduction_tree(arity: usize, leaves: usize) -> Dag {
     assert!(arity >= 2);
-    assert!(is_power_of(leaves, arity), "leaves must be a power of arity");
+    assert!(
+        is_power_of(leaves, arity),
+        "leaves must be a power of arity"
+    );
     let mut b = DagBuilder::new();
     let mut current = b.add_nodes(leaves);
     while current.len() > 1 {

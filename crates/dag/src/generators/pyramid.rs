@@ -75,8 +75,8 @@ pub fn stencil_1d(width: usize, steps: usize) -> Dag {
                 let v = b.add_labeled_node(format!("s{t}_{i}"));
                 let lo = i.saturating_sub(1);
                 let hi = (i + 1).min(width - 1);
-                for j in lo..=hi {
-                    b.add_edge(below[j], v);
+                for &u in &below[lo..=hi] {
+                    b.add_edge(u, v);
                 }
                 v
             })

@@ -1,7 +1,6 @@
 //! Seeded random DAGs for sweeps and property tests.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use rbp_util::Rng;
 
 use crate::{Dag, DagBuilder, NodeId};
 
@@ -11,11 +10,11 @@ use crate::{Dag, DagBuilder, NodeId};
 #[must_use]
 pub fn random_dag(n: usize, p: f64, seed: u64) -> Dag {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut b = DagBuilder::with_nodes(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            if rng.random_bool(p) {
+            if rng.bool(p) {
                 b.add_edge(NodeId::new(i), NodeId::new(j));
             }
         }
@@ -31,16 +30,14 @@ pub fn random_dag(n: usize, p: f64, seed: u64) -> Dag {
 pub fn layered_random(levels: usize, width: usize, in_deg: usize, seed: u64) -> Dag {
     assert!(width >= 1);
     let in_deg = in_deg.min(width);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut b = DagBuilder::new();
     let mut prev: Vec<NodeId> = Vec::new();
     for l in 0..levels {
         let cur = b.add_nodes(width);
         if l > 0 {
             for &v in &cur {
-                let mut picks: Vec<usize> = (0..width).collect();
-                picks.shuffle(&mut rng);
-                for &pi in picks.iter().take(in_deg) {
+                for pi in rng.sample_indices(width, in_deg) {
                     b.add_edge(prev[pi], v);
                 }
             }

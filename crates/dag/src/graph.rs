@@ -8,13 +8,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeSet, TopoInfo};
 
 /// Identifier of a DAG node. A thin `u32` newtype; convert with
 /// [`NodeId::new`]/[`NodeId::index`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -53,7 +51,7 @@ impl fmt::Display for NodeId {
 /// Construct with [`DagBuilder`] (which checks acyclicity and rejects
 /// duplicate edges and self-loops), or with the generator functions in
 /// [`crate::generators`].
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Dag {
     /// CSR offsets/targets for successors.
     succ_offsets: Vec<u32>,

@@ -136,7 +136,10 @@ impl NodeSet {
     #[must_use]
     pub fn is_disjoint(&self, other: &NodeSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// In-place union.
@@ -229,7 +232,9 @@ impl Hash for NodeSet {
 
 impl fmt::Debug for NodeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|v| v.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|v| v.index()))
+            .finish()
     }
 }
 
@@ -337,11 +342,17 @@ mod tests {
             vec![1, 2, 3, 4, 65, 66]
         );
         assert_eq!(
-            a.intersection(&b).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            a.intersection(&b)
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
             vec![2, 3]
         );
         assert_eq!(
-            a.difference(&b).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            a.difference(&b)
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
             vec![1, 65]
         );
         assert_eq!(a.intersection_len(&b), 2);

@@ -156,10 +156,7 @@ mod tests {
     fn chain_topology() {
         let d = dag_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let t = d.topo();
-        assert_eq!(
-            t.order(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(t.order(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(t.level(NodeId(0)), 0);
         assert_eq!(t.level(NodeId(3)), 3);
         assert_eq!(t.depth(), 4);

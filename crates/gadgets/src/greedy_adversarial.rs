@@ -199,8 +199,7 @@ mod tests {
                 .unwrap();
             let opt = t.strategy_optimal(g).unwrap();
             let model = CostModel::mpp(g);
-            let ratio =
-                greedy.cost.total(model) as f64 / opt.cost.total(model) as f64;
+            let ratio = greedy.cost.total(model) as f64 / opt.cost.total(model) as f64;
             assert!(ratio > prev_ratio, "g={g}: ratio {ratio:.2}");
             prev_ratio = ratio;
         }

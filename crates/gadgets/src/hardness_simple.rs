@@ -83,10 +83,7 @@ mod tests {
     #[test]
     fn caterpillar_is_an_in_tree() {
         let d = caterpillar_in_tree(5, &[2, 3]);
-        assert!(
-            d.nodes().all(|v| d.out_degree(v) <= 1),
-            "in-tree condition"
-        );
+        assert!(d.nodes().all(|v| d.out_degree(v) <= 1), "in-tree condition");
         assert_eq!(DagStats::compute(&d).sinks, 1);
     }
 
@@ -97,7 +94,9 @@ mod tests {
         // recomputation; the solver decides which is cheaper.
         let d = two_layer_partition(&[1, 1]);
         // 3 sources; runs: sink0 ← {s0, s1}, sink1 ← {s1, s2}.
-        let lim = SolveLimits { max_states: 300_000 };
+        let lim = SolveLimits {
+            max_states: 300_000,
+        };
         let o1 = solve_mpp(&MppInstance::new(&d, 1, 3, 3), lim).unwrap();
         let o2 = solve_mpp(&MppInstance::new(&d, 2, 3, 3), lim).unwrap();
         assert!(o2.total <= o1.total, "more processors never hurt");

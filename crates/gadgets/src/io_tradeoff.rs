@@ -358,7 +358,10 @@ impl ImbalancedPair {
         _protect: Option<NodeId>,
     ) -> Result<(), MppError> {
         let mut prev: Option<NodeId> = None;
-        for &c in self.dampers[si].iter().chain(std::iter::once(&self.sources[si])) {
+        for &c in self.dampers[si]
+            .iter()
+            .chain(std::iter::once(&self.sources[si]))
+        {
             sim.compute(vec![(proc, c)])?;
             if let Some(p) = prev {
                 sim.remove_red(proc, p)?;
@@ -411,7 +414,10 @@ mod tests {
     #[test]
     fn ladder_strategies_validate() {
         let l = SparseLadder::build(10, 3);
-        for (run, k) in [(l.strategy_k1(2).unwrap(), 1), (l.strategy_k2(2).unwrap(), 2)] {
+        for (run, k) in [
+            (l.strategy_k1(2).unwrap(), 1),
+            (l.strategy_k2(2).unwrap(), 2),
+        ] {
             let inst = MppInstance::new(&l.dag, k, 4, 2);
             assert_eq!(run.strategy.validate(&inst).unwrap(), run.cost, "k={k}");
         }

@@ -161,8 +161,7 @@ mod tests {
             assert_eq!(run.cost.loads, missing * n0 as u64, "pin={pin}");
             assert_eq!(run.cost.stores, missing, "pin={pin}");
             // Per-node cost ≈ missing·g + 1.
-            let per_node =
-                run.cost.total(CostModel::mpp(g)) as f64 / n0 as f64;
+            let per_node = run.cost.total(CostModel::mpp(g)) as f64 / n0 as f64;
             assert!(per_node >= (missing * g) as f64, "pin={pin}");
         }
     }

@@ -44,8 +44,7 @@ impl EvictionPolicy {
         assert!(!candidates.is_empty(), "no eviction candidates");
         // Dead first.
         if let Some(&dead) = candidates.iter().find(|&&v| {
-            ctx.dag.out_degree(v) > 0
-                && ctx.dag.succs(v).iter().all(|&s| ctx.computed.contains(s))
+            ctx.dag.out_degree(v) > 0 && ctx.dag.succs(v).iter().all(|&s| ctx.computed.contains(s))
         }) {
             return dead;
         }

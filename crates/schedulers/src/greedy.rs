@@ -105,9 +105,7 @@ impl<'a> GreedyRun<'a> {
     fn new(instance: MppInstance<'a>, cfg: GreedyConfig) -> Self {
         let topo = instance.dag.topo();
         let n = instance.dag.n();
-        let topo_rank: Vec<usize> = (0..n)
-            .map(|i| topo.rank(NodeId::new(i)))
-            .collect();
+        let topo_rank: Vec<usize> = (0..n).map(|i| topo.rank(NodeId::new(i))).collect();
         GreedyRun {
             k: instance.k,
             r: instance.r,
@@ -324,8 +322,7 @@ impl<'a> GreedyRun<'a> {
                 .iter()
                 .any(|&s| !self.sim.config().computed.contains(s));
         let other_copy = self.sim.config().blue.contains(victim)
-            || (0..self.k)
-                .any(|q| q != p && self.sim.config().reds[q].contains(victim));
+            || (0..self.k).any(|q| q != p && self.sim.config().reds[q].contains(victim));
         if needed && !other_copy {
             self.sim.store(vec![(p, victim)])?;
         }
@@ -439,7 +436,19 @@ mod tests {
         // for the cheap sources when g is large.
         let dag = dag_from_edges(
             8,
-            &[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4), (2, 5), (3, 6), (5, 6), (4, 7), (6, 7)],
+            &[
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (1, 3),
+                (0, 4),
+                (1, 4),
+                (2, 5),
+                (3, 6),
+                (5, 6),
+                (4, 7),
+                (6, 7),
+            ],
         );
         let inst = MppInstance::new(&dag, 1, 3, 10);
         let no_rec = Greedy::new(GreedyConfig::default())

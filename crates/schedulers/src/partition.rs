@@ -56,9 +56,7 @@ impl MppScheduler for Partition {
         let r = instance.r;
         let topo = dag.topo();
         let owner = Self::assign(instance);
-        let topo_rank: Vec<usize> = (0..dag.n())
-            .map(|i| topo.rank(NodeId::new(i)))
-            .collect();
+        let topo_rank: Vec<usize> = (0..dag.n()).map(|i| topo.rank(NodeId::new(i))).collect();
 
         // Per-processor work queues in topological order.
         let mut queues: Vec<std::collections::VecDeque<NodeId>> =
@@ -76,8 +74,11 @@ impl MppScheduler for Partition {
             }
             // Which processors can compute their queue head this round?
             let mut batch: Vec<(ProcId, NodeId)> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // queues is popped below
             for p in 0..k {
-                let Some(&v) = queues[p].front() else { continue };
+                let Some(&v) = queues[p].front() else {
+                    continue;
+                };
                 // v is ready iff all inputs are computed (then they are
                 // red on p already or fetchable from blue).
                 let ready = dag
@@ -122,11 +123,8 @@ impl MppScheduler for Partition {
             // Eager store of values with remote consumers (or sink
             // outputs), so consumers never stall on us later.
             for &(p, v) in &batch {
-                let needed_remotely = dag
-                    .succs(v)
-                    .iter()
-                    .any(|&s| owner[s.index()] != p)
-                    || dag.out_degree(v) == 0;
+                let needed_remotely =
+                    dag.succs(v).iter().any(|&s| owner[s.index()] != p) || dag.out_degree(v) == 0;
                 if needed_remotely && !sim.config().blue.contains(v) {
                     sim.store(vec![(p, v)])?;
                 }

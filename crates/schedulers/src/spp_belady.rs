@@ -108,8 +108,8 @@ fn evict_if_full(
             (if nu == usize::MAX && !is_sink { 1 } else { 0 }, nu, w)
         })
         .expect("r > Δ_in guarantees an unprotected pebble");
-    let needed = dag.out_degree(victim) == 0
-        || dag.succs(victim).iter().any(|&s| !computed.contains(s));
+    let needed =
+        dag.out_degree(victim) == 0 || dag.succs(victim).iter().any(|&s| !computed.contains(s));
     if needed && !blue.contains(victim) {
         moves.push(SppMove::Store(victim));
         blue.insert(victim);

@@ -30,11 +30,8 @@ impl MppScheduler for Wavefront {
         for level in topo.levels() {
             // Waves of ≤ k nodes within the level.
             for wave in level.chunks(k) {
-                let assignment: Vec<(ProcId, NodeId)> = wave
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (i, v))
-                    .collect();
+                let assignment: Vec<(ProcId, NodeId)> =
+                    wave.iter().enumerate().map(|(i, &v)| (i, v)).collect();
                 // Load phase: fetch each node's inputs; batch loads where
                 // vertices are distinct across processors.
                 let mut pending: Vec<Vec<NodeId>> = assignment
@@ -53,9 +50,7 @@ impl MppScheduler for Wavefront {
                     for (i, &(p, _)) in assignment.iter().enumerate() {
                         // Pop the first pending input not already claimed
                         // by another processor this step.
-                        if let Some(pos) =
-                            pending[i].iter().position(|&u| !used.contains(u))
-                        {
+                        if let Some(pos) = pending[i].iter().position(|&u| !used.contains(u)) {
                             let u = pending[i].remove(pos);
                             used.insert(u);
                             batch.push((p, u));

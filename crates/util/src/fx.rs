@@ -1,0 +1,141 @@
+//! FxHash: the multiply-rotate hash used by rustc (`rustc-hash`),
+//! vendored because the registry is unreachable at build time.
+//!
+//! Not DoS-resistant — do not use on attacker-controlled keys. The
+//! solvers hash packed pebbling configurations (`u64` masks), where Fx
+//! is both faster than SipHash and diffuses the low-entropy mask bits
+//! well enough in practice.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc implementation
+/// (`0x9e3779b9` golden-ratio derived, widened to 64 bits).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The FxHash streaming hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(t: &T) -> u64 {
+        let mut h = FxHasher::default();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&[1u64, 2]), hash_of(&[2u64, 1]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&99));
+    }
+
+    #[test]
+    fn byte_stream_matches_unaligned_tail() {
+        // 9 bytes: one full word + 1-byte tail; must not panic and must
+        // differ from the 8-byte prefix.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn mask_keys_spread_across_buckets() {
+        // Sanity: 4096 packed-configuration-style keys produce at least
+        // 90% distinct hashes in the low 12 bits (no catastrophic
+        // clustering for the solver's key shape).
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for reds in 0..64u64 {
+            for blue in 0..64u64 {
+                let h = hash_of(&([reds << 3, reds], blue << 1));
+                low_bits.insert(h & 0xfff);
+            }
+        }
+        assert!(low_bits.len() > 2400, "only {} buckets", low_bits.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! # rbp-util — zero-dependency support utilities
+//!
+//! The build environment is fully offline, so the few external crates
+//! the workspace would normally pull (a fast hasher, a seeded RNG, a
+//! JSON serializer) are vendored here as small, well-understood
+//! implementations:
+//!
+//! - [`fx`]: the FxHash algorithm (rustc's hasher) plus `HashMap`/
+//!   `HashSet` aliases — the exact-solver hot path hashes millions of
+//!   small fixed-size keys, where SipHash's per-call overhead dominates;
+//! - [`rng`]: a SplitMix64 generator with the handful of sampling
+//!   helpers the DAG generators and randomized tests need;
+//! - [`json`]: a minimal JSON document builder for `BENCH_*.json`
+//!   experiment artifacts.
+
+#![warn(missing_docs)]
+
+pub mod fx;
+pub mod json;
+pub mod rng;
+
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::Json;
+pub use rng::Rng;

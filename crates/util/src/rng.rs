@@ -1,0 +1,161 @@
+//! A seeded SplitMix64 RNG with the sampling helpers the workspace
+//! needs (vendored; the build cannot fetch the `rand` crate).
+//!
+//! SplitMix64 passes BigCrush, has a full 2^64 period over its state
+//! increment, and is two multiplies and three xor-shifts per draw —
+//! more than enough quality for workload generation and randomized
+//! tests, all of which only need determinism per seed.
+
+/// A deterministic pseudo-random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift
+    /// (bias negligible for the bounds used here; `bound > 0`).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.index(hi - lo)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `m` distinct indices from `[0, n)` (partial Fisher–Yates;
+    /// `m` is capped at `n`).
+    pub fn sample_indices(&mut self, n: usize, m: usize) -> Vec<usize> {
+        let m = m.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..m {
+            let j = self.range(i, n);
+            pool.swap(i, j);
+        }
+        pool.truncate(m);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let mut c = Rng::new(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(r.index(7) < 7);
+            let x = r.range(3, 9);
+            assert!((3..9).contains(&x));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(r.index(1), 0);
+    }
+
+    #[test]
+    fn uniformish() {
+        let mut r = Rng::new(123);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = Rng::new(5);
+        assert!(!(0..100).any(|_| r.bool(0.0)));
+        assert!((0..100).all(|_| r.bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::new(2);
+        let s = r.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let set: std::collections::BTreeSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(r.sample_indices(3, 10).len(), 3);
+    }
+}

@@ -30,10 +30,17 @@ fn main() {
 
     println!("\n-- the Lemma 4 bait trap: both affinity metrics fall in --\n");
     let trap = GreedyTrap::build(4, 12, 16);
-    println!("{:>3} {:>10} {:>10} {:>10}", "g", "count", "fraction", "OPT");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10}",
+        "g", "count", "fraction", "OPT"
+    );
     for g in [2u64, 4, 8, 16] {
         let inst = MppInstance::new(&trap.dag, 1, trap.r(), g);
-        let count = Greedy::default().schedule(&inst).unwrap().cost.total(inst.model);
+        let count = Greedy::default()
+            .schedule(&inst)
+            .unwrap()
+            .cost
+            .total(inst.model);
         let fraction = Greedy::new(GreedyConfig {
             affinity: Affinity::Fraction,
             ..GreedyConfig::default()

@@ -34,7 +34,14 @@ fn main() {
                 continue;
             }
             let ok = zero_io_pebbling_exists(&inst.dag, inst.budget).unwrap();
-            print!("  W={w} → {}", if ok { "zero-cost ✓" } else { "forced I/O ✗" });
+            print!(
+                "  W={w} → {}",
+                if ok {
+                    "zero-cost ✓"
+                } else {
+                    "forced I/O ✗"
+                }
+            );
             assert_eq!(ok, vsd <= w);
         }
         println!();

@@ -25,7 +25,11 @@ fn main() {
             let inst = MppInstance::new(&dag, k, r, g);
             let bound = matmul::mpp_total_lower(n as u64, k as u64, r as u64, g);
             let l1 = trivial::lower(&inst);
-            let gr = Greedy::default().schedule(&inst).unwrap().cost.total(inst.model);
+            let gr = Greedy::default()
+                .schedule(&inst)
+                .unwrap()
+                .cost
+                .total(inst.model);
             let pa = Partition.schedule(&inst).unwrap().cost.total(inst.model);
             let wf = Wavefront.schedule(&inst).unwrap().cost.total(inst.model);
             println!(

@@ -8,8 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use rbp::core::{
-    solve_mpp, solve_spp, MppInstance, MppSimulator, SolveLimits, SppInstance, SppMove,
-    SppStrategy,
+    solve_mpp, solve_spp, MppInstance, MppSimulator, SolveLimits, SppInstance, SppMove, SppStrategy,
 };
 use rbp::dag::{dag_from_edges, NodeId};
 
@@ -32,28 +31,32 @@ fn main() {
     );
     let v = NodeId;
 
-    println!("Figure 1 DAG: n = {}, Δin = {}", dag.n(), dag.max_in_degree());
+    println!(
+        "Figure 1 DAG: n = {}, Δin = {}",
+        dag.n(),
+        dag.max_in_degree()
+    );
 
     // --- Single processor, r = 3, following the §1 narration. ---
     use SppMove::{Compute, Load, RemoveRed, Store};
     let narration = SppStrategy::from_moves(vec![
-        Compute(v(0)),   // red on v1
-        Compute(v(1)),   // red on v2
-        Compute(v(2)),   // red on v3 (all 3 pebbles in use)
-        Store(v(2)),     // I/O 1: blue on v3
+        Compute(v(0)), // red on v1
+        Compute(v(1)), // red on v2
+        Compute(v(2)), // red on v3 (all 3 pebbles in use)
+        Store(v(2)),   // I/O 1: blue on v3
         RemoveRed(v(2)),
-        Compute(v(3)),   // v4 analogously
+        Compute(v(3)), // v4 analogously
         RemoveRed(v(0)),
         RemoveRed(v(1)),
-        Load(v(2)),      // I/O 2: red back on v3
-        Compute(v(4)),   // v5
-        Store(v(4)),     // I/O 3: blue on v5
+        Load(v(2)),    // I/O 2: red back on v3
+        Compute(v(4)), // v5
+        Store(v(4)),   // I/O 3: blue on v5
         RemoveRed(v(4)),
-        Compute(v(5)),   // v6 (v3, v4 still red)
+        Compute(v(5)), // v6 (v3, v4 still red)
         RemoveRed(v(2)),
         RemoveRed(v(3)),
-        Load(v(4)),      // I/O 4: red back on v5
-        Compute(v(6)),   // v7 — done
+        Load(v(4)),    // I/O 4: red back on v5
+        Compute(v(6)), // v7 — done
     ]);
     let g = 1;
     let spp = SppInstance::io_only(&dag, 3, g);

@@ -6,14 +6,17 @@
 //!
 //! Run with: `cargo run --release --example zipper_speedup`
 
-use rbp::core::{CostModel, MppRunStats, MppInstance};
+use rbp::core::{CostModel, MppInstance, MppRunStats};
 use rbp::gadgets::Zipper;
 
 fn main() {
     let n0 = 500;
     let g = 4;
     println!("zipper gadget, chain length {n0}, g = {g}\n");
-    println!("{:>4} {:>12} {:>12} {:>9} {:>10}", "d", "cost k=1", "cost k=2", "speedup", "predicted");
+    println!(
+        "{:>4} {:>12} {:>12} {:>9} {:>10}",
+        "d", "cost k=1", "cost k=2", "speedup", "predicted"
+    );
     for d in [2usize, 4, 8, 16, 32, 64] {
         let z = Zipper::build(d, n0, 0);
         let model = CostModel::mpp(g);
@@ -40,8 +43,14 @@ fn main() {
     let stats = MppRunStats::analyze(&inst, &run.strategy);
     println!("\nk=2, d={d} decomposition:");
     println!("  surplus cost (Def. 1):        {}", stats.surplus);
-    println!("  communication transfers:      {}", stats.communication_transfers());
-    println!("  capacity spills:              {}", stats.spill_transfers());
+    println!(
+        "  communication transfers:      {}",
+        stats.communication_transfers()
+    );
+    println!(
+        "  capacity spills:              {}",
+        stats.spill_transfers()
+    );
     println!("  recomputations:               {}", stats.recomputations);
     println!("  work per processor:           {:?}", stats.work_per_proc);
     println!("\nAll I/O is communication — exactly the trade-off MPP was built to expose.");

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests.
+#
+# The container is fully offline (no crates.io access); the workspace has
+# no external dependencies, so everything runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --offline --release --workspace --all-targets
+
+echo "== cargo test =="
+cargo test --offline --release -q
+
+echo "== quick solver sweep (equivalence + speedup smoke) =="
+./target/release/exp_solver --quick
+
+echo "CI OK"

@@ -149,7 +149,10 @@ fn generate(family: &str, nums: &[usize]) -> Result<Dag, String> {
         if nums.len() == n {
             Ok(())
         } else {
-            Err(format!("{family}: expected {n} parameters, got {}", nums.len()))
+            Err(format!(
+                "{family}: expected {n} parameters, got {}",
+                nums.len()
+            ))
         }
     };
     match family {
@@ -171,7 +174,9 @@ fn generate(family: &str, nums: &[usize]) -> Result<Dag, String> {
         }
         "fft" => {
             need(1)?;
-            Ok(generators::fft(u32::try_from(nums[0]).map_err(|_| "fft: too large")?))
+            Ok(generators::fft(
+                u32::try_from(nums[0]).map_err(|_| "fft: too large")?,
+            ))
         }
         "matmul" => {
             need(1)?;

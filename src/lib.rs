@@ -10,13 +10,16 @@
 
 #![warn(missing_docs)]
 
+/// Lower bounds on pebbling costs.
+pub use rbp_bounds as bounds;
 /// The pebbling games: SPP, MPP, validators, exact solvers.
 pub use rbp_core as core;
 /// Computational DAGs: storage, generators, analyses.
 pub use rbp_dag as dag;
-/// Heuristic schedulers producing valid strategies.
-pub use rbp_schedulers as schedulers;
 /// Executable proof constructions from the paper.
 pub use rbp_gadgets as gadgets;
-/// Lower bounds on pebbling costs.
-pub use rbp_bounds as bounds;
+/// Heuristic schedulers producing valid strategies.
+pub use rbp_schedulers as schedulers;
+/// Zero-dependency utilities (hashing, RNG, JSON) used by the tests and
+/// experiment harness.
+pub use rbp_util as util;

@@ -1,8 +1,8 @@
 //! Integration: the Theorem 2 machinery across crates — towers, the
 //! reduction, the decision procedure, and the SPP solver all agree.
 
-use rbp::core::{zero_io_order, zero_io_pebbling_exists};
 use rbp::core::spp::oneshot_zero::order_to_strategy;
+use rbp::core::{zero_io_order, zero_io_pebbling_exists};
 use rbp::core::{CostModel, SppInstance, SppVariant};
 use rbp::dag::min_peak_memory;
 use rbp::gadgets::levels::Tower;

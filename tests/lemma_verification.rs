@@ -25,7 +25,11 @@ fn lemma7_fair_chains_ratio_is_one_over_k() {
 fn lemma8_fair_split_ratio_grows_like_the_bound() {
     let (m, c, n0, g) = (4usize, 4usize, 40usize, 5u64);
     let rc = RotatingChain::build(m, c, n0);
-    let resident = rc.strategy_resident(g).unwrap().cost.total(CostModel::mpp(g));
+    let resident = rc
+        .strategy_resident(g)
+        .unwrap()
+        .cost
+        .total(CostModel::mpp(g));
     assert_eq!(resident as usize, rc.dag.n(), "OPT(1) = n exactly");
     let r_half = rc.resident_r() / 2;
     let split = rc
@@ -36,7 +40,10 @@ fn lemma8_fair_split_ratio_grows_like_the_bound() {
     let ratio = split as f64 / resident as f64;
     // Lemma 8 shape: ratio ≈ (k−1)/k·g·(Δin−1)+1 = 0.5·5·4+1 = 11 for
     // k=2 (up to the pinning granularity of the constructive strategy).
-    assert!(ratio > 5.0, "ratio {ratio:.2} too small for the Lemma 8 regime");
+    assert!(
+        ratio > 5.0,
+        "ratio {ratio:.2} too small for the Lemma 8 regime"
+    );
 }
 
 #[test]
@@ -61,7 +68,10 @@ fn lemma10_superlinear_speedup() {
     let c1 = z.strategy_1proc_swapping(g).unwrap().cost.total(model);
     let c2 = z.strategy_2proc(g).unwrap().cost.total(model);
     let speedup = c1 as f64 / c2 as f64;
-    assert!(speedup > 2.0, "speedup {speedup:.2} must be superlinear for k=2");
+    assert!(
+        speedup > 2.0,
+        "speedup {speedup:.2} must be superlinear for k=2"
+    );
 }
 
 #[test]

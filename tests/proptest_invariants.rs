@@ -1,125 +1,170 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants,
+//! driven by the in-tree seeded RNG (`rbp::util::Rng`) so every case is
+//! a deterministic function of its loop index.
 
-use proptest::prelude::*;
 use rbp::core::rbp_dag::{generators, io, traversal, NodeId, NodeSet};
 use rbp::core::{solve_spp, MppInstance, SolveLimits, SppInstance};
 use rbp::schedulers::{spp_belady, Greedy, MppScheduler};
+use rbp::util::Rng;
 use std::collections::BTreeSet;
 
-proptest! {
-    /// NodeSet behaves like a reference BTreeSet under a random op
-    /// sequence.
-    #[test]
-    fn nodeset_matches_btreeset(ops in prop::collection::vec((0usize..3, 0usize..96), 0..200)) {
+/// NodeSet behaves like a reference BTreeSet under a random op sequence.
+#[test]
+fn nodeset_matches_btreeset() {
+    let mut rng = Rng::new(0x1a_0001);
+    for case in 0..100 {
         let mut set = NodeSet::new(96);
         let mut model = BTreeSet::new();
-        for (op, x) in ops {
+        let ops = rng.index(200);
+        for _ in 0..ops {
+            let (op, x) = (rng.index(3), rng.index(96));
             let v = NodeId::new(x);
             match op {
-                0 => prop_assert_eq!(set.insert(v), model.insert(x)),
-                1 => prop_assert_eq!(set.remove(v), model.remove(&x)),
-                _ => prop_assert_eq!(set.contains(v), model.contains(&x)),
+                0 => assert_eq!(set.insert(v), model.insert(x), "case {case}"),
+                1 => assert_eq!(set.remove(v), model.remove(&x), "case {case}"),
+                _ => assert_eq!(set.contains(v), model.contains(&x), "case {case}"),
             }
-            prop_assert_eq!(set.len(), model.len());
+            assert_eq!(set.len(), model.len(), "case {case}");
         }
         let got: Vec<usize> = set.iter().map(|v| v.index()).collect();
         let want: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Set algebra laws against the reference model.
-    #[test]
-    fn nodeset_algebra_laws(
-        a in prop::collection::btree_set(0usize..80, 0..40),
-        b in prop::collection::btree_set(0usize..80, 0..40),
-    ) {
+/// Set algebra laws against the reference model.
+#[test]
+fn nodeset_algebra_laws() {
+    let mut rng = Rng::new(0x1a_0002);
+    for case in 0..200 {
+        let draw = |rng: &mut Rng| {
+            let len = rng.index(40);
+            (0..len).map(|_| rng.index(80)).collect::<BTreeSet<usize>>()
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
         let sa = NodeSet::from_iter(80, a.iter().map(|&x| NodeId::new(x)));
         let sb = NodeSet::from_iter(80, b.iter().map(|&x| NodeId::new(x)));
         let union: BTreeSet<usize> = a.union(&b).copied().collect();
         let inter: BTreeSet<usize> = a.intersection(&b).copied().collect();
         let diff: BTreeSet<usize> = a.difference(&b).copied().collect();
-        prop_assert_eq!(sa.union(&sb).iter().map(|v| v.index()).collect::<Vec<_>>(),
-            union.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(sa.intersection(&sb).len(), inter.len());
-        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
-        prop_assert_eq!(sa.difference(&sb).len(), diff.len());
-        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
-        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+        assert_eq!(
+            sa.union(&sb).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            union.iter().copied().collect::<Vec<_>>(),
+            "case {case}"
+        );
+        assert_eq!(sa.intersection(&sb).len(), inter.len(), "case {case}");
+        assert_eq!(sa.intersection_len(&sb), inter.len(), "case {case}");
+        assert_eq!(sa.difference(&sb).len(), diff.len(), "case {case}");
+        assert_eq!(sa.is_subset(&sb), a.is_subset(&b), "case {case}");
+        assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b), "case {case}");
     }
+}
 
-    /// Random DAGs: topological order respects every edge, and the text
-    /// format round-trips.
-    #[test]
-    fn random_dag_topo_and_io_round_trip(n in 1usize..30, p in 0.0f64..1.0, seed in 0u64..1000) {
-        let dag = generators::random_dag(n, p, seed);
+/// Random DAGs: topological order respects every edge, and the text
+/// format round-trips.
+#[test]
+fn random_dag_topo_and_io_round_trip() {
+    let mut rng = Rng::new(0x1a_0003);
+    for case in 0..200 {
+        let n = 1 + rng.index(29);
+        let p = rng.f64();
+        let dag = generators::random_dag(n, p, case);
         let topo = dag.topo();
         for (u, v) in dag.edges() {
-            prop_assert!(topo.rank(u) < topo.rank(v));
+            assert!(topo.rank(u) < topo.rank(v), "case {case}");
         }
         let text = io::to_text(&dag);
         let back = io::parse(&text).unwrap();
-        prop_assert_eq!(dag.n(), back.n());
-        prop_assert_eq!(dag.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+        assert_eq!(dag.n(), back.n(), "case {case}");
+        assert_eq!(
+            dag.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Ancestor closure is downward-closed and monotone.
-    #[test]
-    fn closure_properties(n in 1usize..25, p in 0.0f64..0.5, seed in 0u64..500) {
-        let dag = generators::random_dag(n, p, seed);
-        let v = NodeId::new(seed as usize % n);
+/// Ancestor closure is downward-closed and monotone.
+#[test]
+fn closure_properties() {
+    let mut rng = Rng::new(0x1a_0004);
+    for case in 0..200 {
+        let n = 1 + rng.index(24);
+        let p = rng.f64() * 0.5;
+        let dag = generators::random_dag(n, p, case);
+        let v = NodeId::new(rng.index(n));
         let anc = traversal::ancestors(&dag, v);
-        prop_assert!(traversal::is_downward_closed(&dag, &anc));
-        prop_assert!(anc.contains(v));
+        assert!(traversal::is_downward_closed(&dag, &anc), "case {case}");
+        assert!(anc.contains(v), "case {case}");
     }
+}
 
-    /// The greedy scheduler emits valid strategies on random layered
-    /// DAGs for arbitrary parameters in range.
-    #[test]
-    fn greedy_always_valid(
-        levels in 1usize..5,
-        width in 1usize..5,
-        in_deg in 1usize..4,
-        seed in 0u64..300,
-        k in 1usize..4,
-        g in 1u64..6,
-    ) {
-        let dag = generators::layered_random(levels, width, in_deg, seed);
+/// The greedy scheduler emits valid strategies on random layered DAGs
+/// for arbitrary parameters in range.
+#[test]
+fn greedy_always_valid() {
+    let mut rng = Rng::new(0x1a_0005);
+    for case in 0..150 {
+        let levels = 1 + rng.index(4);
+        let width = 1 + rng.index(4);
+        let in_deg = 1 + rng.index(3);
+        let k = 1 + rng.index(3);
+        let g = rng.range_u64(1, 6);
+        let dag = generators::layered_random(levels, width, in_deg, case);
         let r = dag.max_in_degree() + 2;
         let inst = MppInstance::new(&dag, k, r, g);
         let run = Greedy::default().schedule(&inst).unwrap();
         let cost = run.strategy.validate(&inst).unwrap();
-        prop_assert_eq!(cost, run.cost);
+        assert_eq!(cost, run.cost, "case {case}");
         // Lemma 1 bracket.
         let total = cost.total(inst.model);
-        prop_assert!(total >= rbp::bounds::trivial::lower(&inst));
-        prop_assert!(total <= rbp::bounds::trivial::upper(&inst));
+        assert!(total >= rbp::bounds::trivial::lower(&inst), "case {case}");
+        assert!(total <= rbp::bounds::trivial::upper(&inst), "case {case}");
     }
+}
 
-    /// Belady SPP reference: valid, and never better than the exact
-    /// optimum on tiny instances.
-    #[test]
-    fn belady_valid_and_dominated_by_exact(n in 2usize..9, p in 0.0f64..0.6, seed in 0u64..200) {
-        let dag = generators::random_dag(n, p, seed);
+/// Belady SPP reference: valid, and never better than the exact optimum
+/// on tiny instances.
+#[test]
+fn belady_valid_and_dominated_by_exact() {
+    let mut rng = Rng::new(0x1a_0006);
+    for case in 0..150 {
+        let n = 2 + rng.index(7);
+        let p = rng.f64() * 0.6;
+        let dag = generators::random_dag(n, p, case);
         let r = dag.max_in_degree() + 1;
         let inst = SppInstance::with_compute(&dag, r, 2);
         let (strategy, cost) = spp_belady(&inst);
         let check = strategy.validate(&inst).unwrap();
-        prop_assert_eq!(check, cost);
-        if let Some(opt) = solve_spp(&inst, SolveLimits { max_states: 300_000 }) {
-            prop_assert!(opt.total <= cost.total(inst.model));
+        assert_eq!(check, cost, "case {case}");
+        if let Some(opt) = solve_spp(
+            &inst,
+            SolveLimits {
+                max_states: 300_000,
+            },
+        ) {
+            assert!(opt.total <= cost.total(inst.model), "case {case}");
         }
     }
+}
 
-    /// Exact SPP optimum is monotone non-increasing in memory.
-    #[test]
-    fn spp_optimum_monotone_in_memory(seed in 0u64..50) {
-        let dag = generators::random_dag(7, 0.3, seed);
+/// Exact SPP optimum is monotone non-increasing in memory.
+#[test]
+fn spp_optimum_monotone_in_memory() {
+    for case in 0..50 {
+        let dag = generators::random_dag(7, 0.3, case);
         let dmin = dag.max_in_degree() + 1;
         let mut prev = u64::MAX;
         for r in dmin..dmin + 3 {
             let inst = SppInstance::with_compute(&dag, r, 3);
-            if let Some(sol) = solve_spp(&inst, SolveLimits { max_states: 300_000 }) {
-                prop_assert!(sol.total <= prev);
+            if let Some(sol) = solve_spp(
+                &inst,
+                SolveLimits {
+                    max_states: 300_000,
+                },
+            ) {
+                assert!(sol.total <= prev, "case {case} r={r}");
                 prev = sol.total;
             }
         }

@@ -1,39 +1,47 @@
 //! Fuzzing the MPP rules engine: random move sequences never panic, are
 //! either cleanly rejected or produce consistent state, and the
 //! simulator agrees with the batch validator move for move.
+//!
+//! Uses the in-tree seeded RNG (`rbp::util::Rng`) instead of an external
+//! property-testing framework: each case is a deterministic function of
+//! the loop index, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use rbp::core::rbp_dag::{generators, NodeId};
 use rbp::core::{
     async_makespan, validate_mpp, MppInstance, MppMove, MppSimulator, MppStrategy, Pebble,
 };
+use rbp::util::Rng;
 
-fn arb_move(k: usize, n: usize) -> impl Strategy<Value = MppMove> {
-    let pair = (0..k, 0..n).prop_map(|(p, v)| (p, NodeId::new(v)));
-    let batch = prop::collection::vec(pair, 1..=k.min(3));
-    prop_oneof![
-        batch.clone().prop_map(MppMove::Compute),
-        batch.clone().prop_map(MppMove::Load),
-        batch.prop_map(MppMove::Store),
-        (0..k, 0..n).prop_map(|(p, v)| MppMove::Remove(Pebble::Red(p, NodeId::new(v)))),
-        (0..n).prop_map(|v| MppMove::Remove(Pebble::Blue(NodeId::new(v)))),
-    ]
+fn arb_move(rng: &mut Rng, k: usize, n: usize) -> MppMove {
+    let arb_batch = |rng: &mut Rng| {
+        let len = 1 + rng.index(k.min(3));
+        (0..len)
+            .map(|_| (rng.index(k), NodeId::new(rng.index(n))))
+            .collect::<Vec<_>>()
+    };
+    match rng.index(5) {
+        0 => MppMove::Compute(arb_batch(rng)),
+        1 => MppMove::Load(arb_batch(rng)),
+        2 => MppMove::Store(arb_batch(rng)),
+        3 => MppMove::Remove(Pebble::Red(rng.index(k), NodeId::new(rng.index(n)))),
+        _ => MppMove::Remove(Pebble::Blue(NodeId::new(rng.index(n)))),
+    }
 }
 
-proptest! {
-    /// Random move soup: the simulator applies each move or rejects it
-    /// without corrupting state; the accepted prefix re-validates to the
-    /// same cost (modulo terminality, which we repair by ignoring it).
-    #[test]
-    fn simulator_accepts_exactly_what_validator_accepts(
-        seed in 0u64..500,
-        moves in prop::collection::vec(arb_move(3, 8), 0..60),
-    ) {
-        let dag = generators::random_dag(8, 0.3, seed);
+/// Random move soup: the simulator applies each move or rejects it
+/// without corrupting state; the accepted prefix re-validates to the
+/// same cost (modulo terminality, which we repair by ignoring it).
+#[test]
+fn simulator_accepts_exactly_what_validator_accepts() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for case in 0..300 {
+        let dag = generators::random_dag(8, 0.3, case);
         let inst = MppInstance::new(&dag, 3, 3, 2);
         let mut sim = MppSimulator::new(inst);
         let mut accepted = Vec::new();
-        for mv in moves {
+        let n_moves = rng.index(60);
+        for _ in 0..n_moves {
+            let mv = arb_move(&mut rng, 3, 8);
             if sim.apply(mv.clone()).is_ok() {
                 accepted.push(mv);
             }
@@ -42,54 +50,72 @@ proptest! {
         // checking the error kind).
         let strategy = MppStrategy::from_moves(accepted);
         match validate_mpp(&inst, &strategy.moves) {
-            Ok(cost) => prop_assert_eq!(cost, sim.cost()),
+            Ok(cost) => assert_eq!(cost, sim.cost(), "case {case}"),
             Err(e) => {
-                prop_assert!(
+                assert!(
                     matches!(e.kind, rbp::core::MppErrorKind::NotTerminal(_)),
-                    "replay diverged: {e}"
+                    "case {case}: replay diverged: {e}"
                 );
             }
         }
         // Capacity invariant always holds on the live configuration.
-        prop_assert!(sim.config().is_valid(inst.r));
+        assert!(sim.config().is_valid(inst.r), "case {case}");
         // Async makespan never exceeds the synchronous cost.
         let asy = async_makespan(&inst, &strategy);
-        prop_assert!(asy.makespan <= sim.cost().total(inst.model));
+        assert!(asy.makespan <= sim.cost().total(inst.model), "case {case}");
     }
+}
 
-    /// Rejected moves leave the configuration bit-for-bit unchanged.
-    #[test]
-    fn rejected_moves_do_not_mutate(
-        seed in 0u64..200,
-        moves in prop::collection::vec(arb_move(2, 6), 1..40),
-    ) {
-        let dag = generators::random_dag(6, 0.4, seed);
+/// Rejected moves leave the configuration bit-for-bit unchanged.
+#[test]
+fn rejected_moves_do_not_mutate() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for case in 0..200 {
+        let dag = generators::random_dag(6, 0.4, case);
         let inst = MppInstance::new(&dag, 2, 2, 1);
         let mut sim = MppSimulator::new(inst);
-        for mv in moves {
+        let n_moves = 1 + rng.index(39);
+        for _ in 0..n_moves {
+            let mv = arb_move(&mut rng, 2, 6);
             let before = sim.config().clone();
             let steps = sim.steps();
             if sim.apply(mv).is_err() {
-                prop_assert_eq!(sim.config(), &before);
-                prop_assert_eq!(sim.steps(), steps);
+                assert_eq!(sim.config(), &before, "case {case}");
+                assert_eq!(sim.steps(), steps, "case {case}");
             }
         }
     }
+}
 
-    /// The exact solver's witness always replays to its claimed cost on
-    /// random tiny instances (when the solve fits the budget).
-    #[test]
-    fn exact_witness_replays(seed in 0u64..60, k in 1usize..3, g in 1u64..4) {
-        use rbp::core::{solve_mpp, SolveLimits};
-        let dag = generators::random_dag(6, 0.3, seed);
+/// The exact solver's witness always replays to its claimed cost on
+/// random tiny instances (when the solve fits the budget).
+#[test]
+fn exact_witness_replays() {
+    use rbp::core::{solve_mpp, SolveLimits};
+    let mut rng = Rng::new(0x5eed_0003);
+    for case in 0..60 {
+        let k = 1 + rng.index(2);
+        let g = rng.range_u64(1, 4);
+        let dag = generators::random_dag(6, 0.3, case);
         let r = dag.max_in_degree() + 1;
         let inst = MppInstance::new(&dag, k, r, g);
-        if let Some(sol) = solve_mpp(&inst, SolveLimits { max_states: 200_000 }) {
+        if let Some(sol) = solve_mpp(
+            &inst,
+            SolveLimits {
+                max_states: 200_000,
+            },
+        ) {
             let cost = sol.strategy.validate(&inst).unwrap();
-            prop_assert_eq!(cost.total(inst.model), sol.total);
+            assert_eq!(cost.total(inst.model), sol.total, "case {case}");
             // Lemma 1 bracket on the optimum itself.
-            prop_assert!(sol.total >= rbp::bounds::trivial::lower(&inst));
-            prop_assert!(sol.total <= rbp::bounds::trivial::upper(&inst));
+            assert!(
+                sol.total >= rbp::bounds::trivial::lower(&inst),
+                "case {case}"
+            );
+            assert!(
+                sol.total <= rbp::bounds::trivial::upper(&inst),
+                "case {case}"
+            );
         }
     }
 }

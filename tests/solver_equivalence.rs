@@ -1,0 +1,128 @@
+//! Equivalence harness for the optimized exact solvers.
+//!
+//! The PR's search optimizations — processor-symmetry canonicalization
+//! and the admissible A\* heuristic — must be invisible in the results:
+//! on every instance the optimized solver returns the same optimal
+//! `total` as the plain-Dijkstra baseline, and its witness strategy
+//! still validates. This harness checks that on hundreds of randomized
+//! small instances across MPP (k ≤ 3) and the SPP variant zoo.
+//!
+//! Every case is a deterministic function of its loop index (seeded
+//! in-tree RNG), so a failure message identifies the exact instance.
+
+use rbp::core::rbp_dag::generators;
+use rbp::core::{
+    solve_mpp_with, solve_spp_with, CostModel, MppInstance, SearchConfig, SolveLimits, SppInstance,
+    SppVariant,
+};
+use rbp::util::Rng;
+
+fn configs() -> (SearchConfig, SearchConfig) {
+    let limits = SolveLimits {
+        max_states: 400_000,
+    };
+    (
+        SearchConfig::baseline().with_limits(limits),
+        SearchConfig::default().with_limits(limits),
+    )
+}
+
+/// 240 random MPP instances: optimized total == baseline total, witness
+/// validates, and the optimized search never settles more states.
+#[test]
+fn mpp_optimized_matches_baseline_on_random_dags() {
+    let (base_cfg, opt_cfg) = configs();
+    let mut rng = Rng::new(0xe9_1a1e);
+    let mut solved = 0u32;
+    for case in 0..240u64 {
+        let n = 4 + rng.index(4); // 4..=7 nodes
+        let p = 0.15 + rng.f64() * 0.45;
+        let dag = generators::random_dag(n, p, case);
+        let k = 1 + rng.index(3); // 1..=3 processors
+        let r = dag.max_in_degree() + 1 + rng.index(2);
+        let g = rng.range_u64(1, 5);
+        let inst = MppInstance::new(&dag, k, r, g);
+
+        let base = solve_mpp_with(&inst, &base_cfg);
+        let opt = solve_mpp_with(&inst, &opt_cfg);
+        let ctx = format!("case {case}: n={n} k={k} r={r} g={g}");
+        // The state budget is generous for these sizes; both sides must
+        // solve or the harness loses its teeth.
+        let b = base
+            .solution
+            .unwrap_or_else(|| panic!("{ctx}: baseline budget"));
+        let o = opt
+            .solution
+            .unwrap_or_else(|| panic!("{ctx}: optimized budget"));
+        assert_eq!(b.total, o.total, "{ctx}: optima differ");
+        let cost = o
+            .strategy
+            .validate(&inst)
+            .unwrap_or_else(|e| panic!("{ctx}: witness invalid: {e}"));
+        assert_eq!(cost.total(inst.model), o.total, "{ctx}: witness cost");
+        assert!(
+            opt.stats.settled <= base.stats.settled,
+            "{ctx}: optimized settled more states ({} > {})",
+            opt.stats.settled,
+            base.stats.settled
+        );
+        solved += 1;
+    }
+    assert_eq!(solved, 240);
+}
+
+/// 200 random SPP instances across the §3.1 variant zoo: base,
+/// I/O-only, computation costs, Hong–Kung boundary, one-shot.
+#[test]
+fn spp_optimized_matches_baseline_across_variants() {
+    let (base_cfg, opt_cfg) = configs();
+    let mut rng = Rng::new(0x59fe9 ^ 0xffff);
+    let mut solved = 0u32;
+    for case in 0..200u64 {
+        let n = 4 + rng.index(4);
+        let p = 0.15 + rng.f64() * 0.45;
+        let dag = generators::random_dag(n, p, case);
+        let r = dag.max_in_degree() + 1 + rng.index(2);
+        let g = rng.range_u64(1, 5);
+        let (model, variant) = match case % 5 {
+            0 => (CostModel::spp_io_only(g), SppVariant::base()),
+            1 => (CostModel::mpp(g), SppVariant::base()),
+            2 => (CostModel::spp_with_compute(g, 2), SppVariant::base()),
+            3 => (CostModel::spp_io_only(g), SppVariant::hong_kung()),
+            _ => (CostModel::mpp(g), SppVariant::one_shot()),
+        };
+        let inst = SppInstance {
+            dag: &dag,
+            r,
+            model,
+            variant,
+        };
+
+        let base = solve_spp_with(&inst, &base_cfg);
+        let opt = solve_spp_with(&inst, &opt_cfg);
+        let ctx = format!("case {case}: n={n} r={r} g={g} variant={variant:?}");
+        // One-shot instances can be genuinely unsolvable; both searches
+        // must then agree on that too.
+        match (base.solution, opt.solution) {
+            (None, None) => {
+                assert!(variant.one_shot, "{ctx}: only one-shot can be unsolvable");
+            }
+            (Some(b), Some(o)) => {
+                assert_eq!(b.total, o.total, "{ctx}: optima differ");
+                let cost = o
+                    .strategy
+                    .validate(&inst)
+                    .unwrap_or_else(|e| panic!("{ctx}: witness invalid: {e}"));
+                assert_eq!(cost.total(inst.model), o.total, "{ctx}: witness cost");
+                solved += 1;
+            }
+            (b, o) => panic!(
+                "{ctx}: solvers disagree on solvability (base={}, opt={})",
+                b.is_some(),
+                o.is_some()
+            ),
+        }
+    }
+    // The unsolvable one-shot cases are a small minority.
+    assert!(solved >= 150, "only {solved}/200 instances solved");
+}
