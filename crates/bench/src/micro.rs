@@ -94,10 +94,15 @@ impl Bench {
         }
         let mut samples: Vec<u64> = Vec::new();
         let start = Instant::now();
-        while start.elapsed() < self.measure && (samples.len() as u64) < self.max_iters {
+        // Always take at least one sample so the stats below never divide
+        // by zero, even when the measure window is zero.
+        loop {
             let t = Instant::now();
             black_box(f());
             samples.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if start.elapsed() >= self.measure || (samples.len() as u64) >= self.max_iters {
+                break;
+            }
         }
         samples.sort_unstable();
         let iters = samples.len() as u64;
@@ -207,6 +212,15 @@ mod tests {
         let json = b.to_json();
         assert!(json.contains("\"suite\": \"unit_test\""));
         assert!(json.contains("\"settled\": 42"));
+    }
+
+    #[test]
+    fn zero_measure_window_takes_one_sample() {
+        let mut b = Bench::new("unit_test_zero");
+        b.warmup = Duration::from_millis(0);
+        b.measure = Duration::from_millis(0);
+        let m = b.run("noop", || 1 + 1);
+        assert_eq!(m.iters, 1);
     }
 
     #[test]

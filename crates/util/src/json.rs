@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn escaping() {
         let s = Json::from("a\"b\\c\nd\u{1}");
-        assert_eq!(s.render(), r#""a\"b\\c\nd""#);
+        assert_eq!(s.render(), r#""a\"b\\c\nd\u0001""#);
     }
 
     #[test]
