@@ -23,7 +23,7 @@ fn main() {
         let m = b.run(&format!("schedule/{name}"), || {
             s.schedule(&inst).unwrap().cost
         });
-        m.extra.push(("nodes".to_string(), dag.n() as u64));
+        m.extra.add("nodes", dag.n() as u64);
     }
 
     // Eviction-policy ablation.

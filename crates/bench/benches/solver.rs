@@ -69,8 +69,8 @@ fn main() {
         let settled = outcome.stats.settled;
         let pushed = outcome.stats.pushed;
         let m = b.run(&label, || solve_mpp_with(&inst, &cfg).stats.settled);
-        m.extra.push(("settled".to_string(), settled));
-        m.extra.push(("pushed".to_string(), pushed));
+        m.extra.add("settled", settled);
+        m.extra.add("pushed", pushed);
     }
     assert!(
         totals.windows(2).all(|w| w[0] == w[1]),
@@ -91,7 +91,7 @@ fn main() {
         let m = b.run(&format!("spp/grid3x4[heur={}]", u8::from(heur)), || {
             solve_spp_with(&inst, &cfg).stats.settled
         });
-        m.extra.push(("settled".to_string(), settled));
+        m.extra.add("settled", settled);
     }
 
     b.finish();

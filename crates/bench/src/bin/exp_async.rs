@@ -13,6 +13,7 @@ use rbp_core::{async_makespan, MppInstance};
 use rbp_schedulers::all_schedulers;
 
 fn main() {
+    rbp_bench::init_trace("exp_async", &[]);
     banner("E15", "sync cost vs async makespan (§3.3 extension)");
     let workloads = vec![
         ("fft(4)".to_string(), generators::fft(4)),
@@ -48,8 +49,9 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.print_traced("E15");
     println!(
         "\nDe-synchronizing helps most where batches were empty (per-node\nbaseline), least where batching already filled every slot — consistent\nwith the bounded-improvement remark in §3.3."
     );
+    rbp_bench::finish_trace();
 }

@@ -7,6 +7,7 @@ use rbp_core::MppInstance;
 use rbp_schedulers::all_schedulers;
 
 fn main() {
+    rbp_bench::init_trace("exp_bounds", &[]);
     banner(
         "E3",
         "Lemma 1 bounds: n/k ≤ cost ≤ (g(Δin+1)+1)n across schedulers",
@@ -54,6 +55,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.print_traced("E3");
     println!("\nEvery scheduler lands inside the Lemma 1 bracket (asserted).");
+    rbp_bench::finish_trace();
 }

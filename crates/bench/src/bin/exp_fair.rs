@@ -8,6 +8,7 @@ use rbp_core::{solve_mpp, CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::RotatingChain;
 
 fn main() {
+    rbp_bench::init_trace("exp_fair", &[]);
     banner(
         "E6",
         "Lemma 7: fair case, k independent chains: OPT(k)/OPT(1) = 1/k",
@@ -41,7 +42,7 @@ fn main() {
             format!("{:.3}", 1.0 / k as f64),
         ]);
     }
-    t.print();
+    t.print_traced("E6");
 
     banner(
         "E7",
@@ -91,8 +92,9 @@ fn main() {
             format!("{l8:.2}"),
         ]);
     }
-    t2.print();
+    t2.print_traced("E7");
     println!(
         "\nOPT(1)/n = 1 (resident strategy), so 'cost/node' IS the fair-case cost\nratio; it tracks the (k−1)/k·g·(Δin−1)+1 growth of Lemma 8."
     );
+    rbp_bench::finish_trace();
 }

@@ -14,6 +14,7 @@ use rbp_gadgets::GreedyTrap;
 use rbp_schedulers::{Affinity, EvictionPolicy, Greedy, GreedyConfig, MppScheduler};
 
 fn main() {
+    rbp_bench::init_trace("exp_greedy", &[]);
     banner(
         "E4",
         "greedy class: Lemma 4 adversarial ratios, Lemma 3 ceiling",
@@ -67,7 +68,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.print_traced("E4.adversarial");
 
     println!("\n-- Lemma 3 ceiling 2(g(Δin+1)+1)·OPT on small random DAGs --\n");
     let mut t2 = Table::new(&["dag", "g", "greedy", "OPT(exact)", "ratio", "ceiling"]);
@@ -96,5 +97,6 @@ fn main() {
             ]);
         }
     }
-    t2.print();
+    t2.print_traced("E4.lemma3_ceiling");
+    rbp_bench::finish_trace();
 }

@@ -10,6 +10,7 @@ use rbp_gadgets::hardness_simple::{caterpillar_in_tree, two_layer_partition};
 use rbp_schedulers::{Greedy, MppScheduler};
 
 fn main() {
+    rbp_bench::init_trace("exp_hardness", &[]);
     banner("E12", "Lemma 2 families: 2-layer DAGs and in-trees");
 
     println!("-- 2-layer partition instances, exact OPT vs greedy (k=2, g=3) --\n");
@@ -41,7 +42,7 @@ fn main() {
             format!("{:.2}", gr as f64 / o2.total as f64),
         ]);
     }
-    t.print();
+    t.print_traced("E12.two_layer");
 
     println!("\n-- caterpillar in-trees: memory sensitivity of the exact optimum --\n");
     let mut t2 = Table::new(&["spine", "legs", "r", "OPT total", "OPT io"]);
@@ -62,8 +63,9 @@ fn main() {
             ]);
         }
     }
-    t2.print();
+    t2.print_traced("E12.caterpillar");
     println!(
         "\nBoth families are NP-hard for MPP (Lemma 2, adapting BSP scheduling\nhardness); even these toy sizes show the balance/memory coupling the\nreductions exploit."
     );
+    rbp_bench::finish_trace();
 }

@@ -7,6 +7,7 @@ use rbp_core::{CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::{ImbalancedPair, SparseLadder};
 
 fn main() {
+    rbp_bench::init_trace("exp_io_tradeoff", &[]);
     banner(
         "E9a",
         "sparse ladder: I/O appears at k=2 because it wins (m > 2g)",
@@ -29,7 +30,7 @@ fn main() {
             r2.cost.io_steps().to_string(),
         ]);
     }
-    t.print();
+    t.print_traced("E9a");
     println!("\nk=1 optimum is I/O-free; the cheaper k=2 schedule communicates at\nevery rung: Θ(n/m) = Θ(n) I/O steps appear in the optimum.");
 
     println!("\n-- exact check on a tiny ladder (len=8, m=4, g=1) --");
@@ -91,8 +92,9 @@ fn main() {
             format!("{}/{}", k2.total(model), k2.io_steps()),
         ]);
     }
-    t2.print();
+    t2.print_traced("E9b");
     println!(
         "\nAt k=1 the Θ(n) load schedule is optimal among the three; at k=2 the\nzero-I/O schedule (heavy chain recomputes, light chain batches along)\nbeats it — the optimum's I/O count drops from Θ(n) to 0."
     );
+    rbp_bench::finish_trace();
 }

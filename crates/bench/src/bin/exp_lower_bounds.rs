@@ -8,6 +8,7 @@ use rbp_core::{MppInstance, SolveLimits};
 use rbp_schedulers::{Greedy, MppScheduler, Partition, Wavefront};
 
 fn main() {
+    rbp_bench::init_trace("exp_lower_bounds", &[]);
     banner("E5", "lower bounds vs achieved costs: FFT and matmul");
 
     println!("-- FFT(2^p): MPP bound (n/k)(g·log n/log(rk)+1) vs schedulers --\n");
@@ -54,7 +55,7 @@ fn main() {
             wf.to_string(),
         ]);
     }
-    t.print();
+    t.print_traced("E5.fft");
     println!("\n(the bound is for the n-point butterfly; achieved costs sit above it\nand shrink with k — same shape as the paper's discussion)");
 
     println!("\n-- matmul(n): MPP bound (n/k)(g(2n²/√(rk)+n)+1) vs schedulers --\n");
@@ -87,7 +88,7 @@ fn main() {
             pa.to_string(),
         ]);
     }
-    t2.print();
+    t2.print_traced("E5.matmul");
 
     banner("E13", "Lemma 5/6: exact translation and tightness");
     println!("-- Corollary 1 bound (from exact SPP at k·r) vs exact MPP OPT --\n");
@@ -118,8 +119,9 @@ fn main() {
             opt.total.to_string(),
         ]);
     }
-    t3.print();
+    t3.print_traced("E13");
     println!(
         "\nLemma 6 tightness: on chains(2x4) the bound n/k is met exactly by the\nexact optimum (L = 0 case); gadget families with L > 0 stay within g·L/k + n/k + O(1)."
     );
+    rbp_bench::finish_trace();
 }

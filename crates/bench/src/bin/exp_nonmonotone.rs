@@ -9,6 +9,7 @@ use rbp_core::{solve_mpp, CostModel, MppInstance, SolveLimits};
 use rbp_gadgets::TwoZippers;
 
 fn main() {
+    rbp_bench::init_trace("exp_nonmonotone", &[]);
     banner(
         "E8",
         "Lemma 9: OPT(2) beats both OPT(1) and OPT(4) in the fair series",
@@ -35,7 +36,7 @@ fn main() {
             c4.to_string(),
         ]);
     }
-    t.print();
+    t.print_traced("E8");
 
     println!("\n-- exact verification on the tiny instance (d=1, n0=2, g=3) --\n");
     let tz = TwoZippers::build(1, 2);
@@ -64,4 +65,5 @@ fn main() {
             "OPT(4): exact solve out of budget (k=4 batch space); constructive value above stands"
         ),
     }
+    rbp_bench::finish_trace();
 }

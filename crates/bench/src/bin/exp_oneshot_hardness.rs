@@ -12,6 +12,7 @@ use rbp_gadgets::levels::Tower;
 use rbp_gadgets::{Graph, HardnessInstance};
 
 fn main() {
+    rbp_bench::init_trace("exp_oneshot_hardness", &[]);
     banner(
         "E10a",
         "Fig. 3 towers: transition peak = max consecutive level pair",
@@ -33,7 +34,7 @@ fn main() {
             exact.to_string(),
         ]);
     }
-    t.print();
+    t.print_traced("E10a");
 
     banner(
         "E10b",
@@ -81,7 +82,7 @@ fn main() {
             dec.to_string(),
         ]);
     }
-    t2.print();
+    t2.print_traced("E10b");
 
     banner(
         "E10c",
@@ -104,8 +105,9 @@ fn main() {
             dec,
         ]);
     }
-    t3.print();
+    t3.print_traced("E10c");
     println!(
         "\nA NO instance forces ≥ 1 I/O in every copy (copies cannot share\nbudget), so padding to t = n^(1−ε) copies yields the Theorem 2 gap:\nno finite-factor or additive n^(1−ε) approximation unless P = NP."
     );
+    rbp_bench::finish_trace();
 }

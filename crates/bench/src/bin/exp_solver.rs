@@ -109,6 +109,7 @@ fn run_case(case: &Case) -> Outcome {
 }
 
 fn main() {
+    rbp_bench::init_trace("exp_solver", &[]);
     let quick = std::env::args().any(|a| a == "--quick");
     banner(
         "E-SOLVER",
@@ -164,7 +165,7 @@ fn main() {
             ("opt_pushed", Json::from(o.opt_stats.pushed)),
         ]));
     }
-    t.print();
+    t.print_traced("E-SOLVER");
 
     let settled_speedup = k2_settled_base as f64 / k2_settled_opt.max(1) as f64;
     let wall_speedup = k2_ns_base as f64 / k2_ns_opt.max(1) as f64;
@@ -194,4 +195,5 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+    rbp_bench::finish_trace();
 }

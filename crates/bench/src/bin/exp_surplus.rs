@@ -10,6 +10,7 @@ use rbp_core::{MppInstance, MppRunStats};
 use rbp_schedulers::all_schedulers;
 
 fn main() {
+    rbp_bench::init_trace("exp_surplus", &[]);
     banner(
         "E14",
         "surplus cost (Def. 1): io / imbalance / recompute decomposition",
@@ -45,10 +46,11 @@ fn main() {
             format!("{:.2}", s.avg_compute_batch),
         ]);
     }
-    t.print();
+    t.print_traced("E14");
     println!(
         "\nworkload: {} (n={}, k=4, r=4, g=3); surplus = total − ceil(n/k).",
         dag.name(),
         dag.n()
     );
+    rbp_bench::finish_trace();
 }

@@ -12,6 +12,7 @@ use rbp_gadgets::vertex_cover::{cubic_circulant, incidence_dag, min_vertex_cover
 use rbp_gadgets::Graph;
 
 fn main() {
+    rbp_bench::init_trace("exp_vertex_cover", &[]);
     banner(
         "E11",
         "vertex cover vs optimal pebbling cost (SPP with compute costs)",
@@ -90,8 +91,9 @@ fn main() {
             ]),
         }
     }
-    t.print();
+    t.print_traced("E11");
     println!(
         "\nAt fixed (n, m) the surplus cost rises with the cover number (the\npaper's qualitative claim); the exact L-reduction constants need the\nfull-version gadgets — see DESIGN.md."
     );
+    rbp_bench::finish_trace();
 }

@@ -10,6 +10,7 @@ use rbp_core::CostModel;
 use rbp_gadgets::Zipper;
 
 fn main() {
+    rbp_bench::init_trace("exp_zipper", &[]);
     banner(
         "E2",
         "zipper gadget (Fig. 2): swapping vs 2-processor strategies, Lemma 10 speedup",
@@ -51,9 +52,10 @@ fn main() {
             format!("{predicted:.2}"),
         ]);
     }
-    t.print();
+    t.print_traced("E2");
     println!(
         "\nchain n0={n0}; speedup > 2 at k=2 is the Lemma 10 superlinear regime \
          (grows as (Δin−1)/2 with Δin = d+1)."
     );
+    rbp_bench::finish_trace();
 }

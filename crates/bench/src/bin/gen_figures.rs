@@ -7,6 +7,7 @@ use rbp_gadgets::levels::Tower;
 use rbp_gadgets::{Graph, HardnessInstance, Zipper};
 
 fn main() -> std::io::Result<()> {
+    rbp_bench::init_trace("gen_figures", &[]);
     std::fs::create_dir_all("figures")?;
     let ranked = DotOptions {
         rank_by_level: true,
@@ -55,5 +56,10 @@ fn main() -> std::io::Result<()> {
     )?;
 
     println!("wrote 6 DOT files to figures/");
+    rbp_trace::event(
+        "figures_written",
+        vec![("count", rbp_trace::Json::from(6u64))],
+    );
+    rbp_bench::finish_trace();
     Ok(())
 }

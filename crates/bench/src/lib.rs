@@ -88,15 +88,74 @@ impl Table {
         out
     }
 
+    /// Prints the table to stdout and, when a trace sink is installed,
+    /// also emits it as a `table` event named `name` so `rbp report`
+    /// can reproduce it from the trace file alone.
+    pub fn print_traced(&self, name: &str) {
+        self.print();
+        if rbp_trace::enabled() {
+            rbp_trace::table(name, &self.headers, &self.rows);
+        }
+    }
+
     /// Prints the table to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
     }
 }
 
-/// Prints an experiment header banner.
+/// Prints an experiment header banner and records it as a trace event
+/// (`{"type":"event","name":"experiment", …}`) so reports can title
+/// their sections.
 pub fn banner(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===\n");
+    if rbp_trace::enabled() {
+        rbp_trace::event(
+            "experiment",
+            vec![
+                ("id", rbp_trace::Json::from(id)),
+                ("title", rbp_trace::Json::from(title)),
+            ],
+        );
+    }
+}
+
+/// Installs the standard JSONL trace sink for an experiment binary.
+///
+/// The destination defaults to `TRACE_<tool>.jsonl` at the workspace
+/// root (next to the `BENCH_*.json` artifacts). The `RBP_TRACE`
+/// environment variable overrides it: a path redirects the trace, and
+/// `0`, `off`, or an empty value disables tracing entirely. The
+/// manifest header records the tool name and its command-line
+/// arguments; pass extra identifying fields (seed, instance hash,
+/// solver config) through `extra`.
+pub fn init_trace(tool: &str, extra: &[(&str, rbp_trace::Json)]) {
+    let path = match std::env::var("RBP_TRACE") {
+        Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => return,
+        Ok(v) => std::path::PathBuf::from(v),
+        Err(_) => micro::workspace_root().join(format!("TRACE_{tool}.jsonl")),
+    };
+    let Ok(sink) = rbp_trace::JsonlSink::create(&path) else {
+        eprintln!("warning: could not create trace file {}", path.display());
+        return;
+    };
+    let args: Vec<rbp_trace::Json> = std::env::args()
+        .skip(1)
+        .map(|a| rbp_trace::Json::from(a.as_str()))
+        .collect();
+    let mut manifest = rbp_trace::Manifest::new(tool).field("args", rbp_trace::Json::Arr(args));
+    for (k, v) in extra {
+        manifest = manifest.field(k, v.clone());
+    }
+    rbp_trace::install(Box::new(sink), manifest);
+    println!("trace: {}", path.display());
+}
+
+/// Flushes and closes the trace sink installed by [`init_trace`]. Call
+/// at the end of `main` — the global sink is not dropped on process
+/// exit, so skipping this loses buffered lines.
+pub fn finish_trace() {
+    rbp_trace::uninstall();
 }
 
 /// Runs `f` over all `inputs` in parallel (scoped threads, one per input

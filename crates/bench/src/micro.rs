@@ -10,6 +10,7 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use rbp_trace::CounterSet;
 use rbp_util::json::Json;
 
 use crate::Table;
@@ -27,9 +28,10 @@ pub struct Measurement {
     pub mean_ns: u64,
     /// Minimum wall time per iteration.
     pub min_ns: u64,
-    /// Extra key/value payload recorded next to the timings (e.g.
-    /// settled-state counts for solver benches).
-    pub extra: Vec<(String, u64)>,
+    /// Extra counters recorded next to the timings (e.g. settled-state
+    /// counts for solver benches) — the shared [`CounterSet`] from
+    /// `rbp-trace`, not a bespoke key/value list.
+    pub extra: CounterSet,
 }
 
 impl Measurement {
@@ -41,8 +43,8 @@ impl Measurement {
             ("mean_ns".to_string(), Json::from(self.mean_ns)),
             ("min_ns".to_string(), Json::from(self.min_ns)),
         ];
-        for (k, v) in &self.extra {
-            obj.push((k.clone(), Json::from(*v)));
+        for (k, v) in self.extra.iter() {
+            obj.push((k.to_string(), Json::from(v)));
         }
         Json::Obj(obj)
     }
@@ -115,7 +117,7 @@ impl Bench {
             median_ns,
             mean_ns,
             min_ns,
-            extra: Vec::new(),
+            extra: CounterSet::new(),
         });
         self.results.last_mut().expect("just pushed")
     }
@@ -169,7 +171,7 @@ impl Bench {
 
 /// Workspace root: walk up from the executable's cwd until a
 /// `Cargo.toml` containing `[workspace]` is found.
-fn workspace_root() -> std::path::PathBuf {
+pub(crate) fn workspace_root() -> std::path::PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
     loop {
         let manifest = dir.join("Cargo.toml");
@@ -206,7 +208,7 @@ mod tests {
         b.warmup = Duration::from_millis(1);
         b.measure = Duration::from_millis(5);
         let m = b.run("noop", || 1 + 1);
-        m.extra.push(("settled".to_string(), 42));
+        m.extra.add("settled", 42);
         assert_eq!(b.results().len(), 1);
         assert!(b.results()[0].iters > 0);
         let json = b.to_json();

@@ -24,7 +24,7 @@ pub fn mpp_total_lower(n_points: u64, k: u64, r: u64, g: u64) -> u64 {
     let n = n_points as f64;
     let rk = (r * k).max(2) as f64;
     let bound = (n / k as f64) * (g as f64 * n.log2() / rk.log2() + 1.0);
-    bound.floor() as u64
+    crate::traced("fft.mpp_total_lower", bound.floor() as u64)
 }
 
 #[cfg(test)]

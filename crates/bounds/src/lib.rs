@@ -27,3 +27,14 @@ pub mod matmul;
 pub mod structural;
 pub mod translate;
 pub mod trivial;
+
+/// Records a computed bound as a trace gauge under `bounds.<name>`
+/// (last value wins in reports) and returns it, so call sites can wrap
+/// their result expression without restructuring. No-op when tracing is
+/// disabled.
+pub(crate) fn traced(name: &str, value: u64) -> u64 {
+    if rbp_trace::enabled() {
+        rbp_trace::gauge(&format!("bounds.{name}"), value as f64);
+    }
+    value
+}

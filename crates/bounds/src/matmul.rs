@@ -25,7 +25,7 @@ pub fn mpp_total_lower(n: u64, k: u64, r: u64, g: u64) -> u64 {
     let nf = n as f64;
     let rk = ((r * k) as f64).max(1.0);
     let bound = (nf / k as f64) * (g as f64 * (2.0 * nf * nf / rk.sqrt() + nf) + 1.0);
-    bound.floor() as u64
+    crate::traced("matmul.mpp_total_lower", bound.floor() as u64)
 }
 
 #[cfg(test)]

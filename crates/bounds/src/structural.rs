@@ -29,7 +29,7 @@ pub fn zero_io_needs_memory(dag: &Dag, max_n: usize) -> Option<usize> {
 pub fn combined_lower(instance: &MppInstance) -> u64 {
     let l1 = crate::trivial::lower(instance);
     let io = sink_overflow_io_steps(instance) * instance.model.g;
-    l1 + io
+    crate::traced("structural.combined_lower", l1 + io)
 }
 
 #[cfg(test)]

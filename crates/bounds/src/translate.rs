@@ -14,8 +14,11 @@ pub fn mpp_io_steps_lower(spp_io_lb: u64, k: usize) -> u64 {
 #[must_use]
 pub fn mpp_total_lower(instance: &MppInstance, spp_io_lb: u64) -> u64 {
     let k = instance.k as u64;
-    instance.model.g * spp_io_lb.div_ceil(k)
-        + (instance.dag.n() as u64).div_ceil(k) * instance.model.compute
+    crate::traced(
+        "translate.mpp_total_lower",
+        instance.model.g * spp_io_lb.div_ceil(k)
+            + (instance.dag.n() as u64).div_ceil(k) * instance.model.compute,
+    )
 }
 
 /// Computes the *exact* SPP minimum I/O at memory `k·r` (small DAGs

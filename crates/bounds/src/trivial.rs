@@ -8,7 +8,10 @@ use rbp_core::MppInstance;
 /// once).
 #[must_use]
 pub fn lower(instance: &MppInstance) -> u64 {
-    (instance.dag.n() as u64).div_ceil(instance.k as u64) * instance.model.compute
+    crate::traced(
+        "trivial.lower",
+        (instance.dag.n() as u64).div_ceil(instance.k as u64) * instance.model.compute,
+    )
 }
 
 /// The Lemma 1 upper bound: `OPT ≤ (g(Δ_in+1)+1)·n`, achieved by the
@@ -16,7 +19,10 @@ pub fn lower(instance: &MppInstance) -> u64 {
 #[must_use]
 pub fn upper(instance: &MppInstance) -> u64 {
     let d_in = instance.dag.max_in_degree() as u64;
-    (instance.model.g * (d_in + 1) + instance.model.compute) * instance.dag.n() as u64
+    crate::traced(
+        "trivial.upper",
+        (instance.model.g * (d_in + 1) + instance.model.compute) * instance.dag.n() as u64,
+    )
 }
 
 /// Whether a valid pebbling exists at all: `r ≥ Δ_in + 1` (§4).
@@ -30,7 +36,10 @@ pub fn feasible(dag: &Dag, r: usize) -> bool {
 #[must_use]
 pub fn greedy_factor(instance: &MppInstance) -> u64 {
     let d_in = instance.dag.max_in_degree() as u64;
-    2 * (instance.model.g * (d_in + 1) + instance.model.compute)
+    crate::traced(
+        "trivial.greedy_factor",
+        2 * (instance.model.g * (d_in + 1) + instance.model.compute),
+    )
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@
 //! assert_eq!(run.cost.total(inst.model), 2 * 3 + 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod mpp;

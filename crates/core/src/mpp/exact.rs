@@ -28,6 +28,7 @@
 //! 2-layer DAGs, Lemma 2): intended for `n ≤ ~10`, `k ≤ 4`.
 
 use rbp_dag::NodeId;
+use rbp_util::Json;
 
 use crate::search::{PackedMove, SearchConfig, SearchEngine, SearchOutcome, SearchStats};
 use crate::{AdmissibleHeuristic, Cost, MppInstance, MppMove, MppStrategy, Pebble, SolveLimits};
@@ -151,11 +152,26 @@ pub fn solve(instance: &MppInstance, limits: SolveLimits) -> Option<MppSolution>
 }
 
 /// [`solve`] with explicit optimization switches, also reporting search
-/// statistics (settled/pushed state counts) for benchmarking.
+/// statistics (settled/pushed state counts) for benchmarking. Each call
+/// opens a `solve.mpp` trace span and reports the search counters and
+/// heuristic tightness through `rbp-trace` (no-ops unless a sink is
+/// installed).
 #[must_use]
 pub fn solve_with(instance: &MppInstance, config: &SearchConfig) -> SearchOutcome<MppSolution> {
+    let _span = rbp_trace::span_with(
+        "solve.mpp",
+        vec![
+            ("n", Json::from(instance.dag.n())),
+            ("k", Json::from(instance.k)),
+            ("r", Json::from(instance.r)),
+            ("g", Json::from(instance.model.g)),
+            ("heuristic", Json::from(config.heuristic)),
+            ("symmetry", Json::from(config.symmetry)),
+        ],
+    );
     let mut stats = SearchStats::default();
     let solution = solve_inner(instance, config, &mut stats);
+    stats.trace("mpp", solution.as_ref().map(|s| s.total));
     SearchOutcome { solution, stats }
 }
 

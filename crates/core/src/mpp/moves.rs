@@ -21,6 +21,26 @@ pub enum Pebble {
 /// batch is one rule application and incurs one unit of cost (`g` for
 /// [`MppMove::Store`]/[`MppMove::Load`], `compute` for
 /// [`MppMove::Compute`]) regardless of its size `1 ≤ m ≤ k`.
+///
+/// The four rules on a two-node chain `v0 → v1`, played through the
+/// rule-enforcing simulator (two processors, `r = 2`, `g = 1`):
+///
+/// ```
+/// use rbp_core::rbp_dag::{generators, NodeId};
+/// use rbp_core::{MppInstance, MppSimulator};
+///
+/// let dag = generators::chain(2);
+/// let inst = MppInstance::new(&dag, 2, 2, 1);
+/// let mut sim = MppSimulator::new(inst);
+/// sim.compute(vec![(0, NodeId(0))]).unwrap(); // R3-M: source has no inputs
+/// sim.store(vec![(0, NodeId(0))]).unwrap();   // R1-M: red → blue copy
+/// sim.load(vec![(1, NodeId(0))]).unwrap();    // R2-M: blue → p1's red
+/// sim.compute(vec![(1, NodeId(1))]).unwrap(); // R3-M: inputs red on p1
+/// sim.remove_red(0, NodeId(0)).unwrap();      // R4-M: deletion is free
+/// let run = sim.finish().unwrap();
+/// assert_eq!(run.cost.computes, 2);
+/// assert_eq!(run.cost.stores + run.cost.loads, 2); // I/O cost = 2·g
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MppMove {
     /// R1-M: each selected processor copies one of its red values to slow

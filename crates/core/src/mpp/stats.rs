@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use rbp_dag::NodeId;
+use rbp_trace::CounterSet;
 
 use crate::{Cost, MppInstance, MppMove, MppStrategy, ProcId};
 
@@ -24,6 +25,19 @@ pub enum IoClass {
     /// The value was stored but never reloaded (e.g. an output saved to
     /// slow memory).
     StoreOnly,
+}
+
+impl IoClass {
+    /// The counter name this class is tallied under in
+    /// [`MppRunStats::io_transfers`] (and in emitted traces).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoClass::Communication => "io.communication",
+            IoClass::Spill => "io.spill",
+            IoClass::StoreOnly => "io.store_only",
+        }
+    }
 }
 
 /// Aggregated statistics of a validated MPP strategy.
@@ -46,8 +60,12 @@ pub struct MppRunStats {
     /// `total_work − distinct_computed`: node-computations spent on
     /// recomputation.
     pub recomputations: u64,
-    /// Pebbles moved per transfer, classified.
-    pub io_transfers: HashMap<IoClass, u64>,
+    /// Free red-pebble removals (R4-M applications): the strategy's
+    /// eviction decisions.
+    pub evictions: u64,
+    /// Pebbles moved per transfer, tallied under the [`IoClass::name`]
+    /// counters (always present, zero when unused, fixed order).
+    pub io_transfers: CounterSet,
     /// Average batch size of compute steps (parallel efficiency; `k`
     /// means perfectly full batches).
     pub avg_compute_batch: f64,
@@ -70,6 +88,7 @@ impl MppRunStats {
         let mut compute_steps = 0u64;
         let mut io_batch_total = 0u64;
         let mut io_steps = 0u64;
+        let mut evictions = 0u64;
 
         // Per-node transfer matching: last store (step, proc) not yet
         // consumed by a load classification; we classify per (store,load)
@@ -122,23 +141,28 @@ impl MppRunStats {
                         }
                     }
                 }
-                MppMove::Remove(_) => {}
+                MppMove::Remove(_) => evictions += 1,
             }
         }
 
-        let mut io_transfers: HashMap<IoClass, u64> = HashMap::new();
+        // Pre-seed the three classes in a fixed order so two analyses of
+        // the same strategy produce identical (comparable) counter sets
+        // regardless of `open_stores` iteration order.
+        let mut io_transfers = CounterSet::new();
+        for class in [IoClass::Communication, IoClass::Spill, IoClass::StoreOnly] {
+            io_transfers.set(class.name(), 0);
+        }
         for recs in open_stores.values() {
             for rec in recs {
                 // The store itself plus each matched load count as
                 // transfers of the corresponding class.
                 if rec.loads_by_other > 0 {
-                    *io_transfers.entry(IoClass::Communication).or_default() +=
-                        1 + rec.loads_by_other;
-                    *io_transfers.entry(IoClass::Spill).or_default() += rec.loads_by_same;
+                    io_transfers.add(IoClass::Communication.name(), 1 + rec.loads_by_other);
+                    io_transfers.add(IoClass::Spill.name(), rec.loads_by_same);
                 } else if rec.loads_by_same > 0 {
-                    *io_transfers.entry(IoClass::Spill).or_default() += 1 + rec.loads_by_same;
+                    io_transfers.add(IoClass::Spill.name(), 1 + rec.loads_by_same);
                 } else {
-                    *io_transfers.entry(IoClass::StoreOnly).or_default() += 1;
+                    io_transfers.add(IoClass::StoreOnly.name(), 1);
                 }
             }
         }
@@ -154,6 +178,7 @@ impl MppRunStats {
             total_work,
             distinct_computed: distinct,
             recomputations: total_work - distinct,
+            evictions,
             io_transfers,
             avg_compute_batch: ratio(compute_batch_total, compute_steps),
             avg_io_batch: ratio(io_batch_total, io_steps),
@@ -174,16 +199,46 @@ impl MppRunStats {
     /// Transfers classified as inter-processor communication.
     #[must_use]
     pub fn communication_transfers(&self) -> u64 {
-        self.io_transfers
-            .get(&IoClass::Communication)
-            .copied()
-            .unwrap_or(0)
+        self.io_transfers.get(IoClass::Communication.name())
     }
 
     /// Transfers classified as capacity spills.
     #[must_use]
     pub fn spill_transfers(&self) -> u64 {
-        self.io_transfers.get(&IoClass::Spill).copied().unwrap_or(0)
+        self.io_transfers.get(IoClass::Spill.name())
+    }
+
+    /// Transfers stored to slow memory and never reloaded.
+    #[must_use]
+    pub fn store_only_transfers(&self) -> u64 {
+        self.io_transfers.get(IoClass::StoreOnly.name())
+    }
+
+    /// The full run as a flat [`CounterSet`] — the payload emitted to
+    /// traces (see [`MppRunStats::trace`]) and reused by the experiment
+    /// harness instead of ad-hoc stats copies.
+    #[must_use]
+    pub fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.set("total", self.total);
+        c.set("surplus", self.surplus);
+        c.set("steps.compute", self.compute_steps);
+        c.set("steps.io", self.cost.io_steps());
+        c.set("evictions", self.evictions);
+        c.set("work.total", self.total_work);
+        c.set("work.distinct", self.distinct_computed);
+        c.set("work.recomputations", self.recomputations);
+        c.merge(&self.io_transfers);
+        c
+    }
+
+    /// Emits [`MppRunStats::counters`] through the global tracer under
+    /// `<prefix>.` names. No-op while tracing is disabled.
+    pub fn trace(&self, prefix: &str) {
+        if !rbp_trace::enabled() {
+            return;
+        }
+        self.counters().emit(&format!("{prefix}."));
     }
 }
 
@@ -239,10 +294,7 @@ mod tests {
         let run = sim.finish().unwrap();
         let stats = MppRunStats::analyze(&inst, &run.strategy);
         // Store never reloaded → StoreOnly.
-        assert_eq!(
-            stats.io_transfers.get(&IoClass::StoreOnly).copied(),
-            Some(1)
-        );
+        assert_eq!(stats.store_only_transfers(), 1);
         assert_eq!(stats.communication_transfers(), 0);
     }
 
@@ -280,6 +332,53 @@ mod tests {
         assert_eq!(stats.total_work, 4);
         assert_eq!(stats.distinct_computed, 3);
         assert_eq!(stats.recomputations, 1);
+    }
+
+    #[test]
+    fn counters_flatten_the_run() {
+        let d = dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&d, 2, 2, 3);
+        let mut sim = MppSimulator::new(inst);
+        sim.compute(vec![(0, v(0))]).unwrap();
+        sim.store(vec![(0, v(0))]).unwrap();
+        sim.load(vec![(1, v(0))]).unwrap();
+        sim.compute(vec![(1, v(1))]).unwrap();
+        let run = sim.finish().unwrap();
+        let stats = MppRunStats::analyze(&inst, &run.strategy);
+        let c = stats.counters();
+        assert_eq!(c.get("total"), 8);
+        assert_eq!(c.get("steps.compute"), 2);
+        assert_eq!(c.get("steps.io"), 2);
+        assert_eq!(c.get("io.communication"), 2);
+        assert_eq!(c.get("evictions"), 0);
+        assert_eq!(c.get("work.recomputations"), 0);
+    }
+
+    /// Migration regression: the `CounterSet`-backed statistics must
+    /// reproduce the exact values the pre-migration `HashMap<IoClass,
+    /// u64>` implementation produced on a fixed instance (captured from
+    /// the old code on `binary_in_tree(4)`, `k=2 r=3 g=2`).
+    #[test]
+    fn migration_preserves_fixed_instance_counts() {
+        use rbp_dag::generators;
+        let dag = generators::binary_in_tree(4);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let sol = crate::solve_mpp(&inst, crate::SolveLimits::default()).unwrap();
+        let stats = MppRunStats::analyze(&inst, &sol.strategy);
+        assert_eq!(stats.total, 8);
+        assert_eq!(stats.surplus, 4);
+        assert_eq!(stats.compute_steps, 4);
+        assert_eq!(stats.total_work, 7);
+        assert_eq!(stats.distinct_computed, 7);
+        assert_eq!(stats.recomputations, 0);
+        assert_eq!(stats.communication_transfers(), 2);
+        assert_eq!(stats.spill_transfers(), 0);
+        assert_eq!(stats.store_only_transfers(), 1);
+        assert_eq!(stats.avg_compute_batch, 1.75);
+        assert_eq!(stats.avg_io_batch, 1.5);
+        // Two analyses of the same strategy compare equal (fixed counter
+        // order regardless of internal hash-map iteration).
+        assert_eq!(stats, MppRunStats::analyze(&inst, &sol.strategy));
     }
 
     #[test]

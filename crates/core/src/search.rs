@@ -5,13 +5,13 @@
 //! (`0` for deletions, `compute` for R3, `g` for R1/R2) — so the
 //! machinery lives here once:
 //!
-//! - [`Frontier`]: a monotone **bucket queue** indexed by `f = d + h`.
+//! - `Frontier`: a monotone **bucket queue** indexed by `f = d + h`.
 //!   Edge costs are tiny integers, so the full priority range is at most
 //!   the trivial upper bound of Lemma 1; `pop` is a cursor advance and
 //!   `push` a `Vec` append, with zero per-operation heap rebalancing.
 //!   Instances whose cost range would make buckets wasteful (huge `g`)
 //!   fall back to a binary heap transparently.
-//! - [`SearchEngine`]: dist/parent bookkeeping in a single
+//! - `SearchEngine`: dist/parent bookkeeping in a single
 //!   `FxHashMap<Key, Entry>` (one probe per relaxation), compact `u32`
 //!   move encodings instead of heap-allocated move structs, and
 //!   [`SearchStats`] counters for the benchmark harness.
@@ -51,6 +51,20 @@ impl Default for SolveLimits {
 /// The default enables every correctness-preserving reduction; the
 /// [`SearchConfig::baseline`] configuration reproduces the original
 /// plain-Dijkstra solver for equivalence testing and benchmarking.
+///
+/// ```
+/// use rbp_core::{SearchConfig, SolveLimits};
+///
+/// let fast = SearchConfig::default();       // A* + symmetry reduction
+/// assert!(fast.heuristic && fast.symmetry);
+///
+/// let reference = SearchConfig::baseline(); // plain uniform-cost search
+/// assert!(!reference.heuristic && !reference.symmetry);
+///
+/// // Both knobs compose with a state budget:
+/// let bounded = fast.with_limits(SolveLimits { max_states: 10_000 });
+/// assert_eq!(bounded.limits.max_states, 10_000);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SearchConfig {
     /// Guide the search with the admissible heuristic (A\*).
@@ -92,6 +106,10 @@ impl SearchConfig {
 }
 
 /// Counters describing one exact-solve run.
+///
+/// Accumulated locally in the search hot loop and emitted through
+/// `rbp-trace` once per solve (see [`SearchStats::trace`]), so enabling
+/// tracing never adds per-relaxation overhead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// States settled (popped with an up-to-date distance and expanded).
@@ -100,6 +118,46 @@ pub struct SearchStats {
     pub pushed: u64,
     /// Stale queue entries skipped on pop.
     pub stale: u64,
+    /// High-water mark of the frontier size (peak open-queue length).
+    pub frontier_peak: u64,
+    /// Whether the frontier fell back from the bucket queue to the
+    /// binary heap (priority range exceeded the bucket ceiling).
+    pub heap_fallback: bool,
+    /// The admissible heuristic's value at the start state (zero when
+    /// the heuristic is disabled). `h_root / OPT` measures heuristic
+    /// tightness: 1.0 would be a perfect lower bound.
+    pub h_root: u64,
+}
+
+impl SearchStats {
+    /// Emits these counters through the global tracer under
+    /// `solver.<which>.*` names, plus the heuristic-tightness gauge
+    /// when the achieved optimum is known. No-op while tracing is
+    /// disabled.
+    pub fn trace(&self, which: &str, total: Option<u64>) {
+        if !rbp_trace::enabled() {
+            return;
+        }
+        rbp_trace::counter(&format!("solver.{which}.settled"), self.settled);
+        rbp_trace::counter(&format!("solver.{which}.pushed"), self.pushed);
+        rbp_trace::counter(&format!("solver.{which}.stale"), self.stale);
+        rbp_trace::gauge(
+            &format!("solver.{which}.frontier_peak"),
+            self.frontier_peak as f64,
+        );
+        rbp_trace::counter(
+            &format!("solver.{which}.heap_fallback"),
+            u64::from(self.heap_fallback),
+        );
+        if let Some(total) = total {
+            if total > 0 {
+                rbp_trace::gauge(
+                    &format!("solver.{which}.h_tightness"),
+                    self.h_root as f64 / total as f64,
+                );
+            }
+        }
+    }
 }
 
 /// Result of an exact solve together with the search counters that
@@ -187,6 +245,14 @@ impl<K: Copy + Ord> Frontier<K> {
             Frontier::Heap(heap) => heap.pop().map(|(_, k, d)| (k, d)),
         }
     }
+
+    /// Current number of queued (possibly stale) entries.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Frontier::Buckets { len, .. } => *len,
+            Frontier::Heap(heap) => heap.len(),
+        }
+    }
 }
 
 struct Entry<K> {
@@ -205,11 +271,16 @@ pub(crate) struct SearchEngine<K> {
 
 impl<K: Copy + Eq + Ord + std::hash::Hash> SearchEngine<K> {
     pub(crate) fn new(start: K, h0: u64, max_priority: u64) -> Self {
+        let frontier = Frontier::new(max_priority);
         let mut engine = SearchEngine {
+            stats: SearchStats {
+                heap_fallback: matches!(frontier, Frontier::Heap(_)),
+                h_root: h0,
+                ..SearchStats::default()
+            },
             map: FxHashMap::default(),
-            frontier: Frontier::new(max_priority),
+            frontier,
             start,
-            stats: SearchStats::default(),
         };
         engine.map.insert(
             start,
@@ -221,6 +292,7 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> SearchEngine<K> {
         );
         engine.frontier.push(h0, start, 0);
         engine.stats.pushed += 1;
+        engine.stats.frontier_peak = 1;
         engine
     }
 
@@ -283,6 +355,7 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> SearchEngine<K> {
             if let Some(h) = h() {
                 self.frontier.push(dist + h, to, dist);
                 self.stats.pushed += 1;
+                self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len() as u64);
             }
         }
     }

@@ -83,11 +83,24 @@ pub fn solve(instance: &SppInstance, limits: SolveLimits) -> Option<SppSolution>
 }
 
 /// [`solve`] with explicit optimization switches, also reporting search
-/// statistics for benchmarking.
+/// statistics for benchmarking. Each call opens a `solve.spp` trace
+/// span and reports the search counters and heuristic tightness through
+/// `rbp-trace` (no-ops unless a sink is installed).
 #[must_use]
 pub fn solve_with(instance: &SppInstance, config: &SearchConfig) -> SearchOutcome<SppSolution> {
+    let _span = rbp_trace::span_with(
+        "solve.spp",
+        vec![
+            ("n", rbp_util::Json::from(instance.dag.n())),
+            ("r", rbp_util::Json::from(instance.r)),
+            ("g", rbp_util::Json::from(instance.model.g)),
+            ("one_shot", rbp_util::Json::from(instance.variant.one_shot)),
+            ("heuristic", rbp_util::Json::from(config.heuristic)),
+        ],
+    );
     let mut stats = SearchStats::default();
     let solution = solve_inner(instance, config, &mut stats);
+    stats.trace("spp", solution.as_ref().map(|s| s.total));
     SearchOutcome { solution, stats }
 }
 

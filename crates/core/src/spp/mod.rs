@@ -23,6 +23,24 @@ use rbp_dag::Dag;
 use crate::CostModel;
 
 /// Which SPP variant is being played (§3.1).
+///
+/// The named constructors cover the variants the paper discusses:
+///
+/// ```
+/// use rbp_core::SppVariant;
+///
+/// let base = SppVariant::base();          // recompute + delete allowed
+/// assert!(!base.one_shot && !base.no_delete);
+///
+/// let os = SppVariant::one_shot();        // each node computed at most once
+/// assert!(os.one_shot);
+///
+/// let nd = SppVariant::no_delete();       // R4-S forbidden
+/// assert!(nd.no_delete);
+///
+/// let hk = SppVariant::hong_kung();       // inputs start blue, outputs end blue
+/// assert!(hk.sources_start_blue && hk.sinks_need_blue);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SppVariant {
     /// One-shot SPP: rule R3-S may be applied at most once per node.

@@ -1,12 +1,12 @@
 //! Generators for DAG families used throughout the paper.
 //!
 //! Three groups:
-//! - [`basic`]: chains, trees, diamonds, grids, 2-layer bipartite DAGs —
+//! - `basic`: chains, trees, diamonds, grids, 2-layer bipartite DAGs —
 //!   the simple classes Lemma 2 and Section 5 reason about;
-//! - [`compute`]: real computation DAGs (FFT butterfly, naive matrix
+//! - `compute`: real computation DAGs (FFT butterfly, naive matrix
 //!   multiplication, reduction trees) targeted by the Section 4 lower
 //!   bounds;
-//! - [`random`]: seeded random DAGs for sweeps and property tests.
+//! - `random`: seeded random DAGs for sweeps and property tests.
 //!
 //! All generators are deterministic given their parameters (random ones
 //! take an explicit seed) and record their provenance in [`Dag::name`].

@@ -23,7 +23,7 @@
 //! assert_eq!(stats.max_in_degree, 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod dot;

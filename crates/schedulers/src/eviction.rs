@@ -34,6 +34,17 @@ pub struct EvictionContext<'a> {
 }
 
 impl EvictionPolicy {
+    /// Short stable name used in trace counter keys and experiment
+    /// tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::FurthestUse => "furthest-use",
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::FewestUses => "fewest-uses",
+        }
+    }
+
     /// Picks a victim among `candidates` (must be non-empty).
     ///
     /// Dead values — nodes that are neither sinks nor have uncomputed
@@ -42,6 +53,12 @@ impl EvictionPolicy {
     #[must_use]
     pub fn pick(self, ctx: &EvictionContext, candidates: &[NodeId]) -> NodeId {
         assert!(!candidates.is_empty(), "no eviction candidates");
+        // One counter line per eviction decision, attributed to the
+        // policy; trace consumers sum the deltas. Off the hot path when
+        // no sink is installed.
+        if rbp_trace::enabled() {
+            rbp_trace::counter(&format!("eviction.{}.picks", self.name()), 1);
+        }
         // Dead first.
         if let Some(&dead) = candidates.iter().find(|&&v| {
             ctx.dag.out_degree(v) > 0 && ctx.dag.succs(v).iter().all(|&s| ctx.computed.contains(s))

@@ -86,7 +86,18 @@ impl MppScheduler for Greedy {
     }
 
     fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
-        GreedyRun::new(*instance, self.config).run()
+        let name = self.name();
+        let _span = rbp_trace::span_with(
+            "scheduler.schedule",
+            vec![
+                ("scheduler", rbp_trace::Json::from(name.as_str())),
+                ("n", rbp_trace::Json::from(instance.dag.n() as u64)),
+                ("k", rbp_trace::Json::from(instance.k as u64)),
+            ],
+        );
+        let run = GreedyRun::new(*instance, self.config).run()?;
+        crate::trace_run(&name, instance, &run);
+        Ok(run)
     }
 }
 

@@ -15,7 +15,7 @@
 //!   topological level, everything communicated through slow memory.
 //! - [`Partition`] — owner-computes partitioning (most-inputs-local,
 //!   least-loaded tie-break) with round-based parallel execution.
-//! - [`spp_belady`] — a single-processor reference scheduler with
+//! - [`spp_belady()`] — a single-processor reference scheduler with
 //!   Belady-style eviction, producing SPP strategies.
 //!
 //! All schedulers implement [`MppScheduler`]; [`all_schedulers`] returns
@@ -37,7 +37,20 @@ pub use spp_belady::spp_belady;
 pub use topo_baseline::TopoBaseline;
 pub use wavefront::Wavefront;
 
-use rbp_core::{MppError, MppInstance, MppRun};
+use rbp_core::{MppError, MppInstance, MppRun, MppRunStats};
+
+/// Emits one span-scoped snapshot of a finished run to the global
+/// tracer: the run's total cost plus the full [`MppRunStats`] counter
+/// set (steps, I/O transition classes, evictions, recomputation work)
+/// under the `scheduler.<name>.*` prefix. No-op when tracing is off —
+/// the stats pass over the strategy is only paid for traced runs.
+pub(crate) fn trace_run(name: &str, instance: &MppInstance, run: &MppRun) {
+    if !rbp_trace::enabled() {
+        return;
+    }
+    let stats = MppRunStats::analyze(instance, &run.strategy);
+    stats.trace(&format!("scheduler.{name}"));
+}
 
 /// A scheduler producing a valid MPP strategy for any feasible instance.
 ///

@@ -51,6 +51,14 @@ impl MppScheduler for Partition {
     }
 
     fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
+        let _span = rbp_trace::span_with(
+            "scheduler.schedule",
+            vec![
+                ("scheduler", rbp_trace::Json::from("partition")),
+                ("n", rbp_trace::Json::from(instance.dag.n() as u64)),
+                ("k", rbp_trace::Json::from(instance.k as u64)),
+            ],
+        );
         let dag = instance.dag;
         let k = instance.k;
         let r = instance.r;
@@ -130,7 +138,9 @@ impl MppScheduler for Partition {
                 }
             }
         }
-        sim.finish()
+        let run = sim.finish()?;
+        crate::trace_run(&self.name(), instance, &run);
+        Ok(run)
     }
 }
 

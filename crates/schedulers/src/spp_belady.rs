@@ -21,6 +21,14 @@ pub fn spp_belady(instance: &SppInstance) -> (SppStrategy, Cost) {
     let dag = instance.dag;
     let r = instance.r;
     assert!(instance.is_feasible(), "infeasible instance");
+    let _span = rbp_trace::span_with(
+        "scheduler.schedule",
+        vec![
+            ("scheduler", rbp_trace::Json::from("spp-belady")),
+            ("n", rbp_trace::Json::from(dag.n() as u64)),
+            ("r", rbp_trace::Json::from(r as u64)),
+        ],
+    );
 
     let topo = dag.topo();
     let order = topo.order();
@@ -77,6 +85,24 @@ pub fn spp_belady(instance: &SppInstance) -> (SppStrategy, Cost) {
 
     let strategy = SppStrategy::from_moves(moves);
     let cost = validate(instance, &strategy.moves).expect("belady produced invalid strategy");
+    if rbp_trace::enabled() {
+        let mut c = rbp_trace::CounterSet::new();
+        c.add("scheduler.spp-belady.steps", strategy.moves.len() as u64);
+        for m in &strategy.moves {
+            let key = match m {
+                SppMove::Load(_) => "scheduler.spp-belady.io.loads",
+                SppMove::Store(_) => "scheduler.spp-belady.io.stores",
+                SppMove::Compute(_) => "scheduler.spp-belady.computes",
+                SppMove::RemoveRed(_) | SppMove::RemoveBlue(_) => "scheduler.spp-belady.evictions",
+            };
+            c.add(key, 1);
+        }
+        c.add(
+            "scheduler.spp-belady.cost.total",
+            cost.total(instance.model),
+        );
+        c.emit("");
+    }
     (strategy, cost)
 }
 

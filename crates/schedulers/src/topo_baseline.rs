@@ -21,6 +21,14 @@ impl MppScheduler for TopoBaseline {
     }
 
     fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
+        let _span = rbp_trace::span_with(
+            "scheduler.schedule",
+            vec![
+                ("scheduler", rbp_trace::Json::from("topo-baseline")),
+                ("n", rbp_trace::Json::from(instance.dag.n() as u64)),
+                ("k", rbp_trace::Json::from(instance.k as u64)),
+            ],
+        );
         let dag = instance.dag;
         let topo = dag.topo();
         let mut sim = MppSimulator::new(*instance);
@@ -38,7 +46,9 @@ impl MppScheduler for TopoBaseline {
             }
             sim.remove_red(p, v)?;
         }
-        sim.finish()
+        let run = sim.finish()?;
+        crate::trace_run(&self.name(), instance, &run);
+        Ok(run)
     }
 }
 

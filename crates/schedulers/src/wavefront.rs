@@ -23,6 +23,14 @@ impl MppScheduler for Wavefront {
     }
 
     fn schedule(&self, instance: &MppInstance) -> Result<MppRun, MppError> {
+        let _span = rbp_trace::span_with(
+            "scheduler.schedule",
+            vec![
+                ("scheduler", rbp_trace::Json::from("wavefront")),
+                ("n", rbp_trace::Json::from(instance.dag.n() as u64)),
+                ("k", rbp_trace::Json::from(instance.k as u64)),
+            ],
+        );
         let dag = instance.dag;
         let k = instance.k;
         let topo = dag.topo();
@@ -76,7 +84,9 @@ impl MppScheduler for Wavefront {
                 }
             }
         }
-        sim.finish()
+        let run = sim.finish()?;
+        crate::trace_run(&self.name(), instance, &run);
+        Ok(run)
     }
 }
 
@@ -119,7 +129,7 @@ mod tests {
         let run = Wavefront.schedule(&inst).unwrap();
         let stats = MppRunStats::analyze(&inst, &run.strategy);
         // Each node stored exactly once → total stored pebbles = n.
-        let stored: u64 = stats.io_transfers.values().sum::<u64>();
+        let stored: u64 = stats.io_transfers.iter().map(|(_, v)| v).sum::<u64>();
         assert!(stored >= dag.n() as u64);
         assert_eq!(stats.recomputations, 0);
     }

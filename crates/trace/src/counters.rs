@@ -1,0 +1,149 @@
+//! Named counter accumulation.
+//!
+//! [`CounterSet`] is the workspace's one way to tally named `u64`
+//! counts: solver run statistics, scheduler I/O classification, and
+//! microbenchmark extra payloads all use it instead of hand-rolled
+//! `Vec<(String, u64)>` / `HashMap` copies. Insertion order is
+//! preserved so serialized artifacts diff cleanly.
+
+use rbp_util::json::Json;
+
+/// An insertion-ordered multiset of named monotonic counters.
+///
+/// Lookup is a linear scan — counter sets are small (tens of names) and
+/// hot loops should accumulate into locals and [`CounterSet::add`]
+/// once per batch.
+///
+/// ```
+/// use rbp_trace::CounterSet;
+/// let mut c = CounterSet::new();
+/// c.add("io.spill", 2);
+/// c.add("io.spill", 3);
+/// c.add("io.comm", 1);
+/// assert_eq!(c.get("io.spill"), 5);
+/// assert_eq!(c.get("missing"), 0);
+/// assert_eq!(c.iter().map(|(n, _)| n).collect::<Vec<_>>(), ["io.spill", "io.comm"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    items: Vec<(String, u64)>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero first)
+    /// and returns the new value.
+    pub fn add(&mut self, name: &str, delta: u64) -> u64 {
+        if let Some((_, v)) = self.items.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+            *v
+        } else {
+            self.items.push((name.to_string(), delta));
+            delta
+        }
+    }
+
+    /// Overwrites the counter `name` with `value`.
+    pub fn set(&mut self, name: &str, value: u64) {
+        if let Some((_, v)) = self.items.iter_mut().find(|(n, _)| n == name) {
+            *v = value;
+        } else {
+            self.items.push((name.to_string(), value));
+        }
+    }
+
+    /// The current value of `name` (zero when absent).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.items
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.items.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of distinct counter names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no counter has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Merges another set into this one (summing per name).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (n, v) in other.iter() {
+            self.add(n, v);
+        }
+    }
+
+    /// Serializes to a JSON object `{name: value, …}` in insertion order.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.items
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::from(*v)))
+                .collect(),
+        )
+    }
+
+    /// Emits every counter through the global tracer, each name prefixed
+    /// with `prefix` (pass `""` for none).
+    pub fn emit(&self, prefix: &str) {
+        if !crate::enabled() {
+            return;
+        }
+        for (n, v) in self.iter() {
+            if prefix.is_empty() {
+                crate::counter(n, v);
+            } else {
+                crate::counter(&format!("{prefix}{n}"), v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get_merge() {
+        let mut a = CounterSet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.add("x", 2), 2);
+        assert_eq!(a.add("x", 1), 3);
+        a.set("y", 10);
+        a.set("x", 4);
+        let mut b = CounterSet::new();
+        b.add("x", 1);
+        b.add("z", 5);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 10);
+        assert_eq!(a.get("z"), 5);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn json_preserves_order() {
+        let mut c = CounterSet::new();
+        c.add("later", 1);
+        c.add("alpha", 2);
+        assert_eq!(c.to_json().render(), r#"{"later":1,"alpha":2}"#);
+    }
+}

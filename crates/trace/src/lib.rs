@@ -1,0 +1,352 @@
+//! # rbp-trace — the unified observability layer
+//!
+//! Every solver, scheduler, bound, experiment binary, and CLI subcommand
+//! in this workspace reports progress through this crate: structured
+//! **span** enter/exit events, monotonic **counters**, **gauges**, and
+//! whole result **tables**, serialized as one JSON object per line
+//! (JSONL) behind a stable **run-manifest header** (tool name, git
+//! revision, seed, instance hash, solver configuration). `rbp report`
+//! re-renders a trace file into the EXPERIMENTS.md comparison tables via
+//! [`report::render`].
+//!
+//! ## Design
+//!
+//! - **Zero external dependencies.** Serialization reuses the vendored
+//!   [`rbp_util::json`] writer; parsing (for reports) reuses its parser.
+//! - **One global tracer, disabled by default.** Library code calls
+//!   [`counter`], [`gauge`], [`span`], [`event`], or [`table`]
+//!   unconditionally; when no sink is installed each call is an inlined
+//!   relaxed atomic load and an immediate return, so instrumentation in
+//!   hot paths costs a predictable branch and nothing else. Solver inner
+//!   loops additionally batch their tallies locally (see
+//!   `rbp_core::SearchStats`) and emit once per solve.
+//! - **Sinks are pluggable.** [`JsonlSink`] streams to a file,
+//!   [`MemorySink`] captures lines for tests, and anything implementing
+//!   [`Sink`] can be installed with [`install`].
+//!
+//! ## Example
+//!
+//! ```
+//! use rbp_trace::{CounterSet, Manifest, MemorySink};
+//!
+//! let (sink, lines) = MemorySink::new();
+//! rbp_trace::install(Box::new(sink), Manifest::new("doc-example").field("seed", 42u64));
+//! {
+//!     let _span = rbp_trace::span("solve");
+//!     rbp_trace::counter("solver.settled", 17);
+//!     rbp_trace::gauge("solver.tightness", 0.93);
+//! }
+//! rbp_trace::uninstall();
+//!
+//! let lines = lines.lock().unwrap();
+//! assert!(lines[0].contains("\"type\":\"manifest\""));
+//! assert!(lines.iter().any(|l| l.contains("solver.settled")));
+//!
+//! // Accumulate counters locally, then emit in one go:
+//! let mut c = CounterSet::new();
+//! c.add("evictions", 3);
+//! assert_eq!(c.get("evictions"), 3);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod counters;
+pub mod manifest;
+pub mod report;
+pub mod sink;
+
+pub use counters::CounterSet;
+pub use manifest::{git_rev, hash_hex, Manifest};
+pub use sink::{JsonlSink, MemorySink, Sink};
+
+/// The JSON value type used for event fields, re-exported so
+/// instrumented crates can build [`event`]/[`span_with`] payloads
+/// without depending on `rbp-util` directly.
+pub use rbp_util::json::Json;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The trace schema version emitted in every manifest (bump on breaking
+/// changes to event shapes; documented in `docs/SCHEMAS.md`).
+pub const SCHEMA_VERSION: u64 = 1;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
+
+struct Tracer {
+    sink: Box<dyn Sink>,
+    epoch: Instant,
+}
+
+/// Whether a sink is currently installed. Callers building non-trivial
+/// event payloads (e.g. formatting a table) should check this first;
+/// plain [`counter`]/[`gauge`]/[`span`] calls don't need to.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the global trace destination and writes the
+/// manifest header as the first line. Replaces (and flushes) any
+/// previously installed sink.
+pub fn install(sink: Box<dyn Sink>, manifest: Manifest) {
+    let mut guard = TRACER.lock().unwrap();
+    if let Some(mut old) = guard.take() {
+        old.sink.flush();
+    }
+    let mut tracer = Tracer {
+        sink,
+        epoch: Instant::now(),
+    };
+    tracer.sink.record(&manifest.to_json().render());
+    *guard = Some(tracer);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Flushes and removes the installed sink; subsequent emit calls are
+/// no-ops again.
+pub fn uninstall() {
+    let mut guard = TRACER.lock().unwrap();
+    ENABLED.store(false, Ordering::Relaxed);
+    if let Some(mut tracer) = guard.take() {
+        tracer.sink.flush();
+    }
+}
+
+/// Flushes the installed sink without removing it (e.g. before spawning
+/// a subprocess whose output should interleave sanely).
+pub fn flush() {
+    if let Some(tracer) = TRACER.lock().unwrap().as_mut() {
+        tracer.sink.flush();
+    }
+}
+
+fn emit_line(build: impl FnOnce(u64) -> Json) {
+    let mut guard = TRACER.lock().unwrap();
+    if let Some(tracer) = guard.as_mut() {
+        let ts = u64::try_from(tracer.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let line = build(ts).render();
+        tracer.sink.record(&line);
+    }
+}
+
+/// Emits a monotonic counter increment: `{"type":"counter","name":…,
+/// "value":…}`. `value` is the delta observed since the last emission of
+/// the same name (consumers sum per name).
+#[inline]
+pub fn counter(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    emit_line(|ts| {
+        Json::obj([
+            ("type", Json::from("counter")),
+            ("ts_us", Json::from(ts)),
+            ("name", Json::from(name)),
+            ("value", Json::from(value)),
+        ])
+    });
+}
+
+/// Emits a point-in-time gauge: `{"type":"gauge", …}`. Consumers keep
+/// the last value per name.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit_line(|ts| {
+        Json::obj([
+            ("type", Json::from("gauge")),
+            ("ts_us", Json::from(ts)),
+            ("name", Json::from(name)),
+            ("value", Json::from(value)),
+        ])
+    });
+}
+
+/// Emits a free-form structured event with a name and key/value fields.
+#[inline]
+pub fn event(name: &str, fields: Vec<(&str, Json)>) {
+    if !enabled() {
+        return;
+    }
+    emit_line(|ts| {
+        Json::obj([
+            ("type", Json::from("event")),
+            ("ts_us", Json::from(ts)),
+            ("name", Json::from(name)),
+            ("fields", Json::obj(fields)),
+        ])
+    });
+}
+
+/// Emits a result table (headers + string rows). `rbp report` renders
+/// these back into the EXPERIMENTS.md markdown tables.
+pub fn table(name: &str, headers: &[String], rows: &[Vec<String>]) {
+    if !enabled() {
+        return;
+    }
+    emit_line(|ts| {
+        Json::obj([
+            ("type", Json::from("table")),
+            ("ts_us", Json::from(ts)),
+            ("name", Json::from(name)),
+            (
+                "headers",
+                Json::arr(headers.iter().map(|h| Json::from(h.as_str()))),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    rows.iter()
+                        .map(|r| Json::arr(r.iter().map(|c| Json::from(c.as_str())))),
+                ),
+            ),
+        ])
+    });
+}
+
+/// Starts a span: emits `span_enter` now and `span_exit` (with
+/// `elapsed_us`) when the returned guard drops. When tracing is
+/// disabled the guard is inert.
+#[must_use]
+pub fn span(name: &str) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// [`span`] with key/value fields attached to the enter event.
+#[must_use]
+pub fn span_with(name: &str, fields: Vec<(&str, Json)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            id: 0,
+            name: String::new(),
+            start: None,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    emit_line(|ts| {
+        let mut obj = vec![
+            ("type".to_string(), Json::from("span_enter")),
+            ("ts_us".to_string(), Json::from(ts)),
+            ("id".to_string(), Json::from(id)),
+            ("name".to_string(), Json::from(name)),
+        ];
+        if !fields.is_empty() {
+            obj.push(("fields".to_string(), Json::obj(fields)));
+        }
+        Json::Obj(obj)
+    });
+    SpanGuard {
+        id,
+        name: name.to_string(),
+        start: Some(Instant::now()),
+    }
+}
+
+/// RAII guard for an open span; emits the `span_exit` event on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    name: String,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if !enabled() {
+            return;
+        }
+        emit_line(|ts| {
+            Json::obj([
+                ("type", Json::from("span_exit")),
+                ("ts_us", Json::from(ts)),
+                ("id", Json::from(self.id)),
+                ("name", Json::from(self.name.as_str())),
+                ("elapsed_us", Json::from(elapsed)),
+            ])
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-tracer tests share one mutable global; run the whole
+    // pipeline in a single test so parallel test threads cannot
+    // interleave installs.
+    #[test]
+    fn global_pipeline_end_to_end() {
+        let (sink, lines) = MemorySink::new();
+        install(Box::new(sink), Manifest::new("unit").field("seed", 7u64));
+        assert!(enabled());
+        {
+            let _s = span_with("outer", vec![("k", Json::from(2u64))]);
+            counter("c.x", 3);
+            counter("c.x", 2);
+            gauge("g.y", 1.25);
+            event("note", vec![("msg", Json::from("hi"))]);
+            table(
+                "T",
+                &["a".to_string(), "b".to_string()],
+                &[vec!["1".to_string(), "2".to_string()]],
+            );
+        }
+        uninstall();
+        assert!(!enabled());
+        counter("c.after", 1); // must be a no-op
+
+        let lines = lines.lock().unwrap();
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+        let ty = |j: &Json| j.get("type").unwrap().as_str().unwrap().to_string();
+        assert_eq!(ty(&parsed[0]), "manifest");
+        assert_eq!(parsed[0].get("tool").unwrap().as_str(), Some("unit"));
+        assert_eq!(
+            parsed[0].get("schema").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(parsed[0].get("seed").unwrap().as_u64(), Some(7));
+        let types: Vec<String> = parsed[1..].iter().map(&ty).collect();
+        assert_eq!(
+            types,
+            [
+                "span_enter",
+                "counter",
+                "counter",
+                "gauge",
+                "event",
+                "table",
+                "span_exit"
+            ]
+        );
+        // Counter deltas preserved; span ids match across enter/exit.
+        assert_eq!(parsed[2].get("value").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed[3].get("value").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            parsed[1].get("id").unwrap().as_u64(),
+            parsed[7].get("id").unwrap().as_u64()
+        );
+        assert!(parsed[7].get("elapsed_us").unwrap().as_u64().is_some());
+        assert!(!lines.iter().any(|l| l.contains("c.after")));
+    }
+
+    #[test]
+    fn disabled_span_guard_is_inert() {
+        // No sink installed in this thread's view: the guard must not
+        // panic or allocate event lines on drop.
+        let g = SpanGuard {
+            id: 0,
+            name: String::new(),
+            start: None,
+        };
+        drop(g);
+    }
+}

@@ -1,0 +1,156 @@
+//! The run-manifest header: the first line of every trace file.
+//!
+//! A manifest pins down everything needed to compare two trace files:
+//! which tool produced it, at which git revision, with which seed,
+//! instance, and solver configuration. Downstream tooling (`rbp
+//! report`, regression diffing) refuses traces without one.
+
+use std::hash::Hasher as _;
+
+use rbp_util::json::Json;
+use rbp_util::FxHasher;
+
+/// Builder for the manifest line:
+/// `{"type":"manifest","schema":1,"tool":…,"git_rev":…, <fields…>}`.
+///
+/// ```
+/// use rbp_trace::Manifest;
+/// let m = Manifest::new("exp_solver")
+///     .field("seed", 42u64)
+///     .field("config", "a*+symmetry");
+/// let line = m.to_json().render();
+/// assert!(line.starts_with("{\"type\":\"manifest\""));
+/// assert!(line.contains("\"seed\":42"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    tool: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Manifest {
+    /// A manifest for `tool` (the binary or subcommand name). The git
+    /// revision is discovered automatically from the working directory.
+    #[must_use]
+    pub fn new(tool: &str) -> Self {
+        Manifest {
+            tool: tool.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches an extra key/value pair (seed, instance hash, solver
+    /// config, CLI args, …). Insertion order is preserved.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the manifest to its JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("type".to_string(), Json::from("manifest")),
+            ("schema".to_string(), Json::from(crate::SCHEMA_VERSION)),
+            ("tool".to_string(), Json::from(self.tool.as_str())),
+            (
+                "git_rev".to_string(),
+                git_rev().map_or(Json::Null, Json::from),
+            ),
+        ];
+        obj.extend(self.fields.iter().cloned());
+        Json::Obj(obj)
+    }
+}
+
+/// The current git commit hash (best effort, no subprocess): walks up
+/// from the current directory to the nearest `.git`, reads `HEAD`, and
+/// follows one level of `ref:` indirection (including `packed-refs`).
+/// `None` outside a git checkout.
+#[must_use]
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read_head(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return Some(hash.trim().to_string());
+        }
+        // Packed refs: lines of "<hash> <refname>".
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some((hash, name)) = line.split_once(' ') {
+                if name == refname {
+                    return Some(hash.to_string());
+                }
+            }
+        }
+        None
+    } else {
+        Some(head.to_string())
+    }
+}
+
+/// A short stable hex digest of arbitrary bytes (FxHash-based), used to
+/// fingerprint problem instances in manifests: hash the DAG's canonical
+/// text form plus the `(k, r, g)` parameters.
+///
+/// ```
+/// let h = rbp_trace::hash_hex(b"chain(4) k=2 r=3 g=1");
+/// assert_eq!(h.len(), 16);
+/// assert_eq!(h, rbp_trace::hash_hex(b"chain(4) k=2 r=3 g=1"));
+/// ```
+#[must_use]
+pub fn hash_hex(bytes: &[u8]) -> String {
+    let mut hasher = FxHasher::default();
+    hasher.write(bytes);
+    format!("{:016x}", hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_shape_and_field_order() {
+        let m = Manifest::new("t").field("b", 1u64).field("a", "x");
+        let j = m.to_json();
+        assert_eq!(j.get("type").unwrap().as_str(), Some("manifest"));
+        assert_eq!(
+            j.get("schema").unwrap().as_u64(),
+            Some(crate::SCHEMA_VERSION)
+        );
+        assert_eq!(j.get("tool").unwrap().as_str(), Some("t"));
+        let rendered = j.render();
+        let b_pos = rendered.find("\"b\":").unwrap();
+        let a_pos = rendered.find("\"a\":").unwrap();
+        assert!(b_pos < a_pos, "field insertion order preserved");
+    }
+
+    #[test]
+    fn git_rev_found_in_this_repo() {
+        // The test suite runs inside the repository checkout.
+        let rev = git_rev().expect("repo has a .git");
+        assert!(rev.len() >= 7, "{rev}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev}");
+    }
+
+    #[test]
+    fn hash_hex_is_stable_and_distinguishes() {
+        assert_eq!(hash_hex(b"x"), hash_hex(b"x"));
+        assert_ne!(hash_hex(b"x"), hash_hex(b"y"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Rendering trace files back into human-readable reports.
+//!
+//! [`render`] turns a `TRACE_*.jsonl` file into the markdown comparison
+//! tables of EXPERIMENTS.md plus a counter/gauge/span summary — the
+//! reading side of the observability layer, used by `rbp report`.
+
+use std::fmt::Write as _;
+
+use rbp_util::json::Json;
+
+/// A parsed trace: the manifest plus every following event, in order.
+#[derive(Debug)]
+pub struct Trace {
+    /// The manifest header object (first line of the file).
+    pub manifest: Json,
+    /// All subsequent event objects.
+    pub events: Vec<Json>,
+}
+
+/// Parses JSONL trace text. The first non-empty line must be a valid
+/// manifest (`"type":"manifest"` with a `schema` no newer than this
+/// crate understands); later malformed lines are errors too, so silent
+/// truncation cannot masquerade as a short run.
+///
+/// # Errors
+/// A human-readable description of the first offending line.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty trace file")?;
+    let manifest = Json::parse(first).map_err(|e| format!("line 1: not valid JSON ({e})"))?;
+    if manifest.get("type").and_then(Json::as_str) != Some("manifest") {
+        return Err("line 1: missing manifest header (expected \"type\":\"manifest\")".into());
+    }
+    let schema = manifest
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or("line 1: manifest has no schema version")?;
+    if schema > crate::SCHEMA_VERSION {
+        return Err(format!(
+            "trace schema {schema} is newer than supported {}",
+            crate::SCHEMA_VERSION
+        ));
+    }
+    let mut events = Vec::new();
+    for (i, line) in lines {
+        let ev = Json::parse(line).map_err(|e| format!("line {}: not valid JSON ({e})", i + 1))?;
+        events.push(ev);
+    }
+    Ok(Trace { manifest, events })
+}
+
+/// Renders a full report: manifest summary, every emitted table as
+/// EXPERIMENTS.md-style markdown, then counters (summed per name),
+/// gauges (last value per name), and a span timing summary.
+///
+/// # Errors
+/// See [`parse`].
+pub fn render(text: &str) -> Result<String, String> {
+    let trace = parse(text)?;
+    let mut out = String::new();
+
+    let tool = trace
+        .manifest
+        .get("tool")
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let _ = writeln!(out, "# Trace report — {tool}\n");
+    if let Json::Obj(pairs) = &trace.manifest {
+        for (k, v) in pairs {
+            if k == "type" {
+                continue;
+            }
+            let _ = writeln!(out, "- {k}: {}", scalar(v));
+        }
+    }
+
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut gauges: Vec<(String, f64)> = Vec::new();
+    let mut spans: Vec<(String, u64, u64)> = Vec::new(); // name, count, total_us
+    let mut tables = 0usize;
+
+    for ev in &trace.events {
+        let ty = ev.get("type").and_then(Json::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+        match ty {
+            "counter" => {
+                let v = ev.get("value").and_then(Json::as_u64).unwrap_or(0);
+                match counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += v,
+                    None => counters.push((name.to_string(), v)),
+                }
+            }
+            "gauge" => {
+                let v = ev.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                match gauges.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, last)) => *last = v,
+                    None => gauges.push((name.to_string(), v)),
+                }
+            }
+            "span_exit" => {
+                let us = ev.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+                match spans.iter_mut().find(|(n, _, _)| n == name) {
+                    Some((_, c, total)) => {
+                        *c += 1;
+                        *total += us;
+                    }
+                    None => spans.push((name.to_string(), 1, us)),
+                }
+            }
+            "table" => {
+                tables += 1;
+                let _ = writeln!(out, "\n## {name}\n");
+                out.push_str(&markdown_table(ev));
+            }
+            _ => {}
+        }
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\n## Counters\n");
+        let _ = writeln!(out, "| counter | total |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &counters {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "\n## Gauges (last value)\n");
+        let _ = writeln!(out, "| gauge | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &gauges {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\n## Spans\n");
+        let _ = writeln!(out, "| span | count | total ms |");
+        let _ = writeln!(out, "|---|---|---|");
+        for (n, c, us) in &spans {
+            let _ = writeln!(out, "| {n} | {c} | {:.2} |", *us as f64 / 1e3);
+        }
+    }
+    if tables == 0 && counters.is_empty() && gauges.is_empty() && spans.is_empty() {
+        let _ = writeln!(out, "\n(no events)");
+    }
+    Ok(out)
+}
+
+/// One table event as an EXPERIMENTS.md-style markdown table.
+fn markdown_table(ev: &Json) -> String {
+    let headers: Vec<&str> = ev
+        .get("headers")
+        .and_then(Json::as_arr)
+        .map(|hs| hs.iter().filter_map(Json::as_str).collect())
+        .unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}",
+        headers.iter().map(|_| "---|").collect::<String>()
+    );
+    if let Some(rows) = ev.get("rows").and_then(Json::as_arr) {
+        for row in rows {
+            let cells: Vec<&str> = row
+                .as_arr()
+                .map(|cs| cs.iter().filter_map(Json::as_str).collect())
+                .unwrap_or_default();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+    }
+    out
+}
+
+fn scalar(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"exp_demo\",\"git_rev\":\"abc\",\"seed\":7}\n",
+        "{\"type\":\"span_enter\",\"ts_us\":1,\"id\":1,\"name\":\"solve\"}\n",
+        "{\"type\":\"counter\",\"ts_us\":2,\"name\":\"solver.settled\",\"value\":10}\n",
+        "{\"type\":\"counter\",\"ts_us\":3,\"name\":\"solver.settled\",\"value\":5}\n",
+        "{\"type\":\"gauge\",\"ts_us\":4,\"name\":\"tightness\",\"value\":0.5}\n",
+        "{\"type\":\"gauge\",\"ts_us\":5,\"name\":\"tightness\",\"value\":0.9}\n",
+        "{\"type\":\"span_exit\",\"ts_us\":6,\"id\":1,\"name\":\"solve\",\"elapsed_us\":5000}\n",
+        "{\"type\":\"table\",\"ts_us\":7,\"name\":\"E-DEMO\",\"headers\":[\"d\",\"speedup\"],",
+        "\"rows\":[[\"4\",\"1.69\"],[\"8\",\"3.02\"]]}\n",
+    );
+
+    #[test]
+    fn parse_requires_manifest_first() {
+        assert!(parse(TRACE).is_ok());
+        assert!(parse("").is_err());
+        assert!(parse("{\"type\":\"counter\"}").is_err());
+        assert!(parse("not json").is_err());
+        let newer = TRACE.replace("\"schema\":1", "\"schema\":999");
+        assert!(parse(&newer).unwrap_err().contains("newer"));
+        let broken = format!("{TRACE}garbage\n");
+        assert!(parse(&broken).is_err());
+    }
+
+    #[test]
+    fn render_reproduces_markdown_table() {
+        let report = render(TRACE).unwrap();
+        assert!(report.contains("# Trace report — exp_demo"));
+        assert!(report.contains("- seed: 7"));
+        assert!(report.contains("## E-DEMO"));
+        assert!(report.contains("| d | speedup |"));
+        assert!(report.contains("| 4 | 1.69 |"));
+        assert!(report.contains("| 8 | 3.02 |"));
+        // Counters sum; gauges keep the last value; spans aggregate.
+        assert!(report.contains("| solver.settled | 15 |"));
+        assert!(report.contains("| tightness | 0.9 |"));
+        assert!(report.contains("| solve | 1 | 5.00 |"));
+    }
+
+    #[test]
+    fn render_handles_event_free_trace() {
+        let text = "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"t\",\"git_rev\":null}\n";
+        let report = render(text).unwrap();
+        assert!(report.contains("(no events)"));
+    }
+}

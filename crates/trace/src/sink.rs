@@ -1,0 +1,103 @@
+//! Trace sinks: where emitted JSONL lines go.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// A destination for trace lines. Each `line` is one complete JSON
+/// object **without** a trailing newline; sinks add their own framing.
+///
+/// Implementations must be `Send`: experiment sweeps emit from scoped
+/// worker threads through the global tracer's mutex.
+pub trait Sink: Send {
+    /// Records one JSONL line.
+    fn record(&mut self, line: &str);
+
+    /// Flushes buffered output (called on uninstall and [`crate::flush`]).
+    fn flush(&mut self) {}
+}
+
+/// A sink streaming lines to a buffered file — the standard destination
+/// for `TRACE_<tool>.jsonl` artifacts.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, line: &str) {
+        // Trace output is best-effort: losing a line must never abort
+        // the experiment producing it.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// An in-memory sink for tests: captured lines are shared through the
+/// handle returned by [`MemorySink::new`].
+#[derive(Debug)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A new sink plus the shared handle to its captured lines.
+    #[must_use]
+    pub fn new() -> (Self, Arc<Mutex<Vec<String>>>) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                lines: Arc::clone(&lines),
+            },
+            lines,
+        )
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, line: &str) {
+        self.lines.lock().unwrap().push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rbp_trace_sink_test_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record("{\"a\":1}");
+            sink.record("{\"b\":2}");
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_sink_captures() {
+        let (mut sink, lines) = MemorySink::new();
+        sink.record("x");
+        assert_eq!(*lines.lock().unwrap(), vec!["x".to_string()]);
+    }
+}

@@ -10,8 +10,8 @@
 //!   small fixed-size keys, where SipHash's per-call overhead dominates;
 //! - [`rng`]: a SplitMix64 generator with the handful of sampling
 //!   helpers the DAG generators and randomized tests need;
-//! - [`json`]: a minimal JSON document builder for `BENCH_*.json`
-//!   experiment artifacts.
+//! - [`json`]: a minimal JSON document builder and parser for
+//!   `BENCH_*.json` experiment artifacts and `TRACE_*.jsonl` traces.
 
 #![warn(missing_docs)]
 

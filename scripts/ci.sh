@@ -18,7 +18,13 @@ cargo build --offline --release --workspace --all-targets
 echo "== cargo test =="
 cargo test --offline --release -q
 
+echo "== cargo doc (missing docs are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
+
 echo "== quick solver sweep (equivalence + speedup smoke) =="
 ./target/release/exp_solver --quick
+
+echo "== trace report smoke (fixture round trip) =="
+./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"
 
 echo "CI OK"

@@ -7,9 +7,15 @@
 //! rbp bounds    <dag.txt> <k> <r> <g>          Lemma 1 bounds + feasibility
 //! rbp dot       <dag.txt>                      Graphviz DOT to stdout
 //! rbp gen       <family> [params…]             emit a generated DAG as text
+//! rbp report    <trace.jsonl>                  render a trace file as markdown
 //! ```
 //!
 //! DAG files use the `rbp_dag::io` text format (see crate docs).
+//!
+//! Every subcommand emits a structured trace when the `RBP_TRACE`
+//! environment variable names a destination file (`docs/SCHEMAS.md`
+//! documents the JSONL schema); `rbp report` renders such a file back
+//! into the tables and counters it contains.
 
 use std::process::ExitCode;
 
@@ -20,16 +26,41 @@ use rbp::schedulers::all_schedulers;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    init_trace(&args);
+    let result = run(&args);
+    rbp::trace::uninstall();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: rbp <stats|schedule|solve|bounds|dot|gen> …  (see --help in src/bin/rbp.rs)"
+                "usage: rbp <stats|schedule|solve|bounds|dot|gen|report> …  (see --help in src/bin/rbp.rs)"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Installs a JSONL trace sink when `RBP_TRACE` names a destination
+/// path (`0`, `off`, or empty disables; the CLI defaults to no trace,
+/// unlike the experiment binaries which trace by default).
+fn init_trace(args: &[String]) {
+    let Ok(path) = std::env::var("RBP_TRACE") else {
+        return;
+    };
+    if path.is_empty() || path == "0" || path.eq_ignore_ascii_case("off") {
+        return;
+    }
+    let Ok(sink) = rbp::trace::JsonlSink::create(std::path::Path::new(&path)) else {
+        eprintln!("warning: could not create trace file {path}");
+        return;
+    };
+    let fields: Vec<rbp::trace::Json> = args
+        .iter()
+        .map(|a| rbp::trace::Json::from(a.as_str()))
+        .collect();
+    let manifest = rbp::trace::Manifest::new("rbp").field("args", rbp::trace::Json::Arr(fields));
+    rbp::trace::install(Box::new(sink), manifest);
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -112,6 +143,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => {
             let dag = load(args.get(1))?;
             print!("{}", dot::to_dot(&dag, &dot::DotOptions::default()));
+            Ok(())
+        }
+        "report" => {
+            let path = args.get(1).ok_or("report: missing trace file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let rendered = rbp::trace::report::render(&text)?;
+            print!("{rendered}");
             Ok(())
         }
         "gen" => {

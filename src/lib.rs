@@ -20,6 +20,8 @@ pub use rbp_dag as dag;
 pub use rbp_gadgets as gadgets;
 /// Heuristic schedulers producing valid strategies.
 pub use rbp_schedulers as schedulers;
+/// Structured observability: trace events, sinks, manifests, reports.
+pub use rbp_trace as trace;
 /// Zero-dependency utilities (hashing, RNG, JSON) used by the tests and
 /// experiment harness.
 pub use rbp_util as util;

@@ -1,0 +1,41 @@
+//! Integration test: `rbp report` rendering of the checked-in fixture
+//! trace (the same file the CI smoke step feeds to the binary).
+
+use rbp::trace::report::{parse, render};
+
+const FIXTURE: &str = include_str!("fixtures/trace_small.jsonl");
+
+#[test]
+fn fixture_parses_with_manifest() {
+    let trace = parse(FIXTURE).unwrap();
+    assert_eq!(
+        trace.manifest.get("tool").unwrap().as_str(),
+        Some("fixture")
+    );
+    assert_eq!(trace.manifest.get("schema").unwrap().as_u64(), Some(1));
+    assert_eq!(trace.events.len(), 8);
+}
+
+#[test]
+fn fixture_renders_tables_counters_gauges_and_spans() {
+    let md = render(FIXTURE).unwrap();
+    // The table event is reproduced as a markdown table.
+    assert!(md.contains("## E0"), "{md}");
+    assert!(md.contains("| dag | k | OPT |"), "{md}");
+    assert!(md.contains("| chain(4) | 2 | 2 |"), "{md}");
+    // Counter deltas are summed per name (12 + 3).
+    assert!(md.contains("| solver.mpp.settled | 15 |"), "{md}");
+    // Gauges keep the last value; spans report count + total time.
+    assert!(md.contains("solver.mpp.frontier_peak"), "{md}");
+    assert!(md.contains("| solve.mpp | 1 |"), "{md}");
+}
+
+#[test]
+fn truncated_trace_is_rejected() {
+    // No manifest first line → refuse.
+    let bogus = "{\"type\":\"counter\",\"ts_us\":1,\"name\":\"x\",\"value\":1}\n";
+    assert!(parse(bogus).is_err());
+    // A newer schema than this build understands → refuse.
+    let future = "{\"type\":\"manifest\",\"schema\":999,\"tool\":\"t\",\"git_rev\":null}\n";
+    assert!(parse(future).is_err());
+}
