@@ -11,6 +11,7 @@ use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::generators;
 use rbp_core::{async_makespan, MppInstance};
 use rbp_schedulers::all_schedulers;
+use rbp_util::env_seed;
 
 fn main() {
     rbp_bench::init_trace("exp_async", &[]);
@@ -20,7 +21,7 @@ fn main() {
         ("grid(6x6)".to_string(), generators::grid(6, 6)),
         (
             "layered(6,8,3)".to_string(),
-            generators::layered_random(6, 8, 3, 7),
+            generators::layered_random(6, 8, 3, 7 + env_seed(0)),
         ),
         (
             "chains(4x16)".to_string(),

@@ -5,6 +5,7 @@ use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::{generators, Dag, DagStats};
 use rbp_core::MppInstance;
 use rbp_schedulers::all_schedulers;
+use rbp_util::env_seed;
 
 fn main() {
     rbp_bench::init_trace("exp_bounds", &[]);
@@ -18,7 +19,7 @@ fn main() {
         ("grid(6x6)".into(), generators::grid(6, 6)),
         (
             "layered(6,8,3)".into(),
-            generators::layered_random(6, 8, 3, 7),
+            generators::layered_random(6, 8, 3, 7 + env_seed(0)),
         ),
         ("chains(4x16)".into(), generators::independent_chains(4, 16)),
     ];

@@ -16,6 +16,7 @@ use std::time::Instant;
 use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::{generators, Dag};
 use rbp_core::{solve_mpp_with, MppInstance, SearchConfig, SearchStats};
+use rbp_util::env_seed;
 use rbp_util::json::Json;
 
 struct Case {
@@ -58,7 +59,7 @@ fn grid_cases(quick: bool) -> Vec<Case> {
     }
     push(generators::grid(3, 3), "grid3x3", 2, 3, 1);
     push(
-        generators::layered_random(3, 3, 2, 7),
+        generators::layered_random(3, 3, 2, 7 + env_seed(0)),
         "layered3x3",
         2,
         3,

@@ -8,6 +8,7 @@ use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::generators;
 use rbp_core::{MppInstance, MppRunStats};
 use rbp_schedulers::all_schedulers;
+use rbp_util::env_seed;
 
 fn main() {
     rbp_bench::init_trace("exp_surplus", &[]);
@@ -15,7 +16,7 @@ fn main() {
         "E14",
         "surplus cost (Def. 1): io / imbalance / recompute decomposition",
     );
-    let dag = generators::layered_random(6, 8, 3, 13);
+    let dag = generators::layered_random(6, 8, 3, 13 + env_seed(0));
     let inst = MppInstance::new(&dag, 4, 4, 3);
     let rows = par_sweep(all_schedulers(), |s| {
         let run = s.schedule(&inst).expect("scheduler runs");

@@ -144,6 +144,12 @@ pub fn init_trace(tool: &str, extra: &[(&str, rbp_trace::Json)]) {
         .map(|a| rbp_trace::Json::from(a.as_str()))
         .collect();
     let mut manifest = rbp_trace::Manifest::new(tool).field("args", rbp_trace::Json::Arr(args));
+    if !extra.iter().any(|(k, _)| *k == "seed") {
+        // Every experiment derives its randomness from RBP_SEED (see
+        // rbp_util::env_seed); record the effective base seed so a trace
+        // identifies the exact rerun command.
+        manifest = manifest.field("seed", rbp_util::env_seed(0));
+    }
     for (k, v) in extra {
         manifest = manifest.field(k, v.clone());
     }

@@ -140,6 +140,20 @@ pub fn validate(instance: &MppInstance, moves: &[MppMove]) -> Result<Cost, MppEr
     Ok(cost)
 }
 
+/// Applies one move to `config` if legal in `instance`, mutating
+/// `config` only on success. This is the single-step replay primitive
+/// behind [`validate`]; it is public so strategy transformers (e.g. the
+/// `rbp-refine` neighborhood model) can reconstruct the configuration
+/// at an arbitrary step without re-validating the whole prefix through
+/// a simulator.
+pub fn apply_move(
+    instance: &MppInstance,
+    config: &mut Configuration,
+    mv: &MppMove,
+) -> Result<(), MppErrorKind> {
+    apply_checked(instance, config, mv)
+}
+
 /// Applies one move to `config` if legal in `instance`.
 pub(crate) fn apply_checked(
     instance: &MppInstance,

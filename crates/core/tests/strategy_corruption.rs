@@ -1,0 +1,379 @@
+//! Corruption fuzzing for the MPP validator.
+//!
+//! Starts from provably valid strategies (a slack baseline: load inputs,
+//! compute, store, clean up — one node at a time), then applies targeted
+//! random corruptions — drop a load, reorder a dependent compute, evict
+//! a needed red pebble, overfill fast memory, drop a store that is later
+//! loaded, duplicate I/O, strip a sink's pebbles, mangle a shaded
+//! selection — and asserts `mpp::strategy::validate` rejects every
+//! mutant with the *specific* [`MppErrorKind`] variant that corruption
+//! must produce. Site choice is randomized through the seeded rbp-util
+//! RNG, so each run explores different mutants deterministically.
+
+use rbp_core::rbp_dag::{generators, Dag, NodeId};
+use rbp_core::{validate_mpp, MppErrorKind, MppInstance, MppMove, Pebble};
+use rbp_util::Rng;
+
+/// The slack baseline: processors round-robin over the topological
+/// order; each node's inputs are loaded fresh, the value is computed,
+/// stored, and every red involved is removed. Ends with every value
+/// blue and no reds — terminal, and maximally corruptible (every load,
+/// store, and remove is load-bearing).
+fn baseline(dag: &Dag, k: usize) -> Vec<MppMove> {
+    let mut moves = Vec::new();
+    for (i, &v) in dag.topo().order().iter().enumerate() {
+        let p = i % k;
+        for &u in dag.preds(v) {
+            moves.push(MppMove::load1(p, u));
+        }
+        moves.push(MppMove::compute1(p, v));
+        moves.push(MppMove::store1(p, v));
+        for &u in dag.preds(v) {
+            moves.push(MppMove::Remove(Pebble::Red(p, u)));
+        }
+        moves.push(MppMove::Remove(Pebble::Red(p, v)));
+    }
+    moves
+}
+
+/// Indices of singleton loads in `moves`.
+fn load_sites(moves: &[MppMove]) -> Vec<usize> {
+    (0..moves.len())
+        .filter(|&i| matches!(moves[i], MppMove::Load(_)))
+        .collect()
+}
+
+/// `(index, proc, node)` of the singleton load at `i`.
+fn load_at(moves: &[MppMove], i: usize) -> (usize, NodeId) {
+    match &moves[i] {
+        MppMove::Load(b) => (b[0].0, b[0].1),
+        _ => unreachable!("site index points at a load"),
+    }
+}
+
+/// One corruption applied to a copy of the baseline, plus the exact
+/// error variant the validator must report for it.
+struct Mutant {
+    name: &'static str,
+    moves: Vec<MppMove>,
+    check: Box<dyn Fn(&MppErrorKind) -> bool>,
+}
+
+/// Builds every applicable corruption of `moves` (sites picked through
+/// `rng`). Skips corruption kinds whose preconditions the instance
+/// cannot meet (e.g. `DuplicateVertex` needs `k ≥ 2`).
+#[allow(clippy::too_many_lines)]
+fn corruptions(dag: &Dag, inst: &MppInstance, moves: &[MppMove], rng: &mut Rng) -> Vec<Mutant> {
+    let k = inst.k;
+    let r = inst.r;
+    let n = dag.n();
+    let loads = load_sites(moves);
+    let mut out: Vec<Mutant> = Vec::new();
+    let mut push = |name, moves, check: Box<dyn Fn(&MppErrorKind) -> bool>| {
+        out.push(Mutant { name, moves, check });
+    };
+
+    // 1. Drop a load: the dependent compute on the same shade lacks it.
+    if !loads.is_empty() {
+        let i = loads[rng.index(loads.len())];
+        let (p, u) = load_at(moves, i);
+        let mut m = moves.to_vec();
+        m.remove(i);
+        push(
+            "drop-load",
+            m,
+            Box::new(move |e| {
+                matches!(e, MppErrorKind::MissingInput { proc, missing, .. }
+                    if *proc == p && *missing == u)
+            }),
+        );
+    }
+
+    // 2. Reorder a dependent compute before its own input loads.
+    let dependents: Vec<usize> = (0..moves.len())
+        .filter(|&i| match &moves[i] {
+            MppMove::Compute(b) => !dag.preds(b[0].1).is_empty(),
+            _ => false,
+        })
+        .collect();
+    if !dependents.is_empty() {
+        let i = dependents[rng.index(dependents.len())];
+        let v = match &moves[i] {
+            MppMove::Compute(b) => b[0].1,
+            _ => unreachable!(),
+        };
+        let mut m = moves.to_vec();
+        let mv = m.remove(i);
+        // The baseline emits the node's loads immediately before it.
+        m.insert(i - dag.preds(v).len(), mv);
+        push(
+            "reorder-compute",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::MissingInput { node, .. } if *node == v)),
+        );
+    }
+
+    // 3. Evict a needed red right after it is loaded.
+    if !loads.is_empty() {
+        let i = loads[rng.index(loads.len())];
+        let (p, u) = load_at(moves, i);
+        let mut m = moves.to_vec();
+        m.insert(i + 1, MppMove::Remove(Pebble::Red(p, u)));
+        push(
+            "evict-needed-red",
+            m,
+            Box::new(move |e| {
+                matches!(e, MppErrorKind::MissingInput { proc, missing, .. }
+                    if *proc == p && *missing == u)
+            }),
+        );
+    }
+
+    // 4. Overfill fast memory: r + 1 distinct loads onto one shade (the
+    //    baseline ends with every value blue and every shade empty).
+    if n > r {
+        let mut m = moves.to_vec();
+        for v in dag.topo().order().iter().take(r + 1) {
+            m.push(MppMove::load1(0, *v));
+        }
+        push(
+            "overfill-memory",
+            m,
+            Box::new(
+                move |e| matches!(e, MppErrorKind::MemoryExceeded { proc: 0, r: got } if *got == r),
+            ),
+        );
+    }
+
+    // 5. Drop the store of a value that is loaded later.
+    let stored_then_loaded: Vec<(usize, NodeId)> = (0..moves.len())
+        .filter_map(|i| match &moves[i] {
+            MppMove::Store(b) if !dag.succs(b[0].1).is_empty() => Some((i, b[0].1)),
+            _ => None,
+        })
+        .collect();
+    if !stored_then_loaded.is_empty() {
+        let (i, u) = stored_then_loaded[rng.index(stored_then_loaded.len())];
+        let mut m = moves.to_vec();
+        m.remove(i);
+        push(
+            "drop-store-later-loaded",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::LoadWithoutBlue(x) if *x == u)),
+        );
+    }
+
+    // 6. Drop a sink's store: its red is cleaned up afterwards, so the
+    //    final configuration leaves the sink bare.
+    let sink_stores: Vec<(usize, NodeId)> = (0..moves.len())
+        .filter_map(|i| match &moves[i] {
+            MppMove::Store(b) if dag.succs(b[0].1).is_empty() => Some((i, b[0].1)),
+            _ => None,
+        })
+        .collect();
+    if !sink_stores.is_empty() {
+        let (i, s) = sink_stores[rng.index(sink_stores.len())];
+        let mut m = moves.to_vec();
+        m.remove(i);
+        push(
+            "drop-sink-store",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::NotTerminal(x) if *x == s)),
+        );
+    }
+
+    // 7./8. Duplicate a load / a store: the pebble already exists.
+    if !loads.is_empty() {
+        let i = loads[rng.index(loads.len())];
+        let (_, u) = load_at(moves, i);
+        let mut m = moves.to_vec();
+        m.insert(i + 1, m[i].clone());
+        push(
+            "duplicate-load",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::AlreadyPebbled(x) if *x == u)),
+        );
+    }
+    let stores: Vec<(usize, NodeId)> = (0..moves.len())
+        .filter_map(|i| match &moves[i] {
+            MppMove::Store(b) => Some((i, b[0].1)),
+            _ => None,
+        })
+        .collect();
+    {
+        let (i, v) = stores[rng.index(stores.len())];
+        let mut m = moves.to_vec();
+        m.insert(i + 1, m[i].clone());
+        push(
+            "duplicate-store",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::AlreadyPebbled(x) if *x == v)),
+        );
+    }
+
+    // 9. Strip a sink's last pebble at the very end.
+    {
+        let sinks = dag.sinks();
+        let s = sinks[rng.index(sinks.len())];
+        let mut m = moves.to_vec();
+        m.push(MppMove::Remove(Pebble::Blue(s)));
+        push(
+            "strip-sink-pebble",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::NotTerminal(x) if *x == s)),
+        );
+    }
+
+    // 10. Remove a pebble that is not on the board.
+    {
+        let v = NodeId(rng.index(n) as u32);
+        let mut m = moves.to_vec();
+        m.insert(0, MppMove::Remove(Pebble::Red(0, v)));
+        push(
+            "remove-absent",
+            m,
+            Box::new(
+                move |e| matches!(e, MppErrorKind::RemoveAbsent(Pebble::Red(0, x)) if *x == v),
+            ),
+        );
+    }
+
+    // 11. Store a value the shade does not hold.
+    {
+        let v = NodeId(rng.index(n) as u32);
+        let mut m = moves.to_vec();
+        m.insert(0, MppMove::store1(0, v));
+        push(
+            "store-without-red",
+            m,
+            Box::new(
+                move |e| matches!(e, MppErrorKind::StoreWithoutRed { proc: 0, node } if *node == v),
+            ),
+        );
+    }
+
+    // 12.–15. Mangle a shaded selection: duplicate processor, duplicate
+    //         vertex, out-of-range processor, empty batch.
+    if !loads.is_empty() {
+        let i = loads[rng.index(loads.len())];
+        let (p, u) = load_at(moves, i);
+        let other = dag
+            .nodes()
+            .find(|&w| w != u)
+            .expect("test DAGs have at least two nodes");
+        let mut m = moves.to_vec();
+        m[i] = MppMove::Load(vec![(p, u), (p, other)]);
+        push(
+            "duplicate-processor-in-batch",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::DuplicateProcessor(q) if *q == p)),
+        );
+        if k >= 2 {
+            let mut m = moves.to_vec();
+            m[i] = MppMove::Load(vec![(p, u), ((p + 1) % k, u)]);
+            push(
+                "duplicate-vertex-in-batch",
+                m,
+                Box::new(move |e| matches!(e, MppErrorKind::DuplicateVertex(x) if *x == u)),
+            );
+        }
+        let mut m = moves.to_vec();
+        m[i] = MppMove::load1(k, u);
+        push(
+            "bad-processor",
+            m,
+            Box::new(move |e| matches!(e, MppErrorKind::BadProcessor(q) if *q == k)),
+        );
+        let mut m = moves.to_vec();
+        m[i] = MppMove::Compute(vec![]);
+        push(
+            "empty-selection",
+            m,
+            Box::new(|e| matches!(e, MppErrorKind::EmptySelection)),
+        );
+    }
+
+    out
+}
+
+/// Runs the whole corruption sweep for one seed, returning a transcript
+/// `(family, corruption, step, kind)` for the determinism check.
+fn sweep(seed: u64) -> Vec<(String, &'static str, usize, String)> {
+    let mut rng = Rng::new(seed);
+    let mut transcript = Vec::new();
+    for dag in [
+        generators::chain(5),
+        generators::independent_chains(2, 3),
+        generators::binary_in_tree(4),
+        generators::grid(3, 3),
+        generators::layered_random(3, 4, 2, 11),
+    ] {
+        for k in [1usize, 2, 3] {
+            let r = dag.max_in_degree() + 1;
+            let inst = MppInstance::new(&dag, k, r, 1);
+            let moves = baseline(&dag, k);
+            validate_mpp(&inst, &moves).expect("the uncorrupted baseline is valid");
+            // Several rounds so the random site choices get exercised.
+            for _ in 0..8 {
+                for mutant in corruptions(&dag, &inst, &moves, &mut rng) {
+                    let err = validate_mpp(&inst, &mutant.moves).err().unwrap_or_else(|| {
+                        panic!(
+                            "{} k={k}: corruption `{}` was not rejected",
+                            dag.name(),
+                            mutant.name
+                        )
+                    });
+                    assert!(
+                        (mutant.check)(&err.kind),
+                        "{} k={k}: corruption `{}` rejected with the wrong variant: {:?}",
+                        dag.name(),
+                        mutant.name,
+                        err.kind
+                    );
+                    transcript.push((
+                        dag.name().to_string(),
+                        mutant.name,
+                        err.step,
+                        format!("{:?}", err.kind),
+                    ));
+                }
+            }
+        }
+    }
+    transcript
+}
+
+#[test]
+fn every_corruption_is_rejected_with_the_right_variant() {
+    let transcript = sweep(0xC0_44_09);
+    // Every corruption kind fired at least once across the families.
+    for name in [
+        "drop-load",
+        "reorder-compute",
+        "evict-needed-red",
+        "overfill-memory",
+        "drop-store-later-loaded",
+        "drop-sink-store",
+        "duplicate-load",
+        "duplicate-store",
+        "strip-sink-pebble",
+        "remove-absent",
+        "store-without-red",
+        "duplicate-processor-in-batch",
+        "duplicate-vertex-in-batch",
+        "bad-processor",
+        "empty-selection",
+    ] {
+        assert!(
+            transcript.iter().any(|(_, c, _, _)| *c == name),
+            "corruption `{name}` never applied"
+        );
+    }
+}
+
+#[test]
+fn corruption_sweep_is_seed_deterministic() {
+    assert_eq!(sweep(7), sweep(7));
+    // And a different seed picks at least some different sites.
+    assert_ne!(sweep(7), sweep(8));
+}

@@ -1,0 +1,441 @@
+//! The neighborhood model: validity-preserving local moves over MPP
+//! strategies.
+//!
+//! A *local move* edits a valid strategy's move list a little — swapping
+//! adjacent steps, deleting dead I/O, changing an eviction victim,
+//! trading a load for a recomputation, re-assigning a batch entry to
+//! another processor, or re-batching the whole list. Every candidate
+//! produced here is replayed through the rule-enforcing
+//! [`rbp_core::mpp::strategy::validate`] before it can be accepted, so
+//! an illegal neighbor surfaces as a rejected proposal (counted under
+//! `refine.invalid.*`), never as a silently wrong cost.
+//!
+//! Moves are *targeted* rather than blind: generators replay the prefix
+//! configuration where a precondition matters (e.g. recomputation needs
+//! the inputs red, a victim change needs the new victim on the board),
+//! which keeps the share of validator-rejected proposals low.
+
+use rbp_core::{
+    batchify, validate_mpp, Configuration, MppInstance, MppMove, MppStrategy, Pebble, ProcId,
+};
+use rbp_dag::NodeId;
+use rbp_util::Rng;
+
+/// The kinds of local moves, used for acceptance accounting
+/// (`refine.proposed.<kind>` / `refine.accepted.<kind>` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Swap two adjacent, independent steps (cost-neutral; unlocks
+    /// merges and deletions).
+    SwapAdjacent,
+    /// Delete one whole step (saves its full rule cost).
+    DropStep,
+    /// Delete one entry from a multi-entry batch (cost-neutral; the
+    /// smaller batch often makes a later step deletable).
+    DropEntry,
+    /// Re-assign one batch entry to a different processor.
+    Reassign,
+    /// Replace a single-entry load with a recomputation (saves `g - 1`
+    /// when the inputs are already resident).
+    Recompute,
+    /// Point an eviction at a different resident red pebble.
+    ChangeVictim,
+    /// Re-run [`rbp_core::batchify`] over the whole strategy.
+    Batchify,
+    /// Ruin-and-recreate: truncate at a cut point and greedily
+    /// reschedule the rest (the large neighborhood; see
+    /// [`crate::recreate`]).
+    RuinRecreate,
+}
+
+impl MoveKind {
+    /// All kinds, in a fixed order (for counter registration).
+    pub const ALL: [MoveKind; 8] = [
+        MoveKind::SwapAdjacent,
+        MoveKind::DropStep,
+        MoveKind::DropEntry,
+        MoveKind::Reassign,
+        MoveKind::Recompute,
+        MoveKind::ChangeVictim,
+        MoveKind::Batchify,
+        MoveKind::RuinRecreate,
+    ];
+
+    /// Stable lowercase name used in trace counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MoveKind::SwapAdjacent => "swap_adjacent",
+            MoveKind::DropStep => "drop_step",
+            MoveKind::DropEntry => "drop_entry",
+            MoveKind::Reassign => "reassign",
+            MoveKind::Recompute => "recompute",
+            MoveKind::ChangeVictim => "change_victim",
+            MoveKind::Batchify => "batchify",
+            MoveKind::RuinRecreate => "ruin_recreate",
+        }
+    }
+}
+
+/// A proposed neighbor: the edited move list plus the kind of edit that
+/// produced it. Candidates are *not* yet known to be valid — run them
+/// through [`Neighborhood::evaluate`].
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Which local move produced this neighbor.
+    pub kind: MoveKind,
+    /// The edited move list.
+    pub moves: Vec<MppMove>,
+}
+
+/// Move generator bound to one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighborhood<'a> {
+    instance: MppInstance<'a>,
+}
+
+impl<'a> Neighborhood<'a> {
+    /// A neighborhood over strategies for `instance`.
+    #[must_use]
+    pub fn new(instance: MppInstance<'a>) -> Self {
+        Neighborhood { instance }
+    }
+
+    /// The instance this neighborhood validates against.
+    #[must_use]
+    pub fn instance(&self) -> &MppInstance<'a> {
+        &self.instance
+    }
+
+    /// Replays `moves` through the rule validator and returns the total
+    /// cost, or `None` if the candidate breaks a rule (an invalid
+    /// neighbor — rejected, never accepted with a guessed cost).
+    #[must_use]
+    pub fn evaluate(&self, moves: &[MppMove]) -> Option<u64> {
+        validate_mpp(&self.instance, moves)
+            .ok()
+            .map(|c| c.total(self.instance.model))
+    }
+
+    /// Proposes one random small neighbor of `moves` (everything except
+    /// the [`MoveKind::RuinRecreate`] large neighborhood, which needs
+    /// its own rescheduling pass). Returns `None` when the strategy is
+    /// too short to edit or the dice landed on an inapplicable site.
+    #[must_use]
+    pub fn propose(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        if moves.is_empty() {
+            return None;
+        }
+        match rng.index(7) {
+            0 => self.swap_adjacent(moves, rng),
+            1 => self.drop_step(moves, rng),
+            2 => self.drop_entry(moves, rng),
+            3 => self.reassign(moves, rng),
+            4 => self.recompute(moves, rng),
+            5 => self.change_victim(moves, rng),
+            _ => self.batchify_pass(moves),
+        }
+    }
+
+    /// Swaps `moves[i]` and `moves[i+1]` for a random `i`. Skipped when
+    /// the two steps are identical (a no-op neighbor).
+    fn swap_adjacent(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        if moves.len() < 2 {
+            return None;
+        }
+        let i = rng.index(moves.len() - 1);
+        if moves[i] == moves[i + 1] {
+            return None;
+        }
+        let mut out = moves.to_vec();
+        out.swap(i, i + 1);
+        Some(Candidate {
+            kind: MoveKind::SwapAdjacent,
+            moves: out,
+        })
+    }
+
+    /// Deletes one whole step, preferring costed steps (I/O or compute)
+    /// whose removal is an immediate saving; removals (free) are also
+    /// deletable, which de-clutters the list for other moves.
+    fn drop_step(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        let i = rng.index(moves.len());
+        let mut out = moves.to_vec();
+        out.remove(i);
+        Some(Candidate {
+            kind: MoveKind::DropStep,
+            moves: out,
+        })
+    }
+
+    /// Deletes one entry of a multi-entry batch (the step survives with
+    /// the same cost; the dropped pebble movement may unlock a later
+    /// [`MoveKind::DropStep`]).
+    fn drop_entry(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        let i = rng.index(moves.len());
+        let batch = match &moves[i] {
+            MppMove::Store(b) | MppMove::Load(b) | MppMove::Compute(b) if b.len() > 1 => b,
+            _ => return None,
+        };
+        let e = rng.index(batch.len());
+        let mut nb = batch.clone();
+        nb.remove(e);
+        let mut out = moves.to_vec();
+        out[i] = rebuild(&moves[i], nb);
+        Some(Candidate {
+            kind: MoveKind::DropEntry,
+            moves: out,
+        })
+    }
+
+    /// Re-assigns one batch entry `(p, v)` to a different processor not
+    /// already in the batch. Downstream steps still reference the old
+    /// shade, so this mostly survives validation when the value's later
+    /// uses are shade-independent (stores already made, sink coverage).
+    fn reassign(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        let k = self.instance.k;
+        if k < 2 {
+            return None;
+        }
+        let i = rng.index(moves.len());
+        let batch = match &moves[i] {
+            MppMove::Store(b) | MppMove::Load(b) | MppMove::Compute(b) => b,
+            MppMove::Remove(_) => return None,
+        };
+        let e = rng.index(batch.len());
+        let q = rng.index(k);
+        if q == batch[e].0 || batch.iter().any(|&(p, _)| p == q) {
+            return None;
+        }
+        let mut nb = batch.clone();
+        nb[e].0 = q;
+        let mut out = moves.to_vec();
+        out[i] = rebuild(&moves[i], nb);
+        Some(Candidate {
+            kind: MoveKind::Reassign,
+            moves: out,
+        })
+    }
+
+    /// Replaces a single-entry load `(p, v)` with a compute `(p, v)`
+    /// when all of `v`'s inputs are red on `p` at that point (checked by
+    /// replaying the prefix). Saves `g - compute` per hit.
+    fn recompute(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        if self.instance.model.g <= self.instance.model.compute {
+            return None;
+        }
+        let i = rng.index(moves.len());
+        let (p, v) = match &moves[i] {
+            MppMove::Load(b) if b.len() == 1 => b[0],
+            _ => return None,
+        };
+        let config = self.config_before(moves, i)?;
+        let all_red = self
+            .instance
+            .dag
+            .preds(v)
+            .iter()
+            .all(|&u| config.reds[p].contains(u));
+        if !all_red {
+            return None;
+        }
+        let mut out = moves.to_vec();
+        out[i] = MppMove::compute1(p, v);
+        Some(Candidate {
+            kind: MoveKind::Recompute,
+            moves: out,
+        })
+    }
+
+    /// Picks an eviction step `Remove(Red(p, v))` and swaps its victim
+    /// for another red pebble resident on `p` at that point.
+    /// Cost-neutral, but redirecting evictions is how load/recompute
+    /// savings become reachable.
+    fn change_victim(&self, moves: &[MppMove], rng: &mut Rng) -> Option<Candidate> {
+        let i = rng.index(moves.len());
+        let (p, v) = match &moves[i] {
+            MppMove::Remove(Pebble::Red(p, v)) => (*p, *v),
+            _ => return None,
+        };
+        let config = self.config_before(moves, i)?;
+        let resident: Vec<NodeId> = config.reds[p].iter().filter(|&u| u != v).collect();
+        if resident.is_empty() {
+            return None;
+        }
+        let u = resident[rng.index(resident.len())];
+        let mut out = moves.to_vec();
+        out[i] = MppMove::Remove(Pebble::Red(p, u));
+        Some(Candidate {
+            kind: MoveKind::ChangeVictim,
+            moves: out,
+        })
+    }
+
+    /// Re-batches the whole strategy with [`rbp_core::batchify`]; only
+    /// proposed when the input is valid (it always is for incumbents).
+    fn batchify_pass(&self, moves: &[MppMove]) -> Option<Candidate> {
+        let strategy = MppStrategy::from_moves(moves.to_vec());
+        let merged = batchify(&self.instance, &strategy);
+        if merged.moves == moves {
+            return None;
+        }
+        Some(Candidate {
+            kind: MoveKind::Batchify,
+            moves: merged.moves,
+        })
+    }
+
+    /// Replays `moves[..i]` and returns the configuration before step
+    /// `i`, or `None` if the prefix is itself invalid (cannot happen for
+    /// incumbents, which are always validated).
+    fn config_before(&self, moves: &[MppMove], i: usize) -> Option<Configuration> {
+        let mut config = Configuration::initial(self.instance.dag, self.instance.k);
+        for mv in &moves[..i] {
+            rbp_core::mpp::strategy::apply_move(&self.instance, &mut config, mv).ok()?;
+        }
+        Some(config)
+    }
+}
+
+/// Rebuilds a batch move of the same type as `like` around `batch`.
+fn rebuild(like: &MppMove, batch: Vec<(ProcId, NodeId)>) -> MppMove {
+    match like {
+        MppMove::Store(_) => MppMove::Store(batch),
+        MppMove::Load(_) => MppMove::Load(batch),
+        MppMove::Compute(_) => MppMove::Compute(batch),
+        MppMove::Remove(p) => MppMove::Remove(*p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::MppSimulator;
+    use rbp_dag::generators;
+
+    /// Baseline strategy builder (load/compute/store per node) used as a
+    /// deliberately slack starting point.
+    fn baseline(inst: &MppInstance) -> Vec<MppMove> {
+        let dag = inst.dag;
+        let mut sim = MppSimulator::new(*inst);
+        for (i, &v) in dag.topo().order().iter().enumerate() {
+            let p = i % inst.k;
+            for &u in dag.preds(v) {
+                sim.load(vec![(p, u)]).unwrap();
+            }
+            sim.compute(vec![(p, v)]).unwrap();
+            sim.store(vec![(p, v)]).unwrap();
+            for &u in dag.preds(v) {
+                sim.remove_red(p, u).unwrap();
+            }
+            sim.remove_red(p, v).unwrap();
+        }
+        sim.finish().unwrap().strategy.moves
+    }
+
+    #[test]
+    fn accepted_candidates_always_revalidate() {
+        let dag = generators::grid(3, 3);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let nb = Neighborhood::new(inst);
+        let mut rng = Rng::new(42);
+        let mut current = baseline(&inst);
+        let mut cur_total = nb.evaluate(&current).unwrap();
+        let mut accepted = 0;
+        for _ in 0..3000 {
+            let Some(c) = nb.propose(&current, &mut rng) else {
+                continue;
+            };
+            if let Some(total) = nb.evaluate(&c.moves) {
+                // evaluate == full rule validation; re-check agreement
+                // with an independent validate call.
+                let again = validate_mpp(&inst, &c.moves).unwrap();
+                assert_eq!(again.total(inst.model), total);
+                if total <= cur_total {
+                    current = c.moves;
+                    cur_total = total;
+                    accepted += 1;
+                }
+            }
+        }
+        assert!(accepted > 0, "neighborhood never produced a valid accept");
+    }
+
+    #[test]
+    fn drop_step_finds_dead_io() {
+        // Baseline stores every value; values never loaded again are
+        // dead stores the neighborhood must be able to delete.
+        let dag = generators::chain(4);
+        let inst = MppInstance::new(&dag, 1, 2, 3);
+        let nb = Neighborhood::new(inst);
+        let start = baseline(&inst);
+        let start_total = nb.evaluate(&start).unwrap();
+        let mut rng = Rng::new(7);
+        let mut best = start_total;
+        let mut current = start;
+        for _ in 0..4000 {
+            if let Some(c) = nb.propose(&current, &mut rng) {
+                if let Some(t) = nb.evaluate(&c.moves) {
+                    if t <= best {
+                        best = t;
+                        current = c.moves;
+                    }
+                }
+            }
+        }
+        // Chain on one processor: only the sink's pebble is needed at
+        // the end, so some of the baseline's stores/reloads are dead
+        // weight the small moves must be able to shave. (Deleting a
+        // store *and* its matching reload is a two-step edit whose
+        // halves are individually invalid — that coupled deletion is
+        // exactly what the ruin-and-recreate large neighborhood is for,
+        // exercised below.)
+        assert!(best < start_total, "no dead I/O deleted");
+        let rebuilt = crate::recreate::ruin_recreate(&inst, &current, 0, &mut rng).unwrap();
+        let total = nb.evaluate(&rebuilt.strategy.moves).unwrap();
+        assert_eq!(total, 4, "greedy rebuild leaves only the 4 computes");
+    }
+
+    #[test]
+    fn recompute_trades_load_for_compute() {
+        // p0 computes v0, stores, evicts, reloads it for v1: the reload
+        // has its input... no — recompute applies where preds are red.
+        // Construct directly: compute v0, store v0, remove v0, load v0,
+        // compute v1. The load (g=5) can become a recompute (1) since
+        // v0 is a source (no preds).
+        let dag = rbp_dag::dag_from_edges(2, &[(0, 1)]);
+        let inst = MppInstance::new(&dag, 1, 2, 5);
+        let v = |i: u32| NodeId(i);
+        let moves = vec![
+            MppMove::compute1(0, v(0)),
+            MppMove::store1(0, v(0)),
+            MppMove::Remove(Pebble::Red(0, v(0))),
+            MppMove::load1(0, v(0)),
+            MppMove::compute1(0, v(1)),
+        ];
+        let nb = Neighborhood::new(inst);
+        let before = nb.evaluate(&moves).unwrap();
+        let mut rng = Rng::new(3);
+        let mut found = false;
+        for _ in 0..200 {
+            if let Some(c) = nb.propose(&moves, &mut rng) {
+                if c.kind == MoveKind::Recompute {
+                    let t = nb.evaluate(&c.moves).unwrap();
+                    assert_eq!(t, before - 4, "load g=5 became compute 1");
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "recompute move never proposed");
+    }
+
+    #[test]
+    fn empty_strategy_has_no_neighbors() {
+        let dag = rbp_dag::dag_from_edges(0, &[]);
+        let inst = MppInstance::new(&dag, 1, 1, 1);
+        let nb = Neighborhood::new(inst);
+        let mut rng = Rng::new(1);
+        assert!(nb.propose(&[], &mut rng).is_none());
+    }
+}

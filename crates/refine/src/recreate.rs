@@ -1,0 +1,372 @@
+//! Greedy rescheduling from an arbitrary mid-game configuration.
+//!
+//! The large neighborhood ("ruin & recreate") rips the tail off a
+//! strategy and rebuilds it: replay the kept prefix on a fresh
+//! [`MppSimulator`], then [`complete_greedy`] finishes the game from
+//! whatever configuration the prefix left behind. The completion is a
+//! randomized greedy pass — processor choice and eviction victims break
+//! ties through the caller's RNG — so repeated recreations from the same
+//! cut explore different tails.
+//!
+//! Correctness invariant: a value that is still *live* (an input of a
+//! yet-uncomputed needed node, or a sink's only pebble) is stored to
+//! slow memory before its last red copy is evicted, so the pass can
+//! always finish. Every emitted move goes through the rule-enforcing
+//! simulator; an illegal move is a bug that surfaces as an error, not a
+//! wrong cost.
+
+use rbp_core::{MppError, MppInstance, MppMove, MppRun, MppSimulator, ProcId};
+use rbp_dag::NodeId;
+use rbp_util::Rng;
+
+/// Completes the game on `sim` (in any legal mid-game state) to
+/// terminality with a randomized greedy pass, then finishes the run.
+///
+/// The pass walks the nodes that still must be (re)computed — ancestors
+/// of uncovered sinks whose values are materialized nowhere — in
+/// topological order. Each node is computed on the processor already
+/// holding most of its inputs (ties broken by load then RNG); missing
+/// inputs are loaded from slow memory, cross-shade inputs are stored by
+/// their owner first; capacity is made by evicting the least useful
+/// resident pebble, storing it first when it is the last copy of a live
+/// value.
+pub fn complete_greedy(sim: &mut MppSimulator, rng: &mut Rng) -> Result<MppRun, MppError> {
+    let inst = *sim.instance();
+    let dag = inst.dag;
+    let n = dag.n();
+    let k = inst.k;
+    let topo = dag.topo();
+
+    // Values materialized anywhere (blue or any shade of red).
+    let mut available = sim.config().blue.clone();
+    for reds in &sim.config().reds {
+        available.union_with(reds);
+    }
+
+    // `need`: nodes that must be (re)computed, marked by a reverse
+    // topological scan from uncovered sinks through unavailable values.
+    let mut need = dag.empty_set();
+    for &v in topo.order().iter().rev() {
+        let uncovered_sink = dag.succs(v).is_empty() && !sim.config().has_pebble(v);
+        let needed_input = dag.succs(v).iter().any(|&w| need.contains(w));
+        if (uncovered_sink || needed_input) && !available.contains(v) {
+            need.insert(v);
+        }
+    }
+
+    // remaining_uses[v] = how many needed, not-yet-computed nodes read v.
+    let mut remaining_uses = vec![0usize; n];
+    for v in dag.nodes() {
+        if need.contains(v) {
+            for &u in dag.preds(v) {
+                remaining_uses[u.index()] += 1;
+            }
+        }
+    }
+
+    // Per-processor work tally for load-balanced tie-breaks.
+    let mut assigned = vec![0usize; k];
+
+    let mut pending: Vec<NodeId> = topo
+        .order()
+        .iter()
+        .copied()
+        .filter(|&v| need.contains(v))
+        .collect();
+
+    // Process the pending nodes in *waves*: each wave picks up to `k`
+    // ready nodes (all inputs materialized somewhere) on distinct
+    // processors, assembles their inputs with cross-processor *batched*
+    // I/O rounds, and emits a single batched compute, so the rebuilt
+    // tail exploits the one-cost-per-parallel-step semantics instead of
+    // leaving all the batching to a later optimization pass.
+    let mut deferred = vec![false; n];
+    while !pending.is_empty() {
+        let mut wave: Vec<(ProcId, NodeId)> = Vec::new();
+        let mut used = vec![false; k];
+        let mut rest: Vec<NodeId> = Vec::new();
+        for &v in &pending {
+            if wave.len() >= k || !dag.preds(v).iter().all(|&u| available.contains(u)) {
+                rest.push(v);
+                continue;
+            }
+            // Score every processor: fewest missing inputs first (each
+            // missing one is a load, maybe a store), then *sibling
+            // affinity* (prefer the shade holding — or about to compute,
+            // earlier in this same wave — co-inputs of v's successors,
+            // so siblings land together and their consumer computes
+            // without communication), then load balance; remaining ties
+            // break randomly.
+            let affinity = |p: ProcId| {
+                dag.succs(v)
+                    .iter()
+                    .flat_map(|&w| dag.preds(w))
+                    .filter(|&&u| {
+                        u != v
+                            && (sim.config().reds[p].contains(u)
+                                || wave.iter().any(|&(q, x)| q == p && x == u))
+                    })
+                    .count()
+            };
+            let score = |p: ProcId| {
+                let missing = dag
+                    .preds(v)
+                    .iter()
+                    .filter(|&&u| !sim.config().reds[p].contains(u))
+                    .count();
+                (missing, usize::MAX - affinity(p), assigned[p])
+            };
+            let ideal = (0..k).map(score).min().expect("k >= 1");
+            let mut best: Vec<ProcId> = Vec::new();
+            let mut best_score = (usize::MAX, usize::MAX, usize::MAX);
+            for p in (0..k).filter(|&p| !used[p]) {
+                let s = score(p);
+                match s.cmp(&best_score) {
+                    std::cmp::Ordering::Less => {
+                        best_score = s;
+                        best.clear();
+                        best.push(p);
+                    }
+                    std::cmp::Ordering::Equal => best.push(p),
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            // If every free processor is strictly worse than the node's
+            // ideal placement, sit out one wave and retry when the ideal
+            // shade is free again (a single deferral, so waves cannot
+            // livelock).
+            if best.is_empty() || (best_score > ideal && !deferred[v.index()]) {
+                deferred[v.index()] = true;
+                rest.push(v);
+                continue;
+            }
+            let q = best[rng.index(best.len())];
+            used[q] = true;
+            assigned[q] += 1;
+            wave.push((q, v));
+        }
+        assert!(
+            !wave.is_empty(),
+            "topological order guarantees the first pending node is ready"
+        );
+
+        // Publish phase: every input only materialized as another
+        // shade's red pebble gets a blue copy, in batched store rounds
+        // (one store per owner per round, distinct values per batch).
+        let mut publish: Vec<(ProcId, NodeId)> = Vec::new();
+        for &(q, v) in &wave {
+            for &u in dag.preds(v) {
+                if sim.config().reds[q].contains(u)
+                    || sim.config().blue.contains(u)
+                    || publish.iter().any(|&(_, x)| x == u)
+                {
+                    continue;
+                }
+                let owner = (0..k)
+                    .find(|&p| sim.config().reds[p].contains(u))
+                    .expect("live input lost: recreate invariant violated");
+                publish.push((owner, u));
+            }
+        }
+        while !publish.is_empty() {
+            let mut batch: Vec<(ProcId, NodeId)> = Vec::new();
+            publish.retain(|&(p, u)| {
+                if batch.iter().any(|&(bp, _)| bp == p) {
+                    true
+                } else {
+                    batch.push((p, u));
+                    false
+                }
+            });
+            sim.store(batch)?;
+        }
+
+        // Load phase: per-member queues drained in batched rounds (one
+        // load per processor per round, distinct values per batch), with
+        // room made on each shade just before its load.
+        let mut queues: Vec<(ProcId, NodeId, Vec<NodeId>)> = wave
+            .iter()
+            .map(|&(q, v)| {
+                let missing = dag
+                    .preds(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !sim.config().reds[q].contains(u))
+                    .collect();
+                (q, v, missing)
+            })
+            .collect();
+        loop {
+            let mut batch: Vec<(ProcId, NodeId)> = Vec::new();
+            for (q, v, queue) in &mut queues {
+                let Some(pos) = queue
+                    .iter()
+                    .position(|&u| !batch.iter().any(|&(_, x)| x == u))
+                else {
+                    continue;
+                };
+                let u = queue.remove(pos);
+                make_room(sim, *q, *v, &remaining_uses, rng)?;
+                batch.push((*q, u));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            sim.load(batch)?;
+        }
+
+        for &(q, v) in &wave {
+            make_room(sim, q, v, &remaining_uses, rng)?;
+        }
+        sim.compute(wave.clone())?;
+        for &(_, v) in &wave {
+            available.insert(v);
+            for &u in dag.preds(v) {
+                remaining_uses[u.index()] -= 1;
+            }
+        }
+        pending = rest;
+    }
+    sim.clone().finish()
+}
+
+/// Frees one fast-memory slot on `q` if it is at capacity, never
+/// touching the inputs (or output slot) of `target`, and storing the
+/// victim first when it is the last copy of a live value.
+fn make_room(
+    sim: &mut MppSimulator,
+    q: ProcId,
+    target: NodeId,
+    remaining_uses: &[usize],
+    rng: &mut Rng,
+) -> Result<(), MppError> {
+    let inst = *sim.instance();
+    let dag = inst.dag;
+    while sim.config().reds[q].len() >= inst.r {
+        let pinned = |w: NodeId| w == target || dag.preds(target).contains(&w);
+        let candidates: Vec<NodeId> = sim.config().reds[q]
+            .iter()
+            .filter(|&w| !pinned(w))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "no evictable pebble: r < Δin + 1 should have been rejected as infeasible"
+        );
+        // Prefer dead values (no remaining uses, not an unpebbled sink);
+        // otherwise any candidate, stored before eviction when live.
+        let dead: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&w| remaining_uses[w.index()] == 0 && !dag.succs(w).is_empty())
+            .collect();
+        let pool = if dead.is_empty() { &candidates } else { &dead };
+        let w = pool[rng.index(pool.len())];
+        let last_copy = !sim.config().blue.contains(w)
+            && (0..inst.k).all(|p| p == q || !sim.config().reds[p].contains(w));
+        let live = remaining_uses[w.index()] > 0 || dag.succs(w).is_empty();
+        if live && last_copy {
+            sim.ensure_stored(q, w)?;
+        }
+        sim.remove_red(q, w)?;
+    }
+    Ok(())
+}
+
+/// Builds a strategy from scratch with the randomized greedy pass: a
+/// seeded, load-balanced scheduler in its own right, used to diversify
+/// portfolio starting points.
+pub fn greedy_from_scratch(instance: &MppInstance, rng: &mut Rng) -> Result<MppRun, MppError> {
+    let mut sim = MppSimulator::new(*instance);
+    complete_greedy(&mut sim, rng)
+}
+
+/// One ruin-and-recreate pass: keep `moves[..cut]`, reschedule the rest
+/// greedily. Returns the full rebuilt move list (the caller re-batches
+/// and evaluates it).
+pub fn ruin_recreate(
+    instance: &MppInstance,
+    moves: &[MppMove],
+    cut: usize,
+    rng: &mut Rng,
+) -> Result<MppRun, MppError> {
+    let mut sim = MppSimulator::new(*instance);
+    for mv in &moves[..cut.min(moves.len())] {
+        sim.apply(mv.clone())?;
+    }
+    complete_greedy(&mut sim, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::validate_mpp;
+    use rbp_dag::generators;
+
+    #[test]
+    fn scratch_completion_is_valid_on_many_dags() {
+        let mut rng = Rng::new(11);
+        for dag in [
+            generators::chain(6),
+            generators::independent_chains(3, 4),
+            generators::binary_in_tree(8),
+            generators::grid(3, 4),
+            generators::fft(3),
+            generators::layered_random(4, 4, 2, 5),
+        ] {
+            for k in [1usize, 2, 3] {
+                let r = dag.max_in_degree() + 1;
+                let inst = MppInstance::new(&dag, k, r, 2);
+                let run = greedy_from_scratch(&inst, &mut rng).unwrap();
+                let cost = validate_mpp(&inst, &run.strategy.moves).unwrap();
+                assert_eq!(cost, run.cost, "{} k={k}", dag.name());
+            }
+        }
+    }
+
+    #[test]
+    fn recreate_from_every_cut_of_a_baseline() {
+        let dag = generators::grid(2, 4);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        // Slack baseline built through the simulator.
+        let mut sim = MppSimulator::new(inst);
+        for (i, &v) in dag.topo().order().iter().enumerate() {
+            let p = i % inst.k;
+            for &u in dag.preds(v) {
+                sim.load(vec![(p, u)]).unwrap();
+            }
+            sim.compute(vec![(p, v)]).unwrap();
+            sim.store(vec![(p, v)]).unwrap();
+            for &u in dag.preds(v) {
+                sim.remove_red(p, u).unwrap();
+            }
+            sim.remove_red(p, v).unwrap();
+        }
+        let base = sim.finish().unwrap();
+        let mut rng = Rng::new(23);
+        for cut in 0..=base.strategy.len() {
+            let run = ruin_recreate(&inst, &base.strategy.moves, cut, &mut rng).unwrap();
+            validate_mpp(&inst, &run.strategy.moves).unwrap();
+        }
+    }
+
+    #[test]
+    fn tight_memory_forces_stores_but_still_completes() {
+        // r = Δin + 1 exactly: every compute needs evictions around it.
+        let dag = generators::binary_in_tree(8);
+        let inst = MppInstance::new(&dag, 2, 3, 4);
+        let mut rng = Rng::new(99);
+        for _ in 0..10 {
+            let run = greedy_from_scratch(&inst, &mut rng).unwrap();
+            validate_mpp(&inst, &run.strategy.moves).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dag = generators::layered_random(4, 4, 2, 3);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let a = greedy_from_scratch(&inst, &mut Rng::new(5)).unwrap();
+        let b = greedy_from_scratch(&inst, &mut Rng::new(5)).unwrap();
+        assert_eq!(a.strategy, b.strategy);
+    }
+}

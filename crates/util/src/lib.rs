@@ -21,4 +21,4 @@ pub mod rng;
 
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
-pub use rng::Rng;
+pub use rng::{env_seed, Rng};

@@ -6,6 +6,25 @@
 //! more than enough quality for workload generation and randomized
 //! tests, all of which only need determinism per seed.
 
+/// The environment variable every randomized tool in the workspace reads
+/// its base seed from (see [`env_seed`]).
+pub const SEED_ENV: &str = "RBP_SEED";
+
+/// Reads the workspace-wide base seed from the `RBP_SEED` environment
+/// variable, falling back to `default` when it is unset or unparsable.
+///
+/// Every `exp_*` experiment binary and the `rbp` CLI derive all of their
+/// randomness (generator seeds, refinement RNG streams) from this single
+/// value, so a whole sweep reruns bit-identically under `RBP_SEED=<n>`
+/// and the default (unset) behaviour matches `RBP_SEED=0`.
+#[must_use]
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 /// A deterministic pseudo-random generator (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct Rng {

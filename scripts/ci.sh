@@ -27,4 +27,13 @@ echo "== quick solver sweep (equivalence + speedup smoke) =="
 echo "== trace report smoke (fixture round trip) =="
 ./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"
 
+echo "== portfolio smoke (fixture DAG, tight budget) =="
+summary=$(./target/release/rbp portfolio tests/fixtures/chains_2x4.dag 2 3 2 --budget-ms 200 \
+    | grep '^PORTFOLIO ')
+echo "$summary"
+total=$(echo "$summary" | sed -n 's/.* total=\([0-9]*\).*/\1/p')
+baseline=$(echo "$summary" | sed -n 's/.* baseline=\([0-9]*\).*/\1/p')
+[ -n "$total" ] && [ -n "$baseline" ] && [ "$total" -le "$baseline" ] \
+    || { echo "portfolio smoke failed: total=$total baseline=$baseline"; exit 1; }
+
 echo "CI OK"

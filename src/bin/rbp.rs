@@ -4,11 +4,20 @@
 //! rbp stats     <dag.txt>                      DAG statistics
 //! rbp schedule  <dag.txt> <k> <r> <g> [name]   run a scheduler, print cost breakdown
 //! rbp solve     <dag.txt> <k> <r> <g>          exact optimum (small DAGs)
+//! rbp improve   <dag.txt> <k> <r> <g> [opts]   anytime local-search refinement
+//! rbp portfolio <dag.txt> <k> <r> <g> [opts]   race schedulers + refinement + exact
 //! rbp bounds    <dag.txt> <k> <r> <g>          Lemma 1 bounds + feasibility
 //! rbp dot       <dag.txt>                      Graphviz DOT to stdout
 //! rbp gen       <family> [params…]             emit a generated DAG as text
 //! rbp report    <trace.jsonl>                  render a trace file as markdown
 //! ```
+//!
+//! `improve` options: `--budget-ms <N>` (default 1000), `--driver
+//! auto|hill|anneal|lns`, `--in <file>` (resume from a saved strategy),
+//! `--out <file>` (save the refined strategy as JSONL).
+//! `portfolio` options: `--budget-ms <N>` (default 1000),
+//! `--no-exact`. Both honor the workspace-wide `RBP_SEED` environment
+//! variable for deterministic reruns.
 //!
 //! DAG files use the `rbp_dag::io` text format (see crate docs).
 //!
@@ -21,8 +30,12 @@ use std::process::ExitCode;
 
 use rbp::bounds::trivial;
 use rbp::core::rbp_dag::{dot, generators, io, Dag, DagStats};
-use rbp::core::{async_makespan, batchify, solve_mpp, MppInstance, MppRunStats, SolveLimits};
+use rbp::core::{
+    async_makespan, batchify, solve_mpp, MppInstance, MppRun, MppRunStats, SolveLimits,
+};
+use rbp::refine::{persist, Budget, Driver, PortfolioConfig, RefineConfig};
 use rbp::schedulers::all_schedulers;
+use rbp::util::env_seed;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,7 +47,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: rbp <stats|schedule|solve|bounds|dot|gen|report> …  (see --help in src/bin/rbp.rs)"
+                "usage: rbp <stats|schedule|solve|improve|portfolio|bounds|dot|gen|report> …  (see docs in src/bin/rbp.rs)"
             );
             ExitCode::FAILURE
         }
@@ -59,7 +72,9 @@ fn init_trace(args: &[String]) {
         .iter()
         .map(|a| rbp::trace::Json::from(a.as_str()))
         .collect();
-    let manifest = rbp::trace::Manifest::new("rbp").field("args", rbp::trace::Json::Arr(fields));
+    let manifest = rbp::trace::Manifest::new("rbp")
+        .field("args", rbp::trace::Json::Arr(fields))
+        .field("seed", env_seed(0));
     rbp::trace::install(Box::new(sink), manifest);
 }
 
@@ -130,6 +145,129 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "improve" => {
+            let dag = load(args.get(1))?;
+            let (k, r, g) = krg(args)?;
+            let inst = MppInstance::new(&dag, k, r, g);
+            if !inst.is_feasible() {
+                return Err(format!("infeasible: need r ≥ {}", dag.max_in_degree() + 1));
+            }
+            let budget = flag_value(args, "--budget-ms")?.map_or(Ok(1000), |v| {
+                v.parse::<u64>().map_err(|_| "bad --budget-ms".to_string())
+            })?;
+            let driver = match flag_value(args, "--driver")?.unwrap_or("auto") {
+                "auto" => Driver::Auto,
+                "hill" => Driver::HillClimb,
+                "anneal" => Driver::Anneal,
+                "lns" => Driver::Lns,
+                other => return Err(format!("unknown driver '{other}' (auto|hill|anneal|lns)")),
+            };
+
+            // Initial strategy: a saved file, or the best scheduler result.
+            let (initial, origin) = match flag_value(args, "--in")? {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let saved =
+                        persist::strategy_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+                    if (saved.n, saved.k, saved.r, saved.g) != (dag.n(), k, r, g) {
+                        return Err(format!(
+                            "{path}: saved for n={} k={} r={} g={}, want n={} k={} r={} g={}",
+                            saved.n,
+                            saved.k,
+                            saved.r,
+                            saved.g,
+                            dag.n(),
+                            k,
+                            r,
+                            g
+                        ));
+                    }
+                    (saved.strategy, format!("saved:{path}"))
+                }
+                None => {
+                    let mut best: Option<(u64, MppRun, String)> = None;
+                    for s in all_schedulers() {
+                        let run = s.schedule(&inst).map_err(|e| e.to_string())?;
+                        let merged = batchify(&inst, &run.strategy);
+                        let cost = merged.validate(&inst).map_err(|e| e.to_string())?;
+                        let total = cost.total(inst.model);
+                        if best.as_ref().is_none_or(|(t, _, _)| total < *t) {
+                            best = Some((
+                                total,
+                                MppRun {
+                                    strategy: merged,
+                                    cost,
+                                },
+                                s.name(),
+                            ));
+                        }
+                    }
+                    let (_, run, name) = best.expect("scheduler registry is never empty");
+                    (run.strategy, name)
+                }
+            };
+
+            let cfg = RefineConfig {
+                seed: env_seed(0),
+                budget: Budget::millis(budget),
+                driver,
+            };
+            let out = rbp::refine::refine(&inst, &initial, &cfg).map_err(|e| e.to_string())?;
+            println!("initial  total={:<6} ({origin})", out.initial_total);
+            println!(
+                "refined  total={:<6} ({}; {} proposals, {} accepted)",
+                out.total, out.provenance, out.proposals, out.accepted
+            );
+            if let Some(path) = flag_value(args, "--out")? {
+                let saved = persist::SavedStrategy {
+                    dag_name: dag.name().to_string(),
+                    n: dag.n(),
+                    k,
+                    r,
+                    g,
+                    strategy: out.run.strategy.clone(),
+                };
+                std::fs::write(path, persist::strategy_to_jsonl(&saved))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("saved    {path}");
+            }
+            Ok(())
+        }
+        "portfolio" => {
+            let dag = load(args.get(1))?;
+            let (k, r, g) = krg(args)?;
+            let inst = MppInstance::new(&dag, k, r, g);
+            if !inst.is_feasible() {
+                return Err(format!("infeasible: need r ≥ {}", dag.max_in_degree() + 1));
+            }
+            let budget = flag_value(args, "--budget-ms")?.map_or(Ok(1000), |v| {
+                v.parse::<u64>().map_err(|_| "bad --budget-ms".to_string())
+            })?;
+            let cfg = PortfolioConfig {
+                budget_millis: budget,
+                seed: env_seed(0),
+                use_exact: !args.iter().any(|a| a == "--no-exact"),
+                ..PortfolioConfig::default()
+            };
+            let out = rbp::refine::race(&inst, &cfg).map_err(|e| e.to_string())?;
+            for e in &out.entries {
+                match e.total {
+                    Some(t) => println!("{:<24} total={:<6} {:>6} ms", e.name, t, e.millis),
+                    None => println!("{:<24} total=-      {:>6} ms", e.name, e.millis),
+                }
+            }
+            let baseline = out
+                .entries
+                .first()
+                .and_then(|e| e.total)
+                .expect("baseline scheduler always reports a cost");
+            // Machine-parseable summary line (consumed by scripts/ci.sh).
+            println!(
+                "PORTFOLIO winner={} total={} baseline={} optimal={}",
+                out.provenance, out.total, baseline, out.proven_optimal
+            );
+            Ok(())
+        }
         "bounds" => {
             let dag = load(args.get(1))?;
             let (k, r, g) = krg(args)?;
@@ -163,6 +301,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Looks up `--flag value` in the argument list; errors when the flag is
+/// present but its value is missing.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or(format!("{flag}: missing value")),
+        None => Ok(None),
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! Facade crate re-exporting the whole workspace: the pebbling games
 //! ([`core`]), the DAG substrate ([`dag`]), heuristic schedulers
-//! ([`schedulers`]), the paper's proof constructions ([`gadgets`]), and
+//! ([`schedulers`]), anytime refinement and the racing solver portfolio
+//! ([`refine`]), the paper's proof constructions ([`gadgets`]), and
 //! lower bounds ([`bounds`]).
 //!
 //! See the repository README for a guided tour and `examples/` for
@@ -18,6 +19,8 @@ pub use rbp_core as core;
 pub use rbp_dag as dag;
 /// Executable proof constructions from the paper.
 pub use rbp_gadgets as gadgets;
+/// Anytime local-search refinement and the racing solver portfolio.
+pub use rbp_refine as refine;
 /// Heuristic schedulers producing valid strategies.
 pub use rbp_schedulers as schedulers;
 /// Structured observability: trace events, sinks, manifests, reports.
