@@ -1,0 +1,365 @@
+//! E18 — load-testing the pebbling service (`rbp-serve`).
+//!
+//! Runs the HTTP server **in-process** on an ephemeral port and fires
+//! real TCP traffic at it through the crate's own client, in three
+//! phases:
+//!
+//! 1. **Cache** — the same portfolio request twice: the cold run pays
+//!    the full racing budget, the warm run is answered from the
+//!    content-addressed result cache. Asserts the warm hit is ≥ 10×
+//!    faster and returns the identical cost.
+//! 2. **Throughput** — several concurrent clients issuing a mixed
+//!    workload (bounds / schedule / generate / solve, with repeats so
+//!    the cache participates); reports requests-per-second and
+//!    p50/p95/p99 latency.
+//! 3. **Overload** — a deliberately tiny server (1 worker, 2 queue
+//!    slots, no cache) under a concurrent burst; asserts every request
+//!    is answered with either `200` or an explicit `503` + `Retry-After`
+//!    (backpressure never drops work silently).
+//!
+//! Writes `BENCH_serve.json`. Usage: `exp_serve [--quick]` (`--quick`
+//! trims budgets and request counts for CI).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rbp_bench::{banner, Table};
+use rbp_serve::http::{self, ClientResponse};
+use rbp_serve::{ServeConfig, Server};
+use rbp_util::json::Json;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn post(server: &Server, path: &str, body: &str) -> ClientResponse {
+    http::request(server.addr(), "POST", path, Some(body), TIMEOUT).expect("request answered")
+}
+
+/// Percentile over raw latency samples (microseconds).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct CachePhase {
+    cold_us: u64,
+    warm_us: u64,
+    speedup: f64,
+    total: u64,
+}
+
+/// Phase 1: cold vs. warm on an identical instance.
+fn cache_phase(budget_ms: u64) -> CachePhase {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let body = format!(
+        r#"{{"generator":{{"family":"grid","params":[3,4]}},"k":2,"r":3,"g":2,"budget_ms":{budget_ms}}}"#
+    );
+
+    let t0 = Instant::now();
+    let cold = post(&server, "/v1/portfolio", &body);
+    let cold_us = t0.elapsed().as_micros() as u64;
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let cold_json = Json::parse(&cold.body).unwrap();
+    assert_eq!(cold_json.get("cache").and_then(Json::as_str), Some("miss"));
+    let total = cold_json
+        .get("result")
+        .and_then(|r| r.get("total"))
+        .and_then(Json::as_u64)
+        .expect("portfolio total");
+
+    let t1 = Instant::now();
+    let warm = post(&server, "/v1/portfolio", &body);
+    let warm_us = (t1.elapsed().as_micros() as u64).max(1);
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    let warm_json = Json::parse(&warm.body).unwrap();
+    assert_eq!(warm_json.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        warm_json
+            .get("result")
+            .and_then(|r| r.get("total"))
+            .and_then(Json::as_u64),
+        Some(total),
+        "cached result must be byte-identical in cost"
+    );
+    server.shutdown();
+
+    let speedup = cold_us as f64 / warm_us as f64;
+    assert!(
+        speedup >= 10.0,
+        "warm cache hit must be ≥ 10× faster than the cold solve \
+         (cold {cold_us} µs, warm {warm_us} µs, {speedup:.1}×)"
+    );
+    CachePhase {
+        cold_us,
+        warm_us,
+        speedup,
+        total,
+    }
+}
+
+struct ThroughputPhase {
+    clients: usize,
+    requests: usize,
+    ok: usize,
+    non_ok: usize,
+    elapsed_us: u64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Phase 2: mixed concurrent workload against a healthy server.
+fn throughput_phase(clients: usize, per_client: usize) -> ThroughputPhase {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_cap: 256,
+        cache_cap: 256,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Mixed workload: cheap analysis endpoints over a small pool of
+    // instances, so repeats exercise the cache like a real client
+    // population would.
+    let bodies: Vec<(&str, String)> = (0..8)
+        .map(|i| {
+            let (rows, cols) = (2 + i % 2, 2 + i % 3);
+            let body = format!(
+                r#"{{"generator":{{"family":"grid","params":[{rows},{cols}]}},"k":2,"r":3,"g":2}}"#
+            );
+            let path = match i % 4 {
+                0 => "/v1/bounds",
+                1 => "/v1/schedule",
+                2 => "/v1/generate",
+                _ => "/v1/bounds",
+            };
+            (path, body)
+        })
+        .collect();
+
+    let ok = AtomicUsize::new(0);
+    let non_ok = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let bodies = &bodies;
+                let ok = &ok;
+                let non_ok = &non_ok;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let (path, body) = &bodies[(c + 3 * i) % bodies.len()];
+                        let t = Instant::now();
+                        let resp = http::request(addr, "POST", path, Some(body), TIMEOUT)
+                            .expect("request answered");
+                        lats.push(t.elapsed().as_micros() as u64);
+                        if resp.status == 200 {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            non_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_us = (t0.elapsed().as_micros() as u64).max(1);
+    latencies.sort_unstable();
+
+    let stats = Json::parse(
+        &http::request(addr, "GET", "/v1/stats", None, TIMEOUT)
+            .expect("stats")
+            .body,
+    )
+    .unwrap();
+    let cache = stats.get("cache").unwrap();
+    let cache_hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    let cache_misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+    server.shutdown();
+
+    let sent = clients * per_client;
+    let okc = ok.load(Ordering::Relaxed);
+    let nokc = non_ok.load(Ordering::Relaxed);
+    assert_eq!(okc + nokc, sent, "every request answered");
+    assert_eq!(nokc, 0, "healthy server refuses nothing at this load");
+    ThroughputPhase {
+        clients,
+        requests: sent,
+        ok: okc,
+        non_ok: nokc,
+        elapsed_us,
+        rps: sent as f64 / (elapsed_us as f64 / 1e6),
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+struct OverloadPhase {
+    sent: usize,
+    ok: usize,
+    rejected: usize,
+    rejection_rate: f64,
+}
+
+/// Phase 3: burst against a 1-worker / 2-slot server.
+fn overload_phase(burst: usize, budget_ms: u64) -> OverloadPhase {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        cache_cap: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let results: Vec<ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst)
+            .map(|i| {
+                scope.spawn(move || {
+                    // Distinct seeds keep every request a distinct job.
+                    let body = format!(
+                        r#"{{"generator":{{"family":"grid","params":[2,4]}},"k":2,"r":3,"g":2,"budget_ms":{budget_ms},"seed":{i}}}"#
+                    );
+                    http::request(addr, "POST", "/v1/portfolio", Some(&body), TIMEOUT)
+                        .expect("request answered even under overload")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    server.shutdown();
+
+    let ok = results.iter().filter(|r| r.status == 200).count();
+    let rejected: Vec<&ClientResponse> = results.iter().filter(|r| r.status == 503).collect();
+    assert_eq!(
+        ok + rejected.len(),
+        burst,
+        "every request answered with 200 or an explicit 503"
+    );
+    assert!(!rejected.is_empty(), "the burst must trigger backpressure");
+    for r in &rejected {
+        assert!(
+            r.header("retry-after").is_some(),
+            "503 must carry Retry-After: {}",
+            r.body
+        );
+    }
+    OverloadPhase {
+        sent: burst,
+        ok,
+        rejected: rejected.len(),
+        rejection_rate: rejected.len() as f64 / burst as f64,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    rbp_bench::init_trace("exp_serve", &[("quick", rbp_trace::Json::from(quick))]);
+    banner("E18", "pebbling-as-a-service load harness");
+
+    let (budget_ms, clients, per_client, burst) = if quick {
+        (100, 4, 8, 6)
+    } else {
+        (250, 8, 25, 10)
+    };
+
+    let cache = cache_phase(budget_ms);
+    let mut t = Table::new(&["phase 1: cache", "value"]);
+    t.row(&["cold (miss) µs", &cache.cold_us.to_string()]);
+    t.row(&["warm (hit) µs", &cache.warm_us.to_string()]);
+    t.row(&["speedup", &format!("{:.1}×", cache.speedup)]);
+    t.row(&["total (both)", &cache.total.to_string()]);
+    t.print_traced("E18.cache");
+
+    let tp = throughput_phase(clients, per_client);
+    let mut t = Table::new(&["phase 2: throughput", "value"]);
+    t.row(&["clients", &tp.clients.to_string()]);
+    t.row(&["requests", &tp.requests.to_string()]);
+    t.row(&["rps", &format!("{:.0}", tp.rps)]);
+    t.row(&["p50 µs", &tp.p50_us.to_string()]);
+    t.row(&["p95 µs", &tp.p95_us.to_string()]);
+    t.row(&["p99 µs", &tp.p99_us.to_string()]);
+    t.row(&["cache hits", &tp.cache_hits.to_string()]);
+    t.row(&["cache misses", &tp.cache_misses.to_string()]);
+    t.print_traced("E18.throughput");
+
+    let ov = overload_phase(burst, budget_ms);
+    let mut t = Table::new(&["phase 3: overload", "value"]);
+    t.row(&["sent", &ov.sent.to_string()]);
+    t.row(&["200 ok", &ov.ok.to_string()]);
+    t.row(&["503 rejected", &ov.rejected.to_string()]);
+    t.row(&[
+        "rejection rate",
+        &format!("{:.0}%", ov.rejection_rate * 100.0),
+    ]);
+    t.print_traced("E18.overload");
+
+    println!(
+        "\ncache hit speedup {:.1}× (≥ 10× required); overload answered {}/{} explicitly",
+        cache.speedup, ov.sent, ov.sent
+    );
+
+    let json = Json::obj(vec![
+        ("suite", Json::from("serve")),
+        ("quick", Json::from(quick)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("cold_us", Json::from(cache.cold_us)),
+                ("warm_us", Json::from(cache.warm_us)),
+                ("speedup", Json::from(cache.speedup)),
+                ("total", Json::from(cache.total)),
+            ]),
+        ),
+        (
+            "throughput",
+            Json::obj(vec![
+                ("clients", Json::from(tp.clients)),
+                ("requests", Json::from(tp.requests)),
+                ("ok", Json::from(tp.ok)),
+                ("non_ok", Json::from(tp.non_ok)),
+                ("elapsed_us", Json::from(tp.elapsed_us)),
+                ("rps", Json::from(tp.rps)),
+                ("p50_us", Json::from(tp.p50_us)),
+                ("p95_us", Json::from(tp.p95_us)),
+                ("p99_us", Json::from(tp.p99_us)),
+                ("cache_hits", Json::from(tp.cache_hits)),
+                ("cache_misses", Json::from(tp.cache_misses)),
+            ]),
+        ),
+        (
+            "overload",
+            Json::obj(vec![
+                ("sent", Json::from(ov.sent)),
+                ("ok", Json::from(ov.ok)),
+                ("rejected", Json::from(ov.rejected)),
+                ("rejection_rate", Json::from(ov.rejection_rate)),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, json.render_pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    rbp_bench::finish_trace();
+}

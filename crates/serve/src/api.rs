@@ -1,0 +1,715 @@
+//! Request parsing, work execution, and response envelopes — schema v1.
+//!
+//! A POST body describes a problem instance (an inline DAG in the
+//! `rbp_dag::io` text format, or a generator spec) plus machine
+//! parameters `(k, r, g)` and endpoint-specific knobs. [`Work::parse`]
+//! validates everything up front so malformed requests fail with `400`
+//! before touching the queue; [`Work::execute`] runs on a worker thread
+//! and produces the JSON *result core* that is cached and wrapped into
+//! the response envelope. `docs/SCHEMAS.md` documents every body shape.
+
+use rbp_core::rbp_dag::{generators, io, Dag};
+use rbp_core::{MppInstance, MppRunStats, SolveLimits};
+use rbp_refine::{race, PortfolioConfig};
+use rbp_schedulers::all_schedulers;
+use rbp_util::json::Json;
+
+/// Largest DAG accepted by the scheduling/bounds endpoints.
+pub const MAX_NODES: usize = 4096;
+/// Exact-solver admission bounds (matches the portfolio's exact tier).
+pub const SOLVE_MAX_NODES: usize = 64;
+/// Exact-solver processor-count admission bound.
+pub const SOLVE_MAX_PROCS: usize = 4;
+
+/// An API-level failure: HTTP status plus a message for the error body.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status code (400 validation, 422 semantic, 500 internal).
+    pub status: u16,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ApiError {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(status: u16, msg: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            msg: msg.into(),
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ApiError {
+    ApiError::new(400, msg)
+}
+
+/// Parsed, validated work for one request.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// `POST /v1/solve` — exact optimum via the A\* solver.
+    Solve {
+        /// Problem DAG.
+        dag: Dag,
+        /// Processors.
+        k: usize,
+        /// Red pebbles per processor.
+        r: usize,
+        /// I/O cost weight.
+        g: u64,
+        /// Settled-state budget handed to the solver.
+        max_states: usize,
+    },
+    /// `POST /v1/schedule` — run the heuristic scheduler registry.
+    Schedule {
+        /// Problem DAG.
+        dag: Dag,
+        /// Processors.
+        k: usize,
+        /// Red pebbles per processor.
+        r: usize,
+        /// I/O cost weight.
+        g: u64,
+        /// Optional substring filter on scheduler names.
+        filter: Option<String>,
+    },
+    /// `POST /v1/portfolio` — race schedulers + refinement (+ exact).
+    Portfolio {
+        /// Problem DAG.
+        dag: Dag,
+        /// Processors.
+        k: usize,
+        /// Red pebbles per processor.
+        r: usize,
+        /// I/O cost weight.
+        g: u64,
+        /// Wall-clock budget for the race.
+        budget_ms: u64,
+        /// Seed for the randomized workers.
+        seed: u64,
+        /// Whether the exact solver may join the race.
+        use_exact: bool,
+    },
+    /// `POST /v1/bounds` — Lemma 1 bounds and feasibility.
+    Bounds {
+        /// Problem DAG.
+        dag: Dag,
+        /// Processors.
+        k: usize,
+        /// Red pebbles per processor.
+        r: usize,
+        /// I/O cost weight.
+        g: u64,
+    },
+    /// `POST /v1/generate` — emit a named gadget/generator DAG.
+    Generate {
+        /// Generator family name.
+        family: String,
+        /// Family parameters.
+        params: Vec<usize>,
+    },
+}
+
+impl Work {
+    /// The endpoint name for stats, traces, and result cores.
+    #[must_use]
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Work::Solve { .. } => "solve",
+            Work::Schedule { .. } => "schedule",
+            Work::Portfolio { .. } => "portfolio",
+            Work::Bounds { .. } => "bounds",
+            Work::Generate { .. } => "generate",
+        }
+    }
+
+    /// Parses and validates the body of `POST /v1/<endpoint>`.
+    ///
+    /// # Errors
+    /// `400` for malformed bodies or out-of-range parameters, `422` for
+    /// well-formed but infeasible instances (`r ≤ Δin`).
+    pub fn parse(endpoint: &str, body: &Json) -> Result<Work, ApiError> {
+        match endpoint {
+            "solve" => {
+                let (dag, k, r, g) = instance_params(body)?;
+                if dag.n() > SOLVE_MAX_NODES || k > SOLVE_MAX_PROCS {
+                    return Err(bad(format!(
+                        "exact solve admits n ≤ {SOLVE_MAX_NODES} and k ≤ {SOLVE_MAX_PROCS} \
+                         (got n={}, k={k}); use /v1/portfolio for larger instances",
+                        dag.n()
+                    )));
+                }
+                let max_states = opt_u64(body, "max_states")?
+                    .map_or(SolveLimits::default().max_states, |v| v as usize)
+                    .min(50_000_000);
+                Ok(Work::Solve {
+                    dag,
+                    k,
+                    r,
+                    g,
+                    max_states,
+                })
+            }
+            "schedule" => {
+                let (dag, k, r, g) = instance_params(body)?;
+                let filter = match body.get("scheduler") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    Some(_) => return Err(bad("\"scheduler\" must be a string")),
+                };
+                Ok(Work::Schedule {
+                    dag,
+                    k,
+                    r,
+                    g,
+                    filter,
+                })
+            }
+            "portfolio" => {
+                let (dag, k, r, g) = instance_params(body)?;
+                let budget_ms = opt_u64(body, "budget_ms")?.unwrap_or(1000).clamp(1, 60_000);
+                let seed = opt_u64(body, "seed")?.unwrap_or(0);
+                let use_exact = match body.get("use_exact") {
+                    None | Some(Json::Null) => true,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err(bad("\"use_exact\" must be a boolean")),
+                };
+                Ok(Work::Portfolio {
+                    dag,
+                    k,
+                    r,
+                    g,
+                    budget_ms,
+                    seed,
+                    use_exact,
+                })
+            }
+            "bounds" => {
+                let (dag, k, r, g) = instance_params(body)?;
+                Ok(Work::Bounds { dag, k, r, g })
+            }
+            "generate" => {
+                let spec = body
+                    .get("generator")
+                    .ok_or_else(|| bad("generate: missing \"generator\" object"))?;
+                let (family, params) = generator_spec(spec)?;
+                // Build once now so bad specs fail at submit time.
+                let dag = build_dag(&family, &params).map_err(bad)?;
+                if dag.n() > 4 * MAX_NODES {
+                    return Err(bad(format!(
+                        "generated DAG of {} nodes exceeds limit {}",
+                        dag.n(),
+                        4 * MAX_NODES
+                    )));
+                }
+                Ok(Work::Generate { family, params })
+            }
+            other => Err(ApiError::new(404, format!("unknown endpoint '{other}'"))),
+        }
+    }
+
+    /// The canonical-instance cache key: a [`rbp_trace::hash_hex`]
+    /// digest over the endpoint, the canonical DAG text, and every
+    /// parameter that affects the result.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let canonical = match self {
+            Work::Solve {
+                dag,
+                k,
+                r,
+                g,
+                max_states,
+            } => format!(
+                "solve|v1|k={k}|r={r}|g={g}|max_states={max_states}|{}",
+                io::to_text(dag)
+            ),
+            Work::Schedule {
+                dag,
+                k,
+                r,
+                g,
+                filter,
+            } => format!(
+                "schedule|v1|k={k}|r={r}|g={g}|filter={}|{}",
+                filter.as_deref().unwrap_or(""),
+                io::to_text(dag)
+            ),
+            Work::Portfolio {
+                dag,
+                k,
+                r,
+                g,
+                budget_ms,
+                seed,
+                use_exact,
+            } => format!(
+                "portfolio|v1|k={k}|r={r}|g={g}|budget={budget_ms}|seed={seed}|exact={use_exact}|{}",
+                io::to_text(dag)
+            ),
+            Work::Bounds { dag, k, r, g } => {
+                format!("bounds|v1|k={k}|r={r}|g={g}|{}", io::to_text(dag))
+            }
+            Work::Generate { family, params } => {
+                format!("generate|v1|{family}|{params:?}")
+            }
+        };
+        rbp_trace::hash_hex(canonical.as_bytes())
+    }
+
+    /// Executes the work, producing the JSON result core.
+    ///
+    /// # Errors
+    /// `422` when the solver gives up or a scheduler rejects the
+    /// instance; `500` for internal invariant violations.
+    pub fn execute(&self) -> Result<Json, ApiError> {
+        match self {
+            Work::Solve {
+                dag,
+                k,
+                r,
+                g,
+                max_states,
+            } => {
+                let inst = MppInstance::new(dag, *k, *r, *g);
+                let sol = rbp_core::solve_mpp(
+                    &inst,
+                    SolveLimits {
+                        max_states: *max_states,
+                    },
+                )
+                .ok_or_else(|| {
+                    ApiError::new(
+                        422,
+                        format!("exact solver exhausted its budget of {max_states} states"),
+                    )
+                })?;
+                Ok(Json::obj([
+                    ("endpoint", Json::from("solve")),
+                    ("instance", instance_json(dag, *k, *r, *g)),
+                    ("total", Json::from(sol.total)),
+                    ("io_steps", Json::from(sol.cost.io_steps())),
+                    ("compute_steps", Json::from(sol.cost.computes)),
+                    ("moves", Json::from(sol.strategy.len())),
+                    ("proven_optimal", Json::from(true)),
+                ]))
+            }
+            Work::Schedule {
+                dag,
+                k,
+                r,
+                g,
+                filter,
+            } => {
+                let inst = MppInstance::new(dag, *k, *r, *g);
+                let mut rows = Vec::new();
+                let mut best: Option<(u64, String)> = None;
+                for s in all_schedulers() {
+                    let name = s.name();
+                    if let Some(f) = filter {
+                        if !name.contains(f.as_str()) {
+                            continue;
+                        }
+                    }
+                    let run = s
+                        .schedule(&inst)
+                        .map_err(|e| ApiError::new(422, format!("{name}: {e}")))?;
+                    let stats = MppRunStats::analyze(&inst, &run.strategy);
+                    if best.as_ref().is_none_or(|(t, _)| stats.total < *t) {
+                        best = Some((stats.total, name.clone()));
+                    }
+                    rows.push(Json::obj([
+                        ("name", Json::from(name.as_str())),
+                        ("total", Json::from(stats.total)),
+                        ("io_steps", Json::from(stats.cost.io_steps())),
+                        ("surplus", Json::from(stats.surplus)),
+                        ("recomputations", Json::from(stats.recomputations)),
+                    ]));
+                }
+                let (best_total, best_name) = best.ok_or_else(|| {
+                    ApiError::new(
+                        422,
+                        format!("no scheduler matches '{}'", filter.as_deref().unwrap_or("")),
+                    )
+                })?;
+                Ok(Json::obj([
+                    ("endpoint", Json::from("schedule")),
+                    ("instance", instance_json(dag, *k, *r, *g)),
+                    ("schedulers", Json::Arr(rows)),
+                    (
+                        "best",
+                        Json::obj([
+                            ("name", Json::from(best_name.as_str())),
+                            ("total", Json::from(best_total)),
+                        ]),
+                    ),
+                ]))
+            }
+            Work::Portfolio {
+                dag,
+                k,
+                r,
+                g,
+                budget_ms,
+                seed,
+                use_exact,
+            } => {
+                let inst = MppInstance::new(dag, *k, *r, *g);
+                let cfg = PortfolioConfig {
+                    budget_millis: *budget_ms,
+                    seed: *seed,
+                    use_exact: *use_exact,
+                    ..PortfolioConfig::default()
+                };
+                let out = race(&inst, &cfg).map_err(|e| ApiError::new(422, e.to_string()))?;
+                let baseline = out.entries.first().and_then(|e| e.total);
+                let entries = out.entries.iter().map(|e| {
+                    Json::obj([
+                        ("name", Json::from(e.name.as_str())),
+                        ("total", e.total.map_or(Json::Null, Json::from)),
+                        ("millis", Json::from(e.millis)),
+                    ])
+                });
+                Ok(Json::obj([
+                    ("endpoint", Json::from("portfolio")),
+                    ("instance", instance_json(dag, *k, *r, *g)),
+                    ("total", Json::from(out.total)),
+                    ("winner", Json::from(out.provenance.as_str())),
+                    ("baseline", baseline.map_or(Json::Null, Json::from)),
+                    ("proven_optimal", Json::from(out.proven_optimal)),
+                    ("entries", Json::arr(entries)),
+                ]))
+            }
+            Work::Bounds { dag, k, r, g } => {
+                let inst = MppInstance::new(dag, *k, *r, *g);
+                Ok(Json::obj([
+                    ("endpoint", Json::from("bounds")),
+                    ("instance", instance_json(dag, *k, *r, *g)),
+                    ("feasible", Json::from(inst.is_feasible())),
+                    ("lower", Json::from(rbp_bounds::trivial::lower(&inst))),
+                    ("upper", Json::from(rbp_bounds::trivial::upper(&inst))),
+                    (
+                        "greedy_factor",
+                        Json::from(rbp_bounds::trivial::greedy_factor(&inst)),
+                    ),
+                ]))
+            }
+            Work::Generate { family, params } => {
+                let dag = build_dag(family, params).map_err(|m| ApiError::new(400, m))?;
+                Ok(Json::obj([
+                    ("endpoint", Json::from("generate")),
+                    ("family", Json::from(family.as_str())),
+                    ("params", Json::arr(params.iter().map(|&p| Json::from(p)))),
+                    ("name", Json::from(dag.name())),
+                    ("n", Json::from(dag.n())),
+                    ("edges", Json::from(dag.edges().count())),
+                    ("dag_text", Json::from(io::to_text(&dag))),
+                ]))
+            }
+        }
+    }
+}
+
+/// Extracts the shared `(dag, k, r, g)` instance parameters.
+fn instance_params(body: &Json) -> Result<(Dag, usize, usize, u64), ApiError> {
+    let dag = dag_from_body(body)?;
+    let k = req_u64(body, "k")? as usize;
+    let r = req_u64(body, "r")? as usize;
+    let g = req_u64(body, "g")?;
+    if k == 0 || k > 512 {
+        return Err(bad(format!("k={k} out of range 1..=512")));
+    }
+    if r == 0 || r > 1_000_000 {
+        return Err(bad(format!("r={r} out of range 1..=1000000")));
+    }
+    if dag.n() == 0 {
+        return Err(bad("DAG has no nodes"));
+    }
+    if dag.n() > MAX_NODES {
+        return Err(bad(format!(
+            "DAG of {} nodes exceeds limit {MAX_NODES}",
+            dag.n()
+        )));
+    }
+    if r <= dag.max_in_degree() {
+        return Err(ApiError::new(
+            422,
+            format!(
+                "infeasible: r={r} but the DAG needs r ≥ {} (max in-degree + 1)",
+                dag.max_in_degree() + 1
+            ),
+        ));
+    }
+    Ok((dag, k, r, g))
+}
+
+/// Builds the DAG from either `"dag_text"` or `"generator"`.
+fn dag_from_body(body: &Json) -> Result<Dag, ApiError> {
+    match (body.get("dag_text"), body.get("generator")) {
+        (Some(Json::Str(text)), None) => io::parse(text).map_err(|e| bad(format!("dag_text: {e}"))),
+        (None, Some(spec)) => {
+            let (family, params) = generator_spec(spec)?;
+            build_dag(&family, &params).map_err(bad)
+        }
+        (Some(_), Some(_)) => Err(bad("give either \"dag_text\" or \"generator\", not both")),
+        (Some(_), None) => Err(bad("\"dag_text\" must be a string")),
+        (None, None) => Err(bad("missing DAG: provide \"dag_text\" or \"generator\"")),
+    }
+}
+
+fn generator_spec(spec: &Json) -> Result<(String, Vec<usize>), ApiError> {
+    let family = spec
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("generator: missing \"family\" string"))?
+        .to_string();
+    let params = match spec.get("params") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .filter(|&u| u <= (1 << 20))
+                    .map(|u| u as usize)
+                    .ok_or_else(|| bad("generator: params must be non-negative integers ≤ 2^20"))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(bad("generator: \"params\" must be an array")),
+    };
+    Ok((family, params))
+}
+
+fn req_u64(body: &Json, key: &str) -> Result<u64, ApiError> {
+    body.get(key)
+        .ok_or_else(|| bad(format!("missing \"{key}\"")))?
+        .as_u64()
+        .ok_or_else(|| bad(format!("\"{key}\" must be a non-negative integer")))
+}
+
+fn opt_u64(body: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+/// The instance summary object embedded in every result core, including
+/// the canonical-instance fingerprint (`rbp_trace::hash_hex` over DAG
+/// text + parameters).
+#[must_use]
+pub fn instance_json(dag: &Dag, k: usize, r: usize, g: u64) -> Json {
+    let hash =
+        rbp_trace::hash_hex(format!("instance|k={k}|r={r}|g={g}|{}", io::to_text(dag)).as_bytes());
+    Json::obj([
+        ("name", Json::from(dag.name())),
+        ("n", Json::from(dag.n())),
+        ("k", Json::from(k)),
+        ("r", Json::from(r)),
+        ("g", Json::from(g)),
+        ("hash", Json::from(hash)),
+    ])
+}
+
+/// Builds a generated DAG by family name — the shared registry behind
+/// `POST /v1/generate`, generator specs in instance bodies, and the
+/// `rbp gen` CLI subcommand.
+///
+/// # Errors
+/// A human-readable message for unknown families or wrong arity.
+pub fn build_dag(family: &str, params: &[usize]) -> Result<Dag, String> {
+    let need = |n: usize| -> Result<(), String> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{family}: expected {n} parameters, got {}",
+                params.len()
+            ))
+        }
+    };
+    match family {
+        "chain" => {
+            need(1)?;
+            Ok(generators::chain(params[0]))
+        }
+        "chains" => {
+            need(2)?;
+            Ok(generators::independent_chains(params[0], params[1]))
+        }
+        "tree" => {
+            need(1)?;
+            Ok(generators::binary_in_tree(params[0]))
+        }
+        "grid" => {
+            need(2)?;
+            Ok(generators::grid(params[0], params[1]))
+        }
+        "fft" => {
+            need(1)?;
+            let log_n =
+                u32::try_from(params[0]).map_err(|_| "fft: parameter too large".to_string())?;
+            if log_n > 16 {
+                return Err("fft: log_n capped at 16".to_string());
+            }
+            Ok(generators::fft(log_n))
+        }
+        "matmul" => {
+            need(1)?;
+            Ok(generators::matmul(params[0]))
+        }
+        "diamond" => {
+            need(1)?;
+            Ok(generators::diamond(params[0]))
+        }
+        "pyramid" => {
+            need(1)?;
+            Ok(generators::pyramid(params[0]))
+        }
+        "zipper" => {
+            need(2)?;
+            Ok(rbp_gadgets::Zipper::build(params[0], params[1], 0).dag)
+        }
+        "random" => {
+            need(2)?;
+            Ok(generators::random_dag(params[0], 0.2, params[1] as u64))
+        }
+        "layered" => {
+            need(4)?;
+            Ok(generators::layered_random(
+                params[0],
+                params[1],
+                params[2],
+                params[3] as u64,
+            ))
+        }
+        other => Err(format!(
+            "unknown family '{other}' \
+             (chain|chains|tree|grid|fft|matmul|diamond|pyramid|zipper|random|layered)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_body(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn solve_body_roundtrip_and_cache_key_stability() {
+        let body =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        let w1 = Work::parse("solve", &body).unwrap();
+        let w2 = Work::parse("solve", &body).unwrap();
+        assert_eq!(w1.endpoint(), "solve");
+        assert_eq!(w1.cache_key(), w2.cache_key());
+
+        // The same instance given as inline text hits the same key.
+        let dag = build_dag("grid", &[2, 3]).unwrap();
+        let text = io::to_text(&dag);
+        let inline = Json::obj([
+            ("dag_text", Json::from(text)),
+            ("k", Json::from(2u64)),
+            ("r", Json::from(3u64)),
+            ("g", Json::from(2u64)),
+        ]);
+        let w3 = Work::parse("solve", &inline).unwrap();
+        assert_eq!(w1.cache_key(), w3.cache_key());
+
+        // Different parameters → different key.
+        let other =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":4,"g":2}"#);
+        assert_ne!(
+            Work::parse("solve", &other).unwrap().cache_key(),
+            w1.cache_key()
+        );
+    }
+
+    #[test]
+    fn validation_failures_carry_status() {
+        let missing = parse_body(r#"{"k":2,"r":3,"g":2}"#);
+        assert_eq!(Work::parse("solve", &missing).unwrap_err().status, 400);
+
+        let infeasible =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":1,"g":2}"#);
+        assert_eq!(Work::parse("solve", &infeasible).unwrap_err().status, 422);
+
+        let too_big =
+            parse_body(r#"{"generator":{"family":"grid","params":[30,30]},"k":2,"r":3,"g":2}"#);
+        let err = Work::parse("solve", &too_big).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.msg.contains("portfolio"), "{}", err.msg);
+
+        let unknown = Work::parse("nope", &missing).unwrap_err();
+        assert_eq!(unknown.status, 404);
+    }
+
+    #[test]
+    fn solve_executes_and_reports_optimum() {
+        let body = parse_body(r#"{"generator":{"family":"chain","params":[3]},"k":1,"r":2,"g":1}"#);
+        let work = Work::parse("solve", &body).unwrap();
+        let core = work.execute().unwrap();
+        assert_eq!(core.get("endpoint").unwrap().as_str(), Some("solve"));
+        assert_eq!(core.get("proven_optimal"), Some(&Json::Bool(true)));
+        assert!(core.get("total").unwrap().as_u64().unwrap() >= 3);
+        let inst = core.get("instance").unwrap();
+        assert_eq!(inst.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(inst.get("hash").unwrap().as_str().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn schedule_reports_registry_and_best() {
+        let body =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        let work = Work::parse("schedule", &body).unwrap();
+        let core = work.execute().unwrap();
+        let rows = core.get("schedulers").unwrap().as_arr().unwrap();
+        assert!(rows.len() >= 4, "registry has several schedulers");
+        let best = core
+            .get("best")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let min = rows
+            .iter()
+            .map(|r| r.get("total").unwrap().as_u64().unwrap())
+            .min()
+            .unwrap();
+        assert_eq!(best, min);
+    }
+
+    #[test]
+    fn bounds_sandwich_holds() {
+        let body =
+            parse_body(r#"{"generator":{"family":"grid","params":[3,3]},"k":2,"r":3,"g":2}"#);
+        let core = Work::parse("bounds", &body).unwrap().execute().unwrap();
+        let lower = core.get("lower").unwrap().as_u64().unwrap();
+        let upper = core.get("upper").unwrap().as_u64().unwrap();
+        assert!(lower <= upper);
+        assert_eq!(core.get("feasible"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn generate_emits_parseable_dag_text() {
+        let body = parse_body(r#"{"generator":{"family":"fft","params":[2]}}"#);
+        let core = Work::parse("generate", &body).unwrap().execute().unwrap();
+        let text = core.get("dag_text").unwrap().as_str().unwrap();
+        let dag = io::parse(text).unwrap();
+        assert_eq!(dag.n(), core.get("n").unwrap().as_u64().unwrap() as usize);
+    }
+
+    #[test]
+    fn build_dag_rejects_unknown_family_and_bad_arity() {
+        assert!(build_dag("nope", &[]).is_err());
+        assert!(build_dag("grid", &[3]).is_err());
+        assert!(build_dag("grid", &[3, 3]).is_ok());
+    }
+}

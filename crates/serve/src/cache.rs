@@ -1,0 +1,214 @@
+//! Sharded, content-addressed result cache with LRU eviction.
+//!
+//! Keys are [`rbp_trace::hash_hex`] digests of the *canonical instance*
+//! (endpoint, canonical DAG text, machine parameters — see
+//! `Work::cache_key`), so two requests describing the same problem in
+//! different ways (inline DAG text vs. a generator spec producing the
+//! same graph) still collide onto one entry. Values are the rendered
+//! JSON result cores handed back verbatim on a hit.
+//!
+//! The map is split into shards, each behind its own mutex, so cache
+//! probes from concurrent connection handlers do not serialize on one
+//! lock. Eviction is per-shard LRU via a monotonic use tick; hit/miss
+//! tallies are lock-free atomics surfaced in `/v1/stats` and as
+//! `serve.cache.*` trace counters.
+
+use std::hash::Hasher as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rbp_util::{FxHashMap, FxHasher};
+
+const SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: FxHashMap<String, Entry>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: String,
+    last_used: u64,
+}
+
+/// The service-wide result cache. Capacity 0 disables caching entirely
+/// (every probe is a miss, inserts are dropped).
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` entries (rounded up to a multiple
+    /// of the shard count; `cap == 0` disables).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: cap.div_ceil(SHARDS),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let mut h = FxHasher::default();
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its LRU position and counting the
+    /// probe as a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        if self.cap == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let hit = shard.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        });
+        drop(shard);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            rbp_trace::counter("serve.cache.hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            rbp_trace::counter("serve.cache.miss", 1);
+        }
+        hit
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry of the shard when it is full.
+    pub fn insert(&self, key: &str, value: String) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(key) && shard.map.len() >= self.per_shard_cap {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&victim);
+                rbp_trace::counter("serve.cache.evicted", 1);
+            }
+        }
+        shard.map.insert(
+            key.to_string(),
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of currently cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity (entry count).
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total hits since start.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses since start.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counting_and_roundtrip() {
+        let c = ResultCache::new(64);
+        assert_eq!(c.get("a"), None);
+        c.insert("a", "va".into());
+        assert_eq!(c.get("a").as_deref(), Some("va"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        // Single-entry shards: inserting two keys that land in the same
+        // shard must evict the older one.
+        let c = ResultCache::new(1); // per_shard_cap == 1
+        c.insert("k0", "v0".into());
+        // Find a second key in the same shard as k0.
+        let shard_of = |cache: &ResultCache, key: &str| {
+            let mut h = FxHasher::default();
+            h.write(key.as_bytes());
+            let _ = cache;
+            (h.finish() as usize) % SHARDS
+        };
+        let home = shard_of(&c, "k0");
+        let other = (1..1000)
+            .map(|i| format!("k{i}"))
+            .find(|k| shard_of(&c, k) == home)
+            .unwrap();
+        c.insert(&other, "v1".into());
+        assert_eq!(c.get("k0"), None, "old entry evicted");
+        assert_eq!(c.get(&other).as_deref(), Some("v1"));
+    }
+
+    #[test]
+    fn refreshing_protects_from_eviction() {
+        let c = ResultCache::new(SHARDS * 2); // two entries per shard
+        c.insert("x", "vx".into());
+        // Touch x so it is fresher than any subsequent same-shard key.
+        for i in 0..100 {
+            let _ = c.get("x");
+            c.insert(&format!("y{i}"), "vy".into());
+        }
+        assert_eq!(c.get("x").as_deref(), Some("vx"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResultCache::new(0);
+        c.insert("a", "v".into());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.cap(), 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Minimal HTTP/1.1 framing over [`std::net::TcpStream`].
+//!
+//! The service speaks just enough of the protocol for JSON request/
+//! response exchanges: one request per connection, `Content-Length`
+//! bodies, `Connection: close` on every response. The same module also
+//! provides the tiny blocking [`request`] client used by the in-process
+//! load harness (`exp_serve`) and the integration tests — both sides of
+//! the wire live next to each other so framing changes cannot drift
+//! apart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without the query string (e.g. `/v1/solve`).
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-cased).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, if valid.
+    #[must_use]
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A framing-level error: the HTTP status to answer with plus a
+/// human-readable message for the error body.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Response status code (400, 408, 413, …).
+    pub status: u16,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl HttpError {
+    fn new(status: u16, msg: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+/// [`HttpError`] with status 400 on malformed framing, 408 on a
+/// connection that hits the socket read timeout or closes early, 413
+/// when the body exceeds `max_body`, or 431 when the head exceeds the
+/// 16 KiB header limit.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut tmp = [0u8; 4096];
+
+    // Accumulate until the blank line terminating the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        let n = stream
+            .read(&mut tmp)
+            .map_err(|e| HttpError::new(408, format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed before full head"));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n").map(str::trim_end);
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "request line has no path"))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, "bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds limit {max_body}"),
+        ));
+    }
+
+    // The head scan may already have consumed part (or all) of the body.
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    let mut body: Vec<u8> = buf.get(body_start..).unwrap_or_default().to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut tmp)
+            .map_err(|e| HttpError::new(408, format!("body read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&tmp[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` JSON response and flushes the stream.
+///
+/// # Errors
+/// Propagates socket write failures (the peer may already be gone; the
+/// caller logs and drops the connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Blocking one-shot HTTP client: connects, sends `method path` with an
+/// optional JSON body, and reads the full response (the server closes
+/// the connection after each exchange).
+///
+/// # Errors
+/// Propagates connect/read/write failures and malformed response
+/// framing as [`std::io::Error`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw)
+}
+
+fn parse_client_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = find_head_end(raw).ok_or_else(|| bad("response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(request_bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = request_bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/solve?mode=async HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"k\":2}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.query.as_deref(), Some("mode=async"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str(), Some("{\"k\":2}"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /v1/healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let err = roundtrip(
+            b"POST /v1/solve HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+            10,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let err = roundtrip(b"NONSENSE\r\n\r\n", 1024).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn client_response_parsing() {
+        let resp = parse_client_response(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{\"error\":\"full\"}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, "{\"error\":\"full\"}");
+    }
+}

@@ -1,0 +1,96 @@
+//! # rbp-serve — pebbling as a service
+//!
+//! A zero-dependency HTTP/1.1 + JSON layer exposing the workspace's
+//! solver/scheduler/portfolio/bounds stack as a **long-lived service**
+//! instead of one-shot CLI runs. Solve results are expensive (OPT is
+//! NP-hard) and deterministic per instance, which makes them worth
+//! queueing and caching behind a daemon:
+//!
+//! - **Bounded job queue + worker pool** — submissions past `queue_cap`
+//!   are refused with `503` + `Retry-After` (explicit backpressure,
+//!   never a silent drop); `workers` threads execute jobs FIFO.
+//! - **Content-addressed result cache** — keyed by
+//!   [`rbp_trace::hash_hex`] over the canonical instance (endpoint,
+//!   canonical DAG text, machine parameters), sharded with per-shard
+//!   LRU eviction and hit/miss counters. A warm hit skips the queue
+//!   entirely.
+//! - **Per-request deadlines** — `deadline_ms` bounds both the queue
+//!   wait and the synchronous response; expired waits answer `504` with
+//!   a poll URL so the eventual result is still retrievable.
+//! - **Async jobs** — `"mode":"async"` returns `202` plus
+//!   `/v1/jobs/<id>` / `/v1/jobs/<id>/result` endpoints for
+//!   long-running solves.
+//! - **Graceful shutdown** — `POST /v1/shutdown` (or
+//!   [`ServerHandle::request_shutdown`]) stops accepting, drains every
+//!   admitted job, and answers all in-flight requests before exit.
+//!
+//! Endpoints (schema v1, documented in `docs/SCHEMAS.md`): `POST
+//! /v1/solve`, `/v1/schedule`, `/v1/portfolio`, `/v1/bounds`,
+//! `/v1/generate`, plus `GET /v1/healthz`, `GET /v1/stats`, `GET
+//! /v1/jobs/<id>[/result]`, and `POST /v1/shutdown`. Everything is
+//! instrumented with `serve.*` trace counters/gauges/spans.
+//!
+//! ```
+//! use rbp_serve::{http, ServeConfig, Server};
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 1,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let addr = server.addr();
+//! let resp = http::request(addr, "GET", "/v1/healthz", None, Duration::from_secs(5)).unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert!(resp.body.contains("\"status\":\"ok\""));
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod stats;
+
+pub use api::{build_dag, ApiError, Work};
+pub use cache::ResultCache;
+pub use jobs::{Job, JobQueue, JobState, PushError};
+pub use server::{Server, ServerHandle};
+pub use stats::ServeStats;
+
+/// Configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing jobs (minimum 1).
+    pub workers: usize,
+    /// Maximum number of jobs waiting in the queue; submissions beyond
+    /// it are refused with `503` + `Retry-After`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Default per-request deadline when the body carries none.
+    pub default_deadline_ms: u64,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    /// Ephemeral port, 4 workers, 64-deep queue, 256-entry cache, 30 s
+    /// deadline, 1 MiB bodies.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 256,
+            default_deadline_ms: 30_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}

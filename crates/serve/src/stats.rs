@@ -1,0 +1,185 @@
+//! Service-level counters and per-endpoint latency aggregation.
+//!
+//! Everything here is doubly reported: lock-free atomics feed the
+//! `GET /v1/stats` endpoint, and the same observations are mirrored to
+//! the global tracer as `serve.*` counters/gauges so a traced server
+//! run can be rendered with `rbp report`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rbp_util::json::Json;
+
+use crate::cache::ResultCache;
+
+/// One endpoint's latency aggregate (microseconds).
+#[derive(Debug, Default, Clone)]
+struct Latency {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Global service counters, shared by every connection handler and
+/// worker thread.
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    /// HTTP requests successfully parsed and routed.
+    pub accepted: AtomicU64,
+    /// Submissions refused with `503` (queue full / shutting down).
+    pub rejected: AtomicU64,
+    /// Jobs that finished with a result.
+    pub completed: AtomicU64,
+    /// Jobs that finished with an error (including queue-deadline
+    /// expiry).
+    pub failed: AtomicU64,
+    /// Synchronous waits that hit their deadline (`504` answers; the
+    /// job itself may still complete and populate the cache).
+    pub timeouts: AtomicU64,
+    latency: Mutex<Vec<(String, Latency)>>,
+}
+
+impl ServeStats {
+    /// Fresh counters; `started` anchors the uptime report.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeStats {
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            latency: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one executed job's latency under its endpoint name and
+    /// mirrors it as a `serve.latency_us.<endpoint>` gauge.
+    pub fn record_latency(&self, endpoint: &str, us: u64) {
+        let mut lat = self.latency.lock().unwrap();
+        match lat.iter_mut().find(|(n, _)| n == endpoint) {
+            Some((_, l)) => {
+                l.count += 1;
+                l.total_us += us;
+                l.max_us = l.max_us.max(us);
+            }
+            None => lat.push((
+                endpoint.to_string(),
+                Latency {
+                    count: 1,
+                    total_us: us,
+                    max_us: us,
+                },
+            )),
+        }
+        drop(lat);
+        rbp_trace::gauge(&format!("serve.latency_us.{endpoint}"), us as f64);
+    }
+
+    /// The `GET /v1/stats` response body.
+    #[must_use]
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        workers: usize,
+        cache: &ResultCache,
+    ) -> Json {
+        let hits = cache.hits();
+        let misses = cache.misses();
+        let probes = hits + misses;
+        let hit_rate = if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        };
+        let endpoints = {
+            let lat = self.latency.lock().unwrap();
+            let rows: Vec<(String, Json)> = lat
+                .iter()
+                .map(|(name, l)| {
+                    (
+                        name.clone(),
+                        Json::obj([
+                            ("count", Json::from(l.count)),
+                            (
+                                "mean_us",
+                                Json::from(l.total_us.checked_div(l.count).unwrap_or(0)),
+                            ),
+                            ("max_us", Json::from(l.max_us)),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::Obj(rows)
+        };
+        Json::obj([
+            (
+                "uptime_us",
+                Json::from(u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)),
+            ),
+            (
+                "accepted",
+                Json::from(self.accepted.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected",
+                Json::from(self.rejected.load(Ordering::Relaxed)),
+            ),
+            (
+                "completed",
+                Json::from(self.completed.load(Ordering::Relaxed)),
+            ),
+            ("failed", Json::from(self.failed.load(Ordering::Relaxed))),
+            (
+                "timeouts",
+                Json::from(self.timeouts.load(Ordering::Relaxed)),
+            ),
+            ("queue_depth", Json::from(queue_depth)),
+            ("queue_cap", Json::from(queue_cap)),
+            ("workers", Json::from(workers)),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::from(cache.len())),
+                    ("cap", Json::from(cache.cap())),
+                    ("hits", Json::from(hits)),
+                    ("misses", Json::from(misses)),
+                    ("hit_rate", Json::from(hit_rate)),
+                ]),
+            ),
+            ("endpoints", endpoints),
+        ])
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_aggregates_per_endpoint() {
+        let s = ServeStats::new();
+        s.record_latency("solve", 100);
+        s.record_latency("solve", 300);
+        s.record_latency("bounds", 10);
+        s.accepted.store(3, Ordering::Relaxed);
+        let cache = ResultCache::new(4);
+        let j = s.to_json(1, 8, 2, &cache);
+        assert_eq!(j.get("accepted").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(1));
+        let solve = j.get("endpoints").unwrap().get("solve").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(solve.get("mean_us").unwrap().as_u64(), Some(200));
+        assert_eq!(solve.get("max_us").unwrap().as_u64(), Some(300));
+    }
+}

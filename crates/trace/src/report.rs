@@ -57,9 +57,17 @@ pub fn parse(text: &str) -> Result<Trace, String> {
 /// gauges (last value per name), and a span timing summary.
 ///
 /// # Errors
-/// See [`parse`].
+/// See [`parse`]; additionally, a trace that carries no renderable
+/// events (header-only files, or files whose events are all of unknown
+/// types) is refused — an empty report would read as a successful run
+/// that recorded nothing.
 pub fn render(text: &str) -> Result<String, String> {
     let trace = parse(text)?;
+    if trace.events.is_empty() {
+        return Err(
+            "trace has a manifest but no events (was the run interrupted before flushing?)".into(),
+        );
+    }
     let mut out = String::new();
 
     let tool = trace
@@ -144,7 +152,10 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
     if tables == 0 && counters.is_empty() && gauges.is_empty() && spans.is_empty() {
-        let _ = writeln!(out, "\n(no events)");
+        return Err(format!(
+            "trace has {} event(s) but none are renderable (no tables, counters, gauges, or spans)",
+            trace.events.len()
+        ));
     }
     Ok(out)
 }
@@ -226,9 +237,13 @@ mod tests {
     }
 
     #[test]
-    fn render_handles_event_free_trace() {
+    fn render_refuses_event_free_trace() {
         let text = "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"t\",\"git_rev\":null}\n";
-        let report = render(text).unwrap();
-        assert!(report.contains("(no events)"));
+        let err = render(text).unwrap_err();
+        assert!(err.contains("no events"), "{err}");
+        // Events that exist but render to nothing are refused too.
+        let only_unknown = format!("{text}{{\"type\":\"mystery\",\"ts_us\":1}}\n");
+        let err = render(&only_unknown).unwrap_err();
+        assert!(err.contains("none are renderable"), "{err}");
     }
 }

@@ -1,0 +1,158 @@
+//! Property test: `render → parse → render` is a fixpoint.
+//!
+//! Random `Json` values (nested arrays/objects, unicode and
+//! control-character strings, extreme integers, awkward floats) are
+//! rendered, reparsed, and re-rendered. After at most one normalizing
+//! roundtrip the string representation must be stable:
+//!
+//! - roundtrip 1 may normalize (`Float(1.0)` renders as `"1"` and
+//!   reparses as `UInt(1)`; NaN/∞ render as `null`),
+//! - but `parse(render(x))` must always succeed, and
+//! - `render(parse(s))` must equal `s` for any `s` already produced by
+//!   `render` — the fixpoint the trace/report pipeline relies on when
+//!   it hashes and diffs rendered artifacts.
+//!
+//! Deterministic per seed; set `RBP_SEED` to reproduce a failure.
+
+use rbp_util::json::Json;
+use rbp_util::{env_seed, Rng};
+
+/// Interesting integer corner cases, mixed in alongside random ones.
+const INT_CORNERS: &[i64] = &[0, -1, 1, i64::MIN, i64::MAX, -999_999_999_999];
+const UINT_CORNERS: &[u64] = &[0, 1, u64::MAX, 1 << 53, (1 << 53) + 1];
+const FLOAT_CORNERS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.5,
+    0.1,
+    1e-300,
+    1e300,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::MIN_POSITIVE,
+    std::f64::consts::PI,
+];
+const STR_CORNERS: &[&str] = &[
+    "",
+    "plain",
+    "with \"quotes\" and \\backslashes\\",
+    "newline\nand\ttab\rand\u{0}null",
+    "unicode: λ→∞ 🦀 日本語",
+    "\u{1b}escape\u{7f}",
+    "ends with backslash \\",
+];
+
+fn random_string(rng: &mut Rng) -> String {
+    if rng.bool(0.5) {
+        return STR_CORNERS[rng.index(STR_CORNERS.len())].to_string();
+    }
+    let len = rng.index(12);
+    (0..len)
+        .map(|_| {
+            // Bias toward characters that stress the escaper: controls,
+            // quotes, backslashes, non-ASCII.
+            match rng.index(6) {
+                0 => char::from(rng.index(0x20) as u8 & 0x1f), // control
+                1 => '"',
+                2 => '\\',
+                3 => char::from_u32(0x80 + rng.index(0x2000) as u32).unwrap_or('□'),
+                _ => char::from(0x20 + rng.index(0x5f) as u8), // printable ASCII
+            }
+        })
+        .collect()
+}
+
+fn random_json(rng: &mut Rng, depth: usize) -> Json {
+    let scalar_only = depth == 0;
+    match rng.index(if scalar_only { 7 } else { 9 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.bool(0.5)),
+        2 => Json::Int(if rng.bool(0.5) {
+            INT_CORNERS[rng.index(INT_CORNERS.len())]
+        } else {
+            rng.next_u64() as i64
+        }),
+        3 => Json::UInt(if rng.bool(0.5) {
+            UINT_CORNERS[rng.index(UINT_CORNERS.len())]
+        } else {
+            rng.next_u64()
+        }),
+        4 => Json::Float(if rng.bool(0.5) {
+            FLOAT_CORNERS[rng.index(FLOAT_CORNERS.len())]
+        } else {
+            f64::from_bits(rng.next_u64())
+        }),
+        5 | 6 => Json::Str(random_string(rng)),
+        7 => {
+            let n = rng.index(5);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.index(5);
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("{}_{i}", random_string(rng)),
+                            random_json(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn render_parse_render_is_a_fixpoint() {
+    let seed = env_seed(0x150_0e5d);
+    let mut rng = Rng::new(seed);
+    for case in 0..2000 {
+        let value = random_json(&mut rng, 4);
+        let s1 = value.render();
+        // Everything render produces must reparse.
+        let back = Json::parse(&s1).unwrap_or_else(|e| {
+            panic!("seed {seed} case {case}: render produced unparseable JSON ({e}): {s1}")
+        });
+        let s2 = back.render();
+        // One normalizing roundtrip later, the representation is stable.
+        let back2 = Json::parse(&s2)
+            .unwrap_or_else(|e| panic!("seed {seed} case {case}: reparse failed ({e}): {s2}"));
+        let s3 = back2.render();
+        assert_eq!(
+            s2, s3,
+            "seed {seed} case {case}: render∘parse not a fixpoint\n  original: {s1}"
+        );
+    }
+}
+
+#[test]
+fn pretty_rendering_roundtrips_to_the_same_value() {
+    let seed = env_seed(0x150_0e5d);
+    let mut rng = Rng::new(seed.wrapping_add(1));
+    for case in 0..500 {
+        let value = random_json(&mut rng, 3);
+        // Normalize twice so the comparison is between stable values:
+        // pass 1 collapses floats to ints and NaN to null, pass 2
+        // settles the variant (`Float(-0.0)` → `"-0"` → `Int(0)` →
+        // `"0"` → `UInt(0)`).
+        let once = Json::parse(&value.render()).unwrap();
+        let normal = Json::parse(&once.render()).unwrap();
+        let pretty = normal.render_pretty();
+        let reparsed = Json::parse(&pretty).unwrap_or_else(|e| {
+            panic!("seed {seed} case {case}: pretty unparseable ({e}):\n{pretty}")
+        });
+        assert_eq!(
+            reparsed,
+            normal,
+            "seed {seed} case {case}: pretty printing changed the value\n  compact: {}\n  pretty: {pretty}",
+            normal.render()
+        );
+        // And compact-rendering the reparsed value matches the
+        // compact rendering of the normalized value: pretty is pure
+        // whitespace.
+        assert_eq!(reparsed.render(), normal.render());
+    }
+}

@@ -36,4 +36,31 @@ baseline=$(echo "$summary" | sed -n 's/.* baseline=\([0-9]*\).*/\1/p')
 [ -n "$total" ] && [ -n "$baseline" ] && [ "$total" -le "$baseline" ] \
     || { echo "portfolio smoke failed: total=$total baseline=$baseline"; exit 1; }
 
+echo "== serve smoke (cache hit + graceful shutdown) =="
+serve_log=$(mktemp)
+./target/release/rbp serve --addr 127.0.0.1:0 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^rbp-serve listening on \(.*\)$/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve smoke failed: server never bound"; cat "$serve_log"; exit 1; }
+solve_body='{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}'
+r1=$(curl -sf -X POST "http://$addr/v1/solve" -d "$solve_body")
+r2=$(curl -sf -X POST "http://$addr/v1/solve" -d "$solve_body")
+echo "$r1" | grep -q '"cache":"miss"' || { echo "serve smoke: first solve not a miss: $r1"; exit 1; }
+echo "$r2" | grep -q '"cache":"hit"'  || { echo "serve smoke: second solve not a hit: $r2"; exit 1; }
+t1=$(echo "$r1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+t2=$(echo "$r2" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ -n "$t1" ] && [ "$t1" = "$t2" ] \
+    || { echo "serve smoke: cached total differs: cold=$t1 warm=$t2"; exit 1; }
+curl -sf -X POST "http://$addr/v1/shutdown" >/dev/null
+wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
+trap - EXIT
+rm -f "$serve_log"
+echo "serve smoke: cache hit with identical total=$t1, clean shutdown"
+
 echo "CI OK"

@@ -10,6 +10,7 @@
 //! rbp dot       <dag.txt>                      Graphviz DOT to stdout
 //! rbp gen       <family> [params…]             emit a generated DAG as text
 //! rbp report    <trace.jsonl>                  render a trace file as markdown
+//! rbp serve     [opts]                         run the HTTP pebbling service
 //! ```
 //!
 //! `improve` options: `--budget-ms <N>` (default 1000), `--driver
@@ -18,6 +19,12 @@
 //! `portfolio` options: `--budget-ms <N>` (default 1000),
 //! `--no-exact`. Both honor the workspace-wide `RBP_SEED` environment
 //! variable for deterministic reruns.
+//!
+//! `serve` options: `--addr <host:port>` (default `127.0.0.1:8017`;
+//! port `0` picks an ephemeral one, printed on startup), `--workers
+//! <N>`, `--queue-cap <N>`, `--cache-cap <N>`, `--deadline-ms <N>`.
+//! The HTTP API is documented in `docs/SCHEMAS.md`; `POST
+//! /v1/shutdown` drains and stops the server.
 //!
 //! DAG files use the `rbp_dag::io` text format (see crate docs).
 //!
@@ -29,7 +36,7 @@
 use std::process::ExitCode;
 
 use rbp::bounds::trivial;
-use rbp::core::rbp_dag::{dot, generators, io, Dag, DagStats};
+use rbp::core::rbp_dag::{dot, io, Dag, DagStats};
 use rbp::core::{
     async_makespan, batchify, solve_mpp, MppInstance, MppRun, MppRunStats, SolveLimits,
 };
@@ -296,8 +303,34 @@ fn run(args: &[String]) -> Result<(), String> {
                 .iter()
                 .map(|s| s.parse().map_err(|_| format!("bad number '{s}'")))
                 .collect::<Result<_, _>>()?;
-            let dag = generate(family, &nums)?;
+            let dag = rbp::serve::build_dag(family, &nums)?;
             print!("{}", io::to_text(&dag));
+            Ok(())
+        }
+        "serve" => {
+            let parse_flag = |flag: &str, default: usize| -> Result<usize, String> {
+                flag_value(args, flag)?.map_or(Ok(default), |v| {
+                    v.parse::<usize>().map_err(|_| format!("bad {flag}"))
+                })
+            };
+            let defaults = rbp::serve::ServeConfig::default();
+            let cfg = rbp::serve::ServeConfig {
+                addr: flag_value(args, "--addr")?
+                    .unwrap_or("127.0.0.1:8017")
+                    .to_string(),
+                workers: parse_flag("--workers", defaults.workers)?,
+                queue_cap: parse_flag("--queue-cap", defaults.queue_cap)?,
+                cache_cap: parse_flag("--cache-cap", defaults.cache_cap)?,
+                default_deadline_ms: parse_flag(
+                    "--deadline-ms",
+                    defaults.default_deadline_ms as usize,
+                )? as u64,
+                max_body_bytes: defaults.max_body_bytes,
+            };
+            let server = rbp::serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+            println!("rbp-serve listening on {}", server.addr());
+            server.wait();
+            println!("rbp-serve drained, exiting");
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'")),
@@ -330,56 +363,4 @@ fn krg(args: &[String]) -> Result<(usize, usize, u64), String> {
             .map_err(|_| format!("bad {name}"))
     };
     Ok((p(2, "k")? as usize, p(3, "r")? as usize, p(4, "g")?))
-}
-
-fn generate(family: &str, nums: &[usize]) -> Result<Dag, String> {
-    let need = |n: usize| -> Result<(), String> {
-        if nums.len() == n {
-            Ok(())
-        } else {
-            Err(format!(
-                "{family}: expected {n} parameters, got {}",
-                nums.len()
-            ))
-        }
-    };
-    match family {
-        "chain" => {
-            need(1)?;
-            Ok(generators::chain(nums[0]))
-        }
-        "chains" => {
-            need(2)?;
-            Ok(generators::independent_chains(nums[0], nums[1]))
-        }
-        "tree" => {
-            need(1)?;
-            Ok(generators::binary_in_tree(nums[0]))
-        }
-        "grid" => {
-            need(2)?;
-            Ok(generators::grid(nums[0], nums[1]))
-        }
-        "fft" => {
-            need(1)?;
-            Ok(generators::fft(
-                u32::try_from(nums[0]).map_err(|_| "fft: too large")?,
-            ))
-        }
-        "matmul" => {
-            need(1)?;
-            Ok(generators::matmul(nums[0]))
-        }
-        "zipper" => {
-            need(2)?;
-            Ok(rbp::gadgets::Zipper::build(nums[0], nums[1], 0).dag)
-        }
-        "random" => {
-            need(2)?;
-            Ok(generators::random_dag(nums[0], 0.2, nums[1] as u64))
-        }
-        other => Err(format!(
-            "unknown family '{other}' (chain|chains|tree|grid|fft|matmul|zipper|random)"
-        )),
-    }
 }

@@ -3,8 +3,9 @@
 //! Facade crate re-exporting the whole workspace: the pebbling games
 //! ([`core`]), the DAG substrate ([`dag`]), heuristic schedulers
 //! ([`schedulers`]), anytime refinement and the racing solver portfolio
-//! ([`refine`]), the paper's proof constructions ([`gadgets`]), and
-//! lower bounds ([`bounds`]).
+//! ([`refine`]), the paper's proof constructions ([`gadgets`]), lower
+//! bounds ([`bounds`]), and the pebbling-as-a-service HTTP layer
+//! ([`serve`]).
 //!
 //! See the repository README for a guided tour and `examples/` for
 //! runnable entry points (`cargo run --example quickstart`).
@@ -23,6 +24,9 @@ pub use rbp_gadgets as gadgets;
 pub use rbp_refine as refine;
 /// Heuristic schedulers producing valid strategies.
 pub use rbp_schedulers as schedulers;
+/// Pebbling as a service: HTTP/1.1 + JSON job queue, result cache,
+/// worker pool.
+pub use rbp_serve as serve;
 /// Structured observability: trace events, sinks, manifests, reports.
 pub use rbp_trace as trace;
 /// Zero-dependency utilities (hashing, RNG, JSON) used by the tests and

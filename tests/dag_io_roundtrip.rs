@@ -1,0 +1,78 @@
+//! Roundtrip tests for the DAG text format: every checked-in
+//! `tests/fixtures/*.dag` file must parse, re-serialize, and re-parse
+//! to an identical graph, and the second serialization must equal the
+//! first (`to_text ∘ parse` is a fixpoint).
+
+use std::path::PathBuf;
+
+use rbp::dag::{io, Dag};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Every `.dag` file under `tests/fixtures/`, sorted for stable output.
+fn dag_fixtures() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(fixture_dir())
+        .expect("tests/fixtures exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "dag").then_some(p)
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+fn assert_same_dag(a: &Dag, b: &Dag, context: &str) {
+    assert_eq!(a.name(), b.name(), "{context}: name");
+    assert_eq!(a.n(), b.n(), "{context}: node count");
+    assert_eq!(a.m(), b.m(), "{context}: edge count");
+    let edges_a: Vec<_> = a.edges().collect();
+    let edges_b: Vec<_> = b.edges().collect();
+    assert_eq!(edges_a, edges_b, "{context}: edges");
+    for (va, vb) in edges_a.iter().flat_map(|&(u, v)| [(u, u), (v, v)]) {
+        assert_eq!(a.label(va), b.label(vb), "{context}: label of {va:?}");
+    }
+}
+
+#[test]
+fn fixtures_exist() {
+    let paths = dag_fixtures();
+    assert!(
+        paths.len() >= 4,
+        "expected at least 4 .dag fixtures, found {}: {paths:?}",
+        paths.len()
+    );
+}
+
+#[test]
+fn every_fixture_roundtrips_identically() {
+    for path in dag_fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let dag = io::parse(&text).unwrap_or_else(|e| panic!("{name}: does not parse: {e}"));
+        let text2 = io::to_text(&dag);
+        let dag2 = io::parse(&text2)
+            .unwrap_or_else(|e| panic!("{name}: re-serialized text does not parse: {e}"));
+        assert_same_dag(&dag, &dag2, &name);
+        // The serializer is canonical: a second pass is byte-identical.
+        assert_eq!(
+            text2,
+            io::to_text(&dag2),
+            "{name}: to_text ∘ parse is not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn labeled_fixture_keeps_labels_through_the_roundtrip() {
+    let text = std::fs::read_to_string(fixture_dir().join("zipper_2x2.dag")).unwrap();
+    let dag = io::parse(&text).unwrap();
+    let relabeled = io::parse(&io::to_text(&dag)).unwrap();
+    let labels: Vec<&str> = (0..u32::try_from(dag.n()).unwrap())
+        .map(|v| relabeled.label(rbp::dag::NodeId(v)))
+        .collect();
+    assert!(labels.contains(&"u0"), "{labels:?}");
+    assert!(labels.contains(&"w1"), "{labels:?}");
+}

@@ -39,3 +39,24 @@ fn truncated_trace_is_rejected() {
     let future = "{\"type\":\"manifest\",\"schema\":999,\"tool\":\"t\",\"git_rev\":null}\n";
     assert!(parse(future).is_err());
 }
+
+#[test]
+fn empty_trace_is_a_clear_error_not_an_empty_report() {
+    // A completely empty file.
+    let err = render("").unwrap_err();
+    assert!(err.contains("empty trace file"), "{err}");
+    // Whitespace-only counts as empty too.
+    let err = render("\n  \n").unwrap_err();
+    assert!(err.contains("empty trace file"), "{err}");
+}
+
+#[test]
+fn header_only_trace_is_a_clear_error_not_an_empty_report() {
+    // A manifest with zero events: a run that died before flushing.
+    // `rbp report` must refuse rather than print a vacuous report.
+    let header = "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"t\",\"git_rev\":null}\n";
+    let err = render(header).unwrap_err();
+    assert!(err.contains("no events"), "{err}");
+    // parse() itself still accepts the header — only rendering refuses.
+    assert!(parse(header).is_ok());
+}
