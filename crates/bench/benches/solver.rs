@@ -57,6 +57,7 @@ fn main() {
         let cfg = SearchConfig {
             symmetry: sym,
             heuristic: heur,
+            threads: 1,
             limits: SolveLimits::default(),
         };
         let label = format!(
@@ -84,6 +85,7 @@ fn main() {
         let cfg = SearchConfig {
             symmetry: false,
             heuristic: heur,
+            threads: 1,
             limits: SolveLimits::default(),
         };
         let outcome = solve_spp_with(&inst, &cfg);

@@ -25,9 +25,7 @@ fn main() {
             .expect("k=1 exact");
         let ok = solve_mpp(
             &MppInstance::new(&dag, k, (r0 / k).max(2), 2),
-            SolveLimits {
-                max_states: 2_000_000,
-            },
+            SolveLimits::states(2_000_000),
         );
         let Some(ok) = ok else {
             println!("(k={k}: exact solve out of budget, skipped)");

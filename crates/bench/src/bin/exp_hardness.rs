@@ -18,9 +18,7 @@ fn main() {
     for items in [vec![1usize, 1], vec![2, 1], vec![1, 1, 1]] {
         let dag = two_layer_partition(&items);
         let r = dag.max_in_degree() + 1;
-        let lim = SolveLimits {
-            max_states: 1_500_000,
-        };
+        let lim = SolveLimits::states(1_500_000);
         let Some(o1) = solve_mpp(&MppInstance::new(&dag, 1, r, 3), lim) else {
             continue;
         };

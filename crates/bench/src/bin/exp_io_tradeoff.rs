@@ -44,9 +44,7 @@ fn main() {
     );
     match rbp_core::solve_mpp(
         &MppInstance::new(&l.dag, 2, 4, 1),
-        SolveLimits {
-            max_states: 500_000,
-        },
+        SolveLimits::states(500_000),
     ) {
         Some(o2) => println!(
             "OPT(2) = {} with {} I/O steps",

@@ -41,9 +41,7 @@ fn main() {
     println!("\n-- exact verification on the tiny instance (d=1, n0=2, g=3) --\n");
     let tz = TwoZippers::build(1, 2);
     let g = 3;
-    let lim = SolveLimits {
-        max_states: 400_000,
-    };
+    let lim = SolveLimits::states(400_000);
     let o1 = solve_mpp(&MppInstance::new(&tz.dag, 1, tz.fair_r(1), g), lim).unwrap();
     let o2 = solve_mpp(&MppInstance::new(&tz.dag, 2, tz.fair_r(2), g), lim).unwrap();
     println!(
@@ -54,7 +52,7 @@ fn main() {
     );
     match solve_mpp(
         &MppInstance::new(&tz.dag, 4, tz.fair_r(4), g),
-        SolveLimits { max_states: 40_000 },
+        SolveLimits::states(40_000),
     ) {
         Some(o4) => println!(
             "OPT(4) = {}   (OPT(2) ≤ OPT(4): {})",

@@ -1,13 +1,18 @@
 //! E-SOLVER — before/after sweep of the exact-solver optimizations.
 //!
 //! Runs the exact MPP solver over an `(n, k, r, g)` grid of DAG
-//! families twice per instance — baseline (plain Dijkstra, no symmetry
-//! reduction) and optimized (processor-symmetry canonicalization +
-//! admissible A\*) — in parallel across scoped worker threads, checks
-//! the optima agree, and reports per-instance wall time and
-//! settled-state counts plus aggregate speedups. Results land in
-//! `BENCH_solver.json` for commit-to-commit comparison; the EXPERIMENTS
-//! speedup table is regenerated from this run.
+//! families per instance as baseline (plain Dijkstra, no symmetry
+//! reduction), optimized (processor-symmetry canonicalization +
+//! admissible A\*), and a `--threads ∈ {2, 4}` scaling sweep of the
+//! hash-sharded parallel engine — checking all optima agree — and
+//! reports per-instance wall time, settled-state counts, packed-arena
+//! memory (peak bytes and bytes per interned state, against a measured
+//! reconstruction of the legacy `HashMap<Key, Entry>` closed-set
+//! layout), and aggregate speedups.
+//! Results land in `BENCH_solver.json` (with the host's
+//! `hardware_threads`, so single-core runs are honest about why the
+//! thread sweep cannot speed up) for commit-to-commit comparison; the
+//! EXPERIMENTS speedup table is regenerated from this run.
 //!
 //! Usage: `exp_solver [--quick]` (`--quick` trims the grid for CI).
 
@@ -16,8 +21,8 @@ use std::time::Instant;
 use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::{generators, Dag};
 use rbp_core::{solve_mpp_with, MppInstance, SearchConfig, SearchStats};
-use rbp_util::env_seed;
 use rbp_util::json::Json;
+use rbp_util::{env_seed, FxHashMap};
 
 struct Case {
     dag: Dag,
@@ -25,6 +30,13 @@ struct Case {
     k: usize,
     r: usize,
     g: u64,
+}
+
+/// One parallel-engine run at a fixed thread count.
+struct ThreadPoint {
+    threads: usize,
+    wall_ns: u64,
+    stats: SearchStats,
 }
 
 struct Outcome {
@@ -36,6 +48,57 @@ struct Outcome {
     base_stats: SearchStats,
     opt_ns: u64,
     opt_stats: SearchStats,
+    /// Measured allocation of the pre-arena closed set for the same
+    /// interned-state count (see [`legacy_closed_set_bytes`]).
+    legacy_bytes: u64,
+    thread_points: Vec<ThreadPoint>,
+}
+
+/// The pre-arena closed-set layout, reconstructed so its footprint can
+/// be *measured* rather than modeled: `FxHashMap<Key, Entry<Key>>` with
+/// `Key = {reds: [u64; 4], blue: u64}` (40 bytes regardless of `k`) and
+/// `Entry = {dist, parent: Key, mv}` cloning the full key again as the
+/// parent link (56 bytes padded).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct LegacyKey {
+    reds: [u64; 4],
+    blue: u64,
+}
+
+/// Never read back — the struct exists only to size the allocation.
+#[allow(dead_code)]
+struct LegacyEntry {
+    dist: u64,
+    parent: LegacyKey,
+    mv: u32,
+}
+
+/// Allocated bytes of the pre-arena closed set for `states` stored
+/// entries, measured by replaying that many distinct insertions into
+/// the identical map type and reading back its real capacity. The
+/// SwissTable behind `std::HashMap` stores the `(Key, Entry)` pair
+/// inline per bucket plus one control byte, with power-of-two bucket
+/// counts grown at 7/8 load — so the *allocated* bytes per state vary
+/// with where the final size lands between doublings, exactly like the
+/// packed arena's capacity-based figure it is compared against.
+fn legacy_closed_set_bytes(states: u64) -> u64 {
+    let mut map: FxHashMap<LegacyKey, LegacyEntry> = FxHashMap::default();
+    for i in 0..states {
+        let key = LegacyKey {
+            reds: [i, 0, 0, 0],
+            blue: !i,
+        };
+        let entry = LegacyEntry {
+            dist: i,
+            parent: key,
+            mv: 0,
+        };
+        map.insert(key, entry);
+    }
+    // Usable capacity is 7/8 of the power-of-two bucket count.
+    let buckets = (map.capacity() * 8 / 7).next_power_of_two();
+    let pair = std::mem::size_of::<(LegacyKey, LegacyEntry)>();
+    (buckets * (pair + 1)) as u64
 }
 
 fn grid_cases(quick: bool) -> Vec<Case> {
@@ -97,6 +160,27 @@ fn run_case(case: &Case) -> Outcome {
         .validate(&inst)
         .expect("optimized witness validates");
 
+    // Thread-scaling sweep of the sharded engine; every point must
+    // prove the same optimum.
+    let mut thread_points = Vec::new();
+    for threads in [2usize, 4] {
+        let cfg = opt_cfg.with_threads(threads);
+        let t = Instant::now();
+        let par = solve_mpp_with(&inst, &cfg);
+        let wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let p = par.solution.expect("parallel solved");
+        assert_eq!(
+            p.total, o.total,
+            "{} k={} r={} g={}: --threads {threads} changed the optimum",
+            case.family, case.k, case.r, case.g
+        );
+        thread_points.push(ThreadPoint {
+            threads,
+            wall_ns,
+            stats: par.stats,
+        });
+    }
+
     Outcome {
         label: format!("{} k={} r={} g={}", case.family, case.k, case.r, case.g),
         n: case.dag.n(),
@@ -105,7 +189,9 @@ fn run_case(case: &Case) -> Outcome {
         base_ns,
         base_stats: base.stats,
         opt_ns,
+        legacy_bytes: legacy_closed_set_bytes(opt.stats.arena_states),
         opt_stats: opt.stats,
+        thread_points,
     }
 }
 
@@ -129,10 +215,17 @@ fn main() {
         "opt settled",
         "settled x",
         "wall x",
+        "bytes/st",
+        "mem x",
+        "t2 ms",
+        "t4 ms",
     ]);
     let mut rows = Vec::new();
     let (mut k2_settled_base, mut k2_settled_opt) = (0u64, 0u64);
     let (mut k2_ns_base, mut k2_ns_opt) = (0u64, 0u64);
+    let (mut k2_arena_bytes, mut k2_arena_states) = (0u64, 0u64);
+    let mut k2_legacy_bytes = 0u64;
+    let mut k2_thread_ns = [0u64; 2];
     for o in &results {
         let settled_x = o.base_stats.settled as f64 / o.opt_stats.settled.max(1) as f64;
         let wall_x = o.base_ns as f64 / o.opt_ns.max(1) as f64;
@@ -146,13 +239,39 @@ fn main() {
             o.opt_stats.settled.to_string(),
             format!("{settled_x:.1}x"),
             format!("{wall_x:.1}x"),
+            format!("{:.1}", o.opt_stats.bytes_per_state()),
+            format!(
+                "{:.1}x",
+                o.legacy_bytes as f64 / o.opt_stats.arena_peak_bytes.max(1) as f64
+            ),
+            format!("{:.2}", o.thread_points[0].wall_ns as f64 / 1e6),
+            format!("{:.2}", o.thread_points[1].wall_ns as f64 / 1e6),
         ]);
         if o.k >= 2 && o.n >= 8 {
             k2_settled_base += o.base_stats.settled;
             k2_settled_opt += o.opt_stats.settled;
             k2_ns_base += o.base_ns;
             k2_ns_opt += o.opt_ns;
+            k2_arena_bytes += o.opt_stats.arena_peak_bytes;
+            k2_arena_states += o.opt_stats.arena_states;
+            k2_legacy_bytes += o.legacy_bytes;
+            for (slot, p) in k2_thread_ns.iter_mut().zip(&o.thread_points) {
+                *slot += p.wall_ns;
+            }
         }
+        let threads_json: Vec<Json> = o
+            .thread_points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("threads", Json::from(p.threads)),
+                    ("wall_ns", Json::from(p.wall_ns)),
+                    ("settled", Json::from(p.stats.settled)),
+                    ("cross_sends", Json::from(p.stats.cross_sends)),
+                    ("arena_peak_bytes", Json::from(p.stats.arena_peak_bytes)),
+                ])
+            })
+            .collect();
         rows.push(Json::obj(vec![
             ("instance", Json::from(o.label.as_str())),
             ("n", Json::from(o.n)),
@@ -164,20 +283,63 @@ fn main() {
             ("opt_settled", Json::from(o.opt_stats.settled)),
             ("base_pushed", Json::from(o.base_stats.pushed)),
             ("opt_pushed", Json::from(o.opt_stats.pushed)),
+            (
+                "opt_arena_peak_bytes",
+                Json::from(o.opt_stats.arena_peak_bytes),
+            ),
+            (
+                "opt_bytes_per_state",
+                Json::from(o.opt_stats.bytes_per_state()),
+            ),
+            ("legacy_bytes", Json::from(o.legacy_bytes)),
+            ("threads", Json::Arr(threads_json)),
         ]));
     }
     t.print_traced("E-SOLVER");
 
     let settled_speedup = k2_settled_base as f64 / k2_settled_opt.max(1) as f64;
     let wall_speedup = k2_ns_base as f64 / k2_ns_opt.max(1) as f64;
+    // Per *interned* state on both sides (each layout stores every
+    // relaxed state, not just settled ones), allocation-measured on
+    // both sides — see `legacy_closed_set_bytes`.
+    let bytes_per_state = k2_arena_bytes as f64 / k2_arena_states.max(1) as f64;
+    let legacy_per_state = k2_legacy_bytes as f64 / k2_arena_states.max(1) as f64;
+    let bytes_reduction = k2_legacy_bytes as f64 / k2_arena_bytes.max(1) as f64;
+    let hardware_threads = std::thread::available_parallelism().map_or(0, usize::from);
     println!(
         "\naggregate over k>=2, n>=8: settled-state reduction {settled_speedup:.1}x, \
          wall-clock speedup {wall_speedup:.1}x"
     );
+    println!(
+        "memory: {bytes_per_state:.1} bytes/interned state packed vs \
+         {legacy_per_state:.1} measured pre-arena layout ({bytes_reduction:.1}x smaller)"
+    );
+    for (i, threads) in [2usize, 4].into_iter().enumerate() {
+        println!(
+            "threads={threads}: wall {:.1}x vs opt t1 ({} hardware threads on this host)",
+            k2_ns_opt as f64 / k2_thread_ns[i].max(1) as f64,
+            hardware_threads
+        );
+    }
 
+    let thread_aggregate: Vec<Json> = [2usize, 4]
+        .into_iter()
+        .zip(k2_thread_ns)
+        .map(|(threads, ns)| {
+            Json::obj(vec![
+                ("threads", Json::from(threads)),
+                ("wall_ns", Json::from(ns)),
+                (
+                    "speedup_vs_t1",
+                    Json::from(k2_ns_opt as f64 / ns.max(1) as f64),
+                ),
+            ])
+        })
+        .collect();
     let json = Json::obj(vec![
         ("suite", Json::from("solver")),
         ("quick", Json::from(quick)),
+        ("hardware_threads", Json::from(hardware_threads)),
         (
             "aggregate_k2",
             Json::obj(vec![
@@ -187,6 +349,13 @@ fn main() {
                 ("opt_settled", Json::from(k2_settled_opt)),
                 ("base_wall_ns", Json::from(k2_ns_base)),
                 ("opt_wall_ns", Json::from(k2_ns_opt)),
+                ("arena_peak_bytes", Json::from(k2_arena_bytes)),
+                ("arena_states", Json::from(k2_arena_states)),
+                ("legacy_bytes", Json::from(k2_legacy_bytes)),
+                ("bytes_per_state", Json::from(bytes_per_state)),
+                ("legacy_bytes_per_state", Json::from(legacy_per_state)),
+                ("bytes_reduction", Json::from(bytes_reduction)),
+                ("threads", Json::Arr(thread_aggregate)),
             ]),
         ),
         ("results", Json::Arr(rows)),

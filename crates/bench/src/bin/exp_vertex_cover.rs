@@ -42,12 +42,7 @@ fn main() {
         let vc = min_vertex_cover(gr);
         let dag = incidence_dag(gr);
         let inst = SppInstance::with_compute(&dag, r, g);
-        let sol = solve_spp(
-            &inst,
-            SolveLimits {
-                max_states: 4_000_000,
-            },
-        );
+        let sol = solve_spp(&inst, SolveLimits::states(4_000_000));
         (
             name.clone(),
             gr.n,

@@ -1,0 +1,632 @@
+//! Sequential and hash-sharded parallel A\* drivers over the [`Domain`]
+//! abstraction.
+//!
+//! Both exact solvers (MPP and SPP) describe their state space through
+//! [`Domain`] — packing/unpacking of bit-packed keys, goal test,
+//! admissible heuristic, successor enumeration — and the drivers here
+//! own the search loop, the packed interning arenas, and the frontier.
+//!
+//! `threads = 1` runs [`sequential`]: the classic A\* loop, stopping at
+//! the first goal pop (optimal under the consistent heuristic), with
+//! identical expansion order to the pre-refactor engine.
+//!
+//! `threads ≥ 2` runs [`parallel`], an HDA\*-style search (Kishimoto et
+//! al.): every canonical state is **owned** by the shard its hash maps
+//! to ([`shard_of`]); each worker keeps a private arena + frontier for
+//! its shard and forwards successors it does not own over bounded SPSC
+//! rings. A shared atomic **incumbent** (best goal distance so far)
+//! prunes pushes and pops; goals are not expanded but recorded, and the
+//! search continues until global quiescence — at which point every
+//! frontier's minimum `f` is at least the incumbent, which (with the
+//! admissible heuristic) proves the incumbent optimal. Quiescence is
+//! detected with monotone sent/received message counters plus an idle
+//! bitmask, double-read so a racing message cannot be missed: `sent` is
+//! incremented *before* a ring push and `received` *after* the message
+//! is fully processed, so "all workers idle and `sent == received`"
+//! observed twice with no send in between implies no work exists
+//! anywhere.
+//!
+//! Resource limits are **global** at any thread count: a shared settled
+//! counter and the shared deadline abort every worker through a status
+//! word, and the distinct abort causes surface as
+//! [`StopReason::StateLimit`] vs [`StopReason::Deadline`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::arena::{gid, gid_idx, gid_shard, hash_words, shard_of, StateArena, MAX_KEY_WORDS};
+use crate::search::{
+    Frontier, PackedMove, SearchConfig, SearchStats, ShardStats, StopReason, MAX_THREADS,
+};
+use crate::spsc::Spsc;
+
+/// A solver-specific description of an implicit shortest-path space.
+///
+/// Implementations canonicalize inside [`Domain::expand`] (the driver
+/// never sees raw states) and must keep the emission order
+/// deterministic — the sequential engine's tie-breaking, and therefore
+/// its exact witness, depends on it.
+pub(crate) trait Domain: Sync {
+    /// Unpacked state (solver-native masks).
+    type Key: Copy;
+    /// Reusable per-worker expansion scratch.
+    type Scratch: Default;
+
+    /// Packed-key width in 64-bit words (at most [`MAX_KEY_WORDS`]).
+    fn key_words(&self) -> usize;
+    /// Packs `key` into exactly [`Domain::key_words`] words.
+    fn pack(&self, key: &Self::Key, out: &mut [u64]);
+    /// Inverse of [`Domain::pack`].
+    fn unpack(&self, words: &[u64]) -> Self::Key;
+    /// The (already canonical) start state.
+    fn root(&self) -> Self::Key;
+    /// Goal test.
+    fn is_goal(&self, key: &Self::Key) -> bool;
+    /// Admissible lower bound on remaining cost; `None` marks the state
+    /// provably dead (never enqueued). Must return `Some(0)`-style
+    /// constants when the heuristic is disabled in config so baselines
+    /// stay comparable — the driver calls this blindly.
+    fn heuristic(&self, key: &Self::Key) -> Option<u64>;
+    /// Emits every canonical successor as `(key, edge_cost, move)`.
+    fn expand(
+        &self,
+        key: &Self::Key,
+        scratch: &mut Self::Scratch,
+        emit: &mut dyn FnMut(Self::Key, u64, PackedMove),
+    );
+    /// Upper bound on every `f` value (selects the frontier
+    /// representation).
+    fn max_priority(&self) -> u64;
+}
+
+/// What a driver run produced: the optimal cost plus the root-to-goal
+/// `(state, move)` path when solved, and the counters either way.
+pub(crate) struct DriverOutcome<K> {
+    /// `(optimal_cost, path)` where `path[i] = (state_before_move_i,
+    /// move_i)` from the root to the goal.
+    pub best: Option<(u64, Vec<(K, PackedMove)>)>,
+    pub stats: SearchStats,
+    pub shards: Vec<ShardStats>,
+    pub reason: StopReason,
+}
+
+impl<K> DriverOutcome<K> {
+    fn stopped(stats: SearchStats, shards: Vec<ShardStats>, reason: StopReason) -> Self {
+        DriverOutcome {
+            best: None,
+            stats,
+            shards,
+            reason,
+        }
+    }
+}
+
+/// Entry point: dispatches on `config.threads` (clamped to
+/// `1..=MAX_THREADS`).
+pub(crate) fn search<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
+    let threads = config.threads.clamp(1, MAX_THREADS);
+    if threads == 1 {
+        sequential(domain, config)
+    } else {
+        parallel(domain, config, threads)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequential driver
+// ---------------------------------------------------------------------
+
+fn sequential<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
+    let start = Instant::now();
+    let kw = domain.key_words();
+    let root = domain.root();
+    let mut stats = SearchStats {
+        threads: 1,
+        ..SearchStats::default()
+    };
+    let Some(h0) = domain.heuristic(&root) else {
+        // The start state is already dead: unsolvable.
+        return DriverOutcome::stopped(stats, Vec::new(), StopReason::Exhausted);
+    };
+    stats.h_root = h0;
+
+    let mut arena = StateArena::new(kw);
+    let mut frontier: Frontier<u32> = Frontier::new(domain.max_priority());
+    stats.heap_fallback = matches!(frontier, Frontier::Heap(_));
+
+    let mut wbuf = [0u64; MAX_KEY_WORDS];
+    domain.pack(&root, &mut wbuf[..kw]);
+    let (ridx, _) = arena.relax(&wbuf[..kw], hash_words(&wbuf[..kw]), 0, gid(0, 0), 0);
+    debug_assert_eq!(ridx, 0, "root interns at index 0");
+    frontier.push(h0, 0, 0);
+    stats.pushed = 1;
+    stats.frontier_peak = 1;
+
+    let mut scratch = D::Scratch::default();
+    let mut succs: Vec<(D::Key, u64, PackedMove)> = Vec::new();
+    let reason = loop {
+        let Some((_f, idx, d)) = frontier.pop() else {
+            break StopReason::Exhausted;
+        };
+        if arena.meta(idx).dist != d {
+            stats.stale += 1;
+            continue;
+        }
+        let key = domain.unpack(arena.key_words(idx));
+        if domain.is_goal(&key) {
+            stats.arena_states = arena.len() as u64;
+            stats.arena_peak_bytes = arena.bytes();
+            let path = reconstruct_path(domain, &[&arena], gid(0, idx));
+            return DriverOutcome {
+                best: Some((d, path)),
+                stats,
+                shards: Vec::new(),
+                reason: StopReason::Solved,
+            };
+        }
+        stats.settled += 1;
+        if stats.settled > config.limits.max_states as u64 {
+            break StopReason::StateLimit;
+        }
+        if let Some(dl) = config.limits.deadline {
+            if start.elapsed() >= dl {
+                break StopReason::Deadline;
+            }
+        }
+        succs.clear();
+        domain.expand(&key, &mut scratch, &mut |k2, c, mv| succs.push((k2, c, mv)));
+        for &(k2, c, mv) in &succs {
+            let nd = d + c;
+            domain.pack(&k2, &mut wbuf[..kw]);
+            let h = hash_words(&wbuf[..kw]);
+            let (idx2, improved) = arena.relax(&wbuf[..kw], h, nd, gid(0, idx), mv);
+            if improved {
+                if let Some(hv) = domain.heuristic(&k2) {
+                    frontier.push(nd + hv, idx2, nd);
+                    stats.pushed += 1;
+                    stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
+                }
+            }
+        }
+    };
+    stats.arena_states = arena.len() as u64;
+    stats.arena_peak_bytes = arena.bytes();
+    DriverOutcome::stopped(stats, Vec::new(), reason)
+}
+
+/// Walks the parent chain from `goal_gid` back to the root (marked by a
+/// self-loop parent) across the given shard arenas and returns the
+/// forward `(state, move)` path.
+fn reconstruct_path<D: Domain>(
+    domain: &D,
+    arenas: &[&StateArena],
+    goal_gid: u64,
+) -> Vec<(D::Key, PackedMove)> {
+    let mut rev = Vec::new();
+    let mut cur = goal_gid;
+    loop {
+        let m = arenas[gid_shard(cur)].meta(gid_idx(cur));
+        if m.parent == cur {
+            break; // root self-loop
+        }
+        let p = m.parent;
+        rev.push((
+            domain.unpack(arenas[gid_shard(p)].key_words(gid_idx(p))),
+            m.mv,
+        ));
+        cur = p;
+    }
+    rev.reverse();
+    rev
+}
+
+// ---------------------------------------------------------------------
+// Parallel (hash-sharded) driver
+// ---------------------------------------------------------------------
+
+/// Frontier pops per worker iteration between inbox drains.
+const POP_BATCH: usize = 32;
+/// Capacity of each cross-shard SPSC ring (messages).
+const CHAN_CAP: usize = 1 << 10;
+
+const STATUS_RUNNING: u64 = 0;
+const STATUS_DONE: u64 = 1;
+const STATUS_STATE_LIMIT: u64 = 2;
+const STATUS_DEADLINE: u64 = 3;
+
+/// A cross-shard successor hand-off: the packed key plus its tentative
+/// relaxation. `Copy`, fixed-size, so the SPSC ring can move it by
+/// bitwise read.
+#[derive(Clone, Copy)]
+struct Msg {
+    words: [u64; MAX_KEY_WORDS],
+    dist: u64,
+    parent: u64,
+    mv: PackedMove,
+}
+
+/// State shared by every worker of one parallel solve.
+struct Shared {
+    /// Best goal distance found so far (`u64::MAX` until the first
+    /// goal); updated only under the `goal` lock, so it decreases
+    /// monotonically.
+    incumbent: AtomicU64,
+    /// `(dist, gid)` of the best goal state.
+    goal: Mutex<Option<(u64, u64)>>,
+    /// Global settled-state counter (the `max_states` budget).
+    settled: AtomicU64,
+    /// Messages pushed to any ring (incremented *before* the push).
+    sent: AtomicU64,
+    /// Messages fully processed (incremented *after* processing).
+    received: AtomicU64,
+    /// Bitmask of workers currently idle.
+    idle: AtomicU64,
+    /// `STATUS_*` word; leaves `STATUS_RUNNING` exactly once.
+    status: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            incumbent: AtomicU64::new(u64::MAX),
+            goal: Mutex::new(None),
+            settled: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            idle: AtomicU64::new(0),
+            status: AtomicU64::new(STATUS_RUNNING),
+        }
+    }
+
+    /// First abort cause wins; later ones are ignored.
+    fn abort(&self, status: u64) {
+        let _ = self.status.compare_exchange(
+            STATUS_RUNNING,
+            status,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+}
+
+/// What each worker hands back after the join.
+struct WorkerResult {
+    arena: StateArena,
+    shard: ShardStats,
+    stale: u64,
+    frontier_peak: u64,
+    heap_fallback: bool,
+}
+
+struct Worker<'a, D: Domain> {
+    me: usize,
+    threads: usize,
+    kw: usize,
+    domain: &'a D,
+    shared: &'a Shared,
+    /// Full `threads x threads` ring matrix, indexed `from * threads +
+    /// to`; this worker consumes column `me` and produces row `me`.
+    chans: &'a [Spsc<Msg>],
+    start: Instant,
+    max_states: u64,
+    deadline: Option<std::time::Duration>,
+    arena: StateArena,
+    frontier: Frontier<u32>,
+    scratch: D::Scratch,
+    succs: Vec<(D::Key, u64, PackedMove)>,
+    settled: u64,
+    pushed: u64,
+    stale: u64,
+    sent: u64,
+    received: u64,
+    frontier_peak: u64,
+}
+
+impl<'a, D: Domain> Worker<'a, D> {
+    /// Relaxes an owned state given its packed words and hash; enqueues
+    /// it when the distance improved, the heuristic finds it alive, and
+    /// its `f` still beats the incumbent.
+    #[inline]
+    fn relax_owned(&mut self, words: &[u64], hash: u64, dist: u64, parent: u64, mv: PackedMove) {
+        let (idx, improved) = self.arena.relax(words, hash, dist, parent, mv);
+        if improved {
+            let key = self.domain.unpack(words);
+            if let Some(hv) = self.domain.heuristic(&key) {
+                let f = dist + hv;
+                if f < self.shared.incumbent.load(Ordering::Relaxed) {
+                    self.frontier.push(f, idx, dist);
+                    self.pushed += 1;
+                    self.frontier_peak = self.frontier_peak.max(self.frontier.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Drains every inbox once; returns whether any message arrived.
+    fn drain_inboxes(&mut self) -> bool {
+        let chans = self.chans;
+        let mut any = false;
+        for from in 0..self.threads {
+            if from == self.me {
+                continue;
+            }
+            while let Some(m) = chans[from * self.threads + self.me].try_pop() {
+                let h = hash_words(&m.words[..self.kw]);
+                self.relax_owned(&m.words[..self.kw], h, m.dist, m.parent, m.mv);
+                self.received += 1;
+                self.shared.received.fetch_add(1, Ordering::SeqCst);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Whether any inbox currently holds a message.
+    fn has_inbox_msgs(&self) -> bool {
+        (0..self.threads)
+            .any(|from| from != self.me && !self.chans[from * self.threads + self.me].is_empty())
+    }
+
+    /// Sends a successor to its owning shard, draining our own inboxes
+    /// while the target ring is full (receiving only relaxes locally and
+    /// never sends, so this cannot deadlock).
+    fn send(&mut self, to: usize, msg: Msg) {
+        self.shared.sent.fetch_add(1, Ordering::SeqCst);
+        self.sent += 1;
+        loop {
+            if self.chans[self.me * self.threads + to].try_push(msg) {
+                return;
+            }
+            if self.shared.status.load(Ordering::Acquire) != STATUS_RUNNING {
+                // Aborting: the message may be dropped, nobody will
+                // look at the counters again.
+                return;
+            }
+            if !self.drain_inboxes() {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Records a popped goal state, lowering the shared incumbent.
+    fn offer_goal(&self, dist: u64, g: u64) {
+        let mut best = self.shared.goal.lock().unwrap();
+        if best.is_none_or(|(bd, _)| dist < bd) {
+            *best = Some((dist, g));
+            self.shared.incumbent.store(dist, Ordering::SeqCst);
+        }
+    }
+
+    /// Idle protocol: advertise idleness, watch for new work, and
+    /// attempt quiescence detection. Returns `true` to terminate.
+    fn idle_protocol(&mut self) -> bool {
+        let my_bit = 1u64 << self.me;
+        let full_mask = if self.threads == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.threads) - 1
+        };
+        self.shared.idle.fetch_or(my_bit, Ordering::SeqCst);
+        loop {
+            if self.shared.status.load(Ordering::Acquire) != STATUS_RUNNING {
+                return true;
+            }
+            let inc = self.shared.incumbent.load(Ordering::SeqCst);
+            let has_local = self.frontier.peek_priority().is_some_and(|f| f < inc);
+            if self.has_inbox_msgs() || has_local {
+                self.shared.idle.fetch_and(!my_bit, Ordering::SeqCst);
+                return false;
+            }
+            // Double-read quiescence check: no message can be in flight
+            // between two observations of equal monotone counters with
+            // every worker idle throughout.
+            let s1 = self.shared.sent.load(Ordering::SeqCst);
+            let r1 = self.shared.received.load(Ordering::SeqCst);
+            if s1 == r1 && self.shared.idle.load(Ordering::SeqCst) == full_mask {
+                let s2 = self.shared.sent.load(Ordering::SeqCst);
+                if s2 == s1 && self.shared.idle.load(Ordering::SeqCst) == full_mask {
+                    self.shared.abort(STATUS_DONE);
+                    return true;
+                }
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    fn run(mut self) -> WorkerResult {
+        let domain = self.domain;
+        let kw = self.kw;
+        'outer: while self.shared.status.load(Ordering::Acquire) == STATUS_RUNNING {
+            let mut progress = self.drain_inboxes();
+            for _ in 0..POP_BATCH {
+                let inc = self.shared.incumbent.load(Ordering::Relaxed);
+                let Some((f, idx, d)) = self.frontier.pop() else {
+                    break;
+                };
+                progress = true;
+                if self.arena.meta(idx).dist != d {
+                    self.stale += 1;
+                    continue;
+                }
+                if f >= inc {
+                    // Can no longer beat the incumbent; with the
+                    // monotone incumbent this holds forever. Discard.
+                    continue;
+                }
+                let key = domain.unpack(self.arena.key_words(idx));
+                if domain.is_goal(&key) {
+                    self.offer_goal(d, gid(self.me, idx));
+                    continue;
+                }
+                self.settled += 1;
+                let g = self.shared.settled.fetch_add(1, Ordering::Relaxed) + 1;
+                if g > self.max_states {
+                    self.shared.abort(STATUS_STATE_LIMIT);
+                    break 'outer;
+                }
+                if let Some(dl) = self.deadline {
+                    if self.start.elapsed() >= dl {
+                        self.shared.abort(STATUS_DEADLINE);
+                        break 'outer;
+                    }
+                }
+                let mut succs = std::mem::take(&mut self.succs);
+                succs.clear();
+                domain.expand(&key, &mut self.scratch, &mut |k2, c, mv| {
+                    succs.push((k2, c, mv));
+                });
+                let parent = gid(self.me, idx);
+                for &(k2, c, mv) in &succs {
+                    let nd = d + c;
+                    if nd >= self.shared.incumbent.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let mut wbuf = [0u64; MAX_KEY_WORDS];
+                    domain.pack(&k2, &mut wbuf[..kw]);
+                    let h = hash_words(&wbuf[..kw]);
+                    let owner = shard_of(h, self.threads);
+                    if owner == self.me {
+                        self.relax_owned(&wbuf[..kw], h, nd, parent, mv);
+                    } else {
+                        self.send(
+                            owner,
+                            Msg {
+                                words: wbuf,
+                                dist: nd,
+                                parent,
+                                mv,
+                            },
+                        );
+                    }
+                }
+                self.succs = succs;
+            }
+            if !progress && self.idle_protocol() {
+                break;
+            }
+        }
+        WorkerResult {
+            shard: ShardStats {
+                shard: self.me as u64,
+                settled: self.settled,
+                pushed: self.pushed,
+                sent: self.sent,
+                received: self.received,
+                arena_states: self.arena.len() as u64,
+                arena_bytes: self.arena.bytes(),
+            },
+            stale: self.stale,
+            frontier_peak: self.frontier_peak,
+            heap_fallback: matches!(self.frontier, Frontier::Heap(_)),
+            arena: self.arena,
+        }
+    }
+}
+
+fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> DriverOutcome<D::Key> {
+    let start = Instant::now();
+    let kw = domain.key_words();
+    let root = domain.root();
+    let mut stats = SearchStats {
+        threads: threads as u64,
+        ..SearchStats::default()
+    };
+    let Some(h0) = domain.heuristic(&root) else {
+        return DriverOutcome::stopped(stats, Vec::new(), StopReason::Exhausted);
+    };
+    stats.h_root = h0;
+
+    let mut root_words = [0u64; MAX_KEY_WORDS];
+    domain.pack(&root, &mut root_words[..kw]);
+    let root_hash = hash_words(&root_words[..kw]);
+    let root_owner = shard_of(root_hash, threads);
+
+    let shared = Shared::new();
+    let chans: Vec<Spsc<Msg>> = (0..threads * threads)
+        .map(|_| Spsc::new(CHAN_CAP))
+        .collect();
+    let max_states = config.limits.max_states as u64;
+    let deadline = config.limits.deadline;
+    let max_priority = domain.max_priority();
+
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                let shared = &shared;
+                let chans = &chans[..];
+                s.spawn(move || {
+                    let mut w = Worker {
+                        me,
+                        threads,
+                        kw,
+                        domain,
+                        shared,
+                        chans,
+                        start,
+                        max_states,
+                        deadline,
+                        arena: StateArena::new(kw),
+                        frontier: Frontier::new(max_priority),
+                        scratch: D::Scratch::default(),
+                        succs: Vec::new(),
+                        settled: 0,
+                        pushed: 0,
+                        stale: 0,
+                        sent: 0,
+                        received: 0,
+                        frontier_peak: 0,
+                    };
+                    if me == root_owner {
+                        let (ridx, _) =
+                            w.arena
+                                .relax(&root_words[..kw], root_hash, 0, gid(me, 0), 0);
+                        debug_assert_eq!(ridx, 0);
+                        w.frontier.push(h0, 0, 0);
+                        w.pushed = 1;
+                        w.frontier_peak = 1;
+                    }
+                    w.run()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    });
+
+    let mut shards = Vec::with_capacity(threads);
+    for r in &results {
+        stats.settled += r.shard.settled;
+        stats.pushed += r.shard.pushed;
+        stats.stale += r.stale;
+        stats.frontier_peak += r.frontier_peak;
+        stats.heap_fallback |= r.heap_fallback;
+        stats.cross_sends += r.shard.sent;
+        stats.arena_states += r.shard.arena_states;
+        stats.arena_peak_bytes += r.shard.arena_bytes;
+        shards.push(r.shard);
+    }
+
+    match shared.status.load(Ordering::SeqCst) {
+        STATUS_STATE_LIMIT => DriverOutcome::stopped(stats, shards, StopReason::StateLimit),
+        STATUS_DEADLINE => DriverOutcome::stopped(stats, shards, StopReason::Deadline),
+        _ => {
+            let goal = *shared.goal.lock().unwrap();
+            if let Some((dist, ggid)) = goal {
+                let arenas: Vec<&StateArena> = results.iter().map(|r| &r.arena).collect();
+                let path = reconstruct_path(domain, &arenas, ggid);
+                DriverOutcome {
+                    best: Some((dist, path)),
+                    stats,
+                    shards,
+                    reason: StopReason::Solved,
+                }
+            } else {
+                DriverOutcome::stopped(stats, shards, StopReason::Exhausted)
+            }
+        }
+    }
+}

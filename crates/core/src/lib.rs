@@ -34,10 +34,13 @@
 
 #![deny(missing_docs)]
 
+mod arena;
 pub mod cost;
+mod driver;
 pub mod mpp;
 pub mod search;
 pub mod spp;
+mod spsc;
 pub mod translate;
 
 pub use cost::{Cost, CostModel};
@@ -46,7 +49,10 @@ pub use mpp::{
     IoClass, MppError, MppErrorKind, MppInstance, MppMove, MppRun, MppRunStats, MppSimulator,
     MppSolution, MppStrategy, Pebble, ProcId,
 };
-pub use search::{AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, SolveLimits};
+pub use search::{
+    trace_shards, AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, ShardStats,
+    SolveLimits, StopReason, MAX_THREADS,
+};
 pub use spp::{
     solve_spp, solve_spp_with, zero_io_order, zero_io_pebbling_exists, SppError, SppInstance,
     SppMove, SppSolution, SppState, SppStrategy, SppVariant,

@@ -30,7 +30,11 @@
 use rbp_dag::NodeId;
 use rbp_util::Json;
 
-use crate::search::{PackedMove, SearchConfig, SearchEngine, SearchOutcome, SearchStats};
+use crate::arena::{pack_fields, unpack_fields, words_for};
+use crate::driver::{self, Domain};
+use crate::search::{
+    trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
+};
 use crate::{AdmissibleHeuristic, Cost, MppInstance, MppMove, MppStrategy, Pebble, SolveLimits};
 
 const MAX_K: usize = 4;
@@ -167,36 +171,224 @@ pub fn solve_with(instance: &MppInstance, config: &SearchConfig) -> SearchOutcom
             ("g", Json::from(instance.model.g)),
             ("heuristic", Json::from(config.heuristic)),
             ("symmetry", Json::from(config.symmetry)),
+            ("threads", Json::from(config.threads.max(1))),
         ],
     );
-    let mut stats = SearchStats::default();
-    let solution = solve_inner(instance, config, &mut stats);
+    let (solution, stats, reason, shards) = solve_inner(instance, config);
     stats.trace("mpp", solution.as_ref().map(|s| s.total));
-    SearchOutcome { solution, stats }
+    trace_shards("mpp", &shards);
+    SearchOutcome {
+        solution,
+        stats,
+        reason,
+        shards,
+    }
 }
 
+/// The MPP state space described for the shared search drivers: keys
+/// are `(R^1..R^k, B)` masks bit-packed to `(k+1) * n` bits, successors
+/// are whole batched rule applications (canonicalized under processor
+/// symmetry before emission).
+struct MppDomain {
+    n: usize,
+    k: usize,
+    r: usize,
+    compute: u64,
+    g: u64,
+    preds_mask: Vec<u64>,
+    sinks_mask: u64,
+    heur: AdmissibleHeuristic,
+    use_heuristic: bool,
+    symmetry: bool,
+    max_priority: u64,
+}
+
+/// Reused per-worker expansion buffers (allocation-free inner loop).
+struct MppScratch {
+    opts: [Vec<u32>; MAX_K],
+    batch: Vec<(usize, u32)>,
+}
+
+impl Default for MppScratch {
+    fn default() -> Self {
+        MppScratch {
+            opts: [const { Vec::new() }; MAX_K],
+            batch: Vec::with_capacity(MAX_K),
+        }
+    }
+}
+
+impl Domain for MppDomain {
+    type Key = Key;
+    type Scratch = MppScratch;
+
+    fn key_words(&self) -> usize {
+        words_for(self.k + 1, self.n)
+    }
+
+    fn pack(&self, key: &Key, out: &mut [u64]) {
+        let mut fields = [0u64; MAX_K + 1];
+        fields[..self.k].copy_from_slice(&key.reds[..self.k]);
+        fields[self.k] = key.blue;
+        pack_fields(&fields[..self.k + 1], self.n, out);
+    }
+
+    fn unpack(&self, words: &[u64]) -> Key {
+        let mut fields = [0u64; MAX_K + 1];
+        unpack_fields(words, self.n, &mut fields[..self.k + 1]);
+        let mut reds = [0u64; MAX_K];
+        reds[..self.k].copy_from_slice(&fields[..self.k]);
+        Key {
+            reds,
+            blue: fields[self.k],
+        }
+    }
+
+    fn root(&self) -> Key {
+        Key {
+            reds: [0; MAX_K],
+            blue: 0,
+        }
+    }
+
+    fn is_goal(&self, key: &Key) -> bool {
+        self.sinks_mask & !(key.red_all() | key.blue) == 0
+    }
+
+    fn heuristic(&self, key: &Key) -> Option<u64> {
+        if self.use_heuristic {
+            self.heur.eval(key.red_all(), key.blue, 0)
+        } else {
+            Some(0)
+        }
+    }
+
+    fn max_priority(&self) -> u64 {
+        self.max_priority
+    }
+
+    fn expand(
+        &self,
+        key: &Key,
+        scratch: &mut MppScratch,
+        emit: &mut dyn FnMut(Key, u64, PackedMove),
+    ) {
+        let (k, r, n) = (self.k, self.r, self.n);
+        let key = *key;
+        let mut emit_raw = |mut raw: Key, cost: u64, mv: PackedMove| {
+            if self.symmetry {
+                sort_desc(&mut raw.reds[..k]);
+            }
+            emit(raw, cost, mv);
+        };
+
+        // --- R4-M: lazy red eviction on full processors (cost 0). ---
+        for j in 0..k {
+            if key.reds[j].count_ones() as usize >= r {
+                for i in iter_bits(key.reds[j]) {
+                    let mut nk = key;
+                    nk.reds[j] &= !(1u64 << i);
+                    emit_raw(nk, 0, encode_remove(j, i));
+                }
+            }
+        }
+
+        let MppScratch { opts, batch } = scratch;
+
+        // --- R3-M: batched computes. ---
+        // Options per processor: None (idle) or an eligible node.
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            if key.reds[j].count_ones() as usize >= r {
+                continue;
+            }
+            for i in 0..n as u32 {
+                let b = 1u64 << i;
+                if key.reds[j] & b == 0 && self.preds_mask[i as usize] & !key.reds[j] == 0 {
+                    opt.push(i);
+                }
+            }
+        }
+        for_each_batch(&opts[..k], false, batch, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
+        });
+
+        // --- R2-M: batched loads (distinct vertices). ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            if key.reds[j].count_ones() as usize >= r {
+                continue;
+            }
+            opt.extend(iter_bits(key.blue & !key.reds[j]));
+        }
+        for_each_batch(&opts[..k], true, batch, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
+        });
+
+        // --- R1-M: batched stores (distinct vertices). ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            opt.extend(iter_bits(key.reds[j] & !key.blue));
+        }
+        for_each_batch(&opts[..k], true, batch, &mut |batch| {
+            let mut nk = key;
+            for &(_, i) in batch {
+                nk.blue |= 1u64 << i;
+            }
+            emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
+        });
+    }
+}
+
+#[allow(clippy::type_complexity)]
 fn solve_inner(
     instance: &MppInstance,
     config: &SearchConfig,
-    stats_out: &mut SearchStats,
-) -> Option<MppSolution> {
+) -> (
+    Option<MppSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+) {
     let dag = instance.dag;
     let n = dag.n();
     let k = instance.k;
     if n > 64 || k > MAX_K || k == 0 {
-        return None;
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
     }
     if n == 0 {
-        return Some(MppSolution {
-            total: 0,
-            cost: Cost::zero(),
-            strategy: MppStrategy::new(),
-        });
+        return (
+            Some(MppSolution {
+                total: 0,
+                cost: Cost::zero(),
+                strategy: MppStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+        );
     }
     if !instance.is_feasible() {
-        return None;
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
     }
-    let r = instance.r;
     let model = instance.model;
 
     let preds_mask: Vec<u64> = dag
@@ -212,16 +404,6 @@ fn solve_inner(
         .iter()
         .fold(0u64, |m, s| m | (1u64 << s.index()));
 
-    let heur = AdmissibleHeuristic::for_mpp(instance);
-    let start = Key {
-        reds: [0; MAX_K],
-        blue: 0,
-    };
-    let h0 = if config.heuristic {
-        heur.eval(0, 0, 0).unwrap_or(0)
-    } else {
-        0
-    };
     // Priority ceiling for the bucket representation: twice the Lemma 1
     // trivial upper bound covers every f-value the search can push.
     let ub = (model.g * (dag.max_in_degree() as u64 + 1))
@@ -230,120 +412,25 @@ fn solve_inner(
     let max_priority = ub
         .saturating_mul(2)
         .saturating_add(model.g.saturating_add(model.compute));
-    let mut engine: SearchEngine<Key> = SearchEngine::new(start, h0, max_priority);
 
-    // Reused per-state buffers (allocation-free inner loop).
-    let mut opts: [Vec<u32>; MAX_K] = [const { Vec::new() }; MAX_K];
-    let mut batch: Vec<(usize, u32)> = Vec::with_capacity(MAX_K);
-
-    let relax =
-        |engine: &mut SearchEngine<Key>, from: Key, mut raw: Key, nd: u64, mv: PackedMove| {
-            if config.symmetry {
-                sort_desc(&mut raw.reds[..k]);
-            }
-            let to = raw;
-            engine.relax(from, to, nd, mv, || {
-                if config.heuristic {
-                    heur.eval(to.red_all(), to.blue, 0)
-                } else {
-                    Some(0)
-                }
-            });
-        };
-
-    while let Some((key, d)) = engine.pop() {
-        let red_all = key.red_all();
-        if sinks_mask & !(red_all | key.blue) == 0 {
-            *stats_out = engine.stats;
-            return Some(reconstruct(instance, &engine, key, d, config.symmetry));
-        }
-        if !engine.settle(config.limits) {
-            *stats_out = engine.stats;
-            return None;
-        }
-
-        // --- R4-M: lazy red eviction on full processors (cost 0). ---
-        for j in 0..k {
-            if key.reds[j].count_ones() as usize >= r {
-                for i in iter_bits(key.reds[j]) {
-                    let mut nk = key;
-                    nk.reds[j] &= !(1u64 << i);
-                    relax(&mut engine, key, nk, d, encode_remove(j, i));
-                }
-            }
-        }
-
-        // --- R3-M: batched computes. ---
-        // Options per processor: None (idle) or an eligible node.
-        for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            if key.reds[j].count_ones() as usize >= r {
-                continue;
-            }
-            for i in 0..n as u32 {
-                let b = 1u64 << i;
-                if key.reds[j] & b == 0 && preds_mask[i as usize] & !key.reds[j] == 0 {
-                    opt.push(i);
-                }
-            }
-        }
-        for_each_batch(&opts[..k], false, &mut batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            relax(
-                &mut engine,
-                key,
-                nk,
-                d + model.compute,
-                encode_batch(TAG_COMPUTE, batch),
-            );
-        });
-
-        // --- R2-M: batched loads (distinct vertices). ---
-        for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            if key.reds[j].count_ones() as usize >= r {
-                continue;
-            }
-            opt.extend(iter_bits(key.blue & !key.reds[j]));
-        }
-        for_each_batch(&opts[..k], true, &mut batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            relax(
-                &mut engine,
-                key,
-                nk,
-                d + model.g,
-                encode_batch(TAG_LOAD, batch),
-            );
-        });
-
-        // --- R1-M: batched stores (distinct vertices). ---
-        for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            opt.extend(iter_bits(key.reds[j] & !key.blue));
-        }
-        for_each_batch(&opts[..k], true, &mut batch, &mut |batch| {
-            let mut nk = key;
-            for &(_, i) in batch {
-                nk.blue |= 1u64 << i;
-            }
-            relax(
-                &mut engine,
-                key,
-                nk,
-                d + model.g,
-                encode_batch(TAG_STORE, batch),
-            );
-        });
-    }
-    *stats_out = engine.stats;
-    None
+    let domain = MppDomain {
+        n,
+        k,
+        r: instance.r,
+        compute: model.compute,
+        g: model.g,
+        preds_mask,
+        sinks_mask,
+        heur: AdmissibleHeuristic::for_mpp(instance),
+        use_heuristic: config.heuristic,
+        symmetry: config.symmetry,
+        max_priority,
+    };
+    let out = driver::search(&domain, config);
+    let solution = out
+        .best
+        .map(|(total, path)| reconstruct(instance, path, total, config.symmetry));
+    (solution, out.stats, out.reason, out.shards)
 }
 
 /// Enumerates all non-empty batches: each processor picks one of its
@@ -401,15 +488,19 @@ fn for_each_batch(
 /// strategy validates against the ordinary rules.
 fn reconstruct(
     instance: &MppInstance,
-    engine: &SearchEngine<Key>,
-    goal: Key,
+    path: Vec<(Key, PackedMove)>,
     total: u64,
     symmetry: bool,
 ) -> MppSolution {
-    let path = engine.path(goal);
     let k = instance.k;
     let mut perm = [0usize, 1, 2, 3];
-    let mut cur = path.first().map_or(goal, |&(p, _)| p);
+    let mut cur = path.first().map_or(
+        Key {
+            reds: [0; MAX_K],
+            blue: 0,
+        },
+        |&(p, _)| p,
+    );
     let mut moves = Vec::with_capacity(path.len());
     for (parent, mv) in path {
         debug_assert_eq!(parent, cur);
@@ -436,7 +527,6 @@ fn reconstruct(
         }
         cur = next;
     }
-    debug_assert_eq!(cur, goal);
     let strategy = MppStrategy::from_moves(moves);
     let cost = strategy
         .validate(instance)
@@ -467,9 +557,7 @@ mod tests {
     use rbp_dag::{dag_from_edges, generators};
 
     fn limits() -> SolveLimits {
-        SolveLimits {
-            max_states: 500_000,
-        }
+        SolveLimits::states(500_000)
     }
 
     #[test]
@@ -558,11 +646,55 @@ mod tests {
     #[test]
     fn state_budget_aborts() {
         let d = generators::grid(3, 3);
-        assert!(solve(
+        let out = solve_with(
             &MppInstance::new(&d, 2, 3, 1),
-            SolveLimits { max_states: 5 }
-        )
-        .is_none());
+            &SearchConfig::default().with_limits(SolveLimits::states(5)),
+        );
+        assert!(out.solution.is_none());
+        assert_eq!(out.reason, StopReason::StateLimit);
+    }
+
+    #[test]
+    fn deadline_aborts_with_distinct_reason() {
+        let d = generators::grid(3, 3);
+        let limits = SolveLimits::states(500_000).with_deadline(std::time::Duration::from_nanos(0));
+        let out = solve_with(
+            &MppInstance::new(&d, 2, 3, 1),
+            &SearchConfig::default().with_limits(limits),
+        );
+        assert!(out.solution.is_none());
+        assert_eq!(out.reason, StopReason::Deadline);
+    }
+
+    #[test]
+    fn stop_reasons_for_trivial_and_unsupported() {
+        let d = dag_from_edges(1, &[]);
+        let out = solve_with(&MppInstance::new(&d, 2, 1, 3), &SearchConfig::default());
+        assert_eq!(out.reason, StopReason::Solved);
+        let big = generators::chain(65);
+        let out = solve_with(&MppInstance::new(&big, 2, 2, 1), &SearchConfig::default());
+        assert_eq!(out.reason, StopReason::Unsupported);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_cost() {
+        for (d, k, r, g) in [
+            (generators::grid(2, 3), 2, 3, 2),
+            (generators::binary_in_tree(4), 2, 3, 1),
+            (generators::independent_chains(2, 4), 2, 3, 2),
+        ] {
+            let inst = MppInstance::new(&d, k, r, g);
+            let seq = solve_with(&inst, &SearchConfig::default());
+            for threads in [2usize, 4] {
+                let par = solve_with(&inst, &SearchConfig::default().with_threads(threads));
+                let (s, p) = (seq.solution.as_ref().unwrap(), par.solution.unwrap());
+                assert_eq!(s.total, p.total, "{} threads={threads}", d.name());
+                p.strategy.validate(&inst).unwrap();
+                assert_eq!(par.reason, StopReason::Solved);
+                assert_eq!(par.shards.len(), threads);
+                assert_eq!(par.stats.threads, threads as u64);
+            }
+        }
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //!   `push` a `Vec` append, with zero per-operation heap rebalancing.
 //!   Instances whose cost range would make buckets wasteful (huge `g`)
 //!   fall back to a binary heap transparently.
-//! - `SearchEngine`: dist/parent bookkeeping in a single
-//!   `FxHashMap<Key, Entry>` (one probe per relaxation), compact `u32`
-//!   move encodings instead of heap-allocated move structs, and
-//!   [`SearchStats`] counters for the benchmark harness.
+//! - [`SearchStats`] / [`ShardStats`]: counters for the benchmark
+//!   harness and trace gauges, including the packed-arena memory axis.
+//!
+//! The search loop itself lives in `driver.rs` (sequential and
+//! hash-sharded parallel engines over the `Domain` trait), with state
+//! storage in `arena.rs` (packed interning) and cross-shard messaging
+//! in `spsc.rs`.
 //! - [`AdmissibleHeuristic`]: the lower bound guiding A\*. See the
 //!   admissibility argument on the type; it is also *consistent*, so
 //!   the first settling of a state is final and the bucket cursor never
@@ -26,23 +29,51 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-use rbp_util::FxHashMap;
+use std::time::Duration;
 
 use crate::{MppInstance, SppInstance};
 
 /// Resource limits for the exact solvers.
+///
+/// Limits are **global**: at any thread count the budget covers the
+/// whole solve, not each worker. The parallel solver enforces them
+/// through shared atomic counters and a shared deadline, so
+/// `max_states = 10_000` means the same thing at `threads = 1` and
+/// `threads = 8`.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveLimits {
-    /// Abort after settling this many states.
+    /// Abort after settling this many states (summed across shards).
     pub max_states: usize,
+    /// Abort when this much wall-clock time has elapsed since the
+    /// solve started (`None` = no deadline). Checked periodically, so
+    /// overshoot is bounded by one expansion batch.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SolveLimits {
     fn default() -> Self {
         SolveLimits {
             max_states: 2_000_000,
+            deadline: None,
         }
+    }
+}
+
+impl SolveLimits {
+    /// Limits with a settled-state budget and no deadline.
+    #[must_use]
+    pub fn states(max_states: usize) -> Self {
+        SolveLimits {
+            max_states,
+            ..SolveLimits::default()
+        }
+    }
+
+    /// These limits with a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -62,7 +93,7 @@ impl Default for SolveLimits {
 /// assert!(!reference.heuristic && !reference.symmetry);
 ///
 /// // Both knobs compose with a state budget:
-/// let bounded = fast.with_limits(SolveLimits { max_states: 10_000 });
+/// let bounded = fast.with_limits(SolveLimits::states(10_000));
 /// assert_eq!(bounded.limits.max_states, 10_000);
 /// ```
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +102,11 @@ pub struct SearchConfig {
     pub heuristic: bool,
     /// Canonicalize processor-symmetric MPP states (ignored by SPP).
     pub symmetry: bool,
+    /// Worker threads. `0` or `1` runs the sequential engine; `≥ 2`
+    /// runs the hash-sharded parallel engine (HDA\*-style state
+    /// ownership), which returns the same optimal costs. Capped at
+    /// [`MAX_THREADS`].
+    pub threads: usize,
     /// Resource limits.
     pub limits: SolveLimits,
 }
@@ -80,6 +116,7 @@ impl Default for SearchConfig {
         SearchConfig {
             heuristic: true,
             symmetry: true,
+            threads: 1,
             limits: SolveLimits::default(),
         }
     }
@@ -93,7 +130,7 @@ impl SearchConfig {
         SearchConfig {
             heuristic: false,
             symmetry: false,
-            limits: SolveLimits::default(),
+            ..SearchConfig::default()
         }
     }
 
@@ -102,6 +139,55 @@ impl SearchConfig {
     pub fn with_limits(mut self, limits: SolveLimits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// This configuration with a worker-thread count (see
+    /// [`SearchConfig::threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Hard cap on solver worker threads (shard count). The shard id must
+/// fit the packed global-state-id layout, and pebbling searches stop
+/// scaling long before this anyway.
+pub const MAX_THREADS: usize = 64;
+
+/// Why a solve stopped — distinguishes a proven answer from the
+/// different ways of running out of resources.
+///
+/// Pre-existing callers that only look at `SearchOutcome::solution`
+/// keep working; the reason disambiguates `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// An optimal solution was found and proven optimal.
+    Solved,
+    /// The reachable state space was exhausted without reaching a goal
+    /// (the instance is unsolvable, e.g. a dead one-shot variant).
+    Exhausted,
+    /// The global `max_states` settled-state budget ran out.
+    StateLimit,
+    /// The wall-clock deadline in [`SolveLimits::deadline`] passed.
+    Deadline,
+    /// The instance is outside the solver's supported range
+    /// (`n > 64`, `k > 4`, infeasible capacity).
+    Unsupported,
+}
+
+impl StopReason {
+    /// Short lowercase token for logs and JSON (`"solved"`,
+    /// `"exhausted"`, `"state_limit"`, `"deadline"`, `"unsupported"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Solved => "solved",
+            StopReason::Exhausted => "exhausted",
+            StopReason::StateLimit => "state_limit",
+            StopReason::Deadline => "deadline",
+            StopReason::Unsupported => "unsupported",
+        }
     }
 }
 
@@ -127,9 +213,34 @@ pub struct SearchStats {
     /// the heuristic is disabled). `h_root / OPT` measures heuristic
     /// tightness: 1.0 would be a perfect lower bound.
     pub h_root: u64,
+    /// Distinct states interned into the state arena(s) — discovered
+    /// states, settled or not.
+    pub arena_states: u64,
+    /// Peak bytes held by the state arena(s): packed key words, node
+    /// metadata, and the interning tables, summed over shards. The
+    /// memory axis of the before/after benchmarks;
+    /// [`SearchStats::bytes_per_state`] derives the per-state figure.
+    pub arena_peak_bytes: u64,
+    /// Successors handed to another shard over an SPSC channel
+    /// (always zero in the sequential engine).
+    pub cross_sends: u64,
+    /// Worker threads the solve actually used.
+    pub threads: u64,
 }
 
 impl SearchStats {
+    /// Arena bytes per interned state (`arena_peak_bytes /
+    /// arena_states`), the compactness figure the memory benchmarks
+    /// track. Zero before any state is interned.
+    #[must_use]
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.arena_states == 0 {
+            0.0
+        } else {
+            self.arena_peak_bytes as f64 / self.arena_states as f64
+        }
+    }
+
     /// Emits these counters through the global tracer under
     /// `solver.<which>.*` names, plus the heuristic-tightness gauge
     /// when the achieved optimum is known. No-op while tracing is
@@ -149,6 +260,17 @@ impl SearchStats {
             &format!("solver.{which}.heap_fallback"),
             u64::from(self.heap_fallback),
         );
+        rbp_trace::counter(&format!("solver.{which}.arena_states"), self.arena_states);
+        rbp_trace::gauge(
+            &format!("solver.{which}.arena_bytes"),
+            self.arena_peak_bytes as f64,
+        );
+        rbp_trace::gauge(
+            &format!("solver.{which}.bytes_per_state"),
+            self.bytes_per_state(),
+        );
+        rbp_trace::counter(&format!("solver.{which}.cross_sends"), self.cross_sends);
+        rbp_trace::gauge(&format!("solver.{which}.threads"), self.threads as f64);
         if let Some(total) = total {
             if total > 0 {
                 rbp_trace::gauge(
@@ -160,15 +282,64 @@ impl SearchStats {
     }
 }
 
+/// Per-shard counters from one parallel solve (empty for sequential
+/// runs). Emitted as `solver.<which>.shard<i>.*` trace gauges via
+/// [`trace_shards`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (also the owning worker thread's index).
+    pub shard: u64,
+    /// States this shard settled.
+    pub settled: u64,
+    /// Frontier pushes on this shard.
+    pub pushed: u64,
+    /// Successors this shard sent to other shards.
+    pub sent: u64,
+    /// Messages this shard received from other shards.
+    pub received: u64,
+    /// Distinct states interned into this shard's arena.
+    pub arena_states: u64,
+    /// Bytes held by this shard's arena (keys + metadata + table).
+    pub arena_bytes: u64,
+}
+
+/// Emits per-shard counters as `solver.<which>.shard<i>.{settled,
+/// pushed,sent,arena_bytes}` trace gauges. No-op while tracing is
+/// disabled or for sequential solves (empty slice).
+pub fn trace_shards(which: &str, shards: &[ShardStats]) {
+    if !rbp_trace::enabled() {
+        return;
+    }
+    for s in shards {
+        let i = s.shard;
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.settled"),
+            s.settled as f64,
+        );
+        rbp_trace::gauge(&format!("solver.{which}.shard{i}.pushed"), s.pushed as f64);
+        rbp_trace::gauge(&format!("solver.{which}.shard{i}.sent"), s.sent as f64);
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.arena_bytes"),
+            s.arena_bytes as f64,
+        );
+    }
+}
+
 /// Result of an exact solve together with the search counters that
 /// produced it — the unit the before/after benchmarks compare.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome<T> {
     /// The optimal solution, or `None` when the instance is infeasible,
-    /// too large, provably unsolvable, or the state budget ran out.
+    /// too large, provably unsolvable, or a resource limit was hit
+    /// (see [`SearchOutcome::reason`] for which).
     pub solution: Option<T>,
     /// Search-effort counters for this run.
     pub stats: SearchStats,
+    /// Why the search stopped; disambiguates `solution == None`
+    /// between "proven unsolvable", "state budget", and "deadline".
+    pub reason: StopReason,
+    /// Per-shard counters (empty for sequential solves).
+    pub shards: Vec<ShardStats>,
 }
 
 /// A compact one-word move encoding; the solvers define the bit layout.
@@ -226,7 +397,8 @@ impl<K: Copy + Ord> Frontier<K> {
         }
     }
 
-    pub(crate) fn pop(&mut self) -> Option<(K, u64)> {
+    /// Pops the minimum-priority entry as `(priority, key, dist)`.
+    pub(crate) fn pop(&mut self) -> Option<(u64, K, u64)> {
         match self {
             Frontier::Buckets {
                 buckets,
@@ -240,9 +412,32 @@ impl<K: Copy + Ord> Frontier<K> {
                     *cursor += 1;
                 }
                 *len -= 1;
-                buckets[*cursor].pop()
+                buckets[*cursor].pop().map(|(k, d)| (*cursor as u64, k, d))
             }
-            Frontier::Heap(heap) => heap.pop().map(|(_, k, d)| (k, d)),
+            Frontier::Heap(heap) => heap.pop().map(|(Reverse(p), k, d)| (p, k, d)),
+        }
+    }
+
+    /// The minimum priority currently queued, without popping it.
+    /// Conservative in the presence of stale entries: may report a
+    /// priority whose entry will be discarded on pop, never one larger
+    /// than the true minimum.
+    pub(crate) fn peek_priority(&mut self) -> Option<u64> {
+        match self {
+            Frontier::Buckets {
+                buckets,
+                cursor,
+                len,
+            } => {
+                if *len == 0 {
+                    return None;
+                }
+                while buckets[*cursor].is_empty() {
+                    *cursor += 1;
+                }
+                Some(*cursor as u64)
+            }
+            Frontier::Heap(heap) => heap.peek().map(|(Reverse(p), _, _)| *p),
         }
     }
 
@@ -252,126 +447,6 @@ impl<K: Copy + Ord> Frontier<K> {
             Frontier::Buckets { len, .. } => *len,
             Frontier::Heap(heap) => heap.len(),
         }
-    }
-}
-
-struct Entry<K> {
-    dist: u64,
-    parent: K,
-    mv: PackedMove,
-}
-
-/// Dist map, parent links, frontier, and statistics for one solve.
-pub(crate) struct SearchEngine<K> {
-    map: FxHashMap<K, Entry<K>>,
-    frontier: Frontier<K>,
-    start: K,
-    pub(crate) stats: SearchStats,
-}
-
-impl<K: Copy + Eq + Ord + std::hash::Hash> SearchEngine<K> {
-    pub(crate) fn new(start: K, h0: u64, max_priority: u64) -> Self {
-        let frontier = Frontier::new(max_priority);
-        let mut engine = SearchEngine {
-            stats: SearchStats {
-                heap_fallback: matches!(frontier, Frontier::Heap(_)),
-                h_root: h0,
-                ..SearchStats::default()
-            },
-            map: FxHashMap::default(),
-            frontier,
-            start,
-        };
-        engine.map.insert(
-            start,
-            Entry {
-                dist: 0,
-                parent: start,
-                mv: 0,
-            },
-        );
-        engine.frontier.push(h0, start, 0);
-        engine.stats.pushed += 1;
-        engine.stats.frontier_peak = 1;
-        engine
-    }
-
-    /// Pops the next state with an up-to-date distance, or `None` when
-    /// the frontier is exhausted.
-    pub(crate) fn pop(&mut self) -> Option<(K, u64)> {
-        while let Some((key, d)) = self.frontier.pop() {
-            if self.map.get(&key).is_some_and(|e| e.dist == d) {
-                return Some((key, d));
-            }
-            self.stats.stale += 1;
-        }
-        None
-    }
-
-    /// Counts a settled state; returns `false` once the budget is
-    /// exhausted.
-    pub(crate) fn settle(&mut self, limits: SolveLimits) -> bool {
-        self.stats.settled += 1;
-        self.stats.settled <= limits.max_states as u64
-    }
-
-    /// Relaxes the edge `from → to` with new distance `dist`; `h` is
-    /// evaluated only if the distance actually improves.
-    pub(crate) fn relax(
-        &mut self,
-        from: K,
-        to: K,
-        dist: u64,
-        mv: PackedMove,
-        h: impl FnOnce() -> Option<u64>,
-    ) {
-        let improved = match self.map.get_mut(&to) {
-            Some(entry) => {
-                if dist < entry.dist {
-                    entry.dist = dist;
-                    entry.parent = from;
-                    entry.mv = mv;
-                    true
-                } else {
-                    false
-                }
-            }
-            None => {
-                self.map.insert(
-                    to,
-                    Entry {
-                        dist,
-                        parent: from,
-                        mv,
-                    },
-                );
-                true
-            }
-        };
-        if improved {
-            // `h = None` marks a provably dead state (no completion
-            // exists); keep the entry so duplicates stay pruned, but
-            // never enqueue it.
-            if let Some(h) = h() {
-                self.frontier.push(dist + h, to, dist);
-                self.stats.pushed += 1;
-                self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len() as u64);
-            }
-        }
-    }
-
-    /// The move sequence from the start to `goal`, as
-    /// `(parent_state, packed_move)` pairs in forward order.
-    pub(crate) fn path(&self, goal: K) -> Vec<(K, PackedMove)> {
-        let mut rev = Vec::new();
-        let mut key = goal;
-        while key != self.start {
-            let entry = &self.map[&key];
-            rev.push((entry.parent, entry.mv));
-            key = entry.parent;
-        }
-        rev.reverse();
-        rev
     }
 }
 
@@ -528,13 +603,16 @@ mod tests {
         f.push(1, 10, 1);
         f.push(3, 30, 3);
         f.push(1, 11, 1);
+        assert_eq!(f.peek_priority(), Some(1));
         let mut out = Vec::new();
-        while let Some((k, _)) = f.pop() {
+        while let Some((p, k, d)) = f.pop() {
+            assert_eq!(p, d, "test entries carry priority as dist");
             out.push(k);
         }
         assert_eq!(out.len(), 4);
         assert!(out[..2].contains(&10) && out[..2].contains(&11));
         assert_eq!(&out[2..], &[30, 50]);
+        assert_eq!(f.peek_priority(), None);
     }
 
     #[test]
@@ -543,8 +621,9 @@ mod tests {
         assert!(matches!(f, Frontier::Heap(_)));
         f.push(1 << 40, 2, 7);
         f.push(3, 1, 3);
-        assert_eq!(f.pop(), Some((1, 3)));
-        assert_eq!(f.pop(), Some((2, 7)));
+        assert_eq!(f.peek_priority(), Some(3));
+        assert_eq!(f.pop(), Some((3, 1, 3)));
+        assert_eq!(f.pop(), Some((1 << 40, 2, 7)));
         assert_eq!(f.pop(), None);
     }
 
@@ -552,32 +631,9 @@ mod tests {
     fn frontier_tolerates_push_below_cursor() {
         let mut f: Frontier<u32> = Frontier::new(100);
         f.push(5, 50, 5);
-        assert_eq!(f.pop(), Some((50, 5)));
+        assert_eq!(f.pop(), Some((5, 50, 5)));
         f.push(2, 20, 2);
-        assert_eq!(f.pop(), Some((20, 2)));
-    }
-
-    #[test]
-    fn engine_runs_a_tiny_dijkstra() {
-        // Line graph 0-1-2 with unit edges encoded by hand.
-        let mut e: SearchEngine<u8> = SearchEngine::new(0, 0, 10);
-        while let Some((k, d)) = e.pop() {
-            if k < 2 {
-                e.relax(k, k + 1, d + 1, 7, || Some(0));
-            }
-        }
-        let path = e.path(2);
-        assert_eq!(path, vec![(0, 7), (1, 7)]);
-        assert_eq!(e.stats.pushed, 3);
-    }
-
-    #[test]
-    fn dead_states_are_recorded_but_never_enqueued() {
-        let mut e: SearchEngine<u8> = SearchEngine::new(0, 0, 10);
-        let (k, d) = e.pop().unwrap();
-        e.relax(k, 1, d + 1, 0, || None);
-        e.relax(k, 1, d + 5, 0, || Some(0)); // worse dist: ignored
-        assert_eq!(e.pop(), None);
+        assert_eq!(f.pop(), Some((2, 20, 2)));
     }
 
     #[test]

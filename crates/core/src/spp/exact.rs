@@ -26,7 +26,11 @@
 
 use rbp_dag::NodeId;
 
-use crate::search::{PackedMove, SearchConfig, SearchEngine, SearchOutcome, SearchStats};
+use crate::arena::{pack_fields, unpack_fields, words_for};
+use crate::driver::{self, Domain};
+use crate::search::{
+    trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
+};
 use crate::{AdmissibleHeuristic, Cost, SppInstance, SppMove, SppStrategy};
 
 pub use crate::search::SolveLimits;
@@ -98,104 +102,112 @@ pub fn solve_with(instance: &SppInstance, config: &SearchConfig) -> SearchOutcom
             ("heuristic", rbp_util::Json::from(config.heuristic)),
         ],
     );
-    let mut stats = SearchStats::default();
-    let solution = solve_inner(instance, config, &mut stats);
+    let (solution, stats, reason, shards) = solve_inner(instance, config);
     stats.trace("spp", solution.as_ref().map(|s| s.total));
-    SearchOutcome { solution, stats }
+    trace_shards("spp", &shards);
+    SearchOutcome {
+        solution,
+        stats,
+        reason,
+        shards,
+    }
 }
 
-fn solve_inner(
-    instance: &SppInstance,
-    config: &SearchConfig,
-    stats_out: &mut SearchStats,
-) -> Option<SppSolution> {
-    let dag = instance.dag;
-    let n = dag.n();
-    if n > 64 {
-        return None;
-    }
-    if n == 0 {
-        return Some(SppSolution {
-            total: 0,
-            cost: Cost::zero(),
-            strategy: SppStrategy::new(),
-        });
-    }
-    if !instance.is_feasible() {
-        return None;
-    }
-    let r = instance.r;
-    let model = instance.model;
-    let one_shot = instance.variant.one_shot;
-    let no_delete = instance.variant.no_delete;
+/// The SPP state space described for the shared search drivers: keys
+/// are `(red, blue[, computed])` masks bit-packed to two (three under
+/// the one-shot variant) `n`-bit fields.
+struct SppDomain {
+    n: usize,
+    r: usize,
+    compute: u64,
+    g: u64,
+    one_shot: bool,
+    no_delete: bool,
+    sources_start_blue: bool,
+    sinks_need_blue: bool,
+    preds_mask: Vec<u64>,
+    sinks_mask: u64,
+    start_blue: u64,
+    heur: AdmissibleHeuristic,
+    use_heuristic: bool,
+    max_priority: u64,
+}
 
-    let preds_mask: Vec<u64> = dag
-        .nodes()
-        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | bit(*p)))
-        .collect();
-    let sinks_mask: u64 = dag.sinks().iter().fold(0u64, |m, s| m | bit(*s));
-    let start_blue: u64 = if instance.variant.sources_start_blue {
-        dag.sources().iter().fold(0u64, |m, s| m | bit(*s))
-    } else {
-        0
-    };
-    let sinks_need_blue = instance.variant.sinks_need_blue;
+impl SppDomain {
+    /// Packed fields: `computed` is tracked only one-shot (zero and
+    /// omitted otherwise so states collapse).
+    fn field_count(&self) -> usize {
+        if self.one_shot {
+            3
+        } else {
+            2
+        }
+    }
+}
 
-    let heur = AdmissibleHeuristic::for_spp(instance);
-    let start = Key {
-        red: 0,
-        blue: start_blue,
-        computed: 0,
-    };
-    let h0 = if config.heuristic {
-        // A `None` here proves the instance unsolvable from the start.
-        heur.eval(0, start_blue, 0)?
-    } else {
-        0
-    };
-    let ub = (model.g * (dag.max_in_degree() as u64 + 1))
-        .saturating_add(model.compute)
-        .saturating_mul(n as u64)
-        .saturating_add(model.g.saturating_mul(2 * n as u64));
-    let max_priority = ub
-        .saturating_mul(2)
-        .saturating_add(model.g.saturating_add(model.compute));
-    let mut engine: SearchEngine<Key> = SearchEngine::new(start, h0, max_priority);
+impl Domain for SppDomain {
+    type Key = Key;
+    type Scratch = ();
 
-    while let Some((key, d)) = engine.pop() {
+    fn key_words(&self) -> usize {
+        words_for(self.field_count(), self.n)
+    }
+
+    fn pack(&self, key: &Key, out: &mut [u64]) {
+        let fields = [key.red, key.blue, key.computed];
+        pack_fields(&fields[..self.field_count()], self.n, out);
+    }
+
+    fn unpack(&self, words: &[u64]) -> Key {
+        let mut fields = [0u64; 3];
+        let fc = self.field_count();
+        unpack_fields(words, self.n, &mut fields[..fc]);
+        Key {
+            red: fields[0],
+            blue: fields[1],
+            computed: fields[2],
+        }
+    }
+
+    fn root(&self) -> Key {
+        Key {
+            red: 0,
+            blue: self.start_blue,
+            computed: 0,
+        }
+    }
+
+    fn is_goal(&self, key: &Key) -> bool {
+        if self.sinks_need_blue {
+            self.sinks_mask & !key.blue == 0
+        } else {
+            self.sinks_mask & !(key.red | key.blue) == 0
+        }
+    }
+
+    fn heuristic(&self, key: &Key) -> Option<u64> {
+        if self.use_heuristic {
+            self.heur.eval(key.red, key.blue, key.computed)
+        } else {
+            Some(0)
+        }
+    }
+
+    fn max_priority(&self) -> u64 {
+        self.max_priority
+    }
+
+    fn expand(&self, key: &Key, _scratch: &mut (), emit: &mut dyn FnMut(Key, u64, PackedMove)) {
         let Key {
             red,
             blue,
             computed,
-        } = key;
-        let terminal = if sinks_need_blue {
-            sinks_mask & !blue == 0
-        } else {
-            sinks_mask & !(red | blue) == 0
-        };
-        if terminal {
-            *stats_out = engine.stats;
-            return Some(reconstruct(instance, &engine, key, d));
-        }
-        if !engine.settle(config.limits) {
-            *stats_out = engine.stats;
-            return None;
-        }
-
-        let relax = |engine: &mut SearchEngine<Key>, nk: Key, nd: u64, mv: PackedMove| {
-            engine.relax(key, nk, nd, mv, || {
-                if config.heuristic {
-                    heur.eval(nk.red, nk.blue, nk.computed)
-                } else {
-                    Some(0)
-                }
-            });
-        };
-
+        } = *key;
+        let one_shot = self.one_shot;
         let red_count = red.count_ones() as usize;
-        if red_count < r {
+        if red_count < self.r {
             // Compute moves.
-            for (i, &pm) in preds_mask.iter().enumerate() {
+            for (i, &pm) in self.preds_mask.iter().enumerate() {
                 let b = 1u64 << i;
                 if red & b != 0 {
                     continue;
@@ -207,7 +219,7 @@ fn solve_inner(
                     continue;
                 }
                 // Under the Hong–Kung convention, inputs are data.
-                if instance.variant.sources_start_blue && preds_mask[i] == 0 {
+                if self.sources_start_blue && pm == 0 {
                     continue;
                 }
                 let nk = Key {
@@ -215,12 +227,7 @@ fn solve_inner(
                     blue,
                     computed: if one_shot { computed | b } else { 0 },
                 };
-                relax(
-                    &mut engine,
-                    nk,
-                    d + model.compute,
-                    encode(TAG_COMPUTE, i as u32),
-                );
+                emit(nk, self.compute, encode(TAG_COMPUTE, i as u32));
             }
             // Load moves.
             for i in iter_bits(blue & !red) {
@@ -229,9 +236,9 @@ fn solve_inner(
                     blue,
                     computed,
                 };
-                relax(&mut engine, nk, d + model.g, encode(TAG_LOAD, i));
+                emit(nk, self.g, encode(TAG_LOAD, i));
             }
-        } else if !no_delete {
+        } else if !self.no_delete {
             // At (or above) capacity: lazy eviction.
             for i in iter_bits(red) {
                 let nk = Key {
@@ -239,7 +246,7 @@ fn solve_inner(
                     blue,
                     computed,
                 };
-                relax(&mut engine, nk, d, encode(TAG_REMOVE, i));
+                emit(nk, 0, encode(TAG_REMOVE, i));
             }
         }
         // Store moves (legal at any occupancy).
@@ -249,26 +256,99 @@ fn solve_inner(
                 blue: blue | (1 << i),
                 computed,
             };
-            relax(&mut engine, nk, d + model.g, encode(TAG_STORE, i));
+            emit(nk, self.g, encode(TAG_STORE, i));
         }
     }
-    // Feasible instances always terminate (the Lemma 1 baseline exists),
-    // unless one-shot recomputation limits bite; report unsolvable.
-    *stats_out = engine.stats;
-    None
 }
 
-fn reconstruct(
+#[allow(clippy::type_complexity)]
+fn solve_inner(
     instance: &SppInstance,
-    engine: &SearchEngine<Key>,
-    goal: Key,
-    total: u64,
-) -> SppSolution {
-    let moves: Vec<SppMove> = engine
-        .path(goal)
-        .into_iter()
-        .map(|(_, mv)| decode(mv))
+    config: &SearchConfig,
+) -> (
+    Option<SppSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+) {
+    let dag = instance.dag;
+    let n = dag.n();
+    if n > 64 {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
+    }
+    if n == 0 {
+        return (
+            Some(SppSolution {
+                total: 0,
+                cost: Cost::zero(),
+                strategy: SppStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+        );
+    }
+    if !instance.is_feasible() {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
+    }
+    let model = instance.model;
+
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| dag.preds(v).iter().fold(0u64, |m, p| m | bit(*p)))
         .collect();
+    let sinks_mask: u64 = dag.sinks().iter().fold(0u64, |m, s| m | bit(*s));
+    let start_blue: u64 = if instance.variant.sources_start_blue {
+        dag.sources().iter().fold(0u64, |m, s| m | bit(*s))
+    } else {
+        0
+    };
+
+    let ub = (model.g * (dag.max_in_degree() as u64 + 1))
+        .saturating_add(model.compute)
+        .saturating_mul(n as u64)
+        .saturating_add(model.g.saturating_mul(2 * n as u64));
+    let max_priority = ub
+        .saturating_mul(2)
+        .saturating_add(model.g.saturating_add(model.compute));
+
+    let domain = SppDomain {
+        n,
+        r: instance.r,
+        compute: model.compute,
+        g: model.g,
+        one_shot: instance.variant.one_shot,
+        no_delete: instance.variant.no_delete,
+        sources_start_blue: instance.variant.sources_start_blue,
+        sinks_need_blue: instance.variant.sinks_need_blue,
+        preds_mask,
+        sinks_mask,
+        start_blue,
+        heur: AdmissibleHeuristic::for_spp(instance),
+        use_heuristic: config.heuristic,
+        max_priority,
+    };
+    // A dead root (one-shot variants) is caught by the driver through
+    // the heuristic's `None` and reported as `Exhausted`.
+    let out = driver::search(&domain, config);
+    let solution = out
+        .best
+        .map(|(total, path)| reconstruct(instance, path, total));
+    (solution, out.stats, out.reason, out.shards)
+}
+
+fn reconstruct(instance: &SppInstance, path: Vec<(Key, PackedMove)>, total: u64) -> SppSolution {
+    let moves: Vec<SppMove> = path.into_iter().map(|(_, mv)| decode(mv)).collect();
     let strategy = SppStrategy::from_moves(moves);
     let cost = strategy
         .validate(instance)
@@ -444,11 +524,28 @@ mod tests {
     #[test]
     fn state_limit_aborts() {
         let d = generators::binary_in_tree(8);
-        let sol = solve(
+        let out = solve_with(
             &SppInstance::io_only(&d, 3, 1),
-            SolveLimits { max_states: 10 },
+            &SearchConfig::default().with_limits(SolveLimits::states(10)),
         );
-        assert!(sol.is_none());
+        assert!(out.solution.is_none());
+        assert_eq!(out.reason, StopReason::StateLimit);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_cost() {
+        let d = generators::grid(3, 3);
+        let inst = SppInstance::with_compute(&d, 3, 2);
+        let seq = solve_with(&inst, &SearchConfig::default());
+        for threads in [2usize, 4] {
+            let par = solve_with(&inst, &SearchConfig::default().with_threads(threads));
+            assert_eq!(
+                seq.solution.as_ref().unwrap().total,
+                par.solution.as_ref().unwrap().total,
+                "threads={threads}"
+            );
+            par.solution.unwrap().strategy.validate(&inst).unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Bounded lock-free single-producer single-consumer ring buffer.
+//!
+//! The parallel solver wires a full `T x T` matrix of these channels so
+//! every (sender, receiver) shard pair has exactly one producer and one
+//! consumer — the only shape under which this ring is sound. Payloads
+//! are `Copy`, so slots never need dropping and a popped value is a
+//! plain bitwise read.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bounded SPSC ring over `Copy` payloads.
+///
+/// `head` is owned by the consumer, `tail` by the producer; both are
+/// free-running counters (wrapping subtraction gives the fill level),
+/// masked into the power-of-two buffer on access.
+#[derive(Debug)]
+pub(crate) struct Spsc<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read; written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot to write; written only by the producer.
+    tail: AtomicUsize,
+}
+
+// SAFETY: the ring hands each slot to at most one thread at a time —
+// the producer writes a slot strictly before publishing it via the
+// `tail` release store, and the consumer reads it strictly after the
+// matching acquire load — so sharing the ring between one producer and
+// one consumer thread is sound for any `T: Send`.
+unsafe impl<T: Send> Sync for Spsc<T> {}
+unsafe impl<T: Send> Send for Spsc<T> {}
+
+impl<T: Copy> Spsc<T> {
+    /// Ring with capacity `cap` (must be a power of two).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap.is_power_of_two());
+        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Spsc {
+            buf,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side: enqueues `v`, or returns `false` when full.
+    #[inline]
+    pub fn try_push(&self, v: T) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.buf.len() {
+            return false;
+        }
+        // SAFETY: only the producer writes slots, and `tail` has not
+        // been published yet, so the consumer cannot be reading it.
+        unsafe {
+            (*self.buf[tail & (self.buf.len() - 1)].get()).write(v);
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: dequeues the oldest value, if any.
+    #[inline]
+    pub fn try_pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` under the acquire load, so the producer
+        // initialized this slot before its release store to `tail`, and
+        // it will not overwrite it until `head` advances past it.
+        let v = unsafe { (*self.buf[head & (self.buf.len() - 1)].get()).assume_init() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Whether the ring currently holds no values (consumer-side view).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed) == self.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_drains_in_order() {
+        let q: Spsc<u64> = Spsc::new(4);
+        assert!(q.is_empty());
+        assert!(q.try_pop().is_none());
+        for i in 0..4 {
+            assert!(q.try_push(i));
+        }
+        assert!(!q.try_push(99), "ring must report full at capacity");
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        // Wrap around several times.
+        for round in 0..10u64 {
+            assert!(q.try_push(round));
+            assert_eq!(q.try_pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order() {
+        let q: Spsc<u64> = Spsc::new(8);
+        const N: u64 = 100_000;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    while !q.try_push(i) {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut expect = 0;
+                while expect < N {
+                    if let Some(v) = q.try_pop() {
+                        assert_eq!(v, expect);
+                        expect += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+        assert!(q.is_empty());
+    }
+}

@@ -117,13 +117,7 @@ fn hong_kung_fft_bound_sanity() {
     // output stored).
     let dag = generators::fft(2);
     let inst = instance(&dag, 3, 1, SppVariant::hong_kung());
-    let sol = solve_spp(
-        &inst,
-        SolveLimits {
-            max_states: 4_000_000,
-        },
-    )
-    .unwrap();
+    let sol = solve_spp(&inst, SolveLimits::states(4_000_000)).unwrap();
     assert!(
         sol.cost.io_steps() >= 8,
         "io {} below the trivial input/output bound",

@@ -94,9 +94,7 @@ mod tests {
         // recomputation; the solver decides which is cheaper.
         let d = two_layer_partition(&[1, 1]);
         // 3 sources; runs: sink0 ← {s0, s1}, sink1 ← {s1, s2}.
-        let lim = SolveLimits {
-            max_states: 300_000,
-        };
+        let lim = SolveLimits::states(300_000);
         let o1 = solve_mpp(&MppInstance::new(&d, 1, 3, 3), lim).unwrap();
         let o2 = solve_mpp(&MppInstance::new(&d, 2, 3, 3), lim).unwrap();
         assert!(o2.total <= o1.total, "more processors never hurt");

@@ -230,9 +230,7 @@ mod tests {
         // d=1, n0=2: n=8. Fair series r0=12 → r: 12, 6, 3.
         let tz = TwoZippers::build(1, 2);
         let g = 3;
-        let lim = SolveLimits {
-            max_states: 400_000,
-        };
+        let lim = SolveLimits::states(400_000);
         let o1 = solve_mpp(&MppInstance::new(&tz.dag, 1, tz.fair_r(1), g), lim).expect("k=1 exact");
         let o2 = solve_mpp(&MppInstance::new(&tz.dag, 2, tz.fair_r(2), g), lim).expect("k=2 exact");
         assert!(
@@ -243,7 +241,7 @@ mod tests {
         );
         // k=4 exact explodes combinatorially (batch enumeration over 4
         // processors); cap it tightly and treat exhaustion as a skip.
-        let tight = SolveLimits { max_states: 40_000 };
+        let tight = SolveLimits::states(40_000);
         if let Some(o4) = solve_mpp(&MppInstance::new(&tz.dag, 4, tz.fair_r(4), g), tight) {
             assert!(
                 o2.total <= o4.total,

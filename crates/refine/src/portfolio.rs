@@ -20,8 +20,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rbp_core::{
-    batchify, solve_mpp, validate_mpp, MppError, MppInstance, MppMove, MppRun, MppStrategy,
-    SolveLimits,
+    batchify, solve_mpp_with, validate_mpp, MppError, MppInstance, MppMove, MppRun, MppStrategy,
+    SearchConfig, SolveLimits,
 };
 use rbp_schedulers::all_schedulers;
 use rbp_util::Rng;
@@ -45,6 +45,9 @@ pub struct PortfolioConfig {
     /// State budget handed to the exact solver (keeps its runtime
     /// roughly proportional to the race budget).
     pub exact_max_states: usize,
+    /// Worker threads for the exact solver (`≥ 2` runs the hash-sharded
+    /// parallel engine; same proven optimum).
+    pub exact_threads: usize,
     /// Number of concurrent refinement workers.
     pub refine_workers: usize,
 }
@@ -58,6 +61,7 @@ impl Default for PortfolioConfig {
             seed: 0,
             use_exact: true,
             exact_max_states: 200_000,
+            exact_threads: 1,
             refine_workers: 2,
         }
     }
@@ -209,12 +213,12 @@ pub fn race(instance: &MppInstance, cfg: &PortfolioConfig) -> Result<PortfolioOu
         }
 
         if exact_feasible {
-            let limits = SolveLimits {
-                max_states: cfg.exact_max_states,
-            };
+            let search = SearchConfig::default()
+                .with_limits(SolveLimits::states(cfg.exact_max_states))
+                .with_threads(cfg.exact_threads.max(1));
             handles.push(scope.spawn(move || {
                 let started = Instant::now();
-                let sol = solve_mpp(instance, limits);
+                let sol = solve_mpp_with(instance, &search).solution;
                 let total = sol.map(|sol| {
                     shared.submit(sol.total, sol.strategy.moves, "exact-a*");
                     shared.optimal.store(true, Ordering::Relaxed);

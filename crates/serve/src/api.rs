@@ -9,7 +9,7 @@
 //! the response envelope. `docs/SCHEMAS.md` documents every body shape.
 
 use rbp_core::rbp_dag::{generators, io, Dag};
-use rbp_core::{MppInstance, MppRunStats, SolveLimits};
+use rbp_core::{MppInstance, MppRunStats, SearchConfig, SolveLimits};
 use rbp_refine::{race, PortfolioConfig};
 use rbp_schedulers::all_schedulers;
 use rbp_util::json::Json;
@@ -60,6 +60,9 @@ pub enum Work {
         g: u64,
         /// Settled-state budget handed to the solver.
         max_states: usize,
+        /// Solver worker threads (the server caps this at
+        /// [`ServeConfig::max_solve_threads`](crate::ServeConfig)).
+        threads: usize,
     },
     /// `POST /v1/schedule` — run the heuristic scheduler registry.
     Schedule {
@@ -143,12 +146,16 @@ impl Work {
                 let max_states = opt_u64(body, "max_states")?
                     .map_or(SolveLimits::default().max_states, |v| v as usize)
                     .min(50_000_000);
+                let threads = opt_u64(body, "threads")?
+                    .map_or(1, |v| v as usize)
+                    .clamp(1, rbp_core::MAX_THREADS);
                 Ok(Work::Solve {
                     dag,
                     k,
                     r,
                     g,
                     max_states,
+                    threads,
                 })
             }
             "schedule" => {
@@ -209,6 +216,24 @@ impl Work {
         }
     }
 
+    /// Clamps the solver thread count to the server-side cap. Called by
+    /// the server after [`Work::parse`] and **before**
+    /// [`Work::cache_key`], so the key reflects the effective count.
+    pub fn cap_threads(&mut self, max: usize) {
+        if let Work::Solve { threads, .. } = self {
+            *threads = (*threads).min(max.max(1));
+        }
+    }
+
+    /// The effective solver thread count (`None` for non-solve work).
+    #[must_use]
+    pub fn solve_threads(&self) -> Option<usize> {
+        match self {
+            Work::Solve { threads, .. } => Some(*threads),
+            _ => None,
+        }
+    }
+
     /// The canonical-instance cache key: a [`rbp_trace::hash_hex`]
     /// digest over the endpoint, the canonical DAG text, and every
     /// parameter that affects the result.
@@ -221,8 +246,9 @@ impl Work {
                 r,
                 g,
                 max_states,
+                threads,
             } => format!(
-                "solve|v1|k={k}|r={r}|g={g}|max_states={max_states}|{}",
+                "solve|v1|k={k}|r={r}|g={g}|max_states={max_states}|threads={threads}|{}",
                 io::to_text(dag)
             ),
             Work::Schedule {
@@ -271,18 +297,21 @@ impl Work {
                 r,
                 g,
                 max_states,
+                threads,
             } => {
                 let inst = MppInstance::new(dag, *k, *r, *g);
-                let sol = rbp_core::solve_mpp(
-                    &inst,
-                    SolveLimits {
-                        max_states: *max_states,
-                    },
-                )
-                .ok_or_else(|| {
+                let config = SearchConfig::default()
+                    .with_limits(SolveLimits::states(*max_states))
+                    .with_threads(*threads);
+                let out = rbp_core::solve_mpp_with(&inst, &config);
+                let sol = out.solution.ok_or_else(|| {
                     ApiError::new(
                         422,
-                        format!("exact solver exhausted its budget of {max_states} states"),
+                        format!(
+                            "exact solver exhausted its budget of {max_states} states \
+                             (reason: {})",
+                            out.reason.as_str()
+                        ),
                     )
                 })?;
                 Ok(Json::obj([
@@ -292,6 +321,8 @@ impl Work {
                     ("io_steps", Json::from(sol.cost.io_steps())),
                     ("compute_steps", Json::from(sol.cost.computes)),
                     ("moves", Json::from(sol.strategy.len())),
+                    ("threads", Json::from(*threads)),
+                    ("settled", Json::from(out.stats.settled)),
                     ("proven_optimal", Json::from(true)),
                 ]))
             }
@@ -629,6 +660,54 @@ mod tests {
             Work::parse("solve", &other).unwrap().cache_key(),
             w1.cache_key()
         );
+    }
+
+    #[test]
+    fn solve_threads_parse_cap_and_key() {
+        let body = parse_body(
+            r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2,"threads":16}"#,
+        );
+        let mut w = Work::parse("solve", &body).unwrap();
+        assert_eq!(w.solve_threads(), Some(16));
+        let key16 = w.cache_key();
+
+        // The server-side cap clamps before keying; the key follows the
+        // effective count.
+        w.cap_threads(4);
+        assert_eq!(w.solve_threads(), Some(4));
+        assert_ne!(w.cache_key(), key16);
+
+        // Default is single-threaded; zero clamps up to one.
+        let plain =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        assert_eq!(
+            Work::parse("solve", &plain).unwrap().solve_threads(),
+            Some(1)
+        );
+        let zero = parse_body(
+            r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2,"threads":0}"#,
+        );
+        assert_eq!(
+            Work::parse("solve", &zero).unwrap().solve_threads(),
+            Some(1)
+        );
+        assert_eq!(Work::parse("bounds", &plain).unwrap().solve_threads(), None);
+    }
+
+    #[test]
+    fn parallel_solve_executes_and_matches_sequential_total() {
+        let body =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        let seq = Work::parse("solve", &body).unwrap().execute().unwrap();
+        let par_body = parse_body(
+            r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2,"threads":2}"#,
+        );
+        let par = Work::parse("solve", &par_body).unwrap().execute().unwrap();
+        assert_eq!(
+            seq.get("total").unwrap().as_u64(),
+            par.get("total").unwrap().as_u64()
+        );
+        assert_eq!(par.get("threads").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -78,11 +78,15 @@ pub struct ServeConfig {
     pub default_deadline_ms: u64,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
+    /// Upper bound on per-request solver threads: a `"threads"` field on
+    /// `POST /v1/solve` is clamped to this before keying or queueing
+    /// (minimum 1).
+    pub max_solve_threads: usize,
 }
 
 impl Default for ServeConfig {
     /// Ephemeral port, 4 workers, 64-deep queue, 256-entry cache, 30 s
-    /// deadline, 1 MiB bodies.
+    /// deadline, 1 MiB bodies, at most 4 solver threads per request.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
@@ -91,6 +95,7 @@ impl Default for ServeConfig {
             cache_cap: 256,
             default_deadline_ms: 30_000,
             max_body_bytes: 1 << 20,
+            max_solve_threads: 4,
         }
     }
 }

@@ -365,10 +365,14 @@ fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Rep
         .clamp(1, 600_000);
     let deadline = started + Duration::from_millis(deadline_ms);
 
-    let work = match Work::parse(endpoint, &body) {
+    let mut work = match Work::parse(endpoint, &body) {
         Ok(w) => w,
         Err(ApiError { status, msg }) => return Reply::error(status, &msg),
     };
+    work.cap_threads(state.cfg.max_solve_threads);
+    if let Some(threads) = work.solve_threads() {
+        state.stats.record_solve_threads(threads);
+    }
     let key = work.cache_key();
 
     // Content-addressed fast path: identical instances answer from the

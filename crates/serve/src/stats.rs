@@ -39,6 +39,9 @@ pub struct ServeStats {
     /// job itself may still complete and populate the cache).
     pub timeouts: AtomicU64,
     latency: Mutex<Vec<(String, Latency)>>,
+    /// Accepted `/v1/solve` requests bucketed by effective (post-cap)
+    /// solver thread count: `(threads, requests)`.
+    solve_threads: Mutex<Vec<(usize, u64)>>,
 }
 
 impl ServeStats {
@@ -53,7 +56,23 @@ impl ServeStats {
             failed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             latency: Mutex::new(Vec::new()),
+            solve_threads: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records one accepted solve request's effective thread count and
+    /// mirrors it as a `serve.solve.threads` gauge.
+    pub fn record_solve_threads(&self, threads: usize) {
+        let mut buckets = self.solve_threads.lock().unwrap();
+        match buckets.iter_mut().find(|(t, _)| *t == threads) {
+            Some((_, n)) => *n += 1,
+            None => {
+                buckets.push((threads, 1));
+                buckets.sort_unstable_by_key(|&(t, _)| t);
+            }
+        }
+        drop(buckets);
+        rbp_trace::gauge("serve.solve.threads", threads as f64);
     }
 
     /// Records one executed job's latency under its endpoint name and
@@ -152,6 +171,15 @@ impl ServeStats {
                 ]),
             ),
             ("endpoints", endpoints),
+            ("solve_threads", {
+                let buckets = self.solve_threads.lock().unwrap();
+                Json::Obj(
+                    buckets
+                        .iter()
+                        .map(|&(t, n)| (t.to_string(), Json::from(n)))
+                        .collect(),
+                )
+            }),
         ])
     }
 }
@@ -181,5 +209,24 @@ mod tests {
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(solve.get("mean_us").unwrap().as_u64(), Some(200));
         assert_eq!(solve.get("max_us").unwrap().as_u64(), Some(300));
+    }
+
+    #[test]
+    fn solve_thread_buckets_aggregate_sorted() {
+        let s = ServeStats::new();
+        s.record_solve_threads(4);
+        s.record_solve_threads(1);
+        s.record_solve_threads(4);
+        let cache = ResultCache::new(4);
+        let j = s.to_json(0, 8, 2, &cache);
+        let buckets = j.get("solve_threads").unwrap();
+        assert_eq!(buckets.get("1").unwrap().as_u64(), Some(1));
+        assert_eq!(buckets.get("4").unwrap().as_u64(), Some(2));
+        if let Json::Obj(pairs) = buckets {
+            assert_eq!(pairs[0].0, "1");
+            assert_eq!(pairs[1].0, "4");
+        } else {
+            panic!("solve_threads is an object");
+        }
     }
 }

@@ -17,6 +17,7 @@ fn small_server() -> Server {
         cache_cap: 64,
         default_deadline_ms: 10_000,
         max_body_bytes: 1 << 20,
+        max_solve_threads: 4,
     })
     .expect("bind ephemeral port")
 }
@@ -189,6 +190,7 @@ fn overload_returns_503_and_never_drops_requests() {
         cache_cap: 0, // distinct seeds would miss anyway; keep it simple
         default_deadline_ms: 30_000,
         max_body_bytes: 1 << 20,
+        max_solve_threads: 4,
     })
     .unwrap();
     let addr = server.addr();

@@ -3,7 +3,7 @@
 //! ```text
 //! rbp stats     <dag.txt>                      DAG statistics
 //! rbp schedule  <dag.txt> <k> <r> <g> [name]   run a scheduler, print cost breakdown
-//! rbp solve     <dag.txt> <k> <r> <g>          exact optimum (small DAGs)
+//! rbp solve     <dag.txt> <k> <r> <g> [opts]   exact optimum (small DAGs)
 //! rbp improve   <dag.txt> <k> <r> <g> [opts]   anytime local-search refinement
 //! rbp portfolio <dag.txt> <k> <r> <g> [opts]   race schedulers + refinement + exact
 //! rbp bounds    <dag.txt> <k> <r> <g>          Lemma 1 bounds + feasibility
@@ -13,6 +13,10 @@
 //! rbp serve     [opts]                         run the HTTP pebbling service
 //! ```
 //!
+//! `solve` options: `--threads <N>` (default 1; `≥ 2` runs the
+//! hash-sharded parallel engine, same proven optimum), `--max-states
+//! <N>` (settled-state budget), `--deadline-ms <N>` (wall-clock limit;
+//! budget and deadline exhaustion are reported distinctly).
 //! `improve` options: `--budget-ms <N>` (default 1000), `--driver
 //! auto|hill|anneal|lns`, `--in <file>` (resume from a saved strategy),
 //! `--out <file>` (save the refined strategy as JSONL).
@@ -22,7 +26,8 @@
 //!
 //! `serve` options: `--addr <host:port>` (default `127.0.0.1:8017`;
 //! port `0` picks an ephemeral one, printed on startup), `--workers
-//! <N>`, `--queue-cap <N>`, `--cache-cap <N>`, `--deadline-ms <N>`.
+//! <N>`, `--queue-cap <N>`, `--cache-cap <N>`, `--deadline-ms <N>`,
+//! `--max-solve-threads <N>` (per-request solver-thread cap, default 4).
 //! The HTTP API is documented in `docs/SCHEMAS.md`; `POST
 //! /v1/shutdown` drains and stops the server.
 //!
@@ -38,7 +43,8 @@ use std::process::ExitCode;
 use rbp::bounds::trivial;
 use rbp::core::rbp_dag::{dot, io, Dag, DagStats};
 use rbp::core::{
-    async_makespan, batchify, solve_mpp, MppInstance, MppRun, MppRunStats, SolveLimits,
+    async_makespan, batchify, MppInstance, MppRun, MppRunStats, SearchConfig, SolveLimits,
+    StopReason,
 };
 use rbp::refine::{persist, Budget, Driver, PortfolioConfig, RefineConfig};
 use rbp::schedulers::all_schedulers;
@@ -139,13 +145,45 @@ fn run(args: &[String]) -> Result<(), String> {
             let dag = load(args.get(1))?;
             let (k, r, g) = krg(args)?;
             let inst = MppInstance::new(&dag, k, r, g);
-            let sol = solve_mpp(&inst, SolveLimits::default())
-                .ok_or("exact solve failed (instance too large or infeasible)")?;
+            let threads = flag_value(args, "--threads")?.map_or(Ok(1), |v| {
+                v.parse::<usize>().map_err(|_| "bad --threads".to_string())
+            })?;
+            let mut limits =
+                flag_value(args, "--max-states")?.map_or(Ok(SolveLimits::default()), |v| {
+                    v.parse::<usize>()
+                        .map(SolveLimits::states)
+                        .map_err(|_| "bad --max-states".to_string())
+                })?;
+            if let Some(ms) = flag_value(args, "--deadline-ms")? {
+                let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+                limits = limits.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            let config = SearchConfig::default()
+                .with_limits(limits)
+                .with_threads(threads);
+            let out = rbp::core::solve_mpp_with(&inst, &config);
+            let sol = out.solution.ok_or_else(|| match out.reason {
+                StopReason::StateLimit => format!(
+                    "exact solve hit its state budget of {} settled states \
+                     (raise --max-states)",
+                    config.limits.max_states
+                ),
+                StopReason::Deadline => {
+                    "exact solve hit its --deadline-ms wall-clock budget".to_string()
+                }
+                StopReason::Unsupported => {
+                    "exact solve failed (instance too large or infeasible)".to_string()
+                }
+                _ => format!("exact solve failed ({})", out.reason.as_str()),
+            })?;
             println!(
-                "OPT = {} ({}; {} moves)",
+                "OPT = {} ({}; {} moves; {} settled, {} thread{})",
                 sol.total,
                 sol.cost,
-                sol.strategy.len()
+                sol.strategy.len(),
+                out.stats.settled,
+                out.stats.threads,
+                if out.stats.threads == 1 { "" } else { "s" }
             );
             for mv in &sol.strategy.moves {
                 println!("  {mv}");
@@ -326,6 +364,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     defaults.default_deadline_ms as usize,
                 )? as u64,
                 max_body_bytes: defaults.max_body_bytes,
+                max_solve_threads: parse_flag("--max-solve-threads", defaults.max_solve_threads)?,
             };
             let server = rbp::serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
             println!("rbp-serve listening on {}", server.addr());

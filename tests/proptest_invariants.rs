@@ -138,12 +138,7 @@ fn belady_valid_and_dominated_by_exact() {
         let (strategy, cost) = spp_belady(&inst);
         let check = strategy.validate(&inst).unwrap();
         assert_eq!(check, cost, "case {case}");
-        if let Some(opt) = solve_spp(
-            &inst,
-            SolveLimits {
-                max_states: 300_000,
-            },
-        ) {
+        if let Some(opt) = solve_spp(&inst, SolveLimits::states(300_000)) {
             assert!(opt.total <= cost.total(inst.model), "case {case}");
         }
     }
@@ -158,12 +153,7 @@ fn spp_optimum_monotone_in_memory() {
         let mut prev = u64::MAX;
         for r in dmin..dmin + 3 {
             let inst = SppInstance::with_compute(&dag, r, 3);
-            if let Some(sol) = solve_spp(
-                &inst,
-                SolveLimits {
-                    max_states: 300_000,
-                },
-            ) {
+            if let Some(sol) = solve_spp(&inst, SolveLimits::states(300_000)) {
                 assert!(sol.total <= prev, "case {case} r={r}");
                 prev = sol.total;
             }

@@ -99,12 +99,7 @@ fn exact_witness_replays() {
         let dag = generators::random_dag(6, 0.3, case);
         let r = dag.max_in_degree() + 1;
         let inst = MppInstance::new(&dag, k, r, g);
-        if let Some(sol) = solve_mpp(
-            &inst,
-            SolveLimits {
-                max_states: 200_000,
-            },
-        ) {
+        if let Some(sol) = solve_mpp(&inst, SolveLimits::states(200_000)) {
             let cost = sol.strategy.validate(&inst).unwrap();
             assert_eq!(cost.total(inst.model), sol.total, "case {case}");
             // Lemma 1 bracket on the optimum itself.

@@ -18,9 +18,7 @@ use rbp::core::{
 use rbp::util::Rng;
 
 fn configs() -> (SearchConfig, SearchConfig) {
-    let limits = SolveLimits {
-        max_states: 400_000,
-    };
+    let limits = SolveLimits::states(400_000);
     (
         SearchConfig::baseline().with_limits(limits),
         SearchConfig::default().with_limits(limits),
