@@ -57,8 +57,7 @@ fn main() {
         let cfg = SearchConfig {
             symmetry: sym,
             heuristic: heur,
-            threads: 1,
-            limits: SolveLimits::default(),
+            ..SearchConfig::default()
         };
         let label = format!(
             "mpp/grid3x3_k2[sym={}+heur={}]",
@@ -85,8 +84,7 @@ fn main() {
         let cfg = SearchConfig {
             symmetry: false,
             heuristic: heur,
-            threads: 1,
-            limits: SolveLimits::default(),
+            ..SearchConfig::default()
         };
         let outcome = solve_spp_with(&inst, &cfg);
         let settled = outcome.stats.settled;
@@ -95,6 +93,35 @@ fn main() {
         });
         m.extra.add("settled", settled);
     }
+
+    // Send-path cost: one ring slot per state vs the driver's 8-state
+    // blocks, producer/consumer interleaved on one thread so the
+    // numbers are deterministic on any host. This walk exposes the
+    // *copy* side of the trade-off (batching moves more bytes per
+    // message: into the block, then the block through the ring) while
+    // `ring_ops` records the synchronization side it buys — 8x fewer
+    // atomic release/acquire pairs and shared-cache-line handoffs,
+    // which is where the win lives under real cross-core traffic. The
+    // checksum proves both transports deliver identical messages
+    // before either is timed.
+    const MSGS: u64 = 200_000;
+    const BCAP: u64 = rbp_core::ringbench::BLOCK_CAP as u64;
+    assert_eq!(
+        rbp_core::ringbench::transfer_per_state(MSGS),
+        rbp_core::ringbench::transfer_batched(MSGS),
+        "transports must deliver identical payloads"
+    );
+    let m = b.run("ring/send_per_state_200k", || {
+        rbp_core::ringbench::transfer_per_state(MSGS)
+    });
+    m.extra.add("msgs", MSGS);
+    m.extra.add("ring_ops", MSGS);
+    let m = b.run("ring/send_batched_200k", || {
+        rbp_core::ringbench::transfer_batched(MSGS)
+    });
+    m.extra.add("msgs", MSGS);
+    m.extra.add("ring_ops", MSGS.div_ceil(BCAP));
+    m.extra.add("block_cap", BCAP);
 
     b.finish();
 }

@@ -3,16 +3,21 @@
 //! Runs the exact MPP solver over an `(n, k, r, g)` grid of DAG
 //! families per instance as baseline (plain Dijkstra, no symmetry
 //! reduction), optimized (processor-symmetry canonicalization +
-//! admissible A\*), and a `--threads ∈ {2, 4}` scaling sweep of the
-//! hash-sharded parallel engine — checking all optima agree — and
-//! reports per-instance wall time, settled-state counts, packed-arena
-//! memory (peak bytes and bytes per interned state, against a measured
-//! reconstruction of the legacy `HashMap<Key, Entry>` closed-set
-//! layout), and aggregate speedups.
-//! Results land in `BENCH_solver.json` (with the host's
-//! `hardware_threads`, so single-core runs are honest about why the
-//! thread sweep cannot speed up) for commit-to-commit comparison; the
-//! EXPERIMENTS speedup table is regenerated from this run.
+//! admissible A\*), and a `--threads ∈ {2, 4}` × `--partition ∈ {hash,
+//! bands, anchors}` sweep of the sharded parallel engine — checking all
+//! optima agree — and reports per-instance wall time, settled-state
+//! counts, packed-arena memory (peak bytes and bytes per interned
+//! state, against a measured reconstruction of the legacy
+//! `HashMap<Key, Entry>` closed-set layout), cross-shard traffic per
+//! partition mode, and aggregate speedups.
+//! Results land in `BENCH_solver.json` for commit-to-commit comparison;
+//! the EXPERIMENTS speedup table is regenerated from this run. The
+//! host's `hardware_threads` is recorded alongside a `sweep_valid`
+//! flag: on a single-hardware-thread host the wall-clock side of the
+//! thread sweep measures nothing but scheduling overhead, so the flag
+//! goes `false` and `rbp report` calls the numbers out (the cross-shard
+//! *send counts* stay meaningful — they are deterministic properties of
+//! the partition, not of the host).
 //!
 //! Usage: `exp_solver [--quick]` (`--quick` trims the grid for CI).
 
@@ -20,7 +25,7 @@ use std::time::Instant;
 
 use rbp_bench::{banner, par_sweep, Table};
 use rbp_core::rbp_dag::{generators, Dag};
-use rbp_core::{solve_mpp_with, MppInstance, SearchConfig, SearchStats};
+use rbp_core::{solve_mpp_with, MppInstance, PartitionMode, SearchConfig, SearchStats};
 use rbp_util::json::Json;
 use rbp_util::{env_seed, FxHashMap};
 
@@ -32,9 +37,10 @@ struct Case {
     g: u64,
 }
 
-/// One parallel-engine run at a fixed thread count.
-struct ThreadPoint {
+/// One parallel-engine run at a fixed thread count and partition mode.
+struct SweepPoint {
     threads: usize,
+    partition: PartitionMode,
     wall_ns: u64,
     stats: SearchStats,
 }
@@ -51,7 +57,18 @@ struct Outcome {
     /// Measured allocation of the pre-arena closed set for the same
     /// interned-state count (see [`legacy_closed_set_bytes`]).
     legacy_bytes: u64,
-    thread_points: Vec<ThreadPoint>,
+    sweep: Vec<SweepPoint>,
+}
+
+impl Outcome {
+    /// The sweep point at `(threads, partition)`; every case runs the
+    /// full cross product, so the lookup always succeeds.
+    fn point(&self, threads: usize, partition: PartitionMode) -> &SweepPoint {
+        self.sweep
+            .iter()
+            .find(|p| p.threads == threads && p.partition == partition)
+            .expect("full threads x partition sweep")
+    }
 }
 
 /// The pre-arena closed-set layout, reconstructed so its footprint can
@@ -160,25 +177,29 @@ fn run_case(case: &Case) -> Outcome {
         .validate(&inst)
         .expect("optimized witness validates");
 
-    // Thread-scaling sweep of the sharded engine; every point must
+    // Threads × partition sweep of the sharded engine; every point must
     // prove the same optimum.
-    let mut thread_points = Vec::new();
+    let mut sweep = Vec::new();
     for threads in [2usize, 4] {
-        let cfg = opt_cfg.with_threads(threads);
-        let t = Instant::now();
-        let par = solve_mpp_with(&inst, &cfg);
-        let wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let p = par.solution.expect("parallel solved");
-        assert_eq!(
-            p.total, o.total,
-            "{} k={} r={} g={}: --threads {threads} changed the optimum",
-            case.family, case.k, case.r, case.g
-        );
-        thread_points.push(ThreadPoint {
-            threads,
-            wall_ns,
-            stats: par.stats,
-        });
+        for partition in PartitionMode::ALL {
+            let cfg = opt_cfg.with_threads(threads).with_partition(partition);
+            let t = Instant::now();
+            let par = solve_mpp_with(&inst, &cfg);
+            let wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let p = par.solution.expect("parallel solved");
+            assert_eq!(
+                p.total, o.total,
+                "{} k={} r={} g={}: --threads {threads} --partition {partition} \
+                 changed the optimum",
+                case.family, case.k, case.r, case.g
+            );
+            sweep.push(SweepPoint {
+                threads,
+                partition,
+                wall_ns,
+                stats: par.stats,
+            });
+        }
     }
 
     Outcome {
@@ -191,7 +212,7 @@ fn run_case(case: &Case) -> Outcome {
         opt_ns,
         legacy_bytes: legacy_closed_set_bytes(opt.stats.arena_states),
         opt_stats: opt.stats,
-        thread_points,
+        sweep,
     }
 }
 
@@ -219,6 +240,7 @@ fn main() {
         "mem x",
         "t2 ms",
         "t4 ms",
+        "send redux",
     ]);
     let mut rows = Vec::new();
     let (mut k2_settled_base, mut k2_settled_opt) = (0u64, 0u64);
@@ -226,9 +248,18 @@ fn main() {
     let (mut k2_arena_bytes, mut k2_arena_states) = (0u64, 0u64);
     let mut k2_legacy_bytes = 0u64;
     let mut k2_thread_ns = [0u64; 2];
+    // Per-partition t=4 traffic aggregates (indexed like PartitionMode::ALL).
+    let mut k2_t4_sends = [0u64; 3];
+    let mut k2_t4_settled = [0u64; 3];
     for o in &results {
         let settled_x = o.base_stats.settled as f64 / o.opt_stats.settled.max(1) as f64;
         let wall_x = o.base_ns as f64 / o.opt_ns.max(1) as f64;
+        let hash4 = o.point(4, PartitionMode::Hash);
+        let anchors4 = o.point(4, PartitionMode::Anchors);
+        // Sends-per-settled normalizes away the (mode-dependent) amount
+        // of duplicated exploration before comparing traffic.
+        let hash_sps = hash4.stats.cross_sends as f64 / hash4.stats.settled.max(1) as f64;
+        let anchors_sps = anchors4.stats.cross_sends as f64 / anchors4.stats.settled.max(1) as f64;
         t.row(&[
             o.label.clone(),
             o.n.to_string(),
@@ -244,8 +275,12 @@ fn main() {
                 "{:.1}x",
                 o.legacy_bytes as f64 / o.opt_stats.arena_peak_bytes.max(1) as f64
             ),
-            format!("{:.2}", o.thread_points[0].wall_ns as f64 / 1e6),
-            format!("{:.2}", o.thread_points[1].wall_ns as f64 / 1e6),
+            format!(
+                "{:.2}",
+                o.point(2, PartitionMode::Hash).wall_ns as f64 / 1e6
+            ),
+            format!("{:.2}", hash4.wall_ns as f64 / 1e6),
+            format!("{:.1}x", hash_sps / anchors_sps.max(1e-9)),
         ]);
         if o.k >= 2 && o.n >= 8 {
             k2_settled_base += o.base_stats.settled;
@@ -255,19 +290,28 @@ fn main() {
             k2_arena_bytes += o.opt_stats.arena_peak_bytes;
             k2_arena_states += o.opt_stats.arena_states;
             k2_legacy_bytes += o.legacy_bytes;
-            for (slot, p) in k2_thread_ns.iter_mut().zip(&o.thread_points) {
-                *slot += p.wall_ns;
+            for (slot, threads) in k2_thread_ns.iter_mut().zip([2usize, 4]) {
+                *slot += o.point(threads, PartitionMode::Hash).wall_ns;
+            }
+            for (i, mode) in PartitionMode::ALL.into_iter().enumerate() {
+                let p = o.point(4, mode);
+                k2_t4_sends[i] += p.stats.cross_sends;
+                k2_t4_settled[i] += p.stats.settled;
             }
         }
-        let threads_json: Vec<Json> = o
-            .thread_points
+        let sweep_json: Vec<Json> = o
+            .sweep
             .iter()
             .map(|p| {
                 Json::obj(vec![
                     ("threads", Json::from(p.threads)),
+                    ("partition", Json::from(p.partition.as_str())),
                     ("wall_ns", Json::from(p.wall_ns)),
                     ("settled", Json::from(p.stats.settled)),
                     ("cross_sends", Json::from(p.stats.cross_sends)),
+                    ("send_blocks", Json::from(p.stats.send_blocks)),
+                    ("foreign_expansions", Json::from(p.stats.foreign_expansions)),
+                    ("locality_fraction", Json::from(p.stats.locality_fraction())),
                     ("arena_peak_bytes", Json::from(p.stats.arena_peak_bytes)),
                 ])
             })
@@ -292,7 +336,7 @@ fn main() {
                 Json::from(o.opt_stats.bytes_per_state()),
             ),
             ("legacy_bytes", Json::from(o.legacy_bytes)),
-            ("threads", Json::Arr(threads_json)),
+            ("sweep", Json::Arr(sweep_json)),
         ]));
     }
     t.print_traced("E-SOLVER");
@@ -306,6 +350,11 @@ fn main() {
     let legacy_per_state = k2_legacy_bytes as f64 / k2_arena_states.max(1) as f64;
     let bytes_reduction = k2_legacy_bytes as f64 / k2_arena_bytes.max(1) as f64;
     let hardware_threads = std::thread::available_parallelism().map_or(0, usize::from);
+    // On a single-hardware-thread host the sharded workers time-slice
+    // one core, so the wall-clock side of the sweep is noise: flag it
+    // rather than let the numbers masquerade as a scaling result.
+    let sweep_valid = hardware_threads > 1;
+    rbp_trace::gauge("exp_solver.sweep_valid", f64::from(u8::from(sweep_valid)));
     println!(
         "\naggregate over k>=2, n>=8: settled-state reduction {settled_speedup:.1}x, \
          wall-clock speedup {wall_speedup:.1}x"
@@ -319,6 +368,21 @@ fn main() {
             "threads={threads}: wall {:.1}x vs opt t1 ({} hardware threads on this host)",
             k2_ns_opt as f64 / k2_thread_ns[i].max(1) as f64,
             hardware_threads
+        );
+    }
+    if !sweep_valid {
+        println!(
+            "WARNING: sweep_valid=false — single hardware thread; wall-clock \
+             thread-scaling numbers measure scheduling overhead, not speedup"
+        );
+    }
+    let sends_per_settled = |i: usize| k2_t4_sends[i] as f64 / k2_t4_settled[i].max(1) as f64;
+    let hash_sps = sends_per_settled(0);
+    for (i, mode) in PartitionMode::ALL.into_iter().enumerate() {
+        println!(
+            "partition={mode} t=4: {:.3} cross-shard sends/settled ({:.1}x fewer than hash)",
+            sends_per_settled(i),
+            hash_sps / sends_per_settled(i).max(1e-9)
         );
     }
 
@@ -336,10 +400,28 @@ fn main() {
             ])
         })
         .collect();
+    let partition_aggregate: Vec<Json> = PartitionMode::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, mode)| {
+            Json::obj(vec![
+                ("partition", Json::from(mode.as_str())),
+                ("threads", Json::from(4u64)),
+                ("cross_sends", Json::from(k2_t4_sends[i])),
+                ("settled", Json::from(k2_t4_settled[i])),
+                ("sends_per_settled", Json::from(sends_per_settled(i))),
+                (
+                    "send_reduction_vs_hash",
+                    Json::from(hash_sps / sends_per_settled(i).max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
     let json = Json::obj(vec![
         ("suite", Json::from("solver")),
         ("quick", Json::from(quick)),
         ("hardware_threads", Json::from(hardware_threads)),
+        ("sweep_valid", Json::from(sweep_valid)),
         (
             "aggregate_k2",
             Json::obj(vec![
@@ -356,6 +438,7 @@ fn main() {
                 ("legacy_bytes_per_state", Json::from(legacy_per_state)),
                 ("bytes_reduction", Json::from(bytes_reduction)),
                 ("threads", Json::Arr(thread_aggregate)),
+                ("partitions_t4", Json::Arr(partition_aggregate)),
             ]),
         ),
         ("results", Json::Arr(rows)),

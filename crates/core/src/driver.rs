@@ -11,20 +11,33 @@
 //! identical expansion order to the pre-refactor engine.
 //!
 //! `threads ≥ 2` runs [`parallel`], an HDA\*-style search (Kishimoto et
-//! al.): every canonical state is **owned** by the shard its hash maps
-//! to ([`shard_of`]); each worker keeps a private arena + frontier for
-//! its shard and forwards successors it does not own over bounded SPSC
-//! rings. A shared atomic **incumbent** (best goal distance so far)
-//! prunes pushes and pops; goals are not expanded but recorded, and the
-//! search continues until global quiescence — at which point every
-//! frontier's minimum `f` is at least the incumbent, which (with the
-//! admissible heuristic) proves the incumbent optimal. Quiescence is
-//! detected with monotone sent/received message counters plus an idle
-//! bitmask, double-read so a racing message cannot be missed: `sent` is
-//! incremented *before* a ring push and `received` *after* the message
-//! is fully processed, so "all workers idle and `sent == received`"
-//! observed twice with no send in between implies no work exists
-//! anywhere.
+//! al.): every canonical state is **owned** by a shard chosen through
+//! [`Domain::owner`] — by default the hash partition ([`shard_of`]),
+//! or a structure-aware projection when the solver installs a
+//! [`crate::partition::Partition`]; each worker keeps a private arena +
+//! frontier for its shard and forwards successors it does not own over
+//! bounded SPSC rings, packed into fixed-capacity [`MsgBlock`]s that
+//! flush on fill or on local-frontier exhaustion. A shared atomic
+//! **incumbent** (best goal distance so far) prunes pushes and pops;
+//! goals are not expanded but recorded, and the search continues until
+//! global quiescence — at which point every frontier's minimum `f` is
+//! at least the incumbent, which (with the admissible heuristic) proves
+//! the incumbent optimal. Quiescence is detected with monotone
+//! sent/received **block** counters plus an idle bitmask, double-read
+//! so a racing message cannot be missed: `sent` is incremented *before*
+//! a ring push and `received` *after* the block is fully processed, and
+//! a worker flushes every out-buffer before advertising idle, so "all
+//! workers idle and `sent == received`" observed twice with no send in
+//! between implies no work exists anywhere.
+//!
+//! When a worker's frontier is empty but quiescence has not been
+//! reached, it **speculatively expands** the best foreign successor it
+//! buffered instead of spinning. Every speculative state was *also*
+//! delivered to its true owner, so the buffer never holds the only copy
+//! of any work item and can be ignored by the termination argument;
+//! duplicates reconcile through the ordinary arena g-value check, so
+//! optimality is untouched and the only cost is some duplicated
+//! expansion (counted per shard as `foreign_expansions` / `dup_msgs`).
 //!
 //! Resource limits are **global** at any thread count: a shared settled
 //! counter and the shared deadline abort every worker through a status
@@ -78,6 +91,16 @@ pub(crate) trait Domain: Sync {
     /// Upper bound on every `f` value (selects the frontier
     /// representation).
     fn max_priority(&self) -> u64;
+    /// Owning shard of the canonical `key` whose packed-key hash is
+    /// `hash`. Must be a pure, total function of the canonical state
+    /// (same key → same shard on every call and every worker) — the
+    /// distributed termination proof and duplicate detection rely on
+    /// it. Defaults to the hash partition; solvers override it to
+    /// route through a [`crate::partition::Partition`].
+    #[inline]
+    fn owner(&self, _key: &Self::Key, hash: u64, shards: usize) -> usize {
+        shard_of(hash, shards)
+    }
 }
 
 /// What a driver run produced: the optimal cost plus the root-to-goal
@@ -227,8 +250,15 @@ fn reconstruct_path<D: Domain>(
 
 /// Frontier pops per worker iteration between inbox drains.
 const POP_BATCH: usize = 32;
-/// Capacity of each cross-shard SPSC ring (messages).
-const CHAN_CAP: usize = 1 << 10;
+/// Capacity of each cross-shard SPSC ring (blocks; times
+/// [`BLOCK_CAP`] messages).
+const CHAN_CAP: usize = 1 << 7;
+/// Messages per ring block: a full block spans eight cache lines, so
+/// the per-slot atomic hand-off cost is amortized over eight states.
+const BLOCK_CAP: usize = 8;
+/// Per-worker cap on buffered foreign states eligible for speculative
+/// expansion. Small: it is a starvation stopgap, not a second frontier.
+const SPEC_CAP: usize = 64;
 
 const STATUS_RUNNING: u64 = 0;
 const STATUS_DONE: u64 = 1;
@@ -246,6 +276,27 @@ struct Msg {
     mv: PackedMove,
 }
 
+const EMPTY_MSG: Msg = Msg {
+    words: [0; MAX_KEY_WORDS],
+    dist: 0,
+    parent: 0,
+    mv: 0,
+};
+
+/// A batch of [`Msg`]s moved through the ring as one slot: senders fill
+/// blocks in per-destination out-buffers and flush on fill or frontier
+/// exhaustion, so the quiescence counters count blocks, not messages.
+#[derive(Clone, Copy)]
+struct MsgBlock {
+    len: u32,
+    msgs: [Msg; BLOCK_CAP],
+}
+
+const EMPTY_BLOCK: MsgBlock = MsgBlock {
+    len: 0,
+    msgs: [EMPTY_MSG; BLOCK_CAP],
+};
+
 /// State shared by every worker of one parallel solve.
 struct Shared {
     /// Best goal distance found so far (`u64::MAX` until the first
@@ -256,9 +307,10 @@ struct Shared {
     goal: Mutex<Option<(u64, u64)>>,
     /// Global settled-state counter (the `max_states` budget).
     settled: AtomicU64,
-    /// Messages pushed to any ring (incremented *before* the push).
+    /// Blocks pushed to any ring (incremented *before* the push).
     sent: AtomicU64,
-    /// Messages fully processed (incremented *after* processing).
+    /// Blocks fully processed (incremented *after* every message in the
+    /// block has been relaxed).
     received: AtomicU64,
     /// Bitmask of workers currently idle.
     idle: AtomicU64,
@@ -307,7 +359,7 @@ struct Worker<'a, D: Domain> {
     shared: &'a Shared,
     /// Full `threads x threads` ring matrix, indexed `from * threads +
     /// to`; this worker consumes column `me` and produces row `me`.
-    chans: &'a [Spsc<Msg>],
+    chans: &'a [Spsc<MsgBlock>],
     start: Instant,
     max_states: u64,
     deadline: Option<std::time::Duration>,
@@ -315,20 +367,38 @@ struct Worker<'a, D: Domain> {
     frontier: Frontier<u32>,
     scratch: D::Scratch,
     succs: Vec<(D::Key, u64, PackedMove)>,
+    /// Per-destination out-buffers; `out[to]` fills until [`BLOCK_CAP`]
+    /// then flushes into the ring (`out[me]` stays unused).
+    out: Vec<MsgBlock>,
+    /// Bounded stash of foreign successors for speculative expansion
+    /// (every entry was *also* sent to its owner).
+    spec: Vec<Msg>,
     settled: u64,
     pushed: u64,
     stale: u64,
     sent: u64,
+    send_blocks: u64,
+    local_succs: u64,
     received: u64,
+    dup_msgs: u64,
+    foreign_expansions: u64,
     frontier_peak: u64,
 }
 
 impl<'a, D: Domain> Worker<'a, D> {
     /// Relaxes an owned state given its packed words and hash; enqueues
     /// it when the distance improved, the heuristic finds it alive, and
-    /// its `f` still beats the incumbent.
+    /// its `f` still beats the incumbent. Returns whether the distance
+    /// was created or improved.
     #[inline]
-    fn relax_owned(&mut self, words: &[u64], hash: u64, dist: u64, parent: u64, mv: PackedMove) {
+    fn relax_owned(
+        &mut self,
+        words: &[u64],
+        hash: u64,
+        dist: u64,
+        parent: u64,
+        mv: PackedMove,
+    ) -> bool {
         let (idx, improved) = self.arena.relax(words, hash, dist, parent, mv);
         if improved {
             let key = self.domain.unpack(words);
@@ -341,20 +411,25 @@ impl<'a, D: Domain> Worker<'a, D> {
                 }
             }
         }
+        improved
     }
 
-    /// Drains every inbox once; returns whether any message arrived.
+    /// Drains every inbox once; returns whether any block arrived.
     fn drain_inboxes(&mut self) -> bool {
-        let chans = self.chans;
         let mut any = false;
         for from in 0..self.threads {
             if from == self.me {
                 continue;
             }
-            while let Some(m) = chans[from * self.threads + self.me].try_pop() {
-                let h = hash_words(&m.words[..self.kw]);
-                self.relax_owned(&m.words[..self.kw], h, m.dist, m.parent, m.mv);
-                self.received += 1;
+            while let Some(blk) = self.chans[from * self.threads + self.me].try_pop() {
+                for j in 0..blk.len as usize {
+                    let m = blk.msgs[j];
+                    let h = hash_words(&m.words[..self.kw]);
+                    if !self.relax_owned(&m.words[..self.kw], h, m.dist, m.parent, m.mv) {
+                        self.dup_msgs += 1;
+                    }
+                    self.received += 1;
+                }
                 self.shared.received.fetch_add(1, Ordering::SeqCst);
                 any = true;
             }
@@ -362,24 +437,41 @@ impl<'a, D: Domain> Worker<'a, D> {
         any
     }
 
-    /// Whether any inbox currently holds a message.
+    /// Whether any inbox currently holds a block.
     fn has_inbox_msgs(&self) -> bool {
         (0..self.threads)
             .any(|from| from != self.me && !self.chans[from * self.threads + self.me].is_empty())
     }
 
-    /// Sends a successor to its owning shard, draining our own inboxes
-    /// while the target ring is full (receiving only relaxes locally and
-    /// never sends, so this cannot deadlock).
-    fn send(&mut self, to: usize, msg: Msg) {
-        self.shared.sent.fetch_add(1, Ordering::SeqCst);
+    /// Buffers a successor for its owning shard, flushing the block
+    /// when full, and stashes a copy for speculative expansion.
+    fn buffer_send(&mut self, to: usize, msg: Msg) {
         self.sent += 1;
+        self.spec_offer(msg);
+        let blk = &mut self.out[to];
+        blk.msgs[blk.len as usize] = msg;
+        blk.len += 1;
+        if blk.len as usize == BLOCK_CAP {
+            self.flush(to);
+        }
+    }
+
+    /// Pushes `out[to]` into the ring, draining our own inboxes while
+    /// the target ring is full (receiving only relaxes locally and
+    /// never sends, so this cannot deadlock).
+    fn flush(&mut self, to: usize) {
+        if self.out[to].len == 0 {
+            return;
+        }
+        let blk = std::mem::replace(&mut self.out[to], EMPTY_BLOCK);
+        self.send_blocks += 1;
+        self.shared.sent.fetch_add(1, Ordering::SeqCst);
         loop {
-            if self.chans[self.me * self.threads + to].try_push(msg) {
+            if self.chans[self.me * self.threads + to].try_push(blk) {
                 return;
             }
             if self.shared.status.load(Ordering::Acquire) != STATUS_RUNNING {
-                // Aborting: the message may be dropped, nobody will
+                // Aborting: the block may be dropped, nobody will
                 // look at the counters again.
                 return;
             }
@@ -387,6 +479,65 @@ impl<'a, D: Domain> Worker<'a, D> {
                 std::hint::spin_loop();
             }
         }
+    }
+
+    /// Flushes every non-empty out-buffer. Must run before advertising
+    /// idle: the quiescence counters only see flushed blocks.
+    fn flush_all(&mut self) {
+        for to in 0..self.threads {
+            if to != self.me {
+                self.flush(to);
+            }
+        }
+    }
+
+    /// Stashes a foreign successor for possible speculative expansion,
+    /// keeping the `SPEC_CAP` best (lowest-distance) entries.
+    fn spec_offer(&mut self, msg: Msg) {
+        if msg.dist >= self.shared.incumbent.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.spec.len() < SPEC_CAP {
+            self.spec.push(msg);
+            return;
+        }
+        let (worst, wd) = self
+            .spec
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.dist))
+            .max_by_key(|&(_, d)| d)
+            .expect("spec buffer non-empty at cap");
+        if msg.dist < wd {
+            self.spec[worst] = msg;
+        }
+    }
+
+    /// Speculatively expands buffered foreign work: promotes the
+    /// best-distance stashed state into the local arena and frontier.
+    /// Returns `true` when something was promoted (the main loop should
+    /// go back to popping). Safe to drain to empty before idling —
+    /// every entry was also delivered to its owner.
+    fn promote_spec(&mut self) -> bool {
+        while !self.spec.is_empty() {
+            let best = self
+                .spec
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.dist)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let m = self.spec.swap_remove(best);
+            if m.dist >= self.shared.incumbent.load(Ordering::Relaxed) {
+                continue;
+            }
+            let h = hash_words(&m.words[..self.kw]);
+            if self.relax_owned(&m.words[..self.kw], h, m.dist, m.parent, m.mv) {
+                self.foreign_expansions += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Records a popped goal state, lowering the shared incumbent.
@@ -486,11 +637,12 @@ impl<'a, D: Domain> Worker<'a, D> {
                     let mut wbuf = [0u64; MAX_KEY_WORDS];
                     domain.pack(&k2, &mut wbuf[..kw]);
                     let h = hash_words(&wbuf[..kw]);
-                    let owner = shard_of(h, self.threads);
+                    let owner = domain.owner(&k2, h, self.threads);
                     if owner == self.me {
+                        self.local_succs += 1;
                         self.relax_owned(&wbuf[..kw], h, nd, parent, mv);
                     } else {
-                        self.send(
+                        self.buffer_send(
                             owner,
                             Msg {
                                 words: wbuf,
@@ -503,8 +655,18 @@ impl<'a, D: Domain> Worker<'a, D> {
                 }
                 self.succs = succs;
             }
-            if !progress && self.idle_protocol() {
-                break;
+            if !progress {
+                // Local frontier exhausted: ship partial blocks so no
+                // work hides in an out-buffer, then look for incoming
+                // work, then fall back to speculative expansion before
+                // attempting quiescence.
+                self.flush_all();
+                if self.drain_inboxes() || self.promote_spec() {
+                    continue;
+                }
+                if self.idle_protocol() {
+                    break;
+                }
             }
         }
         WorkerResult {
@@ -513,7 +675,11 @@ impl<'a, D: Domain> Worker<'a, D> {
                 settled: self.settled,
                 pushed: self.pushed,
                 sent: self.sent,
+                send_blocks: self.send_blocks,
+                local_succs: self.local_succs,
                 received: self.received,
+                dup_msgs: self.dup_msgs,
+                foreign_expansions: self.foreign_expansions,
                 arena_states: self.arena.len() as u64,
                 arena_bytes: self.arena.bytes(),
             },
@@ -541,10 +707,10 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
     let mut root_words = [0u64; MAX_KEY_WORDS];
     domain.pack(&root, &mut root_words[..kw]);
     let root_hash = hash_words(&root_words[..kw]);
-    let root_owner = shard_of(root_hash, threads);
+    let root_owner = domain.owner(&root, root_hash, threads);
 
     let shared = Shared::new();
-    let chans: Vec<Spsc<Msg>> = (0..threads * threads)
+    let chans: Vec<Spsc<MsgBlock>> = (0..threads * threads)
         .map(|_| Spsc::new(CHAN_CAP))
         .collect();
     let max_states = config.limits.max_states as u64;
@@ -571,11 +737,17 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
                         frontier: Frontier::new(max_priority),
                         scratch: D::Scratch::default(),
                         succs: Vec::new(),
+                        out: vec![EMPTY_BLOCK; threads],
+                        spec: Vec::with_capacity(SPEC_CAP),
                         settled: 0,
                         pushed: 0,
                         stale: 0,
                         sent: 0,
+                        send_blocks: 0,
+                        local_succs: 0,
                         received: 0,
+                        dup_msgs: 0,
+                        foreign_expansions: 0,
                         frontier_peak: 0,
                     };
                     if me == root_owner {
@@ -605,6 +777,9 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
         stats.frontier_peak += r.frontier_peak;
         stats.heap_fallback |= r.heap_fallback;
         stats.cross_sends += r.shard.sent;
+        stats.send_blocks += r.shard.send_blocks;
+        stats.local_succs += r.shard.local_succs;
+        stats.foreign_expansions += r.shard.foreign_expansions;
         stats.arena_states += r.shard.arena_states;
         stats.arena_peak_bytes += r.shard.arena_bytes;
         shards.push(r.shard);

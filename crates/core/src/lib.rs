@@ -38,6 +38,9 @@ mod arena;
 pub mod cost;
 mod driver;
 pub mod mpp;
+mod partition;
+#[doc(hidden)]
+pub mod ringbench;
 pub mod search;
 pub mod spp;
 mod spsc;
@@ -49,6 +52,7 @@ pub use mpp::{
     IoClass, MppError, MppErrorKind, MppInstance, MppMove, MppRun, MppRunStats, MppSimulator,
     MppSolution, MppStrategy, Pebble, ProcId,
 };
+pub use partition::PartitionMode;
 pub use search::{
     trace_shards, AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, ShardStats,
     SolveLimits, StopReason, MAX_THREADS,

@@ -32,8 +32,10 @@ use rbp_util::Json;
 
 use crate::arena::{pack_fields, unpack_fields, words_for};
 use crate::driver::{self, Domain};
+use crate::partition::Partition;
 use crate::search::{
     trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
+    MAX_THREADS,
 };
 use crate::{AdmissibleHeuristic, Cost, MppInstance, MppMove, MppStrategy, Pebble, SolveLimits};
 
@@ -172,6 +174,7 @@ pub fn solve_with(instance: &MppInstance, config: &SearchConfig) -> SearchOutcom
             ("heuristic", Json::from(config.heuristic)),
             ("symmetry", Json::from(config.symmetry)),
             ("threads", Json::from(config.threads.max(1))),
+            ("partition", Json::from(config.partition.as_str())),
         ],
     );
     let (solution, stats, reason, shards) = solve_inner(instance, config);
@@ -201,6 +204,7 @@ struct MppDomain {
     use_heuristic: bool,
     symmetry: bool,
     max_priority: u64,
+    partition: Partition,
 }
 
 /// Reused per-worker expansion buffers (allocation-free inner loop).
@@ -265,6 +269,10 @@ impl Domain for MppDomain {
 
     fn max_priority(&self) -> u64 {
         self.max_priority
+    }
+
+    fn owner(&self, key: &Key, hash: u64, shards: usize) -> usize {
+        self.partition.owner(key.red_all(), key.blue, hash, shards)
     }
 
     fn expand(
@@ -425,6 +433,7 @@ fn solve_inner(
         use_heuristic: config.heuristic,
         symmetry: config.symmetry,
         max_priority,
+        partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
     };
     let out = driver::search(&domain, config);
     let solution = out

@@ -31,7 +31,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
 
-use crate::{MppInstance, SppInstance};
+use crate::{MppInstance, PartitionMode, SppInstance};
 
 /// Resource limits for the exact solvers.
 ///
@@ -103,10 +103,13 @@ pub struct SearchConfig {
     /// Canonicalize processor-symmetric MPP states (ignored by SPP).
     pub symmetry: bool,
     /// Worker threads. `0` or `1` runs the sequential engine; `≥ 2`
-    /// runs the hash-sharded parallel engine (HDA\*-style state
-    /// ownership), which returns the same optimal costs. Capped at
-    /// [`MAX_THREADS`].
+    /// runs the sharded parallel engine (HDA\*-style state ownership),
+    /// which returns the same optimal costs. Capped at [`MAX_THREADS`].
     pub threads: usize,
+    /// Shard-ownership strategy for the parallel engine (ignored at
+    /// `threads ≤ 1`). Every mode proves the same optima; they differ
+    /// only in cross-shard traffic and load balance.
+    pub partition: PartitionMode,
     /// Resource limits.
     pub limits: SolveLimits,
 }
@@ -117,6 +120,7 @@ impl Default for SearchConfig {
             heuristic: true,
             symmetry: true,
             threads: 1,
+            partition: PartitionMode::default(),
             limits: SolveLimits::default(),
         }
     }
@@ -146,6 +150,14 @@ impl SearchConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// This configuration with a shard-ownership strategy (see
+    /// [`SearchConfig::partition`]).
+    #[must_use]
+    pub fn with_partition(mut self, partition: PartitionMode) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -224,6 +236,15 @@ pub struct SearchStats {
     /// Successors handed to another shard over an SPSC channel
     /// (always zero in the sequential engine).
     pub cross_sends: u64,
+    /// Ring blocks those sends were batched into; `cross_sends /
+    /// send_blocks` is the achieved batching factor.
+    pub send_blocks: u64,
+    /// Successors kept on the shard that generated them (the locality
+    /// the partition bought; zero in the sequential engine).
+    pub local_succs: u64,
+    /// Foreign states expanded speculatively by an otherwise-starving
+    /// shard (work stealing by duplication; never affects optimality).
+    pub foreign_expansions: u64,
     /// Worker threads the solve actually used.
     pub threads: u64,
 }
@@ -238,6 +259,19 @@ impl SearchStats {
             0.0
         } else {
             self.arena_peak_bytes as f64 / self.arena_states as f64
+        }
+    }
+
+    /// Fraction of generated successors that stayed on their shard
+    /// (`local_succs / (local_succs + cross_sends)`). Zero when nothing
+    /// was generated; 1.0 would be a perfectly local partition.
+    #[must_use]
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.local_succs + self.cross_sends;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_succs as f64 / total as f64
         }
     }
 
@@ -270,6 +304,15 @@ impl SearchStats {
             self.bytes_per_state(),
         );
         rbp_trace::counter(&format!("solver.{which}.cross_sends"), self.cross_sends);
+        rbp_trace::counter(&format!("solver.{which}.send_blocks"), self.send_blocks);
+        rbp_trace::counter(
+            &format!("solver.{which}.foreign_expansions"),
+            self.foreign_expansions,
+        );
+        rbp_trace::gauge(
+            &format!("solver.{which}.locality_fraction"),
+            self.locality_fraction(),
+        );
         rbp_trace::gauge(&format!("solver.{which}.threads"), self.threads as f64);
         if let Some(total) = total {
             if total > 0 {
@@ -295,16 +338,52 @@ pub struct ShardStats {
     pub pushed: u64,
     /// Successors this shard sent to other shards.
     pub sent: u64,
+    /// Ring blocks those sends were flushed in.
+    pub send_blocks: u64,
+    /// Successors this shard generated and kept (it owned them).
+    pub local_succs: u64,
     /// Messages this shard received from other shards.
     pub received: u64,
+    /// Received messages that did not improve any distance (duplicates
+    /// of work already done, e.g. re-deliveries of speculatively
+    /// expanded states).
+    pub dup_msgs: u64,
+    /// Foreign states this shard expanded speculatively while its own
+    /// frontier was empty.
+    pub foreign_expansions: u64,
     /// Distinct states interned into this shard's arena.
     pub arena_states: u64,
     /// Bytes held by this shard's arena (keys + metadata + table).
     pub arena_bytes: u64,
 }
 
+impl ShardStats {
+    /// Fraction of this shard's generated successors it owned itself.
+    #[must_use]
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.local_succs + self.sent;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_succs as f64 / total as f64
+        }
+    }
+
+    /// Fraction of received messages that were duplicates
+    /// (`dup_msgs / received`). Zero when nothing was received.
+    #[must_use]
+    pub fn duplicate_rate(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.dup_msgs as f64 / self.received as f64
+        }
+    }
+}
+
 /// Emits per-shard counters as `solver.<which>.shard<i>.{settled,
-/// pushed,sent,arena_bytes}` trace gauges. No-op while tracing is
+/// pushed,sent,send_blocks,foreign_expansions,locality_fraction,
+/// duplicate_rate,arena_bytes}` trace gauges. No-op while tracing is
 /// disabled or for sequential solves (empty slice).
 pub fn trace_shards(which: &str, shards: &[ShardStats]) {
     if !rbp_trace::enabled() {
@@ -318,6 +397,22 @@ pub fn trace_shards(which: &str, shards: &[ShardStats]) {
         );
         rbp_trace::gauge(&format!("solver.{which}.shard{i}.pushed"), s.pushed as f64);
         rbp_trace::gauge(&format!("solver.{which}.shard{i}.sent"), s.sent as f64);
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.send_blocks"),
+            s.send_blocks as f64,
+        );
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.foreign_expansions"),
+            s.foreign_expansions as f64,
+        );
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.locality_fraction"),
+            s.locality_fraction(),
+        );
+        rbp_trace::gauge(
+            &format!("solver.{which}.shard{i}.duplicate_rate"),
+            s.duplicate_rate(),
+        );
         rbp_trace::gauge(
             &format!("solver.{which}.shard{i}.arena_bytes"),
             s.arena_bytes as f64,

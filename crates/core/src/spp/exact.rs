@@ -28,8 +28,10 @@ use rbp_dag::NodeId;
 
 use crate::arena::{pack_fields, unpack_fields, words_for};
 use crate::driver::{self, Domain};
+use crate::partition::Partition;
 use crate::search::{
     trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
+    MAX_THREADS,
 };
 use crate::{AdmissibleHeuristic, Cost, SppInstance, SppMove, SppStrategy};
 
@@ -100,6 +102,8 @@ pub fn solve_with(instance: &SppInstance, config: &SearchConfig) -> SearchOutcom
             ("g", rbp_util::Json::from(instance.model.g)),
             ("one_shot", rbp_util::Json::from(instance.variant.one_shot)),
             ("heuristic", rbp_util::Json::from(config.heuristic)),
+            ("threads", rbp_util::Json::from(config.threads.max(1))),
+            ("partition", rbp_util::Json::from(config.partition.as_str())),
         ],
     );
     let (solution, stats, reason, shards) = solve_inner(instance, config);
@@ -131,6 +135,7 @@ struct SppDomain {
     heur: AdmissibleHeuristic,
     use_heuristic: bool,
     max_priority: u64,
+    partition: Partition,
 }
 
 impl SppDomain {
@@ -195,6 +200,10 @@ impl Domain for SppDomain {
 
     fn max_priority(&self) -> u64 {
         self.max_priority
+    }
+
+    fn owner(&self, key: &Key, hash: u64, shards: usize) -> usize {
+        self.partition.owner(key.red, key.blue, hash, shards)
     }
 
     fn expand(&self, key: &Key, _scratch: &mut (), emit: &mut dyn FnMut(Key, u64, PackedMove)) {
@@ -337,6 +346,7 @@ fn solve_inner(
         heur: AdmissibleHeuristic::for_spp(instance),
         use_heuristic: config.heuristic,
         max_priority,
+        partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
     };
     // A dead root (one-shot variants) is caught by the driver through
     // the heuristic's `None` and reported as `Exhausted`.

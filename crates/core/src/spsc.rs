@@ -110,6 +110,108 @@ mod tests {
         }
     }
 
+    /// Mirrors the driver's batched-block protocol over this ring:
+    /// fixed-capacity blocks, `sent` counted *before* the push and
+    /// `received` *after* the whole block is processed, partial blocks
+    /// flushed on frontier exhaustion. 10 000 seeded interleavings of
+    /// produce / flush / drain steps over a tiny (4-block) ring check
+    /// that no block is ever lost or drained twice, delivery stays in
+    /// order, and the quiescence predicate (`sent == received` ∧ ring
+    /// empty ∧ nothing buffered) never holds while a message is still
+    /// in flight.
+    #[test]
+    fn seeded_block_interleavings_preserve_protocol() {
+        #[derive(Clone, Copy)]
+        struct Block {
+            len: u32,
+            msgs: [u64; 4],
+        }
+        const EMPTY: Block = Block {
+            len: 0,
+            msgs: [0; 4],
+        };
+        const BCAP: usize = 4;
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for iter in 0..10_000u64 {
+            let q: Spsc<Block> = Spsc::new(4);
+            let total = 1 + rng() % 48;
+            let mut produced = 0u64;
+            let mut out = EMPTY;
+            // A block whose send was already counted but whose push has
+            // not landed yet (the driver spins here; the schedule may
+            // interleave arbitrary consumer steps instead).
+            let mut pending: Option<Block> = None;
+            let (mut sent, mut received) = (0u64, 0u64);
+            let mut got: Vec<u64> = Vec::new();
+            loop {
+                if sent == received && q.is_empty() && pending.is_none() && out.len == 0 {
+                    assert_eq!(
+                        got.len() as u64,
+                        produced,
+                        "iter {iter}: counters quiesced with messages in flight"
+                    );
+                    if produced == total {
+                        break;
+                    }
+                }
+                match rng() % 4 {
+                    // Producer: one message into the out-buffer (the
+                    // driver never fills past an unflushed block).
+                    0 | 1 => {
+                        if produced < total && pending.is_none() {
+                            out.msgs[out.len as usize] = (iter << 16) | produced;
+                            out.len += 1;
+                            produced += 1;
+                            if out.len as usize == BCAP {
+                                sent += 1;
+                                pending = Some(std::mem::replace(&mut out, EMPTY));
+                            }
+                        }
+                    }
+                    // Flush: seal a partial block and/or retry the push.
+                    2 => {
+                        if pending.is_none() && out.len > 0 {
+                            sent += 1;
+                            pending = Some(std::mem::replace(&mut out, EMPTY));
+                        }
+                        if let Some(b) = pending {
+                            if q.try_push(b) {
+                                pending = None;
+                            }
+                        }
+                    }
+                    // Consumer: drain one block, counting it only after
+                    // every message in it has been processed.
+                    _ => {
+                        if let Some(b) = q.try_pop() {
+                            got.extend_from_slice(&b.msgs[..b.len as usize]);
+                            received += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(sent, received, "iter {iter}: block counters disagree");
+            assert_eq!(
+                got.len() as u64,
+                total,
+                "iter {iter}: lost or duplicated messages"
+            );
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(
+                    *v,
+                    (iter << 16) | i as u64,
+                    "iter {iter}: out-of-order or corrupted delivery"
+                );
+            }
+        }
+    }
+
     #[test]
     fn cross_thread_transfer_preserves_order() {
         let q: Spsc<u64> = Spsc::new(8);

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use rbp_core::{
     batchify, solve_mpp_with, validate_mpp, MppError, MppInstance, MppMove, MppRun, MppStrategy,
-    SearchConfig, SolveLimits,
+    PartitionMode, SearchConfig, SolveLimits,
 };
 use rbp_schedulers::all_schedulers;
 use rbp_util::Rng;
@@ -45,9 +45,12 @@ pub struct PortfolioConfig {
     /// State budget handed to the exact solver (keeps its runtime
     /// roughly proportional to the race budget).
     pub exact_max_states: usize,
-    /// Worker threads for the exact solver (`≥ 2` runs the hash-sharded
+    /// Worker threads for the exact solver (`≥ 2` runs the sharded
     /// parallel engine; same proven optimum).
     pub exact_threads: usize,
+    /// Shard-ownership strategy for the parallel exact solver
+    /// (irrelevant when `exact_threads == 1`).
+    pub exact_partition: PartitionMode,
     /// Number of concurrent refinement workers.
     pub refine_workers: usize,
 }
@@ -62,6 +65,7 @@ impl Default for PortfolioConfig {
             use_exact: true,
             exact_max_states: 200_000,
             exact_threads: 1,
+            exact_partition: PartitionMode::default(),
             refine_workers: 2,
         }
     }
@@ -215,7 +219,8 @@ pub fn race(instance: &MppInstance, cfg: &PortfolioConfig) -> Result<PortfolioOu
         if exact_feasible {
             let search = SearchConfig::default()
                 .with_limits(SolveLimits::states(cfg.exact_max_states))
-                .with_threads(cfg.exact_threads.max(1));
+                .with_threads(cfg.exact_threads.max(1))
+                .with_partition(cfg.exact_partition);
             handles.push(scope.spawn(move || {
                 let started = Instant::now();
                 let sol = solve_mpp_with(instance, &search).solution;

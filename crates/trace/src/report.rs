@@ -143,6 +143,25 @@ pub fn render(text: &str) -> Result<String, String> {
             let _ = writeln!(out, "| {n} | {v} |");
         }
     }
+    // Benchmarks that cannot measure what they claim flag themselves
+    // with a `*sweep_valid` gauge of 0; surface that loudly so a report
+    // reader cannot mistake a single-core run for a scaling result.
+    let invalid_sweeps: Vec<&str> = gauges
+        .iter()
+        .filter(|(n, v)| n.ends_with("sweep_valid") && *v == 0.0)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if !invalid_sweeps.is_empty() {
+        let _ = writeln!(out, "\n## Warnings\n");
+        for n in invalid_sweeps {
+            let _ = writeln!(
+                out,
+                "- **{n} = 0**: the run reported itself unable to measure thread \
+                 scaling (single hardware thread); treat its wall-clock sweep \
+                 numbers as scheduling overhead, not speedup."
+            );
+        }
+    }
     if !spans.is_empty() {
         let _ = writeln!(out, "\n## Spans\n");
         let _ = writeln!(out, "| span | count | total ms |");
@@ -234,6 +253,24 @@ mod tests {
         assert!(report.contains("| solver.settled | 15 |"));
         assert!(report.contains("| tightness | 0.9 |"));
         assert!(report.contains("| solve | 1 | 5.00 |"));
+    }
+
+    #[test]
+    fn invalid_sweep_gauge_renders_warning() {
+        let head =
+            "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"exp_solver\",\"git_rev\":null}\n";
+        let invalid = format!(
+            "{head}{{\"type\":\"gauge\",\"ts_us\":1,\"name\":\"exp_solver.sweep_valid\",\"value\":0}}\n"
+        );
+        let report = render(&invalid).unwrap();
+        assert!(report.contains("## Warnings"), "{report}");
+        assert!(report.contains("exp_solver.sweep_valid = 0"), "{report}");
+
+        let valid = format!(
+            "{head}{{\"type\":\"gauge\",\"ts_us\":1,\"name\":\"exp_solver.sweep_valid\",\"value\":1}}\n"
+        );
+        let report = render(&valid).unwrap();
+        assert!(!report.contains("## Warnings"), "{report}");
     }
 
     #[test]

@@ -24,14 +24,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 echo "== quick solver sweep (equivalence + speedup smoke) =="
 ./target/release/exp_solver --quick
 
-echo "== parallel solver smoke (--threads 4 proves the sequential optimum) =="
+echo "== parallel solver smoke (--threads 4, every partition mode, same optimum) =="
 seq_opt=$(./target/release/rbp solve tests/fixtures/chains_2x4.dag 2 3 2 \
     | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
-par_opt=$(./target/release/rbp solve tests/fixtures/chains_2x4.dag 2 3 2 --threads 4 \
-    | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
-[ -n "$seq_opt" ] && [ "$seq_opt" = "$par_opt" ] \
-    || { echo "parallel smoke failed: sequential=$seq_opt threads4=$par_opt"; exit 1; }
-echo "parallel smoke: OPT=$seq_opt at 1 and 4 threads"
+[ -n "$seq_opt" ] || { echo "parallel smoke failed: no sequential OPT"; exit 1; }
+for mode in hash bands anchors; do
+    par_opt=$(./target/release/rbp solve tests/fixtures/chains_2x4.dag 2 3 2 \
+        --threads 4 --partition "$mode" \
+        | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
+    [ "$seq_opt" = "$par_opt" ] \
+        || { echo "parallel smoke failed: sequential=$seq_opt threads4/$mode=$par_opt"; exit 1; }
+done
+echo "parallel smoke: OPT=$seq_opt at 1 thread and 4 threads x {hash,bands,anchors}"
 
 echo "== trace report smoke (fixture round trip) =="
 ./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"

@@ -14,15 +14,19 @@
 //! ```
 //!
 //! `solve` options: `--threads <N>` (default 1; `≥ 2` runs the
-//! hash-sharded parallel engine, same proven optimum), `--max-states
-//! <N>` (settled-state budget), `--deadline-ms <N>` (wall-clock limit;
-//! budget and deadline exhaustion are reported distinctly).
+//! sharded parallel engine, same proven optimum), `--partition
+//! hash|bands|anchors` (shard-ownership strategy for the parallel
+//! engine; default `hash`), `--max-states <N>` (settled-state budget),
+//! `--deadline-ms <N>` (wall-clock limit; budget and deadline
+//! exhaustion are reported distinctly).
 //! `improve` options: `--budget-ms <N>` (default 1000), `--driver
 //! auto|hill|anneal|lns`, `--in <file>` (resume from a saved strategy),
 //! `--out <file>` (save the refined strategy as JSONL).
 //! `portfolio` options: `--budget-ms <N>` (default 1000),
-//! `--no-exact`. Both honor the workspace-wide `RBP_SEED` environment
-//! variable for deterministic reruns.
+//! `--no-exact`, `--exact-threads <N>`, `--partition
+//! hash|bands|anchors` (for the exact lane). Both honor the
+//! workspace-wide `RBP_SEED` environment variable for deterministic
+//! reruns.
 //!
 //! `serve` options: `--addr <host:port>` (default `127.0.0.1:8017`;
 //! port `0` picks an ephemeral one, printed on startup), `--workers
@@ -43,8 +47,8 @@ use std::process::ExitCode;
 use rbp::bounds::trivial;
 use rbp::core::rbp_dag::{dot, io, Dag, DagStats};
 use rbp::core::{
-    async_makespan, batchify, MppInstance, MppRun, MppRunStats, SearchConfig, SolveLimits,
-    StopReason,
+    async_makespan, batchify, MppInstance, MppRun, MppRunStats, PartitionMode, SearchConfig,
+    SolveLimits, StopReason,
 };
 use rbp::refine::{persist, Budget, Driver, PortfolioConfig, RefineConfig};
 use rbp::schedulers::all_schedulers;
@@ -158,9 +162,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
                 limits = limits.with_deadline(std::time::Duration::from_millis(ms));
             }
+            let partition = flag_value(args, "--partition")?
+                .map_or(Ok(PartitionMode::default()), str::parse)?;
             let config = SearchConfig::default()
                 .with_limits(limits)
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_partition(partition);
             let out = rbp::core::solve_mpp_with(&inst, &config);
             let sol = out.solution.ok_or_else(|| match out.reason {
                 StopReason::StateLimit => format!(
@@ -288,10 +295,18 @@ fn run(args: &[String]) -> Result<(), String> {
             let budget = flag_value(args, "--budget-ms")?.map_or(Ok(1000), |v| {
                 v.parse::<u64>().map_err(|_| "bad --budget-ms".to_string())
             })?;
+            let exact_threads = flag_value(args, "--exact-threads")?.map_or(Ok(1), |v| {
+                v.parse::<usize>()
+                    .map_err(|_| "bad --exact-threads".to_string())
+            })?;
+            let exact_partition = flag_value(args, "--partition")?
+                .map_or(Ok(PartitionMode::default()), str::parse)?;
             let cfg = PortfolioConfig {
                 budget_millis: budget,
                 seed: env_seed(0),
                 use_exact: !args.iter().any(|a| a == "--no-exact"),
+                exact_threads: exact_threads.max(1),
+                exact_partition,
                 ..PortfolioConfig::default()
             };
             let out = rbp::refine::race(&inst, &cfg).map_err(|e| e.to_string())?;

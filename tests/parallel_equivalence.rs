@@ -1,13 +1,15 @@
-//! Equivalence harness for the hash-sharded parallel exact solver.
+//! Equivalence harness for the sharded parallel exact solver.
 //!
 //! The parallel engine (HDA\*-style shard ownership over SPSC
-//! channels) must be invisible in the results: on every instance and
-//! every thread count it proves the same optimal `total` as the
-//! sequential engine, its witness validates, and its stop reasons stay
-//! meaningful. This harness checks that on randomized small instances
-//! across MPP (k ≤ 3) and the SPP variant zoo, at 2, 4, and 8 worker
-//! threads, plus determinism of the proven cost across repeated
-//! parallel runs.
+//! channels) must be invisible in the results: on every instance,
+//! every thread count, and every [`PartitionMode`] it proves the same
+//! optimal `total` as the sequential engine, its witness validates,
+//! and its stop reasons stay meaningful. This harness checks that on
+//! randomized small instances across MPP (k ≤ 3) and the SPP variant
+//! zoo, at 2, 4, and 8 worker threads (rotating the partition mode
+//! through the random cases and sweeping all modes exhaustively on
+//! fixed instances), plus determinism of the proven cost across
+//! repeated parallel runs.
 //!
 //! Every case is a deterministic function of its loop index (seeded
 //! in-tree RNG), so a failure message identifies the exact instance.
@@ -16,12 +18,19 @@ use std::time::Duration;
 
 use rbp::core::rbp_dag::generators;
 use rbp::core::{
-    solve_mpp_with, solve_spp_with, CostModel, MppInstance, SearchConfig, SolveLimits, SppInstance,
-    SppVariant, StopReason,
+    solve_mpp_with, solve_spp_with, CostModel, MppInstance, PartitionMode, SearchConfig,
+    SolveLimits, SppInstance, SppVariant, StopReason,
 };
 use rbp::util::Rng;
 
 const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Deterministically rotates ownership strategies through the random
+/// cases, so every (mode, thread-count) pair gets steady coverage
+/// without tripling the harness's runtime.
+fn rotate_mode(case: u64, threads: usize) -> PartitionMode {
+    PartitionMode::ALL[(case as usize + threads) % PartitionMode::ALL.len()]
+}
 
 fn sequential_cfg() -> SearchConfig {
     SearchConfig::default().with_limits(SolveLimits::states(400_000))
@@ -49,11 +58,15 @@ fn mpp_parallel_matches_sequential_on_random_dags() {
             .solution
             .unwrap_or_else(|| panic!("{ctx}: sequential budget"));
         for threads in THREAD_COUNTS {
-            let par = solve_mpp_with(&inst, &seq_cfg.with_threads(threads));
+            let mode = rotate_mode(case, threads);
+            let par = solve_mpp_with(&inst, &seq_cfg.with_threads(threads).with_partition(mode));
             let p = par
                 .solution
-                .unwrap_or_else(|| panic!("{ctx}: t={threads} budget"));
-            assert_eq!(s.total, p.total, "{ctx}: t={threads} optimum differs");
+                .unwrap_or_else(|| panic!("{ctx}: t={threads} {mode} budget"));
+            assert_eq!(
+                s.total, p.total,
+                "{ctx}: t={threads} {mode} optimum differs"
+            );
             assert_eq!(par.reason, StopReason::Solved, "{ctx}: t={threads} reason");
             let cost = p
                 .strategy
@@ -105,7 +118,8 @@ fn spp_parallel_matches_sequential_across_variants() {
         let seq = solve_spp_with(&inst, &seq_cfg);
         let ctx = format!("case {case}: n={n} r={r} g={g} variant={variant:?}");
         for threads in THREAD_COUNTS {
-            let par = solve_spp_with(&inst, &seq_cfg.with_threads(threads));
+            let mode = rotate_mode(case, threads);
+            let par = solve_spp_with(&inst, &seq_cfg.with_threads(threads).with_partition(mode));
             match (&seq.solution, par.solution) {
                 (None, None) => {
                     assert!(variant.one_shot, "{ctx}: only one-shot can be unsolvable");
@@ -132,6 +146,61 @@ fn spp_parallel_matches_sequential_across_variants() {
         solved >= 90,
         "only {solved} (instance, threads) runs solved"
     );
+}
+
+/// Exhaustive modes × thread-counts sweep on fixed instances: every
+/// partition strategy proves the identical optimum with a validating
+/// witness, reports sane traffic stats (fractions in range, shard rows
+/// summing to the aggregate), and the speculative expander never
+/// invents settled work the counters don't account for.
+#[test]
+fn all_partition_modes_prove_identical_optima() {
+    let cfg = sequential_cfg();
+    for (dag, k, r, g) in [
+        (generators::grid(3, 3), 2, 3, 2),
+        (generators::binary_in_tree(4), 2, 3, 1),
+        (generators::independent_chains(2, 4), 3, 2, 2),
+    ] {
+        let inst = MppInstance::new(&dag, k, r, g);
+        let seq = solve_mpp_with(&inst, &cfg)
+            .solution
+            .expect("sequential budget");
+        let ctx = format!("n={} k={k} r={r} g={g}", dag.n());
+        for mode in PartitionMode::ALL {
+            for threads in THREAD_COUNTS {
+                let par = solve_mpp_with(&inst, &cfg.with_threads(threads).with_partition(mode));
+                let sol = par
+                    .solution
+                    .unwrap_or_else(|| panic!("{ctx}: {mode} t={threads} budget"));
+                assert_eq!(
+                    seq.total, sol.total,
+                    "{ctx}: {mode} t={threads} optimum differs"
+                );
+                let cost = sol
+                    .strategy
+                    .validate(&inst)
+                    .unwrap_or_else(|e| panic!("{ctx}: {mode} t={threads} invalid: {e}"));
+                assert_eq!(cost.total(inst.model), sol.total, "{ctx}: witness cost");
+                let lf = par.stats.locality_fraction();
+                assert!(
+                    (0.0..=1.0).contains(&lf),
+                    "{ctx}: {mode} t={threads} locality_fraction {lf} out of range"
+                );
+                for (i, shard) in par.shards.iter().enumerate() {
+                    let dr = shard.duplicate_rate();
+                    assert!(
+                        (0.0..=1.0).contains(&dr),
+                        "{ctx}: {mode} t={threads} shard{i} duplicate_rate {dr}"
+                    );
+                }
+                let foreign: u64 = par.shards.iter().map(|s| s.foreign_expansions).sum();
+                assert_eq!(
+                    foreign, par.stats.foreign_expansions,
+                    "{ctx}: {mode} t={threads} foreign_expansions aggregate"
+                );
+            }
+        }
+    }
 }
 
 /// The proven cost is deterministic run to run: tie-breaking inside the
