@@ -17,15 +17,28 @@
 //!    is answered with either `200` or an explicit `503` + `Retry-After`
 //!    (backpressure never drops work silently).
 //!
+//! E20 extends the harness to the persistent/fleet tier:
+//!
+//! 4. **Restart survival** — a server with `--store-dir` solves an
+//!    instance, shuts down completely, and a fresh process over the
+//!    same directory must answer the identical request as a warm
+//!    cache **hit** (the warm-boot contract of docs/OPERATIONS.md).
+//! 5. **Fleet** — the phase-2 mixed workload replayed through
+//!    [`rbp_serve::FleetClient`]: persistent binary-protocol
+//!    connections consistent-hash-routed over N in-process server
+//!    instances. Asserts fleet throughput beats the single-process
+//!    HTTP number measured in phase 2 of the same run.
+//!
 //! Writes `BENCH_serve.json`. Usage: `exp_serve [--quick]` (`--quick`
 //! trims budgets and request counts for CI).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use rbp_bench::{banner, Table};
 use rbp_serve::http::{self, ClientResponse};
-use rbp_serve::{ServeConfig, Server};
+use rbp_serve::{wire, FleetClient, ServeConfig, Server};
 use rbp_util::json::Json;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -271,10 +284,194 @@ fn overload_phase(burst: usize, budget_ms: u64) -> OverloadPhase {
     }
 }
 
+struct RestartPhase {
+    cold_us: u64,
+    warm_us: u64,
+    speedup: f64,
+    warm_hit: bool,
+    store_entries: u64,
+}
+
+/// Phase 4 (E20): kill + reboot over a persistent store directory; the
+/// reborn process must answer the old instance as a warm cache hit.
+fn restart_phase(budget_ms: u64) -> RestartPhase {
+    let dir: PathBuf = std::env::temp_dir().join(format!("rbp-e20-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServeConfig {
+        workers: 2,
+        store_dir: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    };
+    let body = format!(
+        r#"{{"generator":{{"family":"grid","params":[3,4]}},"k":2,"r":3,"g":2,"budget_ms":{budget_ms}}}"#
+    );
+
+    // Generation 1: pay for the solve, persist it, die.
+    let first = Server::start(cfg()).expect("bind with store");
+    let t0 = Instant::now();
+    let cold = post(&first, "/v1/portfolio", &body);
+    let cold_us = t0.elapsed().as_micros() as u64;
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    first.shutdown();
+
+    // Generation 2: fresh process, same directory — warm from boot.
+    let second = Server::start(cfg()).expect("rebind with store");
+    let t1 = Instant::now();
+    let warm = post(&second, "/v1/portfolio", &body);
+    let warm_us = (t1.elapsed().as_micros() as u64).max(1);
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    let warm_json = Json::parse(&warm.body).unwrap();
+    let warm_hit = warm_json.get("cache").and_then(Json::as_str) == Some("hit");
+    assert!(
+        warm_hit,
+        "restarted server must answer from the warmed cache: {}",
+        warm.body
+    );
+    let stats = Json::parse(
+        &http::request(second.addr(), "GET", "/v1/stats", None, TIMEOUT)
+            .expect("stats")
+            .body,
+    )
+    .unwrap();
+    let store_entries = stats
+        .get("store")
+        .and_then(|s| s.get("entries"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RestartPhase {
+        cold_us,
+        warm_us,
+        speedup: cold_us as f64 / warm_us as f64,
+        warm_hit,
+        store_entries,
+    }
+}
+
+struct FleetPhase {
+    members: usize,
+    clients: usize,
+    requests: usize,
+    elapsed_us: u64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    hits: usize,
+    misses: usize,
+    baseline_rps: f64,
+    speedup_vs_single: f64,
+}
+
+/// Phase 5 (E20): the phase-2 mixed workload over persistent binary
+/// connections consistent-hash-routed across N server instances.
+fn fleet_phase(
+    members_n: usize,
+    clients: usize,
+    per_client: usize,
+    baseline_rps: f64,
+) -> FleetPhase {
+    let members: Vec<Server> = (0..members_n)
+        .map(|_| {
+            Server::start(ServeConfig {
+                workers: 2,
+                queue_cap: 256,
+                cache_cap: 256,
+                ..ServeConfig::default()
+            })
+            .expect("bind fleet member")
+        })
+        .collect();
+    let addrs: Vec<_> = members.iter().map(Server::addr).collect();
+
+    // The same instance mix as phase 2, expressed as binary endpoints.
+    let bodies: Vec<(&str, String)> = (0..8)
+        .map(|i| {
+            let (rows, cols) = (2 + i % 2, 2 + i % 3);
+            let body = format!(
+                r#"{{"generator":{{"family":"grid","params":[{rows},{cols}]}},"k":2,"r":3,"g":2}}"#
+            );
+            let endpoint = match i % 4 {
+                0 => "bounds",
+                1 => "schedule",
+                2 => "generate",
+                _ => "bounds",
+            };
+            (endpoint, body)
+        })
+        .collect();
+
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let bodies = &bodies;
+                let addrs = &addrs;
+                let hits = &hits;
+                let misses = &misses;
+                scope.spawn(move || {
+                    // One persistent fleet client per load thread: the
+                    // connections live for the whole run.
+                    let mut fleet = FleetClient::new(addrs.clone(), TIMEOUT);
+                    let mut lats = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let (endpoint, body) = &bodies[(c + 3 * i) % bodies.len()];
+                        let t = Instant::now();
+                        let resp = fleet.call(endpoint, body).expect("fleet request answered");
+                        lats.push(t.elapsed().as_micros() as u64);
+                        assert_eq!(resp.status, 200, "{}", resp.payload);
+                        if resp.tag == wire::TAG_MISS {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_us = (t0.elapsed().as_micros() as u64).max(1);
+    latencies.sort_unstable();
+    for server in members {
+        server.shutdown();
+    }
+
+    let requests = clients * per_client;
+    let rps = requests as f64 / (elapsed_us as f64 / 1e6);
+    assert!(
+        rps > baseline_rps,
+        "fleet over binary connections must beat the single-process HTTP \
+         baseline ({rps:.0} vs {baseline_rps:.0} req/s)"
+    );
+    FleetPhase {
+        members: members_n,
+        clients,
+        requests,
+        elapsed_us,
+        rps,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        baseline_rps,
+        speedup_vs_single: rps / baseline_rps,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     rbp_bench::init_trace("exp_serve", &[("quick", rbp_trace::Json::from(quick))]);
-    banner("E18", "pebbling-as-a-service load harness");
+    banner("E18+E20", "pebbling-as-a-service load harness");
 
     let (budget_ms, clients, per_client, burst) = if quick {
         (100, 4, 8, 6)
@@ -313,9 +510,38 @@ fn main() {
     ]);
     t.print_traced("E18.overload");
 
+    let rs = restart_phase(budget_ms);
+    let mut t = Table::new(&["phase 4: restart survival", "value"]);
+    t.row(&["cold (gen 1) µs", &rs.cold_us.to_string()]);
+    t.row(&["warm after reboot µs", &rs.warm_us.to_string()]);
+    t.row(&["speedup", &format!("{:.1}×", rs.speedup)]);
+    t.row(&["warm hit", &rs.warm_hit.to_string()]);
+    t.row(&["store entries", &rs.store_entries.to_string()]);
+    t.print_traced("E20.restart");
+
+    let fleet_members = 3;
+    let fl = fleet_phase(fleet_members, clients, per_client, tp.rps);
+    let mut t = Table::new(&["phase 5: fleet (binary)", "value"]);
+    t.row(&["members", &fl.members.to_string()]);
+    t.row(&["clients", &fl.clients.to_string()]);
+    t.row(&["requests", &fl.requests.to_string()]);
+    t.row(&["rps", &format!("{:.0}", fl.rps)]);
+    t.row(&["single-process rps", &format!("{:.0}", fl.baseline_rps)]);
+    t.row(&[
+        "speedup vs single",
+        &format!("{:.2}×", fl.speedup_vs_single),
+    ]);
+    t.row(&["p50 µs", &fl.p50_us.to_string()]);
+    t.row(&["p95 µs", &fl.p95_us.to_string()]);
+    t.row(&["p99 µs", &fl.p99_us.to_string()]);
+    t.row(&["cache hits", &fl.hits.to_string()]);
+    t.row(&["cache misses", &fl.misses.to_string()]);
+    t.print_traced("E20.fleet");
+
     println!(
-        "\ncache hit speedup {:.1}× (≥ 10× required); overload answered {}/{} explicitly",
-        cache.speedup, ov.sent, ov.sent
+        "\ncache hit speedup {:.1}× (≥ 10× required); overload answered {}/{} explicitly; \
+         restart warm hit {:.1}× faster; fleet {:.0} req/s ({:.2}× the single process)",
+        cache.speedup, ov.sent, ov.sent, rs.speedup, fl.rps, fl.speedup_vs_single
     );
 
     let json = Json::obj(vec![
@@ -353,6 +579,33 @@ fn main() {
                 ("ok", Json::from(ov.ok)),
                 ("rejected", Json::from(ov.rejected)),
                 ("rejection_rate", Json::from(ov.rejection_rate)),
+            ]),
+        ),
+        (
+            "restart",
+            Json::obj(vec![
+                ("cold_us", Json::from(rs.cold_us)),
+                ("warm_us", Json::from(rs.warm_us)),
+                ("speedup", Json::from(rs.speedup)),
+                ("warm_hit", Json::from(rs.warm_hit)),
+                ("store_entries", Json::from(rs.store_entries)),
+            ]),
+        ),
+        (
+            "fleet",
+            Json::obj(vec![
+                ("members", Json::from(fl.members)),
+                ("clients", Json::from(fl.clients)),
+                ("requests", Json::from(fl.requests)),
+                ("elapsed_us", Json::from(fl.elapsed_us)),
+                ("rps", Json::from(fl.rps)),
+                ("p50_us", Json::from(fl.p50_us)),
+                ("p95_us", Json::from(fl.p95_us)),
+                ("p99_us", Json::from(fl.p99_us)),
+                ("cache_hits", Json::from(fl.hits)),
+                ("cache_misses", Json::from(fl.misses)),
+                ("baseline_rps", Json::from(fl.baseline_rps)),
+                ("speedup_vs_single", Json::from(fl.speedup_vs_single)),
             ]),
         ),
     ]);

@@ -69,13 +69,23 @@ impl HttpError {
 
 /// Reads and parses one HTTP/1.1 request from `stream`.
 ///
+/// `prefix` holds bytes already consumed from the stream before
+/// parsing began — the accept loop sniffs the first bytes of every
+/// connection to negotiate the binary protocol (see `crate::wire`) and
+/// passes them through here when they turn out to be HTTP.
+///
 /// # Errors
 /// [`HttpError`] with status 400 on malformed framing, 408 on a
 /// connection that hits the socket read timeout or closes early, 413
 /// when the body exceeds `max_body`, or 431 when the head exceeds the
 /// 16 KiB header limit.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+pub fn read_request(
+    stream: &mut TcpStream,
+    prefix: &[u8],
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024.max(prefix.len()));
+    buf.extend_from_slice(prefix);
     let mut tmp = [0u8; 4096];
 
     // Accumulate until the blank line terminating the head.
@@ -311,7 +321,11 @@ mod tests {
             s.write_all(&bytes).unwrap();
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let out = read_request(&mut stream, max_body);
+        // Split the bytes the way the accept loop does: a sniffed
+        // prefix handed back into the parser, the rest on the wire.
+        let mut first = [0u8; 1];
+        stream.read_exact(&mut first).unwrap();
+        let out = read_request(&mut stream, &first, max_body);
         writer.join().unwrap();
         out
     }

@@ -20,6 +20,17 @@
 //! - **Async jobs** — `"mode":"async"` returns `202` plus
 //!   `/v1/jobs/<id>` / `/v1/jobs/<id>/result` endpoints for
 //!   long-running solves.
+//! - **Persistent result store** — with `store_dir` set, every
+//!   completed result is appended to a crash-safe, checksummed record
+//!   log ([`store`]) and the newest entries are preloaded into the RAM
+//!   cache on startup, so a restarted server answers previously-solved
+//!   instances hot immediately (cache tags: `hit` = RAM, `store` =
+//!   disk, `miss` = computed).
+//! - **Binary wire protocol** — high-QPS clients send the 4-byte
+//!   preamble `RBP\x01` on connect and switch the connection to
+//!   persistent length-prefixed frames ([`wire`]), skipping per-request
+//!   TCP connects and HTTP parsing; [`FleetClient`] consistent-hash
+//!   routes over N instances.
 //! - **Graceful shutdown** — `POST /v1/shutdown` (or
 //!   [`ServerHandle::request_shutdown`]) stops accepting, drains every
 //!   admitted job, and answers all in-flight requests before exit.
@@ -55,12 +66,16 @@ pub mod http;
 pub mod jobs;
 pub mod server;
 pub mod stats;
+pub mod store;
+pub mod wire;
 
 pub use api::{build_dag, ApiError, Work};
 pub use cache::ResultCache;
 pub use jobs::{Job, JobQueue, JobState, PushError};
 pub use server::{Server, ServerHandle};
 pub use stats::ServeStats;
+pub use store::ResultStore;
+pub use wire::{Client, FleetClient, Frame, WireResponse};
 
 /// Configuration of one service instance.
 #[derive(Debug, Clone)]
@@ -82,11 +97,20 @@ pub struct ServeConfig {
     /// `POST /v1/solve` is clamped to this before keying or queueing
     /// (minimum 1).
     pub max_solve_threads: usize,
+    /// Directory for the persistent result store (`None` disables it).
+    /// When set, completed results are appended to
+    /// `<dir>/results.log` and the newest entries are preloaded into
+    /// the RAM cache on startup, so restarts answer hot immediately.
+    pub store_dir: Option<String>,
+    /// Byte cap on the store log (`0` = unbounded); exceeding it
+    /// triggers a compaction that evicts the oldest entries first.
+    pub store_cap_bytes: u64,
 }
 
 impl Default for ServeConfig {
     /// Ephemeral port, 4 workers, 64-deep queue, 256-entry cache, 30 s
-    /// deadline, 1 MiB bodies, at most 4 solver threads per request.
+    /// deadline, 1 MiB bodies, at most 4 solver threads per request, no
+    /// persistent store, 64 MiB store cap once one is configured.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
@@ -96,6 +120,8 @@ impl Default for ServeConfig {
             default_deadline_ms: 30_000,
             max_body_bytes: 1 << 20,
             max_solve_threads: 4,
+            store_dir: None,
+            store_cap_bytes: 64 << 20,
         }
     }
 }

@@ -25,6 +25,8 @@ use crate::cache::ResultCache;
 use crate::http;
 use crate::jobs::{Job, JobQueue, JobState, PushError};
 use crate::stats::ServeStats;
+use crate::store::ResultStore;
+use crate::wire;
 use crate::ServeConfig;
 
 /// Completed/failed jobs kept for polling before the registry is
@@ -40,6 +42,8 @@ pub(crate) struct State {
     queue: JobQueue,
     jobs: Mutex<FxHashMap<u64, Arc<Job>>>,
     cache: ResultCache,
+    /// Durable result tier under the RAM cache (`--store-dir`).
+    store: Option<ResultStore>,
     stats: ServeStats,
     shutdown: AtomicBool,
     next_job: AtomicU64,
@@ -84,18 +88,36 @@ fn request_shutdown(state: &State) {
 
 impl Server {
     /// Binds `cfg.addr`, spawns the worker pool and the accept thread,
-    /// and returns the running server.
+    /// and returns the running server. When `cfg.store_dir` is set the
+    /// persistent store is opened (recovering any torn tail and
+    /// compacting) and its newest entries are preloaded into the RAM
+    /// cache, so a restarted server answers previously-solved
+    /// instances as cache hits immediately.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind failures and store open/recovery failures.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
+        let cache = ResultCache::new(cfg.cache_cap);
+        let store = match &cfg.store_dir {
+            Some(dir) => {
+                let store = ResultStore::open(std::path::Path::new(dir), cfg.store_cap_bytes)?;
+                let warmed = store.warm(&cache, cfg.cache_cap);
+                rbp_trace::counter("serve.store.opened", 1);
+                if warmed > 0 {
+                    rbp_trace::counter("serve.store.warm_boot", 1);
+                }
+                Some(store)
+            }
+            None => None,
+        };
         let state = Arc::new(State {
             queue: JobQueue::new(cfg.queue_cap.max(1)),
             jobs: Mutex::new(FxHashMap::default()),
-            cache: ResultCache::new(cfg.cache_cap),
+            cache,
+            store,
             stats: ServeStats::new(),
             shutdown: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
@@ -229,7 +251,27 @@ impl Reply {
 fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let reply = match http::read_request(&mut stream, state.cfg.max_body_bytes) {
+
+    // Protocol negotiation: a binary client's first 4 bytes are the
+    // preamble "RBP\x01", which no HTTP request can start with (methods
+    // are ASCII uppercase). Sniff at most 4 bytes, bailing out of the
+    // sniff as soon as the bytes diverge from the preamble, and hand
+    // whatever was consumed to the HTTP parser.
+    let mut sniffed = [0u8; 4];
+    let mut n = 0usize;
+    while n < sniffed.len() && sniffed[..n] == wire::PREAMBLE[..n] {
+        use std::io::Read as _;
+        match stream.read(&mut sniffed[n..]) {
+            Ok(0) | Err(_) => break,
+            Ok(got) => n += got,
+        }
+    }
+    if sniffed[..n] == wire::PREAMBLE {
+        handle_binary_connection(state, &mut stream);
+        return;
+    }
+
+    let reply = match http::read_request(&mut stream, &sniffed[..n], state.cfg.max_body_bytes) {
         Ok(req) => {
             state.stats.accepted.fetch_add(1, Ordering::Relaxed);
             rbp_trace::counter("serve.http.accepted", 1);
@@ -242,6 +284,57 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
         extra.push(("retry-after", secs.to_string()));
     }
     let _ = http::write_response(&mut stream, reply.status, &extra, &reply.body.render());
+}
+
+/// One persistent binary-protocol connection: acknowledge the
+/// preamble, then answer request frames until the client hangs up.
+fn handle_binary_connection(state: &Arc<State>, stream: &mut TcpStream) {
+    use std::io::Write as _;
+    // Frames are small and strictly request/response; Nagle would add
+    // delayed-ACK stalls to every exchange.
+    let _ = stream.set_nodelay(true);
+    if stream.write_all(&wire::PREAMBLE).is_err() || stream.flush().is_err() {
+        return;
+    }
+    rbp_trace::counter("serve.wire.conn", 1);
+    while let Ok(Some(frame)) = wire::read_frame(stream, state.cfg.max_body_bytes) {
+        state.stats.wire_requests.fetch_add(1, Ordering::Relaxed);
+        rbp_trace::counter("serve.wire.request", 1);
+        let reply = binary_reply(state, &frame);
+        if wire::write_frame(stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Maps one request frame to its response/error frame via the shared
+/// submission path. Responses carry the result core **verbatim** —
+/// the same bytes the cache holds and the HTTP envelope re-renders.
+fn binary_reply(state: &Arc<State>, frame: &wire::Frame) -> wire::Frame {
+    let (endpoint, body_text) = match frame.parse_request() {
+        Ok(parts) => parts,
+        Err(msg) => return wire::Frame::error(400, &msg),
+    };
+    if !matches!(
+        endpoint,
+        "solve" | "schedule" | "portfolio" | "bounds" | "generate"
+    ) {
+        return wire::Frame::error(404, &format!("no binary endpoint '{endpoint}'"));
+    }
+    let body = match Json::parse(body_text) {
+        Ok(v) => v,
+        Err(e) => return wire::Frame::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    match submit(state, endpoint, &body, false) {
+        Submitted::Answer { tag, core, .. } => wire::Frame::response(tag, &core),
+        Submitted::Accepted { .. } => {
+            wire::Frame::error(500, "async admission on a binary connection")
+        }
+        Submitted::TimedOut { deadline_ms, .. } => {
+            wire::Frame::error(504, &format!("deadline of {deadline_ms} ms exceeded"))
+        }
+        Submitted::Refused { status, msg, .. } => wire::Frame::error(status, &msg),
+    }
 }
 
 fn route(state: &Arc<State>, req: &http::Request) -> Reply {
@@ -258,6 +351,7 @@ fn route(state: &Arc<State>, req: &http::Request) -> Reply {
             state.cfg.queue_cap,
             state.cfg.workers,
             &state.cache,
+            state.store.as_ref(),
         )),
         ("POST", "/v1/shutdown") => {
             // The response races process teardown by design: flag first,
@@ -332,30 +426,71 @@ fn envelope(cache: &str, job_id: u64, elapsed_us: Option<u64>, core: &str) -> Js
     Json::Obj(pairs)
 }
 
-fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Reply {
+/// Outcome of one submission, transport-agnostic: the HTTP route wraps
+/// it in the JSON envelope, the binary handler maps it to frames.
+enum Submitted {
+    /// A result is in hand (cache hit, store hit, or a completed
+    /// synchronous job). `tag` is the wire cache tag; `core` the
+    /// rendered result-core JSON, verbatim from cache/store/worker.
+    Answer {
+        tag: u8,
+        job: u64,
+        elapsed_us: u64,
+        core: String,
+    },
+    /// Async admission: the job is queued, poll for the result.
+    Accepted { job: u64 },
+    /// Synchronous wait exceeded its deadline; the job may still
+    /// finish and is pollable.
+    TimedOut { job: u64, deadline_ms: u64 },
+    /// The request never became a result (validation, backpressure…).
+    Refused {
+        status: u16,
+        msg: String,
+        retry_after: Option<u64>,
+    },
+}
+
+impl Submitted {
+    fn refused(status: u16, msg: impl Into<String>) -> Submitted {
+        Submitted::Refused {
+            status,
+            msg: msg.into(),
+            retry_after: None,
+        }
+    }
+
+    fn backpressure(msg: impl Into<String>) -> Submitted {
+        Submitted::Refused {
+            status: 503,
+            msg: msg.into(),
+            retry_after: Some(1),
+        }
+    }
+}
+
+/// The shared submission path behind `POST /v1/<endpoint>` and binary
+/// request frames: validate, probe the RAM cache then the persistent
+/// store, and only then queue a job. `allow_async` gates
+/// `"mode":"async"` (HTTP-only; a binary connection is already the
+/// subscription channel).
+fn submit(state: &Arc<State>, endpoint: &str, body: &Json, allow_async: bool) -> Submitted {
     let started = Instant::now();
     if state.shutdown.load(Ordering::Relaxed) {
         state.stats.rejected.fetch_add(1, Ordering::Relaxed);
         rbp_trace::counter("serve.http.rejected", 1);
-        let mut reply = Reply::error(503, "server is draining");
-        reply.retry_after = Some(1);
-        return reply;
+        return Submitted::backpressure("server is draining");
     }
-
-    let Some(text) = req.body_str() else {
-        return Reply::error(400, "body is not valid UTF-8");
-    };
-    let body = match Json::parse(text) {
-        Ok(v) => v,
-        Err(e) => return Reply::error(400, &format!("body is not valid JSON: {e}")),
-    };
 
     // Envelope-level knobs: execution mode and deadline.
     let asynchronous = match body.get("mode").and_then(Json::as_str) {
         None | Some("sync") => false,
-        Some("async") => true,
+        Some("async") if allow_async => true,
+        Some("async") => {
+            return Submitted::refused(400, "async mode is not available on binary connections");
+        }
         Some(other) => {
-            return Reply::error(400, &format!("mode '{other}' is not sync|async"));
+            return Submitted::refused(400, format!("mode '{other}' is not sync|async"));
         }
     };
     let deadline_ms = body
@@ -365,9 +500,9 @@ fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Rep
         .clamp(1, 600_000);
     let deadline = started + Duration::from_millis(deadline_ms);
 
-    let mut work = match Work::parse(endpoint, &body) {
+    let mut work = match Work::parse(endpoint, body) {
         Ok(w) => w,
-        Err(ApiError { status, msg }) => return Reply::error(status, &msg),
+        Err(ApiError { status, msg }) => return Submitted::refused(status, msg),
     };
     work.cap_threads(state.cfg.max_solve_threads);
     if let Some(threads) = work.solve_threads() {
@@ -376,10 +511,29 @@ fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Rep
     let key = work.cache_key();
 
     // Content-addressed fast path: identical instances answer from the
-    // cache without ever touching the queue.
+    // RAM cache without ever touching the queue.
     if let Some(core) = state.cache.get(&key) {
         state.stats.record_latency(endpoint, elapsed_us(started));
-        return Reply::ok(envelope("hit", 0, Some(elapsed_us(started)), &core));
+        return Submitted::Answer {
+            tag: wire::TAG_HIT,
+            job: 0,
+            elapsed_us: elapsed_us(started),
+            core,
+        };
+    }
+    // Durable second tier: a RAM-evicted (or pre-restart) result read
+    // back from disk, promoted into the RAM cache on the way out.
+    if let Some(store) = &state.store {
+        if let Some(core) = store.get(&key) {
+            state.cache.insert(&key, core.clone());
+            state.stats.record_latency(endpoint, elapsed_us(started));
+            return Submitted::Answer {
+                tag: wire::TAG_STORE,
+                job: 0,
+                elapsed_us: elapsed_us(started),
+                core,
+            };
+        }
     }
 
     let id = state.next_job.fetch_add(1, Ordering::Relaxed);
@@ -394,54 +548,88 @@ fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Rep
             state.jobs.lock().unwrap().remove(&id);
             state.stats.rejected.fetch_add(1, Ordering::Relaxed);
             rbp_trace::counter("serve.http.rejected", 1);
-            let msg = match reason {
-                PushError::Full => format!(
+            return match reason {
+                PushError::Full => Submitted::backpressure(format!(
                     "queue full ({} jobs waiting); retry shortly",
                     state.cfg.queue_cap
-                ),
-                PushError::ShuttingDown => "server is draining".to_string(),
+                )),
+                PushError::ShuttingDown => Submitted::backpressure("server is draining"),
             };
-            let mut reply = Reply::error(503, &msg);
-            reply.retry_after = Some(1);
-            return reply;
         }
     }
 
     if asynchronous {
-        return Reply {
-            status: 202,
-            body: Json::obj([
-                ("cache", Json::from("miss")),
-                ("job", Json::from(id)),
-                ("status", Json::from("queued")),
-                ("poll", Json::from(format!("/v1/jobs/{id}"))),
-                ("result", Json::from(format!("/v1/jobs/{id}/result"))),
-            ]),
-            retry_after: None,
-        };
+        return Submitted::Accepted { job: id };
     }
 
     match job.wait_until(deadline) {
-        // Execution latency was recorded by the worker; the envelope
+        // Execution latency was recorded by the worker; the reply
         // carries the end-to-end time.
-        JobState::Done(core) => Reply::ok(envelope("miss", id, Some(elapsed_us(started)), &core)),
-        JobState::Failed(status, msg) => Reply::error(status, &msg),
+        JobState::Done(core) => Submitted::Answer {
+            tag: wire::TAG_MISS,
+            job: id,
+            elapsed_us: elapsed_us(started),
+            core,
+        },
+        JobState::Failed(status, msg) => Submitted::refused(status, msg),
         JobState::Queued | JobState::Running => {
             state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
             rbp_trace::counter("serve.http.timeout", 1);
-            Reply {
-                status: 504,
-                body: Json::obj([
-                    (
-                        "error",
-                        Json::from(format!("deadline of {deadline_ms} ms exceeded")),
-                    ),
-                    ("status", Json::from(504u64)),
-                    ("job", Json::from(id)),
-                    ("poll", Json::from(format!("/v1/jobs/{id}"))),
-                ]),
-                retry_after: None,
+            Submitted::TimedOut {
+                job: id,
+                deadline_ms,
             }
+        }
+    }
+}
+
+fn handle_submit(state: &Arc<State>, endpoint: &str, req: &http::Request) -> Reply {
+    let Some(text) = req.body_str() else {
+        return Reply::error(400, "body is not valid UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    match submit(state, endpoint, &body, true) {
+        Submitted::Answer {
+            tag,
+            job,
+            elapsed_us,
+            core,
+        } => Reply::ok(envelope(wire::tag_name(tag), job, Some(elapsed_us), &core)),
+        Submitted::Accepted { job } => Reply {
+            status: 202,
+            body: Json::obj([
+                ("cache", Json::from("miss")),
+                ("job", Json::from(job)),
+                ("status", Json::from("queued")),
+                ("poll", Json::from(format!("/v1/jobs/{job}"))),
+                ("result", Json::from(format!("/v1/jobs/{job}/result"))),
+            ]),
+            retry_after: None,
+        },
+        Submitted::TimedOut { job, deadline_ms } => Reply {
+            status: 504,
+            body: Json::obj([
+                (
+                    "error",
+                    Json::from(format!("deadline of {deadline_ms} ms exceeded")),
+                ),
+                ("status", Json::from(504u64)),
+                ("job", Json::from(job)),
+                ("poll", Json::from(format!("/v1/jobs/{job}"))),
+            ]),
+            retry_after: None,
+        },
+        Submitted::Refused {
+            status,
+            msg,
+            retry_after,
+        } => {
+            let mut reply = Reply::error(status, &msg);
+            reply.retry_after = retry_after;
+            reply
         }
     }
 }
@@ -492,6 +680,11 @@ fn worker_loop(state: &Arc<State>) {
             Ok(core) => {
                 let rendered = core.render();
                 state.cache.insert(&job.cache_key, rendered.clone());
+                // Persist before finishing the job: once a client has
+                // seen the answer, a restart must still know it.
+                if let Some(store) = &state.store {
+                    store.append(&job.cache_key, &rendered);
+                }
                 state.stats.completed.fetch_add(1, Ordering::Relaxed);
                 state
                     .stats

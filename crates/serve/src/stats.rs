@@ -12,6 +12,7 @@ use std::time::Instant;
 use rbp_util::json::Json;
 
 use crate::cache::ResultCache;
+use crate::store::ResultStore;
 
 /// One endpoint's latency aggregate (microseconds).
 #[derive(Debug, Default, Clone)]
@@ -38,6 +39,8 @@ pub struct ServeStats {
     /// Synchronous waits that hit their deadline (`504` answers; the
     /// job itself may still complete and populate the cache).
     pub timeouts: AtomicU64,
+    /// Request frames received over binary-protocol connections.
+    pub wire_requests: AtomicU64,
     latency: Mutex<Vec<(String, Latency)>>,
     /// Accepted `/v1/solve` requests bucketed by effective (post-cap)
     /// solver thread count: `(threads, requests)`.
@@ -55,6 +58,7 @@ impl ServeStats {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            wire_requests: AtomicU64::new(0),
             latency: Mutex::new(Vec::new()),
             solve_threads: Mutex::new(Vec::new()),
         }
@@ -98,7 +102,9 @@ impl ServeStats {
         rbp_trace::gauge(&format!("serve.latency_us.{endpoint}"), us as f64);
     }
 
-    /// The `GET /v1/stats` response body.
+    /// The `GET /v1/stats` response body. `store` is the persistent
+    /// tier when `--store-dir` is configured; without it the `store`
+    /// object reports `"enabled": false` only.
     #[must_use]
     pub fn to_json(
         &self,
@@ -106,6 +112,7 @@ impl ServeStats {
         queue_cap: usize,
         workers: usize,
         cache: &ResultCache,
+        store: Option<&ResultStore>,
     ) -> Json {
         let hits = cache.hits();
         let misses = cache.misses();
@@ -157,6 +164,10 @@ impl ServeStats {
                 "timeouts",
                 Json::from(self.timeouts.load(Ordering::Relaxed)),
             ),
+            (
+                "wire_requests",
+                Json::from(self.wire_requests.load(Ordering::Relaxed)),
+            ),
             ("queue_depth", Json::from(queue_depth)),
             ("queue_cap", Json::from(queue_cap)),
             ("workers", Json::from(workers)),
@@ -169,6 +180,23 @@ impl ServeStats {
                     ("misses", Json::from(misses)),
                     ("hit_rate", Json::from(hit_rate)),
                 ]),
+            ),
+            (
+                "store",
+                match store {
+                    Some(s) => Json::obj([
+                        ("enabled", Json::from(true)),
+                        ("entries", Json::from(s.len())),
+                        ("bytes", Json::from(s.bytes())),
+                        ("cap_bytes", Json::from(s.cap_bytes())),
+                        ("hits", Json::from(s.hits())),
+                        ("misses", Json::from(s.misses())),
+                        ("appends", Json::from(s.appends())),
+                        ("compactions", Json::from(s.compactions())),
+                        ("warmed", Json::from(s.warmed())),
+                    ]),
+                    None => Json::obj([("enabled", Json::from(false))]),
+                },
             ),
             ("endpoints", endpoints),
             ("solve_threads", {
@@ -202,9 +230,14 @@ mod tests {
         s.record_latency("bounds", 10);
         s.accepted.store(3, Ordering::Relaxed);
         let cache = ResultCache::new(4);
-        let j = s.to_json(1, 8, 2, &cache);
+        let j = s.to_json(1, 8, 2, &cache, None);
         assert_eq!(j.get("accepted").unwrap().as_u64(), Some(3));
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(1));
+        let store = j.get("store").unwrap();
+        assert_eq!(
+            store.get("enabled").map(|v| v.render()).as_deref(),
+            Some("false")
+        );
         let solve = j.get("endpoints").unwrap().get("solve").unwrap();
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(solve.get("mean_us").unwrap().as_u64(), Some(200));
@@ -218,7 +251,7 @@ mod tests {
         s.record_solve_threads(1);
         s.record_solve_threads(4);
         let cache = ResultCache::new(4);
-        let j = s.to_json(0, 8, 2, &cache);
+        let j = s.to_json(0, 8, 2, &cache, None);
         let buckets = j.get("solve_threads").unwrap();
         assert_eq!(buckets.get("1").unwrap().as_u64(), Some(1));
         assert_eq!(buckets.get("4").unwrap().as_u64(), Some(2));

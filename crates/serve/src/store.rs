@@ -1,0 +1,636 @@
+//! Disk-backed, content-addressed persistent result store.
+//!
+//! The in-memory [`ResultCache`] dies with the
+//! process; this module is the durable tier underneath it: an
+//! **append-only record log** (`results.log` inside `--store-dir`)
+//! holding one `(cache key, rendered result core)` pair per record,
+//! plus an in-memory index rebuilt by scanning the log on boot. The
+//! on-disk format is specified normatively in `docs/SCHEMAS.md`
+//! ("Persistent result store"); the invariants that matter:
+//!
+//! - **Crash safety by construction.** Records are length-prefixed and
+//!   checksummed. A crash (or `kill -9`) can only ever produce a *torn
+//!   tail*: the boot scan stops at the first incomplete or
+//!   checksum-mismatched record, truncates it away, and keeps every
+//!   record before it. Nothing is ever updated in place.
+//! - **Last write wins.** Appending an existing key supersedes the
+//!   earlier record; the index always points at the newest one.
+//! - **Compaction.** Superseded duplicates are garbage. Boot compacts
+//!   the log whenever duplicates exist or the file exceeds
+//!   `cap_bytes`; runtime appends that push the file past `cap_bytes`
+//!   trigger the same rewrite inline. Compaction keeps the
+//!   most-recently-appended entries (oldest are evicted first) and is
+//!   atomic: the survivors are written to `results.log.compact`, then
+//!   renamed over the log.
+//! - **Warm boot.** [`ResultStore::warm`] preloads the newest entries
+//!   into the RAM cache so a restarted server answers its first
+//!   repeat request as a cache hit, not a recompute.
+//!
+//! Every probe/append/compaction is mirrored to the tracer under
+//! `serve.store.*` and surfaced in `GET /v1/stats`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rbp_util::FxHashMap;
+
+use crate::cache::ResultCache;
+
+/// File magic: identifies `results.log` and pins format version 1.
+pub const MAGIC: [u8; 8] = *b"RBPSTOR1";
+
+/// Fixed per-record overhead: `len: u32` + `crc: u32` prefixes.
+pub const RECORD_HEADER_BYTES: u64 = 8;
+
+/// Largest accepted record body (`key_len` field + key + value). A
+/// length prefix beyond this is treated as corruption, not an
+/// allocation request.
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// The record checksum: 64-bit FNV-1a over the record body, folded to
+/// 32 bits by XOR-ing the high and low halves. Zero dependencies,
+/// deterministic across platforms, and strong enough to detect the
+/// torn/garbage tails it exists for.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u32 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    ((h >> 32) as u32) ^ (h as u32)
+}
+
+/// Where one live record's value sits in the log.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Append ordinal (monotonic); larger = newer. Eviction order.
+    seq: u64,
+    /// Byte offset of the value within the file.
+    value_off: u64,
+    /// Value length in bytes.
+    value_len: u32,
+}
+
+struct Inner {
+    file: File,
+    /// Current file length in bytes (magic + records).
+    len: u64,
+    /// Live index: cache key → newest record's value slot.
+    index: FxHashMap<String, Slot>,
+    /// Next append ordinal.
+    next_seq: u64,
+    /// Records appended since the last compaction that are now
+    /// superseded (dead weight the next compaction reclaims).
+    dead_records: u64,
+}
+
+/// The persistent result store: one append-only log + index.
+pub struct ResultStore {
+    path: PathBuf,
+    cap_bytes: u64,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+    compactions: AtomicU64,
+    warmed: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("cap_bytes", &self.cap_bytes)
+            .field("entries", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One record decoded during the boot scan.
+struct ScannedRecord {
+    key: String,
+    value_off: u64,
+    value_len: u32,
+    /// Offset of the byte *after* this record.
+    end: u64,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store rooted at `dir`, recovering from
+    /// any torn tail and compacting when duplicates exist or the log
+    /// exceeds `cap_bytes` (`0` = unbounded).
+    ///
+    /// # Errors
+    /// Propagates directory/file creation and read failures. A corrupt
+    /// *tail* is not an error (it is truncated away); a corrupt
+    /// *magic* means the file is not ours and is refused.
+    pub fn open(dir: &Path, cap_bytes: u64) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.log");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        if raw.is_empty() {
+            file.write_all(&MAGIC)?;
+            file.flush()?;
+            raw.extend_from_slice(&MAGIC);
+        } else if raw.len() < MAGIC.len() || raw[..MAGIC.len()] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: bad magic (not an rbp result store)", path.display()),
+            ));
+        }
+
+        // Sequential scan: index every valid record, stop at the first
+        // torn or corrupt one and truncate it away.
+        let mut index: FxHashMap<String, Slot> = FxHashMap::default();
+        let mut next_seq = 0u64;
+        let mut dead_records = 0u64;
+        let mut valid_end = MAGIC.len() as u64;
+        while let Some(rec) = scan_record(&raw, valid_end) {
+            let slot = Slot {
+                seq: next_seq,
+                value_off: rec.value_off,
+                value_len: rec.value_len,
+            };
+            if index.insert(rec.key, slot).is_some() {
+                dead_records += 1;
+            }
+            next_seq += 1;
+            valid_end = rec.end;
+        }
+        if valid_end < raw.len() as u64 {
+            rbp_trace::counter("serve.store.truncated_tail", 1);
+            file.set_len(valid_end)?;
+        }
+
+        let store = ResultStore {
+            path,
+            cap_bytes,
+            inner: Mutex::new(Inner {
+                file,
+                len: valid_end,
+                index,
+                next_seq,
+                dead_records,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
+        };
+        // Boot compaction: reclaim duplicates and enforce the cap so a
+        // restarted server starts from a canonical log.
+        {
+            let mut inner = store.inner.lock().unwrap();
+            let over_cap = cap_bytes > 0 && inner.len > cap_bytes;
+            if inner.dead_records > 0 || over_cap {
+                store.compact_locked(&mut inner)?;
+            }
+        }
+        store.trace_gauges();
+        Ok(store)
+    }
+
+    /// Looks up `key`, reading the value back from disk. Counts the
+    /// probe as a store hit or miss (the caller only probes after a
+    /// RAM-cache miss).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.index.get(key).copied();
+        let out = slot.and_then(|s| {
+            let mut buf = vec![0u8; s.value_len as usize];
+            inner.file.seek(SeekFrom::Start(s.value_off)).ok()?;
+            inner.file.read_exact(&mut buf).ok()?;
+            String::from_utf8(buf).ok()
+        });
+        drop(inner);
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            rbp_trace::counter("serve.store.hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            rbp_trace::counter("serve.store.miss", 1);
+        }
+        out
+    }
+
+    /// Appends (or supersedes) `key`, durably. A full log triggers an
+    /// inline compaction that evicts the oldest entries first. I/O
+    /// failures are counted (`serve.store.append_error`) but never
+    /// propagate — the store is a cache tier, not the source of truth.
+    pub fn append(&self, key: &str, value: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        match self.append_locked(&mut inner, key, value) {
+            Ok(()) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                rbp_trace::counter("serve.store.append", 1);
+            }
+            Err(_) => rbp_trace::counter("serve.store.append_error", 1),
+        }
+        drop(inner);
+        self.trace_gauges();
+    }
+
+    fn append_locked(&self, inner: &mut Inner, key: &str, value: &str) -> std::io::Result<()> {
+        let record = encode_record(key, value);
+        inner.file.write_all(&record)?;
+        inner.file.flush()?;
+        let value_off = inner.len + record.len() as u64 - value.len() as u64;
+        let slot = Slot {
+            seq: inner.next_seq,
+            value_off,
+            value_len: value.len() as u32,
+        };
+        inner.len += record.len() as u64;
+        inner.next_seq += 1;
+        if inner.index.insert(key.to_string(), slot).is_some() {
+            inner.dead_records += 1;
+        }
+        if self.cap_bytes > 0 && inner.len > self.cap_bytes {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log keeping one record per live key, newest
+    /// appends retained first under the byte cap, then atomically
+    /// renames the rewrite over the log.
+    fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        // Newest first for cap enforcement…
+        let mut live: Vec<(String, Slot)> =
+            inner.index.iter().map(|(k, s)| (k.clone(), *s)).collect();
+        live.sort_unstable_by_key(|(_, s)| std::cmp::Reverse(s.seq));
+
+        let mut kept: Vec<(String, String)> = Vec::with_capacity(live.len());
+        let mut kept_bytes = MAGIC.len() as u64;
+        let mut evicted = 0u64;
+        for (key, slot) in live {
+            let mut buf = vec![0u8; slot.value_len as usize];
+            inner.file.seek(SeekFrom::Start(slot.value_off))?;
+            inner.file.read_exact(&mut buf)?;
+            let value = String::from_utf8(buf).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 store value")
+            })?;
+            let record_bytes = RECORD_HEADER_BYTES + 2 + key.len() as u64 + value.len() as u64;
+            if self.cap_bytes > 0 && kept_bytes + record_bytes > self.cap_bytes {
+                evicted += 1;
+                continue;
+            }
+            kept_bytes += record_bytes;
+            kept.push((key, value));
+        }
+        // …but written oldest-first so seq order still mirrors age.
+        kept.reverse();
+
+        let tmp_path = self.path.with_extension("log.compact");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&MAGIC)?;
+        for (key, value) in &kept {
+            tmp.write_all(&encode_record(key, value))?;
+        }
+        tmp.flush()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+
+        // Reopen and rebuild the index over the fresh file.
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut index = FxHashMap::default();
+        let mut off = MAGIC.len() as u64;
+        for (seq, (key, value)) in kept.iter().enumerate() {
+            let value_off = off + RECORD_HEADER_BYTES + 2 + key.len() as u64;
+            index.insert(
+                key.clone(),
+                Slot {
+                    seq: seq as u64,
+                    value_off,
+                    value_len: value.len() as u32,
+                },
+            );
+            off = value_off + value.len() as u64;
+        }
+        inner.file = file;
+        inner.len = off;
+        inner.next_seq = kept.len() as u64;
+        inner.index = index;
+        inner.dead_records = 0;
+
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        rbp_trace::counter("serve.store.compaction", 1);
+        if evicted > 0 {
+            rbp_trace::counter("serve.store.evicted", evicted);
+        }
+        Ok(())
+    }
+
+    /// Preloads the newest (at most `limit`) stored results into the
+    /// RAM cache, oldest of them first so LRU recency mirrors append
+    /// recency. Returns how many entries were loaded.
+    pub fn warm(&self, cache: &ResultCache, limit: usize) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let mut live: Vec<(String, Slot)> =
+            inner.index.iter().map(|(k, s)| (k.clone(), *s)).collect();
+        live.sort_unstable_by_key(|(_, s)| s.seq);
+        let skip = live.len().saturating_sub(limit);
+        let mut loaded = 0usize;
+        for (key, slot) in live.into_iter().skip(skip) {
+            let mut buf = vec![0u8; slot.value_len as usize];
+            let ok = inner.file.seek(SeekFrom::Start(slot.value_off)).is_ok()
+                && inner.file.read_exact(&mut buf).is_ok();
+            if !ok {
+                continue;
+            }
+            if let Ok(value) = String::from_utf8(buf) {
+                cache.insert(&key, value);
+                loaded += 1;
+            }
+        }
+        drop(inner);
+        self.warmed.store(loaded as u64, Ordering::Relaxed);
+        rbp_trace::gauge("serve.store.warmed", loaded as f64);
+        loaded
+    }
+
+    fn trace_gauges(&self) {
+        rbp_trace::gauge("serve.store.entries", self.len() as f64);
+        rbp_trace::gauge("serve.store.bytes", self.bytes() as f64);
+    }
+
+    /// Number of live (distinct-key) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    /// Whether the store holds no live entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current log file size in bytes (including superseded records).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Configured byte cap (`0` = unbounded).
+    #[must_use]
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap_bytes
+    }
+
+    /// Store probes answered from disk since open.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Store probes that found nothing since open.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Successful appends since open.
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Compaction passes since open (boot compaction included).
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Entries preloaded into the RAM cache by the last [`warm`](Self::warm).
+    #[must_use]
+    pub fn warmed(&self) -> u64 {
+        self.warmed.load(Ordering::Relaxed)
+    }
+}
+
+/// Encodes one record: `len` + `crc` prefixes, then
+/// `key_len (u16 LE) | key | value`.
+fn encode_record(key: &str, value: &str) -> Vec<u8> {
+    let body_len = 2 + key.len() + value.len();
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES as usize + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let body_start = out.len() + 4; // after the crc slot
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(value.as_bytes());
+    let crc = checksum(&out[body_start..]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the record starting at `off`, or `None` when the bytes from
+/// `off` on are not one complete, checksum-valid record (torn tail).
+fn scan_record(raw: &[u8], off: u64) -> Option<ScannedRecord> {
+    let off = off as usize;
+    let header = raw.get(off..off + RECORD_HEADER_BYTES as usize)?;
+    let body_len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if !(2..=MAX_RECORD_BYTES).contains(&body_len) {
+        return None;
+    }
+    let body_start = off + RECORD_HEADER_BYTES as usize;
+    let body = raw.get(body_start..body_start + body_len as usize)?;
+    if checksum(body) != crc {
+        return None;
+    }
+    let key_len = u16::from_le_bytes(body[0..2].try_into().unwrap()) as usize;
+    if 2 + key_len > body.len() {
+        return None;
+    }
+    let key = std::str::from_utf8(&body[2..2 + key_len]).ok()?;
+    Some(ScannedRecord {
+        key: key.to_string(),
+        value_off: (body_start + 2 + key_len) as u64,
+        value_len: body_len - 2 - key_len as u32,
+        end: (body_start + body_len as usize) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rbp-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = tmpdir("roundtrip");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            assert!(store.is_empty());
+            store.append("k1", "{\"total\":4}");
+            store.append("k2", "{\"total\":9}");
+            assert_eq!(store.get("k1").as_deref(), Some("{\"total\":4}"));
+            assert_eq!(store.get("missing"), None);
+            assert_eq!(store.hits(), 1);
+            assert_eq!(store.misses(), 1);
+        }
+        // A fresh process sees everything.
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("k2").as_deref(), Some("{\"total\":9}"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_write_wins_and_boot_compaction_reclaims() {
+        let dir = tmpdir("upsert");
+        let bytes_before;
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.append("k", "old");
+            store.append("k", "new");
+            assert_eq!(store.get("k").as_deref(), Some("new"));
+            assert_eq!(store.len(), 1);
+            bytes_before = store.bytes();
+        }
+        // Reopen compacts the superseded record away.
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.get("k").as_deref(), Some("new"));
+        assert!(store.bytes() < bytes_before, "duplicate reclaimed");
+        assert_eq!(store.compactions(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_tail_truncated_record_is_dropped_earlier_survive() {
+        let dir = tmpdir("torn");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.append("a", "alpha");
+            store.append("b", "beta");
+        }
+        let path = dir.join("results.log");
+        let full = std::fs::read(&path).unwrap();
+        // Simulate a crash mid-append at every torn length of a third
+        // record: earlier records must always survive intact.
+        let tail = encode_record("c", "gamma");
+        for cut in 1..tail.len() {
+            let mut torn = full.clone();
+            torn.extend_from_slice(&tail[..cut]);
+            std::fs::write(&path, &torn).unwrap();
+            let store = ResultStore::open(&dir, 0).unwrap();
+            assert_eq!(store.len(), 2, "cut={cut}");
+            assert_eq!(store.get("a").as_deref(), Some("alpha"));
+            assert_eq!(store.get("b").as_deref(), Some("beta"));
+            assert_eq!(store.get("c"), None);
+            drop(store);
+            // Recovery truncated the torn bytes from the file itself.
+            assert_eq!(std::fs::read(&path).unwrap(), full, "cut={cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_drops_tail_from_that_record_on() {
+        let dir = tmpdir("crc");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.append("a", "alpha");
+            store.append("b", "beta");
+        }
+        let path = dir.join("results.log");
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip one byte inside the *second* record's value.
+        let n = raw.len();
+        raw[n - 1] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.get("a").as_deref(), Some("alpha"));
+        assert_eq!(store.get("b"), None, "corrupt record dropped");
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let dir = tmpdir("magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("results.log"), b"definitely not a store").unwrap();
+        assert!(ResultStore::open(&dir, 0).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cap_triggers_compaction_evicting_oldest() {
+        let dir = tmpdir("cap");
+        let value = "x".repeat(100);
+        // Each record is 8 + 2 + 4 + 100 = 114 bytes; cap to ~4 records.
+        let store = ResultStore::open(&dir, 500).unwrap();
+        for i in 0..20 {
+            store.append(&format!("key{i:02}"), &value);
+        }
+        assert!(
+            store.bytes() <= 500,
+            "cap enforced: {} bytes",
+            store.bytes()
+        );
+        assert!(store.compactions() >= 1);
+        assert_eq!(store.get("key19").as_deref(), Some(value.as_str()));
+        assert_eq!(store.get("key00"), None, "oldest evicted");
+        // Survivors persist across reopen under the same cap.
+        drop(store);
+        let store = ResultStore::open(&dir, 500).unwrap();
+        assert_eq!(store.get("key19").as_deref(), Some(value.as_str()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_preloads_newest_into_cache() {
+        let dir = tmpdir("warm");
+        let store = ResultStore::open(&dir, 0).unwrap();
+        for i in 0..10 {
+            store.append(&format!("k{i}"), &format!("v{i}"));
+        }
+        let cache = ResultCache::new(64);
+        assert_eq!(store.warm(&cache, 4), 4);
+        assert_eq!(store.warmed(), 4);
+        // Newest four are in RAM; older ones are not.
+        assert_eq!(cache.get("k9").as_deref(), Some("v9"));
+        assert_eq!(cache.get("k6").as_deref(), Some("v6"));
+        assert_eq!(cache.get("k5"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), checksum(b""));
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+        // Pinned value: the on-disk format depends on this function
+        // never changing (docs/SCHEMAS.md).
+        assert_eq!(checksum(b"rbp"), 0xeb07_3be6);
+    }
+}

@@ -1,0 +1,451 @@
+//! Binary wire protocol v1: compact length-prefixed framing for
+//! high-QPS clients, negotiated on the same listener as HTTP.
+//!
+//! A client opts in by sending the 4-byte preamble [`PREAMBLE`]
+//! (`"RBP\x01"`) as its first bytes; the server echoes the preamble
+//! back as the acknowledgement and the connection switches to
+//! **persistent** binary framing (many requests per connection — this
+//! is the whole point: the HTTP path pays a TCP connect plus head
+//! parse per request). Because every HTTP method token is plain ASCII
+//! uppercase letters, the preamble can never be confused with the
+//! start of an HTTP request; a non-preamble first byte falls through
+//! to the HTTP parser untouched.
+//!
+//! Framing (all integers little-endian; normative spec in
+//! `docs/SCHEMAS.md` "Binary wire protocol v1"):
+//!
+//! ```text
+//! frame  = kind:u8  flags:u8  status:u16  payload_len:u32  payload
+//! kind   = 0x01 request | 0x02 response | 0x03 error
+//! ```
+//!
+//! - **Request** (`kind=0x01`): payload is `endpoint_len:u8` +
+//!   endpoint name (e.g. `solve`) + the same JSON body the HTTP
+//!   endpoint takes. `flags`/`status` must be 0. Async mode is an
+//!   HTTP-only feature (a binary connection *is* the subscription) and
+//!   is refused with a 400 error frame.
+//! - **Response** (`kind=0x02`): `status` is the HTTP-equivalent code
+//!   (200), `flags` carries the cache tag ([`TAG_MISS`]/[`TAG_HIT`]/
+//!   [`TAG_STORE`]), and the payload is the **result core JSON,
+//!   verbatim** — byte-for-byte the cached rendering, identical to the
+//!   `result` field of the HTTP envelope (the render→parse→render
+//!   fixpoint property of `rbp_util::json` makes the envelope's
+//!   re-rendering byte-stable).
+//! - **Error** (`kind=0x03`): `status` is the HTTP-equivalent code,
+//!   payload is the UTF-8 error message; `flags` is 0.
+//!
+//! The module also hosts the client side: [`Client`] (one persistent
+//! binary connection) and [`FleetClient`] (rendezvous-hash routing
+//! over N server instances — the zero-dependency stand-in for
+//! `SO_REUSEPORT`, which `std::net` cannot set without libc).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rbp_util::FxHasher;
+use std::hash::Hasher;
+
+/// Connection preamble: `RBP` + protocol version byte `0x01`.
+pub const PREAMBLE: [u8; 4] = *b"RBP\x01";
+
+/// Frame kind: request (client → server).
+pub const KIND_REQUEST: u8 = 0x01;
+/// Frame kind: successful response (server → client).
+pub const KIND_RESPONSE: u8 = 0x02;
+/// Frame kind: error (server → client); `status` holds the code.
+pub const KIND_ERROR: u8 = 0x03;
+
+/// Response cache tag: computed fresh by a worker.
+pub const TAG_MISS: u8 = 0;
+/// Response cache tag: answered from the in-memory cache.
+pub const TAG_HIT: u8 = 1;
+/// Response cache tag: answered from the persistent store.
+pub const TAG_STORE: u8 = 2;
+
+/// Fixed frame header size in bytes.
+pub const HEADER_BYTES: usize = 8;
+
+/// The cache-tag name used by the HTTP envelope for a given response
+/// `flags` value (`"miss"`, `"hit"`, `"store"`).
+#[must_use]
+pub fn tag_name(flags: u8) -> &'static str {
+    match flags {
+        TAG_HIT => "hit",
+        TAG_STORE => "store",
+        _ => "miss",
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind ([`KIND_REQUEST`]/[`KIND_RESPONSE`]/[`KIND_ERROR`]).
+    pub kind: u8,
+    /// Response cache tag, 0 elsewhere.
+    pub flags: u8,
+    /// HTTP-equivalent status (responses and errors; 0 on requests).
+    pub status: u16,
+    /// Frame payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a request frame for `endpoint` (path-less name, e.g.
+    /// `"solve"`) carrying a JSON `body`.
+    ///
+    /// # Panics
+    /// If `endpoint` exceeds 255 bytes.
+    #[must_use]
+    pub fn request(endpoint: &str, body: &str) -> Frame {
+        assert!(endpoint.len() <= u8::MAX as usize, "endpoint name too long");
+        let mut payload = Vec::with_capacity(1 + endpoint.len() + body.len());
+        payload.push(endpoint.len() as u8);
+        payload.extend_from_slice(endpoint.as_bytes());
+        payload.extend_from_slice(body.as_bytes());
+        Frame {
+            kind: KIND_REQUEST,
+            flags: 0,
+            status: 0,
+            payload,
+        }
+    }
+
+    /// Builds a response frame carrying the result core verbatim.
+    #[must_use]
+    pub fn response(tag: u8, core: &str) -> Frame {
+        Frame {
+            kind: KIND_RESPONSE,
+            flags: tag,
+            status: 200,
+            payload: core.as_bytes().to_vec(),
+        }
+    }
+
+    /// Builds an error frame with an HTTP-equivalent status code.
+    #[must_use]
+    pub fn error(status: u16, msg: &str) -> Frame {
+        Frame {
+            kind: KIND_ERROR,
+            flags: 0,
+            status,
+            payload: msg.as_bytes().to_vec(),
+        }
+    }
+
+    /// Splits a request payload into `(endpoint, body)`.
+    ///
+    /// # Errors
+    /// A message describing the malformation (for a 400 error frame).
+    pub fn parse_request(&self) -> Result<(&str, &str), String> {
+        if self.kind != KIND_REQUEST {
+            return Err(format!(
+                "expected request frame, got kind {:#04x}",
+                self.kind
+            ));
+        }
+        let &len = self.payload.first().ok_or("empty request payload")?;
+        let len = len as usize;
+        if 1 + len > self.payload.len() {
+            return Err("endpoint length exceeds payload".to_string());
+        }
+        let endpoint = std::str::from_utf8(&self.payload[1..1 + len])
+            .map_err(|_| "endpoint is not UTF-8".to_string())?;
+        let body = std::str::from_utf8(&self.payload[1 + len..])
+            .map_err(|_| "body is not UTF-8".to_string())?;
+        Ok((endpoint, body))
+    }
+}
+
+/// Writes one frame as a single `write` (header and payload in one
+/// buffer — two small writes would trip Nagle/delayed-ACK stalls on
+/// the request/response ping-pong) and flushes.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + frame.payload.len());
+    buf.push(frame.kind);
+    buf.push(frame.flags);
+    buf.extend_from_slice(&frame.status.to_le_bytes());
+    buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.payload);
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between requests).
+///
+/// # Errors
+/// I/O failures, EOF mid-frame, or a payload length beyond
+/// `max_payload` (refused before allocation).
+pub fn read_frame(stream: &mut TcpStream, max_payload: usize) -> std::io::Result<Option<Frame>> {
+    let mut head = [0u8; HEADER_BYTES];
+    let mut filled = 0usize;
+    while filled < head.len() {
+        let n = stream.read(&mut head[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean close between frames
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame-header",
+            ));
+        }
+        filled += n;
+    }
+    let payload_len = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+    if payload_len > max_payload {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload of {payload_len} bytes exceeds limit {max_payload}"),
+        ));
+    }
+    let mut payload = vec![0u8; payload_len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Frame {
+        kind: head[0],
+        flags: head[1],
+        status: u16::from_le_bytes(head[2..4].try_into().unwrap()),
+        payload,
+    }))
+}
+
+/// One response as seen by the binary client.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// HTTP-equivalent status code.
+    pub status: u16,
+    /// Cache tag for responses ([`TAG_MISS`]/[`TAG_HIT`]/[`TAG_STORE`]).
+    pub tag: u8,
+    /// Result core JSON (responses) or error message (errors).
+    pub payload: String,
+}
+
+impl WireResponse {
+    /// Whether this is a successful response frame.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+/// A persistent binary-protocol connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_payload: usize,
+}
+
+impl Client {
+    /// Connects, sends the preamble, and waits for the server's echo.
+    ///
+    /// # Errors
+    /// Connect/write failures, or a server that does not acknowledge
+    /// the binary protocol.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&PREAMBLE)?;
+        stream.flush()?;
+        let mut ack = [0u8; 4];
+        stream.read_exact(&mut ack)?;
+        if ack != PREAMBLE {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "server did not acknowledge binary protocol",
+            ));
+        }
+        Ok(Client {
+            stream,
+            max_payload: 64 << 20,
+        })
+    }
+
+    /// Sends one request frame and reads the matching response or
+    /// error frame (the protocol is strictly request→response on each
+    /// connection, so no correlation ids are needed).
+    ///
+    /// # Errors
+    /// Socket failures, or a server frame that is not a response/error.
+    pub fn call(&mut self, endpoint: &str, body: &str) -> std::io::Result<WireResponse> {
+        write_frame(&mut self.stream, &Frame::request(endpoint, body))?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            )
+        })?;
+        let payload = String::from_utf8_lossy(&frame.payload).into_owned();
+        match frame.kind {
+            KIND_RESPONSE => Ok(WireResponse {
+                status: frame.status,
+                tag: frame.flags,
+                payload,
+            }),
+            KIND_ERROR => Ok(WireResponse {
+                status: frame.status,
+                tag: 0,
+                payload,
+            }),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected frame kind {other:#04x} from server"),
+            )),
+        }
+    }
+}
+
+/// Rendezvous (highest-random-weight) hash of a routing key onto one
+/// of `n` members: every distinct key deterministically picks one
+/// member, and adding/removing a member only remaps the keys that
+/// hashed to it. This is the client-side stand-in for kernel
+/// `SO_REUSEPORT` spreading.
+#[must_use]
+pub fn rendezvous_pick(addrs: &[SocketAddr], routing_key: &str) -> usize {
+    let mut best = 0usize;
+    let mut best_w = 0u64;
+    for (i, addr) in addrs.iter().enumerate() {
+        let mut h = FxHasher::default();
+        h.write(format!("{addr}").as_bytes());
+        h.write(routing_key.as_bytes());
+        let w = h.finish();
+        if i == 0 || w > best_w {
+            best = i;
+            best_w = w;
+        }
+    }
+    best
+}
+
+/// A consistent-hash client over a fleet of server instances: each
+/// request is routed by rendezvous hashing of `endpoint|body` so
+/// identical instances always land on the same member, making every
+/// member's cache authoritative for its key range.
+#[derive(Debug)]
+pub struct FleetClient {
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Option<Client>>,
+    timeout: Duration,
+}
+
+impl FleetClient {
+    /// Builds a fleet client over `addrs` (connections open lazily).
+    ///
+    /// # Panics
+    /// If `addrs` is empty.
+    #[must_use]
+    pub fn new(addrs: Vec<SocketAddr>, timeout: Duration) -> FleetClient {
+        assert!(!addrs.is_empty(), "fleet needs at least one member");
+        let conns = addrs.iter().map(|_| None).collect();
+        FleetClient {
+            addrs,
+            conns,
+            timeout,
+        }
+    }
+
+    /// Which member a request routes to (exposed for tests/telemetry).
+    #[must_use]
+    pub fn route(&self, endpoint: &str, body: &str) -> usize {
+        rendezvous_pick(&self.addrs, &format!("{endpoint}|{body}"))
+    }
+
+    /// Routes and sends one request on the member's persistent
+    /// connection, reconnecting (once) if the cached connection died.
+    ///
+    /// # Errors
+    /// Propagates the failure of the reconnect attempt.
+    pub fn call(&mut self, endpoint: &str, body: &str) -> std::io::Result<WireResponse> {
+        let i = self.route(endpoint, body);
+        if self.conns[i].is_none() {
+            self.conns[i] = Some(Client::connect(self.addrs[i], self.timeout)?);
+        }
+        let conn = self.conns[i].as_mut().expect("connection just ensured");
+        match conn.call(endpoint, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                // Stale connection (member restarted): reconnect once.
+                let mut fresh = Client::connect(self.addrs[i], self.timeout)?;
+                let resp = fresh.call(endpoint, body)?;
+                self.conns[i] = Some(fresh);
+                Ok(resp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frame_roundtrips_endpoint_and_body() {
+        let f = Frame::request("solve", "{\"k\":2}");
+        let (endpoint, body) = f.parse_request().unwrap();
+        assert_eq!(endpoint, "solve");
+        assert_eq!(body, "{\"k\":2}");
+    }
+
+    #[test]
+    fn malformed_request_payloads_are_errors() {
+        let mut f = Frame::request("solve", "{}");
+        f.payload[0] = 200; // endpoint length beyond payload
+        assert!(f.parse_request().is_err());
+        let empty = Frame {
+            kind: KIND_REQUEST,
+            flags: 0,
+            status: 0,
+            payload: Vec::new(),
+        };
+        assert!(empty.parse_request().is_err());
+        assert!(Frame::response(TAG_HIT, "{}").parse_request().is_err());
+    }
+
+    #[test]
+    fn tag_names_match_http_envelope() {
+        assert_eq!(tag_name(TAG_MISS), "miss");
+        assert_eq!(tag_name(TAG_HIT), "hit");
+        assert_eq!(tag_name(TAG_STORE), "store");
+    }
+
+    #[test]
+    fn preamble_is_not_an_http_method_prefix() {
+        // Every HTTP method starts with an ASCII uppercase letter; the
+        // version byte 0x01 additionally guarantees no collision.
+        assert!(PREAMBLE.iter().any(|b| !b.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_total() {
+        let addrs: Vec<SocketAddr> = (0..4)
+            .map(|i| format!("127.0.0.1:{}", 9000 + i).parse().unwrap())
+            .collect();
+        let mut used = [false; 4];
+        for i in 0..64 {
+            let key = format!("solve|{{\"k\":{i}}}");
+            let a = rendezvous_pick(&addrs, &key);
+            let b = rendezvous_pick(&addrs, &key);
+            assert_eq!(a, b, "deterministic");
+            used[a] = true;
+        }
+        assert!(used.iter().all(|&u| u), "64 keys spread across 4 members");
+        // Removing a member only remaps keys owned by it.
+        let shrunk = &addrs[..3];
+        for i in 0..64 {
+            let key = format!("solve|{{\"k\":{i}}}");
+            let before = rendezvous_pick(&addrs, &key);
+            if before < 3 {
+                assert_eq!(
+                    rendezvous_pick(shrunk, &key),
+                    before,
+                    "stable for survivors"
+                );
+            }
+        }
+    }
+}

@@ -16,8 +16,7 @@ fn small_server() -> Server {
         queue_cap: 16,
         cache_cap: 64,
         default_deadline_ms: 10_000,
-        max_body_bytes: 1 << 20,
-        max_solve_threads: 4,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }
@@ -188,9 +187,7 @@ fn overload_returns_503_and_never_drops_requests() {
         workers: 1,
         queue_cap: 1,
         cache_cap: 0, // distinct seeds would miss anyway; keep it simple
-        default_deadline_ms: 30_000,
-        max_body_bytes: 1 << 20,
-        max_solve_threads: 4,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.addr();

@@ -1,0 +1,139 @@
+//! Restart-survival integration tests: a server with `store_dir` set
+//! must answer previously-solved instances as cache hits after a full
+//! stop/start cycle, per the warm-boot contract in docs/OPERATIONS.md.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use rbp_serve::http::{self, ClientResponse};
+use rbp_serve::{ServeConfig, Server};
+use rbp_util::json::Json;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+const SOLVE_BODY: &str = r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbp-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stored_server(dir: &Path, cache_cap: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_cap,
+        store_dir: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port with store")
+}
+
+fn post(server: &Server, path: &str, body: &str) -> ClientResponse {
+    http::request(server.addr(), "POST", path, Some(body), TIMEOUT).expect("http roundtrip")
+}
+
+fn cache_tag(resp: &ClientResponse) -> String {
+    Json::parse(&resp.body)
+        .unwrap()
+        .get("cache")
+        .and_then(Json::as_str)
+        .expect("envelope has a cache tag")
+        .to_string()
+}
+
+fn result_total(resp: &ClientResponse) -> u64 {
+    Json::parse(&resp.body)
+        .unwrap()
+        .get("result")
+        .and_then(|r| r.get("total"))
+        .and_then(Json::as_u64)
+        .expect("solve result has a total")
+}
+
+#[test]
+fn warm_boot_answers_previously_solved_instance_as_hit() {
+    let dir = tmpdir("warmboot");
+
+    // Generation 1: solve cold, populating RAM cache and disk store.
+    let first = stored_server(&dir, 64);
+    let cold = post(&first, "/v1/solve", SOLVE_BODY);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cache_tag(&cold), "miss");
+    let cold_total = result_total(&cold);
+    first.shutdown();
+
+    // Generation 2: a brand-new process over the same directory must
+    // answer the same instance from the warmed RAM cache — tag "hit",
+    // not "store" and certainly not "miss".
+    let second = stored_server(&dir, 64);
+    let warm = post(&second, "/v1/solve", SOLVE_BODY);
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    assert_eq!(cache_tag(&warm), "hit", "{}", warm.body);
+    assert_eq!(result_total(&warm), cold_total, "identical result");
+
+    // Stats expose the store tier: enabled, populated, warmed.
+    let stats = http::request(second.addr(), "GET", "/v1/stats", None, TIMEOUT).unwrap();
+    let stats = Json::parse(&stats.body).unwrap();
+    let store = stats.get("store").expect("stats carry a store object");
+    assert_eq!(
+        store.get("enabled").map(Json::render).as_deref(),
+        Some("true")
+    );
+    assert!(store.get("entries").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(store.get("warmed").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(store.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+    second.shutdown();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn store_tier_answers_when_ram_cache_cannot() {
+    let dir = tmpdir("storetier");
+
+    // cache_cap 0 disables the RAM tier entirely: the only way the
+    // second request can avoid recomputing is the persistent store.
+    let server = stored_server(&dir, 0);
+    let cold = post(&server, "/v1/solve", SOLVE_BODY);
+    assert_eq!(cache_tag(&cold), "miss");
+    let durable = post(&server, "/v1/solve", SOLVE_BODY);
+    assert_eq!(cache_tag(&durable), "store", "{}", durable.body);
+    assert_eq!(result_total(&durable), result_total(&cold));
+
+    let stats = http::request(server.addr(), "GET", "/v1/stats", None, TIMEOUT).unwrap();
+    let store = Json::parse(&stats.body)
+        .unwrap()
+        .get("store")
+        .cloned()
+        .unwrap();
+    assert!(store.get("hits").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(store.get("appends").and_then(Json::as_u64).unwrap() >= 1);
+    server.shutdown();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn distinct_instances_stay_distinct_across_restart() {
+    let dir = tmpdir("distinct");
+    let other_body = r#"{"generator":{"family":"grid","params":[2,4]},"k":2,"r":3,"g":2}"#;
+
+    let first = stored_server(&dir, 64);
+    let a = post(&first, "/v1/solve", SOLVE_BODY);
+    let b = post(&first, "/v1/solve", other_body);
+    assert_eq!(cache_tag(&a), "miss");
+    assert_eq!(cache_tag(&b), "miss");
+    first.shutdown();
+
+    let second = stored_server(&dir, 64);
+    let a2 = post(&second, "/v1/solve", SOLVE_BODY);
+    let b2 = post(&second, "/v1/solve", other_body);
+    assert_eq!(cache_tag(&a2), "hit");
+    assert_eq!(cache_tag(&b2), "hit");
+    assert_eq!(result_total(&a2), result_total(&a));
+    assert_eq!(result_total(&b2), result_total(&b));
+    second.shutdown();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

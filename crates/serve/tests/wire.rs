@@ -1,0 +1,147 @@
+//! Binary wire protocol integration tests: negotiation on a shared
+//! listener, JSON-vs-binary payload equivalence, persistent multi-frame
+//! connections, error frames, and fleet routing — checks of the
+//! protocol spec in docs/SCHEMAS.md ("Binary wire protocol v1").
+
+use std::time::Duration;
+
+use rbp_serve::http;
+use rbp_serve::{wire, Client, FleetClient, ServeConfig, Server};
+use rbp_util::json::Json;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+const SOLVE_BODY: &str = r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#;
+
+fn small_server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn binary_and_http_clients_share_one_listener() {
+    let server = small_server();
+    // HTTP first …
+    let health = http::request(server.addr(), "GET", "/v1/healthz", None, TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    // … binary second, on the very same port.
+    let mut client = Client::connect(server.addr(), TIMEOUT).expect("binary negotiation");
+    let resp = client.call("bounds", SOLVE_BODY).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.payload);
+    // … and HTTP still works afterwards.
+    let health = http::request(server.addr(), "GET", "/v1/healthz", None, TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn binary_payload_is_byte_identical_to_http_result() {
+    let server = small_server();
+
+    // Same instance over both transports. HTTP first (cold solve).
+    let http_resp = http::request(
+        server.addr(),
+        "POST",
+        "/v1/solve",
+        Some(SOLVE_BODY),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(http_resp.status, 200, "{}", http_resp.body);
+    let envelope = Json::parse(&http_resp.body).unwrap();
+    let http_result = envelope.get("result").expect("envelope result").render();
+
+    // Binary second: must be a cache hit carrying the result core
+    // verbatim — bytes-for-bytes what the HTTP envelope re-rendered.
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let bin = client.call("solve", SOLVE_BODY).unwrap();
+    assert_eq!(bin.status, 200, "{}", bin.payload);
+    assert_eq!(bin.tag, wire::TAG_HIT);
+    assert_eq!(bin.payload, http_result, "same request → same result bytes");
+    server.shutdown();
+}
+
+#[test]
+fn one_connection_carries_many_frames_with_cache_tags() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    let cold = client.call("solve", SOLVE_BODY).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.payload);
+    assert_eq!(cold.tag, wire::TAG_MISS);
+    let warm = client.call("solve", SOLVE_BODY).unwrap();
+    assert_eq!(warm.tag, wire::TAG_HIT);
+    assert_eq!(warm.payload, cold.payload, "cached bytes are identical");
+
+    // A different endpoint on the same connection still works.
+    let bounds = client.call("bounds", SOLVE_BODY).unwrap();
+    assert_eq!(bounds.status, 200);
+
+    // The server counted the frames.
+    let stats = http::request(server.addr(), "GET", "/v1/stats", None, TIMEOUT).unwrap();
+    let stats = Json::parse(&stats.body).unwrap();
+    assert_eq!(stats.get("wire_requests").and_then(Json::as_u64), Some(3));
+    server.shutdown();
+}
+
+#[test]
+fn protocol_violations_answer_error_frames() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    // Unknown endpoint → 404 error frame, connection stays usable.
+    let resp = client.call("nope", "{}").unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.payload);
+    // Malformed JSON body → 400.
+    let resp = client.call("solve", "not json").unwrap();
+    assert_eq!(resp.status, 400);
+    // Async mode is HTTP-only → 400.
+    let async_body =
+        r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2,"mode":"async"}"#;
+    let resp = client.call("solve", async_body).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.payload);
+    assert!(resp.payload.contains("async"), "{}", resp.payload);
+    // Validation failures map like HTTP: infeasible r → 422.
+    let infeasible = r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":1,"g":2}"#;
+    let resp = client.call("solve", infeasible).unwrap();
+    assert_eq!(resp.status, 422);
+    // After all that abuse the connection still answers real work.
+    let resp = client.call("bounds", SOLVE_BODY).unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn fleet_client_routes_consistently_and_survives_member_churn() {
+    let members: Vec<Server> = (0..3).map(|_| small_server()).collect();
+    let addrs: Vec<_> = members.iter().map(Server::addr).collect();
+    let mut fleet = FleetClient::new(addrs.clone(), TIMEOUT);
+
+    // Identical instances always route to the same member, so the
+    // second call is that member's cache hit.
+    let owner = fleet.route("solve", SOLVE_BODY);
+    assert_eq!(fleet.route("solve", SOLVE_BODY), owner);
+    let cold = fleet.call("solve", SOLVE_BODY).unwrap();
+    assert_eq!(cold.tag, wire::TAG_MISS);
+    let warm = fleet.call("solve", SOLVE_BODY).unwrap();
+    assert_eq!(warm.tag, wire::TAG_HIT);
+    assert_eq!(warm.payload, cold.payload);
+
+    // A mixed workload spreads across members deterministically.
+    let mut used = vec![false; addrs.len()];
+    for i in 0..32 {
+        let body = format!(
+            r#"{{"generator":{{"family":"grid","params":[2,{}]}},"k":2,"r":3,"g":2,"seed":{i}}}"#,
+            2 + i % 3
+        );
+        used[fleet.route("bounds", &body)] = true;
+    }
+    assert!(used.iter().all(|&u| u), "32 keys spread over 3 members");
+
+    for server in members {
+        server.shutdown();
+    }
+}

@@ -127,6 +127,35 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
 
+    // The persistent-store tier of rbp-serve reports under
+    // `serve.store.*`; gather those into one operational section
+    // (counters summed, gauges last-value) instead of scattering them
+    // through the generic tables.
+    let store_counters: Vec<(String, u64)> = counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("serve.store."))
+        .cloned()
+        .collect();
+    let store_gauges: Vec<(String, f64)> = gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("serve.store."))
+        .cloned()
+        .collect();
+    let store_rows = store_counters.len() + store_gauges.len();
+    if store_rows > 0 {
+        counters.retain(|(n, _)| !n.starts_with("serve.store."));
+        gauges.retain(|(n, _)| !n.starts_with("serve.store."));
+        let _ = writeln!(out, "\n## Serve store\n");
+        let _ = writeln!(out, "| metric | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &store_counters {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+        for (n, v) in &store_gauges {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+
     if !counters.is_empty() {
         let _ = writeln!(out, "\n## Counters\n");
         let _ = writeln!(out, "| counter | total |");
@@ -170,7 +199,12 @@ pub fn render(text: &str) -> Result<String, String> {
             let _ = writeln!(out, "| {n} | {c} | {:.2} |", *us as f64 / 1e3);
         }
     }
-    if tables == 0 && counters.is_empty() && gauges.is_empty() && spans.is_empty() {
+    if tables == 0
+        && counters.is_empty()
+        && gauges.is_empty()
+        && spans.is_empty()
+        && store_rows == 0
+    {
         return Err(format!(
             "trace has {} event(s) but none are renderable (no tables, counters, gauges, or spans)",
             trace.events.len()

@@ -21,6 +21,9 @@ cargo test --offline --release -q
 echo "== cargo doc (missing docs are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
+echo "== rustdoc gate on rbp-serve (store/wire modules hold deny(missing_docs)) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-serve --quiet
+
 echo "== quick solver sweep (equivalence + speedup smoke) =="
 ./target/release/exp_solver --quick
 
@@ -39,6 +42,11 @@ echo "parallel smoke: OPT=$seq_opt at 1 thread and 4 threads x {hash,bands,ancho
 
 echo "== trace report smoke (fixture round trip) =="
 ./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"
+serve_report=$(./target/release/rbp report tests/fixtures/trace_serve.jsonl)
+echo "$serve_report" | grep -q "## Serve store" \
+    || { echo "report smoke: no Serve store section"; exit 1; }
+echo "$serve_report" | grep -q "| serve.store.hit | 2 |" \
+    || { echo "report smoke: store hit counter missing"; exit 1; }
 
 echo "== portfolio smoke (fixture DAG, tight budget) =="
 summary=$(./target/release/rbp portfolio tests/fixtures/chains_2x4.dag 2 3 2 --budget-ms 200 \
@@ -75,5 +83,51 @@ wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
 trap - EXIT
 rm -f "$serve_log"
 echo "serve smoke: cache hit with identical total=$t1, clean shutdown"
+
+echo "== restart-survival smoke (--store-dir, SIGTERM kill, warm reboot hit) =="
+store_dir=$(mktemp -d)
+serve_log=$(mktemp)
+./target/release/rbp serve --addr 127.0.0.1:0 --workers 2 --store-dir "$store_dir" \
+    >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$serve_log" "$store_dir"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^rbp-serve listening on \([^ ]*\).*$/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "restart smoke: server never bound"; cat "$serve_log"; exit 1; }
+solve_body='{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}'
+r1=$(curl -sf -X POST "http://$addr/v1/solve" -d "$solve_body")
+echo "$r1" | grep -q '"cache":"miss"' \
+    || { echo "restart smoke: first solve not a miss: $r1"; exit 1; }
+t1=$(echo "$r1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+# Abrupt SIGTERM — no graceful drain. The store's checksummed append
+# log must still hold the result (crash-tail recovery covers any torn
+# final record).
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+./target/release/rbp serve --addr 127.0.0.1:0 --workers 2 --store-dir "$store_dir" \
+    >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^rbp-serve listening on \([^ ]*\).*$/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "restart smoke: reborn server never bound"; cat "$serve_log"; exit 1; }
+r2=$(curl -sf -X POST "http://$addr/v1/solve" -d "$solve_body")
+echo "$r2" | grep -q '"cache":"hit"' \
+    || { echo "restart smoke: reboot did not answer warm: $r2"; exit 1; }
+t2=$(echo "$r2" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ -n "$t1" ] && [ "$t1" = "$t2" ] \
+    || { echo "restart smoke: totals differ across restart: $t1 vs $t2"; exit 1; }
+curl -sf -X POST "http://$addr/v1/shutdown" >/dev/null
+wait "$serve_pid" || { echo "restart smoke: server exited non-zero"; exit 1; }
+trap - EXIT
+rm -rf "$serve_log" "$store_dir"
+echo "restart smoke: SIGTERM survived, warm hit with identical total=$t1"
 
 echo "CI OK"

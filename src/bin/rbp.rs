@@ -31,9 +31,14 @@
 //! `serve` options: `--addr <host:port>` (default `127.0.0.1:8017`;
 //! port `0` picks an ephemeral one, printed on startup), `--workers
 //! <N>`, `--queue-cap <N>`, `--cache-cap <N>`, `--deadline-ms <N>`,
-//! `--max-solve-threads <N>` (per-request solver-thread cap, default 4).
-//! The HTTP API is documented in `docs/SCHEMAS.md`; `POST
-//! /v1/shutdown` drains and stops the server.
+//! `--max-solve-threads <N>` (per-request solver-thread cap, default 4),
+//! `--store-dir <dir>` (persistent result store: results survive
+//! restarts and warm the cache on boot), `--store-cap-bytes <N>`
+//! (store log size cap, default 64 MiB; 0 = unbounded). The HTTP API,
+//! the on-disk store format, and the binary wire protocol are
+//! documented in `docs/SCHEMAS.md` (operations guide:
+//! `docs/OPERATIONS.md`); `POST /v1/shutdown` drains and stops the
+//! server.
 //!
 //! DAG files use the `rbp_dag::io` text format (see crate docs).
 //!
@@ -64,7 +69,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: rbp <stats|schedule|solve|improve|portfolio|bounds|dot|gen|report> …  (see docs in src/bin/rbp.rs)"
+                "usage: rbp <stats|schedule|solve|improve|portfolio|bounds|dot|gen|report|serve> …  (see docs in src/bin/rbp.rs)"
             );
             ExitCode::FAILURE
         }
@@ -380,9 +385,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 )? as u64,
                 max_body_bytes: defaults.max_body_bytes,
                 max_solve_threads: parse_flag("--max-solve-threads", defaults.max_solve_threads)?,
+                store_dir: flag_value(args, "--store-dir")?.map(str::to_string),
+                store_cap_bytes: parse_flag("--store-cap-bytes", defaults.store_cap_bytes as usize)?
+                    as u64,
             };
+            let store_note = cfg
+                .store_dir
+                .as_ref()
+                .map(|d| format!(" (store: {d})"))
+                .unwrap_or_default();
             let server = rbp::serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
-            println!("rbp-serve listening on {}", server.addr());
+            println!("rbp-serve listening on {}{store_note}", server.addr());
             server.wait();
             println!("rbp-serve drained, exiting");
             Ok(())

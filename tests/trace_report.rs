@@ -4,6 +4,7 @@
 use rbp::trace::report::{parse, render};
 
 const FIXTURE: &str = include_str!("fixtures/trace_small.jsonl");
+const SERVE_FIXTURE: &str = include_str!("fixtures/trace_serve.jsonl");
 
 #[test]
 fn fixture_parses_with_manifest() {
@@ -28,6 +29,29 @@ fn fixture_renders_tables_counters_gauges_and_spans() {
     // Gauges keep the last value; spans report count + total time.
     assert!(md.contains("solver.mpp.frontier_peak"), "{md}");
     assert!(md.contains("| solve.mpp | 1 |"), "{md}");
+}
+
+#[test]
+fn serve_store_metrics_render_in_their_own_section() {
+    let md = render(SERVE_FIXTURE).unwrap();
+    // All serve.store.* metrics land in one operational section …
+    assert!(md.contains("## Serve store"), "{md}");
+    assert!(md.contains("| serve.store.hit | 2 |"), "{md}");
+    assert!(md.contains("| serve.store.miss | 1 |"), "{md}");
+    assert!(md.contains("| serve.store.append | 1 |"), "{md}");
+    assert!(md.contains("| serve.store.compaction | 1 |"), "{md}");
+    // … gauges keep the last value (bytes shrink after compaction).
+    assert!(md.contains("| serve.store.bytes | 496 |"), "{md}");
+    assert!(md.contains("| serve.store.entries | 4 |"), "{md}");
+    assert!(md.contains("| serve.store.warmed | 3 |"), "{md}");
+    // Non-store serve metrics stay in the generic sections.
+    assert!(md.contains("| serve.wire.request | 5 |"), "{md}");
+    let store_section = md.split("## Serve store").nth(1).unwrap();
+    let store_table = store_section.split("\n## ").next().unwrap();
+    assert!(
+        !store_table.contains("serve.wire.request"),
+        "wire counters are not store metrics: {store_table}"
+    );
 }
 
 #[test]
