@@ -1,0 +1,266 @@
+//! E21 — streaming scheduler tier at scale (`rbp-stream`).
+//!
+//! The paper's hardness result (MPP `OPT` is NP-hard) means DAGs at the
+//! 10^5–10^7-node scale where red-blue I/O bounds actually bite are
+//! heuristic-only territory. This experiment measures what that tier
+//! delivers in practice, in three phases:
+//!
+//! 1. **Throughput** — every streaming scheduler over grids from 10^4
+//!    to 10^6 nodes, each move verified online by the rule-enforcing
+//!    [`rbp_stream::StreamSim`]; reports nodes/sec, CSR pass counts,
+//!    and peak active-set size.
+//! 2. **Memory** — the 10^6-node run re-done with the strategy
+//!    streamed through a byte-counting JSONL sink, then the process
+//!    peak RSS (`VmHWM` from `/proc/self/status`) compared against the
+//!    serialized strategy size. Asserts peak RSS < strategy bytes:
+//!    resident state is sublinear in the strategy, which would not fit
+//!    an in-memory `Vec<MppMove>` pipeline.
+//! 3. **Cost identity** — on overlap sizes both tiers accept,
+//!    `topo-stream` / `wavefront-stream` must reproduce the exact
+//!    totals of their in-memory twins (`TopoBaseline` / `Wavefront`).
+//!    Asserted, not just reported.
+//!
+//! Writes `BENCH_scale.json`. Usage: `exp_scale [--quick]` (`--quick`
+//! caps the sweep at 10^5 nodes and skips the RSS phase for CI).
+
+use std::time::Instant;
+
+use rbp_bench::{banner, Table};
+use rbp_core::rbp_dag::{generators, Dag};
+use rbp_core::{CostModel, MppInstance};
+use rbp_schedulers::MppScheduler as _;
+use rbp_stream::{
+    all_stream_schedulers, JsonlSink, NullSink, StreamHeader, StreamRun, StreamScheduler as _,
+};
+use rbp_util::json::Json;
+
+/// Grid shapes for the throughput sweep (rows × cols = n).
+const SIZES: &[(usize, usize)] = &[(100, 100), (250, 400), (1000, 1000)];
+const QUICK_SIZES: &[(usize, usize)] = &[(100, 100), (250, 400)];
+
+/// The machine model for every run: modest parallelism, tight fast
+/// memory, the paper's canonical g = 2 I/O weight.
+const K: usize = 8;
+const R: usize = 8;
+const G: u64 = 2;
+
+/// Process peak resident set in bytes (`VmHWM`), or `None` off-Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+fn run_row(dag: &Dag, run: &StreamRun, scheduler: &str) -> Json {
+    let model = CostModel::mpp(G);
+    Json::obj(vec![
+        ("n", Json::from(dag.n())),
+        ("scheduler", Json::from(scheduler)),
+        ("total", Json::from(run.cost.total(model))),
+        ("io_steps", Json::from(run.cost.io_steps())),
+        ("moves", Json::from(run.moves)),
+        ("passes", Json::from(run.passes)),
+        ("peak_active_set", Json::from(run.peak_active_set)),
+        ("nodes_per_sec", Json::from(run.nodes_per_sec())),
+        ("elapsed_us", Json::from(run.elapsed.as_micros() as u64)),
+    ])
+}
+
+/// Phase 1: nodes/sec for every streaming scheduler across the sweep.
+fn throughput_phase(sizes: &[(usize, usize)]) -> Vec<Json> {
+    banner("E21.1", "streaming scheduler throughput");
+    let mut table = Table::new(&[
+        "n",
+        "scheduler",
+        "total",
+        "io_steps",
+        "passes",
+        "peak_active",
+        "nodes/sec",
+        "ms",
+    ]);
+    let mut rows = Vec::new();
+    for &(r, c) in sizes {
+        // Grid construction itself is streaming (`Dag::from_edge_stream`):
+        // no intermediate adjacency duplication on the way to 10^6 nodes.
+        let t0 = Instant::now();
+        let dag = generators::grid(r, c);
+        let build_ms = t0.elapsed().as_millis();
+        println!("built {} ({} nodes) in {build_ms} ms", dag.name(), dag.n());
+        for s in all_stream_schedulers() {
+            let mut sink = NullSink::new();
+            let run = s
+                .schedule(&dag, K, R, &mut sink)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), dag.name()));
+            rbp_stream::trace_stream_run(&s.name(), &run);
+            table.row(&[
+                dag.n().to_string(),
+                s.name(),
+                run.cost.total(CostModel::mpp(G)).to_string(),
+                run.cost.io_steps().to_string(),
+                run.passes.to_string(),
+                run.peak_active_set.to_string(),
+                format!("{:.0}", run.nodes_per_sec()),
+                format!("{}", run.elapsed.as_millis()),
+            ]);
+            rows.push(run_row(&dag, &run, &s.name()));
+        }
+    }
+    table.print_traced("scale.throughput");
+    rows
+}
+
+/// Phase 2: peak RSS vs. serialized strategy size at the largest n.
+fn memory_phase(rows: usize, cols: usize) -> Json {
+    banner("E21.2", "peak RSS vs. streamed strategy size");
+    let dag = generators::grid(rows, cols);
+    let header = StreamHeader {
+        dag_name: dag.name().to_string(),
+        n: dag.n(),
+        k: K,
+        r: R,
+        g: G,
+    };
+    // A byte-counting sink over `io::sink()`: every move serializes
+    // through the real JSONL encoder, nothing is retained.
+    let mut sink = JsonlSink::new(std::io::sink(), &header).expect("sink never fails");
+    let s = &all_stream_schedulers()[0]; // topo-stream: most moves, worst case
+    let run = s
+        .schedule(&dag, K, R, &mut sink)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), dag.name()));
+    let strategy_bytes = run.bytes_emitted;
+    let rss = peak_rss_bytes();
+    let ratio = rss.map(|b| b as f64 / strategy_bytes as f64);
+    println!(
+        "n={}: strategy {} bytes streamed, peak RSS {} bytes (ratio {})",
+        dag.n(),
+        strategy_bytes,
+        rss.map_or("unknown".into(), |b| b.to_string()),
+        ratio.map_or("-".into(), |x| format!("{x:.2}")),
+    );
+    if let Some(rss) = rss {
+        assert!(
+            rss < strategy_bytes,
+            "peak RSS ({rss} B) must stay below the serialized strategy \
+             ({strategy_bytes} B): resident state is sublinear in the strategy"
+        );
+    }
+    Json::obj(vec![
+        ("n", Json::from(dag.n())),
+        ("scheduler", Json::from(s.name().as_str())),
+        ("strategy_bytes", Json::from(strategy_bytes)),
+        ("moves", Json::from(run.moves)),
+        ("peak_rss_bytes", rss.map_or(Json::Null, Json::from)),
+        ("rss_over_strategy", ratio.map_or(Json::Null, Json::from)),
+        (
+            "sublinear",
+            Json::from(rss.is_none_or(|b| b < strategy_bytes)),
+        ),
+    ])
+}
+
+/// Phase 3: streamed vs. in-memory cost identity on overlap sizes.
+fn identity_phase() -> Vec<Json> {
+    banner("E21.3", "streamed vs. in-memory cost identity");
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["n", "pair", "streamed", "in_memory"]);
+    for (r, c) in [(20, 20), (30, 30), (60, 60)] {
+        let dag = generators::grid(r, c);
+        let inst = MppInstance::new(&dag, K, R, G);
+        let pairs: [(&str, StreamRun, u64); 2] = [
+            (
+                "topo",
+                {
+                    let mut sink = NullSink::new();
+                    rbp_stream::TopoStream
+                        .schedule(&dag, K, R, &mut sink)
+                        .expect("topo-stream")
+                },
+                rbp_schedulers::TopoBaseline
+                    .schedule(&inst)
+                    .expect("topo-baseline")
+                    .cost
+                    .total(inst.model),
+            ),
+            (
+                "wavefront",
+                {
+                    let mut sink = NullSink::new();
+                    rbp_stream::WavefrontStream
+                        .schedule(&dag, K, R, &mut sink)
+                        .expect("wavefront-stream")
+                },
+                rbp_schedulers::Wavefront
+                    .schedule(&inst)
+                    .expect("wavefront")
+                    .cost
+                    .total(inst.model),
+            ),
+        ];
+        for (pair, run, in_memory) in pairs {
+            let streamed = run.cost.total(inst.model);
+            assert_eq!(
+                streamed,
+                in_memory,
+                "{pair} diverged on {} (streamed {streamed}, in-memory {in_memory})",
+                dag.name()
+            );
+            table.row(&[
+                dag.n().to_string(),
+                pair.to_string(),
+                streamed.to_string(),
+                in_memory.to_string(),
+            ]);
+            rows.push(Json::obj(vec![
+                ("n", Json::from(dag.n())),
+                ("pair", Json::from(pair)),
+                ("streamed", Json::from(streamed)),
+                ("in_memory", Json::from(in_memory)),
+                ("identical", Json::from(true)),
+            ]));
+        }
+    }
+    table.print_traced("scale.identity");
+    rows
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    rbp_bench::init_trace("exp_scale", &[("quick", rbp_trace::Json::from(quick))]);
+    banner("E21", "streaming scheduler tier at scale");
+    let sizes = if quick { QUICK_SIZES } else { SIZES };
+
+    let throughput = throughput_phase(sizes);
+    let memory = if quick {
+        println!("\n(--quick: skipping the 10^6-node RSS phase)");
+        Json::Null
+    } else {
+        let &(r, c) = SIZES.last().expect("sizes non-empty");
+        memory_phase(r, c)
+    };
+    let identity = identity_phase();
+
+    let json = Json::obj(vec![
+        ("suite", Json::from("scale")),
+        ("quick", Json::from(quick)),
+        ("k", Json::from(K)),
+        ("r", Json::from(R)),
+        ("g", Json::from(G)),
+        ("throughput", Json::Arr(throughput)),
+        ("memory", memory),
+        ("identity", Json::Arr(identity)),
+    ]);
+    let path = "BENCH_scale.json";
+    match std::fs::write(path, json.render_pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    rbp_bench::finish_trace();
+}

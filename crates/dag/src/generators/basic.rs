@@ -3,27 +3,37 @@
 use crate::{Dag, DagBuilder, NodeId};
 
 /// A chain `v0 -> v1 -> ... -> v(len-1)`. `len = 0` gives the empty DAG.
+///
+/// Built through [`Dag::from_edge_stream`], so arbitrarily long chains
+/// (10^7 nodes and beyond) construct without an intermediate edge list.
 #[must_use]
 pub fn chain(len: usize) -> Dag {
-    let mut b = DagBuilder::new();
-    let nodes = b.add_nodes(len);
-    b.add_chain(&nodes);
-    b.name(format!("chain(len={len})"));
-    b.build().expect("chain is a DAG")
+    Dag::from_edge_stream(len, format!("chain(len={len})"), |sink| {
+        for i in 1..len {
+            sink(NodeId::new(i - 1), NodeId::new(i));
+        }
+    })
+    .expect("chain is a DAG")
 }
 
 /// `k` independent chains of `len` nodes each — the Lemma 7 tightness
 /// family: with `k` processors each chain runs on its own processor and
-/// the optimum drops by exactly a factor `k`.
+/// the optimum drops by exactly a factor `k`. Chain `c` occupies the id
+/// range `[c·len, (c+1)·len)`. Streaming construction, like [`chain`].
 #[must_use]
 pub fn independent_chains(k: usize, len: usize) -> Dag {
-    let mut b = DagBuilder::new();
-    for _ in 0..k {
-        let nodes = b.add_nodes(len);
-        b.add_chain(&nodes);
-    }
-    b.name(format!("independent_chains(k={k}, len={len})"));
-    b.build().expect("chains form a DAG")
+    Dag::from_edge_stream(
+        k * len,
+        format!("independent_chains(k={k}, len={len})"),
+        |sink| {
+            for c in 0..k {
+                for i in 1..len {
+                    sink(NodeId::new(c * len + i - 1), NodeId::new(c * len + i));
+                }
+            }
+        },
+    )
+    .expect("chains form a DAG")
 }
 
 /// Complete balanced binary in-tree with `leaves` leaf nodes (`leaves`
@@ -93,22 +103,26 @@ pub fn diamond(width: usize) -> Dag {
 
 /// `rows × cols` grid DAG with edges right and down (dynamic-programming
 /// table / stencil dependency pattern). Node `(i, j)` has id `i*cols + j`.
+///
+/// Built through [`Dag::from_edge_stream`]: a `1000×1000` (10^6-node) or
+/// larger grid allocates only its CSR arrays — this is the workhorse of
+/// the streaming scheduler scale experiments (E21).
 #[must_use]
 pub fn grid(rows: usize, cols: usize) -> Dag {
-    let mut b = DagBuilder::with_nodes(rows * cols);
     let id = |i: usize, j: usize| NodeId::new(i * cols + j);
-    for i in 0..rows {
-        for j in 0..cols {
-            if j + 1 < cols {
-                b.add_edge(id(i, j), id(i, j + 1));
-            }
-            if i + 1 < rows {
-                b.add_edge(id(i, j), id(i + 1, j));
+    Dag::from_edge_stream(rows * cols, format!("grid({rows}x{cols})"), |sink| {
+        for i in 0..rows {
+            for j in 0..cols {
+                if j + 1 < cols {
+                    sink(id(i, j), id(i, j + 1));
+                }
+                if i + 1 < rows {
+                    sink(id(i, j), id(i + 1, j));
+                }
             }
         }
-    }
-    b.name(format!("grid({rows}x{cols})"));
-    b.build().expect("grid is a DAG")
+    })
+    .expect("grid is a DAG")
 }
 
 /// Complete bipartite 2-layer DAG: `a` sources each feeding all `b` sinks.

@@ -12,19 +12,20 @@ use crate::{Dag, DagBuilder, NodeId};
 #[must_use]
 pub fn fft(log_n: u32) -> Dag {
     let n = 1usize << log_n;
-    let mut b = DagBuilder::new();
-    let mut prev = b.add_nodes(n);
-    for s in 0..log_n {
-        let stride = 1usize << s;
-        let cur = b.add_nodes(n);
-        for i in 0..n {
-            b.add_edge(prev[i], cur[i]);
-            b.add_edge(prev[i ^ stride], cur[i]);
+    // Stage s occupies ids [s·n, (s+1)·n); edges only point to the next
+    // stage, so the stream is id-topological and the butterfly builds
+    // through `Dag::from_edge_stream` with no intermediate edge list.
+    Dag::from_edge_stream(n * (log_n as usize + 1), format!("fft(n={n})"), |sink| {
+        for s in 0..log_n as usize {
+            let stride = 1usize << s;
+            let base = s * n;
+            for i in 0..n {
+                sink(NodeId::new(base + i), NodeId::new(base + n + i));
+                sink(NodeId::new(base + (i ^ stride)), NodeId::new(base + n + i));
+            }
         }
-        prev = cur;
-    }
-    b.name(format!("fft(n={n})"));
-    b.build().expect("fft is a DAG")
+    })
+    .expect("fft is a DAG")
 }
 
 /// Naive `n×n` matrix multiplication DAG `C = A·B`:

@@ -187,6 +187,143 @@ impl Dag {
         self.nodes()
             .flat_map(move |u| self.succs(u).iter().map(move |&v| (u, v)))
     }
+
+    /// Streaming two-pass CSR construction for **id-topological** edge
+    /// streams (every edge must satisfy `u < v`, which also guarantees
+    /// acyclicity without a Kahn pass).
+    ///
+    /// The `edges` closure is invoked exactly twice with an edge sink
+    /// and must emit the same edge sequence both times: the first pass
+    /// counts degrees, the second fills the CSR target arrays in place.
+    /// Unlike [`DagBuilder`], no intermediate `Vec<(u, v)>` edge list is
+    /// ever materialized and no sort over all edges runs, so building a
+    /// 10^7-node DAG allocates only the four CSR arrays themselves.
+    /// This is what the size-parameterized generators and the
+    /// `rbp-stream` scheduler tier build million-node DAGs with.
+    ///
+    /// Adjacency runs are sorted per node afterwards, so the resulting
+    /// DAG is indistinguishable from the same graph built through
+    /// [`DagBuilder`].
+    ///
+    /// ```
+    /// use rbp_dag::{Dag, NodeId};
+    /// let path = Dag::from_edge_stream(3, "path", |sink| {
+    ///     for i in 0..2 {
+    ///         sink(NodeId::new(i), NodeId::new(i + 1));
+    ///     }
+    /// })
+    /// .unwrap();
+    /// assert_eq!(path.m(), 2);
+    /// assert_eq!(path.succs(NodeId::new(0)), &[NodeId::new(1)]);
+    /// ```
+    ///
+    /// # Errors
+    /// [`DagError::NodeOutOfRange`] / [`DagError::SelfLoop`] /
+    /// [`DagError::DuplicateEdge`] as in [`DagBuilder::build`], plus
+    /// [`DagError::EdgeOrder`] when an edge has `u > v`.
+    ///
+    /// # Panics
+    /// Panics if the closure emits a different edge sequence on the
+    /// second pass, or if the edge count exceeds `u32::MAX`.
+    pub fn from_edge_stream<F>(
+        n: usize,
+        name: impl Into<String>,
+        mut edges: F,
+    ) -> Result<Dag, DagError>
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        // Pass 1: validate and count degrees.
+        let mut succ_offsets = vec![0u32; n + 1];
+        let mut pred_offsets = vec![0u32; n + 1];
+        let mut err: Option<DagError> = None;
+        let mut m: usize = 0;
+        edges(&mut |u: NodeId, v: NodeId| {
+            if err.is_some() {
+                return;
+            }
+            for w in [u, v] {
+                if w.index() >= n {
+                    err = Some(DagError::NodeOutOfRange { node: w, n });
+                    return;
+                }
+            }
+            if u == v {
+                err = Some(DagError::SelfLoop(u));
+                return;
+            }
+            if u > v {
+                err = Some(DagError::EdgeOrder(u, v));
+                return;
+            }
+            succ_offsets[u.index() + 1] += 1;
+            pred_offsets[v.index() + 1] += 1;
+            m += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        assert!(
+            u32::try_from(m).is_ok(),
+            "edge count {m} exceeds CSR offset range"
+        );
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+
+        // Pass 2: fill the target arrays through per-node cursors. Any
+        // divergence from the first pass is a caller bug and is caught
+        // by the cursor bound checks or the final count comparison.
+        let mut succ_cursor = succ_offsets.clone();
+        let mut pred_cursor = pred_offsets.clone();
+        let mut succ_targets = vec![NodeId(0); m];
+        let mut pred_targets = vec![NodeId(0); m];
+        let mut m2: usize = 0;
+        edges(&mut |u: NodeId, v: NodeId| {
+            m2 += 1;
+            assert!(
+                u.index() < n && v.index() < n && m2 <= m,
+                "edge stream changed between passes"
+            );
+            let su = &mut succ_cursor[u.index()];
+            assert!(
+                *su < succ_offsets[u.index() + 1],
+                "edge stream changed between passes"
+            );
+            succ_targets[*su as usize] = v;
+            *su += 1;
+            let pv = &mut pred_cursor[v.index()];
+            assert!(
+                *pv < pred_offsets[v.index() + 1],
+                "edge stream changed between passes"
+            );
+            pred_targets[*pv as usize] = u;
+            *pv += 1;
+        });
+        assert_eq!(m2, m, "edge stream changed between passes");
+
+        // Sort each adjacency run (duplicate edges surface here) so the
+        // result matches a DagBuilder-built graph exactly.
+        for i in 0..n {
+            let run = &mut succ_targets[succ_offsets[i] as usize..succ_offsets[i + 1] as usize];
+            run.sort_unstable();
+            if let Some(w) = run.windows(2).find(|w| w[0] == w[1]) {
+                return Err(DagError::DuplicateEdge(NodeId::new(i), w[0]));
+            }
+            let run = &mut pred_targets[pred_offsets[i] as usize..pred_offsets[i + 1] as usize];
+            run.sort_unstable();
+        }
+
+        Ok(Dag {
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
+            labels: Vec::new(),
+            name: name.into(),
+        })
+    }
 }
 
 impl fmt::Debug for Dag {
@@ -211,6 +348,9 @@ pub enum DagError {
     DuplicateEdge(NodeId, NodeId),
     /// The edge set contains a directed cycle.
     Cycle,
+    /// Streaming construction saw an edge `(u, v)` with `u > v`;
+    /// [`Dag::from_edge_stream`] requires id-topological edge streams.
+    EdgeOrder(NodeId, NodeId),
 }
 
 impl fmt::Display for DagError {
@@ -222,6 +362,10 @@ impl fmt::Display for DagError {
             DagError::SelfLoop(v) => write!(f, "self-loop on {v}"),
             DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
             DagError::Cycle => write!(f, "edge set contains a directed cycle"),
+            DagError::EdgeOrder(u, v) => write!(
+                f,
+                "edge ({u}, {v}) is not id-topological (streaming construction requires u < v)"
+            ),
         }
     }
 }
@@ -516,5 +660,66 @@ mod tests {
     fn debug_format_mentions_shape() {
         let d = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         assert_eq!(format!("{d:?}"), "Dag(\"\", n=4, m=4)");
+    }
+
+    /// Structural equality helper for comparing construction paths.
+    fn same_graph(a: &Dag, b: &Dag) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for v in a.nodes() {
+            assert_eq!(a.succs(v), b.succs(v), "succs of {v}");
+            assert_eq!(a.preds(v), b.preds(v), "preds of {v}");
+        }
+    }
+
+    #[test]
+    fn edge_stream_matches_builder() {
+        let edges = [(0usize, 1usize), (0, 2), (1, 3), (2, 3), (0, 3)];
+        let built = dag_from_edges(4, &edges);
+        let streamed = Dag::from_edge_stream(4, "", |sink| {
+            // Emit out of (u, v) sort order to exercise the run sort.
+            for &(u, v) in edges.iter().rev() {
+                sink(NodeId::new(u), NodeId::new(v));
+            }
+        })
+        .unwrap();
+        same_graph(&built, &streamed);
+    }
+
+    #[test]
+    fn edge_stream_rejects_non_topological_order() {
+        let err = Dag::from_edge_stream(3, "", |sink| {
+            sink(NodeId(2), NodeId(1));
+        })
+        .unwrap_err();
+        assert_eq!(err, DagError::EdgeOrder(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn edge_stream_rejects_self_loop_and_out_of_range() {
+        let err = Dag::from_edge_stream(3, "", |sink| sink(NodeId(1), NodeId(1))).unwrap_err();
+        assert_eq!(err, DagError::SelfLoop(NodeId(1)));
+        let err = Dag::from_edge_stream(3, "", |sink| sink(NodeId(0), NodeId(9))).unwrap_err();
+        assert!(matches!(err, DagError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn edge_stream_rejects_duplicate_edge() {
+        let err = Dag::from_edge_stream(3, "", |sink| {
+            sink(NodeId(0), NodeId(2));
+            sink(NodeId(0), NodeId(2));
+        })
+        .unwrap_err();
+        assert_eq!(err, DagError::DuplicateEdge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn edge_stream_empty_and_isolated_nodes() {
+        let d = Dag::from_edge_stream(0, "", |_| {}).unwrap();
+        assert_eq!(d.n(), 0);
+        let d = Dag::from_edge_stream(5, "iso", |sink| sink(NodeId(1), NodeId(3))).unwrap();
+        assert_eq!((d.n(), d.m()), (5, 1));
+        assert_eq!(d.sources().len(), 4);
+        assert_eq!(d.name(), "iso");
     }
 }

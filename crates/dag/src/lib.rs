@@ -36,5 +36,5 @@ pub mod traversal;
 
 pub use analysis::{anchor_nodes, live_set, min_peak_memory, DagStats};
 pub use graph::{dag_from_edges, Dag, DagBuilder, DagError, NodeId};
-pub use nodeset::{NodeSet, NodeSetIter};
+pub use nodeset::{HybridNodeSet, HybridNodeSetIter, NodeSet, NodeSetIter};
 pub use topo::{longest_path, TopoInfo};

@@ -285,6 +285,250 @@ impl<'a> IntoIterator for &'a NodeSet {
     }
 }
 
+/// A set of [`NodeId`]s that switches representation by density.
+///
+/// Small sets over a large universe are kept as a sorted `u32` vector
+/// (4 bytes per element); once the set grows past roughly one element
+/// per 32 universe slots it is promoted to a dense [`NodeSet`] bitset
+/// (universe/8 bytes regardless of population). Demotion back to sparse
+/// happens at half the promotion threshold, so a set oscillating around
+/// the boundary does not thrash between representations.
+///
+/// The streaming scheduler tier ([`rbp-stream`]) keeps one of these per
+/// processor for the red pebbles: red sets are bounded by the memory
+/// parameter `r`, so on a million-node DAG they stay sparse and cost
+/// `O(r)` bytes instead of `O(n/8)`.
+///
+/// Unlike [`NodeSet`], equality and hashing are defined over the
+/// *elements*, so a sparse set equals a dense set holding the same ids.
+/// Both representations iterate in increasing id order.
+///
+/// [`rbp-stream`]: https://docs.rs/rbp-stream
+#[derive(Clone)]
+pub struct HybridNodeSet {
+    universe: usize,
+    repr: HybridRepr,
+}
+
+#[derive(Clone)]
+enum HybridRepr {
+    /// Sorted, duplicate-free element vector.
+    Sparse(Vec<u32>),
+    Dense(NodeSet),
+}
+
+impl HybridNodeSet {
+    /// Creates an empty (sparse) set over a universe of `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        HybridNodeSet {
+            universe: n,
+            repr: HybridRepr::Sparse(Vec::new()),
+        }
+    }
+
+    /// Builds a set from an iterator of node ids.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(n: usize, iter: I) -> Self {
+        let mut s = Self::new(n);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Elements per universe slot above which the set goes dense: one
+    /// element per 32 slots (sparse storage would exceed the bitset).
+    #[inline]
+    fn promote_at(&self) -> usize {
+        self.universe / 32 + 1
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Whether the set currently uses the dense bitset representation
+    /// (exposed for the promotion/demotion boundary tests).
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, HybridRepr::Dense(_))
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            HybridRepr::Sparse(v) => v.len(),
+            HybridRepr::Dense(s) => s.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            HybridRepr::Sparse(v) => v.is_empty(),
+            HybridRepr::Dense(s) => s.is_empty(),
+        }
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        debug_assert!(v.index() < self.universe, "node {v:?} outside universe");
+        let inserted = match &mut self.repr {
+            HybridRepr::Sparse(xs) => match xs.binary_search(&v.0) {
+                Ok(_) => false,
+                Err(pos) => {
+                    xs.insert(pos, v.0);
+                    true
+                }
+            },
+            HybridRepr::Dense(s) => s.insert(v),
+        };
+        if inserted {
+            self.maybe_promote();
+        }
+        inserted
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        debug_assert!(v.index() < self.universe, "node {v:?} outside universe");
+        let removed = match &mut self.repr {
+            HybridRepr::Sparse(xs) => match xs.binary_search(&v.0) {
+                Ok(pos) => {
+                    xs.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            HybridRepr::Dense(s) => s.remove(v),
+        };
+        if removed {
+            self.maybe_demote();
+        }
+        removed
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        match &self.repr {
+            HybridRepr::Sparse(xs) => xs.binary_search(&v.0).is_ok(),
+            HybridRepr::Dense(s) => s.contains(v),
+        }
+    }
+
+    /// Removes all elements (and returns to the sparse representation,
+    /// releasing the bitset).
+    pub fn clear(&mut self) {
+        self.repr = HybridRepr::Sparse(Vec::new());
+    }
+
+    /// Iterates the elements in increasing id order (both
+    /// representations).
+    pub fn iter(&self) -> HybridNodeSetIter<'_> {
+        match &self.repr {
+            HybridRepr::Sparse(xs) => HybridNodeSetIter::Sparse(xs.iter()),
+            HybridRepr::Dense(s) => HybridNodeSetIter::Dense(s.iter()),
+        }
+    }
+
+    /// The smallest element, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Copies into a dense [`NodeSet`] of the same universe.
+    #[must_use]
+    pub fn to_dense(&self) -> NodeSet {
+        match &self.repr {
+            HybridRepr::Sparse(xs) => {
+                NodeSet::from_iter(self.universe, xs.iter().map(|&x| NodeId(x)))
+            }
+            HybridRepr::Dense(s) => s.clone(),
+        }
+    }
+
+    fn maybe_promote(&mut self) {
+        if let HybridRepr::Sparse(xs) = &self.repr {
+            if xs.len() > self.promote_at() {
+                let dense = NodeSet::from_iter(self.universe, xs.iter().map(|&x| NodeId(x)));
+                self.repr = HybridRepr::Dense(dense);
+            }
+        }
+    }
+
+    fn maybe_demote(&mut self) {
+        if let HybridRepr::Dense(s) = &self.repr {
+            if s.len() <= self.promote_at() / 2 {
+                let xs: Vec<u32> = s.iter().map(|v| v.0).collect();
+                self.repr = HybridRepr::Sparse(xs);
+            }
+        }
+    }
+}
+
+impl PartialEq for HybridNodeSet {
+    /// Element-wise equality: representations may differ.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for HybridNodeSet {}
+
+impl Hash for HybridNodeSet {
+    /// Hashes the element sequence, so equal sets hash equal regardless
+    /// of representation.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len().hash(state);
+        for v in self.iter() {
+            v.0.hash(state);
+        }
+    }
+}
+
+impl fmt::Debug for HybridNodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|v| v.index()))
+            .finish()
+    }
+}
+
+/// Iterator over the elements of a [`HybridNodeSet`].
+pub enum HybridNodeSetIter<'a> {
+    /// Iterating the sorted sparse vector.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Iterating the dense bitset.
+    Dense(NodeSetIter<'a>),
+}
+
+impl Iterator for HybridNodeSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            HybridNodeSetIter::Sparse(it) => it.next().map(|&x| NodeId(x)),
+            HybridNodeSetIter::Dense(it) => it.next(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a HybridNodeSet {
+    type Item = NodeId;
+    type IntoIter = HybridNodeSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +648,147 @@ mod tests {
         let s: NodeSet = ids(&[0, 2, 4]).into_iter().collect();
         assert_eq!(s.universe(), 5);
         assert_eq!(s.len(), 3);
+    }
+
+    // ---- HybridNodeSet ----
+
+    #[test]
+    fn hybrid_basics() {
+        let mut s = HybridNodeSet::new(1000);
+        assert!(s.is_empty());
+        assert!(!s.is_dense());
+        assert!(s.insert(NodeId::new(7)));
+        assert!(!s.insert(NodeId::new(7)));
+        assert!(s.contains(NodeId::new(7)));
+        assert!(!s.contains(NodeId::new(8)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId::new(7)));
+        assert!(!s.remove(NodeId::new(7)));
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn hybrid_promotes_and_demotes_at_density_boundaries() {
+        let n = 6400; // promote_at = 201
+        let mut s = HybridNodeSet::new(n);
+        let promote = n / 32 + 1;
+        for i in 0..promote {
+            s.insert(NodeId::new(i * 3));
+            assert!(!s.is_dense(), "still sparse at {} elements", i + 1);
+        }
+        s.insert(NodeId::new(promote * 3));
+        assert!(s.is_dense(), "promoted past {promote} elements");
+        // Remove down to the demotion boundary (half the promotion one).
+        while s.len() > promote / 2 {
+            let v = s.first().unwrap();
+            s.remove(v);
+            if s.len() > promote / 2 {
+                assert!(s.is_dense(), "no demotion until len ≤ {}", promote / 2);
+            }
+        }
+        assert!(!s.is_dense(), "demoted at len {}", s.len());
+        // Contents survived both transitions.
+        assert_eq!(s.len(), promote / 2);
+    }
+
+    #[test]
+    fn hybrid_iteration_order_is_increasing_in_both_representations() {
+        let mut sparse = HybridNodeSet::new(10_000);
+        for &i in &[9999usize, 0, 63, 64, 65, 128] {
+            sparse.insert(NodeId::new(i));
+        }
+        assert!(!sparse.is_dense());
+        let got: Vec<usize> = sparse.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 128, 9999]);
+
+        let dense = HybridNodeSet::from_iter(64, ids(&[63, 0, 5, 7, 9, 11, 13]));
+        assert!(dense.is_dense(), "64/32+1 = 3 < 7 elements");
+        let got: Vec<usize> = dense.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 5, 7, 9, 11, 13, 63]);
+    }
+
+    #[test]
+    fn hybrid_equality_and_hash_across_representations() {
+        use std::collections::hash_map::DefaultHasher;
+        // Same elements, one sparse (huge universe) vs one dense (tiny).
+        let mut a = HybridNodeSet::new(100);
+        let mut b = HybridNodeSet::new(100);
+        for &i in &[1usize, 2, 3] {
+            a.insert(NodeId::new(i));
+        }
+        assert!(!a.is_dense(), "3 elements over universe 100 stay sparse");
+        // Force b dense by filling then draining (demotion needs len ≤ 2).
+        for i in 0..50 {
+            b.insert(NodeId::new(i));
+        }
+        assert!(b.is_dense());
+        for i in 0..50 {
+            if ![1, 2, 3].contains(&i) {
+                b.remove(NodeId::new(i));
+            }
+        }
+        assert!(b.is_dense(), "len 3 is above the demotion boundary");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b, "sparse == dense with identical elements");
+        let h = |s: &HybridNodeSet| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        b.insert(NodeId::new(99));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hybrid_clear_returns_to_sparse() {
+        let mut s = HybridNodeSet::from_iter(64, (0..64).map(NodeId::new));
+        assert!(s.is_dense());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_dense());
+        assert_eq!(s.universe(), 64);
+    }
+
+    #[test]
+    fn hybrid_to_dense_matches() {
+        let s = HybridNodeSet::from_iter(300, ids(&[0, 7, 256]));
+        let d = s.to_dense();
+        assert_eq!(d.universe(), 300);
+        assert_eq!(d.iter().collect::<Vec<_>>(), s.iter().collect::<Vec<_>>());
+    }
+
+    /// Seeded randomized differential test: a HybridNodeSet and the
+    /// dense NodeSet driven by the same operation stream must agree on
+    /// every observable after every step.
+    #[test]
+    fn hybrid_differential_against_dense() {
+        // xorshift64* — deterministic, no external RNG.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for &n in &[1usize, 31, 32, 33, 64, 100, 1000] {
+            let mut hybrid = HybridNodeSet::new(n);
+            let mut dense = NodeSet::new(n);
+            for step in 0..2000 {
+                let x = rng();
+                let v = NodeId::new((x >> 8) as usize % n);
+                match x % 4 {
+                    0 | 1 => assert_eq!(hybrid.insert(v), dense.insert(v), "insert {v} (n={n})"),
+                    2 => assert_eq!(hybrid.remove(v), dense.remove(v), "remove {v} (n={n})"),
+                    _ => assert_eq!(hybrid.contains(v), dense.contains(v), "contains {v}"),
+                }
+                assert_eq!(hybrid.len(), dense.len(), "len after step {step} (n={n})");
+                if step % 97 == 0 {
+                    assert!(hybrid.iter().eq(dense.iter()), "iteration diverged (n={n})");
+                    assert_eq!(hybrid.to_dense(), dense);
+                }
+            }
+        }
     }
 }

@@ -9,13 +9,18 @@
 //! the response envelope. `docs/SCHEMAS.md` documents every body shape.
 
 use rbp_core::rbp_dag::{generators, io, Dag};
-use rbp_core::{MppInstance, MppRunStats, PartitionMode, SearchConfig, SolveLimits};
+use rbp_core::{CostModel, MppInstance, MppRunStats, PartitionMode, SearchConfig, SolveLimits};
 use rbp_refine::{race, PortfolioConfig};
 use rbp_schedulers::all_schedulers;
+use rbp_stream::{all_stream_schedulers, NullSink};
 use rbp_util::json::Json;
 
-/// Largest DAG accepted by the scheduling/bounds endpoints.
+/// Largest DAG accepted by the scheduling/bounds endpoints — and the
+/// threshold above which `/v1/schedule` switches to the streaming tier.
 pub const MAX_NODES: usize = 4096;
+/// Largest DAG accepted by the `/v1/schedule` streaming tier. Beyond
+/// this the request is rejected with `413` before anything is built.
+pub const STREAM_MAX_NODES: usize = 2_000_000;
 /// Exact-solver admission bounds (matches the portfolio's exact tier).
 pub const SOLVE_MAX_NODES: usize = 64;
 /// Exact-solver processor-count admission bound.
@@ -43,6 +48,10 @@ impl ApiError {
 
 fn bad(msg: impl Into<String>) -> ApiError {
     ApiError::new(400, msg)
+}
+
+fn too_large(n: u64, limit: usize) -> ApiError {
+    ApiError::new(413, format!("DAG of {n} nodes exceeds limit {limit}"))
 }
 
 /// Parsed, validated work for one request.
@@ -137,7 +146,7 @@ impl Work {
     pub fn parse(endpoint: &str, body: &Json) -> Result<Work, ApiError> {
         match endpoint {
             "solve" => {
-                let (dag, k, r, g) = instance_params(body)?;
+                let (dag, k, r, g) = instance_params(body, MAX_NODES)?;
                 if dag.n() > SOLVE_MAX_NODES || k > SOLVE_MAX_PROCS {
                     return Err(bad(format!(
                         "exact solve admits n ≤ {SOLVE_MAX_NODES} and k ≤ {SOLVE_MAX_PROCS} \
@@ -167,7 +176,7 @@ impl Work {
                 })
             }
             "schedule" => {
-                let (dag, k, r, g) = instance_params(body)?;
+                let (dag, k, r, g) = instance_params(body, STREAM_MAX_NODES)?;
                 let filter = match body.get("scheduler") {
                     None | Some(Json::Null) => None,
                     Some(Json::Str(s)) => Some(s.clone()),
@@ -182,7 +191,7 @@ impl Work {
                 })
             }
             "portfolio" => {
-                let (dag, k, r, g) = instance_params(body)?;
+                let (dag, k, r, g) = instance_params(body, MAX_NODES)?;
                 let budget_ms = opt_u64(body, "budget_ms")?.unwrap_or(1000).clamp(1, 60_000);
                 let seed = opt_u64(body, "seed")?.unwrap_or(0);
                 let use_exact = match body.get("use_exact") {
@@ -201,7 +210,7 @@ impl Work {
                 })
             }
             "bounds" => {
-                let (dag, k, r, g) = instance_params(body)?;
+                let (dag, k, r, g) = instance_params(body, MAX_NODES)?;
                 Ok(Work::Bounds { dag, k, r, g })
             }
             "generate" => {
@@ -209,14 +218,18 @@ impl Work {
                     .get("generator")
                     .ok_or_else(|| bad("generate: missing \"generator\" object"))?;
                 let (family, params) = generator_spec(spec)?;
+                // Reject absurd specs by closed-form size estimate BEFORE
+                // building anything — an unguarded `grid(10^6, 10^6)` would
+                // otherwise try to allocate a 10^12-node adjacency.
+                if let Some(est) = estimate_nodes(&family, &params) {
+                    if est > (4 * MAX_NODES) as u64 {
+                        return Err(too_large(est, 4 * MAX_NODES));
+                    }
+                }
                 // Build once now so bad specs fail at submit time.
                 let dag = build_dag(&family, &params).map_err(bad)?;
                 if dag.n() > 4 * MAX_NODES {
-                    return Err(bad(format!(
-                        "generated DAG of {} nodes exceeds limit {}",
-                        dag.n(),
-                        4 * MAX_NODES
-                    )));
+                    return Err(too_large(dag.n() as u64, 4 * MAX_NODES));
                 }
                 Ok(Work::Generate { family, params })
             }
@@ -346,6 +359,12 @@ impl Work {
                 g,
                 filter,
             } => {
+                // Above the in-memory cap, hand the instance to the
+                // streaming tier: bounded CSR passes, O(active-set)
+                // resident state, strategy discarded as it is verified.
+                if dag.n() > MAX_NODES {
+                    return schedule_streaming(dag, *k, *r, *g, filter.as_deref());
+                }
                 let inst = MppInstance::new(dag, *k, *r, *g);
                 let mut rows = Vec::new();
                 let mut best: Option<(u64, String)> = None;
@@ -379,6 +398,7 @@ impl Work {
                 })?;
                 Ok(Json::obj([
                     ("endpoint", Json::from("schedule")),
+                    ("tier", Json::from("in-memory")),
                     ("instance", instance_json(dag, *k, *r, *g)),
                     ("schedulers", Json::Arr(rows)),
                     (
@@ -455,9 +475,73 @@ impl Work {
     }
 }
 
-/// Extracts the shared `(dag, k, r, g)` instance parameters.
-fn instance_params(body: &Json) -> Result<(Dag, usize, usize, u64), ApiError> {
-    let dag = dag_from_body(body)?;
+/// The `/v1/schedule` streaming tier: runs every registered
+/// [`rbp_stream`] scheduler through a rule-enforcing simulator with the
+/// strategy discarded move-by-move ([`NullSink`]) — the server reports
+/// costs and throughput, it does not ship million-move strategies over
+/// HTTP. Emits `stream.*` trace counters/gauges per run.
+fn schedule_streaming(
+    dag: &Dag,
+    k: usize,
+    r: usize,
+    g: u64,
+    filter: Option<&str>,
+) -> Result<Json, ApiError> {
+    let model = CostModel::mpp(g);
+    let mut rows = Vec::new();
+    let mut best: Option<(u64, String)> = None;
+    for s in all_stream_schedulers() {
+        let name = s.name();
+        if let Some(f) = filter {
+            if !name.contains(f) {
+                continue;
+            }
+        }
+        let mut sink = NullSink::new();
+        let run = s
+            .schedule(dag, k, r, &mut sink)
+            .map_err(|e| ApiError::new(422, format!("{name}: {e}")))?;
+        rbp_stream::trace_stream_run(&name, &run);
+        let total = run.cost.total(model);
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, name.clone()));
+        }
+        rows.push(Json::obj([
+            ("name", Json::from(name.as_str())),
+            ("total", Json::from(total)),
+            ("io_steps", Json::from(run.cost.io_steps())),
+            ("moves", Json::from(run.moves)),
+            ("passes", Json::from(run.passes)),
+            ("peak_active_set", Json::from(run.peak_active_set)),
+            ("nodes_per_sec", Json::from(run.nodes_per_sec())),
+        ]));
+    }
+    let (best_total, best_name) = best.ok_or_else(|| {
+        ApiError::new(
+            422,
+            format!("no streaming scheduler matches '{}'", filter.unwrap_or(""),),
+        )
+    })?;
+    Ok(Json::obj([
+        ("endpoint", Json::from("schedule")),
+        ("tier", Json::from("streaming")),
+        ("instance", instance_json(dag, k, r, g)),
+        ("schedulers", Json::Arr(rows)),
+        (
+            "best",
+            Json::obj([
+                ("name", Json::from(best_name.as_str())),
+                ("total", Json::from(best_total)),
+            ]),
+        ),
+    ]))
+}
+
+/// Extracts the shared `(dag, k, r, g)` instance parameters. `max_nodes`
+/// is the endpoint's admission cap ([`MAX_NODES`] everywhere except
+/// `/v1/schedule`, whose streaming tier accepts [`STREAM_MAX_NODES`]).
+fn instance_params(body: &Json, max_nodes: usize) -> Result<(Dag, usize, usize, u64), ApiError> {
+    let dag = dag_from_body(body, max_nodes)?;
     let k = req_u64(body, "k")? as usize;
     let r = req_u64(body, "r")? as usize;
     let g = req_u64(body, "g")?;
@@ -470,11 +554,8 @@ fn instance_params(body: &Json) -> Result<(Dag, usize, usize, u64), ApiError> {
     if dag.n() == 0 {
         return Err(bad("DAG has no nodes"));
     }
-    if dag.n() > MAX_NODES {
-        return Err(bad(format!(
-            "DAG of {} nodes exceeds limit {MAX_NODES}",
-            dag.n()
-        )));
+    if dag.n() > max_nodes {
+        return Err(too_large(dag.n() as u64, max_nodes));
     }
     if r <= dag.max_in_degree() {
         return Err(ApiError::new(
@@ -488,18 +569,82 @@ fn instance_params(body: &Json) -> Result<(Dag, usize, usize, u64), ApiError> {
     Ok((dag, k, r, g))
 }
 
-/// Builds the DAG from either `"dag_text"` or `"generator"`.
-fn dag_from_body(body: &Json) -> Result<Dag, ApiError> {
+/// Builds the DAG from either `"dag_text"` or `"generator"`, rejecting
+/// over-limit inputs with `413` *before* any proportional allocation:
+/// inline text is pre-scanned for its `nodes <n>` declaration and
+/// generator specs are sized by [`estimate_nodes`].
+fn dag_from_body(body: &Json, max_nodes: usize) -> Result<Dag, ApiError> {
     match (body.get("dag_text"), body.get("generator")) {
-        (Some(Json::Str(text)), None) => io::parse(text).map_err(|e| bad(format!("dag_text: {e}"))),
+        (Some(Json::Str(text)), None) => {
+            check_declared_nodes(text, max_nodes)?;
+            io::parse(text).map_err(|e| bad(format!("dag_text: {e}")))
+        }
         (None, Some(spec)) => {
             let (family, params) = generator_spec(spec)?;
+            if let Some(est) = estimate_nodes(&family, &params) {
+                if est > max_nodes as u64 {
+                    return Err(too_large(est, max_nodes));
+                }
+            }
             build_dag(&family, &params).map_err(bad)
         }
         (Some(_), Some(_)) => Err(bad("give either \"dag_text\" or \"generator\", not both")),
         (Some(_), None) => Err(bad("\"dag_text\" must be a string")),
         (None, None) => Err(bad("missing DAG: provide \"dag_text\" or \"generator\"")),
     }
+}
+
+/// Pre-scan of the `rbp_dag::io` text header: the format declares
+/// `nodes <n>` up front, so an over-limit count 413s without parsing
+/// the (potentially huge) edge list. Headers the scan cannot make
+/// sense of fall through to [`io::parse`]'s own error reporting.
+fn check_declared_nodes(text: &str, max_nodes: usize) -> Result<(), ApiError> {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("dag ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            if let Ok(n) = rest.trim().parse::<u64>() {
+                if n > max_nodes as u64 {
+                    return Err(too_large(n, max_nodes));
+                }
+            }
+        }
+        break;
+    }
+    Ok(())
+}
+
+/// Closed-form (saturating) node-count estimate for a generator spec,
+/// mirroring the sizes produced by [`build_dag`]. Used to reject absurd
+/// requests with `413` before any allocation; `None` for families the
+/// registry does not know (those fail later with `400`). Estimates are
+/// exact or slight over-approximations — never drastic under-counts —
+/// so nothing huge slips past the guard.
+#[must_use]
+pub fn estimate_nodes(family: &str, params: &[usize]) -> Option<u64> {
+    let p = |i: usize| params.get(i).copied().unwrap_or(0) as u64;
+    Some(match family {
+        "chain" | "random" => p(0),
+        "chains" | "grid" | "layered" => p(0).saturating_mul(p(1)),
+        "tree" => p(0).saturating_mul(2),
+        "fft" => {
+            let log_n = p(0).min(62) as u32;
+            (1u64 << log_n).saturating_mul(u64::from(log_n) + 1)
+        }
+        // 2n² inputs + per output cell n products and n−1 partial sums.
+        "matmul" => p(0)
+            .saturating_mul(p(0))
+            .saturating_mul(p(0).saturating_mul(2).saturating_add(2)),
+        "diamond" => p(0).saturating_add(2),
+        "pyramid" => {
+            let h = p(0);
+            h.saturating_add(1).saturating_mul(h.saturating_add(2)) / 2
+        }
+        "zipper" => p(0).saturating_mul(2).saturating_add(p(1)),
+        _ => return None,
+    })
 }
 
 fn generator_spec(spec: &Json) -> Result<(String, Vec<usize>), ApiError> {
@@ -843,5 +988,130 @@ mod tests {
         assert!(build_dag("nope", &[]).is_err());
         assert!(build_dag("grid", &[3]).is_err());
         assert!(build_dag("grid", &[3, 3]).is_ok());
+    }
+
+    /// An absurd generator spec must 413 from the size estimate alone —
+    /// a `grid(10^6, 10^6)` request would otherwise try to allocate a
+    /// 10^12-node adjacency before the old post-build check ever ran.
+    #[test]
+    fn absurd_generator_specs_413_without_building() {
+        for endpoint in ["generate", "schedule", "solve", "bounds"] {
+            let body = parse_body(
+                r#"{"generator":{"family":"grid","params":[1000000,1000000]},"k":2,"r":3,"g":2}"#,
+            );
+            let err = Work::parse(endpoint, &body).unwrap_err();
+            assert_eq!(err.status, 413, "{endpoint}: {}", err.msg);
+            assert!(err.msg.contains("exceeds limit"), "{endpoint}: {}", err.msg);
+        }
+        // Every registry family has an estimate, and the estimate never
+        // understates the built size (so nothing slips past the guard).
+        for (family, params) in [
+            ("chain", vec![17]),
+            ("chains", vec![3, 5]),
+            ("tree", vec![8]),
+            ("grid", vec![4, 6]),
+            ("fft", vec![3]),
+            ("matmul", vec![3]),
+            ("diamond", vec![5]),
+            ("pyramid", vec![4]),
+            ("zipper", vec![3, 4]),
+            ("random", vec![12, 7]),
+            ("layered", vec![3, 4, 2, 9]),
+        ] {
+            let est = estimate_nodes(family, &params)
+                .unwrap_or_else(|| panic!("{family} has no estimate"));
+            let built = build_dag(family, &params).unwrap().n() as u64;
+            assert!(est >= built, "{family}: estimate {est} < built {built}");
+            assert!(
+                est <= 2 * built + 2,
+                "{family}: estimate {est} way over {built}"
+            );
+        }
+        assert_eq!(estimate_nodes("nope", &[]), None);
+    }
+
+    /// Inline `dag_text` is capped by its declared `nodes <n>` header
+    /// before the edge list is parsed.
+    #[test]
+    fn huge_inline_dag_text_413s_before_parsing() {
+        let body = Json::obj([
+            (
+                "dag_text",
+                Json::from("dag evil\nnodes 99999999\nedge 0 1\nend\n"),
+            ),
+            ("k", Json::from(2u64)),
+            ("r", Json::from(3u64)),
+            ("g", Json::from(2u64)),
+        ]);
+        let err = Work::parse("schedule", &body).unwrap_err();
+        assert_eq!(err.status, 413, "{}", err.msg);
+        // A small declared count still parses (and still validates).
+        let ok = Json::obj([
+            ("dag_text", Json::from("dag tiny\nnodes 2\nedge 0 1\nend\n")),
+            ("k", Json::from(1u64)),
+            ("r", Json::from(2u64)),
+            ("g", Json::from(2u64)),
+        ]);
+        assert!(Work::parse("schedule", &ok).is_ok());
+    }
+
+    /// Above [`MAX_NODES`] the schedule endpoint switches to the
+    /// streaming tier: stream-scheduler rows with throughput stats and
+    /// a `tier` marker, best = min over rows.
+    #[test]
+    fn schedule_auto_selects_streaming_tier_above_threshold() {
+        // grid(70, 70) = 4900 nodes: past the in-memory cap of 4096,
+        // comfortably inside STREAM_MAX_NODES.
+        let body =
+            parse_body(r#"{"generator":{"family":"grid","params":[70,70]},"k":4,"r":4,"g":2}"#);
+        let work = Work::parse("schedule", &body).unwrap();
+        let core = work.execute().unwrap();
+        assert_eq!(core.get("tier").unwrap().as_str(), Some("streaming"));
+        let rows = core.get("schedulers").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), rbp_stream::all_stream_schedulers().len());
+        for row in rows {
+            assert!(row.get("total").unwrap().as_u64().is_some());
+            assert!(row.get("passes").unwrap().as_u64().is_some());
+            assert!(row.get("peak_active_set").unwrap().as_u64().is_some());
+            assert!(row.get("nodes_per_sec").unwrap().as_f64().is_some());
+        }
+        let best = core
+            .get("best")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let min = rows
+            .iter()
+            .map(|r| r.get("total").unwrap().as_u64().unwrap())
+            .min()
+            .unwrap();
+        assert_eq!(best, min);
+
+        // Below the threshold the classic tier answers and says so.
+        let small =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        let core = Work::parse("schedule", &small).unwrap().execute().unwrap();
+        assert_eq!(core.get("tier").unwrap().as_str(), Some("in-memory"));
+
+        // The streaming tier honours the name filter, 422s on no match.
+        let filtered = parse_body(
+            r#"{"generator":{"family":"grid","params":[70,70]},"k":4,"r":4,"g":2,"scheduler":"wavefront"}"#,
+        );
+        let core = Work::parse("schedule", &filtered)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let rows = core.get("schedulers").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        let nomatch = parse_body(
+            r#"{"generator":{"family":"grid","params":[70,70]},"k":4,"r":4,"g":2,"scheduler":"zzz"}"#,
+        );
+        let err = Work::parse("schedule", &nomatch)
+            .unwrap()
+            .execute()
+            .unwrap_err();
+        assert_eq!(err.status, 422);
     }
 }

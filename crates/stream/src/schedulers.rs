@@ -1,0 +1,385 @@
+//! The streaming schedulers: bounded-pass re-implementations of the
+//! in-memory scheduler tier.
+//!
+//! Each scheduler makes a bounded number of passes over the CSR (the
+//! exact count is reported in [`StreamRun::passes`]) and keeps only
+//! `O(active-set)` scheduler state resident — per-processor red sets
+//! bounded by `r`, per-wave scratch bounded by `k·Δ_in`, and (for
+//! level/order bookkeeping) flat `O(n)` word arrays, which at 10^6
+//! nodes are megabytes while the strategy being emitted is hundreds of
+//! megabytes. No per-node `Vec` is allocated per step.
+//!
+//! Cost contracts with the in-memory tier (asserted by E21 and the
+//! crate tests on overlap sizes):
+//!
+//! - [`TopoStream`] is cost-identical to `rbp_schedulers::TopoBaseline`
+//!   (per node: in-degree loads, one compute, one store — the total is
+//!   order-independent);
+//! - [`WavefrontStream`] replays the exact algorithm of
+//!   `rbp_schedulers::Wavefront` (red memory is empty between waves, so
+//!   the simulation is wave-local) and produces an identical cost;
+//! - [`ListStream`] is the memory-aware list scheduler new to this
+//!   tier: red pebbles stay cached LRU-style instead of being evicted
+//!   after every node, so repeatedly-used inputs are loaded once.
+
+use std::time::{Duration, Instant};
+
+use rbp_core::{Cost, ProcId};
+use rbp_dag::{Dag, NodeId, TopoInfo};
+
+use crate::sim::{StreamError, StreamSim};
+use crate::sink::StrategySink;
+
+/// Summary of a finished streaming schedule.
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// Cost tally (stores/loads/computes as batched steps).
+    pub cost: Cost,
+    /// Number of DAG nodes scheduled.
+    pub nodes: usize,
+    /// Number of moves emitted to the sink.
+    pub moves: u64,
+    /// Passes made over the CSR adjacency structure.
+    pub passes: u64,
+    /// Peak number of simultaneously live red pebbles.
+    pub peak_active_set: usize,
+    /// Bytes the sink serialized (0 for in-memory sinks).
+    pub bytes_emitted: u64,
+    /// Wall-clock scheduling time.
+    pub elapsed: Duration,
+}
+
+impl StreamRun {
+    /// Scheduling throughput in nodes per second.
+    #[must_use]
+    pub fn nodes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.nodes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A scheduler that emits a valid MPP strategy incrementally through a
+/// [`StrategySink`], with resident state independent of strategy
+/// length.
+pub trait StreamScheduler: Send + Sync {
+    /// Name used in registries, traces, and experiment tables.
+    fn name(&self) -> String;
+
+    /// Schedules `dag` on `k` processors with per-processor memory `r`,
+    /// emitting every move into `sink`.
+    ///
+    /// # Errors
+    /// Rule violations (a scheduler bug or an infeasible `r`) and sink
+    /// I/O failures.
+    fn schedule(
+        &self,
+        dag: &Dag,
+        k: usize,
+        r: usize,
+        sink: &mut dyn StrategySink,
+    ) -> Result<StreamRun, StreamError>;
+}
+
+/// Whether every edge satisfies `u < v` (one CSR pass). When true, id
+/// order is a topological order and level structure is computable in a
+/// single forward pass; DAGs built by [`Dag::from_edge_stream`] — all
+/// generator families — have this property by construction.
+fn is_id_topological(dag: &Dag) -> bool {
+    dag.nodes().all(|v| dag.preds(v).iter().all(|&u| u < v))
+}
+
+/// The node to schedule at position `i`: id order when the DAG is
+/// id-topological, otherwise the fallback `TopoInfo` order (identical
+/// to the in-memory tier's order in both cases, since Kahn's algorithm
+/// with a min-id heap visits an id-topological DAG in id order).
+#[inline]
+fn node_at(topo: Option<&TopoInfo>, i: usize) -> NodeId {
+    topo.map_or_else(|| NodeId::new(i), |t| t.order()[i])
+}
+
+fn finish_run(
+    sim: StreamSim<'_>,
+    sink: &mut dyn StrategySink,
+    nodes: usize,
+    passes: u64,
+    t0: Instant,
+) -> Result<StreamRun, StreamError> {
+    let cost = sim.cost();
+    let moves = sim.moves();
+    let peak = sim.peak_active_set();
+    sim.finish(sink)?;
+    Ok(StreamRun {
+        cost,
+        nodes,
+        moves,
+        passes,
+        peak_active_set: peak,
+        bytes_emitted: sink.bytes_emitted(),
+        elapsed: t0.elapsed(),
+    })
+}
+
+/// Streaming re-implementation of the Lemma 1 `topo-baseline`
+/// scheduler: per node (round-robin over processors) load inputs,
+/// compute, store, evict. Cost-identical to the in-memory version for
+/// every DAG and node order: `m` loads, `n` computes, `n` stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoStream;
+
+impl StreamScheduler for TopoStream {
+    fn name(&self) -> String {
+        "topo-stream".into()
+    }
+
+    fn schedule(
+        &self,
+        dag: &Dag,
+        k: usize,
+        r: usize,
+        sink: &mut dyn StrategySink,
+    ) -> Result<StreamRun, StreamError> {
+        let t0 = Instant::now();
+        let topo = (!is_id_topological(dag)).then(|| dag.topo());
+        let mut sim = StreamSim::new(dag, k, r);
+        for i in 0..dag.n() {
+            let v = node_at(topo.as_ref(), i);
+            let p = i % k;
+            for &u in dag.preds(v) {
+                sim.load(sink, &[(p, u)])?;
+            }
+            sim.compute(sink, &[(p, v)])?;
+            sim.store(sink, &[(p, v)])?;
+            for &u in dag.preds(v) {
+                sim.remove_red(sink, p, u)?;
+            }
+            sim.remove_red(sink, p, v)?;
+        }
+        // Passes: the id-topology check plus the scheduling sweep.
+        finish_run(sim, sink, dag.n(), 2, t0)
+    }
+}
+
+/// Nodes grouped by topological level: a flat order array plus group
+/// offsets (`levels.len() - 1` groups). For id-topological DAGs this is
+/// computed in one forward pass plus a counting sort; otherwise it
+/// falls back to `TopoInfo`. Either way the grouping matches
+/// `TopoInfo::levels()` exactly, which is what the in-memory wavefront
+/// scheduler iterates.
+fn level_groups(dag: &Dag) -> (Vec<NodeId>, Vec<u32>) {
+    let n = dag.n();
+    if n == 0 {
+        return (Vec::new(), vec![0]);
+    }
+    if is_id_topological(dag) {
+        let mut level = vec![0u32; n];
+        let mut depth = 0u32;
+        for v in dag.nodes() {
+            let l = dag
+                .preds(v)
+                .iter()
+                .map(|&u| level[u.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[v.index()] = l;
+            depth = depth.max(l + 1);
+        }
+        let mut offsets = vec![0u32; depth as usize + 1];
+        for &l in &level {
+            offsets[l as usize + 1] += 1;
+        }
+        for i in 0..depth as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut order = vec![NodeId(0); n];
+        for v in dag.nodes() {
+            let c = &mut cursor[level[v.index()] as usize];
+            order[*c as usize] = v;
+            *c += 1;
+        }
+        (order, offsets)
+    } else {
+        let topo = dag.topo();
+        let mut order = Vec::with_capacity(n);
+        let mut offsets = vec![0u32];
+        for group in topo.levels() {
+            order.extend_from_slice(&group);
+            offsets.push(order.len() as u32);
+        }
+        (order, offsets)
+    }
+}
+
+/// Streaming re-implementation of the level-synchronous `wavefront`
+/// scheduler. Red memory is empty between waves, so each wave of ≤ `k`
+/// nodes is simulated with `O(k·Δ_in)` scratch; the emitted strategy
+/// has the identical cost (and move sequence) to the in-memory
+/// `rbp_schedulers::Wavefront`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WavefrontStream;
+
+impl StreamScheduler for WavefrontStream {
+    fn name(&self) -> String {
+        "wavefront-stream".into()
+    }
+
+    fn schedule(
+        &self,
+        dag: &Dag,
+        k: usize,
+        r: usize,
+        sink: &mut dyn StrategySink,
+    ) -> Result<StreamRun, StreamError> {
+        let t0 = Instant::now();
+        let (order, offsets) = level_groups(dag);
+        let mut sim = StreamSim::new(dag, k, r);
+        // Reused per-wave scratch, all bounded by k (wave width) and
+        // Δ_in (pending inputs per node).
+        let mut assignment: Vec<(ProcId, NodeId)> = Vec::with_capacity(k);
+        let mut pending: Vec<Vec<NodeId>> = Vec::new();
+        let mut batch: Vec<(ProcId, NodeId)> = Vec::with_capacity(k);
+        for w in offsets.windows(2) {
+            let level = &order[w[0] as usize..w[1] as usize];
+            for wave in level.chunks(k) {
+                assignment.clear();
+                assignment.extend(wave.iter().enumerate().map(|(i, &v)| (i, v)));
+                pending.resize_with(assignment.len().max(pending.len()), Vec::new);
+                for (i, &(_, v)) in assignment.iter().enumerate() {
+                    pending[i].clear();
+                    pending[i].extend_from_slice(dag.preds(v));
+                }
+                // Load phase: batch loads with distinct vertices across
+                // processors, exactly as the in-memory wavefront does.
+                loop {
+                    batch.clear();
+                    for (i, &(p, _)) in assignment.iter().enumerate() {
+                        if let Some(pos) = pending[i]
+                            .iter()
+                            .position(|&u| !batch.iter().any(|&(_, b)| b == u))
+                        {
+                            let u = pending[i].remove(pos);
+                            batch.push((p, u));
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    sim.load(sink, &batch)?;
+                }
+                sim.compute(sink, &assignment)?;
+                sim.store(sink, &assignment)?;
+                for &(p, v) in &assignment {
+                    for &u in dag.preds(v) {
+                        if sim.is_red(p, u) {
+                            sim.remove_red(sink, p, u)?;
+                        }
+                    }
+                    sim.remove_red(sink, p, v)?;
+                }
+            }
+        }
+        // Passes: id-topology check, level computation, level grouping,
+        // and the wave sweep.
+        finish_run(sim, sink, dag.n(), 4, t0)
+    }
+}
+
+/// The memory-aware streaming list scheduler — new to the streaming
+/// tier. Nodes are processed in topological order; each is assigned to
+/// the processor already holding the most of its inputs red
+/// (tie-break: fewer resident reds, then lower id). Red pebbles are
+/// *kept* after use and evicted least-recently-used only when capacity
+/// demands it, so inputs shared between nearby nodes are loaded once
+/// instead of once per consumer. Every computed value is stored
+/// immediately, so eviction is always free and any feasible
+/// `r ≥ Δ_in + 1` works.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListStream;
+
+impl StreamScheduler for ListStream {
+    fn name(&self) -> String {
+        "list-stream".into()
+    }
+
+    fn schedule(
+        &self,
+        dag: &Dag,
+        k: usize,
+        r: usize,
+        sink: &mut dyn StrategySink,
+    ) -> Result<StreamRun, StreamError> {
+        let t0 = Instant::now();
+        let topo = (!is_id_topological(dag)).then(|| dag.topo());
+        let mut sim = StreamSim::new(dag, k, r);
+        // Per-processor red cache mirror with last-use ticks; length is
+        // bounded by r, so linear scans stay cheap.
+        let mut caches: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); k];
+        let mut missing: Vec<NodeId> = Vec::new();
+        for i in 0..dag.n() {
+            let v = node_at(topo.as_ref(), i);
+            let tick = i as u64;
+            let preds = dag.preds(v);
+            // Assign to the processor with the most inputs already red.
+            let p = (0..k)
+                .max_by_key(|&p| {
+                    let reuse = preds.iter().filter(|&&u| sim.is_red(p, u)).count();
+                    // Prefer reuse, then free capacity, then low id.
+                    (reuse, usize::MAX - sim.red_len(p), usize::MAX - p)
+                })
+                .unwrap_or(0);
+            missing.clear();
+            missing.extend(preds.iter().copied().filter(|&u| !sim.is_red(p, u)));
+            // Evict LRU non-input reds until the node fits.
+            while sim.red_len(p) + missing.len() + 1 > r {
+                let victim = caches[p]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (u, _))| !preds.contains(u))
+                    .min_by_key(|&(_, &(_, t))| t)
+                    .map(|(idx, _)| idx);
+                let Some(idx) = victim else {
+                    break; // Infeasible r: let the simulator report it.
+                };
+                let (u, _) = caches[p].swap_remove(idx);
+                sim.remove_red(sink, p, u)?;
+            }
+            for &u in &missing {
+                sim.load(sink, &[(p, u)])?;
+                caches[p].push((u, tick));
+            }
+            for e in caches[p].iter_mut() {
+                if preds.contains(&e.0) {
+                    e.1 = tick;
+                }
+            }
+            sim.compute(sink, &[(p, v)])?;
+            sim.store(sink, &[(p, v)])?;
+            caches[p].push((v, tick));
+        }
+        // Passes: the id-topology check plus the scheduling sweep.
+        finish_run(sim, sink, dag.n(), 2, t0)
+    }
+}
+
+/// The streaming scheduler registry, mirroring
+/// `rbp_schedulers::all_schedulers` for the streaming tier.
+#[must_use]
+pub fn all_stream_schedulers() -> Vec<Box<dyn StreamScheduler>> {
+    vec![
+        Box::new(TopoStream),
+        Box::new(WavefrontStream),
+        Box::new(ListStream),
+    ]
+}
+
+/// Looks a streaming scheduler up by its registry name.
+#[must_use]
+pub fn stream_scheduler_by_name(name: &str) -> Option<Box<dyn StreamScheduler>> {
+    all_stream_schedulers()
+        .into_iter()
+        .find(|s| s.name() == name)
+}

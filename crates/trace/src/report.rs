@@ -156,6 +156,35 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
 
+    // The streaming scheduler tier (rbp-stream) reports under
+    // `stream.*`; gather those into one "Scale" section so a report
+    // over a large-DAG run leads with throughput (nodes/sec), peak
+    // active-set, pass counts, and emitted strategy bytes.
+    let scale_counters: Vec<(String, u64)> = counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("stream."))
+        .cloned()
+        .collect();
+    let scale_gauges: Vec<(String, f64)> = gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("stream."))
+        .cloned()
+        .collect();
+    let scale_rows = scale_counters.len() + scale_gauges.len();
+    if scale_rows > 0 {
+        counters.retain(|(n, _)| !n.starts_with("stream."));
+        gauges.retain(|(n, _)| !n.starts_with("stream."));
+        let _ = writeln!(out, "\n## Scale\n");
+        let _ = writeln!(out, "| metric | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &scale_counters {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+        for (n, v) in &scale_gauges {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+
     if !counters.is_empty() {
         let _ = writeln!(out, "\n## Counters\n");
         let _ = writeln!(out, "| counter | total |");
@@ -204,6 +233,7 @@ pub fn render(text: &str) -> Result<String, String> {
         && gauges.is_empty()
         && spans.is_empty()
         && store_rows == 0
+        && scale_rows == 0
     {
         return Err(format!(
             "trace has {} event(s) but none are renderable (no tables, counters, gauges, or spans)",
@@ -305,6 +335,48 @@ mod tests {
         );
         let report = render(&valid).unwrap();
         assert!(!report.contains("## Warnings"), "{report}");
+    }
+
+    /// `stream.*` metrics from the streaming scheduler tier get their
+    /// own "Scale" section and disappear from the generic tables.
+    #[test]
+    fn stream_metrics_render_in_scale_section() {
+        let trace = concat!(
+            "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"exp_scale\",\"git_rev\":null}\n",
+            "{\"type\":\"counter\",\"ts_us\":1,\"name\":\"stream.nodes\",\"value\":1000000}\n",
+            "{\"type\":\"counter\",\"ts_us\":2,\"name\":\"stream.passes\",\"value\":4}\n",
+            "{\"type\":\"counter\",\"ts_us\":3,\"name\":\"stream.emitted_bytes\",\"value\":252078542}\n",
+            "{\"type\":\"counter\",\"ts_us\":4,\"name\":\"stream.moves\",\"value\":3500000}\n",
+            "{\"type\":\"gauge\",\"ts_us\":5,\"name\":\"stream.nodes_per_sec\",\"value\":5476015.0}\n",
+            "{\"type\":\"gauge\",\"ts_us\":6,\"name\":\"stream.peak_active_set\",\"value\":24}\n",
+            "{\"type\":\"counter\",\"ts_us\":7,\"name\":\"other.counter\",\"value\":1}\n",
+        );
+        let report = render(trace).unwrap();
+        assert!(report.contains("## Scale"), "{report}");
+        assert!(report.contains("| stream.nodes | 1000000 |"), "{report}");
+        assert!(report.contains("| stream.passes | 4 |"), "{report}");
+        assert!(
+            report.contains("| stream.emitted_bytes | 252078542 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| stream.nodes_per_sec | 5476015 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| stream.peak_active_set | 24 |"),
+            "{report}"
+        );
+        // stream.* rows live only in the Scale section; unrelated
+        // metrics stay in the generic tables.
+        let scale_at = report.find("## Scale").unwrap();
+        let counters_at = report.find("## Counters").unwrap();
+        assert!(scale_at < counters_at, "{report}");
+        assert!(
+            report[counters_at..].contains("| other.counter | 1 |"),
+            "{report}"
+        );
+        assert!(!report[counters_at..].contains("stream."), "{report}");
     }
 
     #[test]

@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 echo "== rustdoc gate on rbp-serve (store/wire modules hold deny(missing_docs)) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-serve --quiet
 
+echo "== rustdoc gate on rbp-stream (crate-wide deny(missing_docs)) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-stream --quiet
+
 echo "== quick solver sweep (equivalence + speedup smoke) =="
 ./target/release/exp_solver --quick
 
@@ -47,6 +50,37 @@ echo "$serve_report" | grep -q "## Serve store" \
     || { echo "report smoke: no Serve store section"; exit 1; }
 echo "$serve_report" | grep -q "| serve.store.hit | 2 |" \
     || { echo "report smoke: store hit counter missing"; exit 1; }
+
+echo "== scale smoke (10^5-node grid through the streaming tier) =="
+scale_dag=$(mktemp)
+scale_trace=$(mktemp)
+scale_out=$(mktemp)
+trap 'rm -f "$scale_dag" "$scale_trace" "$scale_out"' EXIT
+./target/release/rbp gen grid 250 400 > "$scale_dag"
+grep -q '^nodes 100000$' "$scale_dag" || { echo "scale smoke: bad generator output"; exit 1; }
+# Small memory budget (r=4) on 8 processors; every move goes through
+# the rule-enforcing streaming simulator, so a non-zero exit here
+# means an *invalid* schedule, not just a slow one.
+RBP_TRACE="$scale_trace" ./target/release/rbp schedule "$scale_dag" 8 4 2 --stream \
+    || { echo "scale smoke: streaming schedule failed"; exit 1; }
+scale_report=$(./target/release/rbp report "$scale_trace")
+echo "$scale_report" | grep -q "## Scale" \
+    || { echo "scale smoke: no Scale section in report"; exit 1; }
+echo "$scale_report" | grep -q "| stream.nodes | 300000 |" \
+    || { echo "scale smoke: stream.nodes counter wrong (want 3 schedulers x 100000)"; exit 1; }
+echo "$scale_report" | grep -q "stream.nodes_per_sec" \
+    || { echo "scale smoke: stream.nodes_per_sec gauge missing"; exit 1; }
+echo "$scale_report" | grep -q "stream.peak_active_set" \
+    || { echo "scale smoke: stream.peak_active_set gauge missing"; exit 1; }
+# Streamed strategy round-trip: emit JSONL, reload it through
+# `rbp improve --in` (validates the full strategy in-memory).
+./target/release/rbp schedule "$scale_dag" 8 4 2 wavefront --stream --out "$scale_out" \
+    || { echo "scale smoke: --out emission failed"; exit 1; }
+./target/release/rbp improve "$scale_dag" 8 4 2 --in "$scale_out" --budget-ms 1 \
+    | grep -q "saved:" || { echo "scale smoke: streamed JSONL did not reload"; exit 1; }
+trap - EXIT
+rm -f "$scale_dag" "$scale_trace" "$scale_out"
+echo "scale smoke: 10^5-node grid scheduled, stream.* gauges rendered, JSONL round-trip"
 
 echo "== portfolio smoke (fixture DAG, tight budget) =="
 summary=$(./target/release/rbp portfolio tests/fixtures/chains_2x4.dag 2 3 2 --budget-ms 200 \

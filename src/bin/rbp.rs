@@ -13,6 +13,11 @@
 //! rbp serve     [opts]                         run the HTTP pebbling service
 //! ```
 //!
+//! `schedule` options: `--stream` (run the `rbp-stream` streaming tier
+//! instead of the in-memory registry — bounded CSR passes,
+//! O(active-set) resident state, suitable for million-node DAGs),
+//! `--out <file>` (with `--stream` and exactly one scheduler selected:
+//! stream the strategy to JSONL re-loadable by `rbp improve --in`).
 //! `solve` options: `--threads <N>` (default 1; `≥ 2` runs the
 //! sharded parallel engine, same proven optimum), `--partition
 //! hash|bands|anchors` (shard-ownership strategy for the parallel
@@ -112,11 +117,17 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => {
             let dag = load(args.get(1))?;
             let (k, r, g) = krg(args)?;
+            let want = args
+                .get(5)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str);
+            if args.iter().any(|a| a == "--stream") {
+                return schedule_stream(&dag, k, r, g, want, flag_value(args, "--out")?);
+            }
             let inst = MppInstance::new(&dag, k, r, g);
             if !inst.is_feasible() {
                 return Err(format!("infeasible: need r ≥ {}", dag.max_in_degree() + 1));
             }
-            let want = args.get(5).map(String::as_str);
             let mut any = false;
             for s in all_schedulers() {
                 if let Some(w) = want {
@@ -402,6 +413,81 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }
+}
+
+/// `rbp schedule … --stream`: run the streaming scheduler tier. Every
+/// move passes through the rule-enforcing [`rbp::stream::StreamSim`];
+/// without `--out` strategies are discarded as they are verified
+/// (`O(active-set)` resident state), with `--out <file>` the selected
+/// scheduler's strategy streams to JSONL re-loadable by
+/// `rbp improve --in`.
+fn schedule_stream(
+    dag: &Dag,
+    k: usize,
+    r: usize,
+    g: u64,
+    want: Option<&str>,
+    out: Option<&str>,
+) -> Result<(), String> {
+    use rbp::stream::{all_stream_schedulers, JsonlSink, NullSink, StreamHeader};
+    let model = rbp::core::CostModel::mpp(g);
+    let selected: Vec<_> = all_stream_schedulers()
+        .into_iter()
+        .filter(|s| want.is_none_or(|w| s.name().contains(w)))
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "no streaming scheduler matches '{}'",
+            want.unwrap_or("")
+        ));
+    }
+    if out.is_some() && selected.len() > 1 {
+        return Err(format!(
+            "--out needs exactly one scheduler; name one of: {}",
+            selected
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    for s in selected {
+        let run = if let Some(path) = out {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let header = StreamHeader {
+                dag_name: dag.name().to_string(),
+                n: dag.n(),
+                k,
+                r,
+                g,
+            };
+            let mut sink = JsonlSink::new(file, &header).map_err(|e| format!("{path}: {e}"))?;
+            let run = s
+                .schedule(dag, k, r, &mut sink)
+                .map_err(|e| format!("{}: {e}", s.name()))?;
+            sink.into_inner()
+                .and_then(|f| f.sync_all())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("saved {path} ({} bytes)", run.bytes_emitted);
+            run
+        } else {
+            let mut sink = NullSink::new();
+            s.schedule(dag, k, r, &mut sink)
+                .map_err(|e| format!("{}: {e}", s.name()))?
+        };
+        rbp::stream::trace_stream_run(&s.name(), &run);
+        println!(
+            "{:<24} total={:<8} io_steps={:<7} moves={:<8} passes={:<2} peak_active={:<6} nodes/s={:.0}",
+            s.name(),
+            run.cost.total(model),
+            run.cost.io_steps(),
+            run.moves,
+            run.passes,
+            run.peak_active_set,
+            run.nodes_per_sec(),
+        );
+    }
+    Ok(())
 }
 
 /// Looks up `--flag value` in the argument list; errors when the flag is

@@ -27,6 +27,9 @@ pub use rbp_schedulers as schedulers;
 /// Pebbling as a service: HTTP/1.1 + JSON job queue, result cache,
 /// worker pool.
 pub use rbp_serve as serve;
+/// Streaming scheduler tier for million-node DAGs: bounded passes,
+/// O(active-set) resident state, incremental strategy emission.
+pub use rbp_stream as stream;
 /// Structured observability: trace events, sinks, manifests, reports.
 pub use rbp_trace as trace;
 /// Zero-dependency utilities (hashing, RNG, JSON) used by the tests and

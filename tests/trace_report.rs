@@ -5,6 +5,7 @@ use rbp::trace::report::{parse, render};
 
 const FIXTURE: &str = include_str!("fixtures/trace_small.jsonl");
 const SERVE_FIXTURE: &str = include_str!("fixtures/trace_serve.jsonl");
+const STREAM_FIXTURE: &str = include_str!("fixtures/trace_stream.jsonl");
 
 #[test]
 fn fixture_parses_with_manifest() {
@@ -51,6 +52,32 @@ fn serve_store_metrics_render_in_their_own_section() {
     assert!(
         !store_table.contains("serve.wire.request"),
         "wire counters are not store metrics: {store_table}"
+    );
+}
+
+#[test]
+fn stream_metrics_render_in_scale_section() {
+    let md = render(STREAM_FIXTURE).unwrap();
+    // All stream.* metrics from the streaming scheduler tier land in
+    // one "Scale" section — counters summed across the two runs …
+    assert!(md.contains("## Scale"), "{md}");
+    assert!(md.contains("| stream.nodes | 2000000 |"), "{md}");
+    assert!(md.contains("| stream.passes | 6 |"), "{md}");
+    assert!(md.contains("| stream.emitted_bytes | 252078542 |"), "{md}");
+    assert!(md.contains("| stream.moves | 9502486 |"), "{md}");
+    // … gauges keep the last (wavefront) run's value.
+    assert!(md.contains("| stream.nodes_per_sec | 6709309 |"), "{md}");
+    assert!(md.contains("| stream.peak_active_set | 24 |"), "{md}");
+    // The scheduling spans aggregate under the usual span table.
+    assert!(md.contains("| stream.schedule | 2 |"), "{md}");
+    // Non-stream metrics stay in the generic sections, and the Scale
+    // table holds stream.* rows only.
+    assert!(md.contains("| serve.http.accepted | 1 |"), "{md}");
+    let scale_section = md.split("## Scale").nth(1).unwrap();
+    let scale_table = scale_section.split("\n## ").next().unwrap();
+    assert!(
+        !scale_table.contains("serve."),
+        "serve counters are not scale metrics: {scale_table}"
     );
 }
 
