@@ -1,0 +1,144 @@
+//! Lemma 1 generalized to the three-level game.
+//!
+//! The green tier only ever *adds* options, so the two-level bounds
+//! bracket the three-level optimum from both sides:
+//!
+//! - the compute-count lower bound `ceil(n/k)·compute` is oblivious to
+//!   where values are parked and survives unchanged;
+//! - the blue-only baseline is still a valid three-level strategy, so
+//!   the Lemma 1 upper bound `(g(Δ_in+1)+compute)·n` still holds;
+//! - when the green tier is large enough to hold every intermediate
+//!   value (`green_cap ≥ n`), the same baseline rides the mid tier
+//!   instead and the upper bound tightens to
+//!   `(green·(Δ_in+1)+compute)·n`.
+//!
+//! Feasibility is unchanged (`r ≥ Δ_in + 1`): a green pebble cannot
+//! feed a compute directly, so fast memory still has to stage the full
+//! input set of every node.
+
+use rbp_core::rbp_dag::Dag;
+use rbp_hier::HierInstance;
+
+/// The compute-count lower bound: `OPT ≥ ceil(n/k)·compute`. Each
+/// compute step finishes at most `k` nodes; I/O on either outer tier
+/// never finishes a node.
+#[must_use]
+pub fn lower(instance: &HierInstance) -> u64 {
+    crate::traced(
+        "hier.lower",
+        (instance.dag.n() as u64).div_ceil(instance.k as u64) * instance.model.compute,
+    )
+}
+
+/// The blue-only Lemma 1 upper bound `(g(Δ_in+1)+compute)·n`: the
+/// two-level baseline is a valid three-level strategy that never
+/// touches green.
+#[must_use]
+pub fn upper(instance: &HierInstance) -> u64 {
+    let d_in = instance.dag.max_in_degree() as u64;
+    crate::traced(
+        "hier.upper",
+        (instance.model.g * (d_in + 1) + instance.model.compute) * instance.dag.n() as u64,
+    )
+}
+
+/// The green-resident upper bound `(green·(Δ_in+1)+compute)·n`, valid
+/// when every value fits the mid tier at once (`green_cap ≥ n`) — the
+/// per-node baseline then replaces every blue transfer with a green
+/// one. Returns `None` when the capacity condition fails (the bound
+/// would require an eviction argument that Lemma 1 does not make).
+#[must_use]
+pub fn green_upper(instance: &HierInstance) -> Option<u64> {
+    if instance.green_cap < instance.dag.n() {
+        return None;
+    }
+    let d_in = instance.dag.max_in_degree() as u64;
+    Some(crate::traced(
+        "hier.green_upper",
+        (instance.model.green * (d_in + 1) + instance.model.compute) * instance.dag.n() as u64,
+    ))
+}
+
+/// The tightest closed-form upper bound available for the instance.
+#[must_use]
+pub fn best_upper(instance: &HierInstance) -> u64 {
+    let blue = upper(instance);
+    green_upper(instance).map_or(blue, |g| g.min(blue))
+}
+
+/// Whether a valid three-level pebbling exists: `r ≥ Δ_in + 1`, exactly
+/// the two-level threshold.
+#[must_use]
+pub fn feasible(dag: &Dag, r: usize) -> bool {
+    r > dag.max_in_degree()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::rbp_dag::generators;
+    use rbp_core::SolveLimits;
+    use rbp_hier::{solve_hier, GreenList, HierScheduler};
+
+    #[test]
+    fn bounds_bracket_the_exact_optimum() {
+        for (dag, k, r, g, cap, green) in [
+            (generators::chain(6), 1, 2, 2, 2, 1),
+            (generators::chain(6), 2, 2, 2, 0, 1),
+            (generators::binary_in_tree(4), 2, 3, 3, 7, 1),
+            (generators::independent_chains(2, 3), 2, 2, 4, 2, 2),
+        ] {
+            let inst = HierInstance::new(&dag, k, r, g, cap, green);
+            let opt = solve_hier(&inst, SolveLimits::states(2_000_000))
+                .unwrap_or_else(|| panic!("exact failed on {}", dag.name()));
+            assert!(lower(&inst) <= opt.total, "{}", dag.name());
+            assert!(opt.total <= best_upper(&inst), "{}", dag.name());
+        }
+    }
+
+    #[test]
+    fn green_upper_requires_full_capacity() {
+        let dag = generators::binary_in_tree(4); // n = 7
+        let roomy = HierInstance::new(&dag, 2, 3, 5, 7, 1);
+        let tight = HierInstance::new(&dag, 2, 3, 5, 6, 1);
+        assert_eq!(green_upper(&roomy), Some((3 + 1) * 7));
+        assert_eq!(green_upper(&tight), None);
+        assert!(best_upper(&roomy) < upper(&roomy));
+        assert_eq!(best_upper(&tight), upper(&tight));
+    }
+
+    #[test]
+    fn scheduler_respects_best_upper() {
+        for (dag, k, r, g, cap) in [
+            (generators::grid(3, 3), 2, 4, 4, 9),
+            (generators::binary_in_tree(8), 2, 3, 3, 15),
+            (generators::layered_random(4, 4, 2, 7), 3, 4, 5, 16),
+        ] {
+            let inst = HierInstance::new(&dag, k, r, g, cap, 1);
+            let run = GreenList.schedule(&inst).unwrap();
+            assert!(
+                run.cost.total(inst.model) <= best_upper(&inst),
+                "{}: {} > {}",
+                dag.name(),
+                run.cost.total(inst.model),
+                best_upper(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_matches_two_level_threshold() {
+        let dag = generators::diamond(4);
+        assert!(!feasible(&dag, 4));
+        assert!(feasible(&dag, 5));
+    }
+
+    #[test]
+    fn separation_gadget_sits_between_the_bounds() {
+        let gadget = rbp_gadgets::HierSkip::build(1);
+        let inst = HierInstance::new(&gadget.dag, 1, 3, 3, 1, 1);
+        let opt = solve_hier(&inst, SolveLimits::states(2_000_000)).unwrap();
+        assert_eq!(opt.total, gadget.hier_total(1));
+        assert!(lower(&inst) <= opt.total && opt.total <= best_upper(&inst));
+    }
+}

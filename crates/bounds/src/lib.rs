@@ -14,7 +14,9 @@
 //!   thresholds);
 //! - [`heuristic`] — state-dependent lower bounds via the exact solvers'
 //!   admissible A* heuristic (the Lemma 1 bound generalized to mid-game
-//!   configurations).
+//!   configurations);
+//! - [`hier`] — Lemma 1 generalized to the three-level game of
+//!   `rbp-hier` (blue-only and green-resident upper bounds).
 //!
 //! All closed-form bounds are cross-checked against the exact solvers on
 //! small instances in this crate's tests.
@@ -23,6 +25,7 @@
 
 pub mod fft;
 pub mod heuristic;
+pub mod hier;
 pub mod matmul;
 pub mod structural;
 pub mod translate;

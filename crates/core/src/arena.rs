@@ -18,11 +18,11 @@ use crate::search::PackedMove;
 
 /// Upper bound on packed-key width, in 64-bit words.
 ///
-/// The widest key the solvers produce is the MPP configuration at
-/// `k = 4` processors over `n = 64` nodes: five 64-bit masks (four red
-/// sets plus the blue set). Cross-shard messages embed keys inline at
-/// this width.
-pub(crate) const MAX_KEY_WORDS: usize = 5;
+/// The widest key the solvers produce is the three-level hierarchical
+/// configuration at `k = 4` processors over `n = 64` nodes: six 64-bit
+/// masks (four red sets plus the green and blue sets). Cross-shard
+/// messages embed keys inline at this width.
+pub const MAX_KEY_WORDS: usize = 6;
 
 /// Empty slot marker in the open-addressing table.
 const EMPTY: u32 = u32::MAX;
@@ -82,7 +82,7 @@ pub(crate) fn shard_of(hash: u64, shards: usize) -> usize {
 
 /// Number of 64-bit words needed to pack `fields` fields of `bits` bits.
 #[inline]
-pub(crate) fn words_for(fields: usize, bits: usize) -> usize {
+pub fn words_for(fields: usize, bits: usize) -> usize {
     (fields * bits).div_ceil(64).max(1)
 }
 
@@ -90,7 +90,7 @@ pub(crate) fn words_for(fields: usize, bits: usize) -> usize {
 /// little-endian within and across words. `out` must already be sized
 /// by [`words_for`]; it is fully overwritten.
 #[inline]
-pub(crate) fn pack_fields(fields: &[u64], bits: usize, out: &mut [u64]) {
+pub fn pack_fields(fields: &[u64], bits: usize, out: &mut [u64]) {
     debug_assert!((1..=64).contains(&bits));
     for w in out.iter_mut() {
         *w = 0;
@@ -112,7 +112,7 @@ pub(crate) fn pack_fields(fields: &[u64], bits: usize, out: &mut [u64]) {
 /// Inverse of [`pack_fields`]: extracts `fields.len()` fields of `bits`
 /// bits each from `words`.
 #[inline]
-pub(crate) fn unpack_fields(words: &[u64], bits: usize, fields: &mut [u64]) {
+pub fn unpack_fields(words: &[u64], bits: usize, fields: &mut [u64]) {
     debug_assert!((1..=64).contains(&bits));
     let mask = if bits == 64 {
         u64::MAX

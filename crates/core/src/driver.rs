@@ -60,7 +60,12 @@ use crate::spsc::Spsc;
 /// never sees raw states) and must keep the emission order
 /// deterministic — the sequential engine's tie-breaking, and therefore
 /// its exact witness, depends on it.
-pub(crate) trait Domain: Sync {
+///
+/// Public (re-exported through [`crate::engine`]) so downstream game
+/// variants — e.g. the three-level hierarchy in `rbp-hier` — can plug
+/// their state spaces into the same sequential and sharded-parallel
+/// engines the built-in MPP/SPP solvers use.
+pub trait Domain: Sync {
     /// Unpacked state (solver-native masks).
     type Key: Copy;
     /// Reusable per-worker expansion scratch.
@@ -96,7 +101,7 @@ pub(crate) trait Domain: Sync {
     /// (same key → same shard on every call and every worker) — the
     /// distributed termination proof and duplicate detection rely on
     /// it. Defaults to the hash partition; solvers override it to
-    /// route through a [`crate::partition::Partition`].
+    /// route through a [`crate::engine::Partition`].
     #[inline]
     fn owner(&self, _key: &Self::Key, hash: u64, shards: usize) -> usize {
         shard_of(hash, shards)
@@ -105,12 +110,15 @@ pub(crate) trait Domain: Sync {
 
 /// What a driver run produced: the optimal cost plus the root-to-goal
 /// `(state, move)` path when solved, and the counters either way.
-pub(crate) struct DriverOutcome<K> {
+pub struct DriverOutcome<K> {
     /// `(optimal_cost, path)` where `path[i] = (state_before_move_i,
     /// move_i)` from the root to the goal.
     pub best: Option<(u64, Vec<(K, PackedMove)>)>,
+    /// Aggregated search counters for this run.
     pub stats: SearchStats,
+    /// Per-shard counters (empty for sequential runs).
     pub shards: Vec<ShardStats>,
+    /// Why the search stopped.
     pub reason: StopReason,
 }
 
@@ -127,7 +135,7 @@ impl<K> DriverOutcome<K> {
 
 /// Entry point: dispatches on `config.threads` (clamped to
 /// `1..=MAX_THREADS`).
-pub(crate) fn search<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
+pub fn search<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
     let threads = config.threads.clamp(1, MAX_THREADS);
     if threads == 1 {
         sequential(domain, config)

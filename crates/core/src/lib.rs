@@ -37,6 +37,7 @@
 mod arena;
 pub mod cost;
 mod driver;
+pub mod mode;
 pub mod mpp;
 mod partition;
 #[doc(hidden)]
@@ -46,7 +47,25 @@ pub mod spp;
 mod spsc;
 pub mod translate;
 
+/// The exact-solver engine behind the MPP and SPP solvers, exposed so
+/// downstream crates can plug new game variants into the same
+/// sequential and hash-sharded parallel A\* drivers.
+///
+/// A variant describes its state space through [`engine::Domain`]
+/// (bit-packed canonical keys, goal test, admissible heuristic,
+/// successor enumeration) and calls [`engine::search`]; the driver owns
+/// the frontier, the packed interning arenas, global solve limits, and
+/// the HDA\*-style cross-shard protocol. `rbp-hier`'s three-level
+/// solver is the first external client.
+pub mod engine {
+    pub use crate::arena::{pack_fields, unpack_fields, words_for, MAX_KEY_WORDS};
+    pub use crate::driver::{search, Domain, DriverOutcome};
+    pub use crate::partition::Partition;
+    pub use crate::search::PackedMove;
+}
+
 pub use cost::{Cost, CostModel};
+pub use mode::GameMode;
 pub use mpp::{
     async_makespan, batchify, solve_mpp, solve_mpp_with, validate_mpp, AsyncTiming, Configuration,
     IoClass, MppError, MppErrorKind, MppInstance, MppMove, MppRun, MppRunStats, MppSimulator,

@@ -1,0 +1,242 @@
+//! The shared game-mode parser: one canonical representation of
+//! "which pebble game is being played", used identically by the `rbp`
+//! CLI flags, the portfolio configuration, and the serve request
+//! decoder.
+//!
+//! Before this module each entry point parsed its variant knobs
+//! separately, which made it easy for a mode string to be cache-keyed
+//! one way and echoed another. [`GameMode`] owns the flag semantics
+//! (`--levels` / `--green-cap` / `--green-cost`), the canonical token
+//! ([`GameMode::token`], also the [`std::fmt::Display`] form and the
+//! [`std::str::FromStr`] input), and the shared validation rules, so
+//! every layer agrees on both the parse and the spelling.
+
+use std::str::FromStr;
+
+/// Default shared green-tier capacity when `--levels 3` is requested
+/// without an explicit `--green-cap`.
+pub const DEFAULT_GREEN_CAP: usize = 2;
+/// Default green I/O cost when `--levels 3` is requested without an
+/// explicit `--green-cost`.
+pub const DEFAULT_GREEN_COST: u64 = 1;
+
+/// Which pebble game a solve or schedule request is playing.
+///
+/// The canonical token round-trips through [`GameMode::token`] and
+/// [`FromStr`]:
+///
+/// ```
+/// use rbp_core::GameMode;
+///
+/// let m: GameMode = "hier:cap=4:cost=2".parse().unwrap();
+/// assert_eq!(m, GameMode::Hier { green_cap: 4, green_cost: 2 });
+/// assert_eq!(m.token(), "hier:cap=4:cost=2");
+/// assert_eq!("mpp".parse::<GameMode>().unwrap(), GameMode::Vanilla);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GameMode {
+    /// The paper's two-level MPP game (per-processor red + shared blue).
+    #[default]
+    Vanilla,
+    /// The three-level red/green/blue game of `rbp-hier`: a shared
+    /// mid-tier of capacity `green_cap` whose I/O rule costs
+    /// `green_cost` (blue I/O keeps costing the instance's `g`).
+    Hier {
+        /// Capacity of the shared green tier (`0` degenerates to
+        /// [`GameMode::Vanilla`] with byte-identical costs).
+        green_cap: usize,
+        /// Cost of one green I/O rule application.
+        green_cost: u64,
+    },
+}
+
+impl GameMode {
+    /// Number of memory levels: 2 for vanilla MPP, 3 for the hierarchy.
+    #[must_use]
+    pub fn levels(self) -> usize {
+        match self {
+            GameMode::Vanilla => 2,
+            GameMode::Hier { .. } => 3,
+        }
+    }
+
+    /// Whether this is the three-level mode.
+    #[must_use]
+    pub fn is_hier(self) -> bool {
+        matches!(self, GameMode::Hier { .. })
+    }
+
+    /// The canonical lowercase token: `"mpp"`, or
+    /// `"hier:cap=<green_cap>:cost=<green_cost>"`. This exact string is
+    /// what cache keys embed and what responses echo, at every entry
+    /// point.
+    #[must_use]
+    pub fn token(self) -> String {
+        match self {
+            GameMode::Vanilla => "mpp".to_string(),
+            GameMode::Hier {
+                green_cap,
+                green_cost,
+            } => format!("hier:cap={green_cap}:cost={green_cost}"),
+        }
+    }
+
+    /// Builds a mode from the shared flag triple. This is the single
+    /// validation point for `--levels` / `--green-cap` / `--green-cost`
+    /// (CLI) and `levels` / `green_cap` / `green_cost` (serve JSON):
+    ///
+    /// - `levels` absent or `2` selects [`GameMode::Vanilla`]; green
+    ///   parameters are then rejected rather than silently ignored;
+    /// - `levels = 3` selects [`GameMode::Hier`], defaulting absent
+    ///   green parameters to [`DEFAULT_GREEN_CAP`] /
+    ///   [`DEFAULT_GREEN_COST`];
+    /// - any other level count is an error.
+    pub fn from_flags(
+        levels: Option<u64>,
+        green_cap: Option<u64>,
+        green_cost: Option<u64>,
+    ) -> Result<GameMode, String> {
+        match levels {
+            None | Some(2) => {
+                if green_cap.is_some() || green_cost.is_some() {
+                    Err("green-cap/green-cost require levels=3".to_string())
+                } else {
+                    Ok(GameMode::Vanilla)
+                }
+            }
+            Some(3) => {
+                let green_cap = match green_cap {
+                    None => DEFAULT_GREEN_CAP,
+                    Some(c) => usize::try_from(c).map_err(|_| "green-cap too large".to_string())?,
+                };
+                if green_cap > 64 {
+                    return Err(format!("green-cap {green_cap} exceeds the maximum of 64"));
+                }
+                let green_cost = green_cost.unwrap_or(DEFAULT_GREEN_COST);
+                Ok(GameMode::Hier {
+                    green_cap,
+                    green_cost,
+                })
+            }
+            Some(l) => Err(format!("unsupported levels={l} (expected 2 or 3)")),
+        }
+    }
+}
+
+impl std::fmt::Display for GameMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+impl FromStr for GameMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "mpp" || s == "vanilla" {
+            return Ok(GameMode::Vanilla);
+        }
+        let rest = s.strip_prefix("hier:cap=").ok_or_else(|| {
+            format!("unknown game mode '{s}' (expected mpp or hier:cap=N:cost=M)")
+        })?;
+        let (cap, cost) = rest
+            .split_once(":cost=")
+            .ok_or_else(|| format!("malformed hier mode '{s}' (expected hier:cap=N:cost=M)"))?;
+        let green_cap: usize = cap
+            .parse()
+            .map_err(|_| format!("bad green cap '{cap}' in mode '{s}'"))?;
+        let green_cost: u64 = cost
+            .parse()
+            .map_err(|_| format!("bad green cost '{cost}' in mode '{s}'"))?;
+        if green_cap > 64 {
+            return Err(format!("green-cap {green_cap} exceeds the maximum of 64"));
+        }
+        Ok(GameMode::Hier {
+            green_cap,
+            green_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrips() {
+        for mode in [
+            GameMode::Vanilla,
+            GameMode::Hier {
+                green_cap: 0,
+                green_cost: 0,
+            },
+            GameMode::Hier {
+                green_cap: 7,
+                green_cost: 3,
+            },
+        ] {
+            let token = mode.token();
+            assert_eq!(token.parse::<GameMode>().unwrap(), mode, "{token}");
+            assert_eq!(mode.to_string(), token);
+        }
+    }
+
+    #[test]
+    fn from_flags_defaults_and_validation() {
+        assert_eq!(
+            GameMode::from_flags(None, None, None).unwrap(),
+            GameMode::Vanilla
+        );
+        assert_eq!(
+            GameMode::from_flags(Some(2), None, None).unwrap(),
+            GameMode::Vanilla
+        );
+        assert_eq!(
+            GameMode::from_flags(Some(3), None, None).unwrap(),
+            GameMode::Hier {
+                green_cap: DEFAULT_GREEN_CAP,
+                green_cost: DEFAULT_GREEN_COST
+            }
+        );
+        assert_eq!(
+            GameMode::from_flags(Some(3), Some(5), Some(2)).unwrap(),
+            GameMode::Hier {
+                green_cap: 5,
+                green_cost: 2
+            }
+        );
+        // Green knobs without levels=3 are an error, not a silent no-op.
+        assert!(GameMode::from_flags(None, Some(4), None).is_err());
+        assert!(GameMode::from_flags(Some(2), None, Some(1)).is_err());
+        assert!(GameMode::from_flags(Some(4), None, None).is_err());
+        assert!(GameMode::from_flags(Some(3), Some(65), None).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "hier",
+            "hier:cap=",
+            "hier:cap=3",
+            "hier:cap=x:cost=1",
+            "hier:cap=1:cost=",
+            "hier:cap=65:cost=1",
+            "spp",
+        ] {
+            assert!(bad.parse::<GameMode>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn levels_and_is_hier() {
+        assert_eq!(GameMode::Vanilla.levels(), 2);
+        assert!(!GameMode::Vanilla.is_hier());
+        let h = GameMode::Hier {
+            green_cap: 1,
+            green_cost: 1,
+        };
+        assert_eq!(h.levels(), 3);
+        assert!(h.is_hier());
+    }
+}

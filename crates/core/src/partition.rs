@@ -95,9 +95,11 @@ impl std::fmt::Display for PartitionMode {
 
 /// A built ownership function: [`PartitionMode`] plus the per-instance
 /// tables it projects through. Built once per solve and shared
-/// read-only by every worker.
+/// read-only by every worker. Re-exported through [`crate::engine`] so
+/// external [`crate::engine::Domain`] implementations can route their
+/// canonical states through the same structure-aware projections.
 #[derive(Debug)]
-pub(crate) struct Partition {
+pub struct Partition {
     mode: PartitionMode,
     /// `Bands`: topological level of each node.
     level: Vec<u32>,

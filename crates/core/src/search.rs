@@ -438,7 +438,7 @@ pub struct SearchOutcome<T> {
 }
 
 /// A compact one-word move encoding; the solvers define the bit layout.
-pub(crate) type PackedMove = u32;
+pub type PackedMove = u32;
 
 const BUCKET_CAP: u64 = 1 << 22;
 

@@ -1,0 +1,188 @@
+//! The hierarchy-separation gadget: a forced spill that a cheap mid
+//! tier absorbs.
+//!
+//! Two *triangle-capped chains* joined at a sink. Each part is a prefix
+//! chain `p0 → … → p_{c-1}` capped by a triangle: `u` reads `p_{c-1}`,
+//! and the part's output `w` reads both `p_{c-1}` and `u`. The sink `t`
+//! reads the two outputs `w_A`, `w_B`.
+//!
+//! At `k = 1` and the minimum feasible memory `r = 3` (`Δ_in = 2`),
+//! computing a triangle's `w` needs all three red slots (`p_{c-1}`,
+//! `u`, `w`). Whichever part finishes second therefore forces the other
+//! part's live output out of fast memory — and recomputing it instead
+//! hits the same three-slot wall, so in the two-level game the spill
+//! must round-trip through blue: `OPT = n + 2g`. A three-level
+//! hierarchy with even a single green slot (`green_cap ≥ 1`) parks the
+//! output in the mid tier instead: `OPT = n + 2·green`. The separation
+//! `2(g − green)` is exactly the cost gap between the memory levels,
+//! which is what experiment E22 measures with both exact solvers.
+
+use rbp_core::rbp_dag::{Dag, DagBuilder, NodeId};
+use rbp_core::{MppError, MppInstance, MppRun, MppSimulator};
+
+/// A generated hierarchy-separation gadget.
+#[derive(Debug, Clone)]
+pub struct HierSkip {
+    /// The DAG (`n = 2c + 5` nodes).
+    pub dag: Dag,
+    /// Output `w_A` of the first part.
+    pub out_a: NodeId,
+    /// Output `w_B` of the second part.
+    pub out_b: NodeId,
+    /// The sink `t`.
+    pub sink: NodeId,
+    /// Prefix chain length of each part.
+    pub c: usize,
+    /// Nodes of part A in topological order (`p0..p_{c-1}, u, w`).
+    pub part_a: Vec<NodeId>,
+    /// Nodes of part B in topological order.
+    pub part_b: Vec<NodeId>,
+}
+
+impl HierSkip {
+    /// Builds the gadget with prefix chains of length `c ≥ 1`.
+    #[must_use]
+    pub fn build(c: usize) -> Self {
+        assert!(c >= 1, "prefix chain must be non-empty");
+        let mut b = DagBuilder::new();
+        let part = |b: &mut DagBuilder, tag: &str| -> Vec<NodeId> {
+            let mut nodes = Vec::with_capacity(c + 2);
+            let mut prev: Option<NodeId> = None;
+            for i in 0..c {
+                let p = b.add_labeled_node(format!("{tag}p{i}"));
+                if let Some(q) = prev {
+                    b.add_edge(q, p);
+                }
+                prev = Some(p);
+                nodes.push(p);
+            }
+            let last = prev.expect("c >= 1");
+            let u = b.add_labeled_node(format!("{tag}u"));
+            b.add_edge(last, u);
+            let w = b.add_labeled_node(format!("{tag}w"));
+            b.add_edge(last, w);
+            b.add_edge(u, w);
+            nodes.push(u);
+            nodes.push(w);
+            nodes
+        };
+        let part_a = part(&mut b, "a");
+        let part_b = part(&mut b, "b");
+        let (out_a, out_b) = (part_a[c + 1], part_b[c + 1]);
+        let sink = b.add_labeled_node("t");
+        b.add_edge(out_a, sink);
+        b.add_edge(out_b, sink);
+        b.name(format!("hier_skip(c={c})"));
+        HierSkip {
+            dag: b.build().expect("hier_skip is a DAG"),
+            out_a,
+            out_b,
+            sink,
+            c,
+            part_a,
+            part_b,
+        }
+    }
+
+    /// Number of nodes, `2c + 5`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        2 * self.c + 5
+    }
+
+    /// The minimum feasible memory, `Δ_in + 1 = 3` — the regime where
+    /// the separation appears.
+    #[must_use]
+    pub fn tight_r(&self) -> usize {
+        3
+    }
+
+    /// The conjectured two-level optimum at `k = 1`, `r = 3`:
+    /// `n + 2g` (one forced blue round-trip). Certified as an upper
+    /// bound by [`strategy_spill`](Self::strategy_spill) and confirmed
+    /// exactly by the solver cross-checks in `rbp-hier` and E22.
+    #[must_use]
+    pub fn vanilla_total(&self, g: u64) -> u64 {
+        self.n() as u64 + 2 * g
+    }
+
+    /// The conjectured three-level optimum at `k = 1`, `r = 3`,
+    /// `green_cap ≥ 1`, `green ≤ g`: `n + 2·green` (the round-trip
+    /// rides the mid tier).
+    #[must_use]
+    pub fn hier_total(&self, green: u64) -> u64 {
+        self.n() as u64 + 2 * green
+    }
+
+    /// The explicit two-level witness achieving `n + 2g` at `k = 1`,
+    /// `r = 3`: part A, spill `w_A` to blue, part B, reload, sink.
+    pub fn strategy_spill(&self, g: u64) -> Result<MppRun, MppError> {
+        let inst = MppInstance::new(&self.dag, 1, self.tight_r(), g);
+        let mut sim = MppSimulator::new(inst);
+        let run_part = |sim: &mut MppSimulator, nodes: &[NodeId]| -> Result<(), MppError> {
+            // Chain: keep only the newest value red.
+            let mut prev: Option<NodeId> = None;
+            for &p in &nodes[..self.c] {
+                sim.compute(vec![(0, p)])?;
+                if let Some(q) = prev {
+                    sim.remove_red(0, q)?;
+                }
+                prev = Some(p);
+            }
+            let last = nodes[self.c - 1];
+            let (u, w) = (nodes[self.c], nodes[self.c + 1]);
+            sim.compute(vec![(0, u)])?; // {last, u}
+            sim.compute(vec![(0, w)])?; // {last, u, w} — all three slots
+            sim.remove_red(0, last)?;
+            sim.remove_red(0, u)?;
+            Ok(())
+        };
+        run_part(&mut sim, &self.part_a)?; // red: {w_A}
+        sim.store(vec![(0, self.out_a)])?; // the forced spill
+        sim.remove_red(0, self.out_a)?;
+        run_part(&mut sim, &self.part_b)?; // red: {w_B}
+        sim.load(vec![(0, self.out_a)])?; // red: {w_B, w_A}
+        sim.compute(vec![(0, self.sink)])?;
+        sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_degrees() {
+        for c in [1usize, 2, 4] {
+            let gadget = HierSkip::build(c);
+            assert_eq!(gadget.dag.n(), 2 * c + 5);
+            assert_eq!(gadget.dag.max_in_degree(), 2);
+            assert_eq!(gadget.dag.sinks(), vec![gadget.sink]);
+            assert_eq!(gadget.dag.preds(gadget.sink), &[gadget.out_a, gadget.out_b]);
+        }
+    }
+
+    #[test]
+    fn spill_witness_matches_closed_form() {
+        for (c, g) in [(1usize, 3u64), (2, 5), (3, 2)] {
+            let gadget = HierSkip::build(c);
+            let run = gadget.strategy_spill(g).unwrap();
+            assert_eq!(
+                run.cost.total(rbp_core::CostModel::mpp(g)),
+                gadget.vanilla_total(g),
+                "c={c} g={g}"
+            );
+            assert_eq!(run.cost.io_steps(), 2);
+        }
+    }
+
+    #[test]
+    fn two_level_optimum_is_the_spill_cost() {
+        // The exact solver agrees with the closed form at small sizes:
+        // the blue round-trip is unavoidable in the two-level game.
+        let gadget = HierSkip::build(1);
+        let inst = MppInstance::new(&gadget.dag, 1, 3, 3);
+        let sol = rbp_core::solve_mpp(&inst, rbp_core::SolveLimits::states(2_000_000)).unwrap();
+        assert_eq!(sol.total, gadget.vanilla_total(3));
+    }
+}

@@ -25,11 +25,14 @@
 //!   count-affinity greedy by a `Θ(g)` factor.
 //! - [`hardness_simple`] — Lemma 2 instance families (2-layer DAGs,
 //!   caterpillar in-trees).
+//! - [`hier_cache`] — the three-level separation gadget for `rbp-hier`:
+//!   a forced spill whose round-trip a cheap green mid tier absorbs.
 
 #![warn(missing_docs)]
 
 pub mod greedy_adversarial;
 pub mod hardness_simple;
+pub mod hier_cache;
 pub mod io_tradeoff;
 pub mod levels;
 pub mod nonmonotone;
@@ -40,6 +43,7 @@ pub mod working_set;
 pub mod zipper;
 
 pub use greedy_adversarial::GreedyTrap;
+pub use hier_cache::HierSkip;
 pub use io_tradeoff::{ImbalancedPair, SparseLadder};
 pub use levels::Tower;
 pub use nonmonotone::TwoZippers;

@@ -1,0 +1,812 @@
+//! Exact optimal solver for the three-level game on small instances.
+//!
+//! A\* search over configurations `(R^1..R^k, G, B)` packed into `u64`
+//! masks, built on the shared [`rbp_core::engine`] drivers — the same
+//! sequential and hash-distributed parallel machinery as the two-level
+//! `solve_mpp`. Transitions are whole rule applications: all non-empty
+//! batched selections of a single rule type are enumerated, so the
+//! solver exploits the one-cost-per-parallel-step semantics exactly, on
+//! both the blue and the green tier.
+//!
+//! State-space reductions, all correctness-preserving and inherited
+//! from the two-level solver:
+//!
+//! - **Processor symmetry.** Shades are interchangeable; the green and
+//!   blue sets are shared, so sorting the per-processor red masks is
+//!   still a sound canonicalization and the permutation-trail witness
+//!   reconstruction carries over unchanged.
+//! - **Admissible heuristic.** The two-level Lemma-1 heuristic
+//!   `ceil(|needed| / k) · compute` evaluated with `G ∪ B` in the role
+//!   of the blue set: a green pebble, like a blue one, certifies the
+//!   value exists outside fast memory, so the count of still-to-compute
+//!   nodes is unchanged and the bound remains admissible (it counts
+//!   compute applications only, never I/O).
+//! - **Lazy eviction.** Red deletions only on a processor at capacity,
+//!   green deletions only when the green tier is at capacity, blue
+//!   pebbles never deleted.
+//!
+//! With `green_cap = 0` no green rule is ever enabled and the explored
+//! state space is exactly the two-level one — the randomized
+//! reduction-equivalence suite in this crate's tests pins that down
+//! against `rbp_core::solve_mpp` numerically.
+
+use rbp_core::engine::{
+    pack_fields, search, unpack_fields, words_for, Domain, PackedMove, Partition,
+};
+use rbp_core::{
+    trace_shards, AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, ShardStats,
+    SolveLimits, StopReason, MAX_THREADS,
+};
+use rbp_dag::NodeId;
+use rbp_util::Json;
+
+use crate::{HierCost, HierInstance, HierMove, HierPebble, HierStrategy};
+
+const MAX_K: usize = 4;
+
+/// An optimal three-level solution found by [`solve`].
+#[derive(Debug, Clone)]
+pub struct HierSolution {
+    /// The optimal total cost under the instance's cost model.
+    pub total: u64,
+    /// Tally of the optimal strategy's rule applications.
+    pub cost: HierCost,
+    /// A witness strategy achieving `total`.
+    pub strategy: HierStrategy,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Key {
+    reds: [u64; MAX_K],
+    green: u64,
+    blue: u64,
+}
+
+impl Key {
+    #[inline]
+    fn red_all(&self) -> u64 {
+        self.reds.iter().fold(0, |a, &b| a | b)
+    }
+}
+
+// Packed move layout: bits 28..=30 hold the tag (seven rule variants
+// need three bits, one more than the two-level solver's two); batch
+// moves store one 7-bit slot per processor (bit 6 = active, bits 0..=5
+// = node) in bits 0..=27; removals store the node in bits 0..=5 and,
+// for red removals, the processor in bits 6..=7.
+const TAG_COMPUTE: u32 = 0;
+const TAG_LOAD: u32 = 1;
+const TAG_STORE: u32 = 2;
+const TAG_LOAD_GREEN: u32 = 3;
+const TAG_STORE_GREEN: u32 = 4;
+const TAG_REMOVE_RED: u32 = 5;
+const TAG_REMOVE_GREEN: u32 = 6;
+
+#[inline]
+fn encode_batch(tag: u32, batch: &[(usize, u32)]) -> PackedMove {
+    let mut w = tag << 28;
+    for &(j, i) in batch {
+        w |= (0x40 | i) << (7 * j as u32);
+    }
+    w
+}
+
+#[inline]
+fn encode_remove(tag: u32, proc: usize, node: u32) -> PackedMove {
+    (tag << 28) | ((proc as u32) << 6) | node
+}
+
+fn decode(w: PackedMove, k: usize) -> (u32, Vec<(usize, u32)>) {
+    let tag = w >> 28;
+    if tag == TAG_REMOVE_RED || tag == TAG_REMOVE_GREEN {
+        return (tag, vec![(((w >> 6) & 0x3) as usize, w & 0x3f)]);
+    }
+    let mut pairs = Vec::new();
+    for j in 0..k {
+        let slot = (w >> (7 * j as u32)) & 0x7f;
+        if slot & 0x40 != 0 {
+            pairs.push((j, slot & 0x3f));
+        }
+    }
+    (tag, pairs)
+}
+
+fn apply(key: &mut Key, tag: u32, pairs: &[(usize, u32)]) {
+    match tag {
+        TAG_COMPUTE | TAG_LOAD | TAG_LOAD_GREEN => {
+            for &(j, i) in pairs {
+                key.reds[j] |= 1 << i;
+            }
+        }
+        TAG_STORE => {
+            for &(_, i) in pairs {
+                key.blue |= 1 << i;
+            }
+        }
+        TAG_STORE_GREEN => {
+            for &(_, i) in pairs {
+                key.green |= 1 << i;
+            }
+        }
+        TAG_REMOVE_RED => {
+            let (j, i) = pairs[0];
+            key.reds[j] &= !(1 << i);
+        }
+        _ => {
+            let (_, i) = pairs[0];
+            key.green &= !(1 << i);
+        }
+    }
+}
+
+/// Sorts the masks descending (insertion sort; `len ≤ 4`).
+#[inline]
+fn sort_desc(xs: &mut [u64]) {
+    for i in 1..xs.len() {
+        let mut j = i;
+        while j > 0 && xs[j] > xs[j - 1] {
+            xs.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Canonicalizes `raw` and returns the gather permutation `pi` such
+/// that `canonical.reds[q] == raw.reds[pi[q]]`. The shared green and
+/// blue sets are invariant under shade relabeling.
+fn canon_with_perm(raw: Key, k: usize, symmetry: bool) -> (Key, [usize; MAX_K]) {
+    let mut idx = [0usize, 1, 2, 3];
+    if !symmetry {
+        return (raw, idx);
+    }
+    idx[..k].sort_by(|&a, &b| raw.reds[b].cmp(&raw.reds[a]));
+    let mut out = raw;
+    for (q, &i) in idx[..k].iter().enumerate() {
+        out.reds[q] = raw.reds[i];
+    }
+    (out, idx)
+}
+
+/// Finds a minimum-total-cost three-level pebbling with the default
+/// (fully optimized) configuration, or `None` if infeasible
+/// (`r ≤ Δ_in`), too large (`n > 64` or `k > 4`), or out of budget.
+#[must_use]
+pub fn solve(instance: &HierInstance, limits: SolveLimits) -> Option<HierSolution> {
+    solve_with(instance, &SearchConfig::default().with_limits(limits)).solution
+}
+
+/// [`solve`] with explicit optimization switches, also reporting search
+/// statistics. Each call opens a `solve.hier` trace span and reports
+/// the shared search counters under `solver.hier.*` plus the
+/// hierarchy-specific `hier.*` counters (green vs blue traffic split of
+/// the witness) — all no-ops unless a trace sink is installed.
+#[must_use]
+pub fn solve_with(instance: &HierInstance, config: &SearchConfig) -> SearchOutcome<HierSolution> {
+    let _span = rbp_trace::span_with(
+        "solve.hier",
+        vec![
+            ("n", Json::from(instance.dag.n())),
+            ("k", Json::from(instance.k)),
+            ("r", Json::from(instance.r)),
+            ("g", Json::from(instance.model.g)),
+            ("green_cap", Json::from(instance.green_cap)),
+            ("green_cost", Json::from(instance.model.green)),
+            ("heuristic", Json::from(config.heuristic)),
+            ("symmetry", Json::from(config.symmetry)),
+            ("threads", Json::from(config.threads.max(1))),
+            ("partition", Json::from(config.partition.as_str())),
+        ],
+    );
+    let (solution, stats, reason, shards) = solve_inner(instance, config);
+    stats.trace("hier", solution.as_ref().map(|s| s.total));
+    trace_shards("hier", &shards);
+    if rbp_trace::enabled() {
+        rbp_trace::counter("hier.runs", 1);
+        rbp_trace::gauge("hier.green_cap", instance.green_cap as f64);
+        rbp_trace::gauge("hier.green_cost", instance.model.green as f64);
+        if let Some(sol) = &solution {
+            rbp_trace::counter("hier.green_stores", sol.cost.green_stores);
+            rbp_trace::counter("hier.green_loads", sol.cost.green_loads);
+            rbp_trace::counter("hier.blue_stores", sol.cost.stores);
+            rbp_trace::counter("hier.blue_loads", sol.cost.loads);
+            rbp_trace::counter("hier.computes", sol.cost.computes);
+            rbp_trace::gauge("hier.total", sol.total as f64);
+        }
+    }
+    SearchOutcome {
+        solution,
+        stats,
+        reason,
+        shards,
+    }
+}
+
+/// The three-level state space described for the shared search drivers:
+/// keys are `(R^1..R^k, G, B)` masks bit-packed to `(k+2) · n` bits,
+/// successors are whole batched rule applications (canonicalized under
+/// processor symmetry before emission).
+struct HierDomain {
+    n: usize,
+    k: usize,
+    r: usize,
+    green_cap: usize,
+    compute: u64,
+    g: u64,
+    green: u64,
+    preds_mask: Vec<u64>,
+    sinks_mask: u64,
+    heur: AdmissibleHeuristic,
+    use_heuristic: bool,
+    symmetry: bool,
+    max_priority: u64,
+    partition: Partition,
+}
+
+/// Reused per-worker expansion buffers (allocation-free inner loop).
+struct HierScratch {
+    opts: [Vec<u32>; MAX_K],
+    batch: Vec<(usize, u32)>,
+}
+
+impl Default for HierScratch {
+    fn default() -> Self {
+        HierScratch {
+            opts: [const { Vec::new() }; MAX_K],
+            batch: Vec::with_capacity(MAX_K),
+        }
+    }
+}
+
+impl Domain for HierDomain {
+    type Key = Key;
+    type Scratch = HierScratch;
+
+    fn key_words(&self) -> usize {
+        words_for(self.k + 2, self.n)
+    }
+
+    fn pack(&self, key: &Key, out: &mut [u64]) {
+        let mut fields = [0u64; MAX_K + 2];
+        fields[..self.k].copy_from_slice(&key.reds[..self.k]);
+        fields[self.k] = key.green;
+        fields[self.k + 1] = key.blue;
+        pack_fields(&fields[..self.k + 2], self.n, out);
+    }
+
+    fn unpack(&self, words: &[u64]) -> Key {
+        let mut fields = [0u64; MAX_K + 2];
+        unpack_fields(words, self.n, &mut fields[..self.k + 2]);
+        let mut reds = [0u64; MAX_K];
+        reds[..self.k].copy_from_slice(&fields[..self.k]);
+        Key {
+            reds,
+            green: fields[self.k],
+            blue: fields[self.k + 1],
+        }
+    }
+
+    fn root(&self) -> Key {
+        Key {
+            reds: [0; MAX_K],
+            green: 0,
+            blue: 0,
+        }
+    }
+
+    fn is_goal(&self, key: &Key) -> bool {
+        self.sinks_mask & !(key.red_all() | key.green | key.blue) == 0
+    }
+
+    fn heuristic(&self, key: &Key) -> Option<u64> {
+        if self.use_heuristic {
+            // Green joins blue as "available without recomputing": the
+            // compute-count lower bound is oblivious to which outer
+            // tier holds the value.
+            self.heur.eval(key.red_all(), key.green | key.blue, 0)
+        } else {
+            Some(0)
+        }
+    }
+
+    fn max_priority(&self) -> u64 {
+        self.max_priority
+    }
+
+    fn owner(&self, key: &Key, hash: u64, shards: usize) -> usize {
+        // Green pebbles are fast-memory-adjacent for locality purposes:
+        // fold them into the red side of the partition signature.
+        self.partition
+            .owner(key.red_all() | key.green, key.blue, hash, shards)
+    }
+
+    fn expand(
+        &self,
+        key: &Key,
+        scratch: &mut HierScratch,
+        emit: &mut dyn FnMut(Key, u64, PackedMove),
+    ) {
+        let (k, r, n) = (self.k, self.r, self.n);
+        let key = *key;
+        let mut emit_raw = |mut raw: Key, cost: u64, mv: PackedMove| {
+            if self.symmetry {
+                sort_desc(&mut raw.reds[..k]);
+            }
+            emit(raw, cost, mv);
+        };
+
+        // --- R4-H: lazy red eviction on full processors (cost 0). ---
+        for j in 0..k {
+            if key.reds[j].count_ones() as usize >= r {
+                for i in iter_bits(key.reds[j]) {
+                    let mut nk = key;
+                    nk.reds[j] &= !(1u64 << i);
+                    emit_raw(nk, 0, encode_remove(TAG_REMOVE_RED, j, i));
+                }
+            }
+        }
+
+        // --- R4-H: lazy green eviction when the tier is full (cost 0).
+        if self.green_cap > 0 && key.green.count_ones() as usize >= self.green_cap {
+            for i in iter_bits(key.green) {
+                let mut nk = key;
+                nk.green &= !(1u64 << i);
+                emit_raw(nk, 0, encode_remove(TAG_REMOVE_GREEN, 0, i));
+            }
+        }
+
+        let HierScratch { opts, batch } = scratch;
+
+        // --- R3-H: batched computes. ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            if key.reds[j].count_ones() as usize >= r {
+                continue;
+            }
+            for i in 0..n as u32 {
+                let b = 1u64 << i;
+                if key.reds[j] & b == 0 && self.preds_mask[i as usize] & !key.reds[j] == 0 {
+                    opt.push(i);
+                }
+            }
+        }
+        for_each_batch(&opts[..k], false, batch, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
+        });
+
+        // --- R2-H: batched blue loads (distinct vertices). ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            if key.reds[j].count_ones() as usize >= r {
+                continue;
+            }
+            opt.extend(iter_bits(key.blue & !key.reds[j]));
+        }
+        for_each_batch(&opts[..k], true, batch, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
+        });
+
+        // --- R1-H: batched blue stores (distinct vertices). ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            opt.extend(iter_bits(key.reds[j] & !key.blue));
+        }
+        for_each_batch(&opts[..k], true, batch, &mut |batch| {
+            let mut nk = key;
+            for &(_, i) in batch {
+                nk.blue |= 1u64 << i;
+            }
+            emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
+        });
+
+        if self.green_cap == 0 {
+            // No green rule is ever enabled: the remaining enumeration
+            // is dead weight, and skipping it keeps the explored state
+            // space literally the two-level one.
+            return;
+        }
+
+        // --- R6-H: batched green loads (distinct vertices). ---
+        for (j, opt) in opts.iter_mut().enumerate().take(k) {
+            opt.clear();
+            if key.reds[j].count_ones() as usize >= r {
+                continue;
+            }
+            opt.extend(iter_bits(key.green & !key.reds[j]));
+        }
+        for_each_batch(&opts[..k], true, batch, &mut |batch| {
+            let mut nk = key;
+            for &(j, i) in batch {
+                nk.reds[j] |= 1u64 << i;
+            }
+            emit_raw(nk, self.green, encode_batch(TAG_LOAD_GREEN, batch));
+        });
+
+        // --- R5-H: batched green stores (distinct vertices, bounded by
+        // the shared capacity). ---
+        let free = self.green_cap - (key.green.count_ones() as usize).min(self.green_cap);
+        if free > 0 {
+            for (j, opt) in opts.iter_mut().enumerate().take(k) {
+                opt.clear();
+                opt.extend(iter_bits(key.reds[j] & !key.green));
+            }
+            for_each_batch(&opts[..k], true, batch, &mut |batch| {
+                if batch.len() > free {
+                    return;
+                }
+                let mut nk = key;
+                for &(_, i) in batch {
+                    nk.green |= 1u64 << i;
+                }
+                emit_raw(nk, self.green, encode_batch(TAG_STORE_GREEN, batch));
+            });
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn solve_inner(
+    instance: &HierInstance,
+    config: &SearchConfig,
+) -> (
+    Option<HierSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+) {
+    let dag = instance.dag;
+    let n = dag.n();
+    let k = instance.k;
+    if n > 64 || k > MAX_K || k == 0 || instance.green_cap > 64 {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
+    }
+    if n == 0 {
+        return (
+            Some(HierSolution {
+                total: 0,
+                cost: HierCost::zero(),
+                strategy: HierStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+        );
+    }
+    if !instance.is_feasible() {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+        );
+    }
+    let model = instance.model;
+
+    let preds_mask: Vec<u64> = dag
+        .nodes()
+        .map(|v| {
+            dag.preds(v)
+                .iter()
+                .fold(0u64, |m, p| m | (1u64 << p.index()))
+        })
+        .collect();
+    let sinks_mask: u64 = dag
+        .sinks()
+        .iter()
+        .fold(0u64, |m, s| m | (1u64 << s.index()));
+
+    // Priority ceiling for the bucket representation: the game can
+    // always ignore the green tier, so twice the two-level Lemma 1
+    // trivial upper bound still covers every f-value the search pushes.
+    let ub = (model.g * (dag.max_in_degree() as u64 + 1))
+        .saturating_add(model.compute)
+        .saturating_mul(n as u64);
+    let max_priority = ub.saturating_mul(2).saturating_add(
+        model
+            .g
+            .saturating_add(model.compute)
+            .saturating_add(model.green),
+    );
+
+    let domain = HierDomain {
+        n,
+        k,
+        r: instance.r,
+        green_cap: instance.green_cap,
+        compute: model.compute,
+        g: model.g,
+        green: model.green,
+        preds_mask,
+        sinks_mask,
+        heur: AdmissibleHeuristic::for_mpp(&instance.mpp_instance()),
+        use_heuristic: config.heuristic,
+        symmetry: config.symmetry,
+        max_priority,
+        partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
+    };
+    let out = search(&domain, config);
+    let solution = out
+        .best
+        .map(|(total, path)| reconstruct(instance, path, total, config.symmetry));
+    (solution, out.stats, out.reason, out.shards)
+}
+
+/// Enumerates all non-empty batches: each processor picks one of its
+/// options or idles. Identical to the two-level enumerator; kept local
+/// because the scratch layout is crate-private on both sides.
+fn for_each_batch(
+    options: &[Vec<u32>],
+    distinct_vertices: bool,
+    batch: &mut Vec<(usize, u32)>,
+    f: &mut impl FnMut(&[(usize, u32)]),
+) {
+    fn rec(
+        options: &[Vec<u32>],
+        j: usize,
+        distinct: bool,
+        batch: &mut Vec<(usize, u32)>,
+        used: &mut u64,
+        f: &mut impl FnMut(&[(usize, u32)]),
+    ) {
+        if j == options.len() {
+            if !batch.is_empty() {
+                f(batch);
+            }
+            return;
+        }
+        rec(options, j + 1, distinct, batch, used, f);
+        for &i in &options[j] {
+            let b = 1u64 << i;
+            if distinct && *used & b != 0 {
+                continue;
+            }
+            *used |= b;
+            batch.push((j, i));
+            rec(options, j + 1, distinct, batch, used, f);
+            batch.pop();
+            *used &= !b;
+        }
+    }
+    batch.clear();
+    let mut used = 0u64;
+    rec(options, 0, distinct_vertices, batch, &mut used, f);
+}
+
+/// Rebuilds the witness from the canonical-state parent chain,
+/// re-applying the shade permutation trail exactly as the two-level
+/// reconstruction does (green and blue sets are permutation-invariant,
+/// so only the red labels need translating).
+fn reconstruct(
+    instance: &HierInstance,
+    path: Vec<(Key, PackedMove)>,
+    total: u64,
+    symmetry: bool,
+) -> HierSolution {
+    let k = instance.k;
+    let mut perm = [0usize, 1, 2, 3];
+    let mut cur = path.first().map_or(
+        Key {
+            reds: [0; MAX_K],
+            green: 0,
+            blue: 0,
+        },
+        |&(p, _)| p,
+    );
+    let mut moves = Vec::with_capacity(path.len());
+    for (parent, mv) in path {
+        debug_assert_eq!(parent, cur);
+        let (tag, pairs) = decode(mv, k);
+        let concrete: Vec<(usize, NodeId)> = pairs
+            .iter()
+            .map(|&(j, i)| (perm[j], NodeId::new(i as usize)))
+            .collect();
+        moves.push(match tag {
+            TAG_COMPUTE => HierMove::Compute(concrete),
+            TAG_LOAD => HierMove::Load(concrete),
+            TAG_STORE => HierMove::Store(concrete),
+            TAG_LOAD_GREEN => HierMove::LoadGreen(concrete),
+            TAG_STORE_GREEN => HierMove::StoreGreen(concrete),
+            TAG_REMOVE_RED => {
+                let (p, v) = concrete[0];
+                HierMove::Remove(HierPebble::Red(p, v))
+            }
+            _ => HierMove::Remove(HierPebble::Green(concrete[0].1)),
+        });
+        let mut raw = parent;
+        apply(&mut raw, tag, &pairs);
+        let (next, pi) = canon_with_perm(raw, k, symmetry);
+        let prev_perm = perm;
+        for q in 0..k {
+            perm[q] = prev_perm[pi[q]];
+        }
+        cur = next;
+    }
+    let strategy = HierStrategy::from_moves(moves);
+    let cost = strategy
+        .validate(instance)
+        .expect("hier solver produced an invalid strategy");
+    debug_assert_eq!(cost.total(instance.model), total);
+    HierSolution {
+        total,
+        cost,
+        strategy,
+    }
+}
+
+fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbp_core::{solve_mpp, MppInstance};
+    use rbp_dag::{dag_from_edges, generators};
+
+    fn limits() -> SolveLimits {
+        SolveLimits::states(500_000)
+    }
+
+    #[test]
+    fn single_node_costs_one_compute() {
+        let d = dag_from_edges(1, &[]);
+        let sol = solve(&HierInstance::new(&d, 2, 1, 3, 2, 1), limits()).unwrap();
+        assert_eq!(sol.total, 1);
+        assert_eq!(sol.cost.computes, 1);
+    }
+
+    #[test]
+    fn zero_capacity_matches_vanilla_exactly() {
+        for (d, k, r, g) in [
+            (generators::binary_in_tree(4), 2, 3, 2),
+            (generators::grid(2, 3), 2, 3, 2),
+            (generators::independent_chains(2, 3), 2, 2, 3),
+        ] {
+            let mpp = MppInstance::new(&d, k, r, g);
+            let vanilla = solve_mpp(&mpp, limits()).unwrap();
+            let hier = solve(&HierInstance::from_mpp(&mpp, 0, 1), limits()).unwrap();
+            assert_eq!(hier.total, vanilla.total, "{}", d.name());
+            assert_eq!(hier.cost.green_io_steps(), 0);
+        }
+    }
+
+    #[test]
+    fn cheap_green_never_worse_than_vanilla() {
+        let d = generators::grid(2, 3);
+        let mpp = MppInstance::new(&d, 2, 3, 3);
+        let vanilla = solve_mpp(&mpp, limits()).unwrap();
+        let hier = solve(&HierInstance::from_mpp(&mpp, 2, 1), limits()).unwrap();
+        assert!(hier.total <= vanilla.total);
+    }
+
+    #[test]
+    fn green_tier_beats_vanilla_on_skip_gadget() {
+        // Two triangle-capped chains joined at a sink (rbp-gadgets
+        // `hier_skip`): at r = 3 the second triangle needs all three
+        // red slots while the first part's output is still live, so it
+        // must be spilled. Vanilla pays the blue round-trip 2g; the
+        // green tier pays 2·green.
+        let gadget = rbp_gadgets::HierSkip::build(1);
+        let mpp = MppInstance::new(&gadget.dag, 1, 3, 3);
+        let vanilla = solve_mpp(&mpp, limits()).unwrap();
+        let hier = solve(&HierInstance::from_mpp(&mpp, 1, 1), limits()).unwrap();
+        assert_eq!(vanilla.total, gadget.vanilla_total(3));
+        assert_eq!(hier.total, gadget.hier_total(1));
+        assert!(
+            hier.total < vanilla.total,
+            "hier {} !< vanilla {}",
+            hier.total,
+            vanilla.total
+        );
+        assert!(hier.cost.green_io_steps() > 0);
+    }
+
+    #[test]
+    fn degenerate_green_cost_matches_vanilla_total() {
+        // green_cost = g: the tier is still usable but never cheaper,
+        // so the optimum is the two-level one.
+        let d = generators::binary_in_tree(4);
+        let mpp = MppInstance::new(&d, 2, 3, 2);
+        let vanilla = solve_mpp(&mpp, limits()).unwrap();
+        let hier = solve(&HierInstance::from_mpp(&mpp, 2, 2), limits()).unwrap();
+        assert_eq!(hier.total, vanilla.total);
+    }
+
+    #[test]
+    fn witness_validates_with_green_traffic() {
+        let gadget = rbp_gadgets::HierSkip::build(1);
+        let d = gadget.dag;
+        let inst = HierInstance::new(&d, 1, 3, 3, 1, 1);
+        let sol = solve(&inst, limits()).unwrap();
+        let cost = sol.strategy.validate(&inst).unwrap();
+        assert_eq!(cost.total(inst.model), sol.total);
+        assert_eq!(cost, sol.cost);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_cost() {
+        let d = generators::grid(2, 3);
+        let inst = HierInstance::new(&d, 2, 3, 2, 2, 1);
+        let seq = solve_with(&inst, &SearchConfig::default());
+        for threads in [2usize, 4] {
+            let par = solve_with(&inst, &SearchConfig::default().with_threads(threads));
+            let (s, p) = (seq.solution.as_ref().unwrap(), par.solution.unwrap());
+            assert_eq!(s.total, p.total, "threads={threads}");
+            p.strategy.validate(&inst).unwrap();
+            assert_eq!(par.reason, StopReason::Solved);
+        }
+    }
+
+    #[test]
+    fn optimized_and_baseline_agree() {
+        for (d, k, r, g, cap, gc) in [
+            (generators::binary_in_tree(4), 2, 3, 2, 2, 1),
+            (generators::diamond(2), 2, 3, 3, 1, 1),
+            (generators::independent_chains(2, 3), 2, 2, 3, 2, 1),
+        ] {
+            let inst = HierInstance::new(&d, k, r, g, cap, gc);
+            let base = solve_with(&inst, &SearchConfig::baseline());
+            let opt = solve_with(&inst, &SearchConfig::default());
+            let (b, o) = (base.solution.unwrap(), opt.solution.unwrap());
+            assert_eq!(b.total, o.total, "{} k={k} r={r}", d.name());
+            o.strategy.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn symmetry_witness_remains_valid_with_green() {
+        let d = generators::grid(2, 2);
+        let inst = HierInstance::new(&d, 2, 3, 2, 2, 1);
+        let sol = solve(&inst, limits()).unwrap();
+        let cost = sol.strategy.validate(&inst).unwrap();
+        assert_eq!(cost.total(inst.model), sol.total);
+    }
+
+    #[test]
+    fn infeasible_and_oversized_rejected() {
+        let d = dag_from_edges(3, &[(0, 2), (1, 2)]);
+        assert!(solve(&HierInstance::new(&d, 2, 2, 1, 2, 1), limits()).is_none());
+        assert!(solve(&HierInstance::new(&d, 5, 3, 1, 2, 1), limits()).is_none());
+        assert!(solve(&HierInstance::new(&d, 2, 3, 1, 65, 1), limits()).is_none());
+        let big = generators::chain(65);
+        assert!(solve(&HierInstance::new(&big, 2, 2, 1, 2, 1), limits()).is_none());
+    }
+
+    #[test]
+    fn empty_dag_is_free() {
+        let d = dag_from_edges(0, &[]);
+        let sol = solve(&HierInstance::new(&d, 2, 1, 1, 2, 1), limits()).unwrap();
+        assert_eq!(sol.total, 0);
+    }
+
+    #[test]
+    fn state_budget_aborts() {
+        let d = generators::grid(3, 3);
+        let out = solve_with(
+            &HierInstance::new(&d, 2, 3, 1, 2, 1),
+            &SearchConfig::default().with_limits(SolveLimits::states(5)),
+        );
+        assert!(out.solution.is_none());
+        assert_eq!(out.reason, StopReason::StateLimit);
+    }
+}

@@ -1,0 +1,457 @@
+//! Hierarchical strategy representation and the rule-enforcing
+//! validator, mirroring `rbp_core::mpp`'s `apply_checked` discipline:
+//! every rule precondition is checked before any mutation, so an
+//! illegal move never corrupts the configuration.
+
+use rbp_core::ProcId;
+use rbp_dag::NodeId;
+
+use crate::{HierConfiguration, HierCost, HierInstance, HierMove, HierPebble};
+
+/// A three-level pebbling strategy: the sequence of rule applications.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierStrategy {
+    /// The moves, in execution order.
+    pub moves: Vec<HierMove>,
+}
+
+impl HierStrategy {
+    /// Empty strategy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Strategy from a move list.
+    #[must_use]
+    pub fn from_moves(moves: Vec<HierMove>) -> Self {
+        HierStrategy { moves }
+    }
+
+    /// Number of moves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether there are no moves.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Appends a move.
+    pub fn push(&mut self, m: HierMove) {
+        self.moves.push(m);
+    }
+
+    /// Validates against `instance` and returns the cost tally.
+    pub fn validate(&self, instance: &HierInstance) -> Result<HierCost, HierError> {
+        validate(instance, &self.moves)
+    }
+}
+
+/// A rule violation found while replaying a hierarchical strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierError {
+    /// Index of the offending move (or `moves.len()` for terminal-state
+    /// failures).
+    pub step: usize,
+    /// What went wrong.
+    pub kind: HierErrorKind,
+}
+
+/// The kinds of three-level rule violations. The first eleven mirror
+/// the MPP kinds; the last three are new to the green tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierErrorKind {
+    /// A batch was empty.
+    EmptySelection,
+    /// A processor index is `≥ k`.
+    BadProcessor(ProcId),
+    /// The same processor appears twice in one shaded selection.
+    DuplicateProcessor(ProcId),
+    /// The same vertex appears twice in one I/O batch.
+    DuplicateVertex(NodeId),
+    /// R1-H: processor `proc` holds no red pebble on `node`.
+    StoreWithoutRed {
+        /// The storing processor.
+        proc: ProcId,
+        /// The node it tried to store.
+        node: NodeId,
+    },
+    /// R2-H: `node` holds no blue pebble.
+    LoadWithoutBlue(NodeId),
+    /// R3-H: an input of `node` lacks a red pebble of `proc`'s shade.
+    MissingInput {
+        /// The computing processor.
+        proc: ProcId,
+        /// The node being computed.
+        node: NodeId,
+        /// The missing input.
+        missing: NodeId,
+    },
+    /// Placing a red pebble would exceed processor `proc`'s capacity.
+    MemoryExceeded {
+        /// The overflowing processor.
+        proc: ProcId,
+        /// The capacity.
+        r: usize,
+    },
+    /// Redundant placement (node already holds that exact pebble).
+    AlreadyPebbled(NodeId),
+    /// R4-H applied to a pebble that is not on the board.
+    RemoveAbsent(HierPebble),
+    /// After the last move some sink holds no pebble on any level.
+    NotTerminal(NodeId),
+    /// R5-H: processor `proc` holds no red pebble on `node`.
+    GreenStoreWithoutRed {
+        /// The storing processor.
+        proc: ProcId,
+        /// The node it tried to stage into the green tier.
+        node: NodeId,
+    },
+    /// R6-H: `node` holds no green pebble.
+    LoadWithoutGreen(NodeId),
+    /// R5-H: placing the batch's green pebbles would exceed the shared
+    /// green capacity.
+    GreenCapacityExceeded {
+        /// The shared green-tier capacity.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for HierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}: {:?}", self.step, self.kind)
+    }
+}
+
+impl std::error::Error for HierError {}
+
+/// Replays `moves` on `instance`, enforcing every rule, the red and
+/// green capacity bounds, and terminality. Returns the cost tally.
+pub fn validate(instance: &HierInstance, moves: &[HierMove]) -> Result<HierCost, HierError> {
+    let mut config = HierConfiguration::initial(instance.dag, instance.k);
+    let mut cost = HierCost::zero();
+    for (step, mv) in moves.iter().enumerate() {
+        apply_checked(instance, &mut config, mv).map_err(|kind| HierError { step, kind })?;
+        match mv {
+            HierMove::Store(_) => cost.stores += 1,
+            HierMove::Load(_) => cost.loads += 1,
+            HierMove::StoreGreen(_) => cost.green_stores += 1,
+            HierMove::LoadGreen(_) => cost.green_loads += 1,
+            HierMove::Compute(_) => cost.computes += 1,
+            HierMove::Remove(_) => {}
+        }
+    }
+    if let Some(sink) = instance
+        .dag
+        .sinks()
+        .into_iter()
+        .find(|&s| !config.has_pebble(s))
+    {
+        return Err(HierError {
+            step: moves.len(),
+            kind: HierErrorKind::NotTerminal(sink),
+        });
+    }
+    Ok(cost)
+}
+
+/// Applies one move to `config` if legal in `instance`, mutating
+/// `config` only on success. Public so strategy transformers and the
+/// simulator share the single replay primitive.
+pub fn apply_move(
+    instance: &HierInstance,
+    config: &mut HierConfiguration,
+    mv: &HierMove,
+) -> Result<(), HierErrorKind> {
+    apply_checked(instance, config, mv)
+}
+
+/// Applies one move to `config` if legal in `instance`.
+pub(crate) fn apply_checked(
+    instance: &HierInstance,
+    config: &mut HierConfiguration,
+    mv: &HierMove,
+) -> Result<(), HierErrorKind> {
+    let dag = instance.dag;
+    let k = instance.k;
+    let r = instance.r;
+
+    let check_selection =
+        |batch: &[(ProcId, NodeId)], distinct_vertices: bool| -> Result<(), HierErrorKind> {
+            if batch.is_empty() {
+                return Err(HierErrorKind::EmptySelection);
+            }
+            for (i, &(p, v)) in batch.iter().enumerate() {
+                if p >= k {
+                    return Err(HierErrorKind::BadProcessor(p));
+                }
+                for &(p2, v2) in &batch[..i] {
+                    if p2 == p {
+                        return Err(HierErrorKind::DuplicateProcessor(p));
+                    }
+                    if distinct_vertices && v2 == v {
+                        return Err(HierErrorKind::DuplicateVertex(v));
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    match mv {
+        HierMove::Store(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.reds[p].contains(v) {
+                    return Err(HierErrorKind::StoreWithoutRed { proc: p, node: v });
+                }
+                if config.blue.contains(v) {
+                    return Err(HierErrorKind::AlreadyPebbled(v));
+                }
+            }
+            for &(_, v) in batch {
+                config.blue.insert(v);
+            }
+        }
+        HierMove::Load(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.blue.contains(v) {
+                    return Err(HierErrorKind::LoadWithoutBlue(v));
+                }
+                if config.reds[p].contains(v) {
+                    return Err(HierErrorKind::AlreadyPebbled(v));
+                }
+                if config.reds[p].len() + 1 > r {
+                    return Err(HierErrorKind::MemoryExceeded { proc: p, r });
+                }
+            }
+            for &(p, v) in batch {
+                config.reds[p].insert(v);
+            }
+        }
+        HierMove::StoreGreen(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.reds[p].contains(v) {
+                    return Err(HierErrorKind::GreenStoreWithoutRed { proc: p, node: v });
+                }
+                if config.green.contains(v) {
+                    return Err(HierErrorKind::AlreadyPebbled(v));
+                }
+            }
+            // Batch vertices are distinct and none is green yet, so the
+            // batch adds exactly `batch.len()` green pebbles.
+            if config.green.len() + batch.len() > instance.green_cap {
+                return Err(HierErrorKind::GreenCapacityExceeded {
+                    cap: instance.green_cap,
+                });
+            }
+            for &(_, v) in batch {
+                config.green.insert(v);
+            }
+        }
+        HierMove::LoadGreen(batch) => {
+            check_selection(batch, true)?;
+            for &(p, v) in batch {
+                if !config.green.contains(v) {
+                    return Err(HierErrorKind::LoadWithoutGreen(v));
+                }
+                if config.reds[p].contains(v) {
+                    return Err(HierErrorKind::AlreadyPebbled(v));
+                }
+                if config.reds[p].len() + 1 > r {
+                    return Err(HierErrorKind::MemoryExceeded { proc: p, r });
+                }
+            }
+            for &(p, v) in batch {
+                config.reds[p].insert(v);
+            }
+        }
+        HierMove::Compute(batch) => {
+            // Vertices may repeat across processors (two shades may
+            // compute the same node simultaneously), as in R3-M.
+            check_selection(batch, false)?;
+            for &(p, v) in batch {
+                if config.reds[p].contains(v) {
+                    return Err(HierErrorKind::AlreadyPebbled(v));
+                }
+                if let Some(&missing) = dag.preds(v).iter().find(|&&u| !config.reds[p].contains(u))
+                {
+                    return Err(HierErrorKind::MissingInput {
+                        proc: p,
+                        node: v,
+                        missing,
+                    });
+                }
+                if config.reds[p].len() + 1 > r {
+                    return Err(HierErrorKind::MemoryExceeded { proc: p, r });
+                }
+            }
+            for &(p, v) in batch {
+                config.reds[p].insert(v);
+            }
+        }
+        HierMove::Remove(pebble) => match *pebble {
+            HierPebble::Red(p, v) => {
+                if p >= k {
+                    return Err(HierErrorKind::BadProcessor(p));
+                }
+                if !config.reds[p].remove(v) {
+                    return Err(HierErrorKind::RemoveAbsent(*pebble));
+                }
+            }
+            HierPebble::Green(v) => {
+                if !config.green.remove(v) {
+                    return Err(HierErrorKind::RemoveAbsent(*pebble));
+                }
+            }
+            HierPebble::Blue(v) => {
+                if !config.blue.remove(v) {
+                    return Err(HierErrorKind::RemoveAbsent(*pebble));
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn green_staging_validates() {
+        // Proc 0 computes 0, stages it through green, proc 1 picks it
+        // up and computes 1 — the cheap-communication path.
+        let d = rbp_dag::dag_from_edges(2, &[(0, 1)]);
+        let inst = HierInstance::new(&d, 2, 2, 5, 1, 1);
+        let cost = validate(
+            &inst,
+            &[
+                HierMove::compute1(0, v(0)),
+                HierMove::green_store1(0, v(0)),
+                HierMove::green_load1(1, v(0)),
+                HierMove::compute1(1, v(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cost.green_io_steps(), 2);
+        assert_eq!(cost.total(inst.model), 4); // two green steps at cost 1 + two computes
+    }
+
+    #[test]
+    fn green_capacity_enforced_per_batch() {
+        let d = rbp_dag::dag_from_edges(2, &[]);
+        let inst = HierInstance::new(&d, 2, 1, 1, 1, 1);
+        let err = validate(
+            &inst,
+            &[
+                HierMove::Compute(vec![(0, v(0)), (1, v(1))]),
+                HierMove::StoreGreen(vec![(0, v(0)), (1, v(1))]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, HierErrorKind::GreenCapacityExceeded { cap: 1 });
+        // A single green store fits.
+        validate(
+            &inst,
+            &[
+                HierMove::Compute(vec![(0, v(0)), (1, v(1))]),
+                HierMove::green_store1(0, v(0)),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_green_rejects_all_green_stores() {
+        let d = rbp_dag::dag_from_edges(1, &[]);
+        let inst = HierInstance::new(&d, 1, 1, 1, 0, 1);
+        let err = validate(
+            &inst,
+            &[HierMove::compute1(0, v(0)), HierMove::green_store1(0, v(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, HierErrorKind::GreenCapacityExceeded { cap: 0 });
+    }
+
+    #[test]
+    fn green_load_requires_green() {
+        let d = rbp_dag::dag_from_edges(1, &[]);
+        let inst = HierInstance::new(&d, 1, 1, 1, 1, 1);
+        let err = validate(&inst, &[HierMove::green_load1(0, v(0))]).unwrap_err();
+        assert_eq!(err.kind, HierErrorKind::LoadWithoutGreen(v(0)));
+    }
+
+    #[test]
+    fn green_store_requires_own_red() {
+        let d = rbp_dag::dag_from_edges(1, &[]);
+        let inst = HierInstance::new(&d, 2, 1, 1, 1, 1);
+        let err = validate(
+            &inst,
+            &[HierMove::compute1(0, v(0)), HierMove::green_store1(1, v(0))],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.kind,
+            HierErrorKind::GreenStoreWithoutRed {
+                proc: 1,
+                node: v(0)
+            }
+        );
+    }
+
+    #[test]
+    fn illegal_move_leaves_state_unchanged() {
+        let d = rbp_dag::dag_from_edges(2, &[(0, 1)]);
+        let inst = HierInstance::new(&d, 1, 2, 1, 1, 1);
+        let mut config = HierConfiguration::initial(&d, 1);
+        assert!(apply_move(&inst, &mut config, &HierMove::compute1(0, v(1))).is_err());
+        assert_eq!(config, HierConfiguration::initial(&d, 1));
+    }
+
+    #[test]
+    fn node_may_be_green_and_blue_simultaneously() {
+        let d = rbp_dag::dag_from_edges(1, &[]);
+        let inst = HierInstance::new(&d, 1, 1, 1, 1, 1);
+        validate(
+            &inst,
+            &[
+                HierMove::compute1(0, v(0)),
+                HierMove::green_store1(0, v(0)),
+                HierMove::store1(0, v(0)),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn remove_green_then_terminality() {
+        let d = rbp_dag::dag_from_edges(1, &[]);
+        let inst = HierInstance::new(&d, 1, 1, 1, 1, 1);
+        let err = validate(
+            &inst,
+            &[
+                HierMove::compute1(0, v(0)),
+                HierMove::green_store1(0, v(0)),
+                HierMove::Remove(HierPebble::Red(0, v(0))),
+                HierMove::Remove(HierPebble::Green(v(0))),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, HierErrorKind::NotTerminal(v(0)));
+        let err = validate(&inst, &[HierMove::Remove(HierPebble::Green(v(0)))]).unwrap_err();
+        assert_eq!(
+            err.kind,
+            HierErrorKind::RemoveAbsent(HierPebble::Green(v(0)))
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Strategy-corruption coverage: every [`HierErrorKind`] variant is
+//! produced by a concrete corrupted strategy and reported at the right
+//! step, and the validator never mutates away the error (validating
+//! twice gives the same answer).
+
+use rbp_core::ProcId;
+use rbp_dag::{dag_from_edges, NodeId};
+use rbp_hier::{validate_hier, HierErrorKind, HierInstance, HierMove, HierPebble};
+
+fn v(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// `0 → 1`, two processors, `r = 2`, `g = 3`, one green slot.
+fn dag() -> rbp_dag::Dag {
+    dag_from_edges(2, &[(0, 1)])
+}
+
+#[test]
+fn every_error_kind_is_reachable_and_attributed() {
+    let d = dag();
+    let inst = HierInstance::new(&d, 2, 2, 3, 1, 1);
+    let zero_cap = HierInstance::new(&d, 2, 2, 3, 0, 1);
+    let tight = HierInstance::new(&d, 2, 1, 3, 1, 1); // r = 1 (infeasible but validates moves)
+
+    struct Case {
+        name: &'static str,
+        moves: Vec<HierMove>,
+        step: usize,
+        kind: HierErrorKind,
+        tight_r: bool,
+        zero_cap: bool,
+    }
+    let c1 = HierMove::compute1(0, v(0));
+    let cases = vec![
+        Case {
+            name: "empty-selection",
+            moves: vec![HierMove::Compute(vec![])],
+            step: 0,
+            kind: HierErrorKind::EmptySelection,
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "bad-processor",
+            moves: vec![HierMove::compute1(7, v(0))],
+            step: 0,
+            kind: HierErrorKind::BadProcessor(7),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "duplicate-processor",
+            moves: vec![HierMove::Compute(vec![(0, v(0)), (0, v(0))])],
+            step: 0,
+            kind: HierErrorKind::DuplicateProcessor(0),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "duplicate-vertex",
+            moves: vec![
+                HierMove::Compute(vec![(0, v(0)), (1, v(0))]),
+                HierMove::Store(vec![(0, v(0)), (1, v(0))]),
+            ],
+            step: 1,
+            kind: HierErrorKind::DuplicateVertex(v(0)),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "store-without-red",
+            moves: vec![HierMove::store1(0, v(0))],
+            step: 0,
+            kind: HierErrorKind::StoreWithoutRed {
+                proc: 0,
+                node: v(0),
+            },
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "load-without-blue",
+            moves: vec![HierMove::load1(0, v(0))],
+            step: 0,
+            kind: HierErrorKind::LoadWithoutBlue(v(0)),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "missing-input",
+            moves: vec![HierMove::compute1(0, v(1))],
+            step: 0,
+            kind: HierErrorKind::MissingInput {
+                proc: 0,
+                node: v(1),
+                missing: v(0),
+            },
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "memory-exceeded",
+            moves: vec![c1.clone(), HierMove::compute1(0, v(1))],
+            step: 1,
+            kind: HierErrorKind::MemoryExceeded { proc: 0, r: 1 },
+            tight_r: true,
+            zero_cap: false,
+        },
+        Case {
+            name: "already-pebbled",
+            moves: vec![c1.clone(), c1.clone()],
+            step: 1,
+            kind: HierErrorKind::AlreadyPebbled(v(0)),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "remove-absent-red",
+            moves: vec![HierMove::Remove(HierPebble::Red(1, v(0)))],
+            step: 0,
+            kind: HierErrorKind::RemoveAbsent(HierPebble::Red(1, v(0))),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "remove-absent-green",
+            moves: vec![HierMove::Remove(HierPebble::Green(v(0)))],
+            step: 0,
+            kind: HierErrorKind::RemoveAbsent(HierPebble::Green(v(0))),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "remove-absent-blue",
+            moves: vec![HierMove::Remove(HierPebble::Blue(v(1)))],
+            step: 0,
+            kind: HierErrorKind::RemoveAbsent(HierPebble::Blue(v(1))),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "not-terminal",
+            moves: vec![c1.clone()],
+            step: 1,
+            kind: HierErrorKind::NotTerminal(v(1)),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "green-store-without-red",
+            moves: vec![c1.clone(), HierMove::green_store1(1, v(0))],
+            step: 1,
+            kind: HierErrorKind::GreenStoreWithoutRed {
+                proc: 1,
+                node: v(0),
+            },
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "load-without-green",
+            moves: vec![HierMove::green_load1(0, v(0))],
+            step: 0,
+            kind: HierErrorKind::LoadWithoutGreen(v(0)),
+            tight_r: false,
+            zero_cap: false,
+        },
+        Case {
+            name: "green-capacity-exceeded",
+            moves: vec![c1.clone(), HierMove::green_store1(0, v(0))],
+            step: 1,
+            kind: HierErrorKind::GreenCapacityExceeded { cap: 0 },
+            tight_r: false,
+            zero_cap: true,
+        },
+    ];
+
+    let mut covered: Vec<&'static str> = Vec::new();
+    for case in &cases {
+        let instance = if case.tight_r {
+            &tight
+        } else if case.zero_cap {
+            &zero_cap
+        } else {
+            &inst
+        };
+        let err = validate_hier(instance, &case.moves)
+            .expect_err(&format!("{}: corrupted strategy validated", case.name));
+        assert_eq!(err.step, case.step, "{}", case.name);
+        assert_eq!(err.kind, case.kind, "{}", case.name);
+        // Validation is replay-only: running it again is identical.
+        let err2 = validate_hier(instance, &case.moves).unwrap_err();
+        assert_eq!(
+            (err2.step, err2.kind),
+            (err.step, err.kind),
+            "{}",
+            case.name
+        );
+        covered.push(variant_name(&case.kind));
+    }
+
+    // Exhaustiveness: one case per variant of the error enum.
+    let mut expected = vec![
+        "EmptySelection",
+        "BadProcessor",
+        "DuplicateProcessor",
+        "DuplicateVertex",
+        "StoreWithoutRed",
+        "LoadWithoutBlue",
+        "MissingInput",
+        "MemoryExceeded",
+        "AlreadyPebbled",
+        "RemoveAbsent",
+        "NotTerminal",
+        "GreenStoreWithoutRed",
+        "LoadWithoutGreen",
+        "GreenCapacityExceeded",
+    ];
+    covered.sort_unstable();
+    covered.dedup();
+    expected.sort_unstable();
+    assert_eq!(covered, expected, "not every error kind is exercised");
+}
+
+fn variant_name(kind: &HierErrorKind) -> &'static str {
+    match kind {
+        HierErrorKind::EmptySelection => "EmptySelection",
+        HierErrorKind::BadProcessor(_) => "BadProcessor",
+        HierErrorKind::DuplicateProcessor(_) => "DuplicateProcessor",
+        HierErrorKind::DuplicateVertex(_) => "DuplicateVertex",
+        HierErrorKind::StoreWithoutRed { .. } => "StoreWithoutRed",
+        HierErrorKind::LoadWithoutBlue(_) => "LoadWithoutBlue",
+        HierErrorKind::MissingInput { .. } => "MissingInput",
+        HierErrorKind::MemoryExceeded { .. } => "MemoryExceeded",
+        HierErrorKind::AlreadyPebbled(_) => "AlreadyPebbled",
+        HierErrorKind::RemoveAbsent(_) => "RemoveAbsent",
+        HierErrorKind::NotTerminal(_) => "NotTerminal",
+        HierErrorKind::GreenStoreWithoutRed { .. } => "GreenStoreWithoutRed",
+        HierErrorKind::LoadWithoutGreen(_) => "LoadWithoutGreen",
+        HierErrorKind::GreenCapacityExceeded { .. } => "GreenCapacityExceeded",
+    }
+}
+
+#[test]
+fn corrupting_a_valid_exact_witness_is_always_caught() {
+    // Take the solver's witness on the separation gadget and corrupt it
+    // in systematic ways; every corruption must be rejected.
+    let gadget = rbp_gadgets::HierSkip::build(1);
+    let inst = HierInstance::new(&gadget.dag, 1, 3, 3, 1, 1);
+    let sol = rbp_hier::solve_hier(&inst, rbp_core::SolveLimits::states(2_000_000)).unwrap();
+    let moves = &sol.strategy.moves;
+    assert!(validate_hier(&inst, moves).is_ok());
+
+    // Dropping any single non-removal move breaks the replay.
+    for i in 0..moves.len() {
+        if matches!(moves[i], HierMove::Remove(_)) {
+            continue;
+        }
+        let mut corrupted = moves.clone();
+        corrupted.remove(i);
+        assert!(
+            validate_hier(&inst, &corrupted).is_err(),
+            "dropping move {i} went unnoticed"
+        );
+    }
+
+    // Redirecting a compute's processor out of range is caught.
+    let mut corrupted = moves.clone();
+    for m in &mut corrupted {
+        if let HierMove::Compute(batch) = m {
+            batch[0].0 = 3 as ProcId;
+            break;
+        }
+    }
+    assert!(matches!(
+        validate_hier(&inst, &corrupted).unwrap_err().kind,
+        HierErrorKind::BadProcessor(3)
+    ));
+}

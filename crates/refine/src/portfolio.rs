@@ -20,8 +20,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rbp_core::{
-    batchify, solve_mpp_with, validate_mpp, MppError, MppInstance, MppMove, MppRun, MppStrategy,
-    PartitionMode, SearchConfig, SolveLimits,
+    batchify, solve_mpp_with, validate_mpp, GameMode, MppError, MppInstance, MppMove, MppRun,
+    MppStrategy, PartitionMode, SearchConfig, SolveLimits,
 };
 use rbp_schedulers::all_schedulers;
 use rbp_util::Rng;
@@ -53,6 +53,13 @@ pub struct PortfolioConfig {
     pub exact_partition: PartitionMode,
     /// Number of concurrent refinement workers.
     pub refine_workers: usize,
+    /// Game mode, carried from the workspace-wide [`GameMode`] flag
+    /// parser. The race itself answers the two-level question; with
+    /// [`GameMode::Hier`] it gains a `hier-exact` lane that solves the
+    /// lifted three-level instance and submits the *flattened* witness
+    /// (`rbp_hier::hier_to_mpp`) into the shared incumbent — a legal
+    /// two-level strategy, never marked proven-optimal.
+    pub mode: GameMode,
 }
 
 impl Default for PortfolioConfig {
@@ -67,6 +74,7 @@ impl Default for PortfolioConfig {
             exact_threads: 1,
             exact_partition: PartitionMode::default(),
             refine_workers: 2,
+            mode: GameMode::Vanilla,
         }
     }
 }
@@ -158,6 +166,7 @@ pub fn race(instance: &MppInstance, cfg: &PortfolioConfig) -> Result<PortfolioOu
             ("r", rbp_trace::Json::from(instance.r)),
             ("budget_ms", rbp_trace::Json::from(cfg.budget_millis)),
             ("seed", rbp_trace::Json::from(cfg.seed)),
+            ("mode", rbp_trace::Json::from(cfg.mode.token())),
         ],
     );
     let shared = Shared::new();
@@ -231,6 +240,37 @@ pub fn race(instance: &MppInstance, cfg: &PortfolioConfig) -> Result<PortfolioOu
                 });
                 PortfolioEntry {
                     name: "exact-a*".to_string(),
+                    total,
+                    millis: elapsed_ms(started),
+                }
+            }));
+        }
+
+        if exact_feasible && cfg.mode.is_hier() {
+            // The three-level solver explores the green-augmented state
+            // space, and the flattening projection turns its witness
+            // into a legal two-level strategy — a consistency lane that
+            // can seed the incumbent with structure the two-level
+            // search reaches later (never a proof of MPP optimality).
+            let search = SearchConfig::default()
+                .with_limits(SolveLimits::states(cfg.exact_max_states))
+                .with_threads(1);
+            let mode = cfg.mode;
+            handles.push(scope.spawn(move || {
+                let started = Instant::now();
+                let hinst =
+                    rbp_hier::HierInstance::from_mode(instance, mode).expect("is_hier was checked");
+                let total = rbp_hier::solve_hier_with(&hinst, &search)
+                    .solution
+                    .and_then(|sol| {
+                        let projected = rbp_hier::hier_to_mpp(&hinst, &sol.strategy);
+                        let cost = validate_mpp(instance, &projected.moves).ok()?;
+                        let total = cost.total(instance.model);
+                        shared.submit(total, projected.moves, "hier-exact(projected)");
+                        Some(total)
+                    });
+                PortfolioEntry {
+                    name: "hier-exact".to_string(),
                     total,
                     millis: elapsed_ms(started),
                 }
@@ -367,6 +407,41 @@ mod tests {
         validate_mpp(&inst, &out.run.strategy.moves).unwrap();
         // Refinement should strip the baseline's useless I/O entirely.
         assert_eq!(out.total, 4, "refined cost should reach OPT=4");
+    }
+
+    #[test]
+    fn hier_mode_adds_a_projected_lane() {
+        let dag = generators::grid(2, 3);
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let cfg = PortfolioConfig {
+            budget_millis: 300,
+            mode: GameMode::Hier {
+                green_cap: 2,
+                green_cost: 1,
+            },
+            ..PortfolioConfig::default()
+        };
+        let out = race(&inst, &cfg).unwrap();
+        let hier = out
+            .entries
+            .iter()
+            .find(|e| e.name == "hier-exact")
+            .expect("hier mode spawns the projected lane");
+        // The flattened witness is a legal two-level strategy, so its
+        // total can never undercut the proven two-level optimum.
+        assert!(out.proven_optimal);
+        assert!(hier.total.expect("tiny instance solves") >= out.total);
+
+        // Vanilla mode (the default) never spawns the lane.
+        let plain = race(
+            &inst,
+            &PortfolioConfig {
+                budget_millis: 100,
+                ..PortfolioConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.entries.iter().all(|e| e.name != "hier-exact"));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! the response envelope. `docs/SCHEMAS.md` documents every body shape.
 
 use rbp_core::rbp_dag::{generators, io, Dag};
-use rbp_core::{CostModel, MppInstance, MppRunStats, PartitionMode, SearchConfig, SolveLimits};
+use rbp_core::{
+    CostModel, GameMode, MppInstance, MppRunStats, PartitionMode, SearchConfig, SolveLimits,
+};
+use rbp_hier::{all_hier_schedulers, HierInstance};
 use rbp_refine::{race, PortfolioConfig};
 use rbp_schedulers::all_schedulers;
 use rbp_stream::{all_stream_schedulers, NullSink};
@@ -74,6 +77,9 @@ pub enum Work {
         threads: usize,
         /// Shard-ownership strategy for the parallel engine.
         partition: PartitionMode,
+        /// Game mode: vanilla two-level MPP or the three-level
+        /// hierarchy (`levels`/`green_cap`/`green_cost` body fields).
+        mode: GameMode,
     },
     /// `POST /v1/schedule` — run the heuristic scheduler registry.
     Schedule {
@@ -87,6 +93,9 @@ pub enum Work {
         g: u64,
         /// Optional substring filter on scheduler names.
         filter: Option<String>,
+        /// Game mode: vanilla two-level MPP or the three-level
+        /// hierarchy (`levels`/`green_cap`/`green_cost` body fields).
+        mode: GameMode,
     },
     /// `POST /v1/portfolio` — race schedulers + refinement (+ exact).
     Portfolio {
@@ -165,6 +174,7 @@ impl Work {
                     Some(Json::Str(s)) => s.parse::<PartitionMode>().map_err(bad)?,
                     Some(_) => return Err(bad("\"partition\" must be a string")),
                 };
+                let mode = mode_from_body(body)?;
                 Ok(Work::Solve {
                     dag,
                     k,
@@ -173,6 +183,7 @@ impl Work {
                     max_states,
                     threads,
                     partition,
+                    mode,
                 })
             }
             "schedule" => {
@@ -182,12 +193,21 @@ impl Work {
                     Some(Json::Str(s)) => Some(s.clone()),
                     Some(_) => return Err(bad("\"scheduler\" must be a string")),
                 };
+                let mode = mode_from_body(body)?;
+                if mode.is_hier() && dag.n() > MAX_NODES {
+                    return Err(bad(format!(
+                        "three-level mode is in-memory only: n ≤ {MAX_NODES} \
+                         (got n={}); drop \"levels\" for the streaming tier",
+                        dag.n()
+                    )));
+                }
                 Ok(Work::Schedule {
                     dag,
                     k,
                     r,
                     g,
                     filter,
+                    mode,
                 })
             }
             "portfolio" => {
@@ -269,9 +289,11 @@ impl Work {
                 max_states,
                 threads,
                 partition,
+                mode,
             } => format!(
                 "solve|v1|k={k}|r={r}|g={g}|max_states={max_states}|threads={threads}\
-                 |partition={partition}|{}",
+                 |partition={partition}|mode={}|{}",
+                mode.token(),
                 io::to_text(dag)
             ),
             Work::Schedule {
@@ -280,9 +302,11 @@ impl Work {
                 r,
                 g,
                 filter,
+                mode,
             } => format!(
-                "schedule|v1|k={k}|r={r}|g={g}|filter={}|{}",
+                "schedule|v1|k={k}|r={r}|g={g}|filter={}|mode={}|{}",
                 filter.as_deref().unwrap_or(""),
+                mode.token(),
                 io::to_text(dag)
             ),
             Work::Portfolio {
@@ -322,25 +346,51 @@ impl Work {
                 max_states,
                 threads,
                 partition,
+                mode,
             } => {
                 let inst = MppInstance::new(dag, *k, *r, *g);
                 let config = SearchConfig::default()
                     .with_limits(SolveLimits::states(*max_states))
                     .with_threads(*threads)
                     .with_partition(*partition);
-                let out = rbp_core::solve_mpp_with(&inst, &config);
-                let sol = out.solution.ok_or_else(|| {
+                let budget_err = |reason: &str| {
                     ApiError::new(
                         422,
                         format!(
                             "exact solver exhausted its budget of {max_states} states \
-                             (reason: {})",
-                            out.reason.as_str()
+                             (reason: {reason})"
                         ),
                     )
-                })?;
+                };
+                if let Some(hinst) = HierInstance::from_mode(&inst, *mode) {
+                    let out = rbp_hier::solve_hier_with(&hinst, &config);
+                    let sol = out
+                        .solution
+                        .ok_or_else(|| budget_err(out.reason.as_str()))?;
+                    return Ok(Json::obj([
+                        ("endpoint", Json::from("solve")),
+                        ("mode", Json::from(mode.token())),
+                        ("instance", instance_json(dag, *k, *r, *g)),
+                        ("total", Json::from(sol.total)),
+                        ("io_steps", Json::from(sol.cost.io_steps())),
+                        ("green_io_steps", Json::from(sol.cost.green_io_steps())),
+                        ("green_stores", Json::from(sol.cost.green_stores)),
+                        ("green_loads", Json::from(sol.cost.green_loads)),
+                        ("compute_steps", Json::from(sol.cost.computes)),
+                        ("moves", Json::from(sol.strategy.len())),
+                        ("threads", Json::from(*threads)),
+                        ("partition", Json::from(partition.as_str())),
+                        ("settled", Json::from(out.stats.settled)),
+                        ("proven_optimal", Json::from(true)),
+                    ]));
+                }
+                let out = rbp_core::solve_mpp_with(&inst, &config);
+                let sol = out
+                    .solution
+                    .ok_or_else(|| budget_err(out.reason.as_str()))?;
                 Ok(Json::obj([
                     ("endpoint", Json::from("solve")),
+                    ("mode", Json::from(mode.token())),
                     ("instance", instance_json(dag, *k, *r, *g)),
                     ("total", Json::from(sol.total)),
                     ("io_steps", Json::from(sol.cost.io_steps())),
@@ -358,12 +408,19 @@ impl Work {
                 r,
                 g,
                 filter,
+                mode,
             } => {
                 // Above the in-memory cap, hand the instance to the
                 // streaming tier: bounded CSR passes, O(active-set)
                 // resident state, strategy discarded as it is verified.
+                // (Parsing rejects hier mode above the cap.)
                 if dag.n() > MAX_NODES {
                     return schedule_streaming(dag, *k, *r, *g, filter.as_deref());
+                }
+                if let Some(hinst) =
+                    HierInstance::from_mode(&MppInstance::new(dag, *k, *r, *g), *mode)
+                {
+                    return schedule_hier(&hinst, *mode, filter.as_deref());
                 }
                 let inst = MppInstance::new(dag, *k, *r, *g);
                 let mut rows = Vec::new();
@@ -399,6 +456,7 @@ impl Work {
                 Ok(Json::obj([
                     ("endpoint", Json::from("schedule")),
                     ("tier", Json::from("in-memory")),
+                    ("mode", Json::from(mode.token())),
                     ("instance", instance_json(dag, *k, *r, *g)),
                     ("schedulers", Json::Arr(rows)),
                     (
@@ -537,6 +595,77 @@ fn schedule_streaming(
     ]))
 }
 
+/// The `/v1/schedule` three-level tier: runs the [`rbp_hier`] scheduler
+/// registry, with blue and green traffic attributed separately in every
+/// row.
+fn schedule_hier(
+    inst: &HierInstance,
+    mode: GameMode,
+    filter: Option<&str>,
+) -> Result<Json, ApiError> {
+    let mut rows = Vec::new();
+    let mut best: Option<(u64, String)> = None;
+    for s in all_hier_schedulers() {
+        let name = s.name();
+        if let Some(f) = filter {
+            if !name.contains(f) {
+                continue;
+            }
+        }
+        let run = s
+            .schedule(inst)
+            .map_err(|e| ApiError::new(422, format!("{name}: {e}")))?;
+        let total = run.cost.total(inst.model);
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, name.clone()));
+        }
+        rows.push(Json::obj([
+            ("name", Json::from(name.as_str())),
+            ("total", Json::from(total)),
+            ("io_steps", Json::from(run.cost.io_steps())),
+            ("green_io_steps", Json::from(run.cost.green_io_steps())),
+            ("green_stores", Json::from(run.cost.green_stores)),
+            ("green_loads", Json::from(run.cost.green_loads)),
+            ("compute_steps", Json::from(run.cost.computes)),
+        ]));
+    }
+    let (best_total, best_name) = best.ok_or_else(|| {
+        ApiError::new(
+            422,
+            format!("no scheduler matches '{}'", filter.unwrap_or("")),
+        )
+    })?;
+    Ok(Json::obj([
+        ("endpoint", Json::from("schedule")),
+        ("tier", Json::from("in-memory")),
+        ("mode", Json::from(mode.token())),
+        (
+            "instance",
+            instance_json(inst.dag, inst.k, inst.r, inst.model.g),
+        ),
+        ("schedulers", Json::Arr(rows)),
+        (
+            "best",
+            Json::obj([
+                ("name", Json::from(best_name.as_str())),
+                ("total", Json::from(best_total)),
+            ]),
+        ),
+    ]))
+}
+
+/// Parses the shared game-mode fields (`levels`, `green_cap`,
+/// `green_cost`) through the workspace-wide [`GameMode`] parser — the
+/// same semantics as the CLI's `--levels`/`--green-cap`/`--green-cost`.
+fn mode_from_body(body: &Json) -> Result<GameMode, ApiError> {
+    GameMode::from_flags(
+        opt_u64(body, "levels")?,
+        opt_u64(body, "green_cap")?,
+        opt_u64(body, "green_cost")?,
+    )
+    .map_err(bad)
+}
+
 /// Extracts the shared `(dag, k, r, g)` instance parameters. `max_nodes`
 /// is the endpoint's admission cap ([`MAX_NODES`] everywhere except
 /// `/v1/schedule`, whose streaming tier accepts [`STREAM_MAX_NODES`]).
@@ -643,6 +772,7 @@ pub fn estimate_nodes(family: &str, params: &[usize]) -> Option<u64> {
             h.saturating_add(1).saturating_mul(h.saturating_add(2)) / 2
         }
         "zipper" => p(0).saturating_mul(2).saturating_add(p(1)),
+        "hier_skip" => p(0).saturating_mul(2).saturating_add(5),
         _ => return None,
     })
 }
@@ -762,6 +892,13 @@ pub fn build_dag(family: &str, params: &[usize]) -> Result<Dag, String> {
             need(2)?;
             Ok(rbp_gadgets::Zipper::build(params[0], params[1], 0).dag)
         }
+        "hier_skip" => {
+            need(1)?;
+            if params[0] == 0 {
+                return Err("hier_skip: chain length must be ≥ 1".to_string());
+            }
+            Ok(rbp_gadgets::HierSkip::build(params[0]).dag)
+        }
         "random" => {
             need(2)?;
             Ok(generators::random_dag(params[0], 0.2, params[1] as u64))
@@ -777,7 +914,7 @@ pub fn build_dag(family: &str, params: &[usize]) -> Result<Dag, String> {
         }
         other => Err(format!(
             "unknown family '{other}' \
-             (chain|chains|tree|grid|fft|matmul|diamond|pyramid|zipper|random|layered)"
+             (chain|chains|tree|grid|fft|matmul|diamond|pyramid|zipper|hier_skip|random|layered)"
         )),
     }
 }
@@ -1015,6 +1152,7 @@ mod tests {
             ("diamond", vec![5]),
             ("pyramid", vec![4]),
             ("zipper", vec![3, 4]),
+            ("hier_skip", vec![3]),
             ("random", vec![12, 7]),
             ("layered", vec![3, 4, 2, 9]),
         ] {
@@ -1053,6 +1191,79 @@ mod tests {
             ("g", Json::from(2u64)),
         ]);
         assert!(Work::parse("schedule", &ok).is_ok());
+    }
+
+    /// The game-mode fields parse through the shared [`GameMode`]
+    /// parser, reshape the cache key, and flow through to a hierarchical
+    /// solve whose response echoes the canonical mode token.
+    #[test]
+    fn solve_mode_fields_key_and_execute() {
+        let vanilla =
+            parse_body(r#"{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3}"#);
+        let wv = Work::parse("solve", &vanilla).unwrap();
+        let hier = parse_body(
+            r#"{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3,
+                "levels":3,"green_cap":1,"green_cost":1}"#,
+        );
+        let wh = Work::parse("solve", &hier).unwrap();
+        assert_ne!(wv.cache_key(), wh.cache_key(), "mode must be cache-keyed");
+
+        let cv = wv.execute().unwrap();
+        let ch = wh.execute().unwrap();
+        assert_eq!(cv.get("mode").unwrap().as_str(), Some("mpp"));
+        assert_eq!(ch.get("mode").unwrap().as_str(), Some("hier:cap=1:cost=1"));
+        // The separation gadget: the mid tier strictly beats vanilla.
+        let tv = cv.get("total").unwrap().as_u64().unwrap();
+        let th = ch.get("total").unwrap().as_u64().unwrap();
+        assert!(th < tv, "hier {th} !< vanilla {tv}");
+        assert!(ch.get("green_io_steps").unwrap().as_u64().unwrap() > 0);
+
+        // Defaulted green parameters are keyed at their canonical values.
+        let defaulted = parse_body(
+            r#"{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3,"levels":3}"#,
+        );
+        let wd = Work::parse("solve", &defaulted).unwrap();
+        assert_ne!(wd.cache_key(), wv.cache_key());
+        assert_ne!(wd.cache_key(), wh.cache_key());
+
+        // Green fields without levels=3 are rejected, as in the CLI.
+        let stray = parse_body(
+            r#"{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3,"green_cap":2}"#,
+        );
+        assert_eq!(Work::parse("solve", &stray).unwrap_err().status, 400);
+    }
+
+    /// `levels: 3` on the schedule endpoint runs the hier registry with
+    /// green traffic attributed per row — and is rejected above the
+    /// in-memory cap rather than silently falling back to two levels.
+    #[test]
+    fn schedule_mode_rows_and_streaming_rejection() {
+        let body = parse_body(
+            r#"{"generator":{"family":"grid","params":[3,3]},"k":2,"r":4,"g":3,
+                "levels":3,"green_cap":4,"green_cost":1}"#,
+        );
+        let core = Work::parse("schedule", &body).unwrap().execute().unwrap();
+        assert_eq!(
+            core.get("mode").unwrap().as_str(),
+            Some("hier:cap=4:cost=1")
+        );
+        let rows = core.get("schedulers").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), all_hier_schedulers().len());
+        for row in rows {
+            assert!(row.get("green_io_steps").unwrap().as_u64().is_some());
+        }
+        // Vanilla responses echo the vanilla token.
+        let plain =
+            parse_body(r#"{"generator":{"family":"grid","params":[2,3]},"k":2,"r":3,"g":2}"#);
+        let core = Work::parse("schedule", &plain).unwrap().execute().unwrap();
+        assert_eq!(core.get("mode").unwrap().as_str(), Some("mpp"));
+
+        let big = parse_body(
+            r#"{"generator":{"family":"grid","params":[70,70]},"k":4,"r":4,"g":2,"levels":3}"#,
+        );
+        let err = Work::parse("schedule", &big).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.msg.contains("in-memory only"), "{}", err.msg);
     }
 
     /// Above [`MAX_NODES`] the schedule endpoint switches to the

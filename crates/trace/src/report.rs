@@ -185,6 +185,33 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
 
+    // The three-level game (rbp-hier) reports under `hier.*` (exact
+    // solver) and `bounds.hier.*` (closed-form bounds); gather those
+    // into one "Hierarchy" section so green-tier traffic and the
+    // green/blue split read as a unit.
+    let is_hier = |n: &str| n.starts_with("hier.") || n.starts_with("bounds.hier.");
+    let hier_counters: Vec<(String, u64)> = counters
+        .iter()
+        .filter(|(n, _)| is_hier(n))
+        .cloned()
+        .collect();
+    let hier_gauges: Vec<(String, f64)> =
+        gauges.iter().filter(|(n, _)| is_hier(n)).cloned().collect();
+    let hier_rows = hier_counters.len() + hier_gauges.len();
+    if hier_rows > 0 {
+        counters.retain(|(n, _)| !is_hier(n));
+        gauges.retain(|(n, _)| !is_hier(n));
+        let _ = writeln!(out, "\n## Hierarchy\n");
+        let _ = writeln!(out, "| metric | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &hier_counters {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+        for (n, v) in &hier_gauges {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+
     if !counters.is_empty() {
         let _ = writeln!(out, "\n## Counters\n");
         let _ = writeln!(out, "| counter | total |");
@@ -234,6 +261,7 @@ pub fn render(text: &str) -> Result<String, String> {
         && spans.is_empty()
         && store_rows == 0
         && scale_rows == 0
+        && hier_rows == 0
     {
         return Err(format!(
             "trace has {} event(s) but none are renderable (no tables, counters, gauges, or spans)",
@@ -377,6 +405,40 @@ mod tests {
             "{report}"
         );
         assert!(!report[counters_at..].contains("stream."), "{report}");
+    }
+
+    /// `hier.*` and `bounds.hier.*` metrics from the three-level game
+    /// get their own "Hierarchy" section and disappear from the generic
+    /// tables.
+    #[test]
+    fn hier_metrics_render_in_hierarchy_section() {
+        let trace = concat!(
+            "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"rbp\",\"git_rev\":null}\n",
+            "{\"type\":\"counter\",\"ts_us\":1,\"name\":\"hier.runs\",\"value\":1}\n",
+            "{\"type\":\"counter\",\"ts_us\":2,\"name\":\"hier.green_stores\",\"value\":2}\n",
+            "{\"type\":\"counter\",\"ts_us\":3,\"name\":\"hier.green_loads\",\"value\":2}\n",
+            "{\"type\":\"counter\",\"ts_us\":4,\"name\":\"hier.blue_stores\",\"value\":0}\n",
+            "{\"type\":\"gauge\",\"ts_us\":5,\"name\":\"hier.green_cap\",\"value\":2}\n",
+            "{\"type\":\"gauge\",\"ts_us\":6,\"name\":\"hier.total\",\"value\":13}\n",
+            "{\"type\":\"gauge\",\"ts_us\":7,\"name\":\"bounds.hier.upper\",\"value\":90}\n",
+            "{\"type\":\"counter\",\"ts_us\":8,\"name\":\"other.counter\",\"value\":1}\n",
+        );
+        let report = render(trace).unwrap();
+        assert!(report.contains("## Hierarchy"), "{report}");
+        assert!(report.contains("| hier.runs | 1 |"), "{report}");
+        assert!(report.contains("| hier.green_stores | 2 |"), "{report}");
+        assert!(report.contains("| hier.green_cap | 2 |"), "{report}");
+        assert!(report.contains("| bounds.hier.upper | 90 |"), "{report}");
+        // hier rows live only in the Hierarchy section; unrelated
+        // metrics stay in the generic tables.
+        let hier_at = report.find("## Hierarchy").unwrap();
+        let counters_at = report.find("## Counters").unwrap();
+        assert!(hier_at < counters_at, "{report}");
+        assert!(
+            report[counters_at..].contains("| other.counter | 1 |"),
+            "{report}"
+        );
+        assert!(!report[counters_at..].contains("hier."), "{report}");
     }
 
     #[test]

@@ -27,6 +27,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-serve --quiet
 echo "== rustdoc gate on rbp-stream (crate-wide deny(missing_docs)) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-stream --quiet
 
+echo "== rustdoc gate on rbp-hier (crate-wide deny(missing_docs)) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p rbp-hier --quiet
+
 echo "== quick solver sweep (equivalence + speedup smoke) =="
 ./target/release/exp_solver --quick
 
@@ -42,6 +45,27 @@ for mode in hash bands anchors; do
         || { echo "parallel smoke failed: sequential=$seq_opt threads4/$mode=$par_opt"; exit 1; }
 done
 echo "parallel smoke: OPT=$seq_opt at 1 thread and 4 threads x {hash,bands,anchors}"
+
+echo "== hier smoke (three-level solve on the separation gadget) =="
+hier_dag=$(mktemp)
+trap 'rm -f "$hier_dag"' EXIT
+./target/release/rbp gen hier_skip 1 > "$hier_dag"
+vanilla_opt=$(./target/release/rbp solve "$hier_dag" 1 3 3 \
+    | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
+hier_opt=$(./target/release/rbp solve "$hier_dag" 1 3 3 --levels 3 --green-cap 1 --green-cost 1 \
+    | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
+[ -n "$vanilla_opt" ] && [ -n "$hier_opt" ] \
+    || { echo "hier smoke failed: vanilla=$vanilla_opt hier=$hier_opt"; exit 1; }
+[ "$hier_opt" -lt "$vanilla_opt" ] \
+    || { echo "hier smoke failed: hier=$hier_opt not < vanilla=$vanilla_opt"; exit 1; }
+# Degenerate reduction: green_cap=0 must reproduce the vanilla optimum.
+degen_opt=$(./target/release/rbp solve "$hier_dag" 1 3 3 --levels 3 --green-cap 0 \
+    | sed -n 's/^OPT = \([0-9]*\).*/\1/p')
+[ "$degen_opt" = "$vanilla_opt" ] \
+    || { echo "hier smoke failed: cap=0 gave $degen_opt, vanilla $vanilla_opt"; exit 1; }
+trap - EXIT
+rm -f "$hier_dag"
+echo "hier smoke: OPT(3-level)=$hier_opt < OPT(2-level)=$vanilla_opt, cap=0 reduces exactly"
 
 echo "== trace report smoke (fixture round trip) =="
 ./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"
@@ -76,8 +100,13 @@ echo "$scale_report" | grep -q "stream.peak_active_set" \
 # `rbp improve --in` (validates the full strategy in-memory).
 ./target/release/rbp schedule "$scale_dag" 8 4 2 wavefront --stream --out "$scale_out" \
     || { echo "scale smoke: --out emission failed"; exit 1; }
-./target/release/rbp improve "$scale_dag" 8 4 2 --in "$scale_out" --budget-ms 1 \
-    | grep -q "saved:" || { echo "scale smoke: streamed JSONL did not reload"; exit 1; }
+# Capture, don't pipe: `grep -q` would close the pipe at the first
+# match and (under pipefail) turn the CLI's broken-pipe panic into a
+# spurious failure.
+improve_out=$(./target/release/rbp improve "$scale_dag" 8 4 2 --in "$scale_out" --budget-ms 1) \
+    || { echo "scale smoke: improve reload failed"; exit 1; }
+echo "$improve_out" | grep -q "saved:" \
+    || { echo "scale smoke: streamed JSONL did not reload"; exit 1; }
 trap - EXIT
 rm -f "$scale_dag" "$scale_trace" "$scale_out"
 echo "scale smoke: 10^5-node grid scheduled, stream.* gauges rendered, JSONL round-trip"
@@ -112,11 +141,28 @@ t1=$(echo "$r1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
 t2=$(echo "$r2" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
 [ -n "$t1" ] && [ "$t1" = "$t2" ] \
     || { echo "serve smoke: cached total differs: cold=$t1 warm=$t2"; exit 1; }
+# Hier mode must live in the cache key: same DAG, levels=3 vs vanilla
+# are distinct entries with distinct (strictly better) totals.
+hier_body='{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3,"levels":3,"green_cap":1,"green_cost":1}'
+flat_body='{"generator":{"family":"hier_skip","params":[1]},"k":1,"r":3,"g":3}'
+h1=$(curl -sf -X POST "http://$addr/v1/solve" -d "$hier_body")
+h2=$(curl -sf -X POST "http://$addr/v1/solve" -d "$hier_body")
+f1=$(curl -sf -X POST "http://$addr/v1/solve" -d "$flat_body")
+echo "$h1" | grep -q '"cache":"miss"' || { echo "serve smoke: hier solve not a miss: $h1"; exit 1; }
+echo "$h2" | grep -q '"cache":"hit"'  || { echo "serve smoke: hier repeat not a hit: $h2"; exit 1; }
+echo "$h1" | grep -q '"mode":"hier:cap=1:cost=1"' \
+    || { echo "serve smoke: hier mode token not echoed: $h1"; exit 1; }
+echo "$f1" | grep -q '"cache":"miss"' \
+    || { echo "serve smoke: vanilla body collided with the hier cache key: $f1"; exit 1; }
+ht=$(echo "$h1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+ft=$(echo "$f1" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ -n "$ht" ] && [ -n "$ft" ] && [ "$ht" -lt "$ft" ] \
+    || { echo "serve smoke: hier total=$ht not < vanilla total=$ft"; exit 1; }
 curl -sf -X POST "http://$addr/v1/shutdown" >/dev/null
 wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
 trap - EXIT
 rm -f "$serve_log"
-echo "serve smoke: cache hit with identical total=$t1, clean shutdown"
+echo "serve smoke: cache hit (total=$t1), hier keyed separately ($ht < $ft), clean shutdown"
 
 echo "== restart-survival smoke (--store-dir, SIGTERM kill, warm reboot hit) =="
 store_dir=$(mktemp -d)

@@ -24,6 +24,15 @@
 //! engine; default `hash`), `--max-states <N>` (settled-state budget),
 //! `--deadline-ms <N>` (wall-clock limit; budget and deadline
 //! exhaustion are reported distinctly).
+//!
+//! `solve`, `schedule`, `portfolio`, and `bounds` accept the game-mode
+//! flags `--levels <2|3>`, `--green-cap <N>`, and `--green-cost <N>`
+//! (parsed by the workspace-wide `rbp_core::GameMode`, same semantics
+//! as the serve API): `--levels 3` switches to the three-level
+//! red/green/blue hierarchy of the `rbp-hier` crate, with a shared
+//! mid tier of capacity `--green-cap` (default 2) whose I/O rule costs
+//! `--green-cost` (default 1). Without `--levels 3` the green flags are
+//! rejected and the vanilla two-level paths run unchanged.
 //! `improve` options: `--budget-ms <N>` (default 1000), `--driver
 //! auto|hill|anneal|lns`, `--in <file>` (resume from a saved strategy),
 //! `--out <file>` (save the refined strategy as JSONL).
@@ -57,9 +66,10 @@ use std::process::ExitCode;
 use rbp::bounds::trivial;
 use rbp::core::rbp_dag::{dot, io, Dag, DagStats};
 use rbp::core::{
-    async_makespan, batchify, MppInstance, MppRun, MppRunStats, PartitionMode, SearchConfig,
-    SolveLimits, StopReason,
+    async_makespan, batchify, GameMode, MppInstance, MppRun, MppRunStats, PartitionMode,
+    SearchConfig, SolveLimits, StopReason,
 };
+use rbp::hier::{all_hier_schedulers, HierInstance};
 use rbp::refine::{persist, Budget, Driver, PortfolioConfig, RefineConfig};
 use rbp::schedulers::all_schedulers;
 use rbp::util::env_seed;
@@ -121,10 +131,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get(5)
                 .filter(|a| !a.starts_with("--"))
                 .map(String::as_str);
+            let mode = game_mode(args)?;
             if args.iter().any(|a| a == "--stream") {
+                if mode.is_hier() {
+                    return Err("--stream is two-level only (drop --levels 3)".to_string());
+                }
                 return schedule_stream(&dag, k, r, g, want, flag_value(args, "--out")?);
             }
             let inst = MppInstance::new(&dag, k, r, g);
+            if let Some(hinst) = HierInstance::from_mode(&inst, mode) {
+                return schedule_hier(&hinst, want);
+            }
             if !inst.is_feasible() {
                 return Err(format!("infeasible: need r ≥ {}", dag.max_in_degree() + 1));
             }
@@ -184,21 +201,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 .with_limits(limits)
                 .with_threads(threads)
                 .with_partition(partition);
+            let mode = game_mode(args)?;
+            if let Some(hinst) = HierInstance::from_mode(&inst, mode) {
+                let out = rbp::hier::solve_hier_with(&hinst, &config);
+                let sol = out
+                    .solution
+                    .ok_or_else(|| solve_failure(&out.reason, &config))?;
+                println!(
+                    "OPT = {} ({}; mode={}; {} moves; {} settled, {} thread{})",
+                    sol.total,
+                    sol.cost,
+                    mode.token(),
+                    sol.strategy.len(),
+                    out.stats.settled,
+                    out.stats.threads,
+                    if out.stats.threads == 1 { "" } else { "s" }
+                );
+                for mv in &sol.strategy.moves {
+                    println!("  {mv}");
+                }
+                return Ok(());
+            }
             let out = rbp::core::solve_mpp_with(&inst, &config);
-            let sol = out.solution.ok_or_else(|| match out.reason {
-                StopReason::StateLimit => format!(
-                    "exact solve hit its state budget of {} settled states \
-                     (raise --max-states)",
-                    config.limits.max_states
-                ),
-                StopReason::Deadline => {
-                    "exact solve hit its --deadline-ms wall-clock budget".to_string()
-                }
-                StopReason::Unsupported => {
-                    "exact solve failed (instance too large or infeasible)".to_string()
-                }
-                _ => format!("exact solve failed ({})", out.reason.as_str()),
-            })?;
+            let sol = out
+                .solution
+                .ok_or_else(|| solve_failure(&out.reason, &config))?;
             println!(
                 "OPT = {} ({}; {} moves; {} settled, {} thread{})",
                 sol.total,
@@ -323,6 +350,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 use_exact: !args.iter().any(|a| a == "--no-exact"),
                 exact_threads: exact_threads.max(1),
                 exact_partition,
+                mode: game_mode(args)?,
                 ..PortfolioConfig::default()
             };
             let out = rbp::refine::race(&inst, &cfg).map_err(|e| e.to_string())?;
@@ -348,6 +376,20 @@ fn run(args: &[String]) -> Result<(), String> {
             let dag = load(args.get(1))?;
             let (k, r, g) = krg(args)?;
             let inst = MppInstance::new(&dag, k, r, g);
+            let mode = game_mode(args)?;
+            if let Some(hinst) = HierInstance::from_mode(&inst, mode) {
+                use rbp::bounds::hier;
+                println!("mode: {}", mode.token());
+                println!("feasible (r ≥ Δin+1): {}", hier::feasible(&dag, r));
+                println!("hier lower:      {}", hier::lower(&hinst));
+                println!("hier upper:      {}", hier::upper(&hinst));
+                match hier::green_upper(&hinst) {
+                    Some(b) => println!("green upper:     {b}"),
+                    None => println!("green upper:     - (green-cap < n)"),
+                }
+                println!("best upper:      {}", hier::best_upper(&hinst));
+                return Ok(());
+            }
             println!("feasible (r ≥ Δin+1): {}", inst.is_feasible());
             println!("Lemma 1 lower:  {}", trivial::lower(&inst));
             println!("Lemma 1 upper:  {}", trivial::upper(&inst));
@@ -488,6 +530,69 @@ fn schedule_stream(
         );
     }
     Ok(())
+}
+
+/// `rbp schedule … --levels 3`: run the three-level schedulers and
+/// print a cost breakdown with blue and green traffic attributed
+/// separately.
+fn schedule_hier(inst: &HierInstance, want: Option<&str>) -> Result<(), String> {
+    if !inst.is_feasible() {
+        return Err(format!(
+            "infeasible: need r ≥ {}",
+            inst.dag.max_in_degree() + 1
+        ));
+    }
+    let mut any = false;
+    for s in all_hier_schedulers() {
+        if let Some(w) = want {
+            if !s.name().contains(w) {
+                continue;
+            }
+        }
+        any = true;
+        let run = s.schedule(inst).map_err(|e| e.to_string())?;
+        println!(
+            "{:<50} total={:<6} io_steps={:<5} green_io={:<5} green_stores={:<5} green_loads={:<5} computes={}",
+            s.name(),
+            run.cost.total(inst.model),
+            run.cost.io_steps(),
+            run.cost.green_io_steps(),
+            run.cost.green_stores,
+            run.cost.green_loads,
+            run.cost.computes,
+        );
+    }
+    if !any {
+        return Err(format!("no scheduler matches '{}'", want.unwrap_or("")));
+    }
+    Ok(())
+}
+
+/// Parses the shared game-mode flags (`--levels`, `--green-cap`,
+/// `--green-cost`) through the workspace-wide [`GameMode`] parser.
+fn game_mode(args: &[String]) -> Result<GameMode, String> {
+    let num = |flag: &str| -> Result<Option<u64>, String> {
+        flag_value(args, flag)?
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad {flag}")))
+            .transpose()
+    };
+    GameMode::from_flags(num("--levels")?, num("--green-cap")?, num("--green-cost")?)
+}
+
+/// Renders a failed exact solve into the CLI error message.
+fn solve_failure(reason: &StopReason, config: &SearchConfig) -> String {
+    match reason {
+        StopReason::StateLimit => format!(
+            "exact solve hit its state budget of {} settled states \
+             (raise --max-states)",
+            config.limits.max_states
+        ),
+        StopReason::Deadline => "exact solve hit its --deadline-ms wall-clock budget".to_string(),
+        StopReason::Unsupported => {
+            "exact solve failed (instance too large or infeasible)".to_string()
+        }
+        other => format!("exact solve failed ({})", other.as_str()),
+    }
 }
 
 /// Looks up `--flag value` in the argument list; errors when the flag is

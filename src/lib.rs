@@ -1,7 +1,8 @@
 //! # rbp — Red-Blue Pebbling with Multiple Processors
 //!
 //! Facade crate re-exporting the whole workspace: the pebbling games
-//! ([`core`]), the DAG substrate ([`dag`]), heuristic schedulers
+//! ([`core`]), the three-level hierarchy mode ([`hier`]), the DAG
+//! substrate ([`dag`]), heuristic schedulers
 //! ([`schedulers`]), anytime refinement and the racing solver portfolio
 //! ([`refine`]), the paper's proof constructions ([`gadgets`]), lower
 //! bounds ([`bounds`]), and the pebbling-as-a-service HTTP layer
@@ -20,6 +21,9 @@ pub use rbp_core as core;
 pub use rbp_dag as dag;
 /// Executable proof constructions from the paper.
 pub use rbp_gadgets as gadgets;
+/// Three-level (red/green/blue) hierarchical pebbling: exact solver,
+/// schedulers, projection to the two-level game.
+pub use rbp_hier as hier;
 /// Anytime local-search refinement and the racing solver portfolio.
 pub use rbp_refine as refine;
 /// Heuristic schedulers producing valid strategies.
