@@ -5,6 +5,7 @@
 //! so before/after runs can be compared commit-to-commit.
 
 use rbp_bench::Bench;
+use rbp_core::mpp::exact::probe;
 use rbp_core::rbp_dag::generators;
 use rbp_core::{
     solve_mpp, solve_mpp_with, solve_spp, solve_spp_with, MppInstance, SearchConfig, SolveLimits,
@@ -92,6 +93,39 @@ fn main() {
             solve_spp_with(&inst, &cfg).stats.settled
         });
         m.extra.add("settled", settled);
+    }
+
+    // Hot-path kernels (`solver_kernel` group), timed in isolation via
+    // the solver's probe hooks: memoized processor-permutation
+    // canonicalization, the incremental (delta) heuristic against the
+    // from-scratch evaluation it replaces, and per-expansion successor
+    // generation with dominance pruning off vs on. All walk-based
+    // kernels share a fixed seed so before/after runs time identical
+    // work; the returned checksums keep the work live.
+    let dag = generators::grid(3, 3);
+    let inst = MppInstance::new(&dag, 2, 3, 2);
+    const KSEED: u64 = 0xbeb0;
+    let m = b.run("solver_kernel/canonicalize_64k", || {
+        probe::canon_kernel(64_000, KSEED)
+    });
+    m.extra.add("iters", 64_000u64);
+    for (label, delta) in [
+        ("solver_kernel/heur_scratch_8k", false),
+        ("solver_kernel/heur_delta_8k", true),
+    ] {
+        let m = b.run(label, || probe::heur_kernel(&inst, 8_000, delta, KSEED));
+        m.extra.add("evals", 8_000u64);
+    }
+    for (label, dominance) in [
+        ("solver_kernel/expand_naive_2k", false),
+        ("solver_kernel/expand_pruned_2k", true),
+    ] {
+        let emitted = probe::expand_kernel(&inst, 2_000, dominance, KSEED);
+        let m = b.run(label, || {
+            probe::expand_kernel(&inst, 2_000, dominance, KSEED)
+        });
+        m.extra.add("expansions", 2_000u64);
+        m.extra.add("emitted", emitted);
     }
 
     // Send-path cost: one ring slot per state vs the driver's 8-state

@@ -50,9 +50,18 @@ use std::time::Instant;
 
 use crate::arena::{gid, gid_idx, gid_shard, hash_words, shard_of, StateArena, MAX_KEY_WORDS};
 use crate::search::{
-    Frontier, PackedMove, SearchConfig, SearchStats, ShardStats, StopReason, MAX_THREADS,
+    phase_timing_enabled, Frontier, PackedMove, PhaseStats, SearchConfig, SearchStats, ShardStats,
+    SolveLimits, StopReason, MAX_THREADS,
 };
 use crate::spsc::Spsc;
+
+/// Lazily evaluated admissible bound for an emitted successor: `None`
+/// marks the state provably dead. See [`Domain::expand`].
+pub type HeurThunk<'a> = &'a mut dyn FnMut() -> Option<u64>;
+
+/// Successor sink passed to [`Domain::expand`]: receives
+/// `(key, edge_cost, move, heuristic_thunk)` per canonical successor.
+pub type EmitFn<'a, K> = &'a mut dyn FnMut(K, u64, PackedMove, HeurThunk<'_>);
 
 /// A solver-specific description of an implicit shortest-path space.
 ///
@@ -84,15 +93,29 @@ pub trait Domain: Sync {
     /// Admissible lower bound on remaining cost; `None` marks the state
     /// provably dead (never enqueued). Must return `Some(0)`-style
     /// constants when the heuristic is disabled in config so baselines
-    /// stay comparable — the driver calls this blindly.
+    /// stay comparable. The drivers call this for the root and for
+    /// states arriving over cross-shard channels; locally generated
+    /// successors carry the (incrementally evaluated) bound emitted by
+    /// [`Domain::expand`] instead.
     fn heuristic(&self, key: &Self::Key) -> Option<u64>;
-    /// Emits every canonical successor as `(key, edge_cost, move)`.
-    fn expand(
-        &self,
-        key: &Self::Key,
-        scratch: &mut Self::Scratch,
-        emit: &mut dyn FnMut(Self::Key, u64, PackedMove),
-    );
+    /// Emits every canonical successor as `(key, edge_cost, move,
+    /// heuristic_thunk)`. The last component evaluates the successor's
+    /// own admissible bound on demand — `None` for provably dead
+    /// successors (interned but never enqueued), `Some(0)` when the
+    /// heuristic is disabled — so implementations can evaluate it
+    /// incrementally from the parent instead of having the driver
+    /// recompute it from scratch. The thunk is only invoked when the
+    /// relax actually improved a locally owned distance: most emitted
+    /// successors are duplicates (or ship to a foreign shard, which
+    /// re-evaluates on arrival), and their bound is never needed.
+    fn expand(&self, key: &Self::Key, scratch: &mut Self::Scratch, emit: EmitFn<'_, Self::Key>);
+    /// Drains the phase counters [`Domain::expand`] accumulated into
+    /// `scratch` since the last call. The default reports nothing;
+    /// domains that embed a [`crate::PhaseProf`] in their scratch
+    /// override it so the drivers can aggregate hot-path accounting.
+    fn take_phases(&self, _scratch: &mut Self::Scratch) -> PhaseStats {
+        PhaseStats::default()
+    }
     /// Upper bound on every `f` value (selects the frontier
     /// representation).
     fn max_priority(&self) -> u64;
@@ -120,15 +143,23 @@ pub struct DriverOutcome<K> {
     pub shards: Vec<ShardStats>,
     /// Why the search stopped.
     pub reason: StopReason,
+    /// Phase-level hot-path accounting (summed across shards).
+    pub phases: PhaseStats,
 }
 
 impl<K> DriverOutcome<K> {
-    fn stopped(stats: SearchStats, shards: Vec<ShardStats>, reason: StopReason) -> Self {
+    fn stopped(
+        stats: SearchStats,
+        shards: Vec<ShardStats>,
+        reason: StopReason,
+        phases: PhaseStats,
+    ) -> Self {
         DriverOutcome {
             best: None,
             stats,
             shards,
             reason,
+            phases,
         }
     }
 }
@@ -137,18 +168,130 @@ impl<K> DriverOutcome<K> {
 /// `1..=MAX_THREADS`).
 pub fn search<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
     let threads = config.threads.clamp(1, MAX_THREADS);
-    if threads == 1 {
-        sequential(domain, config)
+    // A weighted-A* probe for a feasible schedule seeds an incumbent:
+    // the exact search then discards every successor whose f-value
+    // provably cannot beat it, before paying the dominant cost of
+    // hashing and interning it. When the probe's schedule turns out
+    // optimal, the exact search never settles the `f == OPT` plateau
+    // at all — exhausting `f < ub` proves the incumbent optimal and
+    // the probe's own schedule is the witness. Only worthwhile when
+    // the heuristic exists to guide the probe and compute f — a
+    // baseline run keeps the unpruned search it is meant to measure.
+    let incumbent = if config.heuristic {
+        probe_upper_bound(domain, config)
     } else {
-        parallel(domain, config, threads)
+        None
+    };
+    if threads == 1 {
+        sequential(domain, config, incumbent)
+    } else {
+        parallel(domain, config, threads, incumbent)
     }
+}
+
+/// A feasible schedule found by the upper-bound probe: its cost and
+/// its full move path, kept so the exact search can return it as the
+/// witness when it proves no strictly better schedule exists.
+type Incumbent<K> = (u64, Vec<(K, PackedMove)>);
+
+/// Heuristic inflation of the upper-bound probe, as a ratio:
+/// `f = g + h·3/2`. Weighted A* with an admissible `h` returns a goal
+/// within `3/2` of optimal while settling a small fraction of the
+/// exact search's states.
+const PROBE_WEIGHT_NUM: u64 = 3;
+const PROBE_WEIGHT_DEN: u64 = 2;
+/// Settled-state budget of the probe. The probe is a bet: if greedy
+/// descent does not reach a goal quickly, give up and run the exact
+/// search unpruned rather than burn a meaningful slice of its budget.
+const PROBE_MAX_STATES: usize = 20_000;
+
+/// [`Domain`] wrapper inflating the heuristic for the upper-bound
+/// probe. Everything else delegates, so the probe reuses the exact
+/// engine — same canonicalization, dominance pruning, and arena.
+struct InflatedDomain<'a, D: Domain> {
+    inner: &'a D,
+}
+
+impl<D: Domain> InflatedDomain<'_, D> {
+    #[inline]
+    fn inflate(h: u64) -> u64 {
+        (h.saturating_mul(PROBE_WEIGHT_NUM)) / PROBE_WEIGHT_DEN
+    }
+}
+
+impl<D: Domain> Domain for InflatedDomain<'_, D> {
+    type Key = D::Key;
+    type Scratch = D::Scratch;
+
+    fn key_words(&self) -> usize {
+        self.inner.key_words()
+    }
+    fn pack(&self, key: &Self::Key, out: &mut [u64]) {
+        self.inner.pack(key, out);
+    }
+    fn unpack(&self, words: &[u64]) -> Self::Key {
+        self.inner.unpack(words)
+    }
+    fn root(&self) -> Self::Key {
+        self.inner.root()
+    }
+    fn is_goal(&self, key: &Self::Key) -> bool {
+        self.inner.is_goal(key)
+    }
+    fn heuristic(&self, key: &Self::Key) -> Option<u64> {
+        self.inner.heuristic(key).map(Self::inflate)
+    }
+    fn expand(&self, key: &Self::Key, scratch: &mut Self::Scratch, emit: EmitFn<'_, Self::Key>) {
+        self.inner.expand(key, scratch, &mut |k2, c, mv, hv| {
+            emit(k2, c, mv, &mut || hv().map(Self::inflate));
+        });
+    }
+    fn take_phases(&self, scratch: &mut Self::Scratch) -> PhaseStats {
+        self.inner.take_phases(scratch)
+    }
+    fn max_priority(&self) -> u64 {
+        self.inner
+            .max_priority()
+            .saturating_mul(PROBE_WEIGHT_NUM)
+            .saturating_add(PROBE_WEIGHT_DEN)
+    }
+    fn owner(&self, key: &Self::Key, hash: u64, shards: usize) -> usize {
+        self.inner.owner(key, hash, shards)
+    }
+}
+
+/// Runs weighted A* (the sequential engine over [`InflatedDomain`])
+/// for *any* goal state and returns its cost and move path — a
+/// feasible, not necessarily optimal, schedule. `None` when the probe
+/// gives up (state budget, deadline, or an unsolvable instance).
+///
+/// The bound is correct by construction: the probe only follows real
+/// [`Domain::expand`] edges from the root and `g` accumulates real
+/// edge costs, so the distance of any goal it settles is the cost of
+/// an actual schedule. The inflation only affects *which* goal greedy
+/// descent reaches first.
+fn probe_upper_bound<D: Domain>(domain: &D, config: &SearchConfig) -> Option<Incumbent<D::Key>> {
+    let probe_config = SearchConfig {
+        threads: 1,
+        limits: SolveLimits {
+            max_states: PROBE_MAX_STATES.min(config.limits.max_states),
+            deadline: config.limits.deadline,
+        },
+        ..*config
+    };
+    let inflated = InflatedDomain { inner: domain };
+    sequential(&inflated, &probe_config, None).best
 }
 
 // ---------------------------------------------------------------------
 // Sequential driver
 // ---------------------------------------------------------------------
 
-fn sequential<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::Key> {
+fn sequential<D: Domain>(
+    domain: &D,
+    config: &SearchConfig,
+    incumbent: Option<Incumbent<D::Key>>,
+) -> DriverOutcome<D::Key> {
     let start = Instant::now();
     let kw = domain.key_words();
     let root = domain.root();
@@ -158,7 +301,12 @@ fn sequential<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::
     };
     let Some(h0) = domain.heuristic(&root) else {
         // The start state is already dead: unsolvable.
-        return DriverOutcome::stopped(stats, Vec::new(), StopReason::Exhausted);
+        return DriverOutcome::stopped(
+            stats,
+            Vec::new(),
+            StopReason::Exhausted,
+            PhaseStats::default(),
+        );
     };
     stats.h_root = h0;
 
@@ -174,27 +322,46 @@ fn sequential<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::
     stats.pushed = 1;
     stats.frontier_peak = 1;
 
+    let timing = phase_timing_enabled();
+    let mut phases = PhaseStats::default();
+    let mut expand_ns = 0u64;
     let mut scratch = D::Scratch::default();
-    let mut succs: Vec<(D::Key, u64, PackedMove)> = Vec::new();
+    let ub = incumbent.as_ref().map(|&(u, _)| u);
+    // The hot loop is allocation-free: successors are relaxed inline as
+    // the domain emits them from its scratch buffers, with no
+    // intermediate Vec.
+    let mut best: Option<(u64, u64)> = None;
+    let mut proved_incumbent = false;
     let reason = loop {
-        let Some((_f, idx, d)) = frontier.pop() else {
-            break StopReason::Exhausted;
+        let Some((f, idx, d)) = frontier.pop() else {
+            // With an incumbent, exhausting every `f < ub` state IS the
+            // optimality proof: the admissible bound keeps some state of
+            // any strictly cheaper schedule enqueued until it is found.
+            proved_incumbent = ub.is_some();
+            break if proved_incumbent {
+                StopReason::Solved
+            } else {
+                StopReason::Exhausted
+            };
         };
+        if let Some(ub) = ub {
+            // The popped f is the frontier minimum, which lower-bounds
+            // the cost of any schedule not yet found — reaching the
+            // incumbent proves the incumbent optimal. (Pushes filter
+            // `f >= ub`, so this triggers at most for the root.)
+            if f >= ub {
+                proved_incumbent = true;
+                break StopReason::Solved;
+            }
+        }
         if arena.meta(idx).dist != d {
             stats.stale += 1;
             continue;
         }
         let key = domain.unpack(arena.key_words(idx));
         if domain.is_goal(&key) {
-            stats.arena_states = arena.len() as u64;
-            stats.arena_peak_bytes = arena.bytes();
-            let path = reconstruct_path(domain, &[&arena], gid(0, idx));
-            return DriverOutcome {
-                best: Some((d, path)),
-                stats,
-                shards: Vec::new(),
-                reason: StopReason::Solved,
-            };
+            best = Some((d, gid(0, idx)));
+            break StopReason::Solved;
         }
         stats.settled += 1;
         if stats.settled > config.limits.max_states as u64 {
@@ -205,25 +372,76 @@ fn sequential<D: Domain>(domain: &D, config: &SearchConfig) -> DriverOutcome<D::
                 break StopReason::Deadline;
             }
         }
-        succs.clear();
-        domain.expand(&key, &mut scratch, &mut |k2, c, mv| succs.push((k2, c, mv)));
-        for &(k2, c, mv) in &succs {
+        let t_exp = if timing { Some(Instant::now()) } else { None };
+        domain.expand(&key, &mut scratch, &mut |k2, c, mv, hv| {
+            phases.emitted += 1;
             let nd = d + c;
+            // With a seeded incumbent the heuristic is evaluated
+            // eagerly: a successor whose f provably cannot *beat* the
+            // known feasible schedule is discarded before paying the
+            // dominant cost of hashing and interning it. Dead
+            // successors (`hv() == None`) are discarded the same way.
+            let mut hval: Option<u64> = None;
+            if let Some(ub) = ub {
+                match hv() {
+                    Some(hb) if nd + hb < ub => hval = Some(hb),
+                    _ => {
+                        phases.ub_pruned += 1;
+                        return;
+                    }
+                }
+            }
+            let ti = if timing { Some(Instant::now()) } else { None };
             domain.pack(&k2, &mut wbuf[..kw]);
             let h = hash_words(&wbuf[..kw]);
             let (idx2, improved) = arena.relax(&wbuf[..kw], h, nd, gid(0, idx), mv);
+            if let Some(t0) = ti {
+                phases.hash_intern_ns += t0.elapsed().as_nanos() as u64;
+            }
             if improved {
-                if let Some(hv) = domain.heuristic(&k2) {
+                if let Some(hv) = hval.or_else(hv) {
+                    let tq = if timing { Some(Instant::now()) } else { None };
                     frontier.push(nd + hv, idx2, nd);
                     stats.pushed += 1;
                     stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
+                    if let Some(t0) = tq {
+                        phases.queue_ns += t0.elapsed().as_nanos() as u64;
+                    }
                 }
             }
+        });
+        if let Some(t0) = t_exp {
+            expand_ns += t0.elapsed().as_nanos() as u64;
         }
     };
     stats.arena_states = arena.len() as u64;
     stats.arena_peak_bytes = arena.bytes();
-    DriverOutcome::stopped(stats, Vec::new(), reason)
+    phases.merge(&domain.take_phases(&mut scratch));
+    // Successor generation is the in-expand remainder: expand wall-clock
+    // minus the phases timed individually (all of which run inside
+    // expand or its emit callback).
+    phases.succ_gen_ns = expand_ns.saturating_sub(phases.timed_ns());
+    if proved_incumbent {
+        let (d, path) = incumbent.expect("proved_incumbent implies an incumbent");
+        return DriverOutcome {
+            best: Some((d, path)),
+            stats,
+            shards: Vec::new(),
+            reason: StopReason::Solved,
+            phases,
+        };
+    }
+    if let Some((d, goal_gid)) = best {
+        let path = reconstruct_path(domain, &[&arena], goal_gid);
+        return DriverOutcome {
+            best: Some((d, path)),
+            stats,
+            shards: Vec::new(),
+            reason: StopReason::Solved,
+            phases,
+        };
+    }
+    DriverOutcome::stopped(stats, Vec::new(), reason, phases)
 }
 
 /// Walks the parent chain from `goal_gid` back to the root (marked by a
@@ -357,6 +575,7 @@ struct WorkerResult {
     stale: u64,
     frontier_peak: u64,
     heap_fallback: bool,
+    phases: PhaseStats,
 }
 
 struct Worker<'a, D: Domain> {
@@ -374,7 +593,9 @@ struct Worker<'a, D: Domain> {
     arena: StateArena,
     frontier: Frontier<u32>,
     scratch: D::Scratch,
-    succs: Vec<(D::Key, u64, PackedMove)>,
+    timing: bool,
+    phases: PhaseStats,
+    expand_ns: u64,
     /// Per-destination out-buffers; `out[to]` fills until [`BLOCK_CAP`]
     /// then flushes into the ring (`out[me]` stays unused).
     out: Vec<MsgBlock>,
@@ -397,7 +618,11 @@ impl<'a, D: Domain> Worker<'a, D> {
     /// Relaxes an owned state given its packed words and hash; enqueues
     /// it when the distance improved, the heuristic finds it alive, and
     /// its `f` still beats the incumbent. Returns whether the distance
-    /// was created or improved.
+    /// was created or improved. Used for states arriving over channels
+    /// or the speculation stash, where no parent heuristic context
+    /// exists — the bound is evaluated from scratch (and lazily, only
+    /// on improvement). Runs outside `expand`, so it is deliberately
+    /// untimed: the phase profile accounts the expansion path.
     #[inline]
     fn relax_owned(
         &mut self,
@@ -410,6 +635,7 @@ impl<'a, D: Domain> Worker<'a, D> {
         let (idx, improved) = self.arena.relax(words, hash, dist, parent, mv);
         if improved {
             let key = self.domain.unpack(words);
+            self.phases.heur_full_evals += 1;
             if let Some(hv) = self.domain.heuristic(&key) {
                 let f = dist + hv;
                 if f < self.shared.incumbent.load(Ordering::Relaxed) {
@@ -420,6 +646,48 @@ impl<'a, D: Domain> Worker<'a, D> {
             }
         }
         improved
+    }
+
+    /// [`Worker::relax_owned`] for locally generated successors, whose
+    /// admissible bound is evaluated lazily — the domain's incremental
+    /// thunk `hv` runs only when the distance actually improved.
+    #[inline]
+    fn relax_owned_h(
+        &mut self,
+        words: &[u64],
+        hash: u64,
+        dist: u64,
+        parent: u64,
+        mv: PackedMove,
+        hv: &mut dyn FnMut() -> Option<u64>,
+    ) {
+        let ti = if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let (idx, improved) = self.arena.relax(words, hash, dist, parent, mv);
+        if let Some(t0) = ti {
+            self.phases.hash_intern_ns += t0.elapsed().as_nanos() as u64;
+        }
+        if improved {
+            if let Some(hv) = hv() {
+                let f = dist + hv;
+                if f < self.shared.incumbent.load(Ordering::Relaxed) {
+                    let tq = if self.timing {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    self.frontier.push(f, idx, dist);
+                    self.pushed += 1;
+                    self.frontier_peak = self.frontier_peak.max(self.frontier.len() as u64);
+                    if let Some(t0) = tq {
+                        self.phases.queue_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+        }
     }
 
     /// Drains every inbox once; returns whether any block arrived.
@@ -631,24 +899,37 @@ impl<'a, D: Domain> Worker<'a, D> {
                         break 'outer;
                     }
                 }
-                let mut succs = std::mem::take(&mut self.succs);
-                succs.clear();
-                domain.expand(&key, &mut self.scratch, &mut |k2, c, mv| {
-                    succs.push((k2, c, mv));
-                });
                 let parent = gid(self.me, idx);
-                for &(k2, c, mv) in &succs {
+                // Take the scratch out of `self` so the emit closure can
+                // borrow the rest of the worker mutably; successors are
+                // relaxed or shipped inline, with no intermediate Vec.
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let t_exp = if self.timing {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                domain.expand(&key, &mut scratch, &mut |k2, c, mv, hv| {
+                    self.phases.emitted += 1;
                     let nd = d + c;
                     if nd >= self.shared.incumbent.load(Ordering::Relaxed) {
-                        continue;
+                        return;
                     }
+                    let ti = if self.timing {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     let mut wbuf = [0u64; MAX_KEY_WORDS];
                     domain.pack(&k2, &mut wbuf[..kw]);
                     let h = hash_words(&wbuf[..kw]);
                     let owner = domain.owner(&k2, h, self.threads);
+                    if let Some(t0) = ti {
+                        self.phases.hash_intern_ns += t0.elapsed().as_nanos() as u64;
+                    }
                     if owner == self.me {
                         self.local_succs += 1;
-                        self.relax_owned(&wbuf[..kw], h, nd, parent, mv);
+                        self.relax_owned_h(&wbuf[..kw], h, nd, parent, mv, hv);
                     } else {
                         self.buffer_send(
                             owner,
@@ -660,8 +941,11 @@ impl<'a, D: Domain> Worker<'a, D> {
                             },
                         );
                     }
+                });
+                if let Some(t0) = t_exp {
+                    self.expand_ns += t0.elapsed().as_nanos() as u64;
                 }
-                self.succs = succs;
+                self.scratch = scratch;
             }
             if !progress {
                 // Local frontier exhausted: ship partial blocks so no
@@ -677,6 +961,8 @@ impl<'a, D: Domain> Worker<'a, D> {
                 }
             }
         }
+        self.phases.merge(&domain.take_phases(&mut self.scratch));
+        self.phases.succ_gen_ns = self.expand_ns.saturating_sub(self.phases.timed_ns());
         WorkerResult {
             shard: ShardStats {
                 shard: self.me as u64,
@@ -694,12 +980,18 @@ impl<'a, D: Domain> Worker<'a, D> {
             stale: self.stale,
             frontier_peak: self.frontier_peak,
             heap_fallback: matches!(self.frontier, Frontier::Heap(_)),
+            phases: self.phases,
             arena: self.arena,
         }
     }
 }
 
-fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> DriverOutcome<D::Key> {
+fn parallel<D: Domain>(
+    domain: &D,
+    config: &SearchConfig,
+    threads: usize,
+    incumbent: Option<Incumbent<D::Key>>,
+) -> DriverOutcome<D::Key> {
     let start = Instant::now();
     let kw = domain.key_words();
     let root = domain.root();
@@ -708,7 +1000,12 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
         ..SearchStats::default()
     };
     let Some(h0) = domain.heuristic(&root) else {
-        return DriverOutcome::stopped(stats, Vec::new(), StopReason::Exhausted);
+        return DriverOutcome::stopped(
+            stats,
+            Vec::new(),
+            StopReason::Exhausted,
+            PhaseStats::default(),
+        );
     };
     stats.h_root = h0;
 
@@ -718,6 +1015,15 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
     let root_owner = domain.owner(&root, root_hash, threads);
 
     let shared = Shared::new();
+    if let Some((ub, _)) = incumbent {
+        // Seed the shared incumbent exactly as if a goal of cost `ub`
+        // had already been offered: every push and pop keeps only
+        // `f < ub`, which no strictly better schedule violates. A
+        // worker that pops a real goal cheaper than `ub` records it in
+        // the goal slot as usual; quiescing without one proves the
+        // probe's schedule optimal and it becomes the witness.
+        shared.incumbent.store(ub, Ordering::SeqCst);
+    }
     let chans: Vec<Spsc<MsgBlock>> = (0..threads * threads)
         .map(|_| Spsc::new(CHAN_CAP))
         .collect();
@@ -744,7 +1050,9 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
                         arena: StateArena::new(kw),
                         frontier: Frontier::new(max_priority),
                         scratch: D::Scratch::default(),
-                        succs: Vec::new(),
+                        timing: phase_timing_enabled(),
+                        phases: PhaseStats::default(),
+                        expand_ns: 0,
                         out: vec![EMPTY_BLOCK; threads],
                         spec: Vec::with_capacity(SPEC_CAP),
                         settled: 0,
@@ -778,7 +1086,9 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
     });
 
     let mut shards = Vec::with_capacity(threads);
+    let mut phases = PhaseStats::default();
     for r in &results {
+        phases.merge(&r.phases);
         stats.settled += r.shard.settled;
         stats.pushed += r.shard.pushed;
         stats.stale += r.stale;
@@ -794,8 +1104,8 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
     }
 
     match shared.status.load(Ordering::SeqCst) {
-        STATUS_STATE_LIMIT => DriverOutcome::stopped(stats, shards, StopReason::StateLimit),
-        STATUS_DEADLINE => DriverOutcome::stopped(stats, shards, StopReason::Deadline),
+        STATUS_STATE_LIMIT => DriverOutcome::stopped(stats, shards, StopReason::StateLimit, phases),
+        STATUS_DEADLINE => DriverOutcome::stopped(stats, shards, StopReason::Deadline, phases),
         _ => {
             let goal = *shared.goal.lock().unwrap();
             if let Some((dist, ggid)) = goal {
@@ -806,9 +1116,20 @@ fn parallel<D: Domain>(domain: &D, config: &SearchConfig, threads: usize) -> Dri
                     stats,
                     shards,
                     reason: StopReason::Solved,
+                    phases,
+                }
+            } else if let Some((d, path)) = incumbent {
+                // Quiesced with every `f < ub` state exhausted and no
+                // cheaper goal found: the probe's schedule is optimal.
+                DriverOutcome {
+                    best: Some((d, path)),
+                    stats,
+                    shards,
+                    reason: StopReason::Solved,
+                    phases,
                 }
             } else {
-                DriverOutcome::stopped(stats, shards, StopReason::Exhausted)
+                DriverOutcome::stopped(stats, shards, StopReason::Exhausted, phases)
             }
         }
     }

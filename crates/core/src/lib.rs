@@ -59,9 +59,9 @@ pub mod translate;
 /// solver is the first external client.
 pub mod engine {
     pub use crate::arena::{pack_fields, unpack_fields, words_for, MAX_KEY_WORDS};
-    pub use crate::driver::{search, Domain, DriverOutcome};
+    pub use crate::driver::{search, Domain, DriverOutcome, EmitFn, HeurThunk};
     pub use crate::partition::Partition;
-    pub use crate::search::PackedMove;
+    pub use crate::search::{PackedMove, PhaseProf, PhaseStats};
 }
 
 pub use cost::{Cost, CostModel};
@@ -73,8 +73,8 @@ pub use mpp::{
 };
 pub use partition::PartitionMode;
 pub use search::{
-    trace_shards, AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, ShardStats,
-    SolveLimits, StopReason, MAX_THREADS,
+    phase_timing_enabled, trace_shards, AdmissibleHeuristic, HeurCtx, PhaseProf, PhaseStats,
+    SearchConfig, SearchOutcome, SearchStats, ShardStats, SolveLimits, StopReason, MAX_THREADS,
 };
 pub use spp::{
     solve_spp, solve_spp_with, zero_io_order, zero_io_pebbling_exists, SppError, SppInstance,

@@ -31,11 +31,11 @@ use rbp_dag::NodeId;
 use rbp_util::Json;
 
 use crate::arena::{pack_fields, unpack_fields, words_for};
-use crate::driver::{self, Domain};
+use crate::driver::{self, Domain, EmitFn};
 use crate::partition::Partition;
 use crate::search::{
-    trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
-    MAX_THREADS,
+    trace_shards, HeurCtx, PackedMove, PhaseProf, PhaseStats, SearchConfig, SearchOutcome,
+    SearchStats, ShardStats, StopReason, MAX_THREADS,
 };
 use crate::{AdmissibleHeuristic, Cost, MppInstance, MppMove, MppStrategy, Pebble, SolveLimits};
 
@@ -134,6 +134,16 @@ fn sort_desc(xs: &mut [u64]) {
     }
 }
 
+/// Whether the masks are already in canonical (descending) order — the
+/// memo check that lets most successors skip the sort: the parent is
+/// canonical, and a move that leaves the relative order of the red
+/// masks intact (every store, most single-processor acquires) produces
+/// an already-sorted child.
+#[inline]
+fn is_sorted_desc(xs: &[u64]) -> bool {
+    xs.windows(2).all(|w| w[0] >= w[1])
+}
+
 /// Canonicalizes `raw` and returns the gather permutation `pi` such that
 /// `canonical.reds[q] == raw.reds[pi[q]]`.
 fn canon_with_perm(raw: Key, k: usize, symmetry: bool) -> (Key, [usize; MAX_K]) {
@@ -177,14 +187,16 @@ pub fn solve_with(instance: &MppInstance, config: &SearchConfig) -> SearchOutcom
             ("partition", Json::from(config.partition.as_str())),
         ],
     );
-    let (solution, stats, reason, shards) = solve_inner(instance, config);
+    let (solution, stats, reason, shards, phases) = solve_inner(instance, config);
     stats.trace("mpp", solution.as_ref().map(|s| s.total));
     trace_shards("mpp", &shards);
+    phases.trace("mpp");
     SearchOutcome {
         solution,
         stats,
         reason,
         shards,
+        phases,
     }
 }
 
@@ -203,21 +215,23 @@ struct MppDomain {
     heur: AdmissibleHeuristic,
     use_heuristic: bool,
     symmetry: bool,
+    dominance: bool,
     max_priority: u64,
     partition: Partition,
 }
 
-/// Reused per-worker expansion buffers (allocation-free inner loop).
+/// Reused per-worker expansion buffers (allocation-free inner loop) and
+/// the embedded phase profiler the driver drains via `take_phases`.
 struct MppScratch {
-    opts: [Vec<u32>; MAX_K],
     batch: Vec<(usize, u32)>,
+    prof: PhaseProf,
 }
 
 impl Default for MppScratch {
     fn default() -> Self {
         MppScratch {
-            opts: [const { Vec::new() }; MAX_K],
             batch: Vec::with_capacity(MAX_K),
+            prof: PhaseProf::default(),
         }
     }
 }
@@ -275,19 +289,52 @@ impl Domain for MppDomain {
         self.partition.owner(key.red_all(), key.blue, hash, shards)
     }
 
-    fn expand(
-        &self,
-        key: &Key,
-        scratch: &mut MppScratch,
-        emit: &mut dyn FnMut(Key, u64, PackedMove),
-    ) {
+    fn expand(&self, key: &Key, scratch: &mut MppScratch, emit: EmitFn<'_, Key>) {
         let (k, r, n) = (self.k, self.r, self.n);
         let key = *key;
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let MppScratch { batch, prof } = scratch;
+
+        // Per-parent heuristic context: one from-scratch closure walk
+        // whose needed set answers most successors in O(1) via
+        // `eval_delta`.
+        let hctx: Option<HeurCtx> = if self.use_heuristic {
+            let t0 = prof.start();
+            prof.stats.heur_full_evals += 1;
+            let ctx = self.heur.prepare(key.red_all(), key.blue, 0);
+            prof.stop_heur(t0);
+            debug_assert!(ctx.is_some(), "MPP states are never dead");
+            ctx
+        } else {
+            None
+        };
+
         let mut emit_raw = |mut raw: Key, cost: u64, mv: PackedMove| {
             if self.symmetry {
-                sort_desc(&mut raw.reds[..k]);
+                let t0 = prof.start();
+                if is_sorted_desc(&raw.reds[..k]) {
+                    prof.stats.canon_memo_hits += 1;
+                } else {
+                    sort_desc(&mut raw.reds[..k]);
+                    prof.stats.canon_sorts += 1;
+                }
+                prof.stop_canon(t0);
             }
-            emit(raw, cost, mv);
+            emit(raw, cost, mv, &mut || {
+                if !self.use_heuristic {
+                    return Some(0);
+                }
+                let t0 = prof.start();
+                let hv = match &hctx {
+                    Some(ctx) => {
+                        self.heur
+                            .eval_delta(ctx, raw.red_all(), raw.blue, 0, &mut prof.stats)
+                    }
+                    None => self.heur.eval(raw.red_all(), raw.blue, 0),
+                };
+                prof.stop_heur(t0);
+                hv
+            });
         };
 
         // --- R4-M: lazy red eviction on full processors (cost 0). ---
@@ -301,101 +348,102 @@ impl Domain for MppDomain {
             }
         }
 
-        let MppScratch { opts, batch } = scratch;
+        let mut suppressed = 0u64;
+        let mut opts = [0u64; MAX_K];
 
         // --- R3-M: batched computes. ---
-        // Options per processor: None (idle) or an eligible node.
+        // Option masks per processor: eligible nodes (not yet red here,
+        // all predecessors red here), empty at capacity.
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
+            *opt = 0;
             if key.reds[j].count_ones() as usize >= r {
                 continue;
             }
-            for i in 0..n as u32 {
-                let b = 1u64 << i;
-                if key.reds[j] & b == 0 && self.preds_mask[i as usize] & !key.reds[j] == 0 {
-                    opt.push(i);
+            for i in iter_bits(full & !key.reds[j]) {
+                if self.preds_mask[i as usize] & !key.reds[j] == 0 {
+                    *opt |= 1u64 << i;
                 }
             }
         }
-        for_each_batch(&opts[..k], false, batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            false,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(j, i) in batch {
+                    nk.reds[j] |= 1u64 << i;
+                }
+                emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
+            },
+        );
 
         // --- R2-M: batched loads (distinct vertices). ---
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            if key.reds[j].count_ones() as usize >= r {
-                continue;
-            }
-            opt.extend(iter_bits(key.blue & !key.reds[j]));
+            *opt = if key.reds[j].count_ones() as usize >= r {
+                0
+            } else {
+                key.blue & !key.reds[j]
+            };
         }
-        for_each_batch(&opts[..k], true, batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            true,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(j, i) in batch {
+                    nk.reds[j] |= 1u64 << i;
+                }
+                emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
+            },
+        );
 
         // --- R1-M: batched stores (distinct vertices). ---
+        // Storing an already-blue node is structurally excluded by the
+        // option mask — the other half of the dominance story.
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            opt.extend(iter_bits(key.reds[j] & !key.blue));
+            *opt = key.reds[j] & !key.blue;
         }
-        for_each_batch(&opts[..k], true, batch, &mut |batch| {
-            let mut nk = key;
-            for &(_, i) in batch {
-                nk.blue |= 1u64 << i;
-            }
-            emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            true,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(_, i) in batch {
+                    nk.blue |= 1u64 << i;
+                }
+                emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
+            },
+        );
+
+        prof.stats.idle_suppressed += suppressed;
+    }
+
+    fn take_phases(&self, scratch: &mut MppScratch) -> PhaseStats {
+        scratch.prof.take()
     }
 }
 
-#[allow(clippy::type_complexity)]
-fn solve_inner(
-    instance: &MppInstance,
-    config: &SearchConfig,
-) -> (
-    Option<MppSolution>,
-    SearchStats,
-    StopReason,
-    Vec<ShardStats>,
-) {
+/// Builds the search domain for a supported, non-empty, feasible
+/// instance; `None` otherwise (the caller distinguishes the trivial
+/// `n == 0` case itself).
+fn build_domain(instance: &MppInstance, config: &SearchConfig) -> Option<MppDomain> {
     let dag = instance.dag;
     let n = dag.n();
     let k = instance.k;
-    if n > 64 || k > MAX_K || k == 0 {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
-    }
-    if n == 0 {
-        return (
-            Some(MppSolution {
-                total: 0,
-                cost: Cost::zero(),
-                strategy: MppStrategy::new(),
-            }),
-            SearchStats::default(),
-            StopReason::Solved,
-            Vec::new(),
-        );
-    }
-    if !instance.is_feasible() {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
+    if n == 0 || n > 64 || k > MAX_K || k == 0 || !instance.is_feasible() {
+        return None;
     }
     let model = instance.model;
 
@@ -421,7 +469,7 @@ fn solve_inner(
         .saturating_mul(2)
         .saturating_add(model.g.saturating_add(model.compute));
 
-    let domain = MppDomain {
+    Some(MppDomain {
         n,
         k,
         r: instance.r,
@@ -432,59 +480,177 @@ fn solve_inner(
         heur: AdmissibleHeuristic::for_mpp(instance),
         use_heuristic: config.heuristic,
         symmetry: config.symmetry,
+        dominance: config.dominance,
         max_priority,
         partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn solve_inner(
+    instance: &MppInstance,
+    config: &SearchConfig,
+) -> (
+    Option<MppSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+    PhaseStats,
+) {
+    if instance.dag.n() == 0 && instance.k > 0 && instance.k <= MAX_K {
+        return (
+            Some(MppSolution {
+                total: 0,
+                cost: Cost::zero(),
+                strategy: MppStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+            PhaseStats::default(),
+        );
+    }
+    let Some(domain) = build_domain(instance, config) else {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+            PhaseStats::default(),
+        );
     };
     let out = driver::search(&domain, config);
     let solution = out
         .best
         .map(|(total, path)| reconstruct(instance, path, total, config.symmetry));
-    (solution, out.stats, out.reason, out.shards)
+    (solution, out.stats, out.reason, out.shards, out.phases)
 }
 
-/// Enumerates all non-empty batches: each processor picks one of its
-/// options or idles. With `distinct_vertices`, no vertex may repeat
-/// across the batch (R1-M/R2-M set semantics; for stores a repeated
-/// vertex would be a redundant double-write anyway). The caller provides
-/// the scratch `batch` buffer so the enumeration allocates nothing.
+/// Enumerates non-empty batches over per-processor option bitmasks:
+/// each processor picks one set bit of its mask or idles. With
+/// `distinct_vertices`, no vertex may repeat across the batch
+/// (R1-M/R2-M set semantics; for stores a repeated vertex would be a
+/// redundant double-write anyway). `budget` caps the total number of
+/// acting processors (the hierarchical green-store slot budget;
+/// `usize::MAX` otherwise). The caller provides the scratch `batch`
+/// buffer so the enumeration allocates nothing.
+///
+/// With `maximal` (dominance pruning), only **inclusion-maximal**
+/// batches survive: a batch where some idle processor could still be
+/// assigned an option (unused, under the budget) is rejected, because
+/// the extended batch keeps the same flat batch cost and reaches a
+/// configuration that is a pointwise superset — any completion from the
+/// partial state is simulated from the extended one (free lazy
+/// evictions shed the extra red pebble whenever a slot is needed; extra
+/// blue never hurts; the goal test is monotone coverage). Maximality is
+/// checked at the leaf against the *final* used-vertex set, never
+/// greedily per processor: with distinct vertices, forcing an early
+/// processor to take a contended vertex would wrongly prune the batch
+/// that gives it to a later processor, which no emitted batch
+/// dominates. Pruned branches/leaves are counted into `suppressed`.
 fn for_each_batch(
-    options: &[Vec<u32>],
+    options: &[u64],
     distinct_vertices: bool,
+    maximal: bool,
+    budget: usize,
     batch: &mut Vec<(usize, u32)>,
+    suppressed: &mut u64,
     f: &mut impl FnMut(&[(usize, u32)]),
 ) {
+    #[allow(clippy::too_many_arguments)]
     fn rec(
-        options: &[Vec<u32>],
+        options: &[u64],
         j: usize,
         distinct: bool,
+        maximal: bool,
+        budget: usize,
+        used: u64,
         batch: &mut Vec<(usize, u32)>,
-        used: &mut u64,
+        suppressed: &mut u64,
         f: &mut impl FnMut(&[(usize, u32)]),
     ) {
         if j == options.len() {
-            if !batch.is_empty() {
-                f(batch);
+            if batch.is_empty() {
+                return;
             }
+            if maximal && batch.len() < budget {
+                for (jj, &opt) in options.iter().enumerate() {
+                    if batch.iter().any(|&(b, _)| b == jj) {
+                        continue;
+                    }
+                    let ext = if distinct { opt & !used } else { opt };
+                    if ext != 0 {
+                        // Idle processor jj could still act: this batch
+                        // is dominated by the one that also assigns it.
+                        *suppressed += 1;
+                        return;
+                    }
+                }
+            }
+            f(batch);
             return;
         }
-        // Idle.
-        rec(options, j + 1, distinct, batch, used, f);
-        // Act.
-        for &i in &options[j] {
-            let b = 1u64 << i;
-            if distinct && *used & b != 0 {
-                continue;
-            }
-            *used |= b;
+        let avail = if distinct {
+            options[j] & !used
+        } else {
+            options[j]
+        };
+        let can_act = avail != 0 && batch.len() < budget;
+        // Idle branch. Without distinct vertices an option can never be
+        // consumed by another processor, so an idling processor that
+        // could act now could still act at the leaf — cut the whole
+        // subtree early instead of rejecting every leaf. Only valid
+        // when the budget can never bind (a leaf that hits the budget
+        // without this processor is maximal and must survive).
+        if maximal && !distinct && can_act && budget >= options.len() {
+            *suppressed += 1;
+        } else {
+            rec(
+                options,
+                j + 1,
+                distinct,
+                maximal,
+                budget,
+                used,
+                batch,
+                suppressed,
+                f,
+            );
+        }
+        if !can_act {
+            return;
+        }
+        let mut m = avail;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            m &= m - 1;
             batch.push((j, i));
-            rec(options, j + 1, distinct, batch, used, f);
+            rec(
+                options,
+                j + 1,
+                distinct,
+                maximal,
+                budget,
+                used | (1u64 << i),
+                batch,
+                suppressed,
+                f,
+            );
             batch.pop();
-            *used &= !b;
         }
     }
     batch.clear();
-    let mut used = 0u64;
-    rec(options, 0, distinct_vertices, batch, &mut used, f);
+    rec(
+        options,
+        0,
+        distinct_vertices,
+        maximal,
+        budget,
+        0,
+        batch,
+        suppressed,
+        f,
+    );
 }
 
 /// Rebuilds the witness from the canonical-state parent chain.
@@ -558,6 +724,189 @@ fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
             Some(i)
         }
     })
+}
+
+#[doc(hidden)]
+pub mod probe {
+    //! Test and benchmark hooks into the successor-generation kernel.
+    //!
+    //! Exposes the raw (symmetry-off) naive vs dominance-pruned
+    //! successor sets along deterministic pseudo-random walks — the
+    //! substrate of the successor-set equivalence property tests — and
+    //! the micro-kernels (`canonicalize`, heuristic delta vs
+    //! from-scratch, per-expansion successor generation) timed by the
+    //! `solver_kernel` bench group. Not a public API.
+
+    use super::*;
+    use rbp_util::Rng;
+
+    /// A raw successor snapshot: per-processor red masks, blue mask,
+    /// and edge cost. Produced with symmetry canonicalization off so
+    /// set comparisons see concrete processor labels.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub struct Succ {
+        /// Per-processor red masks (entries `k..` are zero).
+        pub reds: [u64; MAX_K],
+        /// Blue mask.
+        pub blue: u64,
+        /// Edge cost of the generating move.
+        pub cost: u64,
+    }
+
+    fn expand_into(domain: &MppDomain, key: &Key, scratch: &mut MppScratch) -> Vec<Succ> {
+        let mut out = Vec::new();
+        domain.expand(key, scratch, &mut |k2, c, _mv, _hv| {
+            out.push(Succ {
+                reds: k2.reds,
+                blue: k2.blue,
+                cost: c,
+            })
+        });
+        out
+    }
+
+    fn raw_config(dominance: bool) -> SearchConfig {
+        SearchConfig {
+            heuristic: false,
+            symmetry: false,
+            dominance,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Walks `steps` states from the root along a seeded random path
+    /// (always stepping through a *naive* successor), returning the
+    /// `(naive, pruned)` successor sets of every visited state.
+    /// Panics on unsupported instances.
+    #[must_use]
+    pub fn successor_walk(
+        instance: &MppInstance,
+        seed: u64,
+        steps: usize,
+    ) -> Vec<(Vec<Succ>, Vec<Succ>)> {
+        let naive = build_domain(instance, &raw_config(false)).expect("unsupported instance");
+        let pruned = build_domain(instance, &raw_config(true)).expect("unsupported instance");
+        let mut rng = Rng::new(seed);
+        let mut scratch = MppScratch::default();
+        let mut key = naive.root();
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let ns = expand_into(&naive, &key, &mut scratch);
+            let ps = expand_into(&pruned, &key, &mut scratch);
+            if ns.is_empty() {
+                break;
+            }
+            let pick = rng.index(ns.len());
+            let next = Key {
+                reds: ns[pick].reds,
+                blue: ns[pick].blue,
+            };
+            out.push((ns, ps));
+            key = next;
+        }
+        out
+    }
+
+    /// Canonicalization micro-kernel: sorts `iters` pseudo-random
+    /// 4-mask keys through the memoized path; returns a checksum so the
+    /// work cannot be optimized away.
+    #[must_use]
+    pub fn canon_kernel(iters: u64, seed: u64) -> u64 {
+        let mut rng = Rng::new(seed);
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            let mut reds = [
+                rng.next_u64() & 0xff,
+                rng.next_u64() & 0xff,
+                rng.next_u64() & 0xff,
+                rng.next_u64() & 0xff,
+            ];
+            if !is_sorted_desc(&reds) {
+                sort_desc(&mut reds);
+            }
+            acc = acc.wrapping_add(reds[0]).rotate_left(7) ^ reds[3];
+        }
+        acc
+    }
+
+    /// Heuristic micro-kernel: evaluates the admissible bound for every
+    /// successor along a seeded walk, either through the incremental
+    /// delta path (`delta = true`) or from scratch, until `iters`
+    /// evaluations have run. Returns a checksum of the bounds.
+    #[must_use]
+    pub fn heur_kernel(instance: &MppInstance, iters: u64, delta: bool, seed: u64) -> u64 {
+        let domain = build_domain(instance, &raw_config(true)).expect("unsupported instance");
+        let mut rng = Rng::new(seed);
+        let mut scratch = MppScratch::default();
+        let mut stats = PhaseStats::default();
+        let mut key = domain.root();
+        let mut acc = 0u64;
+        let mut done = 0u64;
+        while done < iters {
+            let succs = expand_into(&domain, &key, &mut scratch);
+            if succs.is_empty() {
+                key = domain.root();
+                continue;
+            }
+            let ctx = domain
+                .heur
+                .prepare(key.red_all(), key.blue, 0)
+                .expect("MPP states are never dead");
+            for s in &succs {
+                let red_all = s.reds.iter().fold(0, |a, &b| a | b);
+                let hv = if delta {
+                    domain.heur.eval_delta(&ctx, red_all, s.blue, 0, &mut stats)
+                } else {
+                    domain.heur.eval(red_all, s.blue, 0)
+                };
+                acc = acc.rotate_left(5) ^ hv.unwrap_or(u64::MAX);
+                done += 1;
+                if done >= iters {
+                    break;
+                }
+            }
+            let pick = rng.index(succs.len());
+            key = Key {
+                reds: succs[pick].reds,
+                blue: succs[pick].blue,
+            };
+        }
+        acc
+    }
+
+    /// Successor-generation micro-kernel: expands states along a seeded
+    /// walk (heuristic delta and canonicalization included, as in the
+    /// real hot loop) until `iters` expansions have run; returns the
+    /// total number of emitted successors.
+    #[must_use]
+    pub fn expand_kernel(instance: &MppInstance, iters: u64, dominance: bool, seed: u64) -> u64 {
+        let domain = build_domain(
+            instance,
+            &SearchConfig {
+                dominance,
+                ..SearchConfig::default()
+            },
+        )
+        .expect("unsupported instance");
+        let mut rng = Rng::new(seed);
+        let mut scratch = MppScratch::default();
+        let mut key = domain.root();
+        let mut emitted = 0u64;
+        for _ in 0..iters {
+            let succs = expand_into(&domain, &key, &mut scratch);
+            emitted += succs.len() as u64;
+            if succs.is_empty() {
+                key = domain.root();
+                continue;
+            }
+            let pick = rng.index(succs.len());
+            key = Key {
+                reds: succs[pick].reds,
+                blue: succs[pick].blue,
+            };
+        }
+        emitted
+    }
 }
 
 #[cfg(test)]

@@ -86,13 +86,13 @@ impl SolveLimits {
 /// ```
 /// use rbp_core::{SearchConfig, SolveLimits};
 ///
-/// let fast = SearchConfig::default();       // A* + symmetry reduction
-/// assert!(fast.heuristic && fast.symmetry);
+/// let fast = SearchConfig::default();       // A* + symmetry + dominance
+/// assert!(fast.heuristic && fast.symmetry && fast.dominance);
 ///
 /// let reference = SearchConfig::baseline(); // plain uniform-cost search
-/// assert!(!reference.heuristic && !reference.symmetry);
+/// assert!(!reference.heuristic && !reference.symmetry && !reference.dominance);
 ///
-/// // Both knobs compose with a state budget:
+/// // The knobs compose with a state budget:
 /// let bounded = fast.with_limits(SolveLimits::states(10_000));
 /// assert_eq!(bounded.limits.max_states, 10_000);
 /// ```
@@ -102,6 +102,12 @@ pub struct SearchConfig {
     pub heuristic: bool,
     /// Canonicalize processor-symmetric MPP states (ignored by SPP).
     pub symmetry: bool,
+    /// Suppress provably dominated successors at generation time (e.g.
+    /// partial rule batches that an equal-cost, pointwise-larger batch
+    /// subsumes). Never changes the proven optimum; the successor-set
+    /// equivalence property tests pin the soundness argument down per
+    /// pruned move.
+    pub dominance: bool,
     /// Worker threads. `0` or `1` runs the sequential engine; `≥ 2`
     /// runs the sharded parallel engine (HDA\*-style state ownership),
     /// which returns the same optimal costs. Capped at [`MAX_THREADS`].
@@ -119,6 +125,7 @@ impl Default for SearchConfig {
         SearchConfig {
             heuristic: true,
             symmetry: true,
+            dominance: true,
             threads: 1,
             partition: PartitionMode::default(),
             limits: SolveLimits::default(),
@@ -134,6 +141,7 @@ impl SearchConfig {
         SearchConfig {
             heuristic: false,
             symmetry: false,
+            dominance: false,
             ..SearchConfig::default()
         }
     }
@@ -420,6 +428,201 @@ pub fn trace_shards(which: &str, shards: &[ShardStats]) {
     }
 }
 
+/// Returns whether per-phase wall-clock timing is enabled via the
+/// `RBP_PHASE_PROF` environment variable (any value other than empty
+/// or `0`). Read once and cached for the process lifetime.
+///
+/// Timing is opt-in because it reads the clock twice per successor —
+/// enabling it unconditionally would pollute the very benchmarks the
+/// profile exists to explain. The phase *counters* (memo hits, delta
+/// fast-paths, suppressed idles, emissions) are plain integer
+/// increments and are always accumulated.
+#[must_use]
+pub fn phase_timing_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED
+        .get_or_init(|| std::env::var("RBP_PHASE_PROF").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Phase-level accounting for the expansion hot path, aggregated over a
+/// whole solve (summed across shards for parallel runs).
+///
+/// The `*_ns` fields partition the wall-clock time spent inside
+/// `Domain::expand` plus the driver's per-successor work; they are only
+/// populated when [`phase_timing_enabled`] (env `RBP_PHASE_PROF=1`).
+/// The count fields are always populated. Emitted through `rbp-trace`
+/// as `solver.phase.*` once per solve (see [`PhaseStats::trace`]) and
+/// rendered by `rbp report` as the "Hot path" section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Time sorting red masks into the canonical processor order.
+    pub canonicalize_ns: u64,
+    /// Time evaluating the admissible bound (delta and from-scratch).
+    pub heuristic_ns: u64,
+    /// Time enumerating rule batches and building successor keys:
+    /// expand wall-clock minus the other in-expand phases.
+    pub succ_gen_ns: u64,
+    /// Time packing, hashing, and interning successors into the arena.
+    pub hash_intern_ns: u64,
+    /// Time pushing improved successors onto the frontier.
+    pub queue_ns: u64,
+    /// Canonicalizations satisfied by the sorted-order memo check
+    /// (the red projection was already canonical; no sort ran).
+    pub canon_memo_hits: u64,
+    /// Canonicalizations that had to sort the red masks.
+    pub canon_sorts: u64,
+    /// Heuristic evaluations answered by the O(1) incremental delta
+    /// path (no needed-set closure walk).
+    pub heur_delta_fast: u64,
+    /// Heuristic evaluations that ran the from-scratch closure walk.
+    pub heur_full_evals: u64,
+    /// Successors suppressed by dominance pruning (idle processors that
+    /// had an available action, and dominated single moves).
+    pub idle_suppressed: u64,
+    /// Successors emitted to the driver (post-pruning).
+    pub emitted: u64,
+    /// Emitted successors the driver discarded before interning because
+    /// `g + h` exceeded the beam-probe upper bound (or the successor
+    /// was provably dead).
+    pub ub_pruned: u64,
+}
+
+impl PhaseStats {
+    /// Adds `other`'s counters into `self` (shard aggregation).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.canonicalize_ns += other.canonicalize_ns;
+        self.heuristic_ns += other.heuristic_ns;
+        self.succ_gen_ns += other.succ_gen_ns;
+        self.hash_intern_ns += other.hash_intern_ns;
+        self.queue_ns += other.queue_ns;
+        self.canon_memo_hits += other.canon_memo_hits;
+        self.canon_sorts += other.canon_sorts;
+        self.heur_delta_fast += other.heur_delta_fast;
+        self.heur_full_evals += other.heur_full_evals;
+        self.idle_suppressed += other.idle_suppressed;
+        self.emitted += other.emitted;
+        self.ub_pruned += other.ub_pruned;
+    }
+
+    /// Sum of the explicitly timed phases (everything but the derived
+    /// successor-generation remainder).
+    #[must_use]
+    pub fn timed_ns(&self) -> u64 {
+        self.canonicalize_ns + self.heuristic_ns + self.hash_intern_ns + self.queue_ns
+    }
+
+    /// Emits these counters through the global tracer under
+    /// `solver.phase.<which>.*` names. The `*_ns` gauges are only
+    /// emitted when phase timing ran (any nonzero timer); counts are
+    /// always emitted. No-op while tracing is disabled.
+    pub fn trace(&self, which: &str) {
+        if !rbp_trace::enabled() {
+            return;
+        }
+        rbp_trace::counter(&format!("solver.phase.{which}.emitted"), self.emitted);
+        rbp_trace::counter(
+            &format!("solver.phase.{which}.idle_suppressed"),
+            self.idle_suppressed,
+        );
+        rbp_trace::counter(
+            &format!("solver.phase.{which}.canon_memo_hits"),
+            self.canon_memo_hits,
+        );
+        rbp_trace::counter(
+            &format!("solver.phase.{which}.canon_sorts"),
+            self.canon_sorts,
+        );
+        rbp_trace::counter(
+            &format!("solver.phase.{which}.heur_delta_fast"),
+            self.heur_delta_fast,
+        );
+        rbp_trace::counter(
+            &format!("solver.phase.{which}.heur_full_evals"),
+            self.heur_full_evals,
+        );
+        rbp_trace::counter(&format!("solver.phase.{which}.ub_pruned"), self.ub_pruned);
+        if self.timed_ns() + self.succ_gen_ns > 0 {
+            rbp_trace::gauge(
+                &format!("solver.phase.{which}.canonicalize_ns"),
+                self.canonicalize_ns as f64,
+            );
+            rbp_trace::gauge(
+                &format!("solver.phase.{which}.heuristic_ns"),
+                self.heuristic_ns as f64,
+            );
+            rbp_trace::gauge(
+                &format!("solver.phase.{which}.succ_gen_ns"),
+                self.succ_gen_ns as f64,
+            );
+            rbp_trace::gauge(
+                &format!("solver.phase.{which}.hash_intern_ns"),
+                self.hash_intern_ns as f64,
+            );
+            rbp_trace::gauge(
+                &format!("solver.phase.{which}.queue_ns"),
+                self.queue_ns as f64,
+            );
+        }
+    }
+}
+
+/// Scratch-embedded phase profiler the `Domain` implementations
+/// accumulate into during [`expand`](crate::engine::Domain::expand).
+///
+/// Owns a [`PhaseStats`] plus the cached timing flag; the driver drains
+/// it once per worker via `Domain::take_phases`, so the hot loop never
+/// touches shared state.
+#[derive(Debug, Clone)]
+pub struct PhaseProf {
+    timing: bool,
+    /// The counters being accumulated.
+    pub stats: PhaseStats,
+}
+
+impl Default for PhaseProf {
+    fn default() -> Self {
+        PhaseProf {
+            timing: phase_timing_enabled(),
+            stats: PhaseStats::default(),
+        }
+    }
+}
+
+impl PhaseProf {
+    /// Starts a phase timer; `None` (free) unless `RBP_PHASE_PROF` is
+    /// set.
+    #[inline]
+    #[must_use]
+    pub fn start(&self) -> Option<std::time::Instant> {
+        if self.timing {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Accounts a started timer to the canonicalize phase.
+    #[inline]
+    pub fn stop_canon(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.stats.canonicalize_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Accounts a started timer to the heuristic phase.
+    #[inline]
+    pub fn stop_heur(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.stats.heuristic_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Drains the accumulated counters, leaving zeros behind.
+    pub fn take(&mut self) -> PhaseStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
 /// Result of an exact solve together with the search counters that
 /// produced it — the unit the before/after benchmarks compare.
 #[derive(Debug, Clone)]
@@ -435,6 +638,8 @@ pub struct SearchOutcome<T> {
     pub reason: StopReason,
     /// Per-shard counters (empty for sequential solves).
     pub shards: Vec<ShardStats>,
+    /// Phase-level hot-path accounting (summed across shards).
+    pub phases: PhaseStats,
 }
 
 /// A compact one-word move encoding; the solvers define the bit layout.
@@ -564,13 +769,26 @@ impl<K: Copy + Ord> Frontier<K> {
 /// `ceil(|A| / k) · compute` remaining compute cost, and the bound
 /// drops by at most `compute` per compute step (consistency).
 ///
-/// Two I/O terms add on (they bound *disjoint* step classes, so the sum
-/// stays admissible): nodes that are blue, not red, predecessors of `A`,
-/// and can never be (re)computed — Hong–Kung sources, or already-computed
-/// nodes in the one-shot variant — each force a load (`g` each, batched
-/// by `k` in MPP); and under the Hong–Kung sink convention every
-/// non-blue sink forces a store. This is exactly the Lemma 1 trivial
-/// I/O reasoning applied to the not-yet-blue, not-yet-red values.
+/// A re-entry term strengthens the compute count: every predecessor of
+/// `A` that is blue (or green, folded into the blue role) but not red
+/// must re-enter fast memory before its consumer computes, occupying a
+/// slot in some load batch (cost `load_cost`) or — where recomputing is
+/// legal — a slot in some compute batch. With `a = |A|`, `forced` the
+/// uncomputable such predecessors (Hong–Kung sources, spent one-shot
+/// nodes) and `optional` the computable ones, any completion with `x`
+/// compute steps and `y` load steps satisfies `kx ≥ a + rb` and
+/// `ky ≥ forced + optional − rb` for *some* split `rb`, so
+///
+/// ```text
+/// h ≥ min over rb of ceil((a+rb)/k)·compute
+///                  + ceil((forced+optional−rb)/k)·load_cost
+/// ```
+///
+/// is admissible (the slot counts bound disjoint step classes: the
+/// re-entering nodes are pebbled, hence disjoint from `A`). Under the
+/// Hong–Kung sink convention every non-blue sink additionally forces a
+/// store. This is the Lemma 1 trivial I/O reasoning applied to the
+/// not-yet-red values a completion still has to touch.
 ///
 /// [`AdmissibleHeuristic::eval`] returns `None` for provably dead
 /// states (a needed node can never be computed again), which the
@@ -582,6 +800,10 @@ pub struct AdmissibleHeuristic {
     k: u64,
     compute_cost: u64,
     g: u64,
+    /// Cheapest way to re-redden one batch of pebbled values — `g`,
+    /// except in the three-level game where the green tier may undercut
+    /// it (`min(g, green_cost)`).
+    load_cost: u64,
     /// Nodes rule R3 can never fire on (Hong–Kung sources).
     no_compute: u64,
     /// One-shot variant: nodes in `computed` cannot be recomputed.
@@ -602,10 +824,20 @@ impl AdmissibleHeuristic {
             k: instance.k as u64,
             compute_cost: instance.model.compute,
             g: instance.model.g,
+            load_cost: instance.model.g,
             no_compute: 0,
             one_shot: false,
             store_sinks: false,
         }
+    }
+
+    /// Caps the re-entry (load) cost used by the bound — the
+    /// three-level game reloads green-held values at `green_cost`,
+    /// which may undercut the blue `g`.
+    #[must_use]
+    pub fn with_load_cost(mut self, load_cost: u64) -> Self {
+        self.load_cost = load_cost;
+        self
     }
 
     /// The heuristic for an SPP instance, honoring its variant flags.
@@ -627,6 +859,7 @@ impl AdmissibleHeuristic {
             k: 1,
             compute_cost: instance.model.compute,
             g: instance.model.g,
+            load_cost: instance.model.g,
             no_compute,
             one_shot: instance.variant.one_shot,
             store_sinks: instance.variant.sinks_need_blue,
@@ -656,16 +889,180 @@ impl AdmissibleHeuristic {
         if need & uncomputable != 0 {
             return None;
         }
-        let mut h = u64::from(need.count_ones()).div_ceil(self.k) * self.compute_cost;
-        // Forced loads: blue-only predecessors of needed nodes that can
-        // never be recomputed must re-enter fast memory by R2.
-        let forced_loads = pred_union & blue & !red_all & uncomputable;
-        h += u64::from(forced_loads.count_ones()).div_ceil(self.k) * self.g;
+        Some(self.terms(need, pred_union, red_all, blue, uncomputable))
+    }
+
+    /// The bound's arithmetic given the needed set, the union of its
+    /// predecessor sets, and the state masks: compute slots for `A`
+    /// plus re-entry slots for its blue-only predecessors (minimized
+    /// over the load/recompute split), plus forced sink stores.
+    #[inline]
+    fn terms(&self, need: u64, pred_union: u64, red_all: u64, blue: u64, uncomputable: u64) -> u64 {
+        let a = u64::from(need.count_ones());
+        // Blue-only predecessors of needed nodes: each must re-enter
+        // fast memory, by a load batch slot or (when recomputable) a
+        // compute batch slot.
+        let reenter = pred_union & blue & !red_all;
+        let forced = u64::from((reenter & uncomputable).count_ones());
+        let optional = u64::from((reenter & !uncomputable).count_ones());
+        let mut h = u64::MAX;
+        for rb in 0..=optional {
+            let c = (a + rb).div_ceil(self.k) * self.compute_cost
+                + (forced + optional - rb).div_ceil(self.k) * self.load_cost;
+            h = h.min(c);
+        }
         if self.store_sinks {
             let missing_stores = self.sinks & !blue;
             h += u64::from(missing_stores.count_ones()).div_ceil(self.k) * self.g;
         }
-        Some(h)
+        h
+    }
+
+    /// Prepares a per-parent context for [`AdmissibleHeuristic::
+    /// eval_delta`]: one from-scratch evaluation whose needed set is
+    /// retained so each successor can be answered by a bitmask delta.
+    /// Returns `None` iff the parent state is dead (same contract as
+    /// `eval`).
+    #[must_use]
+    pub fn prepare(&self, red_all: u64, blue: u64, computed: u64) -> Option<HeurCtx> {
+        let pebbled = red_all | blue;
+        let mut need = self.sinks & !pebbled;
+        let mut stack = need;
+        let mut pred_union = 0u64;
+        while stack != 0 {
+            let v = stack.trailing_zeros() as usize;
+            stack &= stack - 1;
+            let ps = self.preds[v];
+            pred_union |= ps;
+            let fresh = ps & !pebbled & !need;
+            need |= fresh;
+            stack |= fresh;
+        }
+        let uncomputable = self.no_compute | if self.one_shot { computed } else { 0 };
+        if need & uncomputable != 0 {
+            return None;
+        }
+        let h = self.terms(need, pred_union, red_all, blue, uncomputable);
+        debug_assert_eq!(Some(h), self.eval(red_all, blue, computed));
+        Some(HeurCtx {
+            pebbled,
+            need,
+            pred_union,
+            h,
+            computed,
+        })
+    }
+
+    /// Evaluates the bound at a successor of the state `ctx` was
+    /// prepared for, reusing the parent's needed set instead of
+    /// re-walking the closure when the move permits it. Increments the
+    /// `heur_delta_fast` / `heur_full_evals` counters in `stats`.
+    ///
+    /// The fast paths skip the closure walk — the expensive part — and
+    /// re-run only the O(1)-ish `terms` arithmetic on
+    /// the cached needed set. They are exact, not approximations (a
+    /// `debug_assert` cross-checks against
+    /// [`AdmissibleHeuristic::eval`]):
+    ///
+    /// - **Needed set unchanged**: if no node was unpebbled, `computed`
+    ///   is unchanged, and no newly pebbled node lies in `A`, then
+    ///   `A' = A` (the closure only stops *earlier* at pebbled nodes,
+    ///   and it stopped at none of the new ones) and its predecessor
+    ///   union is unchanged; only the red/blue masks feeding the
+    ///   re-entry and store terms moved.
+    /// - **Shrink only**: if nodes `hit = added ∩ A` were pebbled and no
+    ///   surviving member of `A` reaches the sinks *through* a hit node
+    ///   — i.e. `preds⁻¹(hit) ∩ A ∩ ¬added = ∅` — then `A' = A \
+    ///   added` exactly: any path certifying membership of `v ∈ A'`
+    ///   in the parent closure either avoided `added` (still valid) or
+    ///   its first `added` node `w` has an unpebbled `A`-predecessor on
+    ///   the path, contradicting the cut condition. The predecessor
+    ///   union is rebuilt by one pass over the surviving members.
+    ///
+    /// Both paths are alive by inheritance: `A' ⊆ A` with the same
+    /// uncomputable mask, and the parent passed the dead check.
+    /// Everything else — a move that unpebbled a node (red eviction of
+    /// the last copy) or changed `computed` — re-runs the from-scratch
+    /// evaluation.
+    #[must_use]
+    pub fn eval_delta(
+        &self,
+        ctx: &HeurCtx,
+        red_all: u64,
+        blue: u64,
+        computed: u64,
+        stats: &mut PhaseStats,
+    ) -> Option<u64> {
+        let result = self.eval_delta_inner(ctx, red_all, blue, computed, stats);
+        debug_assert_eq!(
+            result,
+            self.eval(red_all, blue, computed),
+            "incremental heuristic diverged from from-scratch evaluation"
+        );
+        result
+    }
+
+    fn eval_delta_inner(
+        &self,
+        ctx: &HeurCtx,
+        red_all: u64,
+        blue: u64,
+        computed: u64,
+        stats: &mut PhaseStats,
+    ) -> Option<u64> {
+        let pebbled = red_all | blue;
+        if ctx.pebbled & !pebbled == 0 && computed == ctx.computed {
+            let uncomputable = self.no_compute | if self.one_shot { computed } else { 0 };
+            let added = pebbled & !ctx.pebbled;
+            let hit = added & ctx.need;
+            if hit == 0 {
+                stats.heur_delta_fast += 1;
+                return Some(self.terms(ctx.need, ctx.pred_union, red_all, blue, uncomputable));
+            }
+            // Union of predecessor sets of the hit nodes: the only
+            // nodes whose membership proof could route through `hit`.
+            let mut cut_preds = 0u64;
+            let mut m = hit;
+            while m != 0 {
+                let v = m.trailing_zeros() as usize;
+                m &= m - 1;
+                cut_preds |= self.preds[v];
+            }
+            if cut_preds & ctx.need & !added == 0 {
+                stats.heur_delta_fast += 1;
+                let need = ctx.need & !added;
+                let mut pred_union = 0u64;
+                let mut m = need;
+                while m != 0 {
+                    let v = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    pred_union |= self.preds[v];
+                }
+                return Some(self.terms(need, pred_union, red_all, blue, uncomputable));
+            }
+        }
+        stats.heur_full_evals += 1;
+        self.eval(red_all, blue, computed)
+    }
+}
+
+/// Per-parent context for [`AdmissibleHeuristic::eval_delta`]: the
+/// parent's pebbled mask, needed set, and bound, cached by
+/// [`AdmissibleHeuristic::prepare`] once per expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct HeurCtx {
+    pebbled: u64,
+    need: u64,
+    pred_union: u64,
+    h: u64,
+    computed: u64,
+}
+
+impl HeurCtx {
+    /// The parent's heuristic value (what `eval` returned for it).
+    #[must_use]
+    pub fn h(&self) -> u64 {
+        self.h
     }
 }
 
@@ -770,6 +1167,78 @@ mod tests {
         assert_eq!(h.eval(0, 1 << 0, 0), Some(4));
         // Everything blue: done.
         assert_eq!(h.eval(0, 0b111, 0), Some(0));
+    }
+
+    #[test]
+    fn delta_heuristic_agrees_with_full_eval_exhaustively() {
+        // Every parent mask × every single-node addition, in both the
+        // "new red" and "new blue" directions. This is the release-mode
+        // pin of the debug_assert cross-check inside eval_delta.
+        let dag = generators::layered_random(3, 3, 2, 7);
+        let n = dag.n();
+        assert!(n <= 10, "exhaustive test wants a small dag");
+        let inst = MppInstance::new(&dag, 2, 3, 2);
+        let h = AdmissibleHeuristic::for_mpp(&inst);
+        let mut stats = PhaseStats::default();
+        for m in 0u64..(1 << n) {
+            let ctx = h.prepare(m, 0, 0).expect("MPP states are never dead");
+            assert_eq!(ctx.h(), h.eval(m, 0, 0).unwrap());
+            for v in 0..n {
+                let bit = 1u64 << v;
+                if m & bit != 0 {
+                    continue;
+                }
+                // Compute/load-like move: node v becomes red.
+                assert_eq!(
+                    h.eval_delta(&ctx, m | bit, 0, 0, &mut stats),
+                    h.eval(m | bit, 0, 0)
+                );
+                // Blue-side move: node v becomes blue instead.
+                assert_eq!(h.eval_delta(&ctx, m, bit, 0, &mut stats), h.eval(m, bit, 0));
+            }
+            // Unpebbling move: must fall back to the full walk.
+            if m != 0 {
+                let low = 1u64 << m.trailing_zeros();
+                assert_eq!(
+                    h.eval_delta(&ctx, m & !low, 0, 0, &mut stats),
+                    h.eval(m & !low, 0, 0)
+                );
+            }
+        }
+        assert!(stats.heur_delta_fast > 0, "fast path never taken");
+        assert!(stats.heur_full_evals > 0, "fallback never taken");
+    }
+
+    #[test]
+    fn delta_heuristic_handles_io_term_variants() {
+        use crate::{CostModel, SppVariant};
+        let dag = generators::chain(3);
+        let inst = SppInstance {
+            dag: &dag,
+            r: 2,
+            model: CostModel::spp_io_only(2),
+            variant: SppVariant::hong_kung(),
+        };
+        let h = AdmissibleHeuristic::for_spp(&inst);
+        let mut stats = PhaseStats::default();
+        let ctx = h.prepare(0, 1 << 0, 0).expect("state is live");
+        assert_eq!(ctx.h(), 4);
+        // Hong–Kung variants carry I/O terms; the fast paths recompute
+        // the load/store arithmetic from the cached needed set, so
+        // every delta evaluation must still agree with eval.
+        for red in 0u64..8 {
+            for blue in 0u64..8 {
+                assert_eq!(
+                    h.eval_delta(&ctx, red, blue | 1, 0, &mut stats),
+                    h.eval(red, blue | 1, 0)
+                );
+            }
+        }
+        // The only fallbacks are moves that pebble the sink (node 2)
+        // without pebbling node 1: the cut check cannot certify that
+        // node 1's membership proof avoided the sink.
+        assert_eq!(stats.heur_delta_fast, 52);
+        assert_eq!(stats.heur_full_evals, 12);
     }
 
     #[test]

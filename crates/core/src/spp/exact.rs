@@ -27,11 +27,11 @@
 use rbp_dag::NodeId;
 
 use crate::arena::{pack_fields, unpack_fields, words_for};
-use crate::driver::{self, Domain};
+use crate::driver::{self, Domain, EmitFn};
 use crate::partition::Partition;
 use crate::search::{
-    trace_shards, PackedMove, SearchConfig, SearchOutcome, SearchStats, ShardStats, StopReason,
-    MAX_THREADS,
+    trace_shards, HeurCtx, PackedMove, PhaseProf, PhaseStats, SearchConfig, SearchOutcome,
+    SearchStats, ShardStats, StopReason, MAX_THREADS,
 };
 use crate::{AdmissibleHeuristic, Cost, SppInstance, SppMove, SppStrategy};
 
@@ -106,14 +106,16 @@ pub fn solve_with(instance: &SppInstance, config: &SearchConfig) -> SearchOutcom
             ("partition", rbp_util::Json::from(config.partition.as_str())),
         ],
     );
-    let (solution, stats, reason, shards) = solve_inner(instance, config);
+    let (solution, stats, reason, shards, phases) = solve_inner(instance, config);
     stats.trace("spp", solution.as_ref().map(|s| s.total));
     trace_shards("spp", &shards);
+    phases.trace("spp");
     SearchOutcome {
         solution,
         stats,
         reason,
         shards,
+        phases,
     }
 }
 
@@ -134,8 +136,16 @@ struct SppDomain {
     start_blue: u64,
     heur: AdmissibleHeuristic,
     use_heuristic: bool,
+    dominance: bool,
     max_priority: u64,
     partition: Partition,
+}
+
+/// Per-worker scratch: just the embedded phase profiler (successor
+/// generation itself is allocation-free — masks live on the stack).
+#[derive(Default)]
+struct SppScratch {
+    prof: PhaseProf,
 }
 
 impl SppDomain {
@@ -152,7 +162,7 @@ impl SppDomain {
 
 impl Domain for SppDomain {
     type Key = Key;
-    type Scratch = ();
+    type Scratch = SppScratch;
 
     fn key_words(&self) -> usize {
         words_for(self.field_count(), self.n)
@@ -206,13 +216,49 @@ impl Domain for SppDomain {
         self.partition.owner(key.red, key.blue, hash, shards)
     }
 
-    fn expand(&self, key: &Key, _scratch: &mut (), emit: &mut dyn FnMut(Key, u64, PackedMove)) {
+    fn expand(&self, key: &Key, scratch: &mut SppScratch, emit: EmitFn<'_, Key>) {
         let Key {
             red,
             blue,
             computed,
         } = *key;
         let one_shot = self.one_shot;
+        let prof = &mut scratch.prof;
+
+        // Per-parent heuristic context: one from-scratch closure walk
+        // whose needed set answers the base-variant successors in O(1)
+        // via `eval_delta` (the one-shot / Hong–Kung variants carry I/O
+        // terms and fall back to the full evaluation automatically).
+        // `prepare` returns `None` only on dead states, which the driver
+        // never expands; fall back to per-successor `eval` regardless.
+        let hctx: Option<HeurCtx> = if self.use_heuristic {
+            let t0 = prof.start();
+            prof.stats.heur_full_evals += 1;
+            let ctx = self.heur.prepare(red, blue, computed);
+            prof.stop_heur(t0);
+            ctx
+        } else {
+            None
+        };
+        let mut emit_one = |nk: Key, cost: u64, mv: PackedMove| {
+            emit(nk, cost, mv, &mut || {
+                if !self.use_heuristic {
+                    return Some(0);
+                }
+                let t0 = prof.start();
+                let hv = match &hctx {
+                    Some(ctx) => {
+                        self.heur
+                            .eval_delta(ctx, nk.red, nk.blue, nk.computed, &mut prof.stats)
+                    }
+                    None => self.heur.eval(nk.red, nk.blue, nk.computed),
+                };
+                prof.stop_heur(t0);
+                hv
+            });
+        };
+
+        let mut suppressed = 0u64;
         let red_count = red.count_ones() as usize;
         if red_count < self.r {
             // Compute moves.
@@ -231,12 +277,21 @@ impl Domain for SppDomain {
                 if self.sources_start_blue && pm == 0 {
                     continue;
                 }
+                // Dominance: recomputing an already-stored node is
+                // (weakly) dominated by reloading it — the load emitted
+                // below reaches the *identical* successor at cost
+                // `g ≤ compute`. Only exact when the states really
+                // coincide, i.e. outside the one-shot variant.
+                if self.dominance && !one_shot && blue & b != 0 && self.g <= self.compute {
+                    suppressed += 1;
+                    continue;
+                }
                 let nk = Key {
                     red: red | b,
                     blue,
                     computed: if one_shot { computed | b } else { 0 },
                 };
-                emit(nk, self.compute, encode(TAG_COMPUTE, i as u32));
+                emit_one(nk, self.compute, encode(TAG_COMPUTE, i as u32));
             }
             // Load moves.
             for i in iter_bits(blue & !red) {
@@ -245,7 +300,7 @@ impl Domain for SppDomain {
                     blue,
                     computed,
                 };
-                emit(nk, self.g, encode(TAG_LOAD, i));
+                emit_one(nk, self.g, encode(TAG_LOAD, i));
             }
         } else if !self.no_delete {
             // At (or above) capacity: lazy eviction.
@@ -255,60 +310,35 @@ impl Domain for SppDomain {
                     blue,
                     computed,
                 };
-                emit(nk, 0, encode(TAG_REMOVE, i));
+                emit_one(nk, 0, encode(TAG_REMOVE, i));
             }
         }
-        // Store moves (legal at any occupancy).
+        // Store moves (legal at any occupancy). Storing an already-blue
+        // node is structurally excluded by the `red & !blue` mask.
         for i in iter_bits(red & !blue) {
             let nk = Key {
                 red,
                 blue: blue | (1 << i),
                 computed,
             };
-            emit(nk, self.g, encode(TAG_STORE, i));
+            emit_one(nk, self.g, encode(TAG_STORE, i));
         }
+        scratch.prof.stats.idle_suppressed += suppressed;
+    }
+
+    fn take_phases(&self, scratch: &mut SppScratch) -> PhaseStats {
+        scratch.prof.take()
     }
 }
 
-#[allow(clippy::type_complexity)]
-fn solve_inner(
-    instance: &SppInstance,
-    config: &SearchConfig,
-) -> (
-    Option<SppSolution>,
-    SearchStats,
-    StopReason,
-    Vec<ShardStats>,
-) {
+/// Builds the search domain for a supported, non-empty, feasible
+/// instance; `None` otherwise (the caller distinguishes the trivial
+/// `n == 0` case itself).
+fn build_domain(instance: &SppInstance, config: &SearchConfig) -> Option<SppDomain> {
     let dag = instance.dag;
     let n = dag.n();
-    if n > 64 {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
-    }
-    if n == 0 {
-        return (
-            Some(SppSolution {
-                total: 0,
-                cost: Cost::zero(),
-                strategy: SppStrategy::new(),
-            }),
-            SearchStats::default(),
-            StopReason::Solved,
-            Vec::new(),
-        );
-    }
-    if !instance.is_feasible() {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
+    if n == 0 || n > 64 || !instance.is_feasible() {
+        return None;
     }
     let model = instance.model;
 
@@ -331,7 +361,7 @@ fn solve_inner(
         .saturating_mul(2)
         .saturating_add(model.g.saturating_add(model.compute));
 
-    let domain = SppDomain {
+    Some(SppDomain {
         n,
         r: instance.r,
         compute: model.compute,
@@ -345,8 +375,44 @@ fn solve_inner(
         start_blue,
         heur: AdmissibleHeuristic::for_spp(instance),
         use_heuristic: config.heuristic,
+        dominance: config.dominance,
         max_priority,
         partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn solve_inner(
+    instance: &SppInstance,
+    config: &SearchConfig,
+) -> (
+    Option<SppSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+    PhaseStats,
+) {
+    if instance.dag.n() == 0 {
+        return (
+            Some(SppSolution {
+                total: 0,
+                cost: Cost::zero(),
+                strategy: SppStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+            PhaseStats::default(),
+        );
+    }
+    let Some(domain) = build_domain(instance, config) else {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+            PhaseStats::default(),
+        );
     };
     // A dead root (one-shot variants) is caught by the driver through
     // the heuristic's `None` and reported as `Exhausted`.
@@ -354,7 +420,7 @@ fn solve_inner(
     let solution = out
         .best
         .map(|(total, path)| reconstruct(instance, path, total));
-    (solution, out.stats, out.reason, out.shards)
+    (solution, out.stats, out.reason, out.shards, out.phases)
 }
 
 fn reconstruct(instance: &SppInstance, path: Vec<(Key, PackedMove)>, total: u64) -> SppSolution {
@@ -394,6 +460,85 @@ fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
 pub fn min_io(dag: &rbp_dag::Dag, r: usize) -> Option<u64> {
     let inst = SppInstance::io_only(dag, r, 1);
     solve(&inst, SolveLimits::default()).map(|s| s.cost.io_steps())
+}
+
+#[doc(hidden)]
+pub mod probe {
+    //! Test hooks into the successor-generation kernel: raw naive vs
+    //! dominance-pruned successor sets along deterministic
+    //! pseudo-random walks, for the successor-set equivalence property
+    //! tests. Not a public API.
+
+    use super::*;
+    use rbp_util::Rng;
+
+    /// A raw successor snapshot: state masks plus edge cost.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub struct Succ {
+        /// Red (fast-memory) mask.
+        pub red: u64,
+        /// Blue (slow-memory) mask.
+        pub blue: u64,
+        /// Ever-computed mask (zero outside the one-shot variant).
+        pub computed: u64,
+        /// Edge cost of the generating move.
+        pub cost: u64,
+    }
+
+    fn expand_into(domain: &SppDomain, key: &Key, scratch: &mut SppScratch) -> Vec<Succ> {
+        let mut out = Vec::new();
+        domain.expand(key, scratch, &mut |k2, c, _mv, _hv| {
+            out.push(Succ {
+                red: k2.red,
+                blue: k2.blue,
+                computed: k2.computed,
+                cost: c,
+            })
+        });
+        out
+    }
+
+    fn raw_config(dominance: bool) -> SearchConfig {
+        SearchConfig {
+            heuristic: false,
+            dominance,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Walks `steps` states from the root along a seeded random path
+    /// (always stepping through a *naive* successor), returning the
+    /// `(naive, pruned)` successor sets of every visited state.
+    /// Panics on unsupported instances.
+    #[must_use]
+    pub fn successor_walk(
+        instance: &SppInstance,
+        seed: u64,
+        steps: usize,
+    ) -> Vec<(Vec<Succ>, Vec<Succ>)> {
+        let naive = build_domain(instance, &raw_config(false)).expect("unsupported instance");
+        let pruned = build_domain(instance, &raw_config(true)).expect("unsupported instance");
+        let mut rng = Rng::new(seed);
+        let mut scratch = SppScratch::default();
+        let mut key = naive.root();
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let ns = expand_into(&naive, &key, &mut scratch);
+            let ps = expand_into(&pruned, &key, &mut scratch);
+            if ns.is_empty() {
+                break;
+            }
+            let pick = rng.index(ns.len());
+            let next = Key {
+                red: ns[pick].red,
+                blue: ns[pick].blue,
+                computed: ns[pick].computed,
+            };
+            out.push((ns, ps));
+            key = next;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

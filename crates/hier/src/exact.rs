@@ -31,11 +31,12 @@
 //! against `rbp_core::solve_mpp` numerically.
 
 use rbp_core::engine::{
-    pack_fields, search, unpack_fields, words_for, Domain, PackedMove, Partition,
+    pack_fields, search, unpack_fields, words_for, Domain, EmitFn, PackedMove, Partition,
+    PhaseProf, PhaseStats,
 };
 use rbp_core::{
-    trace_shards, AdmissibleHeuristic, SearchConfig, SearchOutcome, SearchStats, ShardStats,
-    SolveLimits, StopReason, MAX_THREADS,
+    trace_shards, AdmissibleHeuristic, HeurCtx, SearchConfig, SearchOutcome, SearchStats,
+    ShardStats, SolveLimits, StopReason, MAX_THREADS,
 };
 use rbp_dag::NodeId;
 use rbp_util::Json;
@@ -151,6 +152,14 @@ fn sort_desc(xs: &mut [u64]) {
     }
 }
 
+/// Whether the masks are already in canonical (descending) order — the
+/// memo check that lets most successors skip the sort (the parent is
+/// canonical; order-preserving moves produce sorted children).
+#[inline]
+fn is_sorted_desc(xs: &[u64]) -> bool {
+    xs.windows(2).all(|w| w[0] >= w[1])
+}
+
 /// Canonicalizes `raw` and returns the gather permutation `pi` such
 /// that `canonical.reds[q] == raw.reds[pi[q]]`. The shared green and
 /// blue sets are invariant under shade relabeling.
@@ -197,9 +206,10 @@ pub fn solve_with(instance: &HierInstance, config: &SearchConfig) -> SearchOutco
             ("partition", Json::from(config.partition.as_str())),
         ],
     );
-    let (solution, stats, reason, shards) = solve_inner(instance, config);
+    let (solution, stats, reason, shards, phases) = solve_inner(instance, config);
     stats.trace("hier", solution.as_ref().map(|s| s.total));
     trace_shards("hier", &shards);
+    phases.trace("hier");
     if rbp_trace::enabled() {
         rbp_trace::counter("hier.runs", 1);
         rbp_trace::gauge("hier.green_cap", instance.green_cap as f64);
@@ -218,6 +228,7 @@ pub fn solve_with(instance: &HierInstance, config: &SearchConfig) -> SearchOutco
         stats,
         reason,
         shards,
+        phases,
     }
 }
 
@@ -238,21 +249,23 @@ struct HierDomain {
     heur: AdmissibleHeuristic,
     use_heuristic: bool,
     symmetry: bool,
+    dominance: bool,
     max_priority: u64,
     partition: Partition,
 }
 
-/// Reused per-worker expansion buffers (allocation-free inner loop).
+/// Reused per-worker expansion buffers (allocation-free inner loop) and
+/// the embedded phase profiler the driver drains via `take_phases`.
 struct HierScratch {
-    opts: [Vec<u32>; MAX_K],
     batch: Vec<(usize, u32)>,
+    prof: PhaseProf,
 }
 
 impl Default for HierScratch {
     fn default() -> Self {
         HierScratch {
-            opts: [const { Vec::new() }; MAX_K],
             batch: Vec::with_capacity(MAX_K),
+            prof: PhaseProf::default(),
         }
     }
 }
@@ -319,19 +332,53 @@ impl Domain for HierDomain {
             .owner(key.red_all() | key.green, key.blue, hash, shards)
     }
 
-    fn expand(
-        &self,
-        key: &Key,
-        scratch: &mut HierScratch,
-        emit: &mut dyn FnMut(Key, u64, PackedMove),
-    ) {
+    fn expand(&self, key: &Key, scratch: &mut HierScratch, emit: EmitFn<'_, Key>) {
         let (k, r, n) = (self.k, self.r, self.n);
         let key = *key;
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let HierScratch { batch, prof } = scratch;
+
+        // Per-parent heuristic context with `G ∪ B` in the blue role
+        // (see `heuristic`): one from-scratch closure walk whose needed
+        // set answers most successors in O(1) via `eval_delta`.
+        let hctx: Option<HeurCtx> = if self.use_heuristic {
+            let t0 = prof.start();
+            prof.stats.heur_full_evals += 1;
+            let ctx = self.heur.prepare(key.red_all(), key.green | key.blue, 0);
+            prof.stop_heur(t0);
+            debug_assert!(ctx.is_some(), "three-level states are never dead");
+            ctx
+        } else {
+            None
+        };
+
         let mut emit_raw = |mut raw: Key, cost: u64, mv: PackedMove| {
             if self.symmetry {
-                sort_desc(&mut raw.reds[..k]);
+                let t0 = prof.start();
+                if is_sorted_desc(&raw.reds[..k]) {
+                    prof.stats.canon_memo_hits += 1;
+                } else {
+                    sort_desc(&mut raw.reds[..k]);
+                    prof.stats.canon_sorts += 1;
+                }
+                prof.stop_canon(t0);
             }
-            emit(raw, cost, mv);
+            emit(raw, cost, mv, &mut || {
+                if !self.use_heuristic {
+                    return Some(0);
+                }
+                let t0 = prof.start();
+                let outer = raw.green | raw.blue;
+                let hv = match &hctx {
+                    Some(ctx) => {
+                        self.heur
+                            .eval_delta(ctx, raw.red_all(), outer, 0, &mut prof.stats)
+                    }
+                    None => self.heur.eval(raw.red_all(), outer, 0),
+                };
+                prof.stop_heur(t0);
+                hv
+            });
         };
 
         // --- R4-H: lazy red eviction on full processors (cost 0). ---
@@ -354,143 +401,161 @@ impl Domain for HierDomain {
             }
         }
 
-        let HierScratch { opts, batch } = scratch;
+        let mut suppressed = 0u64;
+        let mut opts = [0u64; MAX_K];
 
         // --- R3-H: batched computes. ---
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
+            *opt = 0;
             if key.reds[j].count_ones() as usize >= r {
                 continue;
             }
-            for i in 0..n as u32 {
-                let b = 1u64 << i;
-                if key.reds[j] & b == 0 && self.preds_mask[i as usize] & !key.reds[j] == 0 {
-                    opt.push(i);
+            for i in iter_bits(full & !key.reds[j]) {
+                if self.preds_mask[i as usize] & !key.reds[j] == 0 {
+                    *opt |= 1u64 << i;
                 }
             }
         }
-        for_each_batch(&opts[..k], false, batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            false,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(j, i) in batch {
+                    nk.reds[j] |= 1u64 << i;
+                }
+                emit_raw(nk, self.compute, encode_batch(TAG_COMPUTE, batch));
+            },
+        );
 
         // --- R2-H: batched blue loads (distinct vertices). ---
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            if key.reds[j].count_ones() as usize >= r {
-                continue;
-            }
-            opt.extend(iter_bits(key.blue & !key.reds[j]));
+            *opt = if key.reds[j].count_ones() as usize >= r {
+                0
+            } else {
+                key.blue & !key.reds[j]
+            };
         }
-        for_each_batch(&opts[..k], true, batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            true,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(j, i) in batch {
+                    nk.reds[j] |= 1u64 << i;
+                }
+                emit_raw(nk, self.g, encode_batch(TAG_LOAD, batch));
+            },
+        );
 
-        // --- R1-H: batched blue stores (distinct vertices). ---
+        // --- R1-H: batched blue stores (distinct vertices). Storing an
+        // already-blue node is structurally excluded by the mask. ---
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            opt.extend(iter_bits(key.reds[j] & !key.blue));
+            *opt = key.reds[j] & !key.blue;
         }
-        for_each_batch(&opts[..k], true, batch, &mut |batch| {
-            let mut nk = key;
-            for &(_, i) in batch {
-                nk.blue |= 1u64 << i;
-            }
-            emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            true,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(_, i) in batch {
+                    nk.blue |= 1u64 << i;
+                }
+                emit_raw(nk, self.g, encode_batch(TAG_STORE, batch));
+            },
+        );
 
         if self.green_cap == 0 {
             // No green rule is ever enabled: the remaining enumeration
             // is dead weight, and skipping it keeps the explored state
             // space literally the two-level one.
+            prof.stats.idle_suppressed += suppressed;
             return;
         }
 
         // --- R6-H: batched green loads (distinct vertices). ---
         for (j, opt) in opts.iter_mut().enumerate().take(k) {
-            opt.clear();
-            if key.reds[j].count_ones() as usize >= r {
-                continue;
-            }
-            opt.extend(iter_bits(key.green & !key.reds[j]));
+            *opt = if key.reds[j].count_ones() as usize >= r {
+                0
+            } else {
+                key.green & !key.reds[j]
+            };
         }
-        for_each_batch(&opts[..k], true, batch, &mut |batch| {
-            let mut nk = key;
-            for &(j, i) in batch {
-                nk.reds[j] |= 1u64 << i;
-            }
-            emit_raw(nk, self.green, encode_batch(TAG_LOAD_GREEN, batch));
-        });
+        for_each_batch(
+            &opts[..k],
+            true,
+            self.dominance,
+            usize::MAX,
+            batch,
+            &mut suppressed,
+            &mut |batch| {
+                let mut nk = key;
+                for &(j, i) in batch {
+                    nk.reds[j] |= 1u64 << i;
+                }
+                emit_raw(nk, self.green, encode_batch(TAG_LOAD_GREEN, batch));
+            },
+        );
 
         // --- R5-H: batched green stores (distinct vertices, bounded by
-        // the shared capacity). ---
+        // the shared capacity — the enumerator's `budget` enforces the
+        // free-slot cap, and maximality is judged against it, so a
+        // batch filling every free slot is maximal even when idle
+        // processors still hold storable values). ---
         let free = self.green_cap - (key.green.count_ones() as usize).min(self.green_cap);
         if free > 0 {
             for (j, opt) in opts.iter_mut().enumerate().take(k) {
-                opt.clear();
-                opt.extend(iter_bits(key.reds[j] & !key.green));
+                *opt = key.reds[j] & !key.green;
             }
-            for_each_batch(&opts[..k], true, batch, &mut |batch| {
-                if batch.len() > free {
-                    return;
-                }
-                let mut nk = key;
-                for &(_, i) in batch {
-                    nk.green |= 1u64 << i;
-                }
-                emit_raw(nk, self.green, encode_batch(TAG_STORE_GREEN, batch));
-            });
+            for_each_batch(
+                &opts[..k],
+                true,
+                self.dominance,
+                free,
+                batch,
+                &mut suppressed,
+                &mut |batch| {
+                    let mut nk = key;
+                    for &(_, i) in batch {
+                        nk.green |= 1u64 << i;
+                    }
+                    emit_raw(nk, self.green, encode_batch(TAG_STORE_GREEN, batch));
+                },
+            );
         }
+
+        prof.stats.idle_suppressed += suppressed;
+    }
+
+    fn take_phases(&self, scratch: &mut HierScratch) -> PhaseStats {
+        scratch.prof.take()
     }
 }
 
-#[allow(clippy::type_complexity)]
-fn solve_inner(
-    instance: &HierInstance,
-    config: &SearchConfig,
-) -> (
-    Option<HierSolution>,
-    SearchStats,
-    StopReason,
-    Vec<ShardStats>,
-) {
+/// Builds the search domain for a supported, non-empty, feasible
+/// instance; `None` otherwise (the caller distinguishes the trivial
+/// `n == 0` case itself).
+fn build_domain(instance: &HierInstance, config: &SearchConfig) -> Option<HierDomain> {
     let dag = instance.dag;
     let n = dag.n();
     let k = instance.k;
-    if n > 64 || k > MAX_K || k == 0 || instance.green_cap > 64 {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
-    }
-    if n == 0 {
-        return (
-            Some(HierSolution {
-                total: 0,
-                cost: HierCost::zero(),
-                strategy: HierStrategy::new(),
-            }),
-            SearchStats::default(),
-            StopReason::Solved,
-            Vec::new(),
-        );
+    if n == 0 || n > 64 || k > MAX_K || k == 0 || instance.green_cap > 64 {
+        return None;
     }
     if !instance.is_feasible() {
-        return (
-            None,
-            SearchStats::default(),
-            StopReason::Unsupported,
-            Vec::new(),
-        );
+        return None;
     }
     let model = instance.model;
 
@@ -520,7 +585,7 @@ fn solve_inner(
             .saturating_add(model.green),
     );
 
-    let domain = HierDomain {
+    Some(HierDomain {
         n,
         k,
         r: instance.r,
@@ -530,58 +595,166 @@ fn solve_inner(
         green: model.green,
         preds_mask,
         sinks_mask,
-        heur: AdmissibleHeuristic::for_mpp(&instance.mpp_instance()),
+        // The re-entry term assumes `load_cost` is the cheapest way to
+        // re-redden an evicted value; in the three-level game the green
+        // tier may undercut a blue reload.
+        heur: AdmissibleHeuristic::for_mpp(&instance.mpp_instance())
+            .with_load_cost(model.g.min(model.green)),
         use_heuristic: config.heuristic,
         symmetry: config.symmetry,
+        dominance: config.dominance,
         max_priority,
         partition: Partition::build(config.partition, dag, config.threads.clamp(1, MAX_THREADS)),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn solve_inner(
+    instance: &HierInstance,
+    config: &SearchConfig,
+) -> (
+    Option<HierSolution>,
+    SearchStats,
+    StopReason,
+    Vec<ShardStats>,
+    PhaseStats,
+) {
+    let k = instance.k;
+    if instance.dag.n() == 0 && k > 0 && k <= MAX_K && instance.green_cap <= 64 {
+        return (
+            Some(HierSolution {
+                total: 0,
+                cost: HierCost::zero(),
+                strategy: HierStrategy::new(),
+            }),
+            SearchStats::default(),
+            StopReason::Solved,
+            Vec::new(),
+            PhaseStats::default(),
+        );
+    }
+    let Some(domain) = build_domain(instance, config) else {
+        return (
+            None,
+            SearchStats::default(),
+            StopReason::Unsupported,
+            Vec::new(),
+            PhaseStats::default(),
+        );
     };
     let out = search(&domain, config);
     let solution = out
         .best
         .map(|(total, path)| reconstruct(instance, path, total, config.symmetry));
-    (solution, out.stats, out.reason, out.shards)
+    (solution, out.stats, out.reason, out.shards, out.phases)
 }
 
-/// Enumerates all non-empty batches: each processor picks one of its
-/// options or idles. Identical to the two-level enumerator; kept local
-/// because the scratch layout is crate-private on both sides.
+/// Enumerates non-empty batches over per-processor option bitmasks:
+/// each processor picks one set bit of its mask or idles. Identical to
+/// the two-level enumerator (including the inclusion-maximality
+/// dominance pruning — see `rbp_core::mpp`'s `for_each_batch` for the
+/// soundness argument); kept local because the scratch layout is
+/// crate-private on both sides. `budget` caps the number of acting
+/// processors (the green-store free-slot cap; `usize::MAX` otherwise).
 fn for_each_batch(
-    options: &[Vec<u32>],
+    options: &[u64],
     distinct_vertices: bool,
+    maximal: bool,
+    budget: usize,
     batch: &mut Vec<(usize, u32)>,
+    suppressed: &mut u64,
     f: &mut impl FnMut(&[(usize, u32)]),
 ) {
+    #[allow(clippy::too_many_arguments)]
     fn rec(
-        options: &[Vec<u32>],
+        options: &[u64],
         j: usize,
         distinct: bool,
+        maximal: bool,
+        budget: usize,
+        used: u64,
         batch: &mut Vec<(usize, u32)>,
-        used: &mut u64,
+        suppressed: &mut u64,
         f: &mut impl FnMut(&[(usize, u32)]),
     ) {
         if j == options.len() {
-            if !batch.is_empty() {
-                f(batch);
+            if batch.is_empty() {
+                return;
             }
+            if maximal && batch.len() < budget {
+                for (jj, &opt) in options.iter().enumerate() {
+                    if batch.iter().any(|&(b, _)| b == jj) {
+                        continue;
+                    }
+                    let ext = if distinct { opt & !used } else { opt };
+                    if ext != 0 {
+                        // Idle processor jj could still act: this batch
+                        // is dominated by the one that also assigns it.
+                        *suppressed += 1;
+                        return;
+                    }
+                }
+            }
+            f(batch);
             return;
         }
-        rec(options, j + 1, distinct, batch, used, f);
-        for &i in &options[j] {
-            let b = 1u64 << i;
-            if distinct && *used & b != 0 {
-                continue;
-            }
-            *used |= b;
+        let avail = if distinct {
+            options[j] & !used
+        } else {
+            options[j]
+        };
+        let can_act = avail != 0 && batch.len() < budget;
+        // Idle branch; early subtree cut only when sound (see the
+        // two-level enumerator).
+        if maximal && !distinct && can_act && budget >= options.len() {
+            *suppressed += 1;
+        } else {
+            rec(
+                options,
+                j + 1,
+                distinct,
+                maximal,
+                budget,
+                used,
+                batch,
+                suppressed,
+                f,
+            );
+        }
+        if !can_act {
+            return;
+        }
+        let mut m = avail;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            m &= m - 1;
             batch.push((j, i));
-            rec(options, j + 1, distinct, batch, used, f);
+            rec(
+                options,
+                j + 1,
+                distinct,
+                maximal,
+                budget,
+                used | (1u64 << i),
+                batch,
+                suppressed,
+                f,
+            );
             batch.pop();
-            *used &= !b;
         }
     }
     batch.clear();
-    let mut used = 0u64;
-    rec(options, 0, distinct_vertices, batch, &mut used, f);
+    rec(
+        options,
+        0,
+        distinct_vertices,
+        maximal,
+        budget,
+        0,
+        batch,
+        suppressed,
+        f,
+    );
 }
 
 /// Rebuilds the witness from the canonical-state parent chain,
@@ -655,6 +828,88 @@ fn iter_bits(mut mask: u64) -> impl Iterator<Item = u32> {
             Some(i)
         }
     })
+}
+
+#[doc(hidden)]
+pub mod probe {
+    //! Test hooks into the successor-generation kernel: raw
+    //! (symmetry-off) naive vs dominance-pruned successor sets along
+    //! deterministic pseudo-random walks, for the successor-set
+    //! equivalence property tests. Not a public API.
+
+    use super::*;
+    use rbp_util::Rng;
+
+    /// A raw successor snapshot: per-processor red masks, the shared
+    /// green and blue masks, and edge cost. Produced with symmetry
+    /// canonicalization off so set comparisons see concrete labels.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub struct Succ {
+        /// Per-processor red masks (entries `k..` are zero).
+        pub reds: [u64; MAX_K],
+        /// Green (middle-tier) mask.
+        pub green: u64,
+        /// Blue mask.
+        pub blue: u64,
+        /// Edge cost of the generating move.
+        pub cost: u64,
+    }
+
+    fn expand_into(domain: &HierDomain, key: &Key, scratch: &mut HierScratch) -> Vec<Succ> {
+        let mut out = Vec::new();
+        domain.expand(key, scratch, &mut |k2, c, _mv, _hv| {
+            out.push(Succ {
+                reds: k2.reds,
+                green: k2.green,
+                blue: k2.blue,
+                cost: c,
+            })
+        });
+        out
+    }
+
+    fn raw_config(dominance: bool) -> SearchConfig {
+        SearchConfig {
+            heuristic: false,
+            symmetry: false,
+            dominance,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Walks `steps` states from the root along a seeded random path
+    /// (always stepping through a *naive* successor), returning the
+    /// `(naive, pruned)` successor sets of every visited state.
+    /// Panics on unsupported instances.
+    #[must_use]
+    pub fn successor_walk(
+        instance: &HierInstance,
+        seed: u64,
+        steps: usize,
+    ) -> Vec<(Vec<Succ>, Vec<Succ>)> {
+        let naive = build_domain(instance, &raw_config(false)).expect("unsupported instance");
+        let pruned = build_domain(instance, &raw_config(true)).expect("unsupported instance");
+        let mut rng = Rng::new(seed);
+        let mut scratch = HierScratch::default();
+        let mut key = naive.root();
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let ns = expand_into(&naive, &key, &mut scratch);
+            let ps = expand_into(&pruned, &key, &mut scratch);
+            if ns.is_empty() {
+                break;
+            }
+            let pick = rng.index(ns.len());
+            let next = Key {
+                reds: ns[pick].reds,
+                green: ns[pick].green,
+                blue: ns[pick].blue,
+            };
+            out.push((ns, ps));
+            key = next;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,36 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
 
+    // The sequential hot path of the shared A* engine reports per-phase
+    // counters (and, under `RBP_PHASE_PROF=1`, nanosecond timings) under
+    // `solver.phase.*`; gather those into one "Hot path" section so
+    // canonicalization, heuristic, successor-generation, hash-intern and
+    // queue costs read as a unit.
+    let hot_counters: Vec<(String, u64)> = counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("solver.phase."))
+        .cloned()
+        .collect();
+    let hot_gauges: Vec<(String, f64)> = gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("solver.phase."))
+        .cloned()
+        .collect();
+    let hot_rows = hot_counters.len() + hot_gauges.len();
+    if hot_rows > 0 {
+        counters.retain(|(n, _)| !n.starts_with("solver.phase."));
+        gauges.retain(|(n, _)| !n.starts_with("solver.phase."));
+        let _ = writeln!(out, "\n## Hot path\n");
+        let _ = writeln!(out, "| metric | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (n, v) in &hot_counters {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+        for (n, v) in &hot_gauges {
+            let _ = writeln!(out, "| {n} | {v} |");
+        }
+    }
+
     if !counters.is_empty() {
         let _ = writeln!(out, "\n## Counters\n");
         let _ = writeln!(out, "| counter | total |");
@@ -262,6 +292,7 @@ pub fn render(text: &str) -> Result<String, String> {
         && store_rows == 0
         && scale_rows == 0
         && hier_rows == 0
+        && hot_rows == 0
     {
         return Err(format!(
             "trace has {} event(s) but none are renderable (no tables, counters, gauges, or spans)",
@@ -439,6 +470,46 @@ mod tests {
             "{report}"
         );
         assert!(!report[counters_at..].contains("hier."), "{report}");
+    }
+
+    /// `solver.phase.*` metrics from the shared A* engine's hot path
+    /// get their own "Hot path" section and disappear from the generic
+    /// tables.
+    #[test]
+    fn phase_metrics_render_in_hot_path_section() {
+        let trace = concat!(
+            "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"rbp\",\"git_rev\":null}\n",
+            "{\"type\":\"counter\",\"ts_us\":1,\"name\":\"solver.phase.mpp.canon_memo_hits\",\"value\":900}\n",
+            "{\"type\":\"counter\",\"ts_us\":2,\"name\":\"solver.phase.mpp.canon_sorts\",\"value\":100}\n",
+            "{\"type\":\"counter\",\"ts_us\":3,\"name\":\"solver.phase.mpp.heur_delta_fast\",\"value\":800}\n",
+            "{\"type\":\"counter\",\"ts_us\":4,\"name\":\"solver.phase.mpp.idle_suppressed\",\"value\":250}\n",
+            "{\"type\":\"gauge\",\"ts_us\":5,\"name\":\"solver.phase.mpp.heuristic_ns\",\"value\":12345}\n",
+            "{\"type\":\"counter\",\"ts_us\":6,\"name\":\"other.counter\",\"value\":1}\n",
+        );
+        let report = render(trace).unwrap();
+        assert!(report.contains("## Hot path"), "{report}");
+        assert!(
+            report.contains("| solver.phase.mpp.canon_memo_hits | 900 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| solver.phase.mpp.idle_suppressed | 250 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| solver.phase.mpp.heuristic_ns | 12345 |"),
+            "{report}"
+        );
+        // Phase rows live only in the Hot path section; unrelated
+        // metrics stay in the generic tables.
+        let hot_at = report.find("## Hot path").unwrap();
+        let counters_at = report.find("## Counters").unwrap();
+        assert!(hot_at < counters_at, "{report}");
+        assert!(
+            report[counters_at..].contains("| other.counter | 1 |"),
+            "{report}"
+        );
+        assert!(!report[counters_at..].contains("solver.phase."), "{report}");
     }
 
     #[test]

@@ -67,6 +67,37 @@ trap - EXIT
 rm -f "$hier_dag"
 echo "hier smoke: OPT(3-level)=$hier_opt < OPT(2-level)=$vanilla_opt, cap=0 reduces exactly"
 
+echo "== hot-path perf guard (state-count ceiling on a fixed fixture) =="
+# Load-independent regression gate for the sequential hot path: the
+# settled-state count on this fixture is deterministic, so a ceiling —
+# not a wall-clock — catches pruning regressions even on a busy CI
+# host. Measured counts on grid_3x3 (k=2, r=3, g=2), OPT = 11, with
+# the incumbent-probe + branch-and-bound engine:
+#   dominance+heuristic (default) : 27,375 settled
+#   dominance off                 : 31,947
+#   heuristic off (no probe)      : 80,303
+#   both off                      : 187,589
+# The 30,000 ceiling passes the default config with ~9% headroom and
+# fails if the probe, the heuristic, or dominance stops pruning.
+guard_trace=$(mktemp)
+trap 'rm -f "$guard_trace"' EXIT
+guard_opt=$(RBP_TRACE="$guard_trace" \
+    ./target/release/rbp solve tests/fixtures/grid_3x3.dag 2 3 2 --max-states 30000 \
+    | sed -n 's/^OPT = \([0-9]*\).*/\1/p') \
+    || { echo "perf guard failed: settled-state count exceeded 30000 (hot-path regression)"; exit 1; }
+[ "$guard_opt" = "11" ] \
+    || { echo "perf guard failed: OPT=$guard_opt on grid_3x3, expected 11"; exit 1; }
+# The same run must emit phase counters and render them as a report
+# section, so the profiling layer cannot silently rot.
+guard_report=$(./target/release/rbp report "$guard_trace")
+echo "$guard_report" | grep -q "## Hot path" \
+    || { echo "perf guard failed: no Hot path section in report"; exit 1; }
+echo "$guard_report" | grep -q "solver.phase.mpp.idle_suppressed" \
+    || { echo "perf guard failed: solver.phase.mpp.idle_suppressed counter missing"; exit 1; }
+trap - EXIT
+rm -f "$guard_trace"
+echo "perf guard: OPT=11 within the 30000-state ceiling, Hot path section rendered"
+
 echo "== trace report smoke (fixture round trip) =="
 ./target/release/rbp report tests/fixtures/trace_small.jsonl | grep -q "| chain(4) | 2 | 2 |"
 serve_report=$(./target/release/rbp report tests/fixtures/trace_serve.jsonl)
